@@ -1,0 +1,292 @@
+package monadic
+
+// Tests of the public facade: every re-exported entry point is exercised
+// once on the paper's running example or a small instance.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/datalog"
+	"repro/internal/graph"
+)
+
+const runningExample = `
+a b -> c
+c -> b
+c d -> e
+d e -> g
+g -> e
+`
+
+func TestFacadeSchemaAPI(t *testing.T) {
+	s, err := ParseSchema(runningExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primes, err := Primes(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if primes.Len() != 4 {
+		t.Fatalf("primes = %v", primes.Elems())
+	}
+	ok, err := IsPrime(s, "a")
+	if err != nil || !ok {
+		t.Fatalf("IsPrime(a) = %v, %v", ok, err)
+	}
+	in, err := PrimalityInstance(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := in.EnumerateNaive()
+	if err != nil || !naive.Equal(primes) {
+		t.Fatalf("naive enumeration disagreement: %v, %v", naive, err)
+	}
+	report, err := Check3NF(s)
+	if err != nil || report.OK {
+		t.Fatalf("Check3NF = %+v, %v", report, err)
+	}
+	if CheckBCNF(s).OK {
+		t.Fatal("BCNF should fail")
+	}
+}
+
+func TestFacadeStructureAndDecomposition(t *testing.T) {
+	s := MustParseSchema(runningExample)
+	st := s.ToStructure()
+	d, err := Decompose(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(st); err != nil {
+		t.Fatal(err)
+	}
+	norm, err := NormalizeTuple(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, _, err := BuildTD(st, norm, norm.Width())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Tuples("bag")) != norm.Len() {
+		t.Fatal("τ_td bags wrong")
+	}
+	nice, err := NormalizeNice(d, NiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nice.Width() != d.Width() {
+		t.Fatal("nice form changed width")
+	}
+	st2, err := ParseStructure("e(a,b). e(b,a).", nil)
+	if err != nil || st2.Size() != 2 {
+		t.Fatalf("ParseStructure: %v", err)
+	}
+}
+
+func TestFacadeGraphAPI(t *testing.T) {
+	g := graph.Cycle(5)
+	ok, err := ThreeColorable(g)
+	if err != nil || !ok {
+		t.Fatalf("ThreeColorable(C5) = %v, %v", ok, err)
+	}
+	colors, ok, err := ThreeColoring(g)
+	if err != nil || !ok {
+		t.Fatal("no witness for C5")
+	}
+	for _, e := range g.Edges() {
+		if colors[e[0]] == colors[e[1]] {
+			t.Fatal("improper witness")
+		}
+	}
+	two, err := KColorable(g, 2)
+	if err != nil || two {
+		t.Fatalf("C5 2-colorable? %v, %v", two, err)
+	}
+	count, err := CountColorings(g, 3)
+	if err != nil || count != 30 {
+		t.Fatalf("CountColorings(C5,3) = %d, %v", count, err)
+	}
+	chi, err := ChromaticNumber(g)
+	if err != nil || chi != 3 {
+		t.Fatalf("χ(C5) = %d, %v", chi, err)
+	}
+	tw, err := Treewidth(g)
+	if err != nil || tw != 2 {
+		t.Fatalf("tw(C5) = %d, %v", tw, err)
+	}
+	tw2, err := TreewidthPreprocessed(g)
+	if err != nil || tw2 != 2 {
+		t.Fatalf("preprocessed tw(C5) = %d, %v", tw2, err)
+	}
+	if _, err := DecomposeGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	vc, err := MinVertexCover(g)
+	if err != nil || vc != 3 {
+		t.Fatalf("VC(C5) = %d, %v", vc, err)
+	}
+	mis, err := MaxIndependentSet(g)
+	if err != nil || mis != 2 {
+		t.Fatalf("MIS(C5) = %d, %v", mis, err)
+	}
+	ds, err := MinDominatingSet(g)
+	if err != nil || ds != 2 {
+		t.Fatalf("γ(C5) = %d, %v", ds, err)
+	}
+}
+
+func TestFacadeKeyFor(t *testing.T) {
+	s := MustParseSchema(runningExample)
+	key, ok, err := KeyFor(s, "a")
+	if err != nil || !ok || len(key) != 3 {
+		t.Fatalf("KeyFor(a) = %v, %v, %v", key, ok, err)
+	}
+	_, ok, err = KeyFor(s, "e")
+	if err != nil || ok {
+		t.Fatalf("KeyFor(e) = %v, %v", ok, err)
+	}
+	if _, _, err := KeyFor(s, "zz"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestFacadeDatalogAPI(t *testing.T) {
+	prog, err := ParseProgram(`
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ParseStructure("edge(a,b). edge(b,c).", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := DBFromStructure(st)
+	out, err := EvalDatalog(prog, db)
+	if err != nil || !out.Has("path", "a", "c") {
+		t.Fatalf("EvalDatalog: %v", err)
+	}
+	answers, err := QueryWithMagic(prog, db, "path", []datalog.Term{datalog.C("a"), datalog.V("Y")})
+	if err != nil || len(answers) != 2 {
+		t.Fatalf("QueryWithMagic: %v, %v", answers, err)
+	}
+	guarded := MustParseProgramForTest(t, `
+theta(V) :- bag(V, X0, X1), leaf(V), e(X0, X1).
+accept :- root(V), theta(V).
+`)
+	edb := datalog.NewDB()
+	edb.AddFact("bag", "s0", "x0", "x1")
+	edb.AddFact("leaf", "s0")
+	edb.AddFact("root", "s0")
+	edb.AddFact("e", "x0", "x1")
+	out2, err := EvalQuasiGuarded(guarded, edb, TDFuncDeps(1))
+	if err != nil || !out2.Has("accept") {
+		t.Fatalf("EvalQuasiGuarded: %v", err)
+	}
+}
+
+func MustParseProgramForTest(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFacadeMSOAPI(t *testing.T) {
+	f, err := ParseMSO("forall x exists y e(x, y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ParseStructure("e(a,b). e(b,a).", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holds, err := EvalMSO(st, f)
+	if err != nil || !holds {
+		t.Fatalf("EvalMSO: %v, %v", holds, err)
+	}
+	one, err := EvalMSOQuery(st, MustParseMSOForTest(t, "exists y e(x, y)"), "x", 0)
+	if err != nil || !one {
+		t.Fatalf("EvalMSOQuery: %v, %v", one, err)
+	}
+	if PrimalityMSO().QuantifierDepth() < 2 {
+		t.Fatal("primality formula depth suspicious")
+	}
+	if ThreeColorabilityMSO().QuantifierDepth() != 5 {
+		t.Fatal("3COL formula depth wrong")
+	}
+}
+
+func MustParseMSOForTest(t *testing.T, src string) *Formula {
+	t.Helper()
+	f, err := ParseMSO(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFacadeCompilerAPI(t *testing.T) {
+	st, err := ParseStructure("c(v0). dom v1.", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := MustParseMSOForTest(t, "c(x)")
+	res, err := RunMSO(st, phi, "x", CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0, _ := st.Elem("v0")
+	if res.Selected.Len() != 1 || !res.Selected.Has(v0) {
+		t.Fatalf("RunMSO selected %v", res.Selected.Elems())
+	}
+	compiled, err := CompileMSO(st.Sig(), phi, "x", CompileOptions{Width: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !compiled.Program.IsMonadic() {
+		t.Fatal("compiled program not monadic")
+	}
+}
+
+func TestFacadeRelevance(t *testing.T) {
+	s := MustParseSchema("cold -> cough\nflu -> cough\nflu -> fever")
+	hyp := &Set{}
+	man := &Set{}
+	for _, n := range []string{"cold", "flu"} {
+		i, _ := s.Attr(n)
+		hyp.Add(i)
+	}
+	for _, n := range []string{"cough", "fever"} {
+		i, _ := s.Attr(n)
+		man.Add(i)
+	}
+	rel, err := Relevant(s, hyp, man, "flu")
+	if err != nil || !rel {
+		t.Fatalf("Relevant(flu) = %v, %v", rel, err)
+	}
+	rel, err = Relevant(s, hyp, man, "cold")
+	if err != nil || rel {
+		t.Fatalf("Relevant(cold) = %v, %v", rel, err)
+	}
+	if _, err := Relevant(s, hyp, man, "nope"); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestFacadeTable1(t *testing.T) {
+	rows, err := Table1(bench.Table1Opts{FDs: []int{1}, Seed: 1, SkipMona: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(FormatTable1(rows), "#Att") {
+		t.Fatal("FormatTable1 wrong")
+	}
+}

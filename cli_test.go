@@ -1,0 +1,94 @@
+package monadic
+
+// End-to-end tests of the command-line tools against the files in
+// testdata/. Each tool is compiled once per test run via `go run`.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.Output()
+	if err != nil {
+		extra := ""
+		if ee, ok := err.(*exec.ExitError); ok {
+			extra = string(ee.Stderr)
+		}
+		t.Fatalf("go run %v: %v\n%s", args, err, extra)
+	}
+	return string(out)
+}
+
+func TestCLIPrimality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	out := runTool(t, "./cmd/primality", "-schema", "testdata/example.schema", "-all")
+	if !strings.Contains(out, "prime attributes: a b c d") {
+		t.Fatalf("output: %q", out)
+	}
+	out = runTool(t, "./cmd/primality", "-schema", "testdata/example.schema", "-attr", "e")
+	if !strings.Contains(out, "prime(e) = false") {
+		t.Fatalf("output: %q", out)
+	}
+	out = runTool(t, "./cmd/primality", "-schema", "testdata/example.schema", "-check3nf")
+	if !strings.Contains(out, "3NF: false") {
+		t.Fatalf("output: %q", out)
+	}
+	out = runTool(t, "./cmd/primality", "-schema", "testdata/example.schema", "-all", "-brute")
+	if !strings.Contains(out, "prime attributes: a b c d") {
+		t.Fatalf("output: %q", out)
+	}
+}
+
+func TestCLIThreecolAndTreewidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	out := runTool(t, "./cmd/threecol", "-graph", "testdata/cycle5.graph", "-witness")
+	if !strings.Contains(out, "3-colorable: true") {
+		t.Fatalf("output: %q", out)
+	}
+	out = runTool(t, "./cmd/treewidth", "-graph", "testdata/cycle5.graph", "-exact")
+	if !strings.Contains(out, "width: 2") {
+		t.Fatalf("output: %q", out)
+	}
+	out = runTool(t, "./cmd/treewidth", "-schema", "testdata/example.schema", "-form", "nice")
+	if !strings.Contains(out, "width: 2") {
+		t.Fatalf("output: %q", out)
+	}
+}
+
+func TestCLIMdlogAndMSO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	out := runTool(t, "./cmd/mdlog", "-program", "testdata/tc.dl", "-edb", "testdata/tc_facts.dl")
+	if !strings.Contains(out, "path(a,d).") {
+		t.Fatalf("output: %q", out)
+	}
+	out = runTool(t, "./cmd/msoeval", "-structure", "testdata/cycle5.graph",
+		"-formula", "forall x exists y e(x, y)")
+	if !strings.Contains(out, "holds: true") {
+		t.Fatalf("output: %q", out)
+	}
+	out = runTool(t, "./cmd/mso2datalog", "-sig", "c/1", "-formula", "forall x c(x)",
+		"-decision", "-width", "0")
+	if !strings.Contains(out, "phi :- root(V)") {
+		t.Fatalf("output: %q", out)
+	}
+}
+
+func TestCLIBenchtable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	out := runTool(t, "./cmd/benchtable", "-fds", "1", "-reps", "1", "-skipmona")
+	if !strings.Contains(out, "#Att") || !strings.Contains(out, "3    3      1") {
+		t.Fatalf("output: %q", out)
+	}
+}

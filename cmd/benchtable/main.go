@@ -1,0 +1,71 @@
+// Command benchtable regenerates the paper's Table 1 (Section 6):
+// PRIMALITY processing time of the monadic-datalog program (MD) against
+// the budget-capped naive MSO baseline (the MONA substitute), on balanced
+// treewidth-3 workloads.
+//
+//	benchtable [-fds 1,2,3,...] [-seed n] [-budget steps] [-skipmona] [-reps n]
+//
+// Each MD measurement is the median of -reps runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+func main() {
+	fdsSpec := flag.String("fds", "", "comma-separated #FD column (default: the paper's values)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	budget := flag.Int64("budget", bench.MonaBudget, "baseline step budget")
+	skipMona := flag.Bool("skipmona", false, "skip the baseline column")
+	reps := flag.Int("reps", 3, "repetitions per MD measurement (median reported)")
+	flag.Parse()
+
+	opts := bench.Table1Opts{Seed: *seed, MonaBudget: *budget, SkipMona: *skipMona}
+	if *fdsSpec != "" {
+		for _, part := range strings.Split(*fdsSpec, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fail(fmt.Errorf("benchtable: bad -fds entry %q", part))
+			}
+			opts.FDs = append(opts.FDs, n)
+		}
+	} else {
+		opts.FDs = workload.Table1FDs
+	}
+
+	// Median of repetitions for the MD column: rerun the whole table and
+	// keep per-row medians (rows are deterministic given the seed).
+	var runs [][]bench.Table1Row
+	for r := 0; r < *reps; r++ {
+		rows, err := bench.Table1(opts)
+		if err != nil {
+			fail(err)
+		}
+		runs = append(runs, rows)
+		opts.SkipMona = true // baseline measured once; it dominates runtime
+	}
+	final := runs[0]
+	for i := range final {
+		durs := make([]time.Duration, 0, len(runs))
+		for _, rows := range runs {
+			durs = append(durs, rows[i].MD)
+		}
+		sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+		final[i].MD = durs[len(durs)/2]
+	}
+	fmt.Print(bench.FormatTable1(final))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Command mdlog evaluates a datalog program over an extensional database.
+//
+//	mdlog -program prog.dl -edb facts.dl [-mode seminaive|guarded] [-width w] [-query pred]
+//
+// The EDB file contains ground facts in datalog syntax ("edge(a,b)." per
+// line). In guarded mode the program must be quasi-guarded over the τ_td
+// functional dependencies for the given width (Theorem 4.4) and is
+// evaluated by grounding plus unit resolution; seminaive mode accepts any
+// stratified program.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/datalog"
+)
+
+func main() {
+	progPath := flag.String("program", "", "path to the datalog program")
+	edbPath := flag.String("edb", "", "path to the fact file")
+	mode := flag.String("mode", "seminaive", "evaluation mode: seminaive or guarded")
+	width := flag.Int("width", 1, "treewidth for the τ_td functional dependencies (guarded mode)")
+	query := flag.String("query", "", "only print facts of this predicate (default: all intensional)")
+	flag.Parse()
+
+	if *progPath == "" || *edbPath == "" {
+		fmt.Fprintln(os.Stderr, "mdlog: -program and -edb are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	prog, err := loadProgram(*progPath)
+	if err != nil {
+		fail(err)
+	}
+	edb, err := loadEDB(*edbPath)
+	if err != nil {
+		fail(err)
+	}
+
+	var out *datalog.DB
+	switch *mode {
+	case "seminaive":
+		out, err = datalog.Eval(prog, edb)
+	case "guarded":
+		out, err = datalog.EvalQuasiGuarded(prog, edb, datalog.TDFuncDeps(*width))
+	default:
+		err = fmt.Errorf("mdlog: unknown mode %q", *mode)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	preds := []string{*query}
+	if *query == "" {
+		intens := prog.IntensionalPreds()
+		preds = preds[:0]
+		for p := range intens {
+			preds = append(preds, p)
+		}
+		sort.Strings(preds)
+	}
+	for _, p := range preds {
+		tuples := out.Tuples(p)
+		if len(tuples) == 0 {
+			if out.Has(p) {
+				fmt.Printf("%s.\n", p)
+			}
+			continue
+		}
+		fmt.Println(datalog.FormatBindings(p, tuples))
+	}
+}
+
+func loadProgram(path string) (*datalog.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return datalog.Parse(string(src))
+}
+
+func loadEDB(path string) (*datalog.DB, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	facts, err := datalog.Parse(string(src))
+	if err != nil {
+		return nil, err
+	}
+	db := datalog.NewDB()
+	for _, r := range facts.Rules {
+		if len(r.Body) != 0 {
+			return nil, fmt.Errorf("mdlog: EDB file contains a rule: %s", r)
+		}
+		consts := make([]string, len(r.Head.Args))
+		for i, t := range r.Head.Args {
+			if t.IsVar() {
+				return nil, fmt.Errorf("mdlog: non-ground fact: %s", r)
+			}
+			consts[i] = t.Const
+		}
+		db.AddFact(r.Head.Pred, consts...)
+	}
+	return db, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, strings.TrimSpace(err.Error()))
+	os.Exit(1)
+}

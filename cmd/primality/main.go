@@ -1,0 +1,130 @@
+// Command primality runs the paper's PRIMALITY algorithms on a schema.
+//
+//	primality -schema s.txt -attr a          decide one attribute (Fig. 6)
+//	primality -schema s.txt -all             enumerate primes (Sec. 5.3)
+//	primality -schema s.txt -all -naive      quadratic re-rooting baseline
+//	primality -schema s.txt -all -brute      exponential oracle (small inputs)
+//	primality -schema s.txt -check3nf        third-normal-form check
+//	primality -schema s.txt -checkbcnf       Boyce–Codd-normal-form check
+//
+// Schema files use "a b -> c" lines. Timing is printed to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/normalform"
+	"repro/internal/primality"
+	"repro/internal/schema"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "", "path to the schema file")
+	attr := flag.String("attr", "", "decide primality of this attribute")
+	all := flag.Bool("all", false, "enumerate all prime attributes")
+	naive := flag.Bool("naive", false, "with -all: use the quadratic baseline")
+	brute := flag.Bool("brute", false, "with -all: use the exponential oracle")
+	check3nf := flag.Bool("check3nf", false, "check third normal form")
+	checkBCNF := flag.Bool("checkbcnf", false, "check Boyce–Codd normal form")
+	flag.Parse()
+
+	modes := 0
+	for _, m := range []bool{*attr != "", *all, *check3nf, *checkBCNF} {
+		if m {
+			modes++
+		}
+	}
+	if *schemaPath == "" || modes != 1 {
+		fmt.Fprintln(os.Stderr, "primality: need -schema and exactly one of -attr, -all, -check3nf, -checkbcnf")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*schemaPath)
+	if err != nil {
+		fail(err)
+	}
+	s, err := schema.Parse(string(src))
+	if err != nil {
+		fail(err)
+	}
+
+	start := time.Now()
+	switch {
+	case *check3nf:
+		r, err := normalform.Check3NF(s)
+		if err != nil {
+			fail(err)
+		}
+		printReport("3NF", r)
+	case *checkBCNF:
+		printReport("BCNF", normalform.CheckBCNF(s))
+	case *attr != "":
+		in, err := primality.NewInstance(s)
+		if err != nil {
+			fail(err)
+		}
+		a, found := s.Attr(*attr)
+		if !found {
+			fail(fmt.Errorf("primality: unknown attribute %s", *attr))
+		}
+		key, ok, err := in.KeyWitness(a)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("prime(%s) = %v\n", *attr, ok)
+		if ok {
+			fmt.Printf("witness key:")
+			for _, b := range key {
+				fmt.Printf(" %s", s.AttrName(b))
+			}
+			fmt.Println()
+		}
+	case *brute:
+		primes := s.PrimesBruteForce()
+		printPrimes(s, primes.Elems())
+	default:
+		in, err := primality.NewInstance(s)
+		if err != nil {
+			fail(err)
+		}
+		var elems []int
+		if *naive {
+			set, err := in.EnumerateNaive()
+			if err != nil {
+				fail(err)
+			}
+			elems = set.Elems()
+		} else {
+			set, err := in.Enumerate()
+			if err != nil {
+				fail(err)
+			}
+			elems = set.Elems()
+		}
+		printPrimes(s, elems)
+	}
+	fmt.Fprintf(os.Stderr, "elapsed: %v\n", time.Since(start))
+}
+
+func printReport(form string, r *normalform.Report) {
+	fmt.Printf("%s: %v\n", form, r.OK)
+	for _, v := range r.Violations {
+		fmt.Printf("  %s: %s\n", v.Name, v.Reason)
+	}
+}
+
+func printPrimes(s *schema.Schema, elems []int) {
+	fmt.Print("prime attributes:")
+	for _, a := range elems {
+		fmt.Printf(" %s", s.AttrName(a))
+	}
+	fmt.Println()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

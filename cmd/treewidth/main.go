@@ -1,0 +1,100 @@
+// Command treewidth computes tree decompositions.
+//
+//	treewidth -graph g.txt [-heuristic minfill|mindegree] [-exact] [-form raw|nice|tuple]
+//	treewidth -schema s.txt ...
+//
+// Graph files are fact lists over a binary predicate e ("e(a,b)."); schema
+// files use the "a b -> c" line format. The decomposition is printed as an
+// indented tree with node kinds after normalization.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/decompose"
+	"repro/internal/graph"
+	"repro/internal/schema"
+	"repro/internal/structure"
+	"repro/internal/tree"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "path to a graph fact file (e/2)")
+	schemaPath := flag.String("schema", "", "path to a schema file (lhs -> rhs lines)")
+	heuristic := flag.String("heuristic", "minfill", "elimination heuristic: minfill or mindegree")
+	exact := flag.Bool("exact", false, "use exact search (small inputs only)")
+	form := flag.String("form", "raw", "output form: raw, nice, or tuple")
+	flag.Parse()
+
+	st, err := loadStructure(*graphPath, *schemaPath)
+	if err != nil {
+		fail(err)
+	}
+
+	var d *tree.Decomposition
+	if *exact {
+		g := graph.Primal(st)
+		d, err = decompose.Exact(g)
+	} else {
+		h := decompose.MinFill
+		if *heuristic == "mindegree" {
+			h = decompose.MinDegree
+		} else if *heuristic != "minfill" {
+			fail(fmt.Errorf("treewidth: unknown heuristic %q", *heuristic))
+		}
+		d, err = decompose.Structure(st, h)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if err := d.Validate(st); err != nil {
+		fail(fmt.Errorf("treewidth: internal error, invalid decomposition: %w", err))
+	}
+
+	switch *form {
+	case "raw":
+	case "nice":
+		d, err = tree.NormalizeNice(d, tree.NiceOptions{})
+	case "tuple":
+		d, err = tree.NormalizeTuple(d)
+	default:
+		err = fmt.Errorf("treewidth: unknown form %q", *form)
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("width: %d\nnodes: %d\n", d.Width(), d.Len())
+	fmt.Print(d.Format(st.Name))
+}
+
+func loadStructure(graphPath, schemaPath string) (*structure.Structure, error) {
+	switch {
+	case graphPath != "" && schemaPath != "":
+		return nil, fmt.Errorf("treewidth: pass exactly one of -graph and -schema")
+	case graphPath != "":
+		src, err := os.ReadFile(graphPath)
+		if err != nil {
+			return nil, err
+		}
+		return structure.Parse(string(src), nil)
+	case schemaPath != "":
+		src, err := os.ReadFile(schemaPath)
+		if err != nil {
+			return nil, err
+		}
+		s, err := schema.Parse(string(src))
+		if err != nil {
+			return nil, err
+		}
+		return s.ToStructure(), nil
+	default:
+		return nil, fmt.Errorf("treewidth: pass -graph or -schema")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

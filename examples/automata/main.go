@@ -1,0 +1,54 @@
+// Tree automata: the MSO-to-FTA route the paper argues against.
+//
+// Compiles MSO sentences on binary labeled trees to bottom-up tree
+// automata (the Thatcher–Wright construction behind Courcelle-style
+// algorithm derivations) and shows how intermediate automata grow with
+// quantifier nesting — the "state explosion" the paper's monadic datalog
+// approach avoids.
+//
+//	go run ./examples/automata
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fta"
+	"repro/internal/mso"
+)
+
+func main() {
+	labels := []string{"a", "b"}
+
+	// A concrete sentence and a concrete tree.
+	f := mso.MustParse("exists x exists y (child1(x, y) & a(y))")
+	aut, stats, err := fta.Compile(f, labels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := fta.Node(1, fta.Leaf(0), fta.Leaf(1)) // b(a, b)
+	fmt.Printf("φ = %s\n", f)
+	fmt.Printf("automaton: %d states, %d transitions (max intermediate: %d)\n",
+		aut.NumStates, aut.NumTransitions(), stats.MaxStates)
+	fmt.Printf("accepts b(a,b): %v\n", aut.Accepts(tr))
+	fmt.Printf("accepts b(b,b): %v\n", aut.Accepts(fta.Node(1, fta.Leaf(1), fta.Leaf(1))))
+
+	// The explosion: alternating quantifiers force determinizations.
+	family := []string{
+		"exists x a(x)",
+		"forall x a(x)",
+		"forall x exists y (child1(x,y) -> a(y))",
+		"forall x exists y forall z (child1(x,y) -> (a(z) | b(x)))",
+	}
+	fmt.Println("\nformula                                            max states   determinizations")
+	for _, src := range family {
+		g := mso.MustParse(src)
+		_, st, err := fta.Compile(g, labels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-50s %11d %18d\n", src, st.MaxStates, st.Determinizations)
+	}
+	fmt.Println("\nCompare: the paper's monadic datalog programs for 3-Colorability and")
+	fmt.Println("PRIMALITY need no automaton at all — see examples/quickstart.")
+}

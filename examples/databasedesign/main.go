@@ -1,0 +1,86 @@
+// Database design: the applications motivating PRIMALITY.
+//
+// The paper's introduction presents primality testing as "an
+// indispensable prerequisite for testing if a schema is in third normal
+// form", and its conclusion connects the problem to the relevance problem
+// of propositional abduction over definite Horn theories. This example
+// exercises both: normal-form checking of the running example and a small
+// diagnosis scenario.
+//
+//	go run ./examples/databasedesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	monadic "repro"
+)
+
+func main() {
+	// --- Normal forms of the running example (Example 2.1) ---
+	s := monadic.MustParseSchema(`
+a b -> c
+c -> b
+c d -> e
+d e -> g
+g -> e
+`)
+	report, err := monadic.Check3NF(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("running example in 3NF: %v\n", report.OK)
+	for _, v := range report.Violations {
+		fmt.Printf("  violation %s: %s\n", v.Name, v.Reason)
+	}
+
+	// The classic address schema is 3NF but not BCNF.
+	addr := monadic.MustParseSchema("street city -> zip\nzip -> city")
+	r3, err := monadic.Check3NF(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rb := monadic.CheckBCNF(addr)
+	fmt.Printf("address schema: 3NF %v, BCNF %v\n", r3.OK, rb.OK)
+
+	// --- Abduction (Section 7): relevance over a definite Horn theory ---
+	// Theory: cold → cough, flu → cough, flu → fever.
+	// Hypotheses: {cold, flu}. Observed: cough and fever.
+	theory := monadic.MustParseSchema(`
+cold -> cough
+flu -> cough
+flu -> fever
+`)
+	hyp := attrSet(theory, "cold", "flu")
+	man := attrSet(theory, "cough", "fever")
+	for _, h := range []string{"cold", "flu"} {
+		rel, err := monadic.Relevant(theory, hyp, man, h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("hypothesis %-4s relevant for {cough, fever}: %v\n", h, rel)
+	}
+	// With only the cough observed, both hypotheses are minimal
+	// explanations on their own.
+	manCough := attrSet(theory, "cough")
+	for _, h := range []string{"cold", "flu"} {
+		rel, err := monadic.Relevant(theory, hyp, manCough, h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("hypothesis %-4s relevant for {cough}:        %v\n", h, rel)
+	}
+}
+
+func attrSet(s *monadic.Schema, names ...string) *monadic.Set {
+	out := &monadic.Set{}
+	for _, n := range names {
+		i, ok := s.Attr(n)
+		if !ok {
+			log.Fatalf("unknown attribute %s", n)
+		}
+		out.Add(i)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(10)
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	s.Add(3)
+	s.Add(70) // forces growth
+	s.Add(3)  // duplicate
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if !s.Has(3) || !s.Has(70) || s.Has(4) || s.Has(-1) {
+		t.Fatal("membership wrong")
+	}
+	s.Remove(3)
+	s.Remove(1000) // absent, no-op
+	if s.Has(3) || s.Len() != 1 {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var s Set
+	s.Add(-1)
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromSlice([]int{1, 2, 3, 64, 65})
+	b := FromSlice([]int{2, 64, 200})
+
+	if got := a.Union(b).Elems(); !equalInts(got, []int{1, 2, 3, 64, 65, 200}) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b).Elems(); !equalInts(got, []int{2, 64}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Difference(b).Elems(); !equalInts(got, []int{1, 3, 65}) {
+		t.Errorf("Difference = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false, want true")
+	}
+	if a.Intersect(b).Empty() {
+		t.Error("intersection reported empty")
+	}
+	if FromSlice([]int{1}).Intersects(FromSlice([]int{2})) {
+		t.Error("disjoint sets reported intersecting")
+	}
+}
+
+func TestSubsetEqualKey(t *testing.T) {
+	a := FromSlice([]int{1, 5})
+	b := FromSlice([]int{1, 5, 9})
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Fatal("SubsetOf wrong")
+	}
+	// Equal/Key must ignore capacity differences.
+	c := New(1000)
+	c.Add(1)
+	c.Add(5)
+	if !a.Equal(c) || a.Key() != c.Key() {
+		t.Fatal("Equal/Key sensitive to capacity")
+	}
+	if a.Equal(b) || a.Key() == b.Key() {
+		t.Fatal("unequal sets compare equal")
+	}
+	if !a.SubsetOf(a) {
+		t.Fatal("set not subset of itself")
+	}
+}
+
+func TestElemsMinForEach(t *testing.T) {
+	s := FromSlice([]int{9, 0, 128, 63, 64})
+	want := []int{0, 9, 63, 64, 128}
+	if got := s.Elems(); !equalInts(got, want) {
+		t.Fatalf("Elems = %v, want %v", got, want)
+	}
+	if s.Min() != 0 {
+		t.Fatalf("Min = %d, want 0", s.Min())
+	}
+	var empty Set
+	if empty.Min() != -1 {
+		t.Fatal("Min of empty set should be -1")
+	}
+	var seen []int
+	s.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 3
+	})
+	if !equalInts(seen, []int{0, 9, 63}) {
+		t.Fatalf("ForEach early stop = %v", seen)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]int{1, 2})
+	b := a.Clone()
+	b.Add(3)
+	if a.Has(3) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+// Property: set operations agree with a map-based model.
+func TestQuickAgainstModel(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, ma := buildBoth(xs)
+		b, mb := buildBoth(ys)
+
+		union := map[int]bool{}
+		inter := map[int]bool{}
+		diff := map[int]bool{}
+		for k := range ma {
+			union[k] = true
+			if mb[k] {
+				inter[k] = true
+			} else {
+				diff[k] = true
+			}
+		}
+		for k := range mb {
+			union[k] = true
+		}
+		return equalInts(a.Union(b).Elems(), sortedKeys(union)) &&
+			equalInts(a.Intersect(b).Elems(), sortedKeys(inter)) &&
+			equalInts(a.Difference(b).Elems(), sortedKeys(diff)) &&
+			a.SubsetOf(b) == (len(diff) == 0) &&
+			a.Intersects(b) == (len(inter) > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Key is injective on set contents.
+func TestQuickKeyInjective(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, _ := buildBoth(xs)
+		b, _ := buildBoth(ys)
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildBoth(xs []uint8) (*Set, map[int]bool) {
+	s := &Set{}
+	m := map[int]bool{}
+	for _, x := range xs {
+		s.Add(int(x))
+		m[int(x)] = true
+	}
+	return s, m
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datalog"
+	"repro/internal/decompose"
+	"repro/internal/mso"
+	"repro/internal/structure"
+)
+
+var sigColor = structure.MustSignature(structure.Predicate{Name: "c", Arity: 1})
+
+// randColored returns a random path-shaped structure over {c/1}: elements
+// in a chain (via the decomposition, not the signature) with random color
+// marks. Treewidth ≤ 1 trivially (no binary relations).
+func randColored(rng *rand.Rand, n int) *structure.Structure {
+	st := structure.New(sigColor)
+	for i := 0; i < n; i++ {
+		id := st.AddElem("v" + itoa(i))
+		if rng.Intn(2) == 0 {
+			st.MustAddTuple("c", id)
+		}
+	}
+	return st
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var d []byte
+	for i > 0 {
+		d = append([]byte{byte('0' + i%10)}, d...)
+		i /= 10
+	}
+	return string(d)
+}
+
+func TestCompileRankZeroQuery(t *testing.T) {
+	// φ(x) = c(x): quantifier depth 0, the smallest possible compilation.
+	phi := mso.MustParse("c(x)")
+	compiled, err := Compile(sigColor, phi, "x", Options{Width: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !compiled.Program.IsMonadic() {
+		t.Fatal("compiled program is not monadic")
+	}
+	if compiled.UpTypes == 0 || compiled.DownTypes == 0 {
+		t.Fatal("no types constructed")
+	}
+	// The program must be quasi-guarded over the τ_td FDs (Theorem 4.5).
+	if _, err := datalog.QuasiGuards(compiled.Program, datalog.TDFuncDeps(1)); err != nil {
+		t.Fatalf("compiled program not quasi-guarded: %v", err)
+	}
+}
+
+func TestRunRankZeroQueryMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	phi := mso.MustParse("c(x)")
+	for trial := 0; trial < 5; trial++ {
+		st := randColored(rng, rng.Intn(5)+2)
+		res, err := Run(st, phi, "x", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mso.Query(st, phi, "x", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Selected.Equal(want) {
+			t.Fatalf("selected %v, want %v\n(structure:\n%s)", res.Selected.Elems(), want.Elems(), st)
+		}
+	}
+}
+
+func TestRunDecisionRankOne(t *testing.T) {
+	// Sentence: every element is colored.
+	phi := mso.MustParse("forall x c(x)")
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		st := randColored(rng, rng.Intn(4)+2)
+		res, err := Run(st, phi, "", Options{Decision: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mso.Sentence(st, phi, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Holds != want {
+			t.Fatalf("decision = %v, want %v\n(structure:\n%s)", res.Holds, want, st)
+		}
+	}
+}
+
+func TestRunUnaryRankOne(t *testing.T) {
+	// φ(x) = c(x) ∧ ∃y ¬c(y): x is colored but not everything is.
+	phi := mso.MustParse("c(x) & exists y ~c(y)")
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		st := randColored(rng, rng.Intn(5)+2)
+		res, err := Run(st, phi, "x", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mso.Query(st, phi, "x", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Selected.Equal(want) {
+			t.Fatalf("selected %v, want %v\n(structure:\n%s)", res.Selected.Elems(), want.Elems(), st)
+		}
+	}
+}
+
+func TestBinarySignatureBlowUp(t *testing.T) {
+	// Over a binary signature the rank-1 type space is already
+	// astronomically large — the "state explosion" the paper cites as the
+	// reason the generic construction (like the MSO-to-FTA route) is
+	// impractical, motivating the hand-crafted Section 5 programs. The
+	// compiler must hit its type limit rather than loop forever.
+	sigE := structure.MustSignature(structure.Predicate{Name: "e", Arity: 2})
+	phi := mso.MustParse("exists y e(x, y)")
+	_, err := Compile(sigE, phi, "x", Options{Width: 1, MaxTypes: 300})
+	if err == nil {
+		t.Fatal("expected the type limit to be exceeded")
+	}
+}
+
+func TestCompileRejectsBadInputs(t *testing.T) {
+	phi := mso.MustParse("c(x)")
+	// Wrong free variable name.
+	if _, err := Compile(sigColor, phi, "y", Options{Width: 1}); err == nil {
+		t.Fatal("wrong free variable accepted")
+	}
+	// Free set variable.
+	if _, err := Compile(sigColor, mso.MustParse("x in Y"), "x", Options{Width: 1}); err == nil {
+		t.Fatal("free set variable accepted")
+	}
+	// Decision mode with a free variable.
+	if _, err := Compile(sigColor, phi, "x", Options{Width: 1, Decision: true}); err == nil {
+		t.Fatal("decision mode accepted a non-sentence")
+	}
+	// Explicit depth below the formula's depth.
+	deep := mso.MustParse("exists y c(y)")
+	if _, err := Compile(sigColor, mso.And(deep, mso.Atom("c", "x")), "x",
+		Options{Width: 1, QuantifierDepth: -1}); err == nil {
+		t.Fatal("insufficient quantifier depth accepted")
+	}
+	// Resource limits.
+	if _, err := Compile(sigColor, phi, "x", Options{Width: 1, MaxTypes: 1}); err == nil {
+		t.Fatal("type limit not enforced")
+	}
+}
+
+// Property: the compiled rank-0 query pipeline agrees with direct MSO
+// evaluation on random colored structures with a random decomposition
+// produced by the heuristics.
+func TestQuickRankZeroAgreement(t *testing.T) {
+	phi := mso.MustParse("c(x)")
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := randColored(rng, rng.Intn(6)+2)
+		d, err := decompose.Structure(st, decompose.MinFill)
+		if err != nil {
+			return false
+		}
+		// Force width 1 by gluing pairs of elements into shared bags when
+		// the heuristic returns width-0 bags; simplest is to re-run the
+		// full pipeline, which normalizes to the decomposition's width.
+		res, err := RunWithDecomposition(st, d, phi, "x", Options{})
+		if err != nil {
+			// Width-0 decompositions (no relations of arity ≥ 2) compile
+			// with a different bag arity than the cached program; that is
+			// fine — only agreement matters here.
+			return false
+		}
+		want, err := mso.Query(st, phi, "x", nil)
+		if err != nil {
+			return false
+		}
+		return res.Selected.Equal(want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(53))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/datalog"
+	"repro/internal/decompose"
+	"repro/internal/mso"
+	"repro/internal/structure"
+	"repro/internal/tree"
+)
+
+// Result reports an end-to-end evaluation of an MSO query over a
+// structure via the compiled datalog program (Corollary 4.6).
+type Result struct {
+	// Selected holds the elements satisfying the unary query (nil in
+	// decision mode).
+	Selected *bitset.Set
+	// Holds is the sentence's truth value in decision mode.
+	Holds bool
+	// Compiled is the program that was run.
+	Compiled *Compiled
+	// Width is the width of the tree decomposition used.
+	Width int
+	// TDNodes is the size of the normalized decomposition.
+	TDNodes int
+}
+
+// Run evaluates the MSO query phi (free element variable xVar, or a
+// sentence when opts.Decision is set) over the structure by the full
+// pipeline of the paper: compute a tree decomposition, normalize it to
+// tuple normal form (Def. 2.3), build the τ_td structure (Section 4),
+// compile φ to a quasi-guarded monadic datalog program (Theorem 4.5), and
+// evaluate it in time O(|P|·|A_td|) (Theorem 4.4).
+func Run(st *structure.Structure, phi *mso.Formula, xVar string, opts Options) (*Result, error) {
+	d, err := decompose.Structure(st, decompose.MinFill)
+	if err != nil {
+		return nil, err
+	}
+	return RunWithDecomposition(st, d, phi, xVar, opts)
+}
+
+// RunWithDecomposition is Run with a caller-provided (raw, valid) tree
+// decomposition.
+func RunWithDecomposition(st *structure.Structure, d *tree.Decomposition, phi *mso.Formula, xVar string, opts Options) (*Result, error) {
+	if err := d.Validate(st); err != nil {
+		return nil, fmt.Errorf("core: invalid decomposition: %w", err)
+	}
+	norm, err := tree.NormalizeTuple(d)
+	if err != nil {
+		return nil, err
+	}
+	w := norm.Width()
+	if opts.Width != 0 && opts.Width != w {
+		return nil, fmt.Errorf("core: decomposition width %d does not match requested width %d", w, opts.Width)
+	}
+	opts.Width = w
+	td, _, err := tree.BuildTD(st, norm, w)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := Compile(st.Sig(), phi, xVar, opts)
+	if err != nil {
+		return nil, err
+	}
+	edb := datalog.FromStructure(td, "")
+	out, err := datalog.EvalQuasiGuarded(compiled.Program, edb, datalog.TDFuncDeps(w))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Compiled: compiled, Width: w, TDNodes: norm.Len()}
+	if opts.Decision {
+		res.Holds = out.Has(compiled.QueryPred)
+		return res, nil
+	}
+	res.Selected = bitset.New(st.Size())
+	for e := 0; e < st.Size(); e++ {
+		if out.Has(compiled.QueryPred, st.Name(e)) {
+			res.Selected.Add(e)
+		}
+	}
+	return res, nil
+}

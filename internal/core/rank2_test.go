@@ -1,0 +1,34 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mso"
+)
+
+// TestRunRankTwo pushes the generic compiler to quantifier depth 2 (two
+// nested quantifier alternations, the deepest the faithful construction
+// handles in reasonable time over a unary signature) and cross-checks the
+// full pipeline against direct MSO evaluation.
+func TestRunRankTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rank-2 type construction takes seconds")
+	}
+	phi := mso.MustParse("exists y forall z (c(y) & (c(x) -> c(z)))")
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 2; trial++ {
+		st := randColored(rng, rng.Intn(3)+2)
+		res, err := Run(st, phi, "x", Options{MaxTypes: 20000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := mso.Query(st, phi, "x", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Selected.Equal(want) {
+			t.Fatalf("selected %v, want %v\n%s", res.Selected.Elems(), want.Elems(), st)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/structure"
+)
+
+// DB stores relations over interned constants: the extensional database
+// the engine evaluates against, and — after evaluation — the computed
+// intensional relations.
+type DB struct {
+	names  []string
+	byName map[string]int
+	rels   map[string]*relation
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{byName: map[string]int{}, rels: map[string]*relation{}}
+}
+
+type relation struct {
+	arity   int
+	tuples  [][]int
+	set     map[string]struct{}
+	indexes map[string]map[string][][]int // bound-position mask → key → tuples
+}
+
+func newRelation(arity int) *relation {
+	return &relation{arity: arity, set: map[string]struct{}{}, indexes: map[string]map[string][][]int{}}
+}
+
+func (r *relation) key(tuple []int) string {
+	var b strings.Builder
+	for i, e := range tuple {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(e))
+	}
+	return b.String()
+}
+
+// insert adds a tuple; reports whether it was new. Invalidates indexes.
+func (r *relation) insert(tuple []int) bool {
+	k := r.key(tuple)
+	if _, dup := r.set[k]; dup {
+		return false
+	}
+	r.set[k] = struct{}{}
+	cp := make([]int, len(tuple))
+	copy(cp, tuple)
+	r.tuples = append(r.tuples, cp)
+	r.indexes = map[string]map[string][][]int{}
+	return true
+}
+
+func (r *relation) has(tuple []int) bool {
+	_, ok := r.set[r.key(tuple)]
+	return ok
+}
+
+// match returns the tuples agreeing with pattern, where pattern[i] < 0
+// means "unbound". Builds and caches an index for the bound positions.
+func (r *relation) match(pattern []int) [][]int {
+	bound := make([]int, 0, len(pattern))
+	for i, v := range pattern {
+		if v >= 0 {
+			bound = append(bound, i)
+		}
+	}
+	if len(bound) == 0 {
+		return r.tuples
+	}
+	if len(bound) == len(pattern) {
+		if r.has(pattern) {
+			return [][]int{pattern}
+		}
+		return nil
+	}
+	mask := fmt.Sprint(bound)
+	idx, ok := r.indexes[mask]
+	if !ok {
+		idx = map[string][][]int{}
+		for _, t := range r.tuples {
+			k := projKey(t, bound)
+			idx[k] = append(idx[k], t)
+		}
+		r.indexes[mask] = idx
+	}
+	return idx[projKey(pattern, bound)]
+}
+
+func projKey(tuple []int, positions []int) string {
+	var b strings.Builder
+	for i, p := range positions {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(tuple[p]))
+	}
+	return b.String()
+}
+
+// Intern returns the ID of the constant, creating it if new.
+func (db *DB) Intern(name string) int {
+	if id, ok := db.byName[name]; ok {
+		return id
+	}
+	id := len(db.names)
+	db.names = append(db.names, name)
+	db.byName[name] = id
+	return id
+}
+
+// ConstName returns the name of an interned constant.
+func (db *DB) ConstName(id int) string {
+	if id < 0 || id >= len(db.names) {
+		return fmt.Sprintf("#%d", id)
+	}
+	return db.names[id]
+}
+
+// NumConsts returns the number of interned constants.
+func (db *DB) NumConsts() int { return len(db.names) }
+
+func (db *DB) rel(pred string, arity int) *relation {
+	r, ok := db.rels[pred]
+	if !ok {
+		r = newRelation(arity)
+		db.rels[pred] = r
+	}
+	return r
+}
+
+// AddFact inserts a ground fact; reports whether it was new.
+func (db *DB) AddFact(pred string, consts ...string) bool {
+	tuple := make([]int, len(consts))
+	for i, c := range consts {
+		tuple[i] = db.Intern(c)
+	}
+	return db.rel(pred, len(tuple)).insert(tuple)
+}
+
+// AddTuple inserts a ground fact of interned constants.
+func (db *DB) AddTuple(pred string, tuple []int) bool {
+	return db.rel(pred, len(tuple)).insert(tuple)
+}
+
+// Has reports whether the fact holds.
+func (db *DB) Has(pred string, consts ...string) bool {
+	r, ok := db.rels[pred]
+	if !ok {
+		return false
+	}
+	tuple := make([]int, len(consts))
+	for i, c := range consts {
+		id, known := db.byName[c]
+		if !known {
+			return false
+		}
+		tuple[i] = id
+	}
+	return r.has(tuple)
+}
+
+// Count returns the number of tuples of pred.
+func (db *DB) Count(pred string) int {
+	if r, ok := db.rels[pred]; ok {
+		return len(r.tuples)
+	}
+	return 0
+}
+
+// NumFacts returns the total number of stored tuples (the |A| of the
+// complexity bounds).
+func (db *DB) NumFacts() int {
+	n := 0
+	for _, r := range db.rels {
+		n += len(r.tuples)
+	}
+	return n
+}
+
+// Tuples returns the facts of pred as constant-name tuples, sorted.
+func (db *DB) Tuples(pred string) [][]string {
+	r, ok := db.rels[pred]
+	if !ok {
+		return nil
+	}
+	out := make([][]string, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		names := make([]string, len(t))
+		for i, e := range t {
+			names[i] = db.ConstName(e)
+		}
+		out = append(out, names)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Preds returns all predicate names with stored tuples, sorted.
+func (db *DB) Preds() []string {
+	out := make([]string, 0, len(db.rels))
+	for p := range db.rels {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy sharing no state.
+func (db *DB) Clone() *DB {
+	c := NewDB()
+	c.names = append([]string(nil), db.names...)
+	for n, id := range db.byName {
+		c.byName[n] = id
+	}
+	for p, r := range db.rels {
+		nr := newRelation(r.arity)
+		for _, t := range r.tuples {
+			nr.insert(t)
+		}
+		c.rels[p] = nr
+	}
+	return c
+}
+
+// FromStructure loads a τ-structure as an extensional database. Every
+// domain element is additionally asserted via the unary predicate domPred
+// if it is non-empty (so programs can quantify over the domain).
+func FromStructure(st *structure.Structure, domPred string) *DB {
+	db := NewDB()
+	for i := 0; i < st.Size(); i++ {
+		id := db.Intern(st.Name(i))
+		if domPred != "" {
+			db.AddTuple(domPred, []int{id})
+		}
+	}
+	for _, p := range st.Sig().Predicates() {
+		for _, tuple := range st.Tuples(p.Name) {
+			mapped := make([]int, len(tuple))
+			for i, e := range tuple {
+				mapped[i] = db.Intern(st.Name(e))
+			}
+			db.AddTuple(p.Name, mapped)
+		}
+	}
+	return db
+}

@@ -1,0 +1,365 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Eval computes the least fixpoint of the program over the extensional
+// database by stratified semi-naive bottom-up evaluation and returns a
+// database containing the extensional and all derived intensional facts.
+// The input database is not modified.
+//
+// The program must be stratifiable: no predicate may depend negatively on
+// itself through a cycle. Negation over purely extensional predicates —
+// all the paper's constructions need (the programs of Theorem 4.5 negate
+// only τ-atoms) — is always stratified.
+func Eval(p *Program, edb *DB) (*DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	intens := p.IntensionalPreds()
+	for pred := range intens {
+		if IsBuiltin(pred) {
+			return nil, fmt.Errorf("datalog: builtin %s cannot be intensional", pred)
+		}
+	}
+	strata, err := stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	db := edb.Clone()
+	for _, stratum := range strata {
+		inStratum := map[string]bool{}
+		for _, pred := range stratum {
+			inStratum[pred] = true
+		}
+		var rules []Rule
+		for _, r := range p.Rules {
+			if inStratum[r.Head.Pred] {
+				rules = append(rules, r)
+			}
+		}
+		if err := evalStratum(rules, inStratum, db); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// stratify orders the intensional predicates into strata such that every
+// negative dependency points strictly downward. Returns groups of
+// predicates in evaluation order.
+func stratify(p *Program) ([][]string, error) {
+	intens := p.IntensionalPreds()
+	preds := make([]string, 0, len(intens))
+	for pr := range intens {
+		preds = append(preds, pr)
+	}
+	sort.Strings(preds)
+	index := map[string]int{}
+	for i, pr := range preds {
+		index[pr] = i
+	}
+	n := len(preds)
+	type edge struct {
+		to  int
+		neg bool
+	}
+	adj := make([][]edge, n)
+	for _, r := range p.Rules {
+		h := index[r.Head.Pred]
+		for _, a := range r.Body {
+			if bi, ok := index[a.Pred]; ok {
+				adj[h] = append(adj[h], edge{to: bi, neg: a.Negated})
+			}
+		}
+	}
+	// Tarjan SCC (iterative).
+	const unvisited = -1
+	low := make([]int, n)
+	num := make([]int, n)
+	comp := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range num {
+		num[i] = unvisited
+		comp[i] = -1
+	}
+	var stack, callStack []int
+	counter, nComp := 0, 0
+	for s := 0; s < n; s++ {
+		if num[s] != unvisited {
+			continue
+		}
+		callStack = append(callStack, s)
+		iter := map[int]int{}
+		for len(callStack) > 0 {
+			v := callStack[len(callStack)-1]
+			if num[v] == unvisited {
+				num[v] = counter
+				low[v] = counter
+				counter++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for iter[v] < len(adj[v]) {
+				e := adj[v][iter[v]]
+				iter[v]++
+				if num[e.to] == unvisited {
+					callStack = append(callStack, e.to)
+					advanced = true
+					break
+				}
+				if onStack[e.to] && num[e.to] < low[v] {
+					low[v] = num[e.to]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == num[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1]
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	// Negative edges within a component are unstratifiable.
+	for v := 0; v < n; v++ {
+		for _, e := range adj[v] {
+			if e.neg && comp[v] == comp[e.to] {
+				return nil, fmt.Errorf("datalog: program not stratified: %s depends negatively on %s within a cycle", preds[v], preds[e.to])
+			}
+		}
+	}
+	// Tarjan numbers components in reverse topological order of the
+	// dependency graph (head → body), so component 0 has no dependencies:
+	// evaluate components in increasing order.
+	groups := make([][]string, nComp)
+	for v, c := range comp {
+		groups[c] = append(groups[c], preds[v])
+	}
+	return groups, nil
+}
+
+// evalStratum runs semi-naive iteration for one stratum's rules.
+func evalStratum(rules []Rule, inStratum map[string]bool, db *DB) error {
+	// deltas of the previous iteration, per predicate.
+	delta := map[string]*relation{}
+
+	// First pass: evaluate every rule in full.
+	newDelta := map[string]*relation{}
+	for _, r := range rules {
+		if err := evalRule(r, db, nil, -1, func(pred string, tuple []int) {
+			if db.rel(pred, len(tuple)).insert(tuple) {
+				nr, ok := newDelta[pred]
+				if !ok {
+					nr = newRelation(len(tuple))
+					newDelta[pred] = nr
+				}
+				nr.insert(tuple)
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	delta = newDelta
+
+	// Iterate: each recursive rule is re-evaluated once per occurrence of
+	// a stratum predicate in its body, with that occurrence restricted to
+	// the delta of the previous round.
+	for {
+		anyDelta := false
+		for _, nr := range delta {
+			if len(nr.tuples) > 0 {
+				anyDelta = true
+			}
+		}
+		if !anyDelta {
+			return nil
+		}
+		newDelta = map[string]*relation{}
+		emit := func(pred string, tuple []int) {
+			if db.rel(pred, len(tuple)).insert(tuple) {
+				nr, ok := newDelta[pred]
+				if !ok {
+					nr = newRelation(len(tuple))
+					newDelta[pred] = nr
+				}
+				nr.insert(tuple)
+			}
+		}
+		for _, r := range rules {
+			for occ, a := range r.Body {
+				if a.Negated || !inStratum[a.Pred] {
+					continue
+				}
+				if delta[a.Pred] == nil || len(delta[a.Pred].tuples) == 0 {
+					continue
+				}
+				if err := evalRule(r, db, delta, occ, emit); err != nil {
+					return err
+				}
+			}
+		}
+		delta = newDelta
+	}
+}
+
+// evalRule enumerates all satisfying assignments of the rule body and
+// emits the corresponding head tuples. If deltaOcc ≥ 0, that body-atom
+// occurrence is matched against delta[pred] instead of the full relation.
+func evalRule(r Rule, db *DB, delta map[string]*relation, deltaOcc int, emit func(string, []int)) error {
+	binding := map[string]int{}
+	processed := make([]bool, len(r.Body))
+
+	var emitHead func() error
+	emitHead = func() error {
+		tuple := make([]int, len(r.Head.Args))
+		for i, t := range r.Head.Args {
+			if t.IsVar() {
+				tuple[i] = binding[t.Var]
+			} else {
+				tuple[i] = db.Intern(t.Const)
+			}
+		}
+		emit(r.Head.Pred, tuple)
+		return nil
+	}
+
+	atomBound := func(a Atom) bool {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				if _, ok := binding[t.Var]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	groundArgs := func(a Atom) []int {
+		args := make([]int, len(a.Args))
+		for i, t := range a.Args {
+			if t.IsVar() {
+				args[i] = binding[t.Var]
+			} else {
+				args[i] = db.Intern(t.Const)
+			}
+		}
+		return args
+	}
+
+	var step func(done int) error
+	step = func(done int) error {
+		if done == len(r.Body) {
+			return emitHead()
+		}
+		// Prefer any fully bound negated or builtin atom (cheap filters).
+		for i, a := range r.Body {
+			if processed[i] || (!a.Negated && !IsBuiltin(a.Pred)) || !atomBound(a) {
+				continue
+			}
+			args := groundArgs(a)
+			var holds bool
+			if IsBuiltin(a.Pred) {
+				names := make([]string, len(args))
+				for j, id := range args {
+					names[j] = db.ConstName(id)
+				}
+				var err error
+				holds, err = callBuiltin(a.Pred, names)
+				if err != nil {
+					return err
+				}
+			} else {
+				rel, ok := db.rels[a.Pred]
+				holds = ok && rel.has(args)
+			}
+			if a.Negated {
+				holds = !holds
+			}
+			if !holds {
+				return nil
+			}
+			processed[i] = true
+			err := step(done + 1)
+			processed[i] = false
+			return err
+		}
+		// Otherwise take the first unprocessed positive relational atom.
+		for i, a := range r.Body {
+			if processed[i] || a.Negated || IsBuiltin(a.Pred) {
+				continue
+			}
+			var rel *relation
+			if i == deltaOcc {
+				rel = delta[a.Pred]
+			} else {
+				rel = db.rels[a.Pred]
+			}
+			if rel == nil {
+				return nil // empty relation: no matches
+			}
+			pattern := make([]int, len(a.Args))
+			for j, t := range a.Args {
+				if t.IsVar() {
+					if v, ok := binding[t.Var]; ok {
+						pattern[j] = v
+					} else {
+						pattern[j] = -1
+					}
+				} else {
+					pattern[j] = db.Intern(t.Const)
+				}
+			}
+			processed[i] = true
+			for _, tuple := range rel.match(pattern) {
+				// Unify, handling repeated fresh variables.
+				bound := make([]string, 0, len(a.Args))
+				ok := true
+				for j, t := range a.Args {
+					if !t.IsVar() {
+						continue
+					}
+					if v, known := binding[t.Var]; known {
+						if tuple[j] != v {
+							ok = false
+							break
+						}
+					} else {
+						binding[t.Var] = tuple[j]
+						bound = append(bound, t.Var)
+					}
+				}
+				if ok {
+					if err := step(done + 1); err != nil {
+						return err
+					}
+				}
+				for _, v := range bound {
+					delete(binding, v)
+				}
+			}
+			processed[i] = false
+			return nil
+		}
+		return fmt.Errorf("datalog: internal error: unbound atom remains in rule %s", r)
+	}
+	return step(0)
+}

@@ -1,0 +1,424 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/horn"
+)
+
+// FuncDep declares that, in every tuple of Pred, the values at the From
+// positions uniquely determine the values at the To positions. These are
+// the "functional dependence" facts of Definition 4.3: e.g. in
+// child1(v1, v), each of v1 and v determines the other, and in
+// bag(v, x0, …, xw) the node v determines the entire bag.
+type FuncDep struct {
+	Pred string
+	From []int
+	To   []int
+}
+
+// TDFuncDeps returns the functional dependencies of the τ_td predicates of
+// Section 4 for width w, which make the programs of Theorem 4.5
+// quasi-guarded.
+func TDFuncDeps(w int) []FuncDep {
+	bagTo := make([]int, w+1)
+	for i := range bagTo {
+		bagTo[i] = i + 1
+	}
+	return []FuncDep{
+		{Pred: "child1", From: []int{1}, To: []int{0}},
+		{Pred: "child1", From: []int{0}, To: []int{1}},
+		{Pred: "child2", From: []int{1}, To: []int{0}},
+		{Pred: "child2", From: []int{0}, To: []int{1}},
+		{Pred: "bag", From: []int{0}, To: bagTo},
+	}
+}
+
+// QuasiGuards returns, for every rule, the index of a body atom that is a
+// quasi-guard (Definition 4.3): an extensional positive atom such that
+// every rule variable either occurs in it or is functionally dependent on
+// its variables via the declared FuncDeps. Returns an error naming the
+// first rule without a quasi-guard.
+func QuasiGuards(p *Program, fds []FuncDep) ([]int, error) {
+	intens := p.IntensionalPreds()
+	fdsByPred := map[string][]FuncDep{}
+	for _, fd := range fds {
+		fdsByPred[fd.Pred] = append(fdsByPred[fd.Pred], fd)
+	}
+	guards := make([]int, len(p.Rules))
+	for ri, r := range p.Rules {
+		guards[ri] = -1
+		allVars := map[string]bool{}
+		for _, t := range r.Head.Args {
+			if t.IsVar() {
+				allVars[t.Var] = true
+			}
+		}
+		for _, a := range r.Body {
+			for _, t := range a.Args {
+				if t.IsVar() {
+					allVars[t.Var] = true
+				}
+			}
+		}
+		if len(allVars) == 0 {
+			guards[ri] = -2 // ground rule: trivially quasi-guarded, no guard needed
+			continue
+		}
+		for bi, b := range r.Body {
+			if b.Negated || intens[b.Pred] || IsBuiltin(b.Pred) {
+				continue
+			}
+			known := map[string]bool{}
+			for _, t := range b.Args {
+				if t.IsVar() {
+					known[t.Var] = true
+				}
+			}
+			// Close under functional dependence through positive
+			// extensional body atoms.
+			for changed := true; changed; {
+				changed = false
+				for _, a := range r.Body {
+					if a.Negated || intens[a.Pred] {
+						continue
+					}
+					for _, fd := range fdsByPred[a.Pred] {
+						if len(a.Args) <= maxPos(fd) {
+							continue
+						}
+						fromKnown := true
+						for _, pos := range fd.From {
+							if t := a.Args[pos]; t.IsVar() && !known[t.Var] {
+								fromKnown = false
+								break
+							}
+						}
+						if !fromKnown {
+							continue
+						}
+						for _, pos := range fd.To {
+							if t := a.Args[pos]; t.IsVar() && !known[t.Var] {
+								known[t.Var] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			covered := true
+			for v := range allVars {
+				if !known[v] {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				guards[ri] = bi
+				break
+			}
+		}
+		if guards[ri] == -1 {
+			return nil, fmt.Errorf("datalog: rule %d has no quasi-guard: %s", ri, r)
+		}
+	}
+	return guards, nil
+}
+
+func maxPos(fd FuncDep) int {
+	m := 0
+	for _, p := range fd.From {
+		if p > m {
+			m = p
+		}
+	}
+	for _, p := range fd.To {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// GroundProgram is the propositional program produced by grounding a
+// quasi-guarded datalog program over a database, together with the
+// interning table of ground intensional atoms.
+type GroundProgram struct {
+	Horn  *horn.Program
+	atoms []groundAtom
+	index map[string]int
+	db    *DB
+}
+
+type groundAtom struct {
+	pred  string
+	tuple []int
+}
+
+func (g *GroundProgram) atomID(pred string, tuple []int) int {
+	var b strings.Builder
+	b.WriteString(pred)
+	for _, e := range tuple {
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(e))
+	}
+	k := b.String()
+	if id, ok := g.index[k]; ok {
+		return id
+	}
+	id := len(g.atoms)
+	g.index[k] = id
+	g.atoms = append(g.atoms, groundAtom{pred: pred, tuple: append([]int(nil), tuple...)})
+	return id
+}
+
+// NumAtoms returns the number of distinct ground intensional atoms.
+func (g *GroundProgram) NumAtoms() int { return len(g.atoms) }
+
+// Size returns the ground program size (|P'| of Theorem 4.4).
+func (g *GroundProgram) Size() int { return g.Horn.Size() }
+
+// Ground instantiates a quasi-guarded, semipositive program over the
+// database (Theorem 4.4): for each rule, the quasi-guard is instantiated
+// against the EDB and the remaining variables follow by functional
+// dependence; fully bound extensional literals are evaluated immediately
+// and intensional literals become propositional variables. The result has
+// size O(|P|·|A|).
+func Ground(p *Program, edb *DB, fds []FuncDep) (*GroundProgram, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	intens := p.IntensionalPreds()
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if a.Negated && intens[a.Pred] {
+				return nil, fmt.Errorf("datalog: quasi-guarded evaluation requires semipositive programs; rule %s negates intensional %s", r, a.Pred)
+			}
+		}
+	}
+	if _, err := QuasiGuards(p, fds); err != nil {
+		return nil, err
+	}
+	g := &GroundProgram{Horn: &horn.Program{}, index: map[string]int{}, db: edb}
+	for _, r := range p.Rules {
+		if err := groundRule(g, r, edb, intens); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// groundRule enumerates all EDB-consistent ground instances of the rule
+// and emits Horn clauses over ground intensional atoms.
+func groundRule(g *GroundProgram, r Rule, edb *DB, intens map[string]bool) error {
+	binding := map[string]int{}
+	processed := make([]bool, len(r.Body))
+	var bodyLits []int
+
+	atomBound := func(a Atom) bool {
+		for _, t := range a.Args {
+			if t.IsVar() {
+				if _, ok := binding[t.Var]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	groundArgs := func(a Atom) []int {
+		args := make([]int, len(a.Args))
+		for i, t := range a.Args {
+			if t.IsVar() {
+				args[i] = binding[t.Var]
+			} else {
+				args[i] = edb.Intern(t.Const)
+			}
+		}
+		return args
+	}
+
+	var step func(done int) error
+	step = func(done int) error {
+		if done == len(r.Body) {
+			head := g.atomID(r.Head.Pred, groundArgs(r.Head))
+			g.Horn.AddClause(head, bodyLits...)
+			return nil
+		}
+		// Fully bound atoms first: extensional ones are filters,
+		// intensional ones become literals.
+		for i, a := range r.Body {
+			if processed[i] || !atomBound(a) {
+				continue
+			}
+			args := groundArgs(a)
+			var keep func() error
+			switch {
+			case IsBuiltin(a.Pred):
+				names := make([]string, len(args))
+				for j, id := range args {
+					names[j] = edb.ConstName(id)
+				}
+				holds, err := callBuiltin(a.Pred, names)
+				if err != nil {
+					return err
+				}
+				if a.Negated {
+					holds = !holds
+				}
+				if !holds {
+					return nil
+				}
+				keep = func() error { return nil }
+			case intens[a.Pred]:
+				lit := g.atomID(a.Pred, args)
+				bodyLits = append(bodyLits, lit)
+				keep = func() error {
+					bodyLits = bodyLits[:len(bodyLits)-1]
+					return nil
+				}
+			default:
+				rel, ok := edb.rels[a.Pred]
+				holds := ok && rel.has(args)
+				if a.Negated {
+					holds = !holds
+				}
+				if !holds {
+					return nil
+				}
+				keep = func() error { return nil }
+			}
+			processed[i] = true
+			err := step(done + 1)
+			processed[i] = false
+			if kerr := keep(); kerr != nil {
+				return kerr
+			}
+			return err
+		}
+		// Otherwise join on the next positive extensional atom, preferring
+		// one that shares a bound variable (functional dependence makes
+		// these near-unique lookups in quasi-guarded programs).
+		next := -1
+		for i, a := range r.Body {
+			if processed[i] || a.Negated || IsBuiltin(a.Pred) || intens[a.Pred] {
+				continue
+			}
+			if next < 0 {
+				next = i
+			}
+			sharesBound := false
+			for _, t := range a.Args {
+				if t.IsVar() {
+					if _, ok := binding[t.Var]; ok {
+						sharesBound = true
+						break
+					}
+				}
+			}
+			if sharesBound {
+				next = i
+				break
+			}
+		}
+		if next < 0 {
+			// Only unbound intensional atoms remain; impossible for
+			// validated quasi-guarded programs.
+			return fmt.Errorf("datalog: cannot ground rule %s: intensional atom with unbound variables", r)
+		}
+		a := r.Body[next]
+		rel := edb.rels[a.Pred]
+		if rel == nil {
+			return nil
+		}
+		pattern := make([]int, len(a.Args))
+		for j, t := range a.Args {
+			if t.IsVar() {
+				if v, ok := binding[t.Var]; ok {
+					pattern[j] = v
+				} else {
+					pattern[j] = -1
+				}
+			} else {
+				pattern[j] = edb.Intern(t.Const)
+			}
+		}
+		processed[next] = true
+		for _, tuple := range rel.match(pattern) {
+			bound := make([]string, 0, len(a.Args))
+			ok := true
+			for j, t := range a.Args {
+				if !t.IsVar() {
+					continue
+				}
+				if v, known := binding[t.Var]; known {
+					if tuple[j] != v {
+						ok = false
+						break
+					}
+				} else {
+					binding[t.Var] = tuple[j]
+					bound = append(bound, t.Var)
+				}
+			}
+			if ok {
+				if err := step(done + 1); err != nil {
+					return err
+				}
+			}
+			for _, v := range bound {
+				delete(binding, v)
+			}
+		}
+		processed[next] = false
+		return nil
+	}
+	return step(0)
+}
+
+// EvalQuasiGuarded evaluates a quasi-guarded semipositive program by
+// grounding (Ground) followed by linear-time unit resolution, realizing
+// the O(|P|·|A|) bound of Theorem 4.4. The result contains the EDB plus
+// all derived intensional facts.
+func EvalQuasiGuarded(p *Program, edb *DB, fds []FuncDep) (*DB, error) {
+	g, err := Ground(p, edb, fds)
+	if err != nil {
+		return nil, err
+	}
+	truth := g.Horn.Solve()
+	out := edb.Clone()
+	for id, tv := range truth {
+		if tv {
+			a := g.atoms[id]
+			out.AddTuple(a.pred, a.tuple)
+		}
+	}
+	return out, nil
+}
+
+// Facts lists the true ground atoms of pred under the given truth
+// assignment, sorted; a helper for tests and tools.
+func (g *GroundProgram) Facts(truth []bool, pred string) [][]string {
+	var out [][]string
+	for id, tv := range truth {
+		if !tv || g.atoms[id].pred != pred {
+			continue
+		}
+		names := make([]string, len(g.atoms[id].tuple))
+		for i, e := range g.atoms[id].tuple {
+			names[i] = g.db.ConstName(e)
+		}
+		out = append(out, names)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,193 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the magic-sets transformation — the "top-down
+// guidance in the style of magic sets" the paper lists among planned
+// optimizations (Section 6, Further improvements): bottom-up evaluation
+// of the rewritten program only derives facts relevant to a given query,
+// mimicking top-down goal direction.
+//
+// The transformation handles positive datalog (no negation, no builtins)
+// with full left-to-right sideways information passing.
+
+// MagicSet rewrites the program for the query goal(args...), where
+// constant arguments are bound and variable arguments are free. It
+// returns the rewritten program (including the magic seed fact) and the
+// name of the adorned goal predicate whose facts answer the query.
+func MagicSet(p *Program, goal string, args []Term) (*Program, string, error) {
+	if err := p.Validate(); err != nil {
+		return nil, "", err
+	}
+	intens := p.IntensionalPreds()
+	if !intens[goal] {
+		return nil, "", fmt.Errorf("datalog: magic sets: %s is not an intensional predicate", goal)
+	}
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if a.Negated {
+				return nil, "", fmt.Errorf("datalog: magic sets requires positive programs; rule %s negates %s", r, a.Pred)
+			}
+			if IsBuiltin(a.Pred) {
+				return nil, "", fmt.Errorf("datalog: magic sets does not support builtin %s", a.Pred)
+			}
+		}
+	}
+
+	goalAd := make([]bool, len(args))
+	for i, t := range args {
+		goalAd[i] = !t.IsVar()
+	}
+
+	out := &Program{}
+	type adorned struct {
+		pred string
+		ad   string
+	}
+	done := map[string]bool{}
+	var queue []adorned
+	enqueue := func(pred string, ad string) {
+		key := pred + "/" + ad
+		if !done[key] {
+			done[key] = true
+			queue = append(queue, adorned{pred, ad})
+		}
+	}
+	enqueue(goal, adornString(goalAd))
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, r := range p.Rules {
+			if r.Head.Pred != cur.pred {
+				continue
+			}
+			rewriteRule(out, r, cur.ad, intens, enqueue)
+		}
+	}
+
+	// Seed: the magic fact for the goal's bound constants.
+	seed := Atom{Pred: magicName(goal, adornString(goalAd))}
+	for i, t := range args {
+		if goalAd[i] {
+			seed.Args = append(seed.Args, t)
+		}
+	}
+	out.Rules = append(out.Rules, Rule{Head: seed})
+
+	answer := adornedName(goal, adornString(goalAd))
+	if err := out.Validate(); err != nil {
+		return nil, "", fmt.Errorf("datalog: magic sets produced an invalid program: %w", err)
+	}
+	return out, answer, nil
+}
+
+func adornString(bound []bool) string {
+	var b strings.Builder
+	for _, x := range bound {
+		if x {
+			b.WriteByte('b')
+		} else {
+			b.WriteByte('f')
+		}
+	}
+	return b.String()
+}
+
+func adornedName(pred, ad string) string {
+	if ad == "" {
+		return pred + "_ad"
+	}
+	return pred + "_" + ad
+}
+
+func magicName(pred, ad string) string {
+	return "m_" + adornedName(pred, ad)
+}
+
+// rewriteRule emits the adorned rule and its magic rules for one original
+// rule under the head adornment ad.
+func rewriteRule(out *Program, r Rule, ad string, intens map[string]bool, enqueue func(string, string)) {
+	bound := map[string]bool{}
+	var magicHeadArgs []Term
+	for i, t := range r.Head.Args {
+		if ad[i] == 'b' {
+			magicHeadArgs = append(magicHeadArgs, t)
+			if t.IsVar() {
+				bound[t.Var] = true
+			}
+		}
+	}
+	magicHead := Atom{Pred: magicName(r.Head.Pred, ad), Args: magicHeadArgs}
+
+	newBody := []Atom{magicHead}
+	prefix := []Atom{magicHead} // original-body prefix, adorned, for magic rules
+	for _, a := range r.Body {
+		if intens[a.Pred] {
+			// Adorn by current boundness.
+			adBits := make([]bool, len(a.Args))
+			var boundArgs []Term
+			for i, t := range a.Args {
+				adBits[i] = !t.IsVar() || bound[t.Var]
+				if adBits[i] {
+					boundArgs = append(boundArgs, t)
+				}
+			}
+			subAd := adornString(adBits)
+			enqueue(a.Pred, subAd)
+			// Magic rule: the sub-goal's bound arguments are demanded
+			// whenever the prefix is derivable.
+			out.Rules = append(out.Rules, Rule{
+				Head: Atom{Pred: magicName(a.Pred, subAd), Args: boundArgs},
+				Body: append([]Atom(nil), prefix...),
+			})
+			adAtom := Atom{Pred: adornedName(a.Pred, subAd), Args: a.Args}
+			newBody = append(newBody, adAtom)
+			prefix = append(prefix, adAtom)
+		} else {
+			newBody = append(newBody, a)
+			prefix = append(prefix, a)
+		}
+		// Full SIPS: after an atom is evaluated, all its variables are
+		// bound for the atoms to its right.
+		for _, t := range a.Args {
+			if t.IsVar() {
+				bound[t.Var] = true
+			}
+		}
+	}
+	out.Rules = append(out.Rules, Rule{
+		Head: Atom{Pred: adornedName(r.Head.Pred, ad), Args: r.Head.Args},
+		Body: newBody,
+	})
+}
+
+// QueryWithMagic evaluates a query goal(args...) over the EDB using the
+// magic-sets rewriting and returns the answer tuples (constant names).
+func QueryWithMagic(p *Program, edb *DB, goal string, args []Term) ([][]string, error) {
+	rewritten, answer, err := MagicSet(p, goal, args)
+	if err != nil {
+		return nil, err
+	}
+	out, err := Eval(rewritten, edb)
+	if err != nil {
+		return nil, err
+	}
+	var results [][]string
+	for _, tuple := range out.Tuples(answer) {
+		ok := true
+		for i, t := range args {
+			if !t.IsVar() && tuple[i] != t.Const {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			results = append(results, tuple)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,185 @@
+package datalog
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+var tcProgram = MustParse(`
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`)
+
+func TestMagicBoundFirstArg(t *testing.T) {
+	db := NewDB()
+	// Two disjoint chains: a→b→c and p→q→r.
+	for _, e := range [][2]string{{"a", "b"}, {"b", "c"}, {"p", "q"}, {"q", "r"}} {
+		db.AddFact("edge", e[0], e[1])
+	}
+	answers, err := QueryWithMagic(tcProgram, db, "path", []Term{C("a"), V("Y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Fatalf("answers = %v", answers)
+	}
+	got := map[string]bool{}
+	for _, a := range answers {
+		if a[0] != "a" {
+			t.Fatalf("answer with wrong start: %v", a)
+		}
+		got[a[1]] = true
+	}
+	if !got["b"] || !got["c"] {
+		t.Fatalf("answers = %v", answers)
+	}
+
+	// The rewriting must not derive facts about the irrelevant chain.
+	rewritten, answer, err := MagicSet(tcProgram, "path", []Term{C("a"), V("Y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Eval(rewritten, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tuple := range out.Tuples(answer) {
+		if tuple[0] == "p" || tuple[0] == "q" {
+			t.Fatalf("irrelevant fact derived: %v", tuple)
+		}
+	}
+}
+
+func TestMagicAllFree(t *testing.T) {
+	db := NewDB()
+	db.AddFact("edge", "a", "b")
+	db.AddFact("edge", "b", "c")
+	answers, err := QueryWithMagic(tcProgram, db, "path", []Term{V("X"), V("Y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 3 {
+		t.Fatalf("answers = %v", answers)
+	}
+}
+
+func TestMagicBothBound(t *testing.T) {
+	db := NewDB()
+	db.AddFact("edge", "a", "b")
+	db.AddFact("edge", "b", "c")
+	yes, err := QueryWithMagic(tcProgram, db, "path", []Term{C("a"), C("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(yes) != 1 {
+		t.Fatalf("yes = %v", yes)
+	}
+	no, err := QueryWithMagic(tcProgram, db, "path", []Term{C("c"), C("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(no) != 0 {
+		t.Fatalf("no = %v", no)
+	}
+}
+
+func TestMagicRejects(t *testing.T) {
+	neg := MustParse(`good(X) :- node(X), not bad(X).`)
+	if _, _, err := MagicSet(neg, "good", []Term{C("a")}); err == nil {
+		t.Fatal("negation accepted")
+	}
+	blt := MustParse(`small(X) :- num(X), lt(X, X).`)
+	if _, _, err := MagicSet(blt, "small", []Term{V("X")}); err == nil {
+		t.Fatal("builtin accepted")
+	}
+	if _, _, err := MagicSet(tcProgram, "edge", []Term{V("X"), V("Y")}); err == nil {
+		t.Fatal("extensional goal accepted")
+	}
+}
+
+func TestMagicNonlinearRecursion(t *testing.T) {
+	// Same-generation: nonlinear recursion with the classic magic win.
+	sg := MustParse(`
+sg(X, X) :- person(X).
+sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
+`)
+	db := NewDB()
+	for _, p := range [][2]string{{"b1", "a"}, {"b2", "a"}, {"c1", "b1"}, {"c2", "b2"}} {
+		db.AddFact("par", p[0], p[1])
+	}
+	for _, n := range []string{"a", "b1", "b2", "c1", "c2"} {
+		db.AddFact("person", n)
+	}
+	answers, err := QueryWithMagic(sg, db, "sg", []Term{C("c1"), V("Y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, a := range answers {
+		got[a[1]] = true
+	}
+	if !got["c1"] || !got["c2"] || len(got) != 2 {
+		t.Fatalf("answers = %v", answers)
+	}
+}
+
+// Property: magic-set answers equal plainly evaluated answers filtered by
+// the query bindings, on random graphs and random query shapes.
+func TestQuickMagicEquivalence(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(7) + 2
+		db := NewDB()
+		names := make([]string, n)
+		for i := range names {
+			names[i] = "v" + strconv.Itoa(i)
+		}
+		for e := rng.Intn(2 * n); e > 0; e-- {
+			db.AddFact("edge", names[rng.Intn(n)], names[rng.Intn(n)])
+		}
+		var args []Term
+		switch rng.Intn(3) {
+		case 0:
+			args = []Term{C(names[rng.Intn(n)]), V("Y")}
+		case 1:
+			args = []Term{V("X"), C(names[rng.Intn(n)])}
+		default:
+			args = []Term{C(names[rng.Intn(n)]), C(names[rng.Intn(n)])}
+		}
+		magic, err := QueryWithMagic(tcProgram, db, "path", args)
+		if err != nil {
+			return false
+		}
+		full, err := Eval(tcProgram, db)
+		if err != nil {
+			return false
+		}
+		want := map[string]bool{}
+		for _, tuple := range full.Tuples("path") {
+			ok := true
+			for i, t := range args {
+				if !t.IsVar() && tuple[i] != t.Const {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				want[tuple[0]+"|"+tuple[1]] = true
+			}
+		}
+		if len(magic) != len(want) {
+			return false
+		}
+		for _, a := range magic {
+			if !want[a[0]+"|"+a[1]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(103))}); err != nil {
+		t.Fatal(err)
+	}
+}

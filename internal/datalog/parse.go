@@ -1,0 +1,212 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a datalog program in the conventional syntax:
+//
+//	% comments run to end of line
+//	path(X, Y) :- edge(X, Y).
+//	path(X, Z) :- path(X, Y), edge(Y, Z), not blocked(Y).
+//	success :- root(V), colored(V).
+//	edge(a, b).
+//
+// Identifiers starting with an upper-case letter or '_' are variables;
+// everything else is a constant. "not" (or "\+") negates the following
+// atom.
+func Parse(src string) (*Program, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{}
+	i := 0
+	for i < len(toks) {
+		rule, next, err := parseRule(toks, i)
+		if err != nil {
+			return nil, err
+		}
+		p.Rules = append(p.Rules, rule)
+		i = next
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixed programs.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type token struct {
+	kind string // "ident", "(", ")", ",", ".", ":-", "not"
+	text string
+	line int
+}
+
+func tokenize(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '%':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(' || c == ')' || c == ',' || c == '.':
+			toks = append(toks, token{kind: string(c), line: line})
+			i++
+		case c == ':':
+			if i+1 < len(src) && src[i+1] == '-' {
+				toks = append(toks, token{kind: ":-", line: line})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("datalog: line %d: unexpected ':'", line)
+			}
+		case c == '\\':
+			if i+1 < len(src) && src[i+1] == '+' {
+				toks = append(toks, token{kind: "not", line: line})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("datalog: line %d: unexpected '\\'", line)
+			}
+		case isIdentRune(rune(c)):
+			j := i
+			for j < len(src) && isIdentRune(rune(src[j])) {
+				j++
+			}
+			text := src[i:j]
+			if text == "not" {
+				toks = append(toks, token{kind: "not", line: line})
+			} else {
+				toks = append(toks, token{kind: "ident", text: text, line: line})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("datalog: line %d: unexpected character %q", line, c)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\''
+}
+
+func parseRule(toks []token, i int) (Rule, int, error) {
+	head, i, err := parseAtom(toks, i, false)
+	if err != nil {
+		return Rule{}, 0, err
+	}
+	var body []Atom
+	if i < len(toks) && toks[i].kind == ":-" {
+		i++
+		for {
+			a, next, err := parseAtom(toks, i, true)
+			if err != nil {
+				return Rule{}, 0, err
+			}
+			body = append(body, a)
+			i = next
+			if i < len(toks) && toks[i].kind == "," {
+				i++
+				continue
+			}
+			break
+		}
+	}
+	if i >= len(toks) || toks[i].kind != "." {
+		ln := 0
+		if i < len(toks) {
+			ln = toks[i].line
+		} else if len(toks) > 0 {
+			ln = toks[len(toks)-1].line
+		}
+		return Rule{}, 0, fmt.Errorf("datalog: line %d: expected '.' at end of rule", ln)
+	}
+	return Rule{Head: head, Body: body}, i + 1, nil
+}
+
+func parseAtom(toks []token, i int, allowNeg bool) (Atom, int, error) {
+	neg := false
+	if i < len(toks) && toks[i].kind == "not" {
+		if !allowNeg {
+			return Atom{}, 0, fmt.Errorf("datalog: line %d: negation not allowed here", toks[i].line)
+		}
+		neg = true
+		i++
+	}
+	if i >= len(toks) || toks[i].kind != "ident" {
+		ln := 0
+		if i < len(toks) {
+			ln = toks[i].line
+		}
+		return Atom{}, 0, fmt.Errorf("datalog: line %d: expected predicate name", ln)
+	}
+	a := Atom{Pred: toks[i].text, Negated: neg}
+	i++
+	if i < len(toks) && toks[i].kind == "(" {
+		i++
+		for {
+			if i >= len(toks) || toks[i].kind != "ident" {
+				ln := 0
+				if i < len(toks) {
+					ln = toks[i].line
+				}
+				return Atom{}, 0, fmt.Errorf("datalog: line %d: expected term", ln)
+			}
+			a.Args = append(a.Args, termOf(toks[i].text))
+			i++
+			if i < len(toks) && toks[i].kind == "," {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(toks) || toks[i].kind != ")" {
+			ln := 0
+			if i < len(toks) {
+				ln = toks[i].line
+			}
+			return Atom{}, 0, fmt.Errorf("datalog: line %d: expected ')'", ln)
+		}
+		i++
+	}
+	return a, i, nil
+}
+
+func termOf(text string) Term {
+	r := rune(text[0])
+	if unicode.IsUpper(r) || r == '_' {
+		return V(text)
+	}
+	return C(text)
+}
+
+// FormatBindings renders a relation's tuples for display, one fact per
+// line, sorted.
+func FormatBindings(pred string, tuples [][]string) string {
+	lines := make([]string, 0, len(tuples))
+	for _, t := range tuples {
+		lines = append(lines, fmt.Sprintf("%s(%s).", pred, strings.Join(t, ",")))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

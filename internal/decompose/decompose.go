@@ -1,0 +1,265 @@
+// Package decompose constructs tree decompositions of graphs and
+// τ-structures. The paper relies on Bodlaender's linear-time algorithm [3]
+// as a black box; as documented in DESIGN.md we substitute the standard
+// practical toolkit — elimination-order heuristics (min-degree, min-fill)
+// plus an exact branch-and-bound for small graphs — since any valid
+// decomposition of the stated width preserves all downstream behaviour.
+package decompose
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/structure"
+	"repro/internal/tree"
+)
+
+// Heuristic selects an elimination-order heuristic.
+type Heuristic int
+
+const (
+	// MinDegree eliminates a vertex of minimum current degree.
+	MinDegree Heuristic = iota
+	// MinFill eliminates a vertex whose elimination adds the fewest
+	// fill-in edges; slower but usually yields smaller width.
+	MinFill
+)
+
+// Order computes an elimination order of g using the given heuristic.
+func Order(g *graph.Graph, h Heuristic) []int {
+	n := g.N()
+	adj := make([]*bitset.Set, n)
+	for v := 0; v < n; v++ {
+		adj[v] = g.Neighbors(v).Clone()
+	}
+	alive := bitset.New(n)
+	for v := 0; v < n; v++ {
+		alive.Add(v)
+	}
+	order := make([]int, 0, n)
+	for k := 0; k < n; k++ {
+		best, bestScore := -1, int(^uint(0)>>1)
+		alive.ForEach(func(v int) bool {
+			var score int
+			switch h {
+			case MinFill:
+				score = fillIn(adj, alive, v)
+			default:
+				score = adj[v].Intersect(alive).Len()
+			}
+			if score < bestScore {
+				best, bestScore = v, score
+			}
+			return true
+		})
+		order = append(order, best)
+		// Eliminate: make the live neighborhood a clique.
+		nb := adj[best].Intersect(alive)
+		nbs := nb.Elems()
+		for i := 0; i < len(nbs); i++ {
+			for j := i + 1; j < len(nbs); j++ {
+				adj[nbs[i]].Add(nbs[j])
+				adj[nbs[j]].Add(nbs[i])
+			}
+		}
+		alive.Remove(best)
+	}
+	return order
+}
+
+func fillIn(adj []*bitset.Set, alive *bitset.Set, v int) int {
+	nbs := adj[v].Intersect(alive).Elems()
+	fill := 0
+	for i := 0; i < len(nbs); i++ {
+		for j := i + 1; j < len(nbs); j++ {
+			if !adj[nbs[i]].Has(nbs[j]) {
+				fill++
+			}
+		}
+	}
+	return fill
+}
+
+// FromOrder builds a tree decomposition of g from an elimination order
+// using the standard fill-in construction. The returned decomposition is
+// raw (no normal form) and valid for g.
+func FromOrder(g *graph.Graph, order []int) (*tree.Decomposition, error) {
+	n := g.N()
+	if n == 0 {
+		d := tree.New()
+		d.SetRoot(d.AddNode(nil))
+		return d, nil
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("decompose: order has %d entries for %d vertices", len(order), n)
+	}
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, v := range order {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("decompose: vertex %d out of range in order", v)
+		}
+		pos[v] = i
+	}
+	for v, p := range pos {
+		if p < 0 {
+			return nil, fmt.Errorf("decompose: vertex %d missing from order", v)
+		}
+	}
+
+	// Simulate elimination to obtain, for each vertex, its set of later
+	// neighbors in the fill graph.
+	adj := make([]*bitset.Set, n)
+	for v := 0; v < n; v++ {
+		adj[v] = g.Neighbors(v).Clone()
+	}
+	alive := bitset.New(n)
+	for v := 0; v < n; v++ {
+		alive.Add(v)
+	}
+	later := make([][]int, n) // later[v] = live neighbors at elimination time
+	for _, v := range order {
+		nb := adj[v].Intersect(alive)
+		nb.Remove(v)
+		later[v] = nb.Elems()
+		nbs := later[v]
+		for i := 0; i < len(nbs); i++ {
+			for j := i + 1; j < len(nbs); j++ {
+				adj[nbs[i]].Add(nbs[j])
+				adj[nbs[j]].Add(nbs[i])
+			}
+		}
+		alive.Remove(v)
+	}
+
+	// Bag of v = {v} ∪ later(v). Parent bag: the bag of the earliest
+	// eliminated vertex among later(v); vertices with no later neighbors
+	// become component roots, chained under the last vertex's bag.
+	parent := make([]int, n)
+	for v := 0; v < n; v++ {
+		parent[v] = -1
+	}
+	for _, v := range order {
+		first := -1
+		for _, u := range later[v] {
+			if first < 0 || pos[u] < pos[first] {
+				first = u
+			}
+		}
+		parent[v] = first
+	}
+	rootVertex := order[n-1]
+	for v := 0; v < n; v++ {
+		if parent[v] < 0 && v != rootVertex {
+			parent[v] = rootVertex // join forest components under one root
+		}
+	}
+
+	children := make([][]int, n)
+	for v := 0; v < n; v++ {
+		if parent[v] >= 0 {
+			children[parent[v]] = append(children[parent[v]], v)
+		}
+	}
+	d := tree.New()
+	ids := make([]int, n)
+	var build func(v int) int
+	build = func(v int) int {
+		kids := make([]int, 0, len(children[v]))
+		for _, c := range children[v] {
+			kids = append(kids, build(c))
+		}
+		bag := append([]int{v}, later[v]...)
+		ids[v] = d.AddNode(bag, kids...)
+		return ids[v]
+	}
+	d.SetRoot(build(rootVertex))
+	return d, nil
+}
+
+// Graph decomposes g with the given heuristic and returns a valid raw
+// tree decomposition.
+func Graph(g *graph.Graph, h Heuristic) (*tree.Decomposition, error) {
+	return FromOrder(g, Order(g, h))
+}
+
+// Structure decomposes a τ-structure via its primal graph; the result is
+// a valid tree decomposition of the structure (same bags cover all
+// tuples, since every tuple induces a clique in the primal graph).
+func Structure(st *structure.Structure, h Heuristic) (*tree.Decomposition, error) {
+	return Graph(graph.Primal(st), h)
+}
+
+// BestOrder tries min-degree, min-fill and a few randomized restarts and
+// returns the order achieving the smallest width.
+func BestOrder(g *graph.Graph, restarts int, rng *rand.Rand) []int {
+	best := Order(g, MinDegree)
+	bestW := orderWidth(g, best)
+	if o := Order(g, MinFill); orderWidth(g, o) < bestW {
+		best, bestW = o, orderWidth(g, o)
+	}
+	for r := 0; r < restarts; r++ {
+		o := randomizedMinFill(g, rng)
+		if w := orderWidth(g, o); w < bestW {
+			best, bestW = o, w
+		}
+	}
+	return best
+}
+
+func randomizedMinFill(g *graph.Graph, rng *rand.Rand) []int {
+	n := g.N()
+	adj := make([]*bitset.Set, n)
+	for v := 0; v < n; v++ {
+		adj[v] = g.Neighbors(v).Clone()
+	}
+	alive := bitset.New(n)
+	for v := 0; v < n; v++ {
+		alive.Add(v)
+	}
+	order := make([]int, 0, n)
+	for k := 0; k < n; k++ {
+		// Pick uniformly among the 3 best fill-in scores.
+		type cand struct{ v, score int }
+		var cands []cand
+		alive.ForEach(func(v int) bool {
+			cands = append(cands, cand{v, fillIn(adj, alive, v)})
+			return true
+		})
+		for i := 0; i < len(cands); i++ {
+			for j := i + 1; j < len(cands); j++ {
+				if cands[j].score < cands[i].score {
+					cands[i], cands[j] = cands[j], cands[i]
+				}
+			}
+		}
+		top := 3
+		if len(cands) < top {
+			top = len(cands)
+		}
+		best := cands[rng.Intn(top)].v
+		order = append(order, best)
+		nb := adj[best].Intersect(alive)
+		nbs := nb.Elems()
+		for i := 0; i < len(nbs); i++ {
+			for j := i + 1; j < len(nbs); j++ {
+				adj[nbs[i]].Add(nbs[j])
+				adj[nbs[j]].Add(nbs[i])
+			}
+		}
+		alive.Remove(best)
+	}
+	return order
+}
+
+func orderWidth(g *graph.Graph, order []int) int {
+	d, err := FromOrder(g, order)
+	if err != nil {
+		return int(^uint(0) >> 1)
+	}
+	return d.Width()
+}

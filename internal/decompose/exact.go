@@ -1,0 +1,159 @@
+package decompose
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// MaxExactVertices bounds the graph size accepted by the exact search;
+// the memoization is exponential in the number of vertices.
+const MaxExactVertices = 22
+
+// Treewidth computes the exact treewidth of g by iterative deepening over
+// elimination orders with memoization on the eliminated set. It is
+// exponential and restricted to graphs with at most MaxExactVertices
+// vertices; use the heuristics for anything larger.
+func Treewidth(g *graph.Graph) (int, error) {
+	order, err := ExactOrder(g)
+	if err != nil {
+		return 0, err
+	}
+	return orderWidth(g, order), nil
+}
+
+// ExactOrder returns an elimination order of minimal width.
+func ExactOrder(g *graph.Graph) ([]int, error) {
+	n := g.N()
+	if n > MaxExactVertices {
+		return nil, fmt.Errorf("decompose: exact search limited to %d vertices, got %d", MaxExactVertices, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	lb := LowerBoundMMD(g)
+	ub := orderWidth(g, Order(g, MinFill))
+	for k := lb; k <= ub; k++ {
+		if order := orderWithWidth(g, k); order != nil {
+			return order, nil
+		}
+	}
+	return Order(g, MinFill), nil // unreachable: ub always succeeds
+}
+
+// orderWithWidth searches for an elimination order in which every vertex
+// has at most k live "fill neighbors" at elimination time; such an order
+// exists iff tw(g) ≤ k.
+func orderWithWidth(g *graph.Graph, k int) []int {
+	n := g.N()
+	// Only infeasible eliminated-sets are memoized: a memoized success
+	// would short-circuit without reconstructing the order suffix.
+	dead := map[uint64]bool{}
+	var order []int
+
+	// fillDegree computes the number of live neighbors of v in the fill
+	// graph: vertices u ≠ v reachable from v via paths whose interior
+	// lies entirely in the eliminated set.
+	fillDegree := func(eliminated uint64, v int) int {
+		seen := bitset.New(n)
+		seen.Add(v)
+		stack := []int{v}
+		deg := 0
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			broken := false
+			g.Neighbors(x).ForEach(func(u int) bool {
+				if seen.Has(u) {
+					return true
+				}
+				seen.Add(u)
+				if eliminated&(1<<uint(u)) != 0 {
+					stack = append(stack, u)
+				} else {
+					deg++
+					if deg > k {
+						broken = true
+						return false
+					}
+				}
+				return true
+			})
+			if broken {
+				return deg
+			}
+		}
+		return deg
+	}
+
+	var search func(eliminated uint64, remaining int) bool
+	search = func(eliminated uint64, remaining int) bool {
+		if remaining == 0 {
+			return true
+		}
+		if dead[eliminated] {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if eliminated&(1<<uint(v)) != 0 {
+				continue
+			}
+			if fillDegree(eliminated, v) > k {
+				continue
+			}
+			order = append(order, v)
+			if search(eliminated|1<<uint(v), remaining-1) {
+				return true
+			}
+			order = order[:len(order)-1]
+		}
+		dead[eliminated] = true
+		return false
+	}
+	if search(0, n) {
+		out := make([]int, len(order))
+		copy(out, order)
+		return out
+	}
+	return nil
+}
+
+// LowerBoundMMD computes the maximum-minimum-degree lower bound on the
+// treewidth: repeatedly delete a minimum-degree vertex and record the
+// largest minimum degree seen.
+func LowerBoundMMD(g *graph.Graph) int {
+	n := g.N()
+	adj := make([]*bitset.Set, n)
+	alive := bitset.New(n)
+	for v := 0; v < n; v++ {
+		adj[v] = g.Neighbors(v).Clone()
+		alive.Add(v)
+	}
+	bound := 0
+	for alive.Len() > 1 {
+		best, bestDeg := -1, n+1
+		alive.ForEach(func(v int) bool {
+			if d := adj[v].Intersect(alive).Len(); d < bestDeg {
+				best, bestDeg = v, d
+			}
+			return true
+		})
+		if bestDeg > bound {
+			bound = bestDeg
+		}
+		alive.Remove(best)
+	}
+	return bound
+}
+
+// Exact returns an exact minimum-width tree decomposition of g (small
+// graphs only; see MaxExactVertices).
+func Exact(g *graph.Graph) (*tree.Decomposition, error) {
+	order, err := ExactOrder(g)
+	if err != nil {
+		return nil, err
+	}
+	return FromOrder(g, order)
+}

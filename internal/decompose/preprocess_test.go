@@ -1,0 +1,91 @@
+package decompose
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestPreprocessKillsKTrees(t *testing.T) {
+	// Full k-trees reduce to nothing: every construction step added a
+	// simplicial vertex.
+	rng := rand.New(rand.NewSource(3))
+	g := graph.KTree(30, 3, rng)
+	res := Preprocess(g)
+	if res.Reduced.N() != 0 {
+		t.Fatalf("k-tree not fully reduced: %d vertices left", res.Reduced.N())
+	}
+	if res.LowerBound != 3 {
+		t.Fatalf("lower bound = %d, want 3", res.LowerBound)
+	}
+	tw, err := TreewidthPreprocessed(g)
+	if err != nil || tw != 3 {
+		t.Fatalf("tw = %d, %v", tw, err)
+	}
+}
+
+func TestPreprocessTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomTree(50, rng)
+	res := Preprocess(g)
+	if res.Reduced.N() != 0 {
+		t.Fatalf("tree not fully reduced: %d left", res.Reduced.N())
+	}
+	tw, err := TreewidthPreprocessed(g)
+	if err != nil || tw != 1 {
+		t.Fatalf("tw(tree) = %d, %v", tw, err)
+	}
+}
+
+func TestPreprocessGridIrreducible(t *testing.T) {
+	// Grids have no simplicial vertices (corner neighborhoods are
+	// independent pairs).
+	g := graph.Grid(4, 4)
+	res := Preprocess(g)
+	if res.Reduced.N() != 16 {
+		t.Fatalf("grid reduced to %d vertices", res.Reduced.N())
+	}
+	if len(res.Removed) != 0 || res.LowerBound != 0 {
+		t.Fatalf("unexpected removals %v", res.Removed)
+	}
+}
+
+func TestPreprocessedLargerThanExactLimit(t *testing.T) {
+	// A graph too large for the raw exact search becomes solvable after
+	// preprocessing.
+	rng := rand.New(rand.NewSource(7))
+	g := graph.KTree(MaxExactVertices+20, 2, rng)
+	if _, err := Treewidth(g); err == nil {
+		t.Fatal("raw exact search should refuse this size")
+	}
+	tw, err := TreewidthPreprocessed(g)
+	if err != nil || tw != 2 {
+		t.Fatalf("tw = %d, %v", tw, err)
+	}
+}
+
+// Property: preprocessing preserves the exact treewidth.
+func TestQuickPreprocessPreservesTreewidth(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 2
+		g := graph.RandomTree(n, rng)
+		for i := rng.Intn(2 * n); i > 0; i-- {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		plain, err := Treewidth(g)
+		if err != nil {
+			return false
+		}
+		pre, err := TreewidthPreprocessed(g)
+		if err != nil {
+			return false
+		}
+		return plain == pre
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(151))}); err != nil {
+		t.Fatal(err)
+	}
+}

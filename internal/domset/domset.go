@@ -1,0 +1,227 @@
+// Package domset implements minimum dominating set on bounded-treewidth
+// graphs: a third FPT problem on the paper's dynamic-programming
+// framework, with the characteristic three-valued state (in the set /
+// dominated / awaiting domination) that distinguishes it from the
+// partition DP of Figure 5 and the cost DP of vertex cover.
+package domset
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/decompose"
+	"repro/internal/dp"
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// Vertex statuses, two bits per sorted-bag position.
+const (
+	inSet       = 0 // selected into the dominating set
+	dominated   = 1 // not selected, already dominated by a selected vertex
+	undominated = 2 // not selected, no selected neighbor seen yet
+)
+
+type state uint64
+
+func statusOf(s state, p int) int { return int(s>>(2*uint(p))) & 3 }
+
+func withStatus(s state, p, st int) state {
+	low := s & ((1 << (2 * uint(p))) - 1)
+	high := s >> (2 * uint(p))
+	return low | state(st)<<(2*uint(p)) | high<<(2*uint(p)+2)
+}
+
+func setStatus(s state, p, st int) state {
+	return s&^(3<<(2*uint(p))) | state(st)<<(2*uint(p))
+}
+
+func dropStatus(s state, p int) state {
+	low := s & ((1 << (2 * uint(p))) - 1)
+	high := s >> (2*uint(p) + 2)
+	return low | high<<(2*uint(p))
+}
+
+func position(bag []int, e int) int {
+	for i, b := range bag {
+		if b == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// propagate marks bag vertices dominated by in-set bag neighbors.
+func propagate(g *graph.Graph, bag []int, s state) state {
+	for i := range bag {
+		if statusOf(s, i) != inSet {
+			continue
+		}
+		for j := range bag {
+			if j != i && g.HasEdge(bag[i], bag[j]) && statusOf(s, j) == undominated {
+				s = setStatus(s, j, dominated)
+			}
+		}
+	}
+	return s
+}
+
+func handlers(g *graph.Graph) dp.CostHandlers[state] {
+	return dp.CostHandlers[state]{
+		Leaf: func(_ int, bag []int) []dp.Costed[state] {
+			var out []dp.Costed[state]
+			n := len(bag)
+			total := 1
+			for i := 0; i < n; i++ {
+				total *= 2 // per vertex: in set or not (domination derived)
+			}
+			for combo := 0; combo < total; combo++ {
+				var s state
+				cost := 0
+				for p := 0; p < n; p++ {
+					if combo>>uint(p)&1 == 1 {
+						s = setStatus(s, p, inSet)
+						cost++
+					} else {
+						s = setStatus(s, p, undominated)
+					}
+				}
+				out = append(out, dp.Costed[state]{State: propagate(g, bag, s), Cost: cost})
+			}
+			return out
+		},
+		Introduce: func(_ int, bag []int, elem int, child state) []dp.Costed[state] {
+			p := position(bag, elem)
+			var out []dp.Costed[state]
+			// Selected: dominates its bag neighbors.
+			sIn := propagate(g, bag, withStatus(child, p, inSet))
+			out = append(out, dp.Costed[state]{State: sIn, Cost: 1})
+			// Not selected: dominated iff some bag neighbor is in the set.
+			sOut := propagate(g, bag, withStatus(child, p, undominated))
+			out = append(out, dp.Costed[state]{State: sOut})
+			return out
+		},
+		Forget: func(_ int, bag []int, elem int, child state) []dp.Costed[state] {
+			childBag := insertSorted(bag, elem)
+			p := position(childBag, elem)
+			// A vertex may only leave once it is settled.
+			if statusOf(child, p) == undominated {
+				return nil
+			}
+			return []dp.Costed[state]{{State: dropStatus(child, p)}}
+		},
+		Branch: func(_ int, bag []int, s1, s2 state) []dp.Costed[state] {
+			// Selection must agree; domination merges by OR.
+			var merged state
+			dup := 0
+			for p := range bag {
+				a, b := statusOf(s1, p), statusOf(s2, p)
+				if (a == inSet) != (b == inSet) {
+					return nil
+				}
+				switch {
+				case a == inSet:
+					merged = setStatus(merged, p, inSet)
+					dup++ // counted in both children
+				case a == dominated || b == dominated:
+					merged = setStatus(merged, p, dominated)
+				default:
+					merged = setStatus(merged, p, undominated)
+				}
+			}
+			return []dp.Costed[state]{{State: merged, Cost: -dup}}
+		},
+	}
+}
+
+func insertSorted(bag []int, e int) []int {
+	out := make([]int, 0, len(bag)+1)
+	placed := false
+	for _, b := range bag {
+		if !placed && e < b {
+			out = append(out, e)
+			placed = true
+		}
+		out = append(out, b)
+	}
+	if !placed {
+		out = append(out, e)
+	}
+	return out
+}
+
+// MinDominatingSet returns the size of a minimum dominating set of g.
+func MinDominatingSet(g *graph.Graph) (int, error) {
+	if g.N() == 0 {
+		return 0, nil
+	}
+	d, err := decompose.Graph(g, decompose.MinFill)
+	if err != nil {
+		return 0, err
+	}
+	nice, err := tree.NormalizeNice(d, tree.NiceOptions{})
+	if err != nil {
+		return 0, err
+	}
+	tables, err := dp.RunUpMin(nice, handlers(g))
+	if err != nil {
+		return 0, err
+	}
+	best := math.MaxInt
+	rootBag := nice.Nodes[nice.Root].Bag
+	for s, c := range tables[nice.Root] {
+		ok := true
+		for p := range rootBag {
+			if statusOf(s, p) == undominated {
+				ok = false
+				break
+			}
+		}
+		if ok && c < best {
+			best = c
+		}
+	}
+	if best == math.MaxInt {
+		return 0, fmt.Errorf("domset: no feasible state at the root")
+	}
+	return best, nil
+}
+
+// BruteForce is the exponential oracle for tests.
+func BruteForce(g *graph.Graph) int {
+	n := g.N()
+	if n > 22 {
+		panic("domset: brute force limited to 22 vertices")
+	}
+	best := n
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		size := 0
+		for v := 0; v < n; v++ {
+			size += mask >> uint(v) & 1
+		}
+		if size >= best {
+			continue
+		}
+		ok := true
+		for v := 0; v < n && ok; v++ {
+			if mask>>uint(v)&1 == 1 {
+				continue
+			}
+			dominatedV := false
+			g.Neighbors(v).ForEach(func(u int) bool {
+				if mask>>uint(u)&1 == 1 {
+					dominatedV = true
+					return false
+				}
+				return true
+			})
+			if !dominatedV {
+				ok = false
+			}
+		}
+		if ok {
+			best = size
+		}
+	}
+	return best
+}

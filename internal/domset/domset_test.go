@@ -1,0 +1,80 @@
+package domset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestKnownDominatingSets(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"single", graph.New(1), 1},
+		{"edge", graph.Path(2), 1},
+		{"path4", graph.Path(4), 2},
+		{"path7", graph.Path(7), 3}, // ⌈7/3⌉
+		{"cycle6", graph.Cycle(6), 2},
+		{"star", star(7), 1},
+		{"K5", graph.Complete(5), 1},
+		{"edgeless", graph.New(4), 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := MinDominatingSet(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("γ = %d, want %d", got, tc.want)
+			}
+		})
+	}
+	if got, err := MinDominatingSet(graph.New(0)); err != nil || got != 0 {
+		t.Fatalf("empty graph: %d, %v", got, err)
+	}
+}
+
+func star(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g
+}
+
+func TestScalesOnBoundedTreewidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.PartialKTree(100, 3, 0.3, rng)
+	ds, err := MinDominatingSet(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds <= 0 || ds >= g.N() {
+		t.Fatalf("implausible dominating set size %d", ds)
+	}
+}
+
+// Property: the DP agrees with brute force on random graphs.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(9) + 1
+		g := graph.RandomTree(n, rng)
+		for i := rng.Intn(2 * n); i > 0; i-- {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		got, err := MinDominatingSet(g)
+		if err != nil {
+			return false
+		}
+		return got == BruteForce(g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(163))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package dp
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// RunUpCount computes weighted bottom-up tables: count[v][s] is the
+// number of distinct derivations of state s at node v — for partition
+// problems like k-coloring, the number of solutions of the subtree whose
+// bag restriction is s. Leaves contribute one derivation per state,
+// unary transitions inherit and sum, and branch nodes multiply (the two
+// subtrees agree exactly on the bag, which the shared state fixes).
+//
+// Counts use uint64 and may overflow for astronomically many solutions;
+// callers needing exact large counts should layer big.Int accumulation on
+// the plain RunUp tables.
+func RunUpCount[S comparable](d *tree.Decomposition, h Handlers[S]) ([]map[S]uint64, error) {
+	if err := tree.CheckNice(d); err != nil {
+		return nil, fmt.Errorf("dp: %w", err)
+	}
+	tables := make([]map[S]uint64, d.Len())
+	for _, v := range d.PostOrder() {
+		n := d.Nodes[v]
+		bag := sortedCopy(n.Bag)
+		tbl := map[S]uint64{}
+		switch n.Kind {
+		case tree.KindLeaf:
+			for _, s := range h.Leaf(v, bag) {
+				tbl[s]++
+			}
+		case tree.KindIntroduce, tree.KindForget, tree.KindCopy:
+			for cs, count := range tables[n.Children[0]] {
+				var results []S
+				switch n.Kind {
+				case tree.KindIntroduce:
+					results = h.Introduce(v, bag, n.Elem, cs)
+				case tree.KindForget:
+					results = h.Forget(v, bag, n.Elem, cs)
+				default:
+					if h.Copy == nil {
+						results = []S{cs}
+					} else {
+						results = h.Copy(v, bag, cs)
+					}
+				}
+				for _, s := range results {
+					tbl[s] += count
+				}
+			}
+		case tree.KindBranch:
+			for s1, c1 := range tables[n.Children[0]] {
+				for s2, c2 := range tables[n.Children[1]] {
+					for _, s := range h.Branch(v, bag, s1, s2) {
+						tbl[s] += c1 * c2
+					}
+				}
+			}
+		default:
+			return nil, fmt.Errorf("dp: node %d has kind %v", v, n.Kind)
+		}
+		tables[v] = tbl
+	}
+	return tables, nil
+}

@@ -1,0 +1,212 @@
+package dp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/decompose"
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// count2Colorings is the brute-force oracle for the weighted DP.
+func count2Colorings(g *graph.Graph) uint64 {
+	n := g.N()
+	colors := make([]int, n)
+	var count uint64
+	var rec func(v int)
+	rec = func(v int) {
+		if v == n {
+			count++
+			return
+		}
+		for c := 0; c <= 1; c++ {
+			ok := true
+			g.Neighbors(v).ForEach(func(u int) bool {
+				if u < v && colors[u] == c {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if ok {
+				colors[v] = c
+				rec(v + 1)
+			}
+		}
+	}
+	rec(0)
+	return count
+}
+
+func TestRunUpCountKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want uint64
+	}{
+		{"path3", graph.Path(3), 2},
+		{"even cycle", graph.Cycle(4), 2},
+		{"odd cycle", graph.Cycle(5), 0},
+		{"two components", disconnected(), 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nice := niceDecomposition(t, tc.g, tree.NiceOptions{})
+			counts, err := RunUpCount(nice, twoColHandlers(tc.g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var total uint64
+			for _, c := range counts[nice.Root] {
+				total += c
+			}
+			if total != tc.want {
+				t.Fatalf("count = %d, want %d", total, tc.want)
+			}
+		})
+	}
+}
+
+func disconnected() *graph.Graph {
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	return g
+}
+
+func TestRunUpCountRejectsRaw(t *testing.T) {
+	g := graph.Path(3)
+	d, err := decompose.Graph(g, decompose.MinFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUpCount(d, twoColHandlers(g)); err == nil {
+		t.Fatal("raw decomposition accepted")
+	}
+}
+
+// Property: weighted DP equals brute-force counting.
+func TestQuickCountAgainstBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 2
+		g := graph.RandomTree(n, rng)
+		for i := rng.Intn(n); i > 0; i-- {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		d, err := decompose.Graph(g, decompose.MinFill)
+		if err != nil {
+			return false
+		}
+		nice, err := tree.NormalizeNice(d, tree.NiceOptions{})
+		if err != nil {
+			return false
+		}
+		counts, err := RunUpCount(nice, twoColHandlers(g))
+		if err != nil {
+			return false
+		}
+		var total uint64
+		for _, c := range counts[nice.Root] {
+			total += c
+		}
+		return total == count2Colorings(g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(137))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCopyHandlers exercises the Copy node kind in all three runners,
+// both with the default pass-through and a custom handler.
+func TestCopyHandlers(t *testing.T) {
+	g := graph.Cycle(4)
+	d, err := decompose.Graph(g, decompose.MinFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BranchGuard inserts copy nodes above branch nodes.
+	nice, err := tree.NormalizeNice(d, tree.NiceOptions{BranchGuard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasCopy := false
+	for _, n := range nice.Nodes {
+		if n.Kind == tree.KindCopy {
+			hasCopy = true
+		}
+	}
+	if !hasCopy {
+		t.Skip("no copy node produced for this decomposition")
+	}
+	h := twoColHandlers(g)
+
+	// Default pass-through.
+	up, err := RunUp(nice, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (len(up[nice.Root]) > 0) != bipartite(g) {
+		t.Fatal("copy pass-through wrong in RunUp")
+	}
+	counts, err := RunUpCount(nice, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, c := range counts[nice.Root] {
+		total += c
+	}
+	if total != count2Colorings(g) {
+		t.Fatalf("count with copy nodes = %d", total)
+	}
+	if _, err := RunDown(nice, h, up); err != nil {
+		t.Fatal(err)
+	}
+
+	// Custom copy handler that kills everything: no root states.
+	h.Copy = func(_ int, _ []int, _ uint32) []uint32 { return nil }
+	up2, err := RunUp(nice, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up2[nice.Root]) != 0 {
+		t.Fatal("custom copy handler ignored in RunUp")
+	}
+	counts2, err := RunUpCount(nice, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts2[nice.Root]) != 0 {
+		t.Fatal("custom copy handler ignored in RunUpCount")
+	}
+	hPass := twoColHandlers(g)
+	upPass, err := RunUp(nice, hPass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hPass.Copy = func(_ int, _ []int, s uint32) []uint32 { return []uint32{s} }
+	down, err := RunDown(nice, hPass, upPass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leaf := range nice.Leaves() {
+		if (len(down[leaf]) > 0) != bipartite(g) {
+			t.Fatal("custom copy handler wrong in RunDown")
+		}
+	}
+}
+
+func TestTablesStates(t *testing.T) {
+	g := graph.Path(2)
+	nice := niceDecomposition(t, g, tree.NiceOptions{})
+	tables, err := RunUp(nice, twoColHandlers(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tables.States(nice.Root)); got != len(tables[nice.Root]) {
+		t.Fatalf("States length %d", got)
+	}
+}

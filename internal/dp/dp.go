@@ -1,0 +1,212 @@
+// Package dp is a generic dynamic-programming framework over nice tree
+// decompositions (Section 5's modified normal form): the execution model
+// behind the paper's succinct datalog programs for 3-Colorability (Fig. 5)
+// and PRIMALITY (Fig. 6).
+//
+// A problem plugs in handlers for the node kinds — leaf, element
+// introduction, element removal, branch — describing how the states of the
+// solve(·) predicate propagate. RunUp computes the bottom-up tables
+// (the solve predicate); RunDown computes the top-down tables (the solve↓
+// predicate of Section 5.3) by the role-swapped transitions of Lemma 3.6:
+// walking down through an introduction node removes the element from the
+// interface, walking down through a removal node introduces it, and
+// walking down past a branch node merges the parent's top-down state with
+// the sibling's bottom-up states.
+package dp
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// Handlers defines the state transitions of a DP over a nice tree
+// decomposition, parameterized by a comparable state type. Handlers
+// receive the node ID of the state's home node and its bag (sorted).
+// Returning an empty slice kills the partial solution.
+type Handlers[S comparable] struct {
+	// Leaf enumerates the states of a leaf node.
+	Leaf func(node int, bag []int) []S
+	// Introduce extends a child state with a newly introduced element.
+	Introduce func(node int, bag []int, elem int, child S) []S
+	// Forget projects a child state after removing an element.
+	Forget func(node int, bag []int, elem int, child S) []S
+	// Branch combines the states of two children with identical bags.
+	Branch func(node int, bag []int, s1, s2 S) []S
+	// Copy handles equal-bag edges; nil defaults to pass-through.
+	Copy func(node int, bag []int, child S) []S
+}
+
+// Prov records one derivation of a state, for witness extraction: the
+// child states it was derived from (nil for leaf states).
+type Prov[S comparable] struct {
+	First  *S
+	Second *S
+}
+
+// Tables holds the result of a bottom-up run: for every node, the set of
+// derived states with one provenance each.
+type Tables[S comparable] []map[S]Prov[S]
+
+// States returns the states at a node as a slice (unspecified order).
+func (t Tables[S]) States(node int) []S {
+	out := make([]S, 0, len(t[node]))
+	for s := range t[node] {
+		out = append(out, s)
+	}
+	return out
+}
+
+// RunUp computes the bottom-up DP tables over a nice decomposition.
+func RunUp[S comparable](d *tree.Decomposition, h Handlers[S]) (Tables[S], error) {
+	if err := tree.CheckNice(d); err != nil {
+		return nil, fmt.Errorf("dp: %w", err)
+	}
+	tables := make(Tables[S], d.Len())
+	for _, v := range d.PostOrder() {
+		n := d.Nodes[v]
+		bag := sortedCopy(n.Bag)
+		tbl := map[S]Prov[S]{}
+		add := func(s S, p Prov[S]) {
+			if _, ok := tbl[s]; !ok {
+				tbl[s] = p
+			}
+		}
+		switch n.Kind {
+		case tree.KindLeaf:
+			for _, s := range h.Leaf(v, bag) {
+				add(s, Prov[S]{})
+			}
+		case tree.KindIntroduce:
+			for cs := range tables[n.Children[0]] {
+				cs := cs
+				for _, s := range h.Introduce(v, bag, n.Elem, cs) {
+					add(s, Prov[S]{First: &cs})
+				}
+			}
+		case tree.KindForget:
+			for cs := range tables[n.Children[0]] {
+				cs := cs
+				for _, s := range h.Forget(v, bag, n.Elem, cs) {
+					add(s, Prov[S]{First: &cs})
+				}
+			}
+		case tree.KindCopy:
+			for cs := range tables[n.Children[0]] {
+				cs := cs
+				if h.Copy == nil {
+					add(cs, Prov[S]{First: &cs})
+					continue
+				}
+				for _, s := range h.Copy(v, bag, cs) {
+					add(s, Prov[S]{First: &cs})
+				}
+			}
+		case tree.KindBranch:
+			for s1 := range tables[n.Children[0]] {
+				s1 := s1
+				for s2 := range tables[n.Children[1]] {
+					s2 := s2
+					for _, s := range h.Branch(v, bag, s1, s2) {
+						add(s, Prov[S]{First: &s1, Second: &s2})
+					}
+				}
+			}
+		default:
+			return nil, fmt.Errorf("dp: node %d has kind %v", v, n.Kind)
+		}
+		tables[v] = tbl
+	}
+	return tables, nil
+}
+
+// RunDown computes the top-down tables (solve↓ of Section 5.3) given the
+// bottom-up tables. At the root, Leaf enumerates the base states (the
+// envelope of the root is just its own bag). Order of handler roles is
+// swapped relative to RunUp as described in the package comment.
+func RunDown[S comparable](d *tree.Decomposition, h Handlers[S], up Tables[S]) (Tables[S], error) {
+	if err := tree.CheckNice(d); err != nil {
+		return nil, fmt.Errorf("dp: %w", err)
+	}
+	if len(up) != d.Len() {
+		return nil, fmt.Errorf("dp: bottom-up tables have %d nodes, want %d", len(up), d.Len())
+	}
+	tables := make(Tables[S], d.Len())
+	for _, v := range d.PreOrder() {
+		n := d.Nodes[v]
+		bag := sortedCopy(n.Bag)
+		tbl := map[S]Prov[S]{}
+		add := func(s S, p Prov[S]) {
+			if _, ok := tbl[s]; !ok {
+				tbl[s] = p
+			}
+		}
+		if n.Parent < 0 {
+			for _, s := range h.Leaf(v, bag) {
+				add(s, Prov[S]{})
+			}
+			tables[v] = tbl
+			continue
+		}
+		p := d.Nodes[n.Parent]
+		switch p.Kind {
+		case tree.KindIntroduce:
+			// The parent introduced p.Elem; walking down it leaves the
+			// interface: apply the Forget transition at v.
+			for ps := range tables[n.Parent] {
+				ps := ps
+				for _, s := range h.Forget(v, bag, p.Elem, ps) {
+					add(s, Prov[S]{First: &ps})
+				}
+			}
+		case tree.KindForget:
+			// The parent forgot p.Elem; walking down it (re)enters and is
+			// new to the envelope: apply the Introduce transition at v.
+			for ps := range tables[n.Parent] {
+				ps := ps
+				for _, s := range h.Introduce(v, bag, p.Elem, ps) {
+					add(s, Prov[S]{First: &ps})
+				}
+			}
+		case tree.KindCopy:
+			for ps := range tables[n.Parent] {
+				ps := ps
+				if h.Copy == nil {
+					add(ps, Prov[S]{First: &ps})
+					continue
+				}
+				for _, s := range h.Copy(v, bag, ps) {
+					add(s, Prov[S]{First: &ps})
+				}
+			}
+		case tree.KindBranch:
+			sib := p.Children[0]
+			if sib == v {
+				sib = p.Children[1]
+			}
+			for ps := range tables[n.Parent] {
+				ps := ps
+				for ss := range up[sib] {
+					ss := ss
+					for _, s := range h.Branch(v, bag, ps, ss) {
+						add(s, Prov[S]{First: &ps, Second: &ss})
+					}
+				}
+			}
+		default:
+			return nil, fmt.Errorf("dp: parent %d of node %d has kind %v", n.Parent, v, p.Kind)
+		}
+		tables[v] = tbl
+	}
+	return tables, nil
+}
+
+func sortedCopy(bag []int) []int {
+	out := append([]int(nil), bag...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

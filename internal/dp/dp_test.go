@@ -1,0 +1,307 @@
+package dp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/decompose"
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// twoColHandlers builds the classic 2-colorability DP over a graph: a
+// state is a bitmask assigning colors to the sorted bag vertices such
+// that the assignment extends to a proper 2-coloring of the subtree.
+func twoColHandlers(g *graph.Graph) Handlers[uint32] {
+	pos := func(bag []int, e int) int {
+		for i, b := range bag {
+			if b == e {
+				return i
+			}
+		}
+		return -1
+	}
+	ok := func(bag []int, mask uint32) bool {
+		for i := 0; i < len(bag); i++ {
+			for j := i + 1; j < len(bag); j++ {
+				if g.HasEdge(bag[i], bag[j]) && (mask>>uint(i))&1 == (mask>>uint(j))&1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	insertBit := func(mask uint32, p int, bit uint32) uint32 {
+		low := mask & ((1 << uint(p)) - 1)
+		high := mask >> uint(p)
+		return low | bit<<uint(p) | high<<uint(p+1)
+	}
+	removeBit := func(mask uint32, p int) uint32 {
+		low := mask & ((1 << uint(p)) - 1)
+		high := mask >> uint(p+1)
+		return low | high<<uint(p)
+	}
+	return Handlers[uint32]{
+		Leaf: func(_ int, bag []int) []uint32 {
+			var out []uint32
+			for mask := uint32(0); mask < 1<<uint(len(bag)); mask++ {
+				if ok(bag, mask) {
+					out = append(out, mask)
+				}
+			}
+			return out
+		},
+		Introduce: func(_ int, bag []int, elem int, child uint32) []uint32 {
+			p := pos(bag, elem)
+			var out []uint32
+			for bit := uint32(0); bit <= 1; bit++ {
+				m := insertBit(child, p, bit)
+				if ok(bag, m) {
+					out = append(out, m)
+				}
+			}
+			return out
+		},
+		Forget: func(_ int, bag []int, elem int, child uint32) []uint32 {
+			// The removed element's position in the child's (larger) bag.
+			cb := append([]int(nil), bag...)
+			cb = append(cb, elem)
+			sortInts(cb)
+			return []uint32{removeBit(child, pos(cb, elem))}
+		},
+		Branch: func(_ int, _ []int, s1, s2 uint32) []uint32 {
+			if s1 == s2 {
+				return []uint32{s1}
+			}
+			return nil
+		},
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func bipartite(g *graph.Graph) bool {
+	color := make([]int, g.N())
+	for i := range color {
+		color[i] = -1
+	}
+	for s := 0; s < g.N(); s++ {
+		if color[s] >= 0 {
+			continue
+		}
+		color[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			bad := false
+			g.Neighbors(v).ForEach(func(u int) bool {
+				if color[u] < 0 {
+					color[u] = 1 - color[v]
+					queue = append(queue, u)
+				} else if color[u] == color[v] {
+					bad = true
+					return false
+				}
+				return true
+			})
+			if bad {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func niceDecomposition(t testing.TB, g *graph.Graph, opts tree.NiceOptions) *tree.Decomposition {
+	t.Helper()
+	d, err := decompose.Graph(g, decompose.MinFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nice, err := tree.NormalizeNice(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nice
+}
+
+func TestRunUpTwoColoring(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want bool
+	}{
+		{"path", graph.Path(6), true},
+		{"even cycle", graph.Cycle(6), true},
+		{"odd cycle", graph.Cycle(5), false},
+		{"grid", graph.Grid(3, 3), true},
+		{"triangle", graph.Complete(3), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nice := niceDecomposition(t, tc.g, tree.NiceOptions{})
+			tables, err := RunUp(nice, twoColHandlers(tc.g))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := len(tables[nice.Root]) > 0
+			if got != tc.want {
+				t.Fatalf("2-colorable = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunUpRejectsRawDecomposition(t *testing.T) {
+	g := graph.Path(3)
+	d, err := decompose.Graph(g, decompose.MinFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunUp(d, twoColHandlers(g)); err == nil {
+		t.Fatal("raw decomposition accepted")
+	}
+}
+
+func TestWitnessExtraction(t *testing.T) {
+	g := graph.Cycle(6)
+	nice := niceDecomposition(t, g, tree.NiceOptions{})
+	tables, err := RunUp(nice, twoColHandlers(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := extractColoring(nice, tables)
+	for _, e := range g.Edges() {
+		if colors[e[0]] == colors[e[1]] {
+			t.Fatalf("extracted coloring not proper at edge %v", e)
+		}
+	}
+}
+
+// extractColoring walks the provenance chains from an accepting root
+// state, reading off bag-local assignments.
+func extractColoring(d *tree.Decomposition, tables Tables[uint32]) map[int]int {
+	colors := map[int]int{}
+	var assign func(v int, s uint32)
+	assign = func(v int, s uint32) {
+		bag := sortedCopy(d.Nodes[v].Bag)
+		for i, e := range bag {
+			colors[e] = int((s >> uint(i)) & 1)
+		}
+		prov := tables[v][s]
+		n := d.Nodes[v]
+		if prov.First != nil && len(n.Children) >= 1 {
+			assign(n.Children[0], *prov.First)
+		}
+		if prov.Second != nil && len(n.Children) == 2 {
+			assign(n.Children[1], *prov.Second)
+		}
+	}
+	for s := range tables[d.Root] {
+		assign(d.Root, s)
+		break
+	}
+	return colors
+}
+
+func TestRunDownEnvelope(t *testing.T) {
+	// The envelope of a leaf is the entire tree, so a leaf's top-down
+	// table is non-empty iff the whole graph is 2-colorable.
+	for _, g := range []*graph.Graph{graph.Cycle(5), graph.Cycle(6), graph.Grid(2, 4)} {
+		nice := niceDecomposition(t, g, tree.NiceOptions{BranchGuard: true})
+		h := twoColHandlers(g)
+		up, err := RunUp(nice, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		down, err := RunDown(nice, h, up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bipartite(g)
+		for _, leaf := range nice.Leaves() {
+			if got := len(down[leaf]) > 0; got != want {
+				t.Fatalf("down table at leaf %d non-empty = %v, want %v", leaf, got, want)
+			}
+		}
+		// And at every node: solve↓ non-empty iff solve non-empty iff
+		// bipartite (2-colorability is monotone under substructures, so
+		// tables can only die where a conflict exists).
+		if want {
+			for v := range nice.Nodes {
+				if len(down[v]) == 0 {
+					t.Fatalf("down table empty at node %d of bipartite graph", v)
+				}
+			}
+		}
+	}
+}
+
+func TestRunDownNeedsMatchingTables(t *testing.T) {
+	g := graph.Path(3)
+	nice := niceDecomposition(t, g, tree.NiceOptions{})
+	h := twoColHandlers(g)
+	if _, err := RunDown(nice, h, make(Tables[uint32], 1)); err == nil {
+		t.Fatal("mismatched tables accepted")
+	}
+}
+
+// Property: the DP agrees with BFS bipartiteness on random graphs, both
+// bottom-up at the root and top-down at every leaf.
+func TestQuickTwoColoringAgreesWithBFS(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 2
+		g := graph.RandomTree(n, rng)
+		for i := rng.Intn(n); i > 0; i-- {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		d, err := decompose.Graph(g, decompose.MinFill)
+		if err != nil {
+			return false
+		}
+		nice, err := tree.NormalizeNice(d, tree.NiceOptions{LeafElems: allElems(n), BranchGuard: true})
+		if err != nil {
+			return false
+		}
+		h := twoColHandlers(g)
+		up, err := RunUp(nice, h)
+		if err != nil {
+			return false
+		}
+		want := bipartite(g)
+		if (len(up[nice.Root]) > 0) != want {
+			return false
+		}
+		down, err := RunDown(nice, h, up)
+		if err != nil {
+			return false
+		}
+		for _, leaf := range nice.Leaves() {
+			if (len(down[leaf]) > 0) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(59))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func allElems(n int) *bitset.Set {
+	s := bitset.New(n)
+	for i := 0; i < n; i++ {
+		s.Add(i)
+	}
+	return s
+}

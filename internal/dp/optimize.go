@@ -1,0 +1,90 @@
+package dp
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// CostHandlers defines an optimizing DP over a nice tree decomposition:
+// like Handlers, but every produced state carries a cost delta, and the
+// tables keep the minimum cost per state. This supports the optimization
+// problems (vertex cover, dominating set, …) whose fixed-parameter
+// tractability the paper's framework targets beyond decision queries.
+type CostHandlers[S comparable] struct {
+	// Leaf enumerates leaf states with their base costs.
+	Leaf func(node int, bag []int) []Costed[S]
+	// Introduce extends a child state; the returned costs are added to
+	// the child's accumulated cost.
+	Introduce func(node int, bag []int, elem int, child S) []Costed[S]
+	// Forget projects a child state.
+	Forget func(node int, bag []int, elem int, child S) []Costed[S]
+	// Branch combines two child states; the returned cost is added to the
+	// SUM of the children's costs (use it to subtract double-counted bag
+	// contributions).
+	Branch func(node int, bag []int, s1, s2 S) []Costed[S]
+	// Copy defaults to zero-cost pass-through.
+	Copy func(node int, bag []int, child S) []Costed[S]
+}
+
+// Costed pairs a state with a cost delta.
+type Costed[S comparable] struct {
+	State S
+	Cost  int
+}
+
+// RunUpMin computes, for every node and state, the minimum accumulated
+// cost of a derivation.
+func RunUpMin[S comparable](d *tree.Decomposition, h CostHandlers[S]) ([]map[S]int, error) {
+	if err := tree.CheckNice(d); err != nil {
+		return nil, fmt.Errorf("dp: %w", err)
+	}
+	tables := make([]map[S]int, d.Len())
+	for _, v := range d.PostOrder() {
+		n := d.Nodes[v]
+		bag := sortedCopy(n.Bag)
+		tbl := map[S]int{}
+		relax := func(s S, c int) {
+			if old, ok := tbl[s]; !ok || c < old {
+				tbl[s] = c
+			}
+		}
+		switch n.Kind {
+		case tree.KindLeaf:
+			for _, cs := range h.Leaf(v, bag) {
+				relax(cs.State, cs.Cost)
+			}
+		case tree.KindIntroduce, tree.KindForget, tree.KindCopy:
+			for child, cost := range tables[n.Children[0]] {
+				var results []Costed[S]
+				switch n.Kind {
+				case tree.KindIntroduce:
+					results = h.Introduce(v, bag, n.Elem, child)
+				case tree.KindForget:
+					results = h.Forget(v, bag, n.Elem, child)
+				default:
+					if h.Copy == nil {
+						results = []Costed[S]{{State: child}}
+					} else {
+						results = h.Copy(v, bag, child)
+					}
+				}
+				for _, cs := range results {
+					relax(cs.State, cost+cs.Cost)
+				}
+			}
+		case tree.KindBranch:
+			for s1, c1 := range tables[n.Children[0]] {
+				for s2, c2 := range tables[n.Children[1]] {
+					for _, cs := range h.Branch(v, bag, s1, s2) {
+						relax(cs.State, c1+c2+cs.Cost)
+					}
+				}
+			}
+		default:
+			return nil, fmt.Errorf("dp: node %d has kind %v", v, n.Kind)
+		}
+		tables[v] = tbl
+	}
+	return tables, nil
+}

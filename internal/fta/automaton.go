@@ -1,0 +1,413 @@
+// Package fta implements bottom-up finite tree automata on binary trees
+// and the classical compilation of MSO on trees to tree automata
+// (Thatcher–Wright/Doner, [29, 6] in the paper). This is the route that
+// Courcelle-based algorithm derivations take ([2, 13]) and whose "state
+// explosion" ([15, 26]) motivates the paper's monadic datalog approach;
+// experiment E6 measures the explosion on this implementation.
+package fta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tree is a binary tree whose nodes carry a label index into some
+// alphabet. A node has either zero or two children.
+type Tree struct {
+	Label       int
+	Left, Right *Tree
+}
+
+// Leaf returns a leaf node.
+func Leaf(label int) *Tree { return &Tree{Label: label} }
+
+// Node returns an internal node with two children.
+func Node(label int, l, r *Tree) *Tree { return &Tree{Label: label, Left: l, Right: r} }
+
+// Size returns the number of nodes.
+func (t *Tree) Size() int {
+	if t == nil {
+		return 0
+	}
+	return 1 + t.Left.Size() + t.Right.Size()
+}
+
+// Validate checks the 0-or-2-children discipline and label range.
+func (t *Tree) Validate(numLabels int) error {
+	if t == nil {
+		return fmt.Errorf("fta: nil tree")
+	}
+	if t.Label < 0 || t.Label >= numLabels {
+		return fmt.Errorf("fta: label %d out of range", t.Label)
+	}
+	if (t.Left == nil) != (t.Right == nil) {
+		return fmt.Errorf("fta: node with exactly one child")
+	}
+	if t.Left != nil {
+		if err := t.Left.Validate(numLabels); err != nil {
+			return err
+		}
+		return t.Right.Validate(numLabels)
+	}
+	return nil
+}
+
+// Automaton is a (nondeterministic) bottom-up finite tree automaton over
+// binary trees with labels 0..NumLabels-1.
+type Automaton struct {
+	NumLabels int
+	NumStates int
+	// LeafTrans[label] lists the states reachable at a leaf.
+	LeafTrans [][]int
+	// BinTrans maps (label, s1, s2) to reachable states.
+	BinTrans map[[3]int][]int
+	// Final marks accepting states.
+	Final []bool
+}
+
+// NewAutomaton returns an automaton with no transitions.
+func NewAutomaton(numLabels, numStates int) *Automaton {
+	return &Automaton{
+		NumLabels: numLabels,
+		NumStates: numStates,
+		LeafTrans: make([][]int, numLabels),
+		BinTrans:  map[[3]int][]int{},
+		Final:     make([]bool, numStates),
+	}
+}
+
+// AddLeaf adds a leaf transition label → state.
+func (a *Automaton) AddLeaf(label, state int) {
+	a.LeafTrans[label] = append(a.LeafTrans[label], state)
+}
+
+// AddBin adds a binary transition (label, s1, s2) → state.
+func (a *Automaton) AddBin(label, s1, s2, state int) {
+	k := [3]int{label, s1, s2}
+	a.BinTrans[k] = append(a.BinTrans[k], state)
+}
+
+// SetFinal marks a state accepting.
+func (a *Automaton) SetFinal(state int) { a.Final[state] = true }
+
+// NumTransitions returns the number of transition entries.
+func (a *Automaton) NumTransitions() int {
+	n := 0
+	for _, ss := range a.LeafTrans {
+		n += len(ss)
+	}
+	for _, ss := range a.BinTrans {
+		n += len(ss)
+	}
+	return n
+}
+
+// Run returns the set of states reachable at the root of t.
+func (a *Automaton) Run(t *Tree) map[int]bool {
+	if t.Left == nil {
+		out := map[int]bool{}
+		for _, s := range a.LeafTrans[t.Label] {
+			out[s] = true
+		}
+		return out
+	}
+	l := a.Run(t.Left)
+	r := a.Run(t.Right)
+	out := map[int]bool{}
+	for s1 := range l {
+		for s2 := range r {
+			for _, s := range a.BinTrans[[3]int{t.Label, s1, s2}] {
+				out[s] = true
+			}
+		}
+	}
+	return out
+}
+
+// Accepts reports whether some run reaches a final state at the root.
+func (a *Automaton) Accepts(t *Tree) bool {
+	for s := range a.Run(t) {
+		if a.Final[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// Product returns the automaton accepting the intersection of the two
+// languages (over the same alphabet).
+func Product(a, b *Automaton) (*Automaton, error) {
+	if a.NumLabels != b.NumLabels {
+		return nil, fmt.Errorf("fta: alphabet mismatch %d vs %d", a.NumLabels, b.NumLabels)
+	}
+	out := NewAutomaton(a.NumLabels, a.NumStates*b.NumStates)
+	pair := func(s, t int) int { return s*b.NumStates + t }
+	for label := 0; label < a.NumLabels; label++ {
+		for _, s := range a.LeafTrans[label] {
+			for _, t := range b.LeafTrans[label] {
+				out.AddLeaf(label, pair(s, t))
+			}
+		}
+	}
+	for ka, ssa := range a.BinTrans {
+		for kb, ssb := range b.BinTrans {
+			if ka[0] != kb[0] {
+				continue
+			}
+			for _, s := range ssa {
+				for _, t := range ssb {
+					out.AddBin(ka[0], pair(ka[1], kb[1]), pair(ka[2], kb[2]), pair(s, t))
+				}
+			}
+		}
+	}
+	for s := 0; s < a.NumStates; s++ {
+		for t := 0; t < b.NumStates; t++ {
+			if a.Final[s] && b.Final[t] {
+				out.SetFinal(pair(s, t))
+			}
+		}
+	}
+	return out, nil
+}
+
+// Union returns the automaton accepting the union of the two languages
+// (disjoint union of state spaces).
+func Union(a, b *Automaton) (*Automaton, error) {
+	if a.NumLabels != b.NumLabels {
+		return nil, fmt.Errorf("fta: alphabet mismatch")
+	}
+	out := NewAutomaton(a.NumLabels, a.NumStates+b.NumStates)
+	for label := 0; label < a.NumLabels; label++ {
+		for _, s := range a.LeafTrans[label] {
+			out.AddLeaf(label, s)
+		}
+		for _, s := range b.LeafTrans[label] {
+			out.AddLeaf(label, a.NumStates+s)
+		}
+	}
+	for k, ss := range a.BinTrans {
+		for _, s := range ss {
+			out.AddBin(k[0], k[1], k[2], s)
+		}
+	}
+	for k, ss := range b.BinTrans {
+		for _, s := range ss {
+			out.AddBin(k[0], a.NumStates+k[1], a.NumStates+k[2], a.NumStates+s)
+		}
+	}
+	for s, f := range a.Final {
+		if f {
+			out.SetFinal(s)
+		}
+	}
+	for s, f := range b.Final {
+		if f {
+			out.SetFinal(a.NumStates + s)
+		}
+	}
+	return out, nil
+}
+
+// Determinize returns an equivalent deterministic, complete automaton via
+// the subset construction. The result can be exponentially larger — this
+// is the primary source of the MSO-to-FTA state explosion (every negation
+// in the formula forces a determinization).
+func Determinize(a *Automaton) *Automaton {
+	type subset string // canonical sorted state list
+	key := func(states map[int]bool) subset {
+		elems := make([]int, 0, len(states))
+		for s := range states {
+			elems = append(elems, s)
+		}
+		sort.Ints(elems)
+		var b strings.Builder
+		for i, s := range elems {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", s)
+		}
+		return subset(b.String())
+	}
+	id := map[subset]int{}
+	var sets []map[int]bool
+	intern := func(states map[int]bool) (int, bool) {
+		k := key(states)
+		if i, ok := id[k]; ok {
+			return i, false
+		}
+		i := len(sets)
+		id[k] = i
+		sets = append(sets, states)
+		return i, true
+	}
+
+	target := func(label, i1, i2 int) map[int]bool {
+		states := map[int]bool{}
+		for s1 := range sets[i1] {
+			for s2 := range sets[i2] {
+				for _, s := range a.BinTrans[[3]int{label, s1, s2}] {
+					states[s] = true
+				}
+			}
+		}
+		return states
+	}
+
+	// Seed with leaf subsets, then saturate the subset family: keep
+	// sweeping all (label, subset, subset) combinations until no new
+	// subset appears.
+	leafSubset := make([]int, a.NumLabels)
+	for label := 0; label < a.NumLabels; label++ {
+		states := map[int]bool{}
+		for _, s := range a.LeafTrans[label] {
+			states[s] = true
+		}
+		leafSubset[label], _ = intern(states)
+	}
+	for {
+		before := len(sets)
+		n := before
+		for label := 0; label < a.NumLabels; label++ {
+			for i1 := 0; i1 < n; i1++ {
+				for i2 := 0; i2 < n; i2++ {
+					intern(target(label, i1, i2))
+				}
+			}
+		}
+		if len(sets) == before {
+			break
+		}
+	}
+
+	out := NewAutomaton(a.NumLabels, len(sets))
+	for label, i := range leafSubset {
+		out.AddLeaf(label, i)
+	}
+	for label := 0; label < a.NumLabels; label++ {
+		for i1 := 0; i1 < len(sets); i1++ {
+			for i2 := 0; i2 < len(sets); i2++ {
+				i, fresh := intern(target(label, i1, i2))
+				if fresh {
+					panic("fta: determinize fixpoint incomplete")
+				}
+				out.AddBin(label, i1, i2, i)
+			}
+		}
+	}
+	for i, states := range sets {
+		for s := range states {
+			if a.Final[s] {
+				out.SetFinal(i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Complement returns the automaton accepting the complement language.
+// The input is determinized (and thereby completed) first.
+func Complement(a *Automaton) *Automaton {
+	d := Determinize(a)
+	for s := range d.Final {
+		d.Final[s] = !d.Final[s]
+	}
+	return d
+}
+
+// IsEmpty reports whether the language is empty, by reachability of a
+// final state.
+func (a *Automaton) IsEmpty() bool {
+	reachable := make([]bool, a.NumStates)
+	changed := true
+	for changed {
+		changed = false
+		for _, ss := range a.LeafTrans {
+			for _, s := range ss {
+				if !reachable[s] {
+					reachable[s] = true
+					changed = true
+				}
+			}
+		}
+		for k, ss := range a.BinTrans {
+			if !reachable[k[1]] || !reachable[k[2]] {
+				continue
+			}
+			for _, s := range ss {
+				if !reachable[s] {
+					reachable[s] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for s, f := range a.Final {
+		if f && reachable[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// Trim removes states that are not reachable bottom-up, renumbering the
+// rest; it never changes the language.
+func Trim(a *Automaton) *Automaton {
+	reachable := make([]bool, a.NumStates)
+	changed := true
+	for changed {
+		changed = false
+		for _, ss := range a.LeafTrans {
+			for _, s := range ss {
+				if !reachable[s] {
+					reachable[s] = true
+					changed = true
+				}
+			}
+		}
+		for k, ss := range a.BinTrans {
+			if !reachable[k[1]] || !reachable[k[2]] {
+				continue
+			}
+			for _, s := range ss {
+				if !reachable[s] {
+					reachable[s] = true
+					changed = true
+				}
+			}
+		}
+	}
+	remap := make([]int, a.NumStates)
+	n := 0
+	for s, r := range reachable {
+		if r {
+			remap[s] = n
+			n++
+		} else {
+			remap[s] = -1
+		}
+	}
+	out := NewAutomaton(a.NumLabels, n)
+	for label, ss := range a.LeafTrans {
+		for _, s := range ss {
+			out.AddLeaf(label, remap[s])
+		}
+	}
+	for k, ss := range a.BinTrans {
+		if remap[k[1]] < 0 || remap[k[2]] < 0 {
+			continue
+		}
+		for _, s := range ss {
+			out.AddBin(k[0], remap[k[1]], remap[k[2]], remap[s])
+		}
+	}
+	for s, f := range a.Final {
+		if f && remap[s] >= 0 {
+			out.SetFinal(remap[s])
+		}
+	}
+	return out
+}

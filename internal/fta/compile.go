@@ -1,0 +1,403 @@
+package fta
+
+import (
+	"fmt"
+
+	"repro/internal/mso"
+	"repro/internal/structure"
+)
+
+// This file implements the classical MSO-to-FTA compilation on binary
+// labeled trees: each variable becomes a bit track on the alphabet,
+// quantifiers become projections, negations become complementation (and
+// therefore determinization — the source of the state explosion), and
+// conjunction/disjunction become product/union.
+//
+// Vocabulary of tree formulas (package mso syntax):
+//
+//	<label>(x)     node x carries the label
+//	child1(x, y)   y is the first child of x
+//	child2(x, y)   y is the second child of x
+//	x = y, x in X, quantifiers, connectives
+//
+// The extended alphabet for k tracks is ext = bits | base<<k, where bit i
+// is node membership in track i.
+
+// CompileStats reports the cost of a compilation.
+type CompileStats struct {
+	// MaxStates is the largest intermediate automaton (after trimming).
+	MaxStates int
+	// Determinizations counts subset constructions performed.
+	Determinizations int
+}
+
+// Compile translates an MSO sentence over binary trees with the given
+// label names into a tree automaton over the plain alphabet.
+func Compile(f *mso.Formula, labels []string) (*Automaton, *CompileStats, error) {
+	elems, sets := f.FreeVars()
+	if len(elems)+len(sets) > 0 {
+		return nil, nil, fmt.Errorf("fta: formula has free variables %v %v", elems, sets)
+	}
+	c := &compiler{labels: labels, stats: &CompileStats{}}
+	a, err := c.compile(f, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, c.stats, nil
+}
+
+type compiler struct {
+	labels   []string
+	stats    *CompileStats
+	minimize bool
+}
+
+func (c *compiler) note(a *Automaton) *Automaton {
+	t := Trim(a)
+	if c.minimize {
+		t = Trim(Minimize(t))
+	}
+	if t.NumStates > c.stats.MaxStates {
+		c.stats.MaxStates = t.NumStates
+	}
+	return t
+}
+
+func (c *compiler) extCount(tracks int) int {
+	return len(c.labels) << uint(tracks)
+}
+
+// trackIndex resolves a variable to its innermost binding (tracks are
+// appended as quantifiers nest, so shadowed names resolve to the last
+// occurrence).
+func trackIndex(tracks []string, name string) int {
+	for i := len(tracks) - 1; i >= 0; i-- {
+		if tracks[i] == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *compiler) labelIndex(name string) int {
+	for i, l := range c.labels {
+		if l == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// compile builds the automaton of f over the extended alphabet for the
+// given track list (all free variables of f must appear in tracks).
+func (c *compiler) compile(f *mso.Formula, tracks []string) (*Automaton, error) {
+	k := len(tracks)
+	switch f.Kind {
+	case mso.KTrue:
+		return c.note(c.trivial(k, true)), nil
+	case mso.KFalse:
+		return c.note(c.trivial(k, false)), nil
+	case mso.KAtom:
+		switch f.Pred {
+		case "child1", "child2":
+			if len(f.Args) != 2 {
+				return nil, fmt.Errorf("fta: %s expects 2 arguments", f.Pred)
+			}
+			ti := trackIndex(tracks, f.Args[0])
+			tj := trackIndex(tracks, f.Args[1])
+			if ti < 0 || tj < 0 {
+				return nil, fmt.Errorf("fta: unbound variable in %s", f)
+			}
+			which := 1
+			if f.Pred == "child2" {
+				which = 2
+			}
+			return c.note(c.edgeAut(k, which, ti, tj)), nil
+		default:
+			li := c.labelIndex(f.Pred)
+			if li < 0 {
+				return nil, fmt.Errorf("fta: unknown label predicate %s", f.Pred)
+			}
+			if len(f.Args) != 1 {
+				return nil, fmt.Errorf("fta: label %s expects 1 argument", f.Pred)
+			}
+			ti := trackIndex(tracks, f.Args[0])
+			if ti < 0 {
+				return nil, fmt.Errorf("fta: unbound variable in %s", f)
+			}
+			return c.note(c.labAut(k, li, ti)), nil
+		}
+	case mso.KEq:
+		ti := trackIndex(tracks, f.X)
+		tj := trackIndex(tracks, f.Y)
+		if ti < 0 || tj < 0 {
+			return nil, fmt.Errorf("fta: unbound variable in %s", f)
+		}
+		return c.note(c.eqAut(k, ti, tj)), nil
+	case mso.KIn:
+		ti := trackIndex(tracks, f.X)
+		tj := trackIndex(tracks, f.Y)
+		if ti < 0 || tj < 0 {
+			return nil, fmt.Errorf("fta: unbound variable in %s", f)
+		}
+		return c.note(c.subAut(k, ti, tj)), nil
+	case mso.KNot:
+		a, err := c.compile(f.Sub[0], tracks)
+		if err != nil {
+			return nil, err
+		}
+		c.stats.Determinizations++
+		return c.note(Complement(a)), nil
+	case mso.KAnd, mso.KOr:
+		cur, err := c.compile(f.Sub[0], tracks)
+		if err != nil {
+			return nil, err
+		}
+		for _, sub := range f.Sub[1:] {
+			next, err := c.compile(sub, tracks)
+			if err != nil {
+				return nil, err
+			}
+			if f.Kind == mso.KAnd {
+				cur, err = Product(cur, next)
+			} else {
+				cur, err = Union(cur, next)
+			}
+			if err != nil {
+				return nil, err
+			}
+			cur = c.note(cur)
+		}
+		return cur, nil
+	case mso.KImpl:
+		return c.compile(mso.Or(mso.Not(f.Sub[0]), f.Sub[1]), tracks)
+	case mso.KIff:
+		return c.compile(mso.And(
+			mso.Impl(f.Sub[0], f.Sub[1]),
+			mso.Impl(f.Sub[1], f.Sub[0])), tracks)
+	case mso.KExistsS, mso.KExistsE:
+		inner := append(append([]string{}, tracks...), f.Var)
+		a, err := c.compile(f.Sub[0], inner)
+		if err != nil {
+			return nil, err
+		}
+		if f.Kind == mso.KExistsE {
+			// Element variables are singleton-encoded: ∃x φ becomes
+			// ∃X (Sing(X) ∧ φ).
+			a, err = Product(c.singAut(len(inner), len(inner)-1), a)
+			if err != nil {
+				return nil, err
+			}
+			a = c.note(a)
+		}
+		return c.note(c.projectLast(a, k)), nil
+	case mso.KForallS:
+		return c.compile(mso.Not(mso.ExistsS(f.Var, mso.Not(f.Sub[0]))), tracks)
+	case mso.KForallE:
+		return c.compile(mso.Not(mso.ExistsE(f.Var, mso.Not(f.Sub[0]))), tracks)
+	default:
+		return nil, fmt.Errorf("fta: unsupported formula kind %d", f.Kind)
+	}
+}
+
+// ext decomposition helpers for k tracks.
+func bitOf(ext, track int) bool { return ext&(1<<uint(track)) != 0 }
+
+// trivial returns the automaton accepting every tree (final=true) or none.
+func (c *compiler) trivial(k int, final bool) *Automaton {
+	a := NewAutomaton(c.extCount(k), 1)
+	for ext := 0; ext < a.NumLabels; ext++ {
+		a.AddLeaf(ext, 0)
+		a.AddBin(ext, 0, 0, 0)
+	}
+	if final {
+		a.SetFinal(0)
+	}
+	return a
+}
+
+// labAut accepts iff every node on track ti carries base label li.
+func (c *compiler) labAut(k, li, ti int) *Automaton {
+	a := NewAutomaton(c.extCount(k), 1)
+	for ext := 0; ext < a.NumLabels; ext++ {
+		if bitOf(ext, ti) && ext>>uint(k) != li {
+			continue
+		}
+		a.AddLeaf(ext, 0)
+		a.AddBin(ext, 0, 0, 0)
+	}
+	a.SetFinal(0)
+	return a
+}
+
+// subAut accepts iff track ti ⊆ track tj.
+func (c *compiler) subAut(k, ti, tj int) *Automaton {
+	a := NewAutomaton(c.extCount(k), 1)
+	for ext := 0; ext < a.NumLabels; ext++ {
+		if bitOf(ext, ti) && !bitOf(ext, tj) {
+			continue
+		}
+		a.AddLeaf(ext, 0)
+		a.AddBin(ext, 0, 0, 0)
+	}
+	a.SetFinal(0)
+	return a
+}
+
+// eqAut accepts iff tracks ti and tj mark exactly the same nodes.
+func (c *compiler) eqAut(k, ti, tj int) *Automaton {
+	a := NewAutomaton(c.extCount(k), 1)
+	for ext := 0; ext < a.NumLabels; ext++ {
+		if bitOf(ext, ti) != bitOf(ext, tj) {
+			continue
+		}
+		a.AddLeaf(ext, 0)
+		a.AddBin(ext, 0, 0, 0)
+	}
+	a.SetFinal(0)
+	return a
+}
+
+// singAut accepts iff exactly one node is marked on track ti.
+// States: 0 = no mark yet, 1 = exactly one mark.
+func (c *compiler) singAut(k, ti int) *Automaton {
+	a := NewAutomaton(c.extCount(k), 2)
+	for ext := 0; ext < a.NumLabels; ext++ {
+		b := 0
+		if bitOf(ext, ti) {
+			b = 1
+		}
+		a.AddLeaf(ext, b)
+		for c1 := 0; c1 <= 1; c1++ {
+			for c2 := 0; c2 <= 1; c2++ {
+				if b+c1+c2 <= 1 {
+					a.AddBin(ext, c1, c2, b+c1+c2)
+				}
+			}
+		}
+	}
+	a.SetFinal(1)
+	return a
+}
+
+// edgeAut accepts iff the (unique) node marked on track tj is the
+// which-th child of the (unique) node marked on track ti. Correct under
+// the singleton marking produced by the element-quantifier encoding.
+// States: 0 = clean, 1 = the subtree root is the tj-marked node,
+// 2 = the pair has been matched.
+func (c *compiler) edgeAut(k, which, ti, tj int) *Automaton {
+	a := NewAutomaton(c.extCount(k), 3)
+	for ext := 0; ext < a.NumLabels; ext++ {
+		bx, by := bitOf(ext, ti), bitOf(ext, tj)
+		// Leaves: x must be internal; y may be a leaf.
+		switch {
+		case bx:
+			// no transition: x at a leaf can have no child
+		case by:
+			a.AddLeaf(ext, 1)
+		default:
+			a.AddLeaf(ext, 0)
+		}
+		// Internal nodes.
+		for c1 := 0; c1 <= 2; c1++ {
+			for c2 := 0; c2 <= 2; c2++ {
+				res := -1
+				switch {
+				case c1 == 2 && c2 == 0 && !bx && !by:
+					res = 2
+				case c2 == 2 && c1 == 0 && !bx && !by:
+					res = 2
+				case bx && !by && which == 1 && c1 == 1 && c2 == 0:
+					res = 2
+				case bx && !by && which == 2 && c2 == 1 && c1 == 0:
+					res = 2
+				case by && !bx && c1 == 0 && c2 == 0:
+					res = 1
+				case !bx && !by && c1 == 0 && c2 == 0:
+					res = 0
+				}
+				if res >= 0 {
+					a.AddBin(ext, c1, c2, res)
+				}
+			}
+		}
+	}
+	a.SetFinal(2)
+	return a
+}
+
+// projectLast removes the last track (position k of k+1 tracks): every
+// pair of extended labels differing only in that bit collapses, taking the
+// union of transitions — the nondeterministic image of ∃.
+func (c *compiler) projectLast(a *Automaton, k int) *Automaton {
+	out := NewAutomaton(c.extCount(k), a.NumStates)
+	drop := func(ext int) int {
+		bits := ext & ((1 << uint(k+1)) - 1)
+		base := ext >> uint(k+1)
+		low := bits & ((1 << uint(k)) - 1)
+		return low | base<<uint(k)
+	}
+	for ext := 0; ext < a.NumLabels; ext++ {
+		for _, s := range a.LeafTrans[ext] {
+			out.AddLeaf(drop(ext), s)
+		}
+	}
+	for key, ss := range a.BinTrans {
+		for _, s := range ss {
+			out.AddBin(drop(key[0]), key[1], key[2], s)
+		}
+	}
+	copy(out.Final, a.Final)
+	return out
+}
+
+// TreeToStructure encodes a tree as a τ-structure for the naive MSO
+// evaluator: one element per node, unary label predicates, and
+// child1(x,y)/child2(x,y) meaning y is the first/second child of x.
+func TreeToStructure(t *Tree, labels []string) (*structure.Structure, error) {
+	preds := make([]structure.Predicate, 0, len(labels)+2)
+	for _, l := range labels {
+		preds = append(preds, structure.Predicate{Name: l, Arity: 1})
+	}
+	preds = append(preds,
+		structure.Predicate{Name: "child1", Arity: 2},
+		structure.Predicate{Name: "child2", Arity: 2})
+	sig, err := structure.NewSignature(preds...)
+	if err != nil {
+		return nil, err
+	}
+	st := structure.New(sig)
+	var rec func(n *Tree) (int, error)
+	counter := 0
+	rec = func(n *Tree) (int, error) {
+		id := st.AddElem(fmt.Sprintf("n%d", counter))
+		counter++
+		if n.Label < 0 || n.Label >= len(labels) {
+			return 0, fmt.Errorf("fta: label %d out of range", n.Label)
+		}
+		if err := st.AddTuple(labels[n.Label], id); err != nil {
+			return 0, err
+		}
+		if n.Left != nil {
+			l, err := rec(n.Left)
+			if err != nil {
+				return 0, err
+			}
+			r, err := rec(n.Right)
+			if err != nil {
+				return 0, err
+			}
+			if err := st.AddTuple("child1", id, l); err != nil {
+				return 0, err
+			}
+			if err := st.AddTuple("child2", id, r); err != nil {
+				return 0, err
+			}
+		}
+		return id, nil
+	}
+	if _, err := rec(t); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

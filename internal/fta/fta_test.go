@@ -1,0 +1,311 @@
+package fta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mso"
+)
+
+// evenAs returns an automaton over labels {a, b} accepting trees with an
+// even number of a-labeled nodes. States: parity.
+func evenAs() *Automaton {
+	a := NewAutomaton(2, 2)
+	a.AddLeaf(0, 1) // a-leaf: odd
+	a.AddLeaf(1, 0) // b-leaf: even
+	for lbl := 0; lbl <= 1; lbl++ {
+		for c1 := 0; c1 <= 1; c1++ {
+			for c2 := 0; c2 <= 1; c2++ {
+				p := (c1 + c2 + 1 - lbl) % 2 // label 0 (=a) adds one
+				a.AddBin(lbl, c1, c2, p)
+			}
+		}
+	}
+	a.SetFinal(0)
+	return a
+}
+
+// hasA accepts trees containing at least one a (label 0).
+func hasA() *Automaton {
+	a := NewAutomaton(2, 2) // state 1 = seen a
+	a.AddLeaf(0, 1)
+	a.AddLeaf(1, 0)
+	for lbl := 0; lbl <= 1; lbl++ {
+		for c1 := 0; c1 <= 1; c1++ {
+			for c2 := 0; c2 <= 1; c2++ {
+				s := c1 | c2
+				if lbl == 0 {
+					s = 1
+				}
+				a.AddBin(lbl, c1, c2, s)
+			}
+		}
+	}
+	a.SetFinal(1)
+	return a
+}
+
+func countAs(t *Tree) int {
+	if t == nil {
+		return 0
+	}
+	n := countAs(t.Left) + countAs(t.Right)
+	if t.Label == 0 {
+		n++
+	}
+	return n
+}
+
+func randTree(rng *rand.Rand, depth int) *Tree {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return Leaf(rng.Intn(2))
+	}
+	return Node(rng.Intn(2), randTree(rng, depth-1), randTree(rng, depth-1))
+}
+
+func TestRunAndAccepts(t *testing.T) {
+	a := evenAs()
+	tr := Node(1, Leaf(0), Leaf(0)) // two a's: even
+	if !a.Accepts(tr) {
+		t.Fatal("even tree rejected")
+	}
+	tr2 := Node(0, Leaf(0), Leaf(0)) // three a's
+	if a.Accepts(tr2) {
+		t.Fatal("odd tree accepted")
+	}
+}
+
+func TestTreeValidate(t *testing.T) {
+	if err := Node(0, Leaf(1), Leaf(0)).Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Tree{Label: 0, Left: Leaf(1)}
+	if err := bad.Validate(2); err == nil {
+		t.Fatal("one-child node accepted")
+	}
+	if err := Leaf(5).Validate(2); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if Node(0, Leaf(1), Leaf(1)).Size() != 3 {
+		t.Fatal("Size wrong")
+	}
+}
+
+func TestBooleanOperations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	even, has := evenAs(), hasA()
+	prod, err := Product(even, has)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := Union(even, has)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := Complement(even)
+	det := Determinize(has)
+	for i := 0; i < 200; i++ {
+		tr := randTree(rng, 4)
+		wantEven := countAs(tr)%2 == 0
+		wantHas := countAs(tr) > 0
+		if even.Accepts(tr) != wantEven {
+			t.Fatal("even automaton wrong")
+		}
+		if prod.Accepts(tr) != (wantEven && wantHas) {
+			t.Fatal("Product wrong")
+		}
+		if uni.Accepts(tr) != (wantEven || wantHas) {
+			t.Fatal("Union wrong")
+		}
+		if comp.Accepts(tr) != !wantEven {
+			t.Fatal("Complement wrong")
+		}
+		if det.Accepts(tr) != wantHas {
+			t.Fatal("Determinize changed the language")
+		}
+	}
+	// A deterministic automaton has singleton run sets.
+	if got := len(det.Run(randTree(rng, 3))); got != 1 {
+		t.Fatalf("deterministic run set size %d", got)
+	}
+}
+
+func TestEmptinessAndTrim(t *testing.T) {
+	even := evenAs()
+	if even.IsEmpty() {
+		t.Fatal("even-a language reported empty")
+	}
+	contradiction, err := Product(even, Complement(even))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contradiction.IsEmpty() {
+		t.Fatal("L ∩ ¬L not empty")
+	}
+	trimmed := Trim(contradiction)
+	if trimmed.NumStates > contradiction.NumStates {
+		t.Fatal("Trim grew the automaton")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		tr := randTree(rng, 3)
+		if trimmed.Accepts(tr) != contradiction.Accepts(tr) {
+			t.Fatal("Trim changed the language")
+		}
+	}
+}
+
+var treeLabels = []string{"a", "b"}
+
+func evalOnTree(t *testing.T, f *mso.Formula, tr *Tree) bool {
+	t.Helper()
+	st, err := TreeToStructure(tr, treeLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mso.Sentence(st, f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestCompileSimpleSentences(t *testing.T) {
+	cases := []string{
+		"exists x a(x)", // some node labeled a
+		"forall x a(x)", // all nodes labeled a
+		"exists x exists y (child1(x, y) & a(y))",       // some first child labeled a
+		"exists x exists y (child2(x, y) & x = y)",      // impossible
+		"exists X forall x (x in X)",                    // trivially true
+		"exists x forall y (x = y)",                     // single-node tree
+		"exists x exists y (child1(x,y) & child2(x,y))", // impossible: same node both children
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, src := range cases {
+		f := mso.MustParse(src)
+		a, stats, err := Compile(f, treeLabels)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", src, err)
+		}
+		if stats.MaxStates == 0 {
+			t.Fatalf("no stats recorded for %q", src)
+		}
+		for i := 0; i < 40; i++ {
+			tr := randTree(rng, 3)
+			want := evalOnTree(t, f, tr)
+			if got := a.Accepts(tr); got != want {
+				t.Fatalf("Compile(%q) on tree: got %v, want %v", src, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileRejectsFreeVariables(t *testing.T) {
+	if _, _, err := Compile(mso.MustParse("a(x)"), treeLabels); err == nil {
+		t.Fatal("free variable accepted")
+	}
+	if _, _, err := Compile(mso.MustParse("exists x q(x)"), treeLabels); err == nil {
+		t.Fatal("unknown predicate accepted")
+	}
+}
+
+// Property: compiled automata agree with the naive MSO evaluator on
+// random formulas and random trees.
+func TestQuickCompileAgreesWithEval(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := randTreeFormula(rng, 2, nil, nil)
+		a, _, err := Compile(f, treeLabels)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			tr := randTree(rng, 3)
+			st, err := TreeToStructure(tr, treeLabels)
+			if err != nil {
+				return false
+			}
+			want, err := mso.Sentence(st, f, nil)
+			if err != nil {
+				return false
+			}
+			if a.Accepts(tr) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(89))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randTreeFormula generates random closed tree formulas of bounded depth.
+func randTreeFormula(rng *rand.Rand, depth int, elemVars, setVars []string) *mso.Formula {
+	atom := func() *mso.Formula {
+		if len(elemVars) == 0 {
+			return mso.True()
+		}
+		x := elemVars[rng.Intn(len(elemVars))]
+		switch rng.Intn(4) {
+		case 0:
+			return mso.Atom(treeLabels[rng.Intn(len(treeLabels))], x)
+		case 1:
+			y := elemVars[rng.Intn(len(elemVars))]
+			return mso.Atom([]string{"child1", "child2"}[rng.Intn(2)], x, y)
+		case 2:
+			y := elemVars[rng.Intn(len(elemVars))]
+			return mso.Eq(x, y)
+		default:
+			if len(setVars) == 0 {
+				return mso.Atom(treeLabels[rng.Intn(len(treeLabels))], x)
+			}
+			return mso.In(x, setVars[rng.Intn(len(setVars))])
+		}
+	}
+	if depth == 0 || rng.Intn(4) == 0 {
+		return atom()
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return mso.Not(randTreeFormula(rng, depth-1, elemVars, setVars))
+	case 1:
+		return mso.And(randTreeFormula(rng, depth-1, elemVars, setVars),
+			randTreeFormula(rng, depth-1, elemVars, setVars))
+	case 2:
+		return mso.Or(randTreeFormula(rng, depth-1, elemVars, setVars),
+			randTreeFormula(rng, depth-1, elemVars, setVars))
+	case 3:
+		v := "s" + string(rune('a'+len(elemVars)))
+		return mso.ForallE(v, randTreeFormula(rng, depth-1, append(append([]string{}, elemVars...), v), setVars))
+	case 4:
+		v := "S" + string(rune('A'+len(setVars)))
+		return mso.ExistsS(v, randTreeFormula(rng, depth-1, elemVars, append(append([]string{}, setVars...), v)))
+	default:
+		v := "s" + string(rune('a'+len(elemVars)))
+		return mso.ExistsE(v, randTreeFormula(rng, depth-1, append(append([]string{}, elemVars...), v), setVars))
+	}
+}
+
+func TestStateExplosionMeasurable(t *testing.T) {
+	// Nested negations under quantifiers force repeated determinization;
+	// the intermediate automata must grow noticeably with formula size —
+	// the effect the paper cites from [26].
+	small := mso.MustParse("forall x a(x)")
+	big := mso.MustParse("forall x exists y forall z (child1(x,y) -> (a(z) | b(x)))")
+	_, sSmall, err := Compile(small, treeLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sBig, err := Compile(big, treeLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sBig.MaxStates <= sSmall.MaxStates {
+		t.Fatalf("no growth: %d vs %d", sSmall.MaxStates, sBig.MaxStates)
+	}
+	if sBig.Determinizations <= sSmall.Determinizations {
+		t.Fatalf("no extra determinizations: %d vs %d", sSmall.Determinizations, sBig.Determinizations)
+	}
+}

@@ -1,0 +1,88 @@
+package fta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mso"
+)
+
+func TestMinimizePreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, a := range []*Automaton{evenAs(), hasA(), Determinize(hasA()), Complement(evenAs())} {
+		m := Minimize(a)
+		if m.NumStates > Determinize(a).NumStates {
+			t.Fatal("Minimize grew the automaton")
+		}
+		for i := 0; i < 100; i++ {
+			tr := randTree(rng, 4)
+			if m.Accepts(tr) != a.Accepts(tr) {
+				t.Fatal("Minimize changed the language")
+			}
+		}
+	}
+}
+
+func TestMinimizeCollapsesRedundantStates(t *testing.T) {
+	// A product of an automaton with itself has a quadratic state space
+	// but the same language; minimization must collapse it back down to
+	// the size of the minimized original.
+	a := Determinize(evenAs())
+	p, err := Product(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mOrig := Minimize(a)
+	mProd := Minimize(Trim(p))
+	if Trim(mProd).NumStates != Trim(mOrig).NumStates {
+		t.Fatalf("product minimized to %d states, original to %d",
+			Trim(mProd).NumStates, Trim(mOrig).NumStates)
+	}
+}
+
+func TestCompileWithMinimize(t *testing.T) {
+	f := mso.MustParse("forall x exists y (child1(x,y) -> a(y))")
+	plain, sPlain, err := Compile(f, treeLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minimized, sMin, err := CompileWith(f, treeLabels, CompileOpts{Minimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sMin.MaxStates > sPlain.MaxStates {
+		t.Fatalf("minimizing compilation had larger intermediates: %d vs %d",
+			sMin.MaxStates, sPlain.MaxStates)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 60; i++ {
+		tr := randTree(rng, 3)
+		if plain.Accepts(tr) != minimized.Accepts(tr) {
+			t.Fatal("minimizing compilation changed the language")
+		}
+	}
+}
+
+// Property: Minimize preserves the language of compiled random formulas.
+func TestQuickMinimizeCompiled(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := randTreeFormula(rng, 2, nil, nil)
+		a, _, err := Compile(f, treeLabels)
+		if err != nil {
+			return false
+		}
+		m := Minimize(a)
+		for i := 0; i < 8; i++ {
+			tr := randTree(rng, 3)
+			if m.Accepts(tr) != a.Accepts(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(113))}); err != nil {
+		t.Fatal(err)
+	}
+}

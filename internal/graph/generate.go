@@ -1,0 +1,118 @@
+package graph
+
+import "math/rand"
+
+// Path returns the path graph on n vertices.
+func Path(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n vertices (n ≥ 3 for a proper cycle).
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n (treewidth n-1).
+func Complete(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Grid returns the r×c grid graph (treewidth min(r,c)).
+func Grid(r, c int) *Graph {
+	g := New(r * c)
+	at := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if i+1 < r {
+				g.AddEdge(at(i, j), at(i+1, j))
+			}
+			if j+1 < c {
+				g.AddEdge(at(i, j), at(i, j+1))
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices
+// (treewidth 1), built from a random Prüfer-style attachment.
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v))
+	}
+	return g
+}
+
+// KTree returns a random k-tree on n vertices: the canonical family of
+// graphs with treewidth exactly k (for n > k). It starts from K_{k+1} and
+// repeatedly attaches a new vertex to a random existing k-clique.
+func KTree(n, k int, rng *rand.Rand) *Graph {
+	if n <= k+1 {
+		return Complete(n)
+	}
+	g := Complete(k + 1)
+	// cliques holds k-subsets of vertices known to form cliques.
+	var cliques [][]int
+	base := make([]int, k+1)
+	for i := range base {
+		base[i] = i
+	}
+	for drop := 0; drop <= k; drop++ {
+		cl := make([]int, 0, k)
+		for i, v := range base {
+			if i != drop {
+				cl = append(cl, v)
+			}
+		}
+		cliques = append(cliques, cl)
+	}
+	for g.N() < n {
+		cl := cliques[rng.Intn(len(cliques))]
+		v := g.AddVertex()
+		for _, u := range cl {
+			g.AddEdge(v, u)
+		}
+		// New k-cliques: v together with each (k-1)-subset of cl.
+		for drop := 0; drop < len(cl); drop++ {
+			nc := make([]int, 0, k)
+			nc = append(nc, v)
+			for i, u := range cl {
+				if i != drop {
+					nc = append(nc, u)
+				}
+			}
+			cliques = append(cliques, nc)
+		}
+	}
+	return g
+}
+
+// PartialKTree returns a random partial k-tree: a KTree with each edge
+// independently deleted with probability dropProb. Partial k-trees are
+// exactly the graphs of treewidth ≤ k, so this is the standard generator
+// for bounded-treewidth workloads.
+func PartialKTree(n, k int, dropProb float64, rng *rand.Rand) *Graph {
+	full := KTree(n, k, rng)
+	g := New(full.N())
+	for _, e := range full.Edges() {
+		if rng.Float64() >= dropProb {
+			g.AddEdge(e[0], e[1])
+		}
+	}
+	return g
+}

@@ -1,0 +1,189 @@
+// Package graph implements simple undirected graphs: the inputs of the
+// 3-Colorability algorithms, the primal (Gaifman) graphs over which tree
+// decompositions of arbitrary τ-structures are computed, and the incidence
+// graphs of relational schemas (Section 2.2, Remark).
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/structure"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	adj   []*bitset.Set
+	edges int
+	names []string
+}
+
+// New returns an edgeless graph with n vertices.
+func New(n int) *Graph {
+	g := &Graph{adj: make([]*bitset.Set, n)}
+	for i := range g.adj {
+		g.adj[i] = bitset.New(n)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.edges }
+
+// AddVertex appends a new isolated vertex and returns its index.
+func (g *Graph) AddVertex() int {
+	g.adj = append(g.adj, bitset.New(len(g.adj)+1))
+	return len(g.adj) - 1
+}
+
+// AddEdge inserts the undirected edge {u,v}; self-loops and duplicates are
+// ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		return
+	}
+	if g.adj[u].Has(v) {
+		return
+	}
+	g.adj[u].Add(v)
+	g.adj[v].Add(u)
+	g.edges++
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	return u >= 0 && u < len(g.adj) && g.adj[u].Has(v)
+}
+
+// Neighbors returns the adjacency set of v. The result must not be
+// modified.
+func (g *Graph) Neighbors(v int) *bitset.Set { return g.adj[v] }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int { return g.adj[v].Len() }
+
+// Edges returns every edge once, as ordered pairs with u < v.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.edges)
+	for u := range g.adj {
+		g.adj[u].ForEach(func(v int) bool {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// SetName attaches a label to vertex v (used by printers).
+func (g *Graph) SetName(v int, name string) {
+	for len(g.names) <= v {
+		g.names = append(g.names, "")
+	}
+	g.names[v] = name
+}
+
+// Name returns the label of v, defaulting to "v<index>".
+func (g *Graph) Name(v int) string {
+	if v < len(g.names) && g.names[v] != "" {
+		return g.names[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([]*bitset.Set, len(g.adj)), edges: g.edges}
+	for i, a := range g.adj {
+		c.adj[i] = a.Clone()
+	}
+	c.names = append([]string(nil), g.names...)
+	return c
+}
+
+// IsConnected reports whether the graph is connected (true for N ≤ 1).
+func (g *Graph) IsConnected() bool {
+	if len(g.adj) <= 1 {
+		return true
+	}
+	return len(g.Component(0)) == len(g.adj)
+}
+
+// Component returns the vertices reachable from start (including start).
+func (g *Graph) Component(start int) []int {
+	seen := bitset.New(len(g.adj))
+	seen.Add(start)
+	queue := []int{start}
+	var out []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		out = append(out, v)
+		g.adj[v].ForEach(func(w int) bool {
+			if !seen.Has(w) {
+				seen.Add(w)
+				queue = append(queue, w)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// Primal returns the primal (Gaifman) graph of a τ-structure: one vertex
+// per domain element, with an edge between any two distinct elements that
+// occur together in some tuple. A tree decomposition of the primal graph
+// is a tree decomposition of the structure and vice versa.
+func Primal(st *structure.Structure) *Graph {
+	g := New(st.Size())
+	for pi := range st.Sig().Predicates() {
+		for _, tuple := range st.TuplesIdx(pi) {
+			for i := 0; i < len(tuple); i++ {
+				for j := i + 1; j < len(tuple); j++ {
+					g.AddEdge(tuple[i], tuple[j])
+				}
+			}
+		}
+	}
+	for v := 0; v < st.Size(); v++ {
+		g.SetName(v, st.Name(v))
+	}
+	return g
+}
+
+// FromEdgeStructure interprets a τ-structure with a binary predicate
+// (named pred, e.g. "e") as an undirected graph over its domain.
+func FromEdgeStructure(st *structure.Structure, pred string) (*Graph, error) {
+	if st.Sig().Arity(pred) != 2 {
+		return nil, fmt.Errorf("graph: predicate %s is not binary", pred)
+	}
+	g := New(st.Size())
+	for _, t := range st.Tuples(pred) {
+		g.AddEdge(t[0], t[1])
+	}
+	for v := 0; v < st.Size(); v++ {
+		g.SetName(v, st.Name(v))
+	}
+	return g, nil
+}
+
+// ToStructure encodes the graph as a τ-structure over signature {e/2},
+// adding each edge in both directions (the symmetric encoding used by the
+// MSO sentence of Section 5.1).
+func (g *Graph) ToStructure() *structure.Structure {
+	sig := structure.MustSignature(structure.Predicate{Name: "e", Arity: 2})
+	st := structure.New(sig)
+	ids := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		ids[v] = st.AddElem(g.Name(v))
+	}
+	for _, e := range g.Edges() {
+		st.MustAddTuple("e", ids[e[0]], ids[e[1]])
+		st.MustAddTuple("e", ids[e[1]], ids[e[0]])
+	}
+	return st
+}

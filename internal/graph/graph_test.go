@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/structure"
+)
+
+func TestBasic(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate
+	g.AddEdge(2, 2) // self loop ignored
+	g.AddEdge(0, 9) // out of range ignored
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.Degree(1) != 1 || g.Degree(3) != 0 {
+		t.Fatal("Degree wrong")
+	}
+	v := g.AddVertex()
+	if v != 4 || g.N() != 5 {
+		t.Fatal("AddVertex wrong")
+	}
+	g.AddEdge(4, 0)
+	if !g.HasEdge(0, 4) {
+		t.Fatal("edge to new vertex missing")
+	}
+}
+
+func TestEdgesOnce(t *testing.T) {
+	g := Cycle(5)
+	es := g.Edges()
+	if len(es) != 5 {
+		t.Fatalf("len(Edges) = %d", len(es))
+	}
+	for _, e := range es {
+		if e[0] >= e[1] {
+			t.Fatalf("edge %v not ordered", e)
+		}
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g := Path(5)
+	if !g.IsConnected() {
+		t.Fatal("path not connected")
+	}
+	g2 := New(4)
+	g2.AddEdge(0, 1)
+	g2.AddEdge(2, 3)
+	if g2.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if got := len(g2.Component(2)); got != 2 {
+		t.Fatalf("component size = %d", got)
+	}
+	if New(0).IsConnected() != true || New(1).IsConnected() != true {
+		t.Fatal("trivial graphs should be connected")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if g := Complete(5); g.M() != 10 {
+		t.Fatalf("K5 has %d edges", g.M())
+	}
+	if g := Grid(3, 4); g.N() != 12 || g.M() != 3*3+2*4 {
+		t.Fatalf("grid wrong: n=%d m=%d", g.N(), g.M())
+	}
+	rng := rand.New(rand.NewSource(7))
+	tr := RandomTree(30, rng)
+	if tr.M() != 29 || !tr.IsConnected() {
+		t.Fatal("random tree wrong")
+	}
+	kt := KTree(40, 3, rng)
+	if kt.N() != 40 || !kt.IsConnected() {
+		t.Fatal("k-tree wrong shape")
+	}
+	// Every vertex beyond the base clique has degree ≥ k in a k-tree.
+	for v := 4; v < kt.N(); v++ {
+		if kt.Degree(v) < 3 {
+			t.Fatalf("k-tree vertex %d has degree %d", v, kt.Degree(v))
+		}
+	}
+	pk := PartialKTree(40, 3, 0.3, rng)
+	if pk.N() != 40 || pk.M() > kt.M() {
+		t.Fatal("partial k-tree wrong")
+	}
+	if g := KTree(3, 5, rng); g.M() != 3 {
+		t.Fatal("KTree small case should be complete graph")
+	}
+}
+
+func TestPrimal(t *testing.T) {
+	// Primal graph of the running-example schema structure: elements
+	// co-occurring in lh/rh tuples are adjacent.
+	st := structure.MustParse(`
+att(a). att(b). fd(f1).
+lh(a,f1). rh(b,f1).
+`, nil)
+	g := Primal(st)
+	a, _ := st.Elem("a")
+	b, _ := st.Elem("b")
+	f1, _ := st.Elem("f1")
+	if !g.HasEdge(a, f1) || !g.HasEdge(b, f1) {
+		t.Fatal("primal edges missing")
+	}
+	if g.HasEdge(a, b) {
+		t.Fatal("spurious primal edge")
+	}
+	if g.Name(a) != "a" {
+		t.Fatal("primal names not copied")
+	}
+}
+
+func TestStructureRoundTrip(t *testing.T) {
+	g := Cycle(4)
+	st := g.ToStructure()
+	if len(st.Tuples("e")) != 8 { // symmetric encoding
+		t.Fatalf("|e| = %d, want 8", len(st.Tuples("e")))
+	}
+	back, err := FromEdgeStructure(st, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 4 || back.M() != 4 {
+		t.Fatal("round trip lost edges")
+	}
+	if _, err := FromEdgeStructure(st, "nope"); err == nil {
+		t.Fatal("unknown predicate accepted")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := Path(3)
+	c := g.Clone()
+	c.AddEdge(0, 2)
+	if g.HasEdge(0, 2) {
+		t.Fatal("Clone shares adjacency")
+	}
+}
+
+// Property: KTree(n,k) has exactly (k+1)k/2 + (n-k-1)k edges and
+// PartialKTree never exceeds it.
+func TestQuickKTreeEdgeCount(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%40) + 5
+		k := int(kRaw%4) + 1
+		if n <= k+1 {
+			n = k + 2
+		}
+		rng := rand.New(rand.NewSource(seed))
+		g := KTree(n, k, rng)
+		want := (k+1)*k/2 + (n-k-1)*k
+		return g.M() == want && g.IsConnected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package horn implements propositional definite Horn programs and their
+// least models. Ground (propositional) datalog can be evaluated in linear
+// time ([7, 27] in the paper: Dowling–Gallier / Minoux' LTUR); this is the
+// back-end of the quasi-guarded evaluation of Theorem 4.4, where a
+// quasi-guarded program is first grounded in time O(|P|·|A|) and the
+// ground program is then solved here in time linear in its size.
+package horn
+
+// Clause is a definite Horn clause: Head ← Body[0] ∧ … ∧ Body[n-1].
+// Variables are identified by dense non-negative integers. A clause with
+// an empty body is a fact.
+type Clause struct {
+	Head int
+	Body []int
+}
+
+// Program is a set of definite Horn clauses over variables 0..NumVars-1.
+type Program struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// AddClause appends a clause, growing NumVars as needed.
+func (p *Program) AddClause(head int, body ...int) {
+	if head >= p.NumVars {
+		p.NumVars = head + 1
+	}
+	for _, b := range body {
+		if b >= p.NumVars {
+			p.NumVars = b + 1
+		}
+	}
+	p.Clauses = append(p.Clauses, Clause{Head: head, Body: append([]int(nil), body...)})
+}
+
+// Size returns the total number of literal occurrences, the |P'| of
+// Theorem 4.4's complexity bound.
+func (p *Program) Size() int {
+	n := 0
+	for _, c := range p.Clauses {
+		n += 1 + len(c.Body)
+	}
+	return n
+}
+
+// Solve computes the least model by linear-time unit resolution (LTUR):
+// each clause keeps a counter of unsatisfied body literals; when it drops
+// to zero the head is derived and propagated through an occurrence list.
+// Runs in time O(Size()).
+func (p *Program) Solve() []bool {
+	truth := make([]bool, p.NumVars)
+	remaining := make([]int, len(p.Clauses))
+	occ := make([][]int, p.NumVars) // variable → clauses with it in the body
+	var queue []int
+
+	for ci, c := range p.Clauses {
+		remaining[ci] = len(c.Body)
+		for _, b := range c.Body {
+			occ[b] = append(occ[b], ci)
+		}
+		if len(c.Body) == 0 && !truth[c.Head] {
+			truth[c.Head] = true
+			queue = append(queue, c.Head)
+		}
+	}
+	// Account for body literals that may repeat: remaining counts
+	// occurrences, which is safe because each occurrence is decremented
+	// exactly once when its variable becomes true.
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, ci := range occ[v] {
+			remaining[ci]--
+			if remaining[ci] == 0 {
+				h := p.Clauses[ci].Head
+				if !truth[h] {
+					truth[h] = true
+					queue = append(queue, h)
+				}
+			}
+		}
+	}
+	return truth
+}
+
+// SolveNaive computes the least model by iterating the immediate
+// consequence operator to fixpoint. Quadratic; used to cross-check Solve
+// in tests.
+func (p *Program) SolveNaive() []bool {
+	truth := make([]bool, p.NumVars)
+	for changed := true; changed; {
+		changed = false
+		for _, c := range p.Clauses {
+			if truth[c.Head] {
+				continue
+			}
+			all := true
+			for _, b := range c.Body {
+				if !truth[b] {
+					all = false
+					break
+				}
+			}
+			if all {
+				truth[c.Head] = true
+				changed = true
+			}
+		}
+	}
+	return truth
+}

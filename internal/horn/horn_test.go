@@ -1,0 +1,86 @@
+package horn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimpleChain(t *testing.T) {
+	var p Program
+	p.AddClause(0)       // fact 0
+	p.AddClause(1, 0)    // 1 ← 0
+	p.AddClause(2, 1, 0) // 2 ← 1,0
+	p.AddClause(3, 4)    // 3 ← 4 (underivable)
+	m := p.Solve()
+	want := []bool{true, true, true, false, false}
+	for i, w := range want {
+		if m[i] != w {
+			t.Fatalf("var %d = %v, want %v", i, m[i], w)
+		}
+	}
+	if p.Size() != 1+2+3+2 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+}
+
+func TestDuplicateBodyLiterals(t *testing.T) {
+	var p Program
+	p.AddClause(0)
+	p.AddClause(1, 0, 0, 0)
+	m := p.Solve()
+	if !m[1] {
+		t.Fatal("duplicate body literals break propagation")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	var p Program
+	p.AddClause(0, 1)
+	p.AddClause(1, 0)
+	m := p.Solve()
+	if m[0] || m[1] {
+		t.Fatal("cyclic support derived without base fact")
+	}
+	p.AddClause(0)
+	m = p.Solve()
+	if !m[0] || !m[1] {
+		t.Fatal("cycle with base fact not derived")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	var p Program
+	if got := p.Solve(); len(got) != 0 {
+		t.Fatal("empty program should have empty model")
+	}
+}
+
+// Property: LTUR and the naive fixpoint agree on random programs.
+func TestQuickSolveAgreesWithNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := rng.Intn(30) + 1
+		var p Program
+		p.NumVars = nVars
+		nClauses := rng.Intn(60)
+		for i := 0; i < nClauses; i++ {
+			head := rng.Intn(nVars)
+			body := make([]int, rng.Intn(4))
+			for j := range body {
+				body[j] = rng.Intn(nVars)
+			}
+			p.AddClause(head, body...)
+		}
+		a, b := p.Solve(), p.SolveNaive()
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Fatal(err)
+	}
+}

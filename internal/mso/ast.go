@@ -1,0 +1,255 @@
+// Package mso implements Monadic Second Order logic over finite
+// τ-structures (Section 2.3): formulas with first-order (element)
+// variables and monadic second-order (set) variables, a parser, and a
+// naive model checker whose set quantifiers enumerate all subsets of the
+// domain.
+//
+// The naive checker doubles as this repository's substitute for MONA, the
+// baseline of the paper's Section 6 experiments (see DESIGN.md): it is
+// exact, exponential in the data, and runs under a step budget whose
+// exhaustion models MONA's out-of-memory failures.
+package mso
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates formula nodes.
+type Kind int
+
+// Formula node kinds.
+const (
+	KAtom    Kind = iota // Pred(Args...)
+	KEq                  // x = y
+	KIn                  // x in X
+	KNot                 // ~φ
+	KAnd                 // φ & ψ
+	KOr                  // φ | ψ
+	KImpl                // φ -> ψ
+	KIff                 // φ <-> ψ
+	KExistsE             // exists x φ
+	KForallE             // forall x φ
+	KExistsS             // exists X φ
+	KForallS             // forall X φ
+	KTrue                // ⊤
+	KFalse               // ⊥
+)
+
+// Formula is an MSO formula in negation-unrestricted form. By convention
+// element variables are lower-case and set variables upper-case
+// identifiers (the parser enforces this; programmatic construction should
+// follow it).
+type Formula struct {
+	Kind Kind
+	Pred string     // KAtom
+	Args []string   // KAtom: element variable names
+	X, Y string     // KEq: X=Y are element vars; KIn: X element var, Y set var
+	Var  string     // quantifiers: bound variable
+	Sub  []*Formula // operands
+}
+
+// Constructors.
+
+// True returns the ⊤ formula.
+func True() *Formula { return &Formula{Kind: KTrue} }
+
+// False returns the ⊥ formula.
+func False() *Formula { return &Formula{Kind: KFalse} }
+
+// Atom returns the atomic formula pred(args...).
+func Atom(pred string, args ...string) *Formula {
+	return &Formula{Kind: KAtom, Pred: pred, Args: args}
+}
+
+// Eq returns x = y.
+func Eq(x, y string) *Formula { return &Formula{Kind: KEq, X: x, Y: y} }
+
+// In returns x ∈ X.
+func In(x, set string) *Formula { return &Formula{Kind: KIn, X: x, Y: set} }
+
+// Not returns ¬φ.
+func Not(f *Formula) *Formula { return &Formula{Kind: KNot, Sub: []*Formula{f}} }
+
+// And returns the conjunction of the operands (⊤ for none).
+func And(fs ...*Formula) *Formula { return nary(KAnd, KTrue, fs) }
+
+// Or returns the disjunction of the operands (⊥ for none).
+func Or(fs ...*Formula) *Formula { return nary(KOr, KFalse, fs) }
+
+func nary(k, empty Kind, fs []*Formula) *Formula {
+	switch len(fs) {
+	case 0:
+		return &Formula{Kind: empty}
+	case 1:
+		return fs[0]
+	}
+	return &Formula{Kind: k, Sub: fs}
+}
+
+// Impl returns φ → ψ.
+func Impl(f, g *Formula) *Formula { return &Formula{Kind: KImpl, Sub: []*Formula{f, g}} }
+
+// Iff returns φ ↔ ψ.
+func Iff(f, g *Formula) *Formula { return &Formula{Kind: KIff, Sub: []*Formula{f, g}} }
+
+// ExistsE returns ∃x φ for an element variable x.
+func ExistsE(v string, f *Formula) *Formula {
+	return &Formula{Kind: KExistsE, Var: v, Sub: []*Formula{f}}
+}
+
+// ForallE returns ∀x φ for an element variable x.
+func ForallE(v string, f *Formula) *Formula {
+	return &Formula{Kind: KForallE, Var: v, Sub: []*Formula{f}}
+}
+
+// ExistsS returns ∃X φ for a set variable X.
+func ExistsS(v string, f *Formula) *Formula {
+	return &Formula{Kind: KExistsS, Var: v, Sub: []*Formula{f}}
+}
+
+// ForallS returns ∀X φ for a set variable X.
+func ForallS(v string, f *Formula) *Formula {
+	return &Formula{Kind: KForallS, Var: v, Sub: []*Formula{f}}
+}
+
+// Subset returns the formula X ⊆ Y, desugared to ∀z (z∈X → z∈Y) with a
+// fresh variable, so that quantifier depth accounting stays exact.
+func Subset(x, y string) *Formula {
+	v := freshVar(x + y)
+	return ForallE(v, Impl(In(v, x), In(v, y)))
+}
+
+// ProperSubset returns X ⊂ Y as X ⊆ Y ∧ ¬(Y ⊆ X).
+func ProperSubset(x, y string) *Formula {
+	return And(Subset(x, y), Not(Subset(y, x)))
+}
+
+var freshCounter int
+
+func freshVar(hint string) string {
+	freshCounter++
+	return fmt.Sprintf("z%d_%s", freshCounter, strings.ToLower(hint))
+}
+
+// QuantifierDepth returns the maximum nesting of quantifiers (element and
+// set quantifiers both count), the k of ≡^MSO_k.
+func (f *Formula) QuantifierDepth() int {
+	switch f.Kind {
+	case KAtom, KEq, KIn, KTrue, KFalse:
+		return 0
+	case KExistsE, KForallE, KExistsS, KForallS:
+		return 1 + f.Sub[0].QuantifierDepth()
+	default:
+		d := 0
+		for _, s := range f.Sub {
+			if sd := s.QuantifierDepth(); sd > d {
+				d = sd
+			}
+		}
+		return d
+	}
+}
+
+// FreeVars returns the free element and set variables, sorted.
+func (f *Formula) FreeVars() (elems, sets []string) {
+	em, sm := map[string]bool{}, map[string]bool{}
+	var walk func(g *Formula, bound map[string]bool)
+	walk = func(g *Formula, bound map[string]bool) {
+		switch g.Kind {
+		case KAtom:
+			for _, a := range g.Args {
+				if !bound[a] {
+					em[a] = true
+				}
+			}
+		case KEq:
+			if !bound[g.X] {
+				em[g.X] = true
+			}
+			if !bound[g.Y] {
+				em[g.Y] = true
+			}
+		case KIn:
+			if !bound[g.X] {
+				em[g.X] = true
+			}
+			if !bound[g.Y] {
+				sm[g.Y] = true
+			}
+		case KExistsE, KForallE, KExistsS, KForallS:
+			inner := map[string]bool{}
+			for k := range bound {
+				inner[k] = true
+			}
+			inner[g.Var] = true
+			walk(g.Sub[0], inner)
+		case KTrue, KFalse:
+		default:
+			for _, s := range g.Sub {
+				walk(s, bound)
+			}
+		}
+	}
+	walk(f, map[string]bool{})
+	for v := range em {
+		elems = append(elems, v)
+	}
+	for v := range sm {
+		sets = append(sets, v)
+	}
+	sort.Strings(elems)
+	sort.Strings(sets)
+	return elems, sets
+}
+
+// String renders the formula in the syntax accepted by Parse.
+func (f *Formula) String() string {
+	var b strings.Builder
+	f.write(&b)
+	return b.String()
+}
+
+func (f *Formula) write(b *strings.Builder) {
+	switch f.Kind {
+	case KTrue:
+		b.WriteString("true")
+	case KFalse:
+		b.WriteString("false")
+	case KAtom:
+		b.WriteString(f.Pred)
+		b.WriteByte('(')
+		b.WriteString(strings.Join(f.Args, ","))
+		b.WriteByte(')')
+	case KEq:
+		fmt.Fprintf(b, "%s = %s", f.X, f.Y)
+	case KIn:
+		fmt.Fprintf(b, "%s in %s", f.X, f.Y)
+	case KNot:
+		b.WriteString("~(")
+		f.Sub[0].write(b)
+		b.WriteByte(')')
+	case KAnd, KOr, KImpl, KIff:
+		op := map[Kind]string{KAnd: " & ", KOr: " | ", KImpl: " -> ", KIff: " <-> "}[f.Kind]
+		b.WriteByte('(')
+		for i, s := range f.Sub {
+			if i > 0 {
+				b.WriteString(op)
+			}
+			s.write(b)
+		}
+		b.WriteByte(')')
+	case KExistsE, KExistsS:
+		// The outer parentheses matter: the parser gives quantifiers
+		// maximal scope, so an unparenthesized quantifier would swallow a
+		// following binary operator on reparse.
+		fmt.Fprintf(b, "(exists %s (", f.Var)
+		f.Sub[0].write(b)
+		b.WriteString("))")
+	case KForallE, KForallS:
+		fmt.Fprintf(b, "(forall %s (", f.Var)
+		f.Sub[0].write(b)
+		b.WriteString("))")
+	}
+}

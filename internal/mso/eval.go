@@ -1,0 +1,243 @@
+package mso
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/structure"
+)
+
+// ErrBudget is returned when evaluation exceeds its step budget — the
+// stand-in for the out-of-memory failures of the MSO-to-FTA baseline in
+// Section 6 (Table 1's "–" entries).
+var ErrBudget = errors.New("mso: evaluation budget exhausted")
+
+// Budget caps the work of a naive evaluation. A nil Budget or a
+// MaxSteps ≤ 0 means unlimited.
+type Budget struct {
+	Steps    int64
+	MaxSteps int64
+}
+
+func (b *Budget) step() error {
+	if b == nil {
+		return nil
+	}
+	b.Steps++
+	if b.MaxSteps > 0 && b.Steps > b.MaxSteps {
+		return ErrBudget
+	}
+	return nil
+}
+
+// Interp assigns the free variables of a formula: element variables to
+// domain elements, set variables to element sets.
+type Interp struct {
+	Elem map[string]int
+	Set  map[string]*bitset.Set
+}
+
+// Eval decides (A, interp) ⊨ φ by structural recursion. Set quantifiers
+// enumerate all 2^|dom| subsets, so the running time is exponential in the
+// domain for genuinely second-order formulas — this is the naive baseline,
+// not the paper's contribution. Domains beyond 63 elements are rejected
+// for set quantification.
+func Eval(st *structure.Structure, f *Formula, interp Interp, budget *Budget) (bool, error) {
+	e := &evaluator{st: st, budget: budget}
+	env := environment{elem: map[string]int{}, set: map[string]*bitset.Set{}}
+	for k, v := range interp.Elem {
+		env.elem[k] = v
+	}
+	for k, v := range interp.Set {
+		env.set[k] = v
+	}
+	return e.eval(f, env)
+}
+
+// Sentence decides A ⊨ φ for a sentence (no free variables).
+func Sentence(st *structure.Structure, f *Formula, budget *Budget) (bool, error) {
+	return Eval(st, f, Interp{}, budget)
+}
+
+// Query evaluates a unary query φ(x) for every domain element and returns
+// the set of elements satisfying it.
+func Query(st *structure.Structure, f *Formula, x string, budget *Budget) (*bitset.Set, error) {
+	out := bitset.New(st.Size())
+	for a := 0; a < st.Size(); a++ {
+		ok, err := Eval(st, f, Interp{Elem: map[string]int{x: a}}, budget)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Add(a)
+		}
+	}
+	return out, nil
+}
+
+type environment struct {
+	elem map[string]int
+	set  map[string]*bitset.Set
+}
+
+type evaluator struct {
+	st     *structure.Structure
+	budget *Budget
+}
+
+func (e *evaluator) eval(f *Formula, env environment) (bool, error) {
+	if err := e.budget.step(); err != nil {
+		return false, err
+	}
+	switch f.Kind {
+	case KTrue:
+		return true, nil
+	case KFalse:
+		return false, nil
+	case KAtom:
+		tuple := make([]int, len(f.Args))
+		for i, a := range f.Args {
+			v, ok := env.elem[a]
+			if !ok {
+				return false, fmt.Errorf("mso: unbound element variable %s", a)
+			}
+			tuple[i] = v
+		}
+		pi, p, ok := e.st.Sig().Lookup(f.Pred)
+		if !ok {
+			return false, fmt.Errorf("mso: unknown predicate %s", f.Pred)
+		}
+		if p.Arity != len(tuple) {
+			return false, fmt.Errorf("mso: predicate %s expects %d arguments, got %d", f.Pred, p.Arity, len(tuple))
+		}
+		return e.st.HasIdx(pi, tuple), nil
+	case KEq:
+		x, ok := env.elem[f.X]
+		if !ok {
+			return false, fmt.Errorf("mso: unbound element variable %s", f.X)
+		}
+		y, ok := env.elem[f.Y]
+		if !ok {
+			return false, fmt.Errorf("mso: unbound element variable %s", f.Y)
+		}
+		return x == y, nil
+	case KIn:
+		x, ok := env.elem[f.X]
+		if !ok {
+			return false, fmt.Errorf("mso: unbound element variable %s", f.X)
+		}
+		s, ok := env.set[f.Y]
+		if !ok {
+			return false, fmt.Errorf("mso: unbound set variable %s", f.Y)
+		}
+		return s.Has(x), nil
+	case KNot:
+		v, err := e.eval(f.Sub[0], env)
+		return !v, err
+	case KAnd:
+		for _, s := range f.Sub {
+			v, err := e.eval(s, env)
+			if err != nil {
+				return false, err
+			}
+			if !v {
+				return false, nil
+			}
+		}
+		return true, nil
+	case KOr:
+		for _, s := range f.Sub {
+			v, err := e.eval(s, env)
+			if err != nil {
+				return false, err
+			}
+			if v {
+				return true, nil
+			}
+		}
+		return false, nil
+	case KImpl:
+		v, err := e.eval(f.Sub[0], env)
+		if err != nil {
+			return false, err
+		}
+		if !v {
+			return true, nil
+		}
+		return e.eval(f.Sub[1], env)
+	case KIff:
+		a, err := e.eval(f.Sub[0], env)
+		if err != nil {
+			return false, err
+		}
+		b, err := e.eval(f.Sub[1], env)
+		if err != nil {
+			return false, err
+		}
+		return a == b, nil
+	case KExistsE, KForallE:
+		want := f.Kind == KExistsE
+		old, had := env.elem[f.Var]
+		for a := 0; a < e.st.Size(); a++ {
+			env.elem[f.Var] = a
+			v, err := e.eval(f.Sub[0], env)
+			if err != nil {
+				e.restoreElem(env, f.Var, old, had)
+				return false, err
+			}
+			if v == want {
+				e.restoreElem(env, f.Var, old, had)
+				return want, nil
+			}
+		}
+		e.restoreElem(env, f.Var, old, had)
+		return !want, nil
+	case KExistsS, KForallS:
+		want := f.Kind == KExistsS
+		n := e.st.Size()
+		if n > 63 {
+			return false, fmt.Errorf("mso: naive set quantification limited to 63 elements, domain has %d", n)
+		}
+		old, had := env.set[f.Var]
+		defer e.restoreSet(env, f.Var, old, had)
+		for mask := uint64(0); mask < 1<<uint(n); mask++ {
+			if err := e.budget.step(); err != nil {
+				return false, err
+			}
+			s := bitset.New(n)
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					s.Add(i)
+				}
+			}
+			env.set[f.Var] = s
+			v, err := e.eval(f.Sub[0], env)
+			if err != nil {
+				return false, err
+			}
+			if v == want {
+				return want, nil
+			}
+		}
+		return !want, nil
+	default:
+		return false, fmt.Errorf("mso: unknown formula kind %d", f.Kind)
+	}
+}
+
+func (e *evaluator) restoreElem(env environment, v string, old int, had bool) {
+	if had {
+		env.elem[v] = old
+	} else {
+		delete(env.elem, v)
+	}
+}
+
+func (e *evaluator) restoreSet(env environment, v string, old *bitset.Set, had bool) {
+	if had {
+		env.set[v] = old
+	} else {
+		delete(env.set, v)
+	}
+}

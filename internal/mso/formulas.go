@@ -1,0 +1,77 @@
+package mso
+
+// This file provides the concrete MSO formulas used in the paper: the
+// 3-Colorability sentence of Section 5.1 and the PRIMALITY unary query of
+// Example 2.6. They are exercised both by the naive evaluator (the
+// baseline of Section 6) and as inputs to cross-validation tests against
+// the datalog algorithms of Section 5.
+
+// ThreeColorability returns the MSO sentence of Section 5.1 over the
+// signature {e/2}: the graph's vertices can be partitioned into three
+// independent sets R, G, B.
+func ThreeColorability() *Formula {
+	partition := ForallE("v", And(
+		Or(In("v", "R"), In("v", "G"), In("v", "B")),
+		Not(And(In("v", "R"), In("v", "G"))),
+		Not(And(In("v", "R"), In("v", "B"))),
+		Not(And(In("v", "G"), In("v", "B"))),
+	))
+	proper := ForallE("v1", ForallE("v2", Impl(
+		Atom("e", "v1", "v2"),
+		And(
+			Not(And(In("v1", "R"), In("v2", "R"))),
+			Not(And(In("v1", "G"), In("v2", "G"))),
+			Not(And(In("v1", "B"), In("v2", "B"))),
+		),
+	)))
+	return ExistsS("R", ExistsS("G", ExistsS("B", And(partition, proper))))
+}
+
+// closedSet returns Closed(S) of Example 2.6 for a set variable S: every
+// FD f either has its right-hand side in S or some left-hand-side
+// attribute outside S.
+func closedSet(set string) *Formula {
+	return ForallE("f", Impl(
+		Atom("fd", "f"),
+		ExistsE("b", Or(
+			And(Atom("rh", "b", "f"), In("b", set)),
+			And(Atom("lh", "b", "f"), Not(In("b", set))),
+		)),
+	))
+}
+
+// closedAll returns Closed(R) for R = the set of all attributes.
+func closedAll() *Formula {
+	return ForallE("f", Impl(
+		Atom("fd", "f"),
+		ExistsE("b", Or(
+			And(Atom("rh", "b", "f"), Atom("att", "b")),
+			And(Atom("lh", "b", "f"), Not(Atom("att", "b"))),
+		)),
+	))
+}
+
+// Primality returns the unary MSO query φ(x) of Example 2.6 over the
+// signature {fd/1, att/1, lh/2, rh/2}: attribute x is prime iff there is
+// an attribute set Y closed under F with x ∉ Y and (Y ∪ {x})⁺ = R.
+// The free element variable is "x".
+func Primality() *Formula {
+	// Y ⊆ R (attributes only).
+	ySubR := ForallE("b", Impl(In("b", "Y"), Atom("att", "b")))
+	// Closure(Y ∪ {x}, R): Y∪{x} ⊆ R, Closed(R), and no closed Z' with
+	// Y∪{x} ⊆ Z' ⊂ R.
+	noSmallerClosed := Not(ExistsS("Zp", And(
+		ForallE("b", Impl(In("b", "Y"), In("b", "Zp"))), // Y ⊆ Z'
+		In("x", "Zp"), // x ∈ Z'
+		ForallE("b", Impl(In("b", "Zp"), Atom("att", "b"))),     // Z' ⊆ R
+		ExistsE("b", And(Atom("att", "b"), Not(In("b", "Zp")))), // Z' ⊂ R
+		closedSet("Zp"),
+	)))
+	closure := And(Atom("att", "x"), closedAll(), noSmallerClosed)
+	return ExistsS("Y", And(
+		ySubR,
+		closedSet("Y"),
+		Not(In("x", "Y")),
+		closure,
+	))
+}

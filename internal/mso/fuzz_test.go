@@ -1,0 +1,40 @@
+package mso
+
+import "testing"
+
+// FuzzParse checks that the formula parser never panics and that accepted
+// formulas survive a print/reparse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"exists x e(x, y)",
+		"forall X (x in X -> e(x, x))",
+		"~(a(x) & b(y)) | x = y",
+		"X sub Y <-> Y psub X",
+		"x != y -> x notin Z",
+		"true & false",
+		"exists",
+		"((",
+		"x in lower",
+		"-> ->",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := g.String()
+		g2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", printed, err)
+		}
+		if g2.String() != printed {
+			t.Fatalf("print/reparse not stable for %q", printed)
+		}
+		// Depth and free variables must be computable without panics.
+		_ = g.QuantifierDepth()
+		_, _ = g.FreeVars()
+	})
+}

@@ -1,0 +1,170 @@
+// Package msotype computes rank-k MSO types (Hintikka types) of finite
+// structures with distinguished elements: canonical, finitely-represented
+// objects such that two structures are ≡^MSO_k-equivalent (Section 2.3) iff
+// their rank-k types coincide.
+//
+// The type is defined by back-and-forth recursion mirroring the k-round
+// MSO Ehrenfeucht–Fraïssé game the paper uses in Lemmas 3.5–3.7:
+//
+//	type_0(A, ā, P̄)  =  atomic type of ā (relations, equalities, and
+//	                     membership of each a_i in each P_j)
+//	type_k(A, ā, P̄)  =  ( type_0,
+//	                      { type_{k-1}(A, ā·c, P̄) : c ∈ dom(A) },     point moves
+//	                      { type_{k-1}(A, ā, P̄·S) : S ⊆ dom(A) } )    set moves
+//
+// The duplicator wins the k-round game on (A,ā) and (B,b̄) iff every move
+// on one side is matched by a move on the other reaching equal
+// (k-1)-types, which is exactly equality of the reachable-type sets.
+// Types are interned so equality is integer comparison — they serve as the
+// "tokens ϑ" of Theorem 4.5's construction.
+package msotype
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/structure"
+)
+
+// TypeID identifies an interned type. IDs are comparable across structures
+// for types produced by the same Computer.
+type TypeID int
+
+// Computer computes and interns rank-k types. The zero value is not
+// usable; use NewComputer.
+type Computer struct {
+	ids map[string]TypeID
+	// MaxDomain bounds the domain size of structures whose types may be
+	// computed; the set-move enumeration is 2^|dom| per quantifier level.
+	MaxDomain int
+}
+
+// DefaultMaxDomain is the default bound on witness-structure domains.
+const DefaultMaxDomain = 14
+
+// NewComputer returns a Computer with the default domain bound.
+func NewComputer() *Computer {
+	return &Computer{ids: map[string]TypeID{}, MaxDomain: DefaultMaxDomain}
+}
+
+func (c *Computer) intern(key string) TypeID {
+	if id, ok := c.ids[key]; ok {
+		return id
+	}
+	id := TypeID(len(c.ids))
+	c.ids[key] = id
+	return id
+}
+
+// NumTypes returns the number of distinct interned types (across all
+// ranks and structures seen so far).
+func (c *Computer) NumTypes() int { return len(c.ids) }
+
+// Type computes the rank-k type of (st, tuple).
+func (c *Computer) Type(st *structure.Structure, tuple []int, k int) (TypeID, error) {
+	if st.Size() > c.MaxDomain {
+		return 0, fmt.Errorf("msotype: domain size %d exceeds bound %d (the type computation enumerates all subsets)", st.Size(), c.MaxDomain)
+	}
+	if st.Size() > 63 {
+		return 0, fmt.Errorf("msotype: domain size %d exceeds subset-mask limit", st.Size())
+	}
+	e := &env{st: st, tuple: append([]int(nil), tuple...)}
+	return c.typeOf(e, k), nil
+}
+
+// Equivalent reports whether (stA, tupleA) ≡^MSO_k (stB, tupleB).
+func (c *Computer) Equivalent(stA *structure.Structure, tupleA []int, stB *structure.Structure, tupleB []int, k int) (bool, error) {
+	ta, err := c.Type(stA, tupleA, k)
+	if err != nil {
+		return false, err
+	}
+	tb, err := c.Type(stB, tupleB, k)
+	if err != nil {
+		return false, err
+	}
+	return ta == tb, nil
+}
+
+// env is the game position: a structure, the point-move history appended
+// to the distinguished tuple, and the set-move history.
+type env struct {
+	st    *structure.Structure
+	tuple []int
+	sets  []*bitset.Set
+}
+
+func (c *Computer) typeOf(e *env, k int) TypeID {
+	if k == 0 {
+		return c.intern("0|" + c.atomicKey(e))
+	}
+	n := e.st.Size()
+	// Point moves.
+	pointTypes := map[TypeID]bool{}
+	for elem := 0; elem < n; elem++ {
+		e.tuple = append(e.tuple, elem)
+		pointTypes[c.typeOf(e, k-1)] = true
+		e.tuple = e.tuple[:len(e.tuple)-1]
+	}
+	// Set moves.
+	setTypes := map[TypeID]bool{}
+	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+		s := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s.Add(i)
+			}
+		}
+		e.sets = append(e.sets, s)
+		setTypes[c.typeOf(e, k-1)] = true
+		e.sets = e.sets[:len(e.sets)-1]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%s|p", k, c.atomicKey(e))
+	for _, id := range sortedIDs(pointTypes) {
+		fmt.Fprintf(&b, ",%d", id)
+	}
+	b.WriteString("|s")
+	for _, id := range sortedIDs(setTypes) {
+		fmt.Fprintf(&b, ",%d", id)
+	}
+	return c.intern(b.String())
+}
+
+// atomicKey is the rank-0 information: the atomic type of the tuple plus
+// the membership pattern of every tuple element in every chosen set.
+func (c *Computer) atomicKey(e *env) string {
+	var b strings.Builder
+	b.WriteString(e.st.AtomicTypeKey(e.tuple))
+	for si, s := range e.sets {
+		for ti, elem := range e.tuple {
+			if s.Has(elem) {
+				fmt.Fprintf(&b, "m%d.%d;", si, ti)
+			}
+		}
+	}
+	// The cardinality information carried by a set relative to the other
+	// sets is visible to later point moves only; nothing else is atomic.
+	return b.String()
+}
+
+func sortedIDs(m map[TypeID]bool) []TypeID {
+	out := make([]TypeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// KeyOf renders a TypeID for debugging (linear scan; test/tool use only).
+func (c *Computer) KeyOf(id TypeID) string {
+	for k, v := range c.ids {
+		if v == id {
+			return k
+		}
+	}
+	return strconv.Itoa(int(id))
+}

@@ -1,0 +1,139 @@
+package normalform
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/schema"
+)
+
+func TestRunningExampleIs3NF(t *testing.T) {
+	// Example 2.1: primes are a, b, c, d; FDs: ab→c (c prime), c→b (b
+	// prime), cd→e (cd not superkey, e not prime → violation!), de→g,
+	// g→e. So the schema is NOT in 3NF.
+	s := schema.MustParse(`
+a b -> c
+c -> b
+c d -> e
+d e -> g
+g -> e
+`)
+	r, err := Check3NF(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK {
+		t.Fatal("running example wrongly certified as 3NF")
+	}
+	// cd→e, de→g, g→e all violate (e, g not prime; lhs never superkeys).
+	if len(r.Violations) != 3 {
+		t.Fatalf("violations = %+v", r.Violations)
+	}
+	bc := CheckBCNF(s)
+	if bc.OK {
+		t.Fatal("running example wrongly certified as BCNF")
+	}
+	if len(bc.Violations) < len(r.Violations) {
+		t.Fatal("BCNF must be at least as strict as 3NF")
+	}
+}
+
+func Test3NFPositive(t *testing.T) {
+	// a→b, b→a: keys {a}, {b}; every attribute prime → 3NF but not BCNF?
+	// Both lhs are superkeys, so even BCNF holds.
+	s := schema.MustParse("a -> b\nb -> a")
+	r, err := Check3NF(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK {
+		t.Fatalf("violations = %+v", r.Violations)
+	}
+	if !CheckBCNF(s).OK {
+		t.Fatal("BCNF should hold")
+	}
+
+	// Classic 3NF-but-not-BCNF: R = {street, city, zip},
+	// {street, city} → zip, zip → city. Keys: {street, city},
+	// {street, zip}; all attributes prime → 3NF; zip → city violates BCNF.
+	s2 := schema.MustParse("street city -> zip\nzip -> city")
+	r2, err := Check3NF(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.OK {
+		t.Fatalf("address schema should be 3NF: %+v", r2.Violations)
+	}
+	bc := CheckBCNF(s2)
+	if bc.OK {
+		t.Fatal("address schema should not be BCNF")
+	}
+	if len(bc.Violations) != 1 || bc.Violations[0].Name != "f2" {
+		t.Fatalf("BCNF violations = %+v", bc.Violations)
+	}
+}
+
+func TestTrivialFDsIgnored(t *testing.T) {
+	s := schema.MustParse("a b -> a\nc -> d")
+	r := CheckBCNF(s)
+	// Only c→d can violate; a b→a is trivial.
+	if len(r.Violations) != 1 {
+		t.Fatalf("violations = %+v", r.Violations)
+	}
+}
+
+func TestNoFDs(t *testing.T) {
+	s := schema.MustParse("attrs a b c")
+	r, err := Check3NF(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK || !CheckBCNF(s).OK {
+		t.Fatal("FD-free schema is trivially in all normal forms")
+	}
+}
+
+// Property: the FPT check agrees with the brute-force check, and BCNF
+// implies 3NF, on random schemas.
+func TestQuickAgreement(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSchema(rng)
+		fpt, err := Check3NF(s)
+		if err != nil {
+			return false
+		}
+		brute := Check3NFBruteForce(s)
+		if fpt.OK != brute.OK || len(fpt.Violations) != len(brute.Violations) {
+			return false
+		}
+		if CheckBCNF(s).OK && !fpt.OK {
+			return false // BCNF ⊆ 3NF
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(101))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomSchema(rng *rand.Rand) *schema.Schema {
+	s := schema.New()
+	n := rng.Intn(5) + 2
+	for i := 0; i < n; i++ {
+		s.AddAttr(string(rune('a' + i)))
+	}
+	for k := rng.Intn(n + 2); k > 0; k-- {
+		var lhs []int
+		for a := 0; a < n; a++ {
+			if rng.Intn(3) == 0 {
+				lhs = append(lhs, a)
+			}
+		}
+		if err := s.AddFD("", lhs, rng.Intn(n)); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}

@@ -1,0 +1,493 @@
+// Package primality implements the paper's PRIMALITY algorithms over
+// relational schemas of bounded treewidth: the Figure 6 decision program
+// (is attribute a part of a key?) as a dynamic program over a nice tree
+// decomposition, and the Section 5.3 linear-time enumeration of all prime
+// attributes via the additional top-down solve↓ pass. A naive quadratic
+// enumeration (re-rooting the decomposition per attribute) and a full
+// grounding to a propositional Horn program are provided as baselines for
+// the experiments of Section 6.
+package primality
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/schema"
+	"repro/internal/structure"
+	"repro/internal/tree"
+)
+
+// ctx carries the schema, its τ-structure encoding and the element-level
+// lookup tables the DP handlers need.
+type ctx struct {
+	s       *schema.Schema
+	st      *structure.Structure
+	isAttr  []bool      // element → is an attribute
+	fdOf    map[int]int // FD element → FD index
+	lhs     [][]int     // FD index → lhs attribute elements
+	rhs     []int       // FD index → rhs attribute element
+	attElem []int       // attribute index → element
+}
+
+func newCtx(s *schema.Schema) *ctx {
+	st := s.ToStructure()
+	c := &ctx{
+		s:       s,
+		st:      st,
+		isAttr:  make([]bool, st.Size()),
+		fdOf:    map[int]int{},
+		lhs:     make([][]int, s.NumFDs()),
+		rhs:     make([]int, s.NumFDs()),
+		attElem: make([]int, s.NumAttrs()),
+	}
+	for i := 0; i < s.NumAttrs(); i++ {
+		e, _ := st.Elem(s.AttrName(i))
+		c.isAttr[e] = true
+		c.attElem[i] = e
+	}
+	for fi, f := range s.FDs() {
+		fe, _ := st.Elem(f.Name)
+		c.fdOf[fe] = fi
+		c.rhs[fi], _ = st.Elem(s.AttrName(f.RHS))
+		for _, a := range f.LHS {
+			e, _ := st.Elem(s.AttrName(a))
+			c.lhs[fi] = append(c.lhs[fi], e)
+		}
+	}
+	return c
+}
+
+// state is the argument tuple of the solve predicate of Figure 6, over
+// element IDs: Y and Co partition the bag's attributes (Co ordered by the
+// derivation sequence), FY the bag FDs verified not to contradict the
+// closedness of Y, DC ⊆ Co the bag attributes already derived, FC the bag
+// FDs used in the derivation.
+type state struct {
+	y, co, fy, dc, fc []int // y, fy, dc, fc sorted; co ordered
+}
+
+// encode renders the state as a comparable key.
+func (s state) encode() string {
+	var b strings.Builder
+	for i, part := range [][]int{s.y, s.co, s.fy, s.dc, s.fc} {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		for j, e := range part {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(e))
+		}
+	}
+	return b.String()
+}
+
+func decode(key string) state {
+	parts := strings.Split(key, "|")
+	read := func(p string) []int {
+		if p == "" {
+			return nil
+		}
+		fields := strings.Split(p, ",")
+		out := make([]int, len(fields))
+		for i, f := range fields {
+			out[i], _ = strconv.Atoi(f)
+		}
+		return out
+	}
+	return state{y: read(parts[0]), co: read(parts[1]), fy: read(parts[2]), dc: read(parts[3]), fc: read(parts[4])}
+}
+
+func contains(xs []int, e int) bool {
+	for _, x := range xs {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+func insertSorted(xs []int, e int) []int {
+	out := make([]int, 0, len(xs)+1)
+	placed := false
+	for _, x := range xs {
+		if !placed && e < x {
+			out = append(out, e)
+			placed = true
+		}
+		out = append(out, x)
+	}
+	if !placed {
+		out = append(out, e)
+	}
+	return out
+}
+
+func removeVal(xs []int, e int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		if x != e {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func pos(xs []int, e int) int {
+	for i, x := range xs {
+		if x == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// consistent checks the ordering condition of the consistent predicate:
+// every FD of fc has its rhs in co with all co-members of its lhs earlier.
+func (c *ctx) consistent(fc []int, co []int) bool {
+	for _, fe := range fc {
+		fi := c.fdOf[fe]
+		rp := pos(co, c.rhs[fi])
+		if rp < 0 {
+			return false
+		}
+		for _, b := range c.lhs[fi] {
+			if bp := pos(co, b); bp >= 0 && bp >= rp {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// witnessed reports whether FD fi has a left-hand-side attribute in co
+// (the outside predicate's discharge condition restricted to the bag).
+func witnessed(c *ctx, fi int, co []int) bool {
+	for _, b := range c.lhs[fi] {
+		if contains(co, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// splitBag separates a bag into attribute and FD elements (each sorted,
+// as bags are).
+func (c *ctx) splitBag(bag []int) (attrs, fds []int) {
+	for _, e := range bag {
+		if e < len(c.isAttr) && c.isAttr[e] {
+			attrs = append(attrs, e)
+		} else {
+			fds = append(fds, e)
+		}
+	}
+	return attrs, fds
+}
+
+// leafStates enumerates the solve states of a leaf node (and of the root
+// for the top-down pass): every partition of the bag attributes into
+// Y/ordered Co, every consistent choice of used FDs FC, with FY and ΔC
+// determined (the leaf rule of Figure 6).
+func (c *ctx) leafStates(bag []int) []string {
+	attrs, fds := c.splitBag(bag)
+	var out []string
+	subsets(attrs, func(y, rest []int) {
+		permute(rest, func(co []int) {
+			// FY is determined by Y and the bag: all FDs with rhs outside
+			// Y witnessed by some lhs attribute in Co.
+			var fy []int
+			for _, fe := range fds {
+				fi := c.fdOf[fe]
+				if !contains(y, c.rhs[fi]) && witnessed(c, fi, co) {
+					fy = append(fy, fe)
+				}
+			}
+			// Candidate used FDs: rhs in Co.
+			var candidates []int
+			for _, fe := range fds {
+				if contains(co, c.rhs[c.fdOf[fe]]) {
+					candidates = append(candidates, fe)
+				}
+			}
+			subsets(candidates, func(fc, _ []int) {
+				if !c.consistent(fc, co) {
+					return
+				}
+				var dc []int
+				for _, fe := range fc {
+					dc = insertDedupSorted(dc, c.rhs[c.fdOf[fe]])
+				}
+				st := state{
+					y:  append([]int(nil), y...),
+					co: append([]int(nil), co...),
+					fy: append([]int(nil), fy...),
+					dc: dc,
+					fc: append([]int(nil), fc...),
+				}
+				out = append(out, st.encode())
+			})
+		})
+	})
+	return out
+}
+
+func insertDedupSorted(xs []int, e int) []int {
+	if contains(xs, e) {
+		return xs
+	}
+	return insertSorted(xs, e)
+}
+
+// subsets enumerates all subsets of xs, calling f with (subset, rest).
+func subsets(xs []int, f func(in, out []int)) {
+	n := len(xs)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var in, out []int
+		for i, x := range xs {
+			if mask&(1<<uint(i)) != 0 {
+				in = append(in, x)
+			} else {
+				out = append(out, x)
+			}
+		}
+		f(in, out)
+	}
+}
+
+// permute enumerates all orderings of xs.
+func permute(xs []int, f func([]int)) {
+	perm := append([]int(nil), xs...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(perm) {
+			f(perm)
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	if len(perm) == 0 {
+		f(perm)
+	}
+}
+
+// introduce implements the attribute/FD introduction rules of Figure 6.
+func (c *ctx) introduce(bag []int, elem int, childKey string) []string {
+	child := decode(childKey)
+	if c.isAttr[elem] {
+		var out []string
+		// Case Y: all other arguments unchanged.
+		sy := child
+		sy.y = insertSorted(child.y, elem)
+		out = append(out, sy.encode())
+		// Case Co: insert at every position; re-check order consistency
+		// and discharge newly witnessed FDs.
+		_, fds := c.splitBag(bag)
+		for p := 0; p <= len(child.co); p++ {
+			co := make([]int, 0, len(child.co)+1)
+			co = append(co, child.co[:p]...)
+			co = append(co, elem)
+			co = append(co, child.co[p:]...)
+			if !c.consistent(child.fc, co) {
+				continue
+			}
+			fy := append([]int(nil), child.fy...)
+			for _, fe := range fds {
+				fi := c.fdOf[fe]
+				if !contains(child.y, c.rhs[fi]) && contains(c.lhs[fi], elem) {
+					fy = insertDedupSorted(fy, fe)
+				}
+			}
+			sc := state{y: child.y, co: co, fy: fy, dc: child.dc, fc: child.fc}
+			out = append(out, sc.encode())
+		}
+		return out
+	}
+	// FD introduction.
+	fi, ok := c.fdOf[elem]
+	if !ok {
+		return nil
+	}
+	rhs := c.rhs[fi]
+	if contains(child.y, rhs) {
+		// Rule 1: rhs ∈ Y — unchanged.
+		return []string{childKey}
+	}
+	if !contains(child.co, rhs) {
+		// The bag discipline (rhs present whenever the FD is) is violated;
+		// prepareDecomposition prevents this.
+		return nil
+	}
+	discharge := func() []int {
+		if witnessed(c, fi, child.co) {
+			return insertDedupSorted(append([]int(nil), child.fy...), elem)
+		}
+		return child.fy
+	}
+	var out []string
+	// Rule 3: f not used in the derivation.
+	s3 := state{y: child.y, co: child.co, fy: discharge(), dc: child.dc, fc: child.fc}
+	out = append(out, s3.encode())
+	// Rule 2: f used — rhs newly derived (disjoint union with ΔC) and the
+	// ordering must be consistent.
+	if !contains(child.dc, rhs) && c.consistent([]int{elem}, child.co) {
+		s2 := state{
+			y:  child.y,
+			co: child.co,
+			fy: discharge(),
+			dc: insertSorted(child.dc, rhs),
+			fc: insertSorted(child.fc, elem),
+		}
+		out = append(out, s2.encode())
+	}
+	return out
+}
+
+// forget implements the attribute/FD removal rules of Figure 6.
+func (c *ctx) forget(elem int, childKey string) []string {
+	child := decode(childKey)
+	if c.isAttr[elem] {
+		if contains(child.y, elem) {
+			s := state{y: removeVal(child.y, elem), co: child.co, fy: child.fy, dc: child.dc, fc: child.fc}
+			return []string{s.encode()}
+		}
+		// elem ∈ Co: its derivation must have been established.
+		if !contains(child.dc, elem) {
+			return nil
+		}
+		s := state{y: child.y, co: removeVal(child.co, elem), fy: child.fy, dc: removeVal(child.dc, elem), fc: child.fc}
+		return []string{s.encode()}
+	}
+	fi, ok := c.fdOf[elem]
+	if !ok {
+		return nil
+	}
+	if contains(child.y, c.rhs[fi]) {
+		// Rule 1: rhs ∈ Y — f was never a threat.
+		return []string{childKey}
+	}
+	// Rules 2/3: f must have been verified (f ∈ FY) before leaving.
+	if !contains(child.fy, elem) {
+		return nil
+	}
+	s := state{y: child.y, co: child.co, fy: removeVal(child.fy, elem), dc: child.dc, fc: removeVal(child.fc, elem)}
+	return []string{s.encode()}
+}
+
+// branch implements the branch rule of Figure 6: identical Y, Co and FC,
+// unions of FY and ΔC, and the unique condition (an attribute may be
+// derived in both subtrees only via a shared bag FD).
+func (c *ctx) branch(k1, k2 string) []string {
+	s1, s2 := decode(k1), decode(k2)
+	if !equalInts(s1.y, s2.y) || !equalInts(s1.co, s2.co) || !equalInts(s1.fc, s2.fc) {
+		return nil
+	}
+	// unique(ΔC1, ΔC2, FC).
+	inter := map[int]bool{}
+	for _, e := range s1.dc {
+		if contains(s2.dc, e) {
+			inter[e] = true
+		}
+	}
+	fromFC := map[int]bool{}
+	for _, fe := range s1.fc {
+		fromFC[c.rhs[c.fdOf[fe]]] = true
+	}
+	if len(inter) != len(fromFC) {
+		return nil
+	}
+	for e := range inter {
+		if !fromFC[e] {
+			return nil
+		}
+	}
+	fy := append([]int(nil), s1.fy...)
+	for _, fe := range s2.fy {
+		fy = insertDedupSorted(fy, fe)
+	}
+	dc := append([]int(nil), s1.dc...)
+	for _, e := range s2.dc {
+		dc = insertDedupSorted(dc, e)
+	}
+	s := state{y: s1.y, co: s1.co, fy: fy, dc: dc, fc: s1.fc}
+	return []string{s.encode()}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// accepting reports whether a state at a node whose envelope/subtree is
+// the whole structure certifies primality of attribute element aElem (the
+// "result" rule of Figure 6): a ∉ Y, every bag FD with rhs outside Y
+// verified, and everything in Co except a derived.
+func (c *ctx) accepting(bag []int, key string, aElem int) bool {
+	s := decode(key)
+	if contains(s.y, aElem) || !contains(s.co, aElem) {
+		return false
+	}
+	_, fds := c.splitBag(bag)
+	var wantFY []int
+	for _, fe := range fds {
+		if !contains(s.y, c.rhs[c.fdOf[fe]]) {
+			wantFY = append(wantFY, fe)
+		}
+	}
+	if !equalInts(s.fy, wantFY) {
+		return false
+	}
+	wantDC := append([]int(nil), s.co...)
+	sort.Ints(wantDC)
+	wantDC = removeVal(wantDC, aElem)
+	return equalInts(s.dc, wantDC)
+}
+
+// prepareDecomposition pads every bag containing an FD element with the
+// FD's right-hand-side attribute (the Section 5.2 requirement; in the
+// worst case this doubles the width) and validates the result.
+func (c *ctx) prepareDecomposition(d *tree.Decomposition) error {
+	for i := range d.Nodes {
+		bag := bitset.FromSlice(d.Nodes[i].Bag)
+		changed := false
+		for _, e := range d.Nodes[i].Bag {
+			if fi, ok := c.fdOf[e]; ok && !bag.Has(c.rhs[fi]) {
+				bag.Add(c.rhs[fi])
+				changed = true
+			}
+		}
+		if changed {
+			d.Nodes[i].Bag = bag.Elems()
+		}
+	}
+	return d.Validate(c.st)
+}
+
+// checkDiscipline verifies the bag discipline on a normalized
+// decomposition: every bag containing an FD also contains its rhs.
+func (c *ctx) checkDiscipline(d *tree.Decomposition) error {
+	for i, n := range d.Nodes {
+		bag := bitset.FromSlice(n.Bag)
+		for _, e := range n.Bag {
+			if fi, ok := c.fdOf[e]; ok && !bag.Has(c.rhs[fi]) {
+				return fmt.Errorf("primality: node %d holds FD %s without its rhs %s", i, c.st.Name(e), c.st.Name(c.rhs[fi]))
+			}
+		}
+	}
+	return nil
+}

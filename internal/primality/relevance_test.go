@@ -1,0 +1,235 @@
+package primality
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/schema"
+)
+
+func allAttrs(s *schema.Schema) *bitset.Set {
+	out := bitset.New(s.NumAttrs())
+	for i := 0; i < s.NumAttrs(); i++ {
+		out.Add(i)
+	}
+	return out
+}
+
+func attrSet(t *testing.T, s *schema.Schema, names ...string) *bitset.Set {
+	t.Helper()
+	out := bitset.New(s.NumAttrs())
+	for _, n := range names {
+		i, ok := s.Attr(n)
+		if !ok {
+			t.Fatalf("attribute %s missing", n)
+		}
+		out.Add(i)
+	}
+	return out
+}
+
+func TestRelevanceSubsumesPrimality(t *testing.T) {
+	// With H = M = R, relevance is exactly primality (Section 7).
+	s := runningExample()
+	in, err := NewInstance(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := allAttrs(s)
+	for a := 0; a < s.NumAttrs(); a++ {
+		viaRel, err := in.DecideRelevant(all, all, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaPrim, err := in.Decide(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if viaRel != viaPrim {
+			t.Errorf("relevant(%s) = %v but prime(%s) = %v", s.AttrName(a), viaRel, s.AttrName(a), viaPrim)
+		}
+	}
+}
+
+func TestSubschemaPrimality(t *testing.T) {
+	// Schema a→b, b→c. In the full schema the only key is {a}. In the
+	// subschema R' = {b, c} (H = M = R'), b alone explains everything:
+	// b is relevant, c is not.
+	s := schema.MustParse("a -> b\nb -> c")
+	in, err := NewInstance(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := attrSet(t, s, "b", "c")
+	b, _ := s.Attr("b")
+	cIdx, _ := s.Attr("c")
+	aIdx, _ := s.Attr("a")
+	got, err := in.DecideRelevant(sub, sub, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("b should be prime in subschema {b,c}")
+	}
+	got, err = in.DecideRelevant(sub, sub, cIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("c should not be prime in subschema {b,c}")
+	}
+	// Hypotheses outside H are never relevant.
+	got, err = in.DecideRelevant(sub, sub, aIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("a is outside the subschema")
+	}
+}
+
+func TestAbductionScenario(t *testing.T) {
+	// Definite Horn theory: cold → cough, flu → cough, flu → fever.
+	// Hypotheses H = {cold, flu}; manifestation M = {cough}. Minimal
+	// explanations: {cold} and {flu} — both hypotheses relevant. With
+	// M = {cough, fever}, only {flu} explains — cold is irrelevant.
+	s := schema.MustParse("cold -> cough\nflu -> cough\nflu -> fever")
+	in, err := NewInstance(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyp := attrSet(t, s, "cold", "flu")
+	cold, _ := s.Attr("cold")
+	flu, _ := s.Attr("flu")
+
+	man := attrSet(t, s, "cough")
+	for _, a := range []int{cold, flu} {
+		got, err := in.DecideRelevant(hyp, man, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got {
+			t.Errorf("hypothesis %s should be relevant for {cough}", s.AttrName(a))
+		}
+	}
+
+	man2 := attrSet(t, s, "cough", "fever")
+	gotCold, err := in.DecideRelevant(hyp, man2, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCold {
+		t.Error("cold cannot explain fever and {cold,flu} is not minimal")
+	}
+	gotFlu, err := in.DecideRelevant(hyp, man2, flu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotFlu {
+		t.Error("flu should be relevant for {cough, fever}")
+	}
+
+	// Empty manifestations: the empty explanation is minimal, nothing is
+	// relevant.
+	empty := bitset.New(s.NumAttrs())
+	got, err := in.DecideRelevant(hyp, empty, flu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("nothing is relevant for an empty manifestation set")
+	}
+}
+
+func TestEnumerateRelevant(t *testing.T) {
+	s := schema.MustParse("cold -> cough\nflu -> cough\nflu -> fever")
+	in, err := NewInstance(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyp := attrSet(t, s, "cold", "flu")
+	man := attrSet(t, s, "cough", "fever")
+	got, err := in.EnumerateRelevant(hyp, man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := attrSet(t, s, "flu")
+	if !got.Equal(want) {
+		t.Fatalf("EnumerateRelevant = %v, want %v", got.Elems(), want.Elems())
+	}
+}
+
+// Property: the DP agrees with the brute-force oracle on random schemas
+// and random hypothesis/manifestation sets.
+func TestQuickRelevanceAgainstBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSchema(rng)
+		n := s.NumAttrs()
+		hyp := bitset.New(n)
+		man := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				hyp.Add(i)
+			}
+			if rng.Intn(3) == 0 {
+				man.Add(i)
+			}
+		}
+		in, err := NewInstance(s)
+		if err != nil {
+			return false
+		}
+		a := rng.Intn(n)
+		got, err := in.DecideRelevant(hyp, man, a)
+		if err != nil {
+			return false
+		}
+		return got == RelevantBruteForce(s, hyp, man, a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(127))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the two-pass enumeration agrees with per-attribute decisions.
+func TestQuickEnumerateRelevantAgreement(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSchema(rng)
+		n := s.NumAttrs()
+		hyp := bitset.New(n)
+		man := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				hyp.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				man.Add(i)
+			}
+		}
+		in, err := NewInstance(s)
+		if err != nil {
+			return false
+		}
+		enum, err := in.EnumerateRelevant(hyp, man)
+		if err != nil {
+			return false
+		}
+		for a := 0; a < n; a++ {
+			dec, err := in.DecideRelevant(hyp, man, a)
+			if err != nil {
+				return false
+			}
+			if dec != enum.Has(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(131))}); err != nil {
+		t.Fatal(err)
+	}
+}

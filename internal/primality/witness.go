@@ -1,0 +1,112 @@
+package primality
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dp"
+	"repro/internal/tree"
+)
+
+// KeyWitness returns a key (minimal superkey) containing attribute a, or
+// ok=false if a is not prime. It runs the Figure 6 decision program with
+// provenance, reconstructs the closed witness set Y from the accepting
+// derivation (each attribute's Y/Co role is read off the state at its
+// introduction), and minimizes Y ∪ {a} down to a key — the witness
+// extension that makes the decision procedure constructive.
+func (in *Instance) KeyWitness(a int) ([]int, bool, error) {
+	c := in.ctx
+	if a < 0 || a >= c.s.NumAttrs() {
+		return nil, false, fmt.Errorf("primality: attribute %d out of range", a)
+	}
+	aElem := c.attElem[a]
+	d := in.raw.Clone()
+	node := d.NodeWithElem(aElem)
+	if node < 0 {
+		return nil, false, fmt.Errorf("primality: attribute %s not in any bag", c.s.AttrName(a))
+	}
+	d.ReRoot(node)
+	nice, err := tree.NormalizeNice(d, tree.NiceOptions{})
+	if err != nil {
+		return nil, false, err
+	}
+	if err := c.checkDiscipline(nice); err != nil {
+		return nil, false, err
+	}
+	tables, err := dp.RunUp(nice, c.handlers())
+	if err != nil {
+		return nil, false, err
+	}
+	rootBag := sortedBag(nice.Nodes[nice.Root].Bag)
+	var accepting string
+	found := false
+	for key := range tables[nice.Root] {
+		if c.accepting(rootBag, key, aElem) {
+			accepting = key
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, false, nil
+	}
+
+	// Walk the provenance and collect every element's Y-membership from
+	// the states along the derivation (an element's role is constant
+	// across its occurrence subtree, so any state containing it decides).
+	inY := bitset.New(c.st.Size())
+	var walk func(v int, key string)
+	walk = func(v int, key string) {
+		st := decode(key)
+		for _, e := range st.y {
+			inY.Add(e)
+		}
+		prov := tables[v][key]
+		n := nice.Nodes[v]
+		if prov.First != nil && len(n.Children) >= 1 {
+			walk(n.Children[0], *prov.First)
+		}
+		if prov.Second != nil && len(n.Children) == 2 {
+			walk(n.Children[1], *prov.Second)
+		}
+	}
+	walk(nice.Root, accepting)
+
+	// Y ∪ {a} is a superkey with a outside the closed set Y; minimize it
+	// to a key. a itself can never be dropped (Y alone is not a superkey).
+	candidate := bitset.New(c.s.NumAttrs())
+	inY.ForEach(func(e int) bool {
+		if e < len(c.isAttr) && c.isAttr[e] {
+			// Map the element back to its attribute index.
+			for ai, ae := range c.attElem {
+				if ae == e {
+					candidate.Add(ai)
+					break
+				}
+			}
+		}
+		return true
+	})
+	candidate.Add(a)
+	if !c.s.IsSuperkey(candidate) {
+		return nil, false, fmt.Errorf("primality: internal error: witness set is not a superkey")
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range candidate.Elems() {
+			if b == a {
+				continue
+			}
+			smaller := candidate.Clone()
+			smaller.Remove(b)
+			if c.s.IsSuperkey(smaller) {
+				candidate = smaller
+				changed = true
+			}
+		}
+	}
+	key := candidate.Elems()
+	sort.Ints(key)
+	return key, true, nil
+}

@@ -1,0 +1,76 @@
+package primality
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+func TestKeyWitnessRunningExample(t *testing.T) {
+	s := runningExample()
+	in, err := NewInstance(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The keys are abd and acd; every prime attribute must get a witness
+	// key containing it.
+	for _, name := range []string{"a", "b", "c", "d"} {
+		a, _ := s.Attr(name)
+		key, ok, err := in.KeyWitness(a)
+		if err != nil {
+			t.Fatalf("KeyWitness(%s): %v", name, err)
+		}
+		if !ok {
+			t.Fatalf("no witness for prime attribute %s", name)
+		}
+		ks := bitset.FromSlice(key)
+		if !ks.Has(a) {
+			t.Fatalf("witness key %v does not contain %s", key, name)
+		}
+		if !s.IsKey(ks) {
+			t.Fatalf("witness %v for %s is not a key", key, name)
+		}
+	}
+	// Non-prime attributes get no witness.
+	for _, name := range []string{"e", "g"} {
+		a, _ := s.Attr(name)
+		_, ok, err := in.KeyWitness(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("witness produced for non-prime %s", name)
+		}
+	}
+}
+
+// Property: for every prime attribute of a random schema, KeyWitness
+// returns a genuine key containing it; for non-primes it returns none.
+func TestQuickKeyWitness(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSchema(rng)
+		in, err := NewInstance(s)
+		if err != nil {
+			return false
+		}
+		a := rng.Intn(s.NumAttrs())
+		key, ok, err := in.KeyWitness(a)
+		if err != nil {
+			return false
+		}
+		if ok != s.IsPrimeBruteForce(a) {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		ks := bitset.FromSlice(key)
+		return ks.Has(a) && s.IsKey(ks)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(149))}); err != nil {
+		t.Fatal(err)
+	}
+}

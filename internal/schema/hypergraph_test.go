@@ -1,0 +1,56 @@
+package schema
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/decompose"
+	"repro/internal/graph"
+)
+
+func TestIncidenceGraphShape(t *testing.T) {
+	s := MustParse("a b -> c\nc -> b")
+	g := s.IncidenceGraph()
+	// 3 attributes + 2 hyperedges ({a,b,c} and {b,c}).
+	if g.N() != 5 {
+		t.Fatalf("N = %d, want 5", g.N())
+	}
+	// abc-hyperedge has degree 3, bc-hyperedge degree 2.
+	degs := []int{g.Degree(3), g.Degree(4)}
+	if !(degs[0] == 3 && degs[1] == 2) && !(degs[0] == 2 && degs[1] == 3) {
+		t.Fatalf("hyperedge degrees = %v", degs)
+	}
+	// One hyperedge per FD even for equal attribute sets (see the
+	// package comment on why identification would break the Remark).
+	s2 := MustParse("a -> b\nb -> a")
+	if got := s2.IncidenceGraph().N(); got != 4 {
+		t.Fatalf("N = %d, want 4", got)
+	}
+}
+
+// Property (Section 2.2, Remark): the treewidth of the schema's
+// τ-structure and of the incidence graph of H(R, F) coincide.
+func TestQuickIncidenceTreewidthRemark(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSchema(rng)
+		inc := s.IncidenceGraph()
+		primal := graph.Primal(s.ToStructure())
+		if inc.N() > decompose.MaxExactVertices || primal.N() > decompose.MaxExactVertices {
+			return true
+		}
+		twInc, err := decompose.Treewidth(inc)
+		if err != nil {
+			return false
+		}
+		twPrimal, err := decompose.Treewidth(primal)
+		if err != nil {
+			return false
+		}
+		return twInc == twPrimal
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(109))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+package schema
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/structure"
+)
+
+// runningExample is the schema of Example 2.1: R = abcdeg,
+// F = {f1: ab→c, f2: c→b, f3: cd→e, f4: de→g, f5: g→e}.
+func runningExample() *Schema {
+	return MustParse(`
+attrs a b c d e g
+a b -> c
+c -> b
+c d -> e
+d e -> g
+g -> e
+`)
+}
+
+func (s *Schema) set(t *testing.T, names ...string) *bitset.Set {
+	t.Helper()
+	out := bitset.New(s.NumAttrs())
+	for _, n := range names {
+		i, ok := s.Attr(n)
+		if !ok {
+			t.Fatalf("attribute %s missing", n)
+		}
+		out.Add(i)
+	}
+	return out
+}
+
+func TestParseAndString(t *testing.T) {
+	s := runningExample()
+	if s.NumAttrs() != 6 || s.NumFDs() != 5 {
+		t.Fatalf("parsed %d attrs, %d FDs", s.NumAttrs(), s.NumFDs())
+	}
+	s2, err := Parse(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.String() != s.String() {
+		t.Fatal("round trip changed schema")
+	}
+	if _, err := Parse("a b c"); err == nil {
+		t.Fatal("missing arrow accepted")
+	}
+	if _, err := Parse("a -> b c"); err == nil {
+		t.Fatal("multi-attribute rhs accepted")
+	}
+	if _, err := Parse("a a -> b"); err == nil {
+		t.Fatal("duplicate lhs attribute accepted")
+	}
+}
+
+func TestClosure(t *testing.T) {
+	s := runningExample()
+	cases := []struct {
+		from []string
+		want []string
+	}{
+		{[]string{"a", "b"}, []string{"a", "b", "c"}},
+		{[]string{"a", "b", "d"}, []string{"a", "b", "c", "d", "e", "g"}},
+		{[]string{"c"}, []string{"b", "c"}},
+		{[]string{"g"}, []string{"e", "g"}},
+		{[]string{"d", "e"}, []string{"d", "e", "g"}},
+		{nil, nil},
+	}
+	for _, tc := range cases {
+		got := s.Closure(s.set(t, tc.from...))
+		want := s.set(t, tc.want...)
+		if !got.Equal(want) {
+			t.Errorf("Closure(%v): got %v, want %v", tc.from, got.Elems(), want.Elems())
+		}
+	}
+}
+
+func TestEmptyLHS(t *testing.T) {
+	// An FD with empty LHS makes its RHS derivable from anything.
+	s := New()
+	s.AddAttr("a")
+	s.AddAttr("b")
+	if err := s.AddFD("", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Closure(bitset.New(2))
+	if !got.Has(1) || got.Has(0) {
+		t.Fatalf("closure of ∅ = %v", got.Elems())
+	}
+}
+
+func TestKeysOfRunningExample(t *testing.T) {
+	// The paper: "there are two keys for the schema: abd and acd".
+	s := runningExample()
+	keys := s.Keys()
+	if len(keys) != 2 {
+		t.Fatalf("found %d keys, want 2", len(keys))
+	}
+	want1 := s.set(t, "a", "b", "d")
+	want2 := s.set(t, "a", "c", "d")
+	found1, found2 := false, false
+	for _, k := range keys {
+		if k.Equal(want1) {
+			found1 = true
+		}
+		if k.Equal(want2) {
+			found2 = true
+		}
+	}
+	if !found1 || !found2 {
+		t.Fatalf("keys wrong: %v", keys)
+	}
+}
+
+func TestPrimesOfRunningExample(t *testing.T) {
+	// The paper: "the attributes a, b, c and d are prime, while e and g
+	// are not prime."
+	s := runningExample()
+	primes := s.PrimesBruteForce()
+	want := map[string]bool{"a": true, "b": true, "c": true, "d": true, "e": false, "g": false}
+	for name, isPrime := range want {
+		i, _ := s.Attr(name)
+		if primes.Has(i) != isPrime {
+			t.Errorf("prime(%s) = %v, want %v", name, primes.Has(i), isPrime)
+		}
+	}
+}
+
+func TestSuperkeyKeyClosed(t *testing.T) {
+	s := runningExample()
+	if !s.IsSuperkey(s.set(t, "a", "b", "d")) {
+		t.Fatal("abd not a superkey")
+	}
+	if !s.IsKey(s.set(t, "a", "b", "d")) {
+		t.Fatal("abd not a key")
+	}
+	if s.IsKey(s.set(t, "a", "b", "c", "d")) {
+		t.Fatal("abcd reported as minimal key")
+	}
+	if !s.IsClosed(s.set(t, "b", "c")) {
+		t.Fatal("bc should be closed")
+	}
+	if s.IsClosed(s.set(t, "a", "b")) {
+		t.Fatal("ab should not be closed (derives c)")
+	}
+}
+
+func TestStructureRoundTrip(t *testing.T) {
+	s := runningExample()
+	st := s.ToStructure()
+	if st.Size() != 11 {
+		t.Fatalf("structure size = %d, want 11", st.Size())
+	}
+	if len(st.Tuples("lh")) != 8 || len(st.Tuples("rh")) != 5 {
+		t.Fatal("lh/rh counts wrong")
+	}
+	back, elemOf, err := FromStructure(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != s.String() {
+		t.Fatalf("round trip changed schema:\n%s\nvs\n%s", back, s)
+	}
+	for i := 0; i < back.NumAttrs(); i++ {
+		if st.Name(elemOf[i]) != back.AttrName(i) {
+			t.Fatal("element mapping wrong")
+		}
+	}
+}
+
+func TestFromStructureErrors(t *testing.T) {
+	bad := []string{
+		"att(a). fd(f1). lh(a,f1).",                   // FD without rhs
+		"att(a). fd(f1). rh(a,f1). rh(a,f1).",         // ok: duplicate tuple deduped
+		"att(a). att(b). fd(f1). rh(a,f1). rh(b,f1).", // two rhs
+		"att(a). lh(a,a).",                            // lh references non-FD
+		"fd(f1). rh(f1,f1).",                          // rh references non-attribute
+	}
+	for i, src := range bad {
+		st, err := structure.Parse(src, Sig)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		_, _, err = FromStructure(st)
+		if i == 1 {
+			if err != nil {
+				t.Errorf("case %d should be accepted: %v", i, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// Property: closure is extensive, monotone, idempotent; keys found by
+// enumeration are superkeys; primality via keys matches brute force.
+func TestQuickClosureLaws(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSchema(rng)
+		n := s.NumAttrs()
+		x := bitset.New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				x.Add(i)
+			}
+		}
+		cx := s.Closure(x)
+		if !x.SubsetOf(cx) { // extensive
+			return false
+		}
+		if !s.Closure(cx).Equal(cx) { // idempotent
+			return false
+		}
+		y := cx.Clone()
+		y.Add(rng.Intn(n))
+		if !cx.SubsetOf(s.Closure(y)) { // monotone
+			return false
+		}
+		// Primality via key enumeration agrees with the closed-set
+		// characterization used by IsPrimeBruteForce.
+		inSomeKey := bitset.New(n)
+		for _, k := range s.Keys() {
+			inSomeKey.UnionWith(k)
+		}
+		return inSomeKey.Equal(s.PrimesBruteForce())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(61))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomSchema(rng *rand.Rand) *Schema {
+	s := New()
+	n := rng.Intn(5) + 2
+	for i := 0; i < n; i++ {
+		s.AddAttr(string(rune('a' + i)))
+	}
+	for k := rng.Intn(2 * n); k > 0; k-- {
+		var lhs []int
+		for a := 0; a < n; a++ {
+			if rng.Intn(3) == 0 {
+				lhs = append(lhs, a)
+			}
+		}
+		if err := s.AddFD("", lhs, rng.Intn(n)); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}

@@ -1,0 +1,33 @@
+package structure
+
+import "testing"
+
+// FuzzParse checks the fact-list parser never panics and accepted inputs
+// survive a print/reparse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"e(a,b). e(b,c).",
+		"dom x y.\nflag. p(x).",
+		"% comment\natt(a).",
+		"e(a,b",
+		"e(a,,b).",
+		"dom.",
+		"p(). q.",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src, nil)
+		if err != nil {
+			return
+		}
+		st2, err := Parse(st.String(), st.Sig())
+		if err != nil {
+			t.Fatalf("reparse failed: %v\noriginal: %q\nprinted: %q", err, src, st.String())
+		}
+		if st2.Size() != st.Size() || st2.NumTuples() != st.NumTuples() {
+			t.Fatalf("round trip changed structure for %q", src)
+		}
+	})
+}

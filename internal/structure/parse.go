@@ -1,0 +1,163 @@
+package structure
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a structure from the fact-list text format:
+//
+//	% comment lines start with '%' (or '#')
+//	dom a b c.          % optional: declares elements (needed for isolated ones)
+//	edge(a, b).
+//	edge(b, c).
+//
+// If sig is nil, the signature is inferred: each predicate gets the arity
+// of its first occurrence, and later occurrences must agree. If sig is
+// non-nil, all facts must use predicates of the signature with correct
+// arity.
+func Parse(src string, sig *Signature) (*Structure, error) {
+	type fact struct {
+		pred string
+		args []string
+		line int
+	}
+	var facts []fact
+	var domNames []string
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "%") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// A line may hold several period-terminated facts.
+		for _, stmt := range splitStatements(line) {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if rest, ok := strings.CutPrefix(stmt, "dom "); ok {
+				domNames = append(domNames, strings.Fields(rest)...)
+				continue
+			}
+			if stmt == "dom" {
+				continue
+			}
+			pred, args, err := parseAtom(stmt)
+			if err != nil {
+				return nil, fmt.Errorf("structure: line %d: %w", lineNo+1, err)
+			}
+			facts = append(facts, fact{pred, args, lineNo + 1})
+		}
+	}
+
+	if sig == nil {
+		arity := map[string]int{}
+		var order []string
+		for _, f := range facts {
+			if a, seen := arity[f.pred]; seen {
+				if a != len(f.args) {
+					return nil, fmt.Errorf("structure: line %d: predicate %s used with arity %d and %d", f.line, f.pred, a, len(f.args))
+				}
+			} else {
+				arity[f.pred] = len(f.args)
+				order = append(order, f.pred)
+			}
+		}
+		preds := make([]Predicate, len(order))
+		for i, name := range order {
+			preds[i] = Predicate{Name: name, Arity: arity[name]}
+		}
+		var err error
+		if sig, err = NewSignature(preds...); err != nil {
+			return nil, err
+		}
+	}
+
+	st := New(sig)
+	for _, n := range domNames {
+		st.AddElem(n)
+	}
+	for _, f := range facts {
+		if err := st.AddFact(f.pred, f.args...); err != nil {
+			return nil, fmt.Errorf("structure: line %d: %w", f.line, err)
+		}
+	}
+	return st, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixed examples.
+func MustParse(src string, sig *Signature) *Structure {
+	st, err := Parse(src, sig)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// splitStatements splits on '.' terminators that are outside parentheses.
+func splitStatements(line string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range line {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case '.':
+			if depth == 0 {
+				out = append(out, line[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if strings.TrimSpace(line[start:]) != "" {
+		out = append(out, line[start:])
+	}
+	return out
+}
+
+// parseAtom parses "pred(a, b, c)" or a 0-ary "pred".
+func parseAtom(s string) (pred string, args []string, err error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		if !validName(s) {
+			return "", nil, fmt.Errorf("malformed fact %q", s)
+		}
+		return s, nil, nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("missing ')' in fact %q", s)
+	}
+	pred = strings.TrimSpace(s[:open])
+	if !validName(pred) {
+		return "", nil, fmt.Errorf("malformed predicate name %q", pred)
+	}
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	if inner == "" {
+		return pred, nil, nil
+	}
+	for _, a := range strings.Split(inner, ",") {
+		a = strings.TrimSpace(a)
+		if !validName(a) {
+			return "", nil, fmt.Errorf("malformed argument %q in fact %q", a, s)
+		}
+		args = append(args, a)
+	}
+	return pred, args, nil
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' && r != '-' && r != '\'' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,137 @@
+package threecol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestKColorableKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		k    int
+		want bool
+	}{
+		{"path k=2", graph.Path(6), 2, true},
+		{"odd cycle k=2", graph.Cycle(5), 2, false},
+		{"odd cycle k=3", graph.Cycle(5), 3, true},
+		{"K4 k=3", graph.Complete(4), 3, false},
+		{"K4 k=4", graph.Complete(4), 4, true},
+		{"grid k=2", graph.Grid(3, 3), 2, true},
+		{"single k=1", graph.New(1), 1, true},
+		{"edge k=1", graph.Path(2), 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := KColorable(tc.g, tc.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("KColorable = %v, want %v", got, tc.want)
+			}
+		})
+	}
+	if _, err := KColorable(graph.Path(2), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KColorable(graph.Path(2), 99); err == nil {
+		t.Fatal("k=99 accepted")
+	}
+}
+
+func TestCountColoringsKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		k    int
+		want uint64
+	}{
+		{"triangle k=3", graph.Cycle(3), 3, 6},
+		{"edgeless k=3", graph.New(3), 3, 27},
+		{"path2 k=2", graph.Path(2), 2, 2},
+		{"path3 k=2", graph.Path(3), 2, 2},
+		{"odd cycle k=2", graph.Cycle(5), 2, 0},
+		// Chromatic polynomial of C5 at 3: (3-1)^5 + (3-1)·(-1)^5 = 30.
+		{"C5 k=3", graph.Cycle(5), 3, 30},
+		{"K4 k=4", graph.Complete(4), 4, 24},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := CountColorings(tc.g, tc.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("CountColorings = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestChromaticNumber(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"empty", graph.New(0), 0},
+		{"edgeless", graph.New(4), 1},
+		{"path", graph.Path(5), 2},
+		{"odd cycle", graph.Cycle(7), 3},
+		{"K5", graph.Complete(5), 5},
+		{"grid", graph.Grid(3, 3), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ChromaticNumber(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("χ = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// Property: counting agrees with brute force, decision agrees with
+// count > 0, and KColorable(3) agrees with Decide.
+func TestQuickCountingAgreement(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(7) + 2
+		g := graph.RandomTree(n, rng)
+		for i := rng.Intn(n); i > 0; i-- {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		k := rng.Intn(3) + 1
+		count, err := CountColorings(g, k)
+		if err != nil {
+			return false
+		}
+		if count != CountBruteForce(g, k) {
+			return false
+		}
+		dec, err := KColorable(g, k)
+		if err != nil {
+			return false
+		}
+		if dec != (count > 0) {
+			return false
+		}
+		if k == 3 {
+			plain, err := Decide(g)
+			if err != nil || plain != dec {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(107))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+package threecol
+
+// This file materializes what Theorem 5.1's proof only argues: the
+// Figure 5 program "is essentially a succinct representation of a
+// quasi-guarded monadic datalog program" whose predicates solve⟨r1,r2,r3⟩
+// index the bag positions of each color class. MonadicProgram expands the
+// representation for a fixed width w into genuine monadic datalog over
+// τ_td (tuple normal form: leaf / permutation / element-replacement /
+// branch nodes), and DecideMonadic runs it through the linear-time
+// quasi-guarded evaluation of Theorem 4.4 — the fully interpreted route,
+// against which the direct dynamic program of this package is the
+// "implemented directly on C++ level" optimization the paper's prototype
+// chose.
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/decompose"
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// solvePred names the monadic predicate for a position-coloring m over
+// w+1 bag positions (m in base 3).
+func solvePred(m, w int) string {
+	name := "solve"
+	for p := 0; p <= w; p++ {
+		name += string(rune('0' + (m / pow3(p) % 3)))
+	}
+	return name
+}
+
+func pow3(p int) int {
+	out := 1
+	for i := 0; i < p; i++ {
+		out *= 3
+	}
+	return out
+}
+
+func colorAt(m, p int) int { return m / pow3(p) % 3 }
+
+// sameColorGuards returns the negated edge atoms forbidding monochromatic
+// edges among the bag positions colored by m (both directions, matching
+// the symmetric {e/2} encoding).
+func sameColorGuards(m, w int, varName func(int) string) []datalog.Atom {
+	var out []datalog.Atom
+	for i := 0; i <= w; i++ {
+		for j := i + 1; j <= w; j++ {
+			if colorAt(m, i) != colorAt(m, j) {
+				continue
+			}
+			out = append(out,
+				datalog.NewAtom("e", datalog.V(varName(i)), datalog.V(varName(j))).Not(),
+				datalog.NewAtom("e", datalog.V(varName(j)), datalog.V(varName(i))).Not(),
+			)
+		}
+	}
+	return out
+}
+
+// newElemGuards forbids monochromatic edges between the replaced position
+// 0 and the other bag positions only (the rest was verified below).
+func newElemGuards(m, w int) []datalog.Atom {
+	var out []datalog.Atom
+	for j := 1; j <= w; j++ {
+		if colorAt(m, 0) != colorAt(m, j) {
+			continue
+		}
+		out = append(out,
+			datalog.NewAtom("e", datalog.V(xv(0)), datalog.V(xv(j))).Not(),
+			datalog.NewAtom("e", datalog.V(xv(j)), datalog.V(xv(0))).Not(),
+		)
+	}
+	return out
+}
+
+func xv(i int) string { return fmt.Sprintf("X%d", i) }
+
+func bagAtom(node string, vars []datalog.Term) datalog.Atom {
+	return datalog.NewAtom("bag", append([]datalog.Term{datalog.V(node)}, vars...)...)
+}
+
+func bagVarTerms(w int) []datalog.Term {
+	out := make([]datalog.Term, w+1)
+	for i := range out {
+		out[i] = datalog.V(xv(i))
+	}
+	return out
+}
+
+// MonadicProgram expands the Figure 5 program into monadic datalog over
+// τ_td for width w. The program has Θ((w+1)!·3^(w+1)) rules — constant
+// for fixed w, as Theorem 5.1 requires.
+func MonadicProgram(w int) *datalog.Program {
+	p := &datalog.Program{}
+	states := pow3(w + 1)
+
+	// Leaf rules: every proper position-coloring of the bag.
+	for m := 0; m < states; m++ {
+		body := []datalog.Atom{
+			bagAtom("V", bagVarTerms(w)),
+			datalog.NewAtom("leaf", datalog.V("V")),
+		}
+		body = append(body, sameColorGuards(m, w, xv)...)
+		p.Add(datalog.NewAtom(solvePred(m, w), datalog.V("V")), body...)
+	}
+
+	// Permutation rules: parent bag = π(child bag); the parent state's
+	// position i colors the child's position π(i).
+	for _, pi := range permutationsOf(w + 1) {
+		for m := 0; m < states; m++ {
+			childState := 0
+			for i := 0; i <= w; i++ {
+				childState += colorAt(m, i) * pow3(pi[i])
+			}
+			permVars := make([]datalog.Term, w+1)
+			for i := range permVars {
+				permVars[i] = datalog.V(xv(pi[i]))
+			}
+			p.Add(datalog.NewAtom(solvePred(m, w), datalog.V("V")),
+				bagAtom("V", permVars),
+				datalog.NewAtom("child1", datalog.V("V1"), datalog.V("V")),
+				datalog.NewAtom("single", datalog.V("V")),
+				datalog.NewAtom(solvePred(childState, w), datalog.V("V1")),
+				bagAtom("V1", bagVarTerms(w)),
+			)
+		}
+	}
+
+	// Element replacement rules: position 0 replaced; the child may have
+	// held any color at position 0.
+	for m := 0; m < states; m++ {
+		for c0 := 0; c0 < 3; c0++ {
+			childState := m - colorAt(m, 0)*pow3(0) + c0*pow3(0)
+			childVars := append([]datalog.Term{datalog.V("Y0")}, bagVarTerms(w)[1:]...)
+			body := []datalog.Atom{
+				bagAtom("V", bagVarTerms(w)),
+				datalog.NewAtom("child1", datalog.V("V1"), datalog.V("V")),
+				datalog.NewAtom("single", datalog.V("V")),
+				datalog.NewAtom(solvePred(childState, w), datalog.V("V1")),
+				bagAtom("V1", childVars),
+				datalog.NewAtom("neq", datalog.V(xv(0)), datalog.V("Y0")),
+			}
+			body = append(body, newElemGuards(m, w)...)
+			p.Add(datalog.NewAtom(solvePred(m, w), datalog.V("V")), body...)
+		}
+	}
+
+	// Branch rules: identical bags, identical states.
+	for m := 0; m < states; m++ {
+		p.Add(datalog.NewAtom(solvePred(m, w), datalog.V("V")),
+			bagAtom("V", bagVarTerms(w)),
+			datalog.NewAtom("child1", datalog.V("V1"), datalog.V("V")),
+			datalog.NewAtom(solvePred(m, w), datalog.V("V1")),
+			datalog.NewAtom("child2", datalog.V("V2"), datalog.V("V")),
+			datalog.NewAtom(solvePred(m, w), datalog.V("V2")),
+			bagAtom("V1", bagVarTerms(w)),
+			bagAtom("V2", bagVarTerms(w)),
+		)
+	}
+
+	// Result rule at the root.
+	for m := 0; m < states; m++ {
+		p.Add(datalog.NewAtom("success"),
+			datalog.NewAtom("root", datalog.V("V")),
+			datalog.NewAtom(solvePred(m, w), datalog.V("V")),
+		)
+	}
+	return p
+}
+
+func permutationsOf(n int) [][]int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			out = append(out, append([]int(nil), idx...))
+			return
+		}
+		for i := k; i < n; i++ {
+			idx[k], idx[i] = idx[i], idx[k]
+			rec(k + 1)
+			idx[k], idx[i] = idx[i], idx[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// DecideMonadic decides 3-colorability by the fully interpreted route:
+// tuple-normalize a decomposition, build the τ_td structure, expand the
+// monadic program for the decomposition's width, and evaluate it with the
+// quasi-guarded engine (Theorem 4.4).
+func DecideMonadic(g *graph.Graph) (bool, error) {
+	st := g.ToStructure()
+	d, err := decompose.Structure(st, decompose.MinFill)
+	if err != nil {
+		return false, err
+	}
+	norm, err := tree.NormalizeTuple(d)
+	if err != nil {
+		return false, err
+	}
+	w := norm.Width()
+	td, _, err := tree.BuildTD(st, norm, w)
+	if err != nil {
+		return false, err
+	}
+	prog := MonadicProgram(w)
+	if !prog.IsMonadic() {
+		return false, fmt.Errorf("threecol: internal error: expanded program is not monadic")
+	}
+	edb := datalog.FromStructure(td, "")
+	out, err := datalog.EvalQuasiGuarded(prog, edb, datalog.TDFuncDeps(w))
+	if err != nil {
+		return false, err
+	}
+	return out.Has("success"), nil
+}

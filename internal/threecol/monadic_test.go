@@ -1,0 +1,76 @@
+package threecol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datalog"
+	"repro/internal/graph"
+)
+
+func TestMonadicProgramShape(t *testing.T) {
+	p := MonadicProgram(1)
+	if !p.IsMonadic() {
+		t.Fatal("expanded program not monadic")
+	}
+	// Quasi-guarded over the τ_td functional dependencies (Theorem 5.1's
+	// argument for the linear time bound).
+	if _, err := datalog.QuasiGuards(p, datalog.TDFuncDeps(1)); err != nil {
+		t.Fatalf("not quasi-guarded: %v", err)
+	}
+	// Rule count is constant in the data: 3^2 leaf + 2!·9 perm + 9·3 repl
+	// + 9 branch + 9 result.
+	want := 9 + 2*9 + 27 + 9 + 9
+	if len(p.Rules) != want {
+		t.Fatalf("rules = %d, want %d", len(p.Rules), want)
+	}
+}
+
+func TestDecideMonadicKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want bool
+	}{
+		{"triangle", graph.Cycle(3), true},
+		{"C5", graph.Cycle(5), true},
+		{"K4", graph.Complete(4), false},
+		{"path", graph.Path(5), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := DecideMonadic(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("DecideMonadic = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// Property: the interpreted monadic program agrees with the direct DP.
+func TestQuickMonadicAgreesWithDP(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(7) + 2
+		g := graph.RandomTree(n, rng)
+		for i := rng.Intn(n); i > 0; i-- {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		viaMonadic, err := DecideMonadic(g)
+		if err != nil {
+			return false
+		}
+		viaDP, err := Decide(g)
+		if err != nil {
+			return false
+		}
+		return viaMonadic == viaDP
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(139))}); err != nil {
+		t.Fatal(err)
+	}
+}

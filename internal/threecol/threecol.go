@@ -1,0 +1,357 @@
+// Package threecol implements the paper's 3-Colorability algorithm
+// (Section 5.1, Figure 5) for graphs of bounded treewidth: a dynamic
+// program over a nice tree decomposition whose states are the partitions
+// (R, G, B) of the current bag — the solve(s, R, G, B) predicate of the
+// figure — plus a brute-force baseline, witness extraction, and a full
+// grounding to a propositional Horn program.
+package threecol
+
+import (
+	"fmt"
+
+	"repro/internal/decompose"
+	"repro/internal/dp"
+	"repro/internal/graph"
+	"repro/internal/horn"
+	"repro/internal/tree"
+)
+
+// Figure5 is the paper's datalog program for reference. Its set-valued
+// arguments (R, G, B range over subsets of the bag) make it a succinct
+// representation of a monadic program with predicates solve⟨r1,r2,r3⟩(s);
+// this package executes it as the equivalent dynamic program.
+const Figure5 = `
+% leaf node.
+solve(S, R, G, B) :- leaf(S), bag(S, X), partition(S, R, G, B),
+                     allowed(S, R), allowed(S, G), allowed(S, B).
+% element introduction node.
+solve(S, R+{V}, G, B) :- bag(S, X+{V}), child1(S1, S), bag(S1, X),
+                         solve(S1, R, G, B), allowed(S, R+{V}).
+solve(S, R, G+{V}, B) :- bag(S, X+{V}), child1(S1, S), bag(S1, X),
+                         solve(S1, R, G, B), allowed(S, G+{V}).
+solve(S, R, G, B+{V}) :- bag(S, X+{V}), child1(S1, S), bag(S1, X),
+                         solve(S1, R, G, B), allowed(S, B+{V}).
+% element removal node.
+solve(S, R, G, B) :- bag(S, X), child1(S1, S), bag(S1, X+{V}), solve(S1, R+{V}, G, B).
+solve(S, R, G, B) :- bag(S, X), child1(S1, S), bag(S1, X+{V}), solve(S1, R, G+{V}, B).
+solve(S, R, G, B) :- bag(S, X), child1(S1, S), bag(S1, X+{V}), solve(S1, R, G, B+{V}).
+% branch node.
+solve(S, R, G, B) :- bag(S, X), child1(S1, S), child2(S2, S), bag(S1, X), bag(S2, X),
+                     solve(S1, R, G, B), solve(S2, R, G, B).
+% result (at the root node).
+success :- root(S), solve(S, R, G, B).
+`
+
+// coloring is a DP state: the color (0, 1, 2) of each sorted-bag position,
+// packed two bits per position.
+type coloring uint64
+
+func colorOf(s coloring, p int) int { return int(s>>(2*uint(p))) & 3 }
+func withColor(s coloring, p, c int) coloring {
+	low := s & ((1 << (2 * uint(p))) - 1)
+	high := s >> (2 * uint(p))
+	return low | coloring(c)<<(2*uint(p)) | high<<(2*uint(p)+2)
+}
+func dropColor(s coloring, p int) coloring {
+	low := s & ((1 << (2 * uint(p))) - 1)
+	high := s >> (2*uint(p) + 2)
+	return low | high<<(2*uint(p))
+}
+
+func position(bag []int, e int) int {
+	for i, b := range bag {
+		if b == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// allowed reports whether no edge inside the bag is monochromatic — the
+// allowed predicate of Figure 5 applied to all three classes at once.
+func allowed(g *graph.Graph, bag []int, s coloring) bool {
+	for i := 0; i < len(bag); i++ {
+		for j := i + 1; j < len(bag); j++ {
+			if g.HasEdge(bag[i], bag[j]) && colorOf(s, i) == colorOf(s, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// handlers builds the Figure 5 transitions for graph g.
+func handlers(g *graph.Graph) dp.Handlers[coloring] {
+	return dp.Handlers[coloring]{
+		Leaf: func(_ int, bag []int) []coloring {
+			var out []coloring
+			n := len(bag)
+			total := 1
+			for i := 0; i < n; i++ {
+				total *= 3
+			}
+			for combo := 0; combo < total; combo++ {
+				var s coloring
+				x := combo
+				for p := 0; p < n; p++ {
+					s |= coloring(x%3) << (2 * uint(p))
+					x /= 3
+				}
+				if allowed(g, bag, s) {
+					out = append(out, s)
+				}
+			}
+			return out
+		},
+		Introduce: func(_ int, bag []int, elem int, child coloring) []coloring {
+			p := position(bag, elem)
+			var out []coloring
+			for c := 0; c < 3; c++ {
+				s := withColor(child, p, c)
+				if allowed(g, bag, s) {
+					out = append(out, s)
+				}
+			}
+			return out
+		},
+		Forget: func(_ int, bag []int, elem int, child coloring) []coloring {
+			childBag := insertSorted(bag, elem)
+			return []coloring{dropColor(child, position(childBag, elem))}
+		},
+		Branch: func(_ int, _ []int, s1, s2 coloring) []coloring {
+			if s1 == s2 {
+				return []coloring{s1}
+			}
+			return nil
+		},
+	}
+}
+
+func insertSorted(bag []int, e int) []int {
+	out := make([]int, 0, len(bag)+1)
+	placed := false
+	for _, b := range bag {
+		if !placed && e < b {
+			out = append(out, e)
+			placed = true
+		}
+		out = append(out, b)
+	}
+	if !placed {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Instance bundles a graph with a nice tree decomposition.
+type Instance struct {
+	g    *graph.Graph
+	nice *tree.Decomposition
+}
+
+// NewInstance decomposes g with the min-fill heuristic and normalizes to
+// the nice form of Section 5.
+func NewInstance(g *graph.Graph) (*Instance, error) {
+	d, err := decompose.Graph(g, decompose.MinFill)
+	if err != nil {
+		return nil, err
+	}
+	return NewInstanceWithDecomposition(g, d)
+}
+
+// NewInstanceWithDecomposition uses a caller-provided raw decomposition.
+func NewInstanceWithDecomposition(g *graph.Graph, d *tree.Decomposition) (*Instance, error) {
+	if err := d.ValidateGraph(g); err != nil {
+		return nil, fmt.Errorf("threecol: %w", err)
+	}
+	nice, err := tree.NormalizeNice(d, tree.NiceOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{g: g, nice: nice}, nil
+}
+
+// Width returns the decomposition width.
+func (in *Instance) Width() int { return in.nice.Width() }
+
+// Decide reports whether the graph is 3-colorable (the success rule of
+// Figure 5: any state surviving at the root).
+func (in *Instance) Decide() (bool, error) {
+	tables, err := dp.RunUp(in.nice, handlers(in.g))
+	if err != nil {
+		return false, err
+	}
+	return len(tables[in.nice.Root]) > 0, nil
+}
+
+// Coloring returns a proper 3-coloring (vertex → 0/1/2) if one exists, by
+// walking the provenance of an accepting root state — the witness
+// extension the paper lists under future extensions of the decision
+// program.
+func (in *Instance) Coloring() ([]int, bool, error) {
+	tables, err := dp.RunUp(in.nice, handlers(in.g))
+	if err != nil {
+		return nil, false, err
+	}
+	if len(tables[in.nice.Root]) == 0 {
+		return nil, false, nil
+	}
+	colors := make([]int, in.g.N())
+	for i := range colors {
+		colors[i] = -1
+	}
+	var assign func(v int, s coloring)
+	assign = func(v int, s coloring) {
+		bag := sortedBag(in.nice.Nodes[v].Bag)
+		for p, e := range bag {
+			colors[e] = colorOf(s, p)
+		}
+		prov := tables[v][s]
+		n := in.nice.Nodes[v]
+		if prov.First != nil && len(n.Children) >= 1 {
+			assign(n.Children[0], *prov.First)
+		}
+		if prov.Second != nil && len(n.Children) == 2 {
+			assign(n.Children[1], *prov.Second)
+		}
+	}
+	for s := range tables[in.nice.Root] {
+		assign(in.nice.Root, s)
+		break
+	}
+	// Isolated vertices may be uncolored only if they appear in no bag;
+	// a valid decomposition covers every vertex, so color any stragglers
+	// defensively.
+	for i := range colors {
+		if colors[i] < 0 {
+			colors[i] = 0
+		}
+	}
+	return colors, true, nil
+}
+
+// GroundDecide decides 3-colorability by full grounding of the Figure 5
+// program: one propositional variable per (node, bag coloring) pair, one
+// Horn clause per rule instance, solved by unit resolution. The baseline
+// of experiment E7's architecture comparison.
+func (in *Instance) GroundDecide() (bool, error) {
+	prog := &horn.Program{}
+	varID := map[string]int{}
+	id := func(node int, s coloring) int {
+		k := fmt.Sprintf("%d/%d", node, s)
+		if v, ok := varID[k]; ok {
+			return v
+		}
+		v := len(varID)
+		varID[k] = v
+		return v
+	}
+	h := handlers(in.g)
+	allColorings := func(bag []int) []coloring {
+		var out []coloring
+		n := len(bag)
+		total := 1
+		for i := 0; i < n; i++ {
+			total *= 3
+		}
+		for combo := 0; combo < total; combo++ {
+			var s coloring
+			x := combo
+			for p := 0; p < n; p++ {
+				s |= coloring(x%3) << (2 * uint(p))
+				x /= 3
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	for _, v := range in.nice.PostOrder() {
+		n := in.nice.Nodes[v]
+		bag := sortedBag(n.Bag)
+		switch n.Kind {
+		case tree.KindLeaf:
+			for _, s := range h.Leaf(v, bag) {
+				prog.AddClause(id(v, s))
+			}
+		case tree.KindIntroduce, tree.KindForget, tree.KindCopy:
+			child := n.Children[0]
+			for _, cs := range allColorings(sortedBag(in.nice.Nodes[child].Bag)) {
+				var results []coloring
+				switch n.Kind {
+				case tree.KindIntroduce:
+					results = h.Introduce(v, bag, n.Elem, cs)
+				case tree.KindForget:
+					results = h.Forget(v, bag, n.Elem, cs)
+				default:
+					results = []coloring{cs}
+				}
+				for _, s := range results {
+					prog.AddClause(id(v, s), id(child, cs))
+				}
+			}
+		case tree.KindBranch:
+			for _, s := range allColorings(bag) {
+				prog.AddClause(id(v, s), id(n.Children[0], s), id(n.Children[1], s))
+			}
+		default:
+			return false, fmt.Errorf("threecol: unexpected node kind %v", n.Kind)
+		}
+	}
+	success := len(varID)
+	varID["success"] = success
+	for _, s := range allColorings(sortedBag(in.nice.Nodes[in.nice.Root].Bag)) {
+		prog.AddClause(success, id(in.nice.Root, s))
+	}
+	truth := prog.Solve()
+	return truth[success], nil
+}
+
+func sortedBag(bag []int) []int {
+	out := append([]int(nil), bag...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Decide is a convenience wrapper.
+func Decide(g *graph.Graph) (bool, error) {
+	in, err := NewInstance(g)
+	if err != nil {
+		return false, err
+	}
+	return in.Decide()
+}
+
+// BruteForce decides 3-colorability by backtracking over all colorings;
+// the exponential reference oracle.
+func BruteForce(g *graph.Graph) bool {
+	n := g.N()
+	colors := make([]int, n)
+	var rec func(v int) bool
+	rec = func(v int) bool {
+		if v == n {
+			return true
+		}
+		for c := 0; c < 3; c++ {
+			ok := true
+			g.Neighbors(v).ForEach(func(u int) bool {
+				if u < v && colors[u] == c {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if ok {
+				colors[v] = c
+				if rec(v + 1) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return rec(0)
+}

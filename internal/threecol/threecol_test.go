@@ -1,0 +1,185 @@
+package threecol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/mso"
+	"repro/internal/tree"
+)
+
+func TestDecideKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want bool
+	}{
+		{"triangle", graph.Cycle(3), true},
+		{"odd cycle", graph.Cycle(7), true},
+		{"K4", graph.Complete(4), false},
+		{"K3", graph.Complete(3), true},
+		{"grid", graph.Grid(3, 4), true},
+		{"path", graph.Path(10), true},
+		{"single", graph.New(1), true},
+		{"empty-ish", graph.New(3), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Decide(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("Decide = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestColoringWitness(t *testing.T) {
+	g := graph.Grid(3, 3)
+	in, err := NewInstance(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors, ok, err := in.Coloring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("grid not 3-colorable?")
+	}
+	for _, e := range g.Edges() {
+		if colors[e[0]] == colors[e[1]] {
+			t.Fatalf("improper coloring at edge %v", e)
+		}
+	}
+	for v, c := range colors {
+		if c < 0 || c > 2 {
+			t.Fatalf("vertex %d has color %d", v, c)
+		}
+	}
+	// No witness for K4.
+	in4, err := NewInstance(graph.Complete(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := in4.Coloring(); err != nil || ok {
+		t.Fatalf("K4 coloring = %v, %v", ok, err)
+	}
+}
+
+func TestGroundDecide(t *testing.T) {
+	for _, tc := range []struct {
+		g    *graph.Graph
+		want bool
+	}{
+		{graph.Cycle(5), true},
+		{graph.Complete(4), false},
+		{graph.Grid(2, 4), true},
+	} {
+		in, err := NewInstance(tc.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := in.GroundDecide()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("GroundDecide = %v, want %v", got, tc.want)
+		}
+	}
+}
+
+func TestRejectsInvalidDecomposition(t *testing.T) {
+	g := graph.Cycle(4)
+	d := tree.New()
+	d.SetRoot(d.AddNode([]int{0, 1})) // misses vertices 2, 3 and two edges
+	if _, err := NewInstanceWithDecomposition(g, d); err == nil {
+		t.Fatal("invalid decomposition accepted")
+	}
+}
+
+func randGraph(rng *rand.Rand) *graph.Graph {
+	n := rng.Intn(9) + 2
+	g := graph.RandomTree(n, rng)
+	for i := rng.Intn(2 * n); i > 0; i-- {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}
+
+// Property: DP, grounding and brute force agree on random graphs.
+func TestQuickAllPathsAgree(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randGraph(rng)
+		in, err := NewInstance(g)
+		if err != nil {
+			return false
+		}
+		dpAns, err := in.Decide()
+		if err != nil {
+			return false
+		}
+		groundAns, err := in.GroundDecide()
+		if err != nil {
+			return false
+		}
+		want := BruteForce(g)
+		if dpAns != want || groundAns != want {
+			return false
+		}
+		// When colorable, the witness must be proper.
+		colors, ok, err := in.Coloring()
+		if err != nil || ok != want {
+			return false
+		}
+		if ok {
+			for _, e := range g.Edges() {
+				if colors[e[0]] == colors[e[1]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(79))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the DP agrees with the naive evaluation of the Section 5.1
+// MSO sentence on tiny graphs.
+func TestQuickAgainstMSO(t *testing.T) {
+	sentence := mso.ThreeColorability()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 2
+		g := graph.RandomTree(n, rng)
+		for i := rng.Intn(n); i > 0; i-- {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		got, err := Decide(g)
+		if err != nil {
+			return false
+		}
+		want, err := mso.Sentence(g.ToStructure(), sentence, nil)
+		if err != nil {
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(83))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure5Constant(t *testing.T) {
+	if len(Figure5) == 0 {
+		t.Fatal("Figure5 program text missing")
+	}
+}

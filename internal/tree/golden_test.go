@@ -1,0 +1,52 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGoldenTupleNormalForm pins the normalized form of the running
+// example (the construction behind Figure 2): normalization is
+// deterministic, so the rendered tree is a stable artifact. If this test
+// fails after an intentional algorithm change, inspect the new output for
+// validity (the structural tests do that independently) and update the
+// snapshot.
+func TestGoldenTupleNormalForm(t *testing.T) {
+	st := exampleStructure(t)
+	d := exampleDecomposition(t, st)
+	norm, err := NormalizeTuple(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := norm.Format(st.Name)
+
+	// Structural facts pinned by the snapshot below.
+	if err := CheckTuple(norm, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimLeft(`
+s20 [branch] (d e f3)
+  s11 [perm] (d e f3)
+    s10 [repl e] (e f3 d)
+      s9 [perm] (c f3 d)
+        s8 [repl f3] (f3 d c)
+          s7 [perm] (f2 d c)
+            s6 [repl d] (d f2 c)
+              s5 [perm] (b f2 c)
+                s4 [repl f2] (f2 c b)
+                  s3 [perm] (f1 c b)
+                    s2 [repl c] (c b f1)
+                      s1 [leaf] (a b f1)
+  s19 [perm] (d e f3)
+    s18 [repl f3] (f3 d e)
+      s17 [perm] (f4 d e)
+        s16 [repl d] (d f4 e)
+          s15 [perm] (g f4 e)
+            s14 [repl f4] (f4 e g)
+              s13 [perm] (f5 e g)
+                s12 [leaf] (e g f5)
+`, "\n")
+	if got != want {
+		t.Fatalf("normalized form changed:\n%s", got)
+	}
+}

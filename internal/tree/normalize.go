@@ -1,0 +1,277 @@
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// NormalizeTuple transforms a valid tree decomposition of width w into the
+// tuple normal form of Definition 2.3 (via the construction of
+// Proposition 2.4): every bag is a tuple of exactly w+1 pairwise distinct
+// elements, every internal node has 1 or 2 children, one-child nodes are
+// permutation or element-replacement nodes (position 0 replaced), and
+// branch nodes have two children with bags identical to their own.
+//
+// The transformation is linear in the size of d and preserves the width.
+// The domain must have at least w+1 elements, which holds automatically
+// because some bag of a width-w decomposition has w+1 distinct elements.
+func NormalizeTuple(d *Decomposition) (*Decomposition, error) {
+	if err := d.checkTree(); err != nil {
+		return nil, err
+	}
+	w := d.Width()
+	padded, err := padBags(d, w)
+	if err != nil {
+		return nil, err
+	}
+
+	out := New()
+
+	// chainTo extends the output tree upward from node fromID (whose bag
+	// tuple is fromTuple) to a node whose bag is the element set target,
+	// inserting permutation and replacement nodes (Prop. 2.4 steps 4–5).
+	// It returns the topmost node added and its tuple. If the sets already
+	// agree, it returns the input unchanged.
+	chainTo := func(fromID int, fromTuple []int, target *bitset.Set) (int, []int) {
+		from := bitset.FromSlice(fromTuple)
+		outgoing := from.Difference(target).Elems()
+		incoming := target.Difference(from).Elems()
+		cur, curTuple := fromID, fromTuple
+		for i := range outgoing {
+			x, y := outgoing[i], incoming[i]
+			// Permutation bringing x to position 0 (skipped if in place).
+			if curTuple[0] != x {
+				perm := rotateToFront(curTuple, x)
+				id := out.AddNode(perm, cur)
+				out.Nodes[id].Kind = KindPermutation
+				cur, curTuple = id, perm
+			}
+			// Replacement of position 0: x → y.
+			repl := append([]int{y}, curTuple[1:]...)
+			id := out.AddNode(repl, cur)
+			out.Nodes[id].Kind = KindReplacement
+			out.Nodes[id].Elem = y
+			cur, curTuple = id, repl
+		}
+		return cur, curTuple
+	}
+
+	// permuteTo places an exact tuple above cur if needed.
+	permuteTo := func(cur int, curTuple, want []int) int {
+		if tuplesEqual(curTuple, want) {
+			return cur
+		}
+		id := out.AddNode(want, cur)
+		out.Nodes[id].Kind = KindPermutation
+		return id
+	}
+
+	// norm builds the gadget for node v (with children already binarized
+	// on the fly) and returns the topmost output node and its tuple.
+	var norm func(v int, children []int) (int, []int)
+	norm = func(v int, children []int) (int, []int) {
+		bag := padded[v]
+		bagSet := bitset.FromSlice(bag)
+		switch len(children) {
+		case 0:
+			id := out.AddNode(bag)
+			out.Nodes[id].Kind = KindLeaf
+			return id, bag
+		case 1:
+			c := children[0]
+			cid, ctuple := norm(c, d.Nodes[c].Children)
+			top, tuple := chainTo(cid, ctuple, bagSet)
+			if top == cid {
+				// Bags agree as sets; represent v as a permutation node so
+				// every original node keeps a counterpart.
+				id := out.AddNode(tuple, top)
+				out.Nodes[id].Kind = KindPermutation
+				return id, tuple
+			}
+			return top, tuple
+		case 2:
+			want := bag
+			var tops []int
+			for _, c := range children {
+				cid, ctuple := norm(c, d.Nodes[c].Children)
+				top, tuple := chainTo(cid, ctuple, bagSet)
+				tops = append(tops, permuteTo(top, tuple, want))
+			}
+			id := out.AddNode(want, tops[0], tops[1])
+			out.Nodes[id].Kind = KindBranch
+			return id, want
+		default:
+			// Binarize (Prop. 2.4 step 2): v keeps its first child; a copy
+			// of v takes the rest.
+			restID, restTuple := norm(v, children[1:])
+			restTop := permuteTo(restID, restTuple, bag)
+			cid, ctuple := norm(children[0], d.Nodes[children[0]].Children)
+			top, tuple := chainTo(cid, ctuple, bitset.FromSlice(bag))
+			firstTop := permuteTo(top, tuple, bag)
+			id := out.AddNode(bag, firstTop, restTop)
+			out.Nodes[id].Kind = KindBranch
+			return id, bag
+		}
+	}
+
+	rootID, _ := norm(d.Root, d.Nodes[d.Root].Children)
+	out.SetRoot(rootID)
+	return out, nil
+}
+
+func rotateToFront(tuple []int, x int) []int {
+	outT := make([]int, 0, len(tuple))
+	outT = append(outT, x)
+	for _, e := range tuple {
+		if e != x {
+			outT = append(outT, e)
+		}
+	}
+	return outT
+}
+
+func tuplesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// padBags returns, for every node of d, a bag extended to exactly w+1
+// pairwise distinct elements by borrowing elements from already padded
+// neighbors (Prop. 2.4 step 1). Padding preserves validity because each
+// borrowed element is present in an adjacent bag.
+func padBags(d *Decomposition, w int) ([][]int, error) {
+	full := w + 1
+	padded := make([][]int, len(d.Nodes))
+	// Find a node whose bag is already full; one exists by definition of
+	// the width.
+	start := -1
+	for i, n := range d.Nodes {
+		if len(uniqueInts(n.Bag)) == full {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil, fmt.Errorf("tree: no bag of full size %d; width inconsistent", full)
+	}
+	// Undirected adjacency for BFS.
+	adj := make([][]int, len(d.Nodes))
+	for i, n := range d.Nodes {
+		for _, c := range n.Children {
+			adj[i] = append(adj[i], c)
+			adj[c] = append(adj[c], i)
+		}
+	}
+	visited := make([]bool, len(d.Nodes))
+	visited[start] = true
+	padded[start] = sortedBag(uniqueInts(d.Nodes[start].Bag))
+	queue := []int{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if visited[u] {
+				continue
+			}
+			visited[u] = true
+			bag := uniqueInts(d.Nodes[u].Bag)
+			have := bitset.FromSlice(bag)
+			for _, e := range padded[v] {
+				if len(bag) >= full {
+					break
+				}
+				if !have.Has(e) {
+					have.Add(e)
+					bag = append(bag, e)
+				}
+			}
+			if len(bag) != full {
+				return nil, fmt.Errorf("tree: cannot pad bag of node %d to size %d", u, full)
+			}
+			padded[u] = sortedBag(bag)
+			queue = append(queue, u)
+		}
+	}
+	for i := range d.Nodes {
+		if !visited[i] {
+			return nil, fmt.Errorf("tree: node %d unreachable during padding", i)
+		}
+	}
+	return padded, nil
+}
+
+func uniqueInts(xs []int) []int {
+	seen := map[int]bool{}
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// CheckTuple verifies that d is in the tuple normal form of Definition 2.3
+// for width w: full-size duplicate-free tuple bags, 1–2 children per
+// internal node, permutation/replacement discipline on one-child nodes,
+// and identical bags at branch nodes.
+func CheckTuple(d *Decomposition, w int) error {
+	if err := d.checkTree(); err != nil {
+		return err
+	}
+	for id, n := range d.Nodes {
+		if len(n.Bag) != w+1 {
+			return fmt.Errorf("tree: node %d bag has size %d, want %d", id, len(n.Bag), w+1)
+		}
+		if len(uniqueInts(n.Bag)) != len(n.Bag) {
+			return fmt.Errorf("tree: node %d bag has duplicate elements", id)
+		}
+		switch len(n.Children) {
+		case 0:
+			if n.Kind != KindLeaf {
+				return fmt.Errorf("tree: node %d is a leaf but marked %v", id, n.Kind)
+			}
+		case 1:
+			c := d.Nodes[n.Children[0]]
+			switch n.Kind {
+			case KindPermutation:
+				if !bitset.FromSlice(n.Bag).Equal(bitset.FromSlice(c.Bag)) {
+					return fmt.Errorf("tree: permutation node %d changes bag contents", id)
+				}
+			case KindReplacement:
+				if !tuplesEqual(n.Bag[1:], c.Bag[1:]) {
+					return fmt.Errorf("tree: replacement node %d modifies positions beyond 0", id)
+				}
+				if n.Bag[0] == c.Bag[0] {
+					return fmt.Errorf("tree: replacement node %d replaces nothing", id)
+				}
+				if n.Elem != n.Bag[0] {
+					return fmt.Errorf("tree: replacement node %d has Elem %d, want %d", id, n.Elem, n.Bag[0])
+				}
+			default:
+				return fmt.Errorf("tree: one-child node %d has kind %v", id, n.Kind)
+			}
+		case 2:
+			if n.Kind != KindBranch {
+				return fmt.Errorf("tree: two-child node %d has kind %v", id, n.Kind)
+			}
+			for _, ci := range n.Children {
+				if !tuplesEqual(n.Bag, d.Nodes[ci].Bag) {
+					return fmt.Errorf("tree: branch node %d child %d has different bag", id, ci)
+				}
+			}
+		default:
+			return fmt.Errorf("tree: node %d has %d children", id, len(n.Children))
+		}
+	}
+	return nil
+}

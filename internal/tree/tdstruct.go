@@ -1,0 +1,137 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/structure"
+)
+
+// TDPredicates returns the extra predicate symbols of the extended
+// signature τ_td of Section 4 for width w: root/1, leaf/1, child1/2,
+// child2/2 and bag/(w+2), plus single/1 marking nodes with exactly one
+// child. The paper's rules implicitly assume that permutation/replacement
+// rules only apply at one-child nodes; since branch children carry bags
+// identical to their parent, a literal datalog reading of those rules
+// would also fire at branch nodes, so the node kind is made explicit
+// (computable in linear time while building the decomposition).
+func TDPredicates(w int) []structure.Predicate {
+	return []structure.Predicate{
+		{Name: "root", Arity: 1},
+		{Name: "leaf", Arity: 1},
+		{Name: "single", Arity: 1},
+		{Name: "child1", Arity: 2},
+		{Name: "child2", Arity: 2},
+		{Name: "bag", Arity: w + 2},
+	}
+}
+
+// BuildTD constructs the τ_td-structure A_td of Section 4 from a
+// τ-structure and a tree decomposition in tuple normal form of width w:
+// the domain is extended with one fresh element per tree node, and the
+// relations root, leaf, child1, child2 and bag represent the tree. The
+// returned slice maps decomposition node IDs to their domain element IDs.
+func BuildTD(st *structure.Structure, d *Decomposition, w int) (*structure.Structure, []int, error) {
+	if err := CheckTuple(d, w); err != nil {
+		return nil, nil, fmt.Errorf("tree: decomposition not in tuple normal form: %w", err)
+	}
+	sig, err := st.Sig().Extend(TDPredicates(w)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	td := structure.New(sig)
+	// Copy the original structure.
+	for i := 0; i < st.Size(); i++ {
+		td.AddElem(st.Name(i))
+	}
+	for _, p := range st.Sig().Predicates() {
+		for _, tuple := range st.Tuples(p.Name) {
+			if err := td.AddTuple(p.Name, tuple...); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	// Fresh elements for tree nodes.
+	nodeElem := make([]int, len(d.Nodes))
+	for i := range d.Nodes {
+		name := fmt.Sprintf("s%d", i+1)
+		for {
+			if _, exists := td.Elem(name); !exists {
+				break
+			}
+			name = "_" + name
+		}
+		nodeElem[i] = td.AddElem(name)
+	}
+	// Tree relations.
+	if err := td.AddTuple("root", nodeElem[d.Root]); err != nil {
+		return nil, nil, err
+	}
+	for i, n := range d.Nodes {
+		if len(n.Children) == 0 {
+			if err := td.AddTuple("leaf", nodeElem[i]); err != nil {
+				return nil, nil, err
+			}
+		}
+		if len(n.Children) == 1 {
+			if err := td.AddTuple("single", nodeElem[i]); err != nil {
+				return nil, nil, err
+			}
+		}
+		if len(n.Children) >= 1 {
+			if err := td.AddTuple("child1", nodeElem[n.Children[0]], nodeElem[i]); err != nil {
+				return nil, nil, err
+			}
+		}
+		if len(n.Children) == 2 {
+			if err := td.AddTuple("child2", nodeElem[n.Children[1]], nodeElem[i]); err != nil {
+				return nil, nil, err
+			}
+		}
+		args := make([]int, 0, w+2)
+		args = append(args, nodeElem[i])
+		args = append(args, n.Bag...)
+		if err := td.AddTuple("bag", args...); err != nil {
+			return nil, nil, err
+		}
+	}
+	return td, nodeElem, nil
+}
+
+// Format renders the decomposition as an indented tree; name translates
+// element IDs to display names (pass nil for numeric IDs). Used to
+// reproduce the figures of the paper in examples and golden tests.
+func (d *Decomposition) Format(name func(int) string) string {
+	if name == nil {
+		name = func(e int) string { return fmt.Sprintf("%d", e) }
+	}
+	var b strings.Builder
+	var rec func(v int, depth int)
+	rec = func(v int, depth int) {
+		n := d.Nodes[v]
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "s%d", v+1)
+		if n.Kind != KindUnknown {
+			fmt.Fprintf(&b, " [%s", n.Kind)
+			if n.Elem >= 0 {
+				fmt.Fprintf(&b, " %s", name(n.Elem))
+			}
+			b.WriteString("]")
+		}
+		b.WriteString(" (")
+		for i, e := range n.Bag {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(name(e))
+		}
+		b.WriteString(")\n")
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	if d.Root >= 0 {
+		rec(d.Root, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,429 @@
+// Package tree implements tree decompositions of finite structures and
+// graphs (Section 2.2), their validation, the two normal forms used by the
+// paper — the tuple normal form of Definition 2.3 and the "nice" normal
+// form of Section 5 (leaf / introduce / forget / branch nodes) — and the
+// construction of the extended τ_td structure of Section 4.
+package tree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+// Kind classifies a node of a normalized tree decomposition.
+type Kind int
+
+// Node kinds. Raw decompositions use KindUnknown throughout; the tuple
+// normal form (Def. 2.3) uses Leaf/Permutation/Replacement/Branch; the
+// nice normal form (Sec. 5) uses Leaf/Introduce/Forget/Copy/Branch.
+const (
+	KindUnknown     Kind = iota
+	KindLeaf             // no children
+	KindPermutation      // tuple form: child bag is a permutation of this bag
+	KindReplacement      // tuple form: position 0 of the child bag replaced
+	KindIntroduce        // nice form: bag = child bag ∪ {Elem}
+	KindForget           // nice form: bag = child bag \ {Elem}
+	KindCopy             // nice form: bag identical to the only child's bag
+	KindBranch           // two children with bags identical to this bag
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindLeaf:
+		return "leaf"
+	case KindPermutation:
+		return "perm"
+	case KindReplacement:
+		return "repl"
+	case KindIntroduce:
+		return "intro"
+	case KindForget:
+		return "forget"
+	case KindCopy:
+		return "copy"
+	case KindBranch:
+		return "branch"
+	default:
+		return "node"
+	}
+}
+
+// Node is one node of a rooted tree decomposition.
+type Node struct {
+	// Bag lists the elements of the node's bag. In the tuple normal form
+	// the order is significant (the bag is a tuple of pairwise distinct
+	// elements); in raw and nice decompositions it is kept sorted.
+	Bag []int
+	// Children lists child node IDs; order is significant (child1/child2).
+	Children []int
+	// Parent is the parent node ID, or -1 for the root.
+	Parent int
+	// Kind is the node's role in a normal form (KindUnknown if raw).
+	Kind Kind
+	// Elem is the element introduced (KindIntroduce), forgotten
+	// (KindForget), or placed at position 0 (KindReplacement); -1 otherwise.
+	Elem int
+}
+
+// Decomposition is a rooted tree decomposition: a tree of bags over the
+// element IDs of some structure or graph.
+type Decomposition struct {
+	Nodes []Node
+	Root  int
+}
+
+// New returns an empty decomposition with no nodes and an unset root.
+func New() *Decomposition {
+	return &Decomposition{Root: -1}
+}
+
+// AddNode appends a node with the given bag and (already added) children
+// and returns its ID. Parent pointers of the children are set. The bag
+// slice is copied.
+func (d *Decomposition) AddNode(bag []int, children ...int) int {
+	id := len(d.Nodes)
+	n := Node{
+		Bag:      append([]int(nil), bag...),
+		Children: append([]int(nil), children...),
+		Parent:   -1,
+		Elem:     -1,
+	}
+	d.Nodes = append(d.Nodes, n)
+	for _, c := range children {
+		d.Nodes[c].Parent = id
+	}
+	return id
+}
+
+// SetRoot marks the given node as root.
+func (d *Decomposition) SetRoot(id int) {
+	d.Root = id
+	d.Nodes[id].Parent = -1
+}
+
+// Len returns the number of nodes.
+func (d *Decomposition) Len() int { return len(d.Nodes) }
+
+// Width returns max |bag| - 1, or -1 for an empty decomposition.
+func (d *Decomposition) Width() int {
+	w := 0
+	for _, n := range d.Nodes {
+		if len(n.Bag) > w {
+			w = len(n.Bag)
+		}
+	}
+	return w - 1
+}
+
+// BagSet returns node id's bag as a bit set.
+func (d *Decomposition) BagSet(id int) *bitset.Set {
+	return bitset.FromSlice(d.Nodes[id].Bag)
+}
+
+// Leaves returns the IDs of all leaf nodes.
+func (d *Decomposition) Leaves() []int {
+	var out []int
+	for i, n := range d.Nodes {
+		if len(n.Children) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// PostOrder returns all node IDs so that children precede parents.
+func (d *Decomposition) PostOrder() []int {
+	out := make([]int, 0, len(d.Nodes))
+	var rec func(int)
+	rec = func(v int) {
+		for _, c := range d.Nodes[v].Children {
+			rec(c)
+		}
+		out = append(out, v)
+	}
+	if d.Root >= 0 {
+		rec(d.Root)
+	}
+	return out
+}
+
+// PreOrder returns all node IDs so that parents precede children.
+func (d *Decomposition) PreOrder() []int {
+	post := d.PostOrder()
+	out := make([]int, len(post))
+	for i, v := range post {
+		out[len(post)-1-i] = v
+	}
+	return out
+}
+
+// checkTree verifies that the decomposition is a tree rooted at Root with
+// consistent parent/child pointers and every node reachable from the root.
+func (d *Decomposition) checkTree() error {
+	if len(d.Nodes) == 0 {
+		return fmt.Errorf("tree: empty decomposition")
+	}
+	if d.Root < 0 || d.Root >= len(d.Nodes) {
+		return fmt.Errorf("tree: root %d out of range", d.Root)
+	}
+	if d.Nodes[d.Root].Parent != -1 {
+		return fmt.Errorf("tree: root has a parent")
+	}
+	seen := make([]bool, len(d.Nodes))
+	var rec func(int) error
+	rec = func(v int) error {
+		if seen[v] {
+			return fmt.Errorf("tree: node %d visited twice (cycle or shared child)", v)
+		}
+		seen[v] = true
+		for _, c := range d.Nodes[v].Children {
+			if c < 0 || c >= len(d.Nodes) {
+				return fmt.Errorf("tree: child %d of node %d out of range", c, v)
+			}
+			if d.Nodes[c].Parent != v {
+				return fmt.Errorf("tree: node %d has parent %d, expected %d", c, d.Nodes[c].Parent, v)
+			}
+			if err := rec(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(d.Root); err != nil {
+		return err
+	}
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("tree: node %d unreachable from root", i)
+		}
+	}
+	return nil
+}
+
+// checkConnectedness verifies condition (3) of the tree decomposition
+// definition: for every element, the nodes whose bags contain it induce a
+// connected subtree.
+func (d *Decomposition) checkConnectedness() error {
+	// For each element, count occurrences and walk the subtree from its
+	// topmost occurrence through bags that contain it.
+	occ := map[int]int{}
+	topmost := map[int]int{}
+	for _, v := range d.PreOrder() {
+		for _, e := range d.Nodes[v].Bag {
+			occ[e]++
+			if _, ok := topmost[e]; !ok {
+				topmost[e] = v
+			}
+		}
+	}
+	for e, top := range topmost {
+		count := 0
+		var rec func(int)
+		rec = func(v int) {
+			if !containsElem(d.Nodes[v].Bag, e) {
+				return
+			}
+			count++
+			for _, c := range d.Nodes[v].Children {
+				rec(c)
+			}
+		}
+		rec(top)
+		if count != occ[e] {
+			return fmt.Errorf("tree: element %d violates connectedness (%d of %d occurrences connected)", e, count, occ[e])
+		}
+	}
+	return nil
+}
+
+func containsElem(bag []int, e int) bool {
+	for _, b := range bag {
+		if b == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks that d is a tree decomposition of the structure st:
+// tree shape, every element covered, every tuple covered by some bag, and
+// connectedness.
+func (d *Decomposition) Validate(st *structure.Structure) error {
+	if err := d.checkTree(); err != nil {
+		return err
+	}
+	covered := bitset.New(st.Size())
+	for _, n := range d.Nodes {
+		for _, e := range n.Bag {
+			if e < 0 || e >= st.Size() {
+				return fmt.Errorf("tree: bag element %d outside domain", e)
+			}
+			covered.Add(e)
+		}
+	}
+	if covered.Len() != st.Size() {
+		return fmt.Errorf("tree: %d of %d elements not covered by any bag", st.Size()-covered.Len(), st.Size())
+	}
+	for _, p := range st.Sig().Predicates() {
+	tuples:
+		for _, tuple := range st.Tuples(p.Name) {
+			for _, n := range d.Nodes {
+				bag := bitset.FromSlice(n.Bag)
+				all := true
+				for _, e := range tuple {
+					if !bag.Has(e) {
+						all = false
+						break
+					}
+				}
+				if all {
+					continue tuples
+				}
+			}
+			return fmt.Errorf("tree: tuple %s(%v) not covered by any bag", p.Name, st.Names(tuple))
+		}
+	}
+	return d.checkConnectedness()
+}
+
+// ValidateGraph checks that d is a tree decomposition of the graph g.
+func (d *Decomposition) ValidateGraph(g *graph.Graph) error {
+	if err := d.checkTree(); err != nil {
+		return err
+	}
+	covered := bitset.New(g.N())
+	for _, n := range d.Nodes {
+		for _, e := range n.Bag {
+			if e < 0 || e >= g.N() {
+				return fmt.Errorf("tree: bag vertex %d outside graph", e)
+			}
+			covered.Add(e)
+		}
+	}
+	if covered.Len() != g.N() {
+		return fmt.Errorf("tree: %d vertices not covered", g.N()-covered.Len())
+	}
+edges:
+	for _, e := range g.Edges() {
+		for _, n := range d.Nodes {
+			bag := bitset.FromSlice(n.Bag)
+			if bag.Has(e[0]) && bag.Has(e[1]) {
+				continue edges
+			}
+		}
+		return fmt.Errorf("tree: edge {%d,%d} not covered", e[0], e[1])
+	}
+	return d.checkConnectedness()
+}
+
+// Clone returns a deep copy of the decomposition.
+func (d *Decomposition) Clone() *Decomposition {
+	c := &Decomposition{Root: d.Root, Nodes: make([]Node, len(d.Nodes))}
+	for i, n := range d.Nodes {
+		c.Nodes[i] = Node{
+			Bag:      append([]int(nil), n.Bag...),
+			Children: append([]int(nil), n.Children...),
+			Parent:   n.Parent,
+			Kind:     n.Kind,
+			Elem:     n.Elem,
+		}
+	}
+	return c
+}
+
+// ReRoot reorients the tree so that newRoot becomes the root. Node kinds
+// are reset to KindUnknown (normal forms are direction-dependent).
+func (d *Decomposition) ReRoot(newRoot int) {
+	if newRoot == d.Root {
+		return
+	}
+	// Build undirected adjacency, then redo parent/children from newRoot.
+	adj := make([][]int, len(d.Nodes))
+	for i, n := range d.Nodes {
+		for _, c := range n.Children {
+			adj[i] = append(adj[i], c)
+			adj[c] = append(adj[c], i)
+		}
+	}
+	for i := range d.Nodes {
+		d.Nodes[i].Children = nil
+		d.Nodes[i].Parent = -1
+		d.Nodes[i].Kind = KindUnknown
+		d.Nodes[i].Elem = -1
+	}
+	var rec func(v, parent int)
+	rec = func(v, parent int) {
+		d.Nodes[v].Parent = parent
+		for _, w := range adj[v] {
+			if w != parent {
+				d.Nodes[v].Children = append(d.Nodes[v].Children, w)
+				rec(w, v)
+			}
+		}
+	}
+	rec(newRoot, -1)
+	d.Root = newRoot
+}
+
+// NodeWithElem returns some node whose bag contains e, or -1.
+func (d *Decomposition) NodeWithElem(e int) int {
+	for i, n := range d.Nodes {
+		if containsElem(n.Bag, e) {
+			return i
+		}
+	}
+	return -1
+}
+
+// SubtreeElems returns the set of elements occurring in any bag of the
+// subtree rooted at v (the elements of the induced substructure
+// I(A, T_v, v) of Definition 3.2).
+func (d *Decomposition) SubtreeElems(v int) *bitset.Set {
+	s := &bitset.Set{}
+	var rec func(int)
+	rec = func(u int) {
+		for _, e := range d.Nodes[u].Bag {
+			s.Add(e)
+		}
+		for _, c := range d.Nodes[u].Children {
+			rec(c)
+		}
+	}
+	rec(v)
+	return s
+}
+
+// EnvelopeElems returns the set of elements occurring in any bag of the
+// envelope T̄_v (everything except the strict subtree below v; v's own bag
+// is included), per Definition 3.1.
+func (d *Decomposition) EnvelopeElems(v int) *bitset.Set {
+	inSubtree := make([]bool, len(d.Nodes))
+	var mark func(int)
+	mark = func(u int) {
+		inSubtree[u] = true
+		for _, c := range d.Nodes[u].Children {
+			mark(c)
+		}
+	}
+	mark(v)
+	s := &bitset.Set{}
+	for i, n := range d.Nodes {
+		if inSubtree[i] && i != v {
+			continue
+		}
+		for _, e := range n.Bag {
+			s.Add(e)
+		}
+	}
+	return s
+}
+
+func sortedBag(bag []int) []int {
+	out := append([]int(nil), bag...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,185 @@
+// Package vcover implements minimum vertex cover (and by complement,
+// maximum independent set) on bounded-treewidth graphs — a further FPT
+// problem on the paper's framework (Section 7: "We are therefore planning
+// to tackle many more problems, whose FPT was established via Courcelle's
+// Theorem, with this new approach"). The solver is a cost-optimizing
+// dynamic program over the nice tree decompositions of internal/dp,
+// following the same solve-predicate style as Figures 5 and 6.
+package vcover
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/decompose"
+	"repro/internal/dp"
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// state is the in-cover bitmask over the sorted bag positions.
+type state uint32
+
+func position(bag []int, e int) int {
+	for i, b := range bag {
+		if b == e {
+			return i
+		}
+	}
+	return -1
+}
+
+func insertBit(m state, p int, bit state) state {
+	low := m & ((1 << uint(p)) - 1)
+	high := m >> uint(p)
+	return low | bit<<uint(p) | high<<uint(p+1)
+}
+
+func removeBit(m state, p int) state {
+	low := m & ((1 << uint(p)) - 1)
+	high := m >> uint(p+1)
+	return low | high<<uint(p)
+}
+
+// covered reports whether every bag-internal edge has an endpoint in the
+// cover mask.
+func covered(g *graph.Graph, bag []int, m state) bool {
+	for i := 0; i < len(bag); i++ {
+		for j := i + 1; j < len(bag); j++ {
+			if g.HasEdge(bag[i], bag[j]) && m>>uint(i)&1 == 0 && m>>uint(j)&1 == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func handlers(g *graph.Graph) dp.CostHandlers[state] {
+	popcount := func(m state, n int) int {
+		c := 0
+		for p := 0; p < n; p++ {
+			c += int(m >> uint(p) & 1)
+		}
+		return c
+	}
+	return dp.CostHandlers[state]{
+		Leaf: func(_ int, bag []int) []dp.Costed[state] {
+			var out []dp.Costed[state]
+			for m := state(0); m < 1<<uint(len(bag)); m++ {
+				if covered(g, bag, m) {
+					out = append(out, dp.Costed[state]{State: m, Cost: popcount(m, len(bag))})
+				}
+			}
+			return out
+		},
+		Introduce: func(_ int, bag []int, elem int, child state) []dp.Costed[state] {
+			p := position(bag, elem)
+			var out []dp.Costed[state]
+			for bit := state(0); bit <= 1; bit++ {
+				m := insertBit(child, p, bit)
+				if covered(g, bag, m) {
+					out = append(out, dp.Costed[state]{State: m, Cost: int(bit)})
+				}
+			}
+			return out
+		},
+		Forget: func(_ int, bag []int, elem int, child state) []dp.Costed[state] {
+			childBag := insertSorted(bag, elem)
+			return []dp.Costed[state]{{State: removeBit(child, position(childBag, elem))}}
+		},
+		Branch: func(_ int, bag []int, s1, s2 state) []dp.Costed[state] {
+			if s1 != s2 {
+				return nil
+			}
+			// The bag's cover members are counted in both children;
+			// subtract one copy.
+			dup := 0
+			for p := range bag {
+				dup += int(s1 >> uint(p) & 1)
+			}
+			return []dp.Costed[state]{{State: s1, Cost: -dup}}
+		},
+	}
+}
+
+func insertSorted(bag []int, e int) []int {
+	out := make([]int, 0, len(bag)+1)
+	placed := false
+	for _, b := range bag {
+		if !placed && e < b {
+			out = append(out, e)
+			placed = true
+		}
+		out = append(out, b)
+	}
+	if !placed {
+		out = append(out, e)
+	}
+	return out
+}
+
+// MinVertexCover returns the size of a minimum vertex cover of g.
+func MinVertexCover(g *graph.Graph) (int, error) {
+	d, err := decompose.Graph(g, decompose.MinFill)
+	if err != nil {
+		return 0, err
+	}
+	nice, err := tree.NormalizeNice(d, tree.NiceOptions{})
+	if err != nil {
+		return 0, err
+	}
+	tables, err := dp.RunUpMin(nice, handlers(g))
+	if err != nil {
+		return 0, err
+	}
+	best := math.MaxInt
+	for _, c := range tables[nice.Root] {
+		if c < best {
+			best = c
+		}
+	}
+	if best == math.MaxInt {
+		return 0, fmt.Errorf("vcover: no feasible state at the root")
+	}
+	return best, nil
+}
+
+// MaxIndependentSet returns the size of a maximum independent set
+// (|V| − minimum vertex cover).
+func MaxIndependentSet(g *graph.Graph) (int, error) {
+	vc, err := MinVertexCover(g)
+	if err != nil {
+		return 0, err
+	}
+	return g.N() - vc, nil
+}
+
+// BruteForceVC is the exponential oracle for tests.
+func BruteForceVC(g *graph.Graph) int {
+	n := g.N()
+	if n > 22 {
+		panic("vcover: brute force limited to 22 vertices")
+	}
+	edges := g.Edges()
+	best := n
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		size := 0
+		for v := 0; v < n; v++ {
+			size += mask >> uint(v) & 1
+		}
+		if size >= best {
+			continue
+		}
+		ok := true
+		for _, e := range edges {
+			if mask>>uint(e[0])&1 == 0 && mask>>uint(e[1])&1 == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			best = size
+		}
+	}
+	return best
+}

@@ -1,0 +1,86 @@
+package vcover
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestKnownCovers(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"path4", graph.Path(4), 2},   // cover {v1, v2}
+		{"cycle5", graph.Cycle(5), 3}, // ⌈5/2⌉
+		{"K4", graph.Complete(4), 3},
+		{"star", star(6), 1},
+		{"edgeless", graph.New(5), 0},
+		{"single edge", graph.Path(2), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := MinVertexCover(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("VC = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func star(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g
+}
+
+func TestMaxIndependentSet(t *testing.T) {
+	got, err := MaxIndependentSet(graph.Cycle(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("MIS(C6) = %d, want 3", got)
+	}
+}
+
+func TestScalesOnBoundedTreewidth(t *testing.T) {
+	// Far beyond brute-force range.
+	rng := rand.New(rand.NewSource(5))
+	g := graph.PartialKTree(120, 3, 0.3, rng)
+	vc, err := MinVertexCover(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc <= 0 || vc >= g.N() {
+		t.Fatalf("implausible VC %d", vc)
+	}
+}
+
+// Property: the DP agrees with brute force on random graphs.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(10) + 2
+		g := graph.RandomTree(n, rng)
+		for i := rng.Intn(2 * n); i > 0; i-- {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		got, err := MinVertexCover(g)
+		if err != nil {
+			return false
+		}
+		return got == BruteForceVC(g)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(157))}); err != nil {
+		t.Fatal(err)
+	}
+}

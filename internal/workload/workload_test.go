@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/primality"
+	"repro/internal/tree"
+)
+
+func TestBalancedSchemaShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, nFDs := range []int{1, 2, 4, 11} {
+		s, d, err := BalancedSchema(nFDs, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumFDs() != nFDs {
+			t.Fatalf("#FD = %d, want %d", s.NumFDs(), nFDs)
+		}
+		if s.NumAttrs() != 3*nFDs {
+			t.Fatalf("#Att = %d, want %d", s.NumAttrs(), 3*nFDs)
+		}
+		if w := d.Width(); w > 3 {
+			t.Fatalf("width = %d, want ≤ 3 (Table 1 uses tw 3)", w)
+		}
+		if err := d.Validate(s.ToStructure()); err != nil {
+			t.Fatalf("decomposition invalid: %v", err)
+		}
+	}
+}
+
+func TestBalancedSchemaNodeKindsMixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	_, d, err := BalancedSchema(7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nice, err := tree.NormalizeNice(d, tree.NiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[tree.Kind]int{}
+	for _, n := range nice.Nodes {
+		kinds[n.Kind]++
+	}
+	for _, k := range []tree.Kind{tree.KindLeaf, tree.KindIntroduce, tree.KindForget, tree.KindBranch} {
+		if kinds[k] == 0 {
+			t.Fatalf("node kind %v absent; kinds = %v", k, kinds)
+		}
+	}
+}
+
+// Property: the DP primality on generated workloads agrees with brute
+// force (kept small so the exponential oracle stays cheap).
+func TestQuickWorkloadPrimality(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nFDs := rng.Intn(3) + 1 // up to 9 attributes
+		s, d, err := BalancedSchema(nFDs, rng)
+		if err != nil {
+			return false
+		}
+		in, err := primality.NewInstanceWithDecomposition(s, d)
+		if err != nil {
+			return false
+		}
+		primes, err := in.Enumerate()
+		if err != nil {
+			return false
+		}
+		return primes.Equal(s.PrimesBruteForce())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(97))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColorableGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := ColorableGraph(30, 3, rng)
+	if g.N() != 30 {
+		t.Fatalf("N = %d", g.N())
+	}
+}
+
+func TestTable1FDs(t *testing.T) {
+	if len(Table1FDs) != 11 || Table1FDs[0] != 1 || Table1FDs[10] != 31 {
+		t.Fatalf("Table1FDs = %v", Table1FDs)
+	}
+}
