@@ -324,6 +324,51 @@ func BenchmarkGroundingVsDP(b *testing.B) {
 	})
 }
 
+// ---- engine micro-benchmarks (datalog hot path) ----
+
+// BenchmarkTCPath1000 is the engine regression benchmark of the
+// incremental-index work: transitive closure over a 1000-vertex path
+// derives ~500k facts across ~1000 semi-naive rounds, so it measures
+// exactly the insert/match path (index maintenance, tuple hashing,
+// parallel stratum rounds) rather than any paper-specific program.
+func BenchmarkTCPath1000(b *testing.B) {
+	db := bench.TCPathEDB(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := datalog.Eval(bench.TCProgram, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got, want := out.Count("path"), 1000*999/2; got != want {
+			b.Fatalf("got %d path facts, want %d", got, want)
+		}
+	}
+}
+
+// BenchmarkPrimalityEval times the primality-shaped theta program (the
+// Theorem 4.5 chain workload of E2) through both engine routes, so the
+// generic semi-naive path and the quasi-guarded grounding path are
+// tracked side by side.
+func BenchmarkPrimalityEval(b *testing.B) {
+	db := chainEDB(1000)
+	b.Run("seminaive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := datalog.Eval(chainProgram, db)
+			if err != nil || !out.Has("accept") {
+				b.Fatalf("eval failed: %v", err)
+			}
+		}
+	})
+	b.Run("quasiguarded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := datalog.EvalQuasiGuarded(chainProgram, db, datalog.TDFuncDeps(1))
+			if err != nil || !out.Has("accept") {
+				b.Fatalf("eval failed: %v", err)
+			}
+		}
+	})
+}
+
 // ---- supporting micro-benchmarks ----
 
 func BenchmarkClosure(b *testing.B) {

@@ -4,8 +4,11 @@
 // treewidth-3 workloads.
 //
 //	benchtable [-fds 1,2,3,...] [-seed n] [-budget steps] [-skipmona] [-reps n]
+//	benchtable -tc n
 //
-// Each MD measurement is the median of -reps runs.
+// Each MD measurement is the median of -reps runs. The -tc mode instead
+// times transitive closure over an n-vertex path through the generic
+// engine — the quick engine health check behind BenchmarkTCPath1000.
 package main
 
 import (
@@ -27,7 +30,28 @@ func main() {
 	budget := flag.Int64("budget", bench.MonaBudget, "baseline step budget")
 	skipMona := flag.Bool("skipmona", false, "skip the baseline column")
 	reps := flag.Int("reps", 3, "repetitions per MD measurement (median reported)")
+	tc := flag.Int("tc", 0, "instead time transitive closure over an n-vertex path")
 	flag.Parse()
+
+	if *tc > 0 {
+		durs := make([]time.Duration, 0, *reps)
+		for r := 0; r < *reps; r++ {
+			var facts int
+			dur, err := bench.Measure(func() error {
+				var err error
+				facts, err = bench.TCPath(*tc)
+				return err
+			})
+			if err != nil {
+				fail(err)
+			}
+			durs = append(durs, dur)
+			fmt.Printf("tc path(%d): %d facts in %v\n", *tc, facts, dur)
+		}
+		sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+		fmt.Printf("median: %v\n", durs[len(durs)/2])
+		return
+	}
 
 	opts := bench.Table1Opts{Seed: *seed, MonaBudget: *budget, SkipMona: *skipMona}
 	if *fdsSpec != "" {

@@ -3,6 +3,7 @@ package datalog
 import (
 	"fmt"
 	"strconv"
+	"sync"
 )
 
 // BuiltinFunc evaluates a builtin predicate on ground arguments (constant
@@ -14,6 +15,11 @@ import (
 // predicates if they admit an efficient implementation"); RegisterBuiltin
 // is the corresponding extension point.
 type BuiltinFunc func(args []string) (bool, error)
+
+// builtinsMu guards the builtins registry: evaluation is concurrent
+// (parallel stratum tasks call IsBuiltin/callBuiltin), and RegisterBuiltin
+// may legally race with a running Eval.
+var builtinsMu sync.RWMutex
 
 var builtins = map[string]BuiltinFunc{
 	"eq":  func(a []string) (bool, error) { return binary(a, func(x, y string) bool { return x == y }) },
@@ -44,17 +50,24 @@ func less(x, y string) bool {
 // Builtin names shadow extensional predicates; programs must not reuse
 // them.
 func IsBuiltin(name string) bool {
+	builtinsMu.RLock()
 	_, ok := builtins[name]
+	builtinsMu.RUnlock()
 	return ok
 }
 
-// RegisterBuiltin installs (or replaces) a builtin predicate.
+// RegisterBuiltin installs (or replaces) a builtin predicate. It is safe
+// to call concurrently with evaluation.
 func RegisterBuiltin(name string, f BuiltinFunc) {
+	builtinsMu.Lock()
 	builtins[name] = f
+	builtinsMu.Unlock()
 }
 
 func callBuiltin(name string, args []string) (bool, error) {
+	builtinsMu.RLock()
 	f, ok := builtins[name]
+	builtinsMu.RUnlock()
 	if !ok {
 		return false, fmt.Errorf("datalog: unknown builtin %s", name)
 	}

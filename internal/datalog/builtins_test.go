@@ -1,0 +1,75 @@
+package datalog
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestBuiltinBasics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want bool
+	}{
+		{"eq", []string{"a", "a"}, true},
+		{"neq", []string{"a", "b"}, true},
+		{"lt", []string{"2", "10"}, true}, // numeric when both parse
+		{"lt", []string{"b", "a"}, false}, // lexicographic otherwise
+		{"lte", []string{"3", "3"}, true},
+	} {
+		got, err := callBuiltin(tc.name, tc.args)
+		if err != nil || got != tc.want {
+			t.Fatalf("%s(%v) = %v, %v; want %v", tc.name, tc.args, got, err, tc.want)
+		}
+	}
+	if _, err := callBuiltin("nosuch", nil); err == nil {
+		t.Fatal("unknown builtin did not error")
+	}
+	if _, err := callBuiltin("eq", []string{"a"}); err == nil {
+		t.Fatal("arity error not reported")
+	}
+}
+
+// TestRegisterBuiltinDuringEval registers builtins concurrently with a
+// running evaluation whose rounds are large enough to take the parallel
+// path. Run under -race (CI does) this pins the satellite fix: the
+// builtins registry is guarded, so RegisterBuiltin may legally overlap
+// Eval.
+func TestRegisterBuiltinDuringEval(t *testing.T) {
+	p := MustParse(`
+path(X, Y) :- e(X, Y), neq(X, Y).
+path(X, Z) :- path(X, Y), e(Y, Z).
+`)
+	db := NewDB()
+	n := 200
+	for i := 0; i < n-1; i++ {
+		db.AddFact("e", "v"+strconv.Itoa(i), "v"+strconv.Itoa(i+1))
+	}
+	stop := make(chan struct{})
+	regDone := make(chan struct{})
+	go func() {
+		defer close(regDone)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := "user_fn_" + strconv.Itoa(i%8)
+			RegisterBuiltin(name, func(args []string) (bool, error) { return true, nil })
+			i++
+		}
+	}()
+	for round := 0; round < 3; round++ {
+		out, err := Eval(p, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := out.Count("path"), n*(n-1)/2; got != want {
+			t.Fatalf("round %d: %d path facts, want %d", round, got, want)
+		}
+	}
+	close(stop)
+	<-regDone
+}

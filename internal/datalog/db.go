@@ -3,8 +3,7 @@ package datalog
 import (
 	"fmt"
 	"sort"
-	"strconv"
-	"strings"
+	"sync"
 
 	"repro/internal/structure"
 )
@@ -23,87 +22,339 @@ func NewDB() *DB {
 	return &DB{byName: map[string]int{}, rels: map[string]*relation{}}
 }
 
-type relation struct {
-	arity   int
-	tuples  [][]int
-	set     map[string]struct{}
-	indexes map[string]map[string][][]int // bound-position mask → key → tuples
-}
+// Tuples are hashed with FNV-1a folding whole words per element; equality
+// is verified element-wise on probe, so hash quality only affects speed,
+// never correctness.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
 
-func newRelation(arity int) *relation {
-	return &relation{arity: arity, set: map[string]struct{}{}, indexes: map[string]map[string][][]int{}}
-}
-
-func (r *relation) key(tuple []int) string {
-	var b strings.Builder
-	for i, e := range tuple {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.Itoa(e))
+func hashTuple(tuple []int) uint64 {
+	h := fnvOffset64
+	for _, v := range tuple {
+		h ^= uint64(v)
+		h *= fnvPrime64
 	}
-	return b.String()
+	return h
 }
 
-// insert adds a tuple; reports whether it was new. Invalidates indexes.
-func (r *relation) insert(tuple []int) bool {
-	k := r.key(tuple)
-	if _, dup := r.set[k]; dup {
+func hashProj(tuple []int, positions []int) uint64 {
+	h := fnvOffset64
+	for _, p := range positions {
+		h ^= uint64(tuple[p])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func equalTuple(a, b []int) bool {
+	if len(a) != len(b) {
 		return false
 	}
-	r.set[k] = struct{}{}
-	cp := make([]int, len(tuple))
-	copy(cp, tuple)
-	r.tuples = append(r.tuples, cp)
-	r.indexes = map[string]map[string][][]int{}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
 	return true
 }
 
+// index accelerates match for one set of bound positions. Buckets hold
+// indices into relation.tuples in insertion order, so match results are
+// always emitted in insertion order regardless of which index serves them.
+type index struct {
+	positions []int  // the indexed (bound) positions, ascending
+	mask      uint64 // bitmask of positions
+	buckets   map[uint64][]int32
+}
+
+// maxReuseBucket is the selectivity threshold for answering a match from
+// an existing index on a subset of the bound positions (with residual
+// filtering) instead of building a dedicated index: reuse only while the
+// average bucket holds at most this many tuples.
+const maxReuseBucket = 4
+
+// relation stores the tuples of one predicate.
+//
+// Dedup uses an open-addressed probe table (slots) instead of a Go map:
+// a slot holds tupleIndex+1 (0 = empty) and collisions resolve by linear
+// probing with element-wise equality checks, so insertion performs no
+// per-entry allocation.
+//
+// Concurrency: match and has may be called from many goroutines during a
+// parallel evaluation round, during which no inserts happen (derivations
+// are buffered and merged serially between rounds — the WaitGroup
+// barrier orders the phases). The only cross-goroutine mutation is the
+// lazy construction of match indexes, which mu guards; tuples, slots and
+// existing index buckets are immutable while readers are active.
+type relation struct {
+	arity  int
+	dedup  bool // delta relations skip dedup: their tuples are pre-deduplicated
+	tuples [][]int
+	slots  []int32 // open-addressed dedup table; nil until first insert
+
+	mu      sync.RWMutex
+	indexes map[uint64]*index // bound-position mask → serving index (may alias a subset index)
+	live    []*index          // distinct indexes maintained incrementally by insert
+	builds  int               // full index constructions (inserts never reset indexes)
+}
+
+func newRelation(arity int) *relation {
+	return &relation{arity: arity, dedup: true, indexes: map[uint64]*index{}}
+}
+
+// newDeltaRelation returns a relation for semi-naive deltas: appendShared
+// adds pre-deduplicated tuples with no hashing, copying, or probing.
+func newDeltaRelation(arity int) *relation {
+	return &relation{arity: arity, indexes: map[uint64]*index{}}
+}
+
+// grow (re)builds the probe table at double capacity.
+func (r *relation) grow() {
+	n := 2 * len(r.slots)
+	if n < 16 {
+		n = 16
+	}
+	slots := make([]int32, n)
+	mask := uint64(n - 1)
+	for ti, t := range r.tuples {
+		i := hashTuple(t) & mask
+		for slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		slots[i] = int32(ti + 1)
+	}
+	r.slots = slots
+}
+
+// insert adds a tuple (copied); reports whether it was new. Live indexes
+// are maintained incrementally — an insert never invalidates them.
+func (r *relation) insert(tuple []int) bool {
+	return r.add(tuple, true)
+}
+
+// insertOwned is insert for a tuple the caller relinquishes: on success
+// the relation adopts the slice instead of copying it. The tuple must not
+// be mutated afterwards.
+func (r *relation) insertOwned(tuple []int) bool {
+	return r.add(tuple, false)
+}
+
+func (r *relation) add(tuple []int, copyTuple bool) bool {
+	if 4*(len(r.tuples)+1) > 3*len(r.slots) {
+		r.grow()
+	}
+	mask := uint64(len(r.slots) - 1)
+	i := hashTuple(tuple) & mask
+	for {
+		s := r.slots[i]
+		if s == 0 {
+			break
+		}
+		if equalTuple(r.tuples[s-1], tuple) {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	t := tuple
+	if copyTuple {
+		t = make([]int, len(tuple))
+		copy(t, tuple)
+	}
+	ti := int32(len(r.tuples))
+	r.tuples = append(r.tuples, t)
+	r.slots[i] = ti + 1
+	for _, idx := range r.live {
+		ph := hashProj(t, idx.positions)
+		idx.buckets[ph] = append(idx.buckets[ph], ti)
+	}
+	return true
+}
+
+// appendShared appends a tuple known to be absent (delta relations only);
+// the slice is shared with the owning relation, not copied.
+func (r *relation) appendShared(tuple []int) {
+	ti := int32(len(r.tuples))
+	r.tuples = append(r.tuples, tuple)
+	for _, idx := range r.live {
+		ph := hashProj(tuple, idx.positions)
+		idx.buckets[ph] = append(idx.buckets[ph], ti)
+	}
+}
+
 func (r *relation) has(tuple []int) bool {
-	_, ok := r.set[r.key(tuple)]
+	_, ok := r.lookup(tuple)
 	return ok
 }
 
+// lookup returns the stored tuple equal to the argument. The boolean
+// carries presence: a stored zero-arity tuple may be a nil slice.
+func (r *relation) lookup(tuple []int) ([]int, bool) {
+	if len(r.slots) == 0 {
+		return nil, false
+	}
+	mask := uint64(len(r.slots) - 1)
+	i := hashTuple(tuple) & mask
+	for {
+		s := r.slots[i]
+		if s == 0 {
+			return nil, false
+		}
+		if t := r.tuples[s-1]; equalTuple(t, tuple) {
+			return t, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
 // match returns the tuples agreeing with pattern, where pattern[i] < 0
-// means "unbound". Builds and caches an index for the bound positions.
-func (r *relation) match(pattern []int) [][]int {
-	bound := make([]int, 0, len(pattern))
+// means "unbound". Partial patterns are served from an incrementally
+// maintained index on the bound positions (or a sufficiently selective
+// subset of them, with residual filtering); results appear in tuple
+// insertion order.
+//
+// The returned outer slice is buf-backed (or fresh when buf is too
+// small) and owned by the caller; the inner tuples alias the relation's
+// own storage and MUST NOT be mutated. The result never aliases the
+// caller's pattern.
+func (r *relation) match(pattern []int, buf [][]int) [][]int {
+	var boundArr [16]int
+	bound := boundArr[:0]
+	var mask uint64
 	for i, v := range pattern {
 		if v >= 0 {
 			bound = append(bound, i)
+			if i < 64 {
+				mask |= 1 << uint(i)
+			}
 		}
 	}
 	if len(bound) == 0 {
-		return r.tuples
+		// Copy into buf rather than exposing r.tuples: the caller owns the
+		// returned outer slice (it may reuse it as a scratch buffer).
+		return append(buf[:0], r.tuples...)
 	}
-	if len(bound) == len(pattern) {
-		if r.has(pattern) {
-			return [][]int{pattern}
+	if len(bound) == len(pattern) && r.dedup && len(pattern) < 64 {
+		if t, ok := r.lookup(pattern); ok {
+			return append(buf[:0], t)
 		}
 		return nil
 	}
-	mask := fmt.Sprint(bound)
-	idx, ok := r.indexes[mask]
-	if !ok {
-		idx = map[string][][]int{}
+	if len(pattern) >= 64 {
+		// Positions beyond the mask width cannot be indexed distinctly;
+		// fall back to a filtered scan (unreachable for the paper's
+		// bounded-width signatures).
+		out := buf[:0]
 		for _, t := range r.tuples {
-			k := projKey(t, bound)
-			idx[k] = append(idx[k], t)
+			ok := true
+			for _, p := range bound {
+				if t[p] != pattern[p] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, t)
+			}
 		}
-		r.indexes[mask] = idx
+		return out
 	}
-	return idx[projKey(pattern, bound)]
+	r.mu.RLock()
+	idx := r.indexes[mask]
+	r.mu.RUnlock()
+	if idx == nil {
+		idx = r.obtainIndex(mask, bound)
+	}
+	ph := hashProj(pattern, idx.positions)
+	out := buf[:0]
+	for _, ti := range idx.buckets[ph] {
+		t := r.tuples[ti]
+		ok := true
+		for _, p := range bound {
+			if t[p] != pattern[p] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
-func projKey(tuple []int, positions []int) string {
-	var b strings.Builder
-	for i, p := range positions {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.Itoa(tuple[p]))
+// obtainIndex returns an index able to serve the bound-position mask,
+// creating one if needed. If a live index on a subset of the bound
+// positions is selective enough (small average bucket), it is aliased
+// under the mask instead of building a new index — match's residual
+// filter makes any subset index correct.
+func (r *relation) obtainIndex(mask uint64, bound []int) *index {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if idx, ok := r.indexes[mask]; ok {
+		return idx
 	}
-	return b.String()
+	var best *index
+	bestAvg := 0.0
+	for _, idx := range r.live {
+		if idx.mask&mask != idx.mask {
+			continue // not a subset of the bound positions
+		}
+		keys := len(idx.buckets)
+		if keys == 0 {
+			keys = 1
+		}
+		avg := float64(len(r.tuples)) / float64(keys)
+		if best == nil || avg < bestAvg {
+			best, bestAvg = idx, avg
+		}
+	}
+	if best != nil && bestAvg <= maxReuseBucket {
+		r.indexes[mask] = best
+		return best
+	}
+	idx := &index{
+		positions: append([]int(nil), bound...),
+		mask:      mask,
+		buckets:   make(map[uint64][]int32, len(r.tuples)),
+	}
+	for i, t := range r.tuples {
+		ph := hashProj(t, idx.positions)
+		idx.buckets[ph] = append(idx.buckets[ph], int32(i))
+	}
+	r.builds++
+	r.live = append(r.live, idx)
+	r.indexes[mask] = idx
+	return idx
+}
+
+// indexBuilds reports how many full index constructions the relation has
+// performed (inserts maintain indexes in place and never trigger one).
+func (r *relation) indexBuilds() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.builds
+}
+
+// clone deep-copies the relation's tuples and dedup table without
+// re-hashing: tuple storage is copied through one flat backing array and
+// the probe table is copied verbatim. Indexes are rebuilt lazily.
+func (r *relation) clone() *relation {
+	nr := &relation{arity: r.arity, dedup: r.dedup, indexes: map[uint64]*index{}}
+	if n := len(r.tuples); n > 0 {
+		flat := make([]int, n*r.arity)
+		nr.tuples = make([][]int, n)
+		for i, t := range r.tuples {
+			row := flat[i*r.arity : i*r.arity+r.arity : i*r.arity+r.arity]
+			copy(row, t)
+			nr.tuples[i] = row
+		}
+	}
+	if r.slots != nil {
+		nr.slots = append(make([]int32, 0, len(r.slots)), r.slots...)
+	}
+	return nr
 }
 
 // Intern returns the ID of the constant, creating it if new.
@@ -143,7 +394,7 @@ func (db *DB) AddFact(pred string, consts ...string) bool {
 	for i, c := range consts {
 		tuple[i] = db.Intern(c)
 	}
-	return db.rel(pred, len(tuple)).insert(tuple)
+	return db.rel(pred, len(tuple)).insertOwned(tuple)
 }
 
 // AddTuple inserts a ground fact of interned constants.
@@ -186,6 +437,17 @@ func (db *DB) NumFacts() int {
 	return n
 }
 
+// IndexBuilds reports how many full match-index constructions have been
+// performed for pred. Because insert maintains live indexes in place,
+// this stays constant under insertion once the index exists; tests use it
+// to pin down the incremental-maintenance guarantee.
+func (db *DB) IndexBuilds(pred string) int {
+	if r, ok := db.rels[pred]; ok {
+		return r.indexBuilds()
+	}
+	return 0
+}
+
 // Tuples returns the facts of pred as constant-name tuples, sorted.
 func (db *DB) Tuples(pred string) [][]string {
 	r, ok := db.rels[pred]
@@ -221,19 +483,18 @@ func (db *DB) Preds() []string {
 	return out
 }
 
-// Clone returns a deep copy sharing no state.
+// Clone returns a deep copy sharing no mutable state. Tuple storage and
+// the dedup tables are copied directly (no per-tuple re-hashing), so
+// cloning is a flat O(|A|) memory copy.
 func (db *DB) Clone() *DB {
 	c := NewDB()
 	c.names = append([]string(nil), db.names...)
+	c.byName = make(map[string]int, len(db.byName))
 	for n, id := range db.byName {
 		c.byName[n] = id
 	}
 	for p, r := range db.rels {
-		nr := newRelation(r.arity)
-		for _, t := range r.tuples {
-			nr.insert(t)
-		}
-		c.rels[p] = nr
+		c.rels[p] = r.clone()
 	}
 	return c
 }

@@ -1,0 +1,124 @@
+package datalog
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMatchResultNoAliasing is the regression test for the seed bug where
+// match leaked aliases to caller or internal state: the fully-bound case
+// returned the caller's own pattern slice, and the zero-bound case
+// returned the relation's tuple list itself, so mutating either result
+// corrupted the other side. The contract now is: the outer slice is
+// caller-owned (never the pattern, never internal storage); only the
+// inner tuples are shared and read-only.
+func TestMatchResultNoAliasing(t *testing.T) {
+	db := NewDB()
+	db.AddFact("e", "a", "b")
+	db.AddFact("e", "b", "c")
+	db.AddFact("e", "a", "c")
+	r := db.rels["e"]
+	a, b := db.Intern("a"), db.Intern("b")
+
+	// Fully bound: the result must not alias the pattern slice.
+	pattern := []int{a, b}
+	res := r.match(pattern, nil)
+	if len(res) != 1 {
+		t.Fatalf("fully-bound match returned %d tuples, want 1", len(res))
+	}
+	pattern[0], pattern[1] = -7, -7 // caller reuses its pattern buffer
+	if res[0][0] != a || res[0][1] != b {
+		t.Fatalf("match result changed when the caller's pattern was reused: %v", res[0])
+	}
+
+	// Zero bound: the outer slice must not alias r.tuples — appending to
+	// and overwriting the result must leave the relation intact.
+	all := r.match([]int{-1, -1}, nil)
+	if len(all) != 3 {
+		t.Fatalf("zero-bound match returned %d tuples, want 3", len(all))
+	}
+	junk := []int{-9, -9}
+	for i := range all {
+		all[i] = junk
+	}
+	_ = append(all[:0], junk, junk, junk, junk)
+	if db.Count("e") != 3 || !db.Has("e", "a", "b") || !db.Has("e", "b", "c") || !db.Has("e", "a", "c") {
+		t.Fatal("mutating a zero-bound match result corrupted the relation")
+	}
+
+	// Partially bound (index path): same ownership rules.
+	byFirst := r.match([]int{a, -1}, nil)
+	if len(byFirst) != 2 {
+		t.Fatalf("partial match returned %d tuples, want 2", len(byFirst))
+	}
+	for i := range byFirst {
+		byFirst[i] = junk
+	}
+	if got := r.match([]int{a, -1}, nil); len(got) != 2 || got[0][0] != a {
+		t.Fatal("mutating a partial match result corrupted the index")
+	}
+}
+
+// TestInsertKeepsLiveIndexes pins the tentpole guarantee: once a
+// bound-position index exists, further inserts update it in place rather
+// than discarding it, so the build counter stays flat while the index
+// keeps answering correctly. (The seed rebuilt from scratch after every
+// insert, giving Ω(rounds·|A|) behavior in semi-naive loops.)
+func TestInsertKeepsLiveIndexes(t *testing.T) {
+	db := NewDB()
+	ids := make([]int, 100)
+	for i := range ids {
+		ids[i] = db.Intern(string(rune('A' + i%26)))
+	}
+	db.AddTuple("e", []int{ids[0], ids[1]})
+	r := db.rels["e"]
+
+	if got := r.match([]int{ids[0], -1}, nil); len(got) != 1 {
+		t.Fatalf("initial match: %d tuples, want 1", len(got))
+	}
+	if got := db.IndexBuilds("e"); got != 1 {
+		t.Fatalf("IndexBuilds = %d after first indexed match, want 1", got)
+	}
+
+	for i := 1; i < 60; i++ {
+		db.AddTuple("e", []int{ids[0], db.Intern("fresh" + string(rune('0'+i%10)) + string(rune('a'+i%26)))})
+		want := i + 1
+		if got := len(r.match([]int{ids[0], -1}, nil)); got != want {
+			t.Fatalf("after %d inserts: match returned %d tuples, want %d", i, got, want)
+		}
+	}
+	if got := db.IndexBuilds("e"); got != 1 {
+		t.Fatalf("IndexBuilds = %d after 59 inserts, want 1 (insert must maintain live indexes in place)", got)
+	}
+}
+
+// TestCloneIndependent checks that Clone (now a flat copy with no
+// per-tuple re-hashing) still yields a fully independent database with
+// working deduplication.
+func TestCloneIndependent(t *testing.T) {
+	db := NewDB()
+	db.AddFact("e", "a", "b")
+	db.AddFact("n", "a")
+
+	c := db.Clone()
+	if !reflect.DeepEqual(c.Tuples("e"), db.Tuples("e")) || c.Count("n") != 1 {
+		t.Fatal("clone lost facts")
+	}
+	if c.AddFact("e", "a", "b") {
+		t.Fatal("clone dedup table broken: duplicate insert reported as new")
+	}
+	if !c.AddFact("e", "b", "c") || c.Count("e") != 2 {
+		t.Fatal("clone rejects genuinely new facts")
+	}
+	if db.Count("e") != 1 || db.Has("e", "b", "c") {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if !db.AddFact("e", "x", "y") || c.Has("e", "x", "y") {
+		t.Fatal("mutating the original changed the clone")
+	}
+	// Interning stays independent too.
+	c.Intern("cloneonly")
+	if _, ok := db.byName["cloneonly"]; ok {
+		t.Fatal("clone shares the interning table with the original")
+	}
+}

@@ -2,8 +2,27 @@ package datalog
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
+
+// maxWorkers caps the goroutine fan-out of parallel stratum evaluation.
+// Results are deterministic at every setting (task buffers are merged in
+// task order); 1 forces fully serial evaluation.
+var maxWorkers atomic.Int32
+
+func init() { maxWorkers.Store(int32(runtime.GOMAXPROCS(0))) }
+
+// SetMaxWorkers sets the worker cap for parallel stratum evaluation and
+// returns the previous value. Values below 1 are treated as 1 (serial).
+func SetMaxWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(maxWorkers.Swap(int32(n)))
+}
 
 // Eval computes the least fixpoint of the program over the extensional
 // database by stratified semi-naive bottom-up evaluation and returns a
@@ -14,6 +33,12 @@ import (
 // itself through a cycle. Negation over purely extensional predicates —
 // all the paper's constructions need (the programs of Theorem 4.5 negate
 // only τ-atoms) — is always stratified.
+//
+// Within each stratum the rule×delta-occurrence evaluations of a round
+// run on a worker pool; each task buffers its derivations, and buffers
+// are merged through the dedup sets in task order, so the result (and
+// even the tuple insertion order) is deterministic and independent of the
+// worker count.
 func Eval(p *Program, edb *DB) (*DB, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -29,6 +54,10 @@ func Eval(p *Program, edb *DB) (*DB, error) {
 		return nil, err
 	}
 	db := edb.Clone()
+	// Intern every constant of the program up front: rule compilation then
+	// only reads the interning table, which keeps parallel tasks free of
+	// writes to shared DB state.
+	internProgramConsts(p, db)
 	for _, stratum := range strata {
 		inStratum := map[string]bool{}
 		for _, pred := range stratum {
@@ -45,6 +74,23 @@ func Eval(p *Program, edb *DB) (*DB, error) {
 		}
 	}
 	return db, nil
+}
+
+func internProgramConsts(p *Program, db *DB) {
+	for _, r := range p.Rules {
+		for _, t := range r.Head.Args {
+			if !t.IsVar() {
+				db.Intern(t.Const)
+			}
+		}
+		for _, a := range r.Body {
+			for _, t := range a.Args {
+				if !t.IsVar() {
+					db.Intern(t.Const)
+				}
+			}
+		}
+	}
 }
 
 // stratify orders the intensional predicates into strata such that every
@@ -157,209 +203,419 @@ func stratify(p *Program) ([][]string, error) {
 	return groups, nil
 }
 
+// stratumTask is one unit of a round's work: a compiled rule evaluated
+// either in full (occ == -1, the first pass) or with one body occurrence
+// of a stratum predicate restricted to the previous round's delta. Each
+// (rule, occ) pair keeps its own compiled instance across rounds, so the
+// scratch buffers warm up once and tasks never share mutable state.
+type stratumTask struct {
+	prog *cRule
+	occ  int
+}
+
+// parallelThreshold is the minimum number of pending input tuples before
+// a round fans its tasks out to goroutines; below it the per-goroutine
+// overhead outweighs the work.
+const parallelThreshold = 128
+
 // evalStratum runs semi-naive iteration for one stratum's rules.
 func evalStratum(rules []Rule, inStratum map[string]bool, db *DB) error {
-	// deltas of the previous iteration, per predicate.
-	delta := map[string]*relation{}
+	// Compiled instances per rule, indexed by occ+1 (slot 0 is the full
+	// first-pass evaluation). Filled lazily; compilation is serial, so the
+	// parallel phase only ever reads the cache.
+	compiled := make([][]*cRule, len(rules))
+	instance := func(ri, occ int) *cRule {
+		if compiled[ri] == nil {
+			compiled[ri] = make([]*cRule, len(rules[ri].Body)+1)
+		}
+		if c := compiled[ri][occ+1]; c != nil {
+			return c
+		}
+		c := compileRule(rules[ri], db)
+		compiled[ri][occ+1] = c
+		return c
+	}
 
 	// First pass: evaluate every rule in full.
-	newDelta := map[string]*relation{}
-	for _, r := range rules {
-		if err := evalRule(r, db, nil, -1, func(pred string, tuple []int) {
-			if db.rel(pred, len(tuple)).insert(tuple) {
-				nr, ok := newDelta[pred]
-				if !ok {
-					nr = newRelation(len(tuple))
-					newDelta[pred] = nr
-				}
-				nr.insert(tuple)
-			}
-		}); err != nil {
-			return err
-		}
+	tasks := make([]stratumTask, len(rules))
+	for i := range rules {
+		tasks[i] = stratumTask{prog: instance(i, -1), occ: -1}
 	}
-	delta = newDelta
+	delta, err := runStratumRound(tasks, nil, db, db.NumFacts())
+	if err != nil {
+		return err
+	}
 
 	// Iterate: each recursive rule is re-evaluated once per occurrence of
 	// a stratum predicate in its body, with that occurrence restricted to
 	// the delta of the previous round.
 	for {
-		anyDelta := false
+		total := 0
 		for _, nr := range delta {
-			if len(nr.tuples) > 0 {
-				anyDelta = true
-			}
+			total += len(nr.tuples)
 		}
-		if !anyDelta {
+		if total == 0 {
 			return nil
 		}
-		newDelta = map[string]*relation{}
-		emit := func(pred string, tuple []int) {
-			if db.rel(pred, len(tuple)).insert(tuple) {
-				nr, ok := newDelta[pred]
-				if !ok {
-					nr = newRelation(len(tuple))
-					newDelta[pred] = nr
-				}
-				nr.insert(tuple)
-			}
-		}
-		for _, r := range rules {
+		tasks = tasks[:0]
+		for ri, r := range rules {
 			for occ, a := range r.Body {
 				if a.Negated || !inStratum[a.Pred] {
 					continue
 				}
-				if delta[a.Pred] == nil || len(delta[a.Pred].tuples) == 0 {
+				if d := delta[a.Pred]; d == nil || len(d.tuples) == 0 {
 					continue
 				}
-				if err := evalRule(r, db, delta, occ, emit); err != nil {
-					return err
-				}
+				tasks = append(tasks, stratumTask{prog: instance(ri, occ), occ: occ})
 			}
 		}
-		delta = newDelta
+		if len(tasks) == 0 {
+			return nil
+		}
+		delta, err = runStratumRound(tasks, delta, db, total)
+		if err != nil {
+			return err
+		}
 	}
 }
 
-// evalRule enumerates all satisfying assignments of the rule body and
-// emits the corresponding head tuples. If deltaOcc ≥ 0, that body-atom
-// occurrence is matched against delta[pred] instead of the full relation.
-func evalRule(r Rule, db *DB, delta map[string]*relation, deltaOcc int, emit func(string, []int)) error {
-	binding := map[string]int{}
-	processed := make([]bool, len(r.Body))
-
-	var emitHead func() error
-	emitHead = func() error {
-		tuple := make([]int, len(r.Head.Args))
-		for i, t := range r.Head.Args {
-			if t.IsVar() {
-				tuple[i] = binding[t.Var]
-			} else {
-				tuple[i] = db.Intern(t.Const)
+// runStratumRound evaluates one round's tasks and returns the delta of
+// genuinely new facts. Small rounds run serially with derivations
+// inserted as they are found; large rounds fan the tasks out to a worker
+// pool, with each task buffering its derivations and the buffers merged
+// through the dedup tables in task order afterwards — so the derived
+// fact set is identical, and for a fixed worker setting even the tuple
+// insertion order is deterministic.
+//
+// Each task evaluates one rule, so everything it emits belongs to the
+// rule's head predicate; emitted tuples are freshly allocated and the
+// database adopts them without copying, sharing new ones with the
+// (dedup-free) delta relation rather than re-hashing them into it.
+func runStratumRound(tasks []stratumTask, delta map[string]*relation, db *DB, workSize int) (map[string]*relation, error) {
+	newDelta := map[string]*relation{}
+	sink := func(t stratumTask) (*relation, *relation) {
+		pred := t.prog.headPred
+		nd, ok := newDelta[pred]
+		if !ok {
+			nd = newDeltaRelation(t.prog.headArity)
+			newDelta[pred] = nd
+		}
+		return db.rel(pred, t.prog.headArity), nd
+	}
+	workers := int(maxWorkers.Load())
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 || workSize < parallelThreshold {
+		for _, t := range tasks {
+			rel, nd := sink(t)
+			err := t.prog.eval(delta, t.occ, func(tuple []int) {
+				if rel.insertOwned(tuple) {
+					nd.appendShared(tuple)
+				}
+			})
+			if err != nil {
+				return nil, err
 			}
 		}
-		emit(r.Head.Pred, tuple)
+		return newDelta, nil
+	}
+	bufs := make([][][]int, len(tasks))
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(tasks); i += workers {
+				t := tasks[i]
+				errs[i] = t.prog.eval(delta, t.occ, func(tuple []int) {
+					bufs[i] = append(bufs[i], tuple)
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, buf := range bufs {
+		rel, nd := sink(tasks[i])
+		for _, tuple := range buf {
+			if rel.insertOwned(tuple) {
+				nd.appendShared(tuple)
+			}
+		}
+	}
+	return newDelta, nil
+}
+
+// cArg is a compiled atom argument: a variable slot (slot ≥ 0) or an
+// interned constant (slot < 0, constant ID in c).
+type cArg struct {
+	slot int
+	c    int
+}
+
+// cAtom is a compiled body atom: predicate classification resolved once,
+// arguments mapped to slots/IDs, and reusable per-atom scratch buffers so
+// the join recursion allocates nothing per tuple. rel is transient: it is
+// re-resolved at the start of every eval call.
+type cAtom struct {
+	pred     string
+	negated  bool
+	builtin  bool
+	args     []cArg
+	rel      *relation // resolved per eval call (nil: empty relation)
+	pat      []int     // pattern buffer
+	ground   []int     // ground-args buffer
+	matchBuf [][]int   // match result buffer
+}
+
+// cRule is a rule compiled for repeated evaluation: variables mapped to
+// integer slots, atoms to cAtoms, plus all the scratch state the join
+// recursion needs. A cRule instance is single-threaded — evalStratum keeps
+// one per (rule, delta-occurrence) task so buffers warm up across rounds
+// without any sharing between parallel tasks.
+type cRule struct {
+	src       Rule
+	db        *DB
+	headPred  string
+	headArity int
+	head      []cArg
+	body      []cAtom
+	binding   []int  // slot → constant ID, -1 unbound
+	processed []bool // body atoms consumed on the current recursion path
+	deltaOcc  int
+	emit      func([]int)
+	// Head tuples are carved from arena chunks: they are handed to emit
+	// (and ultimately adopted by the database), so allocating them one
+	// slice at a time would dominate GC work on derivation-heavy programs.
+	arena []int
+}
+
+// compileRule maps the rule's variables to integer slots and its atom
+// arguments to slot/constant descriptors, so the per-tuple inner loops of
+// eval touch no maps. All program constants must already be interned when
+// compilation can race with other DB readers (Eval guarantees this by
+// interning up front and compiling serially).
+func compileRule(r Rule, db *DB) *cRule {
+	slots := map[string]int{}
+	compileArgs := func(args []Term) []cArg {
+		out := make([]cArg, len(args))
+		for i, t := range args {
+			if t.IsVar() {
+				s, ok := slots[t.Var]
+				if !ok {
+					s = len(slots)
+					slots[t.Var] = s
+				}
+				out[i] = cArg{slot: s}
+			} else {
+				out[i] = cArg{slot: -1, c: db.Intern(t.Const)}
+			}
+		}
+		return out
+	}
+	body := make([]cAtom, len(r.Body))
+	for i, a := range r.Body {
+		args := compileArgs(a.Args)
+		body[i] = cAtom{
+			pred:    a.Pred,
+			negated: a.Negated,
+			builtin: IsBuiltin(a.Pred),
+			args:    args,
+			pat:     make([]int, len(args)),
+			ground:  make([]int, len(args)),
+		}
+	}
+	head := compileArgs(r.Head.Args)
+	binding := make([]int, len(slots))
+	for i := range binding {
+		binding[i] = -1
+	}
+	return &cRule{
+		src:       r,
+		db:        db,
+		headPred:  r.Head.Pred,
+		headArity: len(r.Head.Args),
+		head:      head,
+		body:      body,
+		binding:   binding,
+		processed: make([]bool, len(r.Body)),
+	}
+}
+
+// eval enumerates all satisfying assignments of the rule body and emits
+// the corresponding head tuples (freshly allocated, ownership passes to
+// emit). If deltaOcc ≥ 0, that body-atom occurrence is matched against
+// delta[pred] instead of the full relation.
+//
+// Concurrent eval calls on distinct cRule instances are read-only on the
+// DB apart from lazy index builds, which the relations synchronize
+// internally.
+func (c *cRule) eval(delta map[string]*relation, deltaOcc int, emit func([]int)) error {
+	c.deltaOcc = deltaOcc
+	c.emit = emit
+	for i := range c.body {
+		a := &c.body[i]
+		if a.builtin {
+			continue
+		}
+		if i == deltaOcc {
+			a.rel = delta[a.pred]
+		} else {
+			a.rel = c.db.rels[a.pred]
+		}
+	}
+	return c.step(0)
+}
+
+func (c *cRule) emitHead() {
+	n := len(c.head)
+	if len(c.arena) < n {
+		c.arena = make([]int, 4096+n)
+	}
+	tuple := c.arena[:n:n]
+	c.arena = c.arena[n:]
+	for i, a := range c.head {
+		if a.slot >= 0 {
+			tuple[i] = c.binding[a.slot]
+		} else {
+			tuple[i] = a.c
+		}
+	}
+	c.emit(tuple)
+}
+
+func (c *cRule) atomBound(a *cAtom) bool {
+	for _, ar := range a.args {
+		if ar.slot >= 0 && c.binding[ar.slot] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *cRule) groundArgs(a *cAtom) []int {
+	for i, ar := range a.args {
+		if ar.slot >= 0 {
+			a.ground[i] = c.binding[ar.slot]
+		} else {
+			a.ground[i] = ar.c
+		}
+	}
+	return a.ground
+}
+
+// step extends the current partial assignment by one body atom.
+func (c *cRule) step(done int) error {
+	if done == len(c.body) {
+		c.emitHead()
 		return nil
 	}
-
-	atomBound := func(a Atom) bool {
-		for _, t := range a.Args {
-			if t.IsVar() {
-				if _, ok := binding[t.Var]; !ok {
-					return false
-				}
-			}
+	// Prefer any fully bound negated or builtin atom (cheap filters).
+	for i := range c.body {
+		a := &c.body[i]
+		if c.processed[i] || (!a.negated && !a.builtin) || !c.atomBound(a) {
+			continue
 		}
-		return true
-	}
-
-	groundArgs := func(a Atom) []int {
-		args := make([]int, len(a.Args))
-		for i, t := range a.Args {
-			if t.IsVar() {
-				args[i] = binding[t.Var]
-			} else {
-				args[i] = db.Intern(t.Const)
+		args := c.groundArgs(a)
+		var holds bool
+		if a.builtin {
+			names := make([]string, len(args))
+			for j, id := range args {
+				names[j] = c.db.ConstName(id)
 			}
+			var err error
+			holds, err = callBuiltin(a.pred, names)
+			if err != nil {
+				return err
+			}
+		} else {
+			holds = a.rel != nil && a.rel.has(args)
 		}
-		return args
-	}
-
-	var step func(done int) error
-	step = func(done int) error {
-		if done == len(r.Body) {
-			return emitHead()
+		if a.negated {
+			holds = !holds
 		}
-		// Prefer any fully bound negated or builtin atom (cheap filters).
-		for i, a := range r.Body {
-			if processed[i] || (!a.Negated && !IsBuiltin(a.Pred)) || !atomBound(a) {
-				continue
-			}
-			args := groundArgs(a)
-			var holds bool
-			if IsBuiltin(a.Pred) {
-				names := make([]string, len(args))
-				for j, id := range args {
-					names[j] = db.ConstName(id)
-				}
-				var err error
-				holds, err = callBuiltin(a.Pred, names)
-				if err != nil {
-					return err
-				}
-			} else {
-				rel, ok := db.rels[a.Pred]
-				holds = ok && rel.has(args)
-			}
-			if a.Negated {
-				holds = !holds
-			}
-			if !holds {
-				return nil
-			}
-			processed[i] = true
-			err := step(done + 1)
-			processed[i] = false
-			return err
-		}
-		// Otherwise take the first unprocessed positive relational atom.
-		for i, a := range r.Body {
-			if processed[i] || a.Negated || IsBuiltin(a.Pred) {
-				continue
-			}
-			var rel *relation
-			if i == deltaOcc {
-				rel = delta[a.Pred]
-			} else {
-				rel = db.rels[a.Pred]
-			}
-			if rel == nil {
-				return nil // empty relation: no matches
-			}
-			pattern := make([]int, len(a.Args))
-			for j, t := range a.Args {
-				if t.IsVar() {
-					if v, ok := binding[t.Var]; ok {
-						pattern[j] = v
-					} else {
-						pattern[j] = -1
-					}
-				} else {
-					pattern[j] = db.Intern(t.Const)
-				}
-			}
-			processed[i] = true
-			for _, tuple := range rel.match(pattern) {
-				// Unify, handling repeated fresh variables.
-				bound := make([]string, 0, len(a.Args))
-				ok := true
-				for j, t := range a.Args {
-					if !t.IsVar() {
-						continue
-					}
-					if v, known := binding[t.Var]; known {
-						if tuple[j] != v {
-							ok = false
-							break
-						}
-					} else {
-						binding[t.Var] = tuple[j]
-						bound = append(bound, t.Var)
-					}
-				}
-				if ok {
-					if err := step(done + 1); err != nil {
-						return err
-					}
-				}
-				for _, v := range bound {
-					delete(binding, v)
-				}
-			}
-			processed[i] = false
+		if !holds {
 			return nil
 		}
-		return fmt.Errorf("datalog: internal error: unbound atom remains in rule %s", r)
+		c.processed[i] = true
+		err := c.step(done + 1)
+		c.processed[i] = false
+		return err
 	}
-	return step(0)
+	// Otherwise take the first unprocessed positive relational atom.
+	for i := range c.body {
+		a := &c.body[i]
+		if c.processed[i] || a.negated || a.builtin {
+			continue
+		}
+		rel := a.rel
+		if rel == nil {
+			return nil // empty relation: no matches
+		}
+		anyBound := false
+		for j, ar := range a.args {
+			if ar.slot >= 0 {
+				v := c.binding[ar.slot]
+				a.pat[j] = v // -1 when unbound
+				anyBound = anyBound || v >= 0
+			} else {
+				a.pat[j] = ar.c
+				anyBound = true
+			}
+		}
+		// All-unbound patterns iterate the relation's storage directly via
+		// a local snapshot (stable under concurrent-phase appends) instead
+		// of copying tuple headers through match.
+		tuples := rel.tuples
+		if anyBound {
+			a.matchBuf = rel.match(a.pat, a.matchBuf)
+			tuples = a.matchBuf
+		}
+		c.processed[i] = true
+		var boundBuf [16]int
+		for _, tuple := range tuples {
+			// Unify, handling repeated fresh variables.
+			bound := boundBuf[:0]
+			ok := true
+			for j, ar := range a.args {
+				if ar.slot < 0 {
+					continue
+				}
+				if v := c.binding[ar.slot]; v >= 0 {
+					if tuple[j] != v {
+						ok = false
+						break
+					}
+				} else {
+					c.binding[ar.slot] = tuple[j]
+					bound = append(bound, ar.slot)
+				}
+			}
+			if ok {
+				if err := c.step(done + 1); err != nil {
+					return err
+				}
+			}
+			for _, s := range bound {
+				c.binding[s] = -1
+			}
+		}
+		c.processed[i] = false
+		return nil
+	}
+	return fmt.Errorf("datalog: internal error: unbound atom remains in rule %s", c.src)
+}
+
+// evalRule compiles the rule and evaluates it once; the incremental path
+// in evalStratum keeps compiled instances alive across rounds instead.
+// Retained for one-shot callers (the naive reference evaluator, tests).
+func evalRule(r Rule, db *DB, delta map[string]*relation, deltaOcc int, emit func(string, []int)) error {
+	c := compileRule(r, db)
+	return c.eval(delta, deltaOcc, func(tuple []int) { emit(r.Head.Pred, tuple) })
 }

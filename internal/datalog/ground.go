@@ -3,8 +3,6 @@ package datalog
 import (
 	"fmt"
 	"sort"
-	"strconv"
-	"strings"
 
 	"repro/internal/horn"
 )
@@ -149,7 +147,7 @@ func maxPos(fd FuncDep) int {
 type GroundProgram struct {
 	Horn  *horn.Program
 	atoms []groundAtom
-	index map[string]int
+	index map[uint64][]int // atom hash → candidate IDs (collision bucket)
 	db    *DB
 }
 
@@ -158,19 +156,29 @@ type groundAtom struct {
 	tuple []int
 }
 
+// atomID interns a ground atom without building a string key: the
+// (pred, tuple) pair is hashed FNV-style and candidates in the collision
+// bucket are compared structurally.
 func (g *GroundProgram) atomID(pred string, tuple []int) int {
-	var b strings.Builder
-	b.WriteString(pred)
-	for _, e := range tuple {
-		b.WriteByte(',')
-		b.WriteString(strconv.Itoa(e))
+	h := fnvOffset64
+	for i := 0; i < len(pred); i++ {
+		h ^= uint64(pred[i])
+		h *= fnvPrime64
 	}
-	k := b.String()
-	if id, ok := g.index[k]; ok {
-		return id
+	h ^= uint64(len(pred)) // separate predicate bytes from tuple words
+	h *= fnvPrime64
+	for _, v := range tuple {
+		h ^= uint64(v)
+		h *= fnvPrime64
+	}
+	for _, id := range g.index[h] {
+		a := g.atoms[id]
+		if a.pred == pred && equalTuple(a.tuple, tuple) {
+			return id
+		}
 	}
 	id := len(g.atoms)
-	g.index[k] = id
+	g.index[h] = append(g.index[h], id)
 	g.atoms = append(g.atoms, groundAtom{pred: pred, tuple: append([]int(nil), tuple...)})
 	return id
 }
@@ -202,7 +210,7 @@ func Ground(p *Program, edb *DB, fds []FuncDep) (*GroundProgram, error) {
 	if _, err := QuasiGuards(p, fds); err != nil {
 		return nil, err
 	}
-	g := &GroundProgram{Horn: &horn.Program{}, index: map[string]int{}, db: edb}
+	g := &GroundProgram{Horn: &horn.Program{}, index: map[uint64][]int{}, db: edb}
 	for _, r := range p.Rules {
 		if err := groundRule(g, r, edb, intens); err != nil {
 			return nil, err
@@ -216,6 +224,7 @@ func Ground(p *Program, edb *DB, fds []FuncDep) (*GroundProgram, error) {
 func groundRule(g *GroundProgram, r Rule, edb *DB, intens map[string]bool) error {
 	binding := map[string]int{}
 	processed := make([]bool, len(r.Body))
+	matchBufs := make([][][]int, len(r.Body))
 	var bodyLits []int
 
 	atomBound := func(a Atom) bool {
@@ -346,7 +355,8 @@ func groundRule(g *GroundProgram, r Rule, edb *DB, intens map[string]bool) error
 			}
 		}
 		processed[next] = true
-		for _, tuple := range rel.match(pattern) {
+		matchBufs[next] = rel.match(pattern, matchBufs[next])
+		for _, tuple := range matchBufs[next] {
 			bound := make([]string, 0, len(a.Args))
 			ok := true
 			for j, t := range a.Args {

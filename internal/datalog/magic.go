@@ -69,6 +69,21 @@ func MagicSet(p *Program, goal string, args []Term) (*Program, string, error) {
 		}
 	}
 
+	// A sub-goal that occurs in several rule bodies with the same
+	// adornment and prefix emits identical magic rules; drop the
+	// duplicates so the rewritten program (and hence bottom-up evaluation
+	// over it) stays small.
+	seen := map[string]bool{}
+	dedup := out.Rules[:0]
+	for _, r := range out.Rules {
+		s := r.String()
+		if !seen[s] {
+			seen[s] = true
+			dedup = append(dedup, r)
+		}
+	}
+	out.Rules = dedup
+
 	// Seed: the magic fact for the goal's bound constants.
 	seed := Atom{Pred: magicName(goal, adornString(goalAd))}
 	for i, t := range args {

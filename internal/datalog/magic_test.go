@@ -183,3 +183,37 @@ func TestQuickMagicEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMagicNoDuplicateRules: a sub-goal occurring in several bodies with
+// the same adornment used to emit identical magic rules repeatedly; the
+// rewriting now deduplicates them.
+func TestMagicNoDuplicateRules(t *testing.T) {
+	p := MustParse(`
+t(X, Y) :- e(X, Y).
+t(X, Z) :- t(X, Y), t(Y, Z).
+q(X, Y) :- t(X, Y), t(Y, X).
+`)
+	rewritten, _, err := MagicSet(p, "q", []Term{C("a"), V("Y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range rewritten.Rules {
+		s := r.String()
+		if seen[s] {
+			t.Fatalf("duplicate rule in rewritten program: %s", s)
+		}
+		seen[s] = true
+	}
+	// Still answers correctly.
+	db := NewDB()
+	db.AddFact("e", "a", "b")
+	db.AddFact("e", "b", "a")
+	answers, err := QueryWithMagic(p, db, "q", []Term{C("a"), V("Y")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 2 {
+		t.Fatalf("answers = %v, want a→a and a→b", answers)
+	}
+}
