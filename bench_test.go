@@ -17,6 +17,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/datalog"
+	"repro/internal/dp"
 	"repro/internal/fta"
 	"repro/internal/graph"
 	"repro/internal/mso"
@@ -211,21 +212,25 @@ func BenchmarkEnumerationNaive(b *testing.B) {
 // ---- E5: 3-Colorability scaling ----
 
 func BenchmarkThreeColDP(b *testing.B) {
-	for _, n := range []int{20, 40, 80} {
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			rng := rand.New(rand.NewSource(42))
-			g := workload.ColorableGraph(n, 3, rng)
-			in, err := threecol.NewInstance(g)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := in.Decide(); err != nil {
+	for _, n := range []int{20, 40, 80, 200} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(b *testing.B) {
+				rng := rand.New(rand.NewSource(42))
+				g := workload.ColorableGraph(n, 3, rng)
+				in, err := threecol.NewInstance(g)
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				prev := dp.SetMaxWorkers(workers)
+				defer dp.SetMaxWorkers(prev)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := in.Decide(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -386,13 +391,33 @@ func BenchmarkClosure(b *testing.B) {
 }
 
 func BenchmarkDecomposeMinFill(b *testing.B) {
-	rng := rand.New(rand.NewSource(42))
-	g := graph.PartialKTree(100, 3, 0.3, rng)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := DecomposeGraph(g); err != nil {
-			b.Fatal(err)
-		}
+	for _, n := range []int{100, 500} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(42))
+			g := graph.PartialKTree(n, 3, 0.3, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := DecomposeGraph(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipeline is the end-to-end FPT health benchmark: random
+// 3-colorable graph → min-fill decomposition → nice normal form →
+// Figure 5 decision DP. It spans every layer the perf work touches
+// (incremental eliminator, normalization, plan cache, worker pool).
+func BenchmarkPipeline(b *testing.B) {
+	for _, n := range []int{200, 500} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.Pipeline(n, 42); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -5,10 +5,14 @@
 //
 //	benchtable [-fds 1,2,3,...] [-seed n] [-budget steps] [-skipmona] [-reps n]
 //	benchtable -tc n
+//	benchtable -pipeline n
 //
 // Each MD measurement is the median of -reps runs. The -tc mode instead
 // times transitive closure over an n-vertex path through the generic
-// engine — the quick engine health check behind BenchmarkTCPath1000.
+// engine — the quick engine health check behind BenchmarkTCPath1000. The
+// -pipeline mode times the end-to-end FPT pipeline (graph → min-fill →
+// nice form → 3-colorability DP) on an n-vertex workload, the health row
+// behind BenchmarkPipeline.
 package main
 
 import (
@@ -31,7 +35,28 @@ func main() {
 	skipMona := flag.Bool("skipmona", false, "skip the baseline column")
 	reps := flag.Int("reps", 3, "repetitions per MD measurement (median reported)")
 	tc := flag.Int("tc", 0, "instead time transitive closure over an n-vertex path")
+	pipeline := flag.Int("pipeline", 0, "instead time the end-to-end FPT pipeline on an n-vertex graph")
 	flag.Parse()
+
+	if *pipeline > 0 {
+		durs := make([]time.Duration, 0, *reps)
+		for r := 0; r < *reps; r++ {
+			var res bench.PipelineResult
+			dur, err := bench.Measure(func() error {
+				var err error
+				res, err = bench.Pipeline(*pipeline, *seed)
+				return err
+			})
+			if err != nil {
+				fail(err)
+			}
+			durs = append(durs, dur)
+			fmt.Printf("pipeline(n=%d): width %d, 3-colorable %v in %v\n", *pipeline, res.Width, res.Colorable, dur)
+		}
+		sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+		fmt.Printf("median: %v\n", durs[len(durs)/2])
+		return
+	}
 
 	if *tc > 0 {
 		durs := make([]time.Duration, 0, *reps)

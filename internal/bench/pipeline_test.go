@@ -1,0 +1,15 @@
+package bench
+
+import "testing"
+
+func TestPipeline(t *testing.T) {
+	for _, n := range []int{10, 60} {
+		res, err := Pipeline(n, 7)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Width < 1 {
+			t.Fatalf("n=%d: implausible width %d", n, res.Width)
+		}
+	}
+}

@@ -92,6 +92,36 @@ func (s *Set) Clone() *Set {
 	return c
 }
 
+// Clear removes all elements, keeping the allocated capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// CopyFrom makes s equal to t, reusing s's storage when possible.
+func (s *Set) CopyFrom(t *Set) {
+	if cap(s.words) < len(t.words) {
+		s.words = make([]uint64, len(t.words))
+	} else {
+		s.words = s.words[:len(t.words)]
+	}
+	copy(s.words, t.words)
+}
+
+// IntersectLen returns |s ∩ t| without allocating.
+func (s *Set) IntersectLen(t *Set) int {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		count += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return count
+}
+
 // UnionWith adds every element of t to s.
 func (s *Set) UnionWith(t *Set) {
 	s.grow(len(t.words) - 1)

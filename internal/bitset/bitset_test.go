@@ -188,3 +188,54 @@ func equalInts(a, b []int) bool {
 	}
 	return true
 }
+
+func TestClear(t *testing.T) {
+	s := FromSlice([]int{1, 65, 200})
+	s.Clear()
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatalf("Clear left %v", s)
+	}
+	s.Add(65)
+	if !s.Has(65) || s.Len() != 1 {
+		t.Fatal("set unusable after Clear")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	s := FromSlice([]int{1, 2, 3, 300})
+	s.CopyFrom(FromSlice([]int{7, 64}))
+	if !equalInts(s.Elems(), []int{7, 64}) {
+		t.Fatalf("CopyFrom shrink got %v", s.Elems())
+	}
+	small := New(1)
+	small.CopyFrom(FromSlice([]int{500}))
+	if !equalInts(small.Elems(), []int{500}) {
+		t.Fatalf("CopyFrom grow got %v", small.Elems())
+	}
+	// Mutating the copy must not touch the source.
+	src := FromSlice([]int{9})
+	dst := &Set{}
+	dst.CopyFrom(src)
+	dst.Add(10)
+	if src.Has(10) {
+		t.Fatal("CopyFrom aliased the source")
+	}
+}
+
+func TestQuickIntersectLen(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, am := buildBoth(xs)
+		b, bm := buildBoth(ys)
+		want := 0
+		for k := range am {
+			if bm[k] {
+				want++
+			}
+		}
+		return a.IntersectLen(b) == want && b.IntersectLen(a) == want &&
+			a.IntersectLen(b) == a.Intersect(b).Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,9 +4,18 @@
 // practical toolkit — elimination-order heuristics (min-degree, min-fill)
 // plus an exact branch-and-bound for small graphs — since any valid
 // decomposition of the stated width preserves all downstream behaviour.
+//
+// The heuristics run on an incremental eliminator: live adjacency sets are
+// maintained under elimination (so a vertex's current neighborhood is one
+// lookup, never an Intersect with the alive set), degrees and fill-in
+// scores are updated only for the vertices whose neighborhood actually
+// changed, and the next vertex comes off a lazy min-heap. This turns the
+// seed's O(n²·d²) min-fill loop into one whose per-round cost is bounded
+// by the size of the eliminated vertex's second neighborhood.
 package decompose
 
 import (
+	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -27,59 +36,196 @@ const (
 	MinFill
 )
 
+// scoreEntry is a lazy heap entry: stale entries (score no longer
+// current, or vertex already eliminated) are discarded on pop.
+type scoreEntry struct {
+	score, v int
+}
+
+type scoreHeap []scoreEntry
+
+func (h scoreHeap) Len() int { return len(h) }
+func (h scoreHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score < h[j].score
+	}
+	return h[i].v < h[j].v
+}
+func (h scoreHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *scoreHeap) Push(x any)        { *h = append(*h, x.(scoreEntry)) }
+func (h *scoreHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *scoreHeap) push(e scoreEntry) { heap.Push(h, e) }
+
+// eliminator maintains the fill graph of an elimination process
+// incrementally. adj[v] is always the *live* neighborhood of v (eliminated
+// vertices removed, fill edges added), deg[v] its cardinality, and — when
+// scores are tracked — fill[v] the number of fill edges eliminating v
+// would create right now.
+type eliminator struct {
+	n     int
+	adj   []*bitset.Set
+	alive *bitset.Set
+	deg   []int
+
+	h        Heuristic
+	scored   bool // maintain fill/deg scores and the heap
+	fill     []int
+	heap     scoreHeap
+	scratch  *bitset.Set
+	dirty    *bitset.Set
+	newEdges [][2]int
+}
+
+func newEliminator(g *graph.Graph, h Heuristic, scored bool) *eliminator {
+	n := g.N()
+	e := &eliminator{
+		n:      n,
+		adj:    make([]*bitset.Set, n),
+		alive:  bitset.New(n),
+		deg:    make([]int, n),
+		h:      h,
+		scored: scored,
+	}
+	for v := 0; v < n; v++ {
+		e.adj[v] = g.Neighbors(v).Clone()
+		e.adj[v].Remove(v) // drop self-loops defensively
+		e.deg[v] = e.adj[v].Len()
+		e.alive.Add(v)
+	}
+	if scored {
+		e.scratch = bitset.New(n)
+		e.dirty = bitset.New(n)
+		e.heap = make(scoreHeap, 0, 2*n)
+		if h == MinFill {
+			e.fill = make([]int, n)
+			for v := 0; v < n; v++ {
+				e.fill[v] = e.fillOf(v)
+			}
+		}
+		for v := 0; v < n; v++ {
+			e.heap = append(e.heap, scoreEntry{e.score(v), v})
+		}
+		heap.Init(&e.heap)
+	}
+	return e
+}
+
+func (e *eliminator) score(v int) int {
+	if e.h == MinFill {
+		return e.fill[v]
+	}
+	return e.deg[v]
+}
+
+// fillOf counts the non-adjacent pairs inside v's live neighborhood by
+// word-parallel intersection counting: for each live neighbor u, the
+// neighbors of v NOT adjacent to u number deg(v) - 1 - |N(v) ∩ N(u)|
+// (u itself excluded); summing double-counts each missing pair.
+func (e *eliminator) fillOf(v int) int {
+	d := e.deg[v]
+	if d < 2 {
+		return 0
+	}
+	nb := e.adj[v]
+	missing := 0
+	nb.ForEach(func(u int) bool {
+		missing += d - 1 - nb.IntersectLen(e.adj[u])
+		return true
+	})
+	return missing / 2
+}
+
+// popBest returns the live vertex of minimal current score (ties to the
+// smallest vertex ID), discarding stale heap entries.
+func (e *eliminator) popBest() int {
+	for e.heap.Len() > 0 {
+		top := heap.Pop(&e.heap).(scoreEntry)
+		if e.alive.Has(top.v) && e.score(top.v) == top.score {
+			return top.v
+		}
+	}
+	return -1
+}
+
+// popCandidates pops up to k distinct live minimal-score vertices (in
+// (score, v) order). The caller must push back the ones it keeps alive.
+func (e *eliminator) popCandidates(k int) []scoreEntry {
+	var out []scoreEntry
+	seen := map[int]bool{}
+	for e.heap.Len() > 0 && len(out) < k {
+		top := heap.Pop(&e.heap).(scoreEntry)
+		if !e.alive.Has(top.v) || e.score(top.v) != top.score || seen[top.v] {
+			continue
+		}
+		seen[top.v] = true
+		out = append(out, top)
+	}
+	return out
+}
+
+// eliminate removes v: its live neighborhood becomes a clique, degrees
+// are adjusted in place, and (when scores are tracked) the fill scores of
+// exactly the vertices whose neighborhood changed — v's neighbors plus
+// the common neighbors of each new edge — are recomputed and re-pushed.
+// It returns v's live neighborhood at elimination time.
+func (e *eliminator) eliminate(v int) []int {
+	nbs := e.adj[v].Elems()
+	for _, u := range nbs {
+		e.adj[u].Remove(v)
+		e.deg[u]--
+	}
+	e.alive.Remove(v)
+	e.newEdges = e.newEdges[:0]
+	for i, a := range nbs {
+		for j := i + 1; j < len(nbs); j++ {
+			b := nbs[j]
+			if !e.adj[a].Has(b) {
+				e.adj[a].Add(b)
+				e.adj[b].Add(a)
+				e.deg[a]++
+				e.deg[b]++
+				e.newEdges = append(e.newEdges, [2]int{a, b})
+			}
+		}
+	}
+	if !e.scored {
+		return nbs
+	}
+	if e.h == MinFill {
+		e.dirty.Clear()
+		for _, u := range nbs {
+			e.dirty.Add(u)
+		}
+		for _, ne := range e.newEdges {
+			e.scratch.CopyFrom(e.adj[ne[0]])
+			e.scratch.IntersectWith(e.adj[ne[1]])
+			e.dirty.UnionWith(e.scratch)
+		}
+		e.dirty.ForEach(func(u int) bool {
+			e.fill[u] = e.fillOf(u)
+			e.heap.push(scoreEntry{e.fill[u], u})
+			return true
+		})
+	} else {
+		// Degrees changed only inside N(v) (new edges join neighbors).
+		for _, u := range nbs {
+			e.heap.push(scoreEntry{e.deg[u], u})
+		}
+	}
+	return nbs
+}
+
 // Order computes an elimination order of g using the given heuristic.
 func Order(g *graph.Graph, h Heuristic) []int {
 	n := g.N()
-	adj := make([]*bitset.Set, n)
-	for v := 0; v < n; v++ {
-		adj[v] = g.Neighbors(v).Clone()
-	}
-	alive := bitset.New(n)
-	for v := 0; v < n; v++ {
-		alive.Add(v)
-	}
+	e := newEliminator(g, h, true)
 	order := make([]int, 0, n)
 	for k := 0; k < n; k++ {
-		best, bestScore := -1, int(^uint(0)>>1)
-		alive.ForEach(func(v int) bool {
-			var score int
-			switch h {
-			case MinFill:
-				score = fillIn(adj, alive, v)
-			default:
-				score = adj[v].Intersect(alive).Len()
-			}
-			if score < bestScore {
-				best, bestScore = v, score
-			}
-			return true
-		})
+		best := e.popBest()
 		order = append(order, best)
-		// Eliminate: make the live neighborhood a clique.
-		nb := adj[best].Intersect(alive)
-		nbs := nb.Elems()
-		for i := 0; i < len(nbs); i++ {
-			for j := i + 1; j < len(nbs); j++ {
-				adj[nbs[i]].Add(nbs[j])
-				adj[nbs[j]].Add(nbs[i])
-			}
-		}
-		alive.Remove(best)
+		e.eliminate(best)
 	}
 	return order
-}
-
-func fillIn(adj []*bitset.Set, alive *bitset.Set, v int) int {
-	nbs := adj[v].Intersect(alive).Elems()
-	fill := 0
-	for i := 0; i < len(nbs); i++ {
-		for j := i + 1; j < len(nbs); j++ {
-			if !adj[nbs[i]].Has(nbs[j]) {
-				fill++
-			}
-		}
-	}
-	return fill
 }
 
 // FromOrder builds a tree decomposition of g from an elimination order
@@ -103,6 +249,9 @@ func FromOrder(g *graph.Graph, order []int) (*tree.Decomposition, error) {
 		if v < 0 || v >= n {
 			return nil, fmt.Errorf("decompose: vertex %d out of range in order", v)
 		}
+		if pos[v] >= 0 {
+			return nil, fmt.Errorf("decompose: vertex %d appears twice in order", v)
+		}
 		pos[v] = i
 	}
 	for v, p := range pos {
@@ -113,27 +262,10 @@ func FromOrder(g *graph.Graph, order []int) (*tree.Decomposition, error) {
 
 	// Simulate elimination to obtain, for each vertex, its set of later
 	// neighbors in the fill graph.
-	adj := make([]*bitset.Set, n)
-	for v := 0; v < n; v++ {
-		adj[v] = g.Neighbors(v).Clone()
-	}
-	alive := bitset.New(n)
-	for v := 0; v < n; v++ {
-		alive.Add(v)
-	}
+	e := newEliminator(g, MinDegree, false)
 	later := make([][]int, n) // later[v] = live neighbors at elimination time
 	for _, v := range order {
-		nb := adj[v].Intersect(alive)
-		nb.Remove(v)
-		later[v] = nb.Elems()
-		nbs := later[v]
-		for i := 0; i < len(nbs); i++ {
-			for j := i + 1; j < len(nbs); j++ {
-				adj[nbs[i]].Add(nbs[j])
-				adj[nbs[j]].Add(nbs[i])
-			}
-		}
-		alive.Remove(v)
+		later[v] = e.eliminate(v)
 	}
 
 	// Bag of v = {v} ∪ later(v). Parent bag: the bag of the earliest
@@ -211,47 +343,23 @@ func BestOrder(g *graph.Graph, restarts int, rng *rand.Rand) []int {
 	return best
 }
 
+// randomizedMinFill eliminates a uniformly random vertex among the (up
+// to) 3 best fill-in scores each round.
 func randomizedMinFill(g *graph.Graph, rng *rand.Rand) []int {
 	n := g.N()
-	adj := make([]*bitset.Set, n)
-	for v := 0; v < n; v++ {
-		adj[v] = g.Neighbors(v).Clone()
-	}
-	alive := bitset.New(n)
-	for v := 0; v < n; v++ {
-		alive.Add(v)
-	}
+	e := newEliminator(g, MinFill, true)
 	order := make([]int, 0, n)
 	for k := 0; k < n; k++ {
-		// Pick uniformly among the 3 best fill-in scores.
-		type cand struct{ v, score int }
-		var cands []cand
-		alive.ForEach(func(v int) bool {
-			cands = append(cands, cand{v, fillIn(adj, alive, v)})
-			return true
-		})
-		for i := 0; i < len(cands); i++ {
-			for j := i + 1; j < len(cands); j++ {
-				if cands[j].score < cands[i].score {
-					cands[i], cands[j] = cands[j], cands[i]
-				}
+		cands := e.popCandidates(3)
+		pick := rng.Intn(len(cands))
+		for i, c := range cands {
+			if i != pick {
+				e.heap.push(c)
 			}
 		}
-		top := 3
-		if len(cands) < top {
-			top = len(cands)
-		}
-		best := cands[rng.Intn(top)].v
+		best := cands[pick].v
 		order = append(order, best)
-		nb := adj[best].Intersect(alive)
-		nbs := nb.Elems()
-		for i := 0; i < len(nbs); i++ {
-			for j := i + 1; j < len(nbs); j++ {
-				adj[nbs[i]].Add(nbs[j])
-				adj[nbs[j]].Add(nbs[i])
-			}
-		}
-		alive.Remove(best)
+		e.eliminate(best)
 	}
 	return order
 }

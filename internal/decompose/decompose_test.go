@@ -196,3 +196,101 @@ func TestQuickNormalizeAfterDecompose(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// naiveOrder recomputes every score from scratch each round — the seed's
+// O(n²·d²) reference semantics the incremental eliminator must reproduce
+// exactly (including (score, vertex) tie-breaking).
+func naiveOrder(g *graph.Graph, h Heuristic) []int {
+	n := g.N()
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = map[int]bool{}
+		g.Neighbors(v).ForEach(func(u int) bool {
+			if u != v {
+				adj[v][u] = true
+			}
+			return true
+		})
+	}
+	alive := make([]bool, n)
+	for v := range alive {
+		alive[v] = true
+	}
+	score := func(v int) int {
+		var nbs []int
+		for u := range adj[v] {
+			if alive[u] {
+				nbs = append(nbs, u)
+			}
+		}
+		if h == MinDegree {
+			return len(nbs)
+		}
+		fill := 0
+		for i, a := range nbs {
+			for _, b := range nbs[i+1:] {
+				if !adj[a][b] {
+					fill++
+				}
+			}
+		}
+		return fill
+	}
+	order := make([]int, 0, n)
+	for k := 0; k < n; k++ {
+		best, bestScore := -1, 0
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			if s := score(v); best < 0 || s < bestScore {
+				best, bestScore = v, s
+			}
+		}
+		order = append(order, best)
+		var nbs []int
+		for u := range adj[best] {
+			if alive[u] {
+				nbs = append(nbs, u)
+			}
+		}
+		for i, a := range nbs {
+			for _, b := range nbs[i+1:] {
+				adj[a][b] = true
+				adj[b][a] = true
+			}
+		}
+		alive[best] = false
+	}
+	return order
+}
+
+// TestQuickIncrementalMatchesNaive pins the incremental eliminator to the
+// naive rescan reference on random graphs, for both heuristics.
+func TestQuickIncrementalMatchesNaive(t *testing.T) {
+	for _, h := range []Heuristic{MinDegree, MinFill} {
+		h := h
+		prop := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			n := rng.Intn(25) + 1
+			g := graph.RandomTree(n, rng)
+			for i := rng.Intn(2 * n); i > 0; i-- {
+				g.AddEdge(rng.Intn(n), rng.Intn(n))
+			}
+			got := Order(g, h)
+			want := naiveOrder(g, h)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(int64(17 + h)))}); err != nil {
+			t.Fatalf("heuristic %v: %v", h, err)
+		}
+	}
+}

@@ -15,15 +15,18 @@ import (
 //
 // Counts use uint64 and may overflow for astronomically many solutions;
 // callers needing exact large counts should layer big.Int accumulation on
-// the plain RunUp tables.
+// the plain RunUp tables. The run shares the cached plan and worker pool
+// of RunUp; accumulation by sum and product is order-independent, so the
+// tables are identical at every worker count.
 func RunUpCount[S comparable](d *tree.Decomposition, h Handlers[S]) ([]map[S]uint64, error) {
-	if err := tree.CheckNice(d); err != nil {
-		return nil, fmt.Errorf("dp: %w", err)
+	p := planFor(d)
+	if p.niceErr != nil {
+		return nil, fmt.Errorf("dp: %w", p.niceErr)
 	}
 	tables := make([]map[S]uint64, d.Len())
-	for _, v := range d.PostOrder() {
-		n := d.Nodes[v]
-		bag := sortedCopy(n.Bag)
+	runChains(p, false, func(v int) {
+		n := &d.Nodes[v]
+		bag := p.bags[v]
 		tbl := map[S]uint64{}
 		switch n.Kind {
 		case tree.KindLeaf:
@@ -58,9 +61,9 @@ func RunUpCount[S comparable](d *tree.Decomposition, h Handlers[S]) ([]map[S]uin
 				}
 			}
 		default:
-			return nil, fmt.Errorf("dp: node %d has kind %v", v, n.Kind)
+			panic(fmt.Sprintf("dp: node %d has kind %v", v, n.Kind))
 		}
 		tables[v] = tbl
-	}
+	})
 	return tables, nil
 }

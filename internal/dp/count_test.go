@@ -148,7 +148,7 @@ func TestCopyHandlers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if (len(up[nice.Root]) > 0) != bipartite(g) {
+	if (up[nice.Root].Len() > 0) != bipartite(g) {
 		t.Fatal("copy pass-through wrong in RunUp")
 	}
 	counts, err := RunUpCount(nice, h)
@@ -172,7 +172,7 @@ func TestCopyHandlers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(up2[nice.Root]) != 0 {
+	if up2[nice.Root].Len() != 0 {
 		t.Fatal("custom copy handler ignored in RunUp")
 	}
 	counts2, err := RunUpCount(nice, h)
@@ -193,7 +193,7 @@ func TestCopyHandlers(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, leaf := range nice.Leaves() {
-		if (len(down[leaf]) > 0) != bipartite(g) {
+		if (down[leaf].Len() > 0) != bipartite(g) {
 			t.Fatal("custom copy handler wrong in RunDown")
 		}
 	}
@@ -206,7 +206,7 @@ func TestTablesStates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(tables.States(nice.Root)); got != len(tables[nice.Root]) {
+	if got := len(tables.States(nice.Root)); got != tables[nice.Root].Len() {
 		t.Fatalf("States length %d", got)
 	}
 }

@@ -12,6 +12,12 @@
 // interface, walking down through a removal node introduces it, and
 // walking down past a branch node merges the parent's top-down state with
 // the sibling's bottom-up states.
+//
+// All runners share a cached per-decomposition plan (sorted bags, nice
+// check, chain schedule) and fan independent subtrees across a worker
+// pool (SetMaxWorkers). Tables are byte-identical at every worker count:
+// states are propagated in the deterministic Table.Order, never by map
+// iteration.
 package dp
 
 import (
@@ -23,7 +29,9 @@ import (
 // Handlers defines the state transitions of a DP over a nice tree
 // decomposition, parameterized by a comparable state type. Handlers
 // receive the node ID of the state's home node and its bag (sorted).
-// Returning an empty slice kills the partial solution.
+// Returning an empty slice kills the partial solution. When the worker
+// cap is above 1, handlers are invoked from multiple goroutines and must
+// be safe for concurrent use.
 type Handlers[S comparable] struct {
 	// Leaf enumerates the states of a leaf node.
 	Leaf func(node int, bag []int) []S
@@ -38,86 +46,112 @@ type Handlers[S comparable] struct {
 }
 
 // Prov records one derivation of a state, for witness extraction: the
-// child states it was derived from (nil for leaf states).
+// child states it was derived from (nil for leaf states). The pointers
+// alias entries of the child table's Order slice.
 type Prov[S comparable] struct {
 	First  *S
 	Second *S
 }
 
-// Tables holds the result of a bottom-up run: for every node, the set of
-// derived states with one provenance each.
-type Tables[S comparable] []map[S]Prov[S]
+// Table holds the states derived at one node. Order lists them in
+// first-derivation order — a deterministic artifact of the run, used for
+// all downstream iteration — and Prov maps each state to one provenance.
+type Table[S comparable] struct {
+	Order []S
+	Prov  map[S]Prov[S]
+}
 
-// States returns the states at a node as a slice (unspecified order).
-func (t Tables[S]) States(node int) []S {
-	out := make([]S, 0, len(t[node]))
-	for s := range t[node] {
-		out = append(out, s)
+// Len returns the number of states at the node.
+func (t Table[S]) Len() int { return len(t.Order) }
+
+// Has reports whether the state was derived at the node.
+func (t Table[S]) Has(s S) bool {
+	_, ok := t.Prov[s]
+	return ok
+}
+
+func (t *Table[S]) init(capacity int) {
+	t.Order = make([]S, 0, capacity)
+	t.Prov = make(map[S]Prov[S], capacity)
+}
+
+func (t *Table[S]) add(s S, p Prov[S]) {
+	if _, ok := t.Prov[s]; !ok {
+		t.Prov[s] = p
+		t.Order = append(t.Order, s)
 	}
-	return out
+}
+
+// Tables holds the result of a full run: one Table per node.
+type Tables[S comparable] []Table[S]
+
+// States returns the states at a node in derivation order.
+func (t Tables[S]) States(node int) []S {
+	return append([]S(nil), t[node].Order...)
 }
 
 // RunUp computes the bottom-up DP tables over a nice decomposition.
 func RunUp[S comparable](d *tree.Decomposition, h Handlers[S]) (Tables[S], error) {
-	if err := tree.CheckNice(d); err != nil {
-		return nil, fmt.Errorf("dp: %w", err)
+	p := planFor(d)
+	if p.niceErr != nil {
+		return nil, fmt.Errorf("dp: %w", p.niceErr)
 	}
 	tables := make(Tables[S], d.Len())
-	for _, v := range d.PostOrder() {
-		n := d.Nodes[v]
-		bag := sortedCopy(n.Bag)
-		tbl := map[S]Prov[S]{}
-		add := func(s S, p Prov[S]) {
-			if _, ok := tbl[s]; !ok {
-				tbl[s] = p
-			}
+	runChains(p, false, func(v int) { upNode(d, p, h, tables, v) })
+	return tables, nil
+}
+
+func upNode[S comparable](d *tree.Decomposition, p *plan, h Handlers[S], tables Tables[S], v int) {
+	n := &d.Nodes[v]
+	bag := p.bags[v]
+	var t Table[S]
+	switch n.Kind {
+	case tree.KindLeaf:
+		states := h.Leaf(v, bag)
+		t.init(len(states))
+		for _, s := range states {
+			t.add(s, Prov[S]{})
 		}
-		switch n.Kind {
-		case tree.KindLeaf:
-			for _, s := range h.Leaf(v, bag) {
-				add(s, Prov[S]{})
-			}
-		case tree.KindIntroduce:
-			for cs := range tables[n.Children[0]] {
-				cs := cs
-				for _, s := range h.Introduce(v, bag, n.Elem, cs) {
-					add(s, Prov[S]{First: &cs})
-				}
-			}
-		case tree.KindForget:
-			for cs := range tables[n.Children[0]] {
-				cs := cs
-				for _, s := range h.Forget(v, bag, n.Elem, cs) {
-					add(s, Prov[S]{First: &cs})
-				}
-			}
-		case tree.KindCopy:
-			for cs := range tables[n.Children[0]] {
-				cs := cs
+	case tree.KindIntroduce, tree.KindForget, tree.KindCopy:
+		child := &tables[n.Children[0]]
+		t.init(len(child.Order))
+		for i := range child.Order {
+			cs := &child.Order[i]
+			var results []S
+			switch n.Kind {
+			case tree.KindIntroduce:
+				results = h.Introduce(v, bag, n.Elem, *cs)
+			case tree.KindForget:
+				results = h.Forget(v, bag, n.Elem, *cs)
+			default:
 				if h.Copy == nil {
-					add(cs, Prov[S]{First: &cs})
+					t.add(*cs, Prov[S]{First: cs})
 					continue
 				}
-				for _, s := range h.Copy(v, bag, cs) {
-					add(s, Prov[S]{First: &cs})
-				}
+				results = h.Copy(v, bag, *cs)
 			}
-		case tree.KindBranch:
-			for s1 := range tables[n.Children[0]] {
-				s1 := s1
-				for s2 := range tables[n.Children[1]] {
-					s2 := s2
-					for _, s := range h.Branch(v, bag, s1, s2) {
-						add(s, Prov[S]{First: &s1, Second: &s2})
-					}
-				}
+			for _, s := range results {
+				t.add(s, Prov[S]{First: cs})
 			}
-		default:
-			return nil, fmt.Errorf("dp: node %d has kind %v", v, n.Kind)
 		}
-		tables[v] = tbl
+	case tree.KindBranch:
+		c1, c2 := &tables[n.Children[0]], &tables[n.Children[1]]
+		t.init(min(len(c1.Order), len(c2.Order)))
+		for i := range c1.Order {
+			s1 := &c1.Order[i]
+			for j := range c2.Order {
+				s2 := &c2.Order[j]
+				for _, s := range h.Branch(v, bag, *s1, *s2) {
+					t.add(s, Prov[S]{First: s1, Second: s2})
+				}
+			}
+		}
+	default:
+		// Unreachable: CheckNice (cached in the plan) admits only the
+		// five nice node kinds.
+		panic(fmt.Sprintf("dp: node %d has kind %v", v, n.Kind))
 	}
-	return tables, nil
+	tables[v] = t
 }
 
 // RunDown computes the top-down tables (solve↓ of Section 5.3) given the
@@ -125,88 +159,88 @@ func RunUp[S comparable](d *tree.Decomposition, h Handlers[S]) (Tables[S], error
 // envelope of the root is just its own bag). Order of handler roles is
 // swapped relative to RunUp as described in the package comment.
 func RunDown[S comparable](d *tree.Decomposition, h Handlers[S], up Tables[S]) (Tables[S], error) {
-	if err := tree.CheckNice(d); err != nil {
-		return nil, fmt.Errorf("dp: %w", err)
+	p := planFor(d)
+	if p.niceErr != nil {
+		return nil, fmt.Errorf("dp: %w", p.niceErr)
 	}
 	if len(up) != d.Len() {
 		return nil, fmt.Errorf("dp: bottom-up tables have %d nodes, want %d", len(up), d.Len())
 	}
 	tables := make(Tables[S], d.Len())
-	for _, v := range d.PreOrder() {
-		n := d.Nodes[v]
-		bag := sortedCopy(n.Bag)
-		tbl := map[S]Prov[S]{}
-		add := func(s S, p Prov[S]) {
-			if _, ok := tbl[s]; !ok {
-				tbl[s] = p
-			}
-		}
-		if n.Parent < 0 {
-			for _, s := range h.Leaf(v, bag) {
-				add(s, Prov[S]{})
-			}
-			tables[v] = tbl
-			continue
-		}
-		p := d.Nodes[n.Parent]
-		switch p.Kind {
-		case tree.KindIntroduce:
-			// The parent introduced p.Elem; walking down it leaves the
-			// interface: apply the Forget transition at v.
-			for ps := range tables[n.Parent] {
-				ps := ps
-				for _, s := range h.Forget(v, bag, p.Elem, ps) {
-					add(s, Prov[S]{First: &ps})
-				}
-			}
-		case tree.KindForget:
-			// The parent forgot p.Elem; walking down it (re)enters and is
-			// new to the envelope: apply the Introduce transition at v.
-			for ps := range tables[n.Parent] {
-				ps := ps
-				for _, s := range h.Introduce(v, bag, p.Elem, ps) {
-					add(s, Prov[S]{First: &ps})
-				}
-			}
-		case tree.KindCopy:
-			for ps := range tables[n.Parent] {
-				ps := ps
-				if h.Copy == nil {
-					add(ps, Prov[S]{First: &ps})
-					continue
-				}
-				for _, s := range h.Copy(v, bag, ps) {
-					add(s, Prov[S]{First: &ps})
-				}
-			}
-		case tree.KindBranch:
-			sib := p.Children[0]
-			if sib == v {
-				sib = p.Children[1]
-			}
-			for ps := range tables[n.Parent] {
-				ps := ps
-				for ss := range up[sib] {
-					ss := ss
-					for _, s := range h.Branch(v, bag, ps, ss) {
-						add(s, Prov[S]{First: &ps, Second: &ss})
-					}
-				}
-			}
-		default:
-			return nil, fmt.Errorf("dp: parent %d of node %d has kind %v", n.Parent, v, p.Kind)
-		}
-		tables[v] = tbl
-	}
+	runChains(p, true, func(v int) { downNode(d, p, h, up, tables, v) })
 	return tables, nil
 }
 
-func sortedCopy(bag []int) []int {
-	out := append([]int(nil), bag...)
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+func downNode[S comparable](d *tree.Decomposition, p *plan, h Handlers[S], up, tables Tables[S], v int) {
+	n := &d.Nodes[v]
+	bag := p.bags[v]
+	var t Table[S]
+	if n.Parent < 0 {
+		states := h.Leaf(v, bag)
+		t.init(len(states))
+		for _, s := range states {
+			t.add(s, Prov[S]{})
 		}
+		tables[v] = t
+		return
 	}
-	return out
+	pn := &d.Nodes[n.Parent]
+	parent := &tables[n.Parent]
+	t.init(len(parent.Order))
+	switch pn.Kind {
+	case tree.KindIntroduce:
+		// The parent introduced pn.Elem; walking down it leaves the
+		// interface: apply the Forget transition at v.
+		for i := range parent.Order {
+			ps := &parent.Order[i]
+			for _, s := range h.Forget(v, bag, pn.Elem, *ps) {
+				t.add(s, Prov[S]{First: ps})
+			}
+		}
+	case tree.KindForget:
+		// The parent forgot pn.Elem; walking down it (re)enters and is
+		// new to the envelope: apply the Introduce transition at v.
+		for i := range parent.Order {
+			ps := &parent.Order[i]
+			for _, s := range h.Introduce(v, bag, pn.Elem, *ps) {
+				t.add(s, Prov[S]{First: ps})
+			}
+		}
+	case tree.KindCopy:
+		for i := range parent.Order {
+			ps := &parent.Order[i]
+			if h.Copy == nil {
+				t.add(*ps, Prov[S]{First: ps})
+				continue
+			}
+			for _, s := range h.Copy(v, bag, *ps) {
+				t.add(s, Prov[S]{First: ps})
+			}
+		}
+	case tree.KindBranch:
+		sib := pn.Children[0]
+		if sib == v {
+			sib = pn.Children[1]
+		}
+		sibT := &up[sib]
+		for i := range parent.Order {
+			ps := &parent.Order[i]
+			for j := range sibT.Order {
+				ss := &sibT.Order[j]
+				for _, s := range h.Branch(v, bag, *ps, *ss) {
+					t.add(s, Prov[S]{First: ps, Second: ss})
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("dp: parent %d of node %d has kind %v", n.Parent, v, pn.Kind))
+	}
+	tables[v] = t
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }

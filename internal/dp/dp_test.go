@@ -153,7 +153,7 @@ func TestRunUpTwoColoring(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := len(tables[nice.Root]) > 0
+			got := tables[nice.Root].Len() > 0
 			if got != tc.want {
 				t.Fatalf("2-colorable = %v, want %v", got, tc.want)
 			}
@@ -197,7 +197,7 @@ func extractColoring(d *tree.Decomposition, tables Tables[uint32]) map[int]int {
 		for i, e := range bag {
 			colors[e] = int((s >> uint(i)) & 1)
 		}
-		prov := tables[v][s]
+		prov := tables[v].Prov[s]
 		n := d.Nodes[v]
 		if prov.First != nil && len(n.Children) >= 1 {
 			assign(n.Children[0], *prov.First)
@@ -206,9 +206,8 @@ func extractColoring(d *tree.Decomposition, tables Tables[uint32]) map[int]int {
 			assign(n.Children[1], *prov.Second)
 		}
 	}
-	for s := range tables[d.Root] {
-		assign(d.Root, s)
-		break
+	if tables[d.Root].Len() > 0 {
+		assign(d.Root, tables[d.Root].Order[0])
 	}
 	return colors
 }
@@ -229,7 +228,7 @@ func TestRunDownEnvelope(t *testing.T) {
 		}
 		want := bipartite(g)
 		for _, leaf := range nice.Leaves() {
-			if got := len(down[leaf]) > 0; got != want {
+			if got := down[leaf].Len() > 0; got != want {
 				t.Fatalf("down table at leaf %d non-empty = %v, want %v", leaf, got, want)
 			}
 		}
@@ -238,7 +237,7 @@ func TestRunDownEnvelope(t *testing.T) {
 		// tables can only die where a conflict exists).
 		if want {
 			for v := range nice.Nodes {
-				if len(down[v]) == 0 {
+				if down[v].Len() == 0 {
 					t.Fatalf("down table empty at node %d of bipartite graph", v)
 				}
 			}
@@ -279,7 +278,7 @@ func TestQuickTwoColoringAgreesWithBFS(t *testing.T) {
 			return false
 		}
 		want := bipartite(g)
-		if (len(up[nice.Root]) > 0) != want {
+		if (up[nice.Root].Len() > 0) != want {
 			return false
 		}
 		down, err := RunDown(nice, h, up)
@@ -287,7 +286,7 @@ func TestQuickTwoColoringAgreesWithBFS(t *testing.T) {
 			return false
 		}
 		for _, leaf := range nice.Leaves() {
-			if (len(down[leaf]) > 0) != want {
+			if (down[leaf].Len() > 0) != want {
 				return false
 			}
 		}

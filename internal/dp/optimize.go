@@ -34,15 +34,18 @@ type Costed[S comparable] struct {
 }
 
 // RunUpMin computes, for every node and state, the minimum accumulated
-// cost of a derivation.
+// cost of a derivation. The run shares the cached plan and worker pool of
+// RunUp; min-relaxation is order-independent, so the tables are identical
+// at every worker count.
 func RunUpMin[S comparable](d *tree.Decomposition, h CostHandlers[S]) ([]map[S]int, error) {
-	if err := tree.CheckNice(d); err != nil {
-		return nil, fmt.Errorf("dp: %w", err)
+	p := planFor(d)
+	if p.niceErr != nil {
+		return nil, fmt.Errorf("dp: %w", p.niceErr)
 	}
 	tables := make([]map[S]int, d.Len())
-	for _, v := range d.PostOrder() {
-		n := d.Nodes[v]
-		bag := sortedCopy(n.Bag)
+	runChains(p, false, func(v int) {
+		n := &d.Nodes[v]
+		bag := p.bags[v]
 		tbl := map[S]int{}
 		relax := func(s S, c int) {
 			if old, ok := tbl[s]; !ok || c < old {
@@ -82,9 +85,9 @@ func RunUpMin[S comparable](d *tree.Decomposition, h CostHandlers[S]) ([]map[S]i
 				}
 			}
 		default:
-			return nil, fmt.Errorf("dp: node %d has kind %v", v, n.Kind)
+			panic(fmt.Sprintf("dp: node %d has kind %v", v, n.Kind))
 		}
 		tables[v] = tbl
-	}
+	})
 	return tables, nil
 }

@@ -1,0 +1,110 @@
+package dp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers caps the goroutine fan-out of the DP runners, mirroring the
+// datalog engine's knob. Results are byte-identical at every setting:
+// each node's table is computed exactly once, by exactly one goroutine,
+// from inputs that are complete before it starts, and all cross-table
+// iteration follows the deterministic Table.Order.
+var maxWorkers atomic.Int32
+
+func init() { maxWorkers.Store(int32(runtime.GOMAXPROCS(0))) }
+
+// SetMaxWorkers sets the worker cap for the parallel DP runners and
+// returns the previous value. Values below 1 are treated as 1 (serial).
+// With more than one worker, handlers may be invoked concurrently from
+// multiple goroutines and must be safe for concurrent use (all handlers
+// in this repository are: they only read shared problem data or guard
+// shared state with locks).
+func SetMaxWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(maxWorkers.Swap(int32(n)))
+}
+
+// minParallelNodes keeps tiny decompositions serial: below this node
+// count the scheduling overhead exceeds the DP work.
+const minParallelNodes = 64
+
+// runChains executes compute(v) once for every node of the plan. Bottom-up
+// (down=false), a chain runs after its feeder chains — the two subtrees
+// below its branch head — so independent subtrees fan out across the
+// worker pool; top-down (down=true) the dependencies reverse and chains
+// run top node first.
+func runChains(p *plan, down bool, compute func(v int)) {
+	workers := int(maxWorkers.Load())
+	if workers > len(p.chains) {
+		workers = len(p.chains)
+	}
+	if workers <= 1 || p.nodes < minParallelNodes {
+		if down {
+			for i := len(p.post) - 1; i >= 0; i-- {
+				compute(p.post[i])
+			}
+		} else {
+			for _, v := range p.post {
+				compute(v)
+			}
+		}
+		return
+	}
+	pending := make([]int32, len(p.chains))
+	ready := make(chan int, len(p.chains))
+	if down {
+		for id := range p.chains {
+			if p.consumer[id] >= 0 {
+				pending[id] = 1
+			} else {
+				ready <- id
+			}
+		}
+	} else {
+		copy(pending, p.branchDeps)
+		for id := range p.chains {
+			if p.branchDeps[id] == 0 {
+				ready <- id
+			}
+		}
+	}
+	var done atomic.Int32
+	total := int32(len(p.chains))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range ready {
+				chain := p.chains[id]
+				if down {
+					for i := len(chain) - 1; i >= 0; i-- {
+						compute(chain[i])
+					}
+					for _, f := range p.feeders[id] {
+						if atomic.AddInt32(&pending[f], -1) == 0 {
+							ready <- f
+						}
+					}
+				} else {
+					for _, v := range chain {
+						compute(v)
+					}
+					if c := p.consumer[id]; c >= 0 && atomic.AddInt32(&pending[c], -1) == 0 {
+						ready <- c
+					}
+				}
+				// Successor sends (above) happen before the completion count,
+				// so the close below cannot race a pending send.
+				if done.Add(1) == total {
+					close(ready)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

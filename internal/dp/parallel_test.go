@@ -1,0 +1,171 @@
+package dp
+
+import (
+	"math/bits"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/decompose"
+	"repro/internal/graph"
+	"repro/internal/tree"
+)
+
+// twoColCostHandlers wraps the 2-coloring DP as an optimizing DP whose
+// cost is the number of vertices assigned color 1 (so RunUpMin computes,
+// per root state, the minimum size of color class 1).
+func twoColCostHandlers(g *graph.Graph) CostHandlers[uint32] {
+	h := twoColHandlers(g)
+	lift := func(states []uint32, cost func(uint32) int) []Costed[uint32] {
+		out := make([]Costed[uint32], len(states))
+		for i, s := range states {
+			out[i] = Costed[uint32]{State: s, Cost: cost(s)}
+		}
+		return out
+	}
+	ones := func(s uint32) int { return bits.OnesCount32(s) }
+	return CostHandlers[uint32]{
+		Leaf: func(node int, bag []int) []Costed[uint32] {
+			return lift(h.Leaf(node, bag), ones)
+		},
+		Introduce: func(node int, bag []int, elem int, child uint32) []Costed[uint32] {
+			return lift(h.Introduce(node, bag, elem, child), func(s uint32) int {
+				return ones(s) - ones(child)
+			})
+		},
+		Forget: func(node int, bag []int, elem int, child uint32) []Costed[uint32] {
+			return lift(h.Forget(node, bag, elem, child), func(uint32) int { return 0 })
+		},
+		Branch: func(node int, bag []int, s1, s2 uint32) []Costed[uint32] {
+			// The bag contribution is counted in both children once.
+			return lift(h.Branch(node, bag, s1, s2), func(uint32) int { return -ones(s1) })
+		},
+	}
+}
+
+// TestParallelMatchesSequential pins the determinism contract: every
+// runner produces identical tables — including the derivation Order and
+// provenance — at worker counts 1, 2 and 8, on randomized partial-k-tree
+// decompositions large enough to cross the parallel threshold.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	t.Cleanup(func() { SetMaxWorkers(SetMaxWorkers(1)) })
+	for trial := 0; trial < 4; trial++ {
+		g := graph.PartialKTree(40+trial*20, 3, 0.3, rng)
+		d, err := decompose.Graph(g, decompose.MinFill)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nice, err := tree.NormalizeNice(d, tree.NiceOptions{BranchGuard: trial%2 == 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nice.Len() < minParallelNodes {
+			t.Fatalf("trial %d: decomposition too small (%d nodes) to exercise the pool", trial, nice.Len())
+		}
+		h := twoColHandlers(g)
+		ch := twoColCostHandlers(g)
+
+		prev := SetMaxWorkers(1)
+		upSeq, err := RunUp(nice, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		downSeq, err := RunDown(nice, h, upSeq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		countSeq, err := RunUpCount(nice, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minSeq, err := RunUpMin(nice, ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 8} {
+			SetMaxWorkers(w)
+			up, err := RunUp(nice, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(up, upSeq) {
+				t.Fatalf("trial %d: RunUp tables differ at %d workers", trial, w)
+			}
+			down, err := RunDown(nice, h, up)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(down, downSeq) {
+				t.Fatalf("trial %d: RunDown tables differ at %d workers", trial, w)
+			}
+			count, err := RunUpCount(nice, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(count, countSeq) {
+				t.Fatalf("trial %d: RunUpCount tables differ at %d workers", trial, w)
+			}
+			mn, err := RunUpMin(nice, ch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(mn, minSeq) {
+				t.Fatalf("trial %d: RunUpMin tables differ at %d workers", trial, w)
+			}
+		}
+		SetMaxWorkers(prev)
+	}
+}
+
+// TestConcurrentRunUpSharedDecomposition drives several concurrent RunUp
+// calls over one shared decomposition and plan — the scenario the plan
+// cache and worker pool must survive; run under -race in CI.
+func TestConcurrentRunUpSharedDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.PartialKTree(80, 3, 0.3, rng)
+	d, err := decompose.Graph(g, decompose.MinFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nice, err := tree.NormalizeNice(d, tree.NiceOptions{BranchGuard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := twoColHandlers(g)
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+	want, err := RunUp(nice, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, err := RunUp(nice, h)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				errs[i] = errMismatch
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+}
+
+var errMismatch = errString("concurrent RunUp produced different tables")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

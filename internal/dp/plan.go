@@ -1,0 +1,124 @@
+package dp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tree"
+)
+
+// plan caches the per-decomposition precomputation shared by RunUp,
+// RunDown, RunUpCount and RunUpMin: the CheckNice verdict, one sorted
+// copy of every bag, the post-order, and the chain schedule driving the
+// worker pool. The seed re-derived all of this — including an insertion
+// sort of every bag — on every single run.
+//
+// Plans are cached per *tree.Decomposition identity. A decomposition must
+// not be structurally mutated between DP runs; every in-repo call site
+// treats nice decompositions as immutable once normalized.
+type plan struct {
+	nodes   int
+	root    int
+	niceErr error
+	bags    [][]int // node → sorted bag
+	post    []int   // children before parents
+
+	// Chain schedule: a chain is a maximal path of unary (introduce /
+	// forget / copy) nodes above a head node (leaf or branch), listed
+	// bottom-to-top. Chains are the unit of work of the worker pool —
+	// fine enough to expose every independent subtree, coarse enough
+	// that scheduling overhead stays off the per-node path.
+	chains     [][]int // chain → node IDs, bottom-to-top
+	consumer   []int   // chain → chain containing its top node's parent (-1 for the root chain)
+	feeders    [][]int // chain → chains it unblocks in a top-down pass
+	branchDeps []int32 // chain → number of feeder chains (0 for leaf-headed, 2 for branch-headed)
+}
+
+func buildPlan(d *tree.Decomposition) *plan {
+	p := &plan{nodes: d.Len(), root: d.Root}
+	p.niceErr = tree.CheckNice(d)
+	if p.niceErr != nil {
+		return p
+	}
+	n := d.Len()
+	p.bags = make([][]int, n)
+	for v := 0; v < n; v++ {
+		p.bags[v] = sortedCopy(d.Nodes[v].Bag)
+	}
+	p.post = d.PostOrder()
+
+	chainOf := make([]int, n)
+	for _, v := range p.post {
+		if len(d.Nodes[v].Children) == 1 {
+			continue // unary nodes are absorbed by the chain rising from below
+		}
+		id := len(p.chains)
+		chain := []int{v}
+		chainOf[v] = id
+		cur := v
+		for {
+			pa := d.Nodes[cur].Parent
+			if pa < 0 || len(d.Nodes[pa].Children) != 1 {
+				break
+			}
+			chain = append(chain, pa)
+			chainOf[pa] = id
+			cur = pa
+		}
+		p.chains = append(p.chains, chain)
+	}
+	p.consumer = make([]int, len(p.chains))
+	p.feeders = make([][]int, len(p.chains))
+	p.branchDeps = make([]int32, len(p.chains))
+	for id, chain := range p.chains {
+		top := chain[len(chain)-1]
+		pa := d.Nodes[top].Parent
+		if pa < 0 {
+			p.consumer[id] = -1
+			continue
+		}
+		c := chainOf[pa] // pa has two children, so it heads its own chain
+		p.consumer[id] = c
+		p.feeders[c] = append(p.feeders[c], id)
+	}
+	for id := range p.chains {
+		p.branchDeps[id] = int32(len(p.feeders[id]))
+	}
+	return p
+}
+
+const planCacheLimit = 512
+
+var (
+	planCache     sync.Map // *tree.Decomposition → *plan
+	planCacheSize atomic.Int32
+)
+
+// planFor returns the cached plan for d, building it on first use. The
+// cache is bounded: past the limit it is dropped wholesale rather than
+// tracked LRU — plans rebuild cheaply relative to the DP they front.
+func planFor(d *tree.Decomposition) *plan {
+	if v, ok := planCache.Load(d); ok {
+		p := v.(*plan)
+		if p.nodes == d.Len() && p.root == d.Root {
+			return p
+		}
+	}
+	p := buildPlan(d)
+	if planCacheSize.Add(1) > planCacheLimit {
+		planCache.Range(func(k, _ any) bool { planCache.Delete(k); return true })
+		planCacheSize.Store(1)
+	}
+	planCache.Store(d, p)
+	return p
+}
+
+func sortedCopy(bag []int) []int {
+	out := append([]int(nil), bag...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -9,10 +9,10 @@
 package primality
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
-	"strconv"
-	"strings"
+	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/schema"
@@ -30,6 +30,7 @@ type ctx struct {
 	lhs     [][]int     // FD index → lhs attribute elements
 	rhs     []int       // FD index → rhs attribute element
 	attElem []int       // attribute index → element
+	pool    *interner
 }
 
 func newCtx(s *schema.Schema) *ctx {
@@ -42,6 +43,7 @@ func newCtx(s *schema.Schema) *ctx {
 		lhs:     make([][]int, s.NumFDs()),
 		rhs:     make([]int, s.NumFDs()),
 		attElem: make([]int, s.NumAttrs()),
+		pool:    newInterner(),
 	}
 	for i := 0; i < s.NumAttrs(); i++ {
 		e, _ := st.Elem(s.AttrName(i))
@@ -69,37 +71,81 @@ type state struct {
 	y, co, fy, dc, fc []int // y, fy, dc, fc sorted; co ordered
 }
 
-// encode renders the state as a comparable key.
-func (s state) encode() string {
-	var b strings.Builder
-	for i, part := range [][]int{s.y, s.co, s.fy, s.dc, s.fc} {
-		if i > 0 {
-			b.WriteByte('|')
-		}
-		for j, e := range part {
-			if j > 0 {
-				b.WriteByte(',')
-			}
-			b.WriteString(strconv.Itoa(e))
-		}
-	}
-	return b.String()
+// interner hash-conses states to dense int32 IDs so the DP tables hash and
+// compare machine integers instead of structured keys (the seed rendered
+// every state to a string per transition — the dominant cost of the
+// PRIMALITY hot path). Each state also gets a signature ID covering the
+// (Y, Co, FC) part; two states are branch-compatible iff their signatures
+// coincide, so the branch rule rejects incompatible pairs with a single
+// integer comparison. Interned states are immutable: their slices must
+// never be mutated after intern.
+type interner struct {
+	mu     sync.RWMutex
+	ids    map[string]int32
+	states []state
+	sigs   []int32 // state ID → signature ID
+	sigIDs map[string]int32
 }
 
-func decode(key string) state {
-	parts := strings.Split(key, "|")
-	read := func(p string) []int {
-		if p == "" {
-			return nil
-		}
-		fields := strings.Split(p, ",")
-		out := make([]int, len(fields))
-		for i, f := range fields {
-			out[i], _ = strconv.Atoi(f)
-		}
-		return out
+func newInterner() *interner {
+	return &interner{ids: map[string]int32{}, sigIDs: map[string]int32{}}
+}
+
+// appendPart encodes one state component as uvarints shifted by one, with
+// a zero byte terminating the part (element IDs are non-negative, so the
+// shifted encoding never produces a zero byte inside a part).
+func appendPart(buf []byte, part []int) []byte {
+	for _, e := range part {
+		buf = binary.AppendUvarint(buf, uint64(e)+1)
 	}
-	return state{y: read(parts[0]), co: read(parts[1]), fy: read(parts[2]), dc: read(parts[3]), fc: read(parts[4])}
+	return append(buf, 0)
+}
+
+func (p *interner) intern(s state) int32 {
+	buf := make([]byte, 0, 64)
+	buf = appendPart(buf, s.y)
+	buf = appendPart(buf, s.co)
+	buf = appendPart(buf, s.fc)
+	sigLen := len(buf) // the (Y, Co, FC) prefix is the branch signature
+	buf = appendPart(buf, s.fy)
+	buf = appendPart(buf, s.dc)
+	key := string(buf)
+	p.mu.RLock()
+	id, ok := p.ids[key]
+	p.mu.RUnlock()
+	if ok {
+		return id
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id, ok := p.ids[key]; ok {
+		return id
+	}
+	sigKey := key[:sigLen]
+	sid, ok := p.sigIDs[sigKey]
+	if !ok {
+		sid = int32(len(p.sigIDs))
+		p.sigIDs[sigKey] = sid
+	}
+	id = int32(len(p.states))
+	p.states = append(p.states, s)
+	p.sigs = append(p.sigs, sid)
+	p.ids[key] = id
+	return id
+}
+
+func (p *interner) get(id int32) state {
+	p.mu.RLock()
+	s := p.states[id]
+	p.mu.RUnlock()
+	return s
+}
+
+func (p *interner) sig(id int32) int32 {
+	p.mu.RLock()
+	s := p.sigs[id]
+	p.mu.RUnlock()
+	return s
 }
 
 func contains(xs []int, e int) bool {
@@ -192,9 +238,9 @@ func (c *ctx) splitBag(bag []int) (attrs, fds []int) {
 // for the top-down pass): every partition of the bag attributes into
 // Y/ordered Co, every consistent choice of used FDs FC, with FY and ΔC
 // determined (the leaf rule of Figure 6).
-func (c *ctx) leafStates(bag []int) []string {
+func (c *ctx) leafStates(bag []int) []int32 {
 	attrs, fds := c.splitBag(bag)
-	var out []string
+	var out []int32
 	subsets(attrs, func(y, rest []int) {
 		permute(rest, func(co []int) {
 			// FY is determined by Y and the bag: all FDs with rhs outside
@@ -228,7 +274,7 @@ func (c *ctx) leafStates(bag []int) []string {
 					dc: dc,
 					fc: append([]int(nil), fc...),
 				}
-				out = append(out, st.encode())
+				out = append(out, c.pool.intern(st))
 			})
 		})
 	})
@@ -280,14 +326,14 @@ func permute(xs []int, f func([]int)) {
 }
 
 // introduce implements the attribute/FD introduction rules of Figure 6.
-func (c *ctx) introduce(bag []int, elem int, childKey string) []string {
-	child := decode(childKey)
+func (c *ctx) introduce(bag []int, elem int, childID int32) []int32 {
+	child := c.pool.get(childID)
 	if c.isAttr[elem] {
-		var out []string
+		var out []int32
 		// Case Y: all other arguments unchanged.
 		sy := child
 		sy.y = insertSorted(child.y, elem)
-		out = append(out, sy.encode())
+		out = append(out, c.pool.intern(sy))
 		// Case Co: insert at every position; re-check order consistency
 		// and discharge newly witnessed FDs.
 		_, fds := c.splitBag(bag)
@@ -307,7 +353,7 @@ func (c *ctx) introduce(bag []int, elem int, childKey string) []string {
 				}
 			}
 			sc := state{y: child.y, co: co, fy: fy, dc: child.dc, fc: child.fc}
-			out = append(out, sc.encode())
+			out = append(out, c.pool.intern(sc))
 		}
 		return out
 	}
@@ -319,7 +365,7 @@ func (c *ctx) introduce(bag []int, elem int, childKey string) []string {
 	rhs := c.rhs[fi]
 	if contains(child.y, rhs) {
 		// Rule 1: rhs ∈ Y — unchanged.
-		return []string{childKey}
+		return []int32{childID}
 	}
 	if !contains(child.co, rhs) {
 		// The bag discipline (rhs present whenever the FD is) is violated;
@@ -332,10 +378,10 @@ func (c *ctx) introduce(bag []int, elem int, childKey string) []string {
 		}
 		return child.fy
 	}
-	var out []string
+	var out []int32
 	// Rule 3: f not used in the derivation.
 	s3 := state{y: child.y, co: child.co, fy: discharge(), dc: child.dc, fc: child.fc}
-	out = append(out, s3.encode())
+	out = append(out, c.pool.intern(s3))
 	// Rule 2: f used — rhs newly derived (disjoint union with ΔC) and the
 	// ordering must be consistent.
 	if !contains(child.dc, rhs) && c.consistent([]int{elem}, child.co) {
@@ -346,25 +392,25 @@ func (c *ctx) introduce(bag []int, elem int, childKey string) []string {
 			dc: insertSorted(child.dc, rhs),
 			fc: insertSorted(child.fc, elem),
 		}
-		out = append(out, s2.encode())
+		out = append(out, c.pool.intern(s2))
 	}
 	return out
 }
 
 // forget implements the attribute/FD removal rules of Figure 6.
-func (c *ctx) forget(elem int, childKey string) []string {
-	child := decode(childKey)
+func (c *ctx) forget(elem int, childID int32) []int32 {
+	child := c.pool.get(childID)
 	if c.isAttr[elem] {
 		if contains(child.y, elem) {
 			s := state{y: removeVal(child.y, elem), co: child.co, fy: child.fy, dc: child.dc, fc: child.fc}
-			return []string{s.encode()}
+			return []int32{c.pool.intern(s)}
 		}
 		// elem ∈ Co: its derivation must have been established.
 		if !contains(child.dc, elem) {
 			return nil
 		}
 		s := state{y: child.y, co: removeVal(child.co, elem), fy: child.fy, dc: removeVal(child.dc, elem), fc: child.fc}
-		return []string{s.encode()}
+		return []int32{c.pool.intern(s)}
 	}
 	fi, ok := c.fdOf[elem]
 	if !ok {
@@ -372,24 +418,26 @@ func (c *ctx) forget(elem int, childKey string) []string {
 	}
 	if contains(child.y, c.rhs[fi]) {
 		// Rule 1: rhs ∈ Y — f was never a threat.
-		return []string{childKey}
+		return []int32{childID}
 	}
 	// Rules 2/3: f must have been verified (f ∈ FY) before leaving.
 	if !contains(child.fy, elem) {
 		return nil
 	}
 	s := state{y: child.y, co: child.co, fy: removeVal(child.fy, elem), dc: child.dc, fc: removeVal(child.fc, elem)}
-	return []string{s.encode()}
+	return []int32{c.pool.intern(s)}
 }
 
 // branch implements the branch rule of Figure 6: identical Y, Co and FC,
 // unions of FY and ΔC, and the unique condition (an attribute may be
-// derived in both subtrees only via a shared bag FD).
-func (c *ctx) branch(k1, k2 string) []string {
-	s1, s2 := decode(k1), decode(k2)
-	if !equalInts(s1.y, s2.y) || !equalInts(s1.co, s2.co) || !equalInts(s1.fc, s2.fc) {
+// derived in both subtrees only via a shared bag FD). The signature check
+// replaces the three slice comparisons of the equality precondition with
+// one integer comparison.
+func (c *ctx) branch(k1, k2 int32) []int32 {
+	if c.pool.sig(k1) != c.pool.sig(k2) {
 		return nil
 	}
+	s1, s2 := c.pool.get(k1), c.pool.get(k2)
 	// unique(ΔC1, ΔC2, FC).
 	inter := map[int]bool{}
 	for _, e := range s1.dc {
@@ -418,7 +466,7 @@ func (c *ctx) branch(k1, k2 string) []string {
 		dc = insertDedupSorted(dc, e)
 	}
 	s := state{y: s1.y, co: s1.co, fy: fy, dc: dc, fc: s1.fc}
-	return []string{s.encode()}
+	return []int32{c.pool.intern(s)}
 }
 
 func equalInts(a, b []int) bool {
@@ -437,8 +485,8 @@ func equalInts(a, b []int) bool {
 // the whole structure certifies primality of attribute element aElem (the
 // "result" rule of Figure 6): a ∉ Y, every bag FD with rhs outside Y
 // verified, and everything in Co except a derived.
-func (c *ctx) accepting(bag []int, key string, aElem int) bool {
-	s := decode(key)
+func (c *ctx) accepting(bag []int, id int32, aElem int) bool {
+	s := c.pool.get(id)
 	if contains(s.y, aElem) || !contains(s.co, aElem) {
 		return false
 	}

@@ -620,7 +620,7 @@ func (in *Instance) DecideRelevant(hyp, man *bitset.Set, a int) (bool, error) {
 		return false, err
 	}
 	rootBag := sortedBag(nice.Nodes[nice.Root].Bag)
-	for key := range tables[nice.Root] {
+	for _, key := range tables[nice.Root].Order {
 		if c.rAccepting(rootBag, key, aElem) {
 			return true, nil
 		}
@@ -671,7 +671,7 @@ func (in *Instance) EnumerateRelevant(hyp, man *bitset.Set) (*bitset.Set, error)
 			return nil, fmt.Errorf("primality: attribute %s missing from every leaf bag", c.s.AttrName(a))
 		}
 		bag := sortedBag(nice.Nodes[leaf].Bag)
-		for key := range down[leaf] {
+		for _, key := range down[leaf].Order {
 			if c.rAccepting(bag, key, c.attElem[a]) {
 				relevant.Add(a)
 				break

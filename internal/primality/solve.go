@@ -11,19 +11,20 @@ import (
 	"repro/internal/tree"
 )
 
-// handlers adapts the Figure 6 transitions to the dp framework.
-func (c *ctx) handlers() dp.Handlers[string] {
-	return dp.Handlers[string]{
-		Leaf: func(_ int, bag []int) []string {
+// handlers adapts the Figure 6 transitions to the dp framework. States
+// are interned int32 IDs (see interner), so the DP tables hash integers.
+func (c *ctx) handlers() dp.Handlers[int32] {
+	return dp.Handlers[int32]{
+		Leaf: func(_ int, bag []int) []int32 {
 			return c.leafStates(bag)
 		},
-		Introduce: func(_ int, bag []int, elem int, child string) []string {
+		Introduce: func(_ int, bag []int, elem int, child int32) []int32 {
 			return c.introduce(bag, elem, child)
 		},
-		Forget: func(_ int, _ []int, elem int, child string) []string {
+		Forget: func(_ int, _ []int, elem int, child int32) []int32 {
 			return c.forget(elem, child)
 		},
-		Branch: func(_ int, _ []int, s1, s2 string) []string {
+		Branch: func(_ int, _ []int, s1, s2 int32) []int32 {
 			return c.branch(s1, s2)
 		},
 	}
@@ -91,7 +92,7 @@ func (in *Instance) Decide(a int) (bool, error) {
 		return false, err
 	}
 	rootBag := sortedBag(nice.Nodes[nice.Root].Bag)
-	for key := range tables[nice.Root] {
+	for _, key := range tables[nice.Root].Order {
 		if c.accepting(rootBag, key, aElem) {
 			return true, nil
 		}
@@ -145,7 +146,7 @@ func (in *Instance) Enumerate() (*bitset.Set, error) {
 			return nil, fmt.Errorf("primality: attribute %s missing from every leaf bag", c.s.AttrName(a))
 		}
 		bag := sortedBag(nice.Nodes[leaf].Bag)
-		for key := range down[leaf] {
+		for _, key := range down[leaf].Order {
 			if c.accepting(bag, key, c.attElem[a]) {
 				primes.Add(a)
 				break
@@ -219,22 +220,24 @@ func (in *Instance) GroundDecide(a int) (bool, error) {
 // state) pairs over all enumerable states, clauses are rule instances.
 func (c *ctx) ground(nice *tree.Decomposition, aElem int) (*horn.Program, int, error) {
 	prog := &horn.Program{}
-	varID := map[string]int{}
-	id := func(node int, key string) int {
-		k := fmt.Sprintf("%d/%s", node, key)
+	varID := map[uint64]int{}
+	nextVar := 0
+	id := func(node int, st int32) int {
+		k := uint64(node)<<32 | uint64(uint32(st))
 		if v, ok := varID[k]; ok {
 			return v
 		}
-		v := len(varID)
+		v := nextVar
+		nextVar++
 		varID[k] = v
 		return v
 	}
 	// allStates enumerates every syntactically possible state at a bag:
 	// exactly the leaf enumeration without the FY/ΔC determinism (FY and
 	// ΔC range over all subsets consistent with their invariants).
-	allStates := func(bag []int) []string {
+	allStates := func(bag []int) []int32 {
 		attrs, fds := c.splitBag(bag)
-		var out []string
+		var out []int32
 		subsets(attrs, func(y, rest []int) {
 			permute(rest, func(co []int) {
 				coCopy := append([]int(nil), co...)
@@ -261,7 +264,7 @@ func (c *ctx) ground(nice *tree.Decomposition, aElem int) (*horn.Program, int, e
 								return
 							}
 							st := state{y: append([]int(nil), y...), co: coCopy, fy: fyCopy, dc: dcCopy, fc: append([]int(nil), fc...)}
-							out = append(out, st.encode())
+							out = append(out, c.pool.intern(st))
 						})
 					})
 				})
@@ -282,14 +285,14 @@ func (c *ctx) ground(nice *tree.Decomposition, aElem int) (*horn.Program, int, e
 		case tree.KindIntroduce, tree.KindForget, tree.KindCopy:
 			child := n.Children[0]
 			for _, cs := range allStates(sortedBag(nice.Nodes[child].Bag)) {
-				var results []string
+				var results []int32
 				switch n.Kind {
 				case tree.KindIntroduce:
 					results = h.Introduce(v, bag, n.Elem, cs)
 				case tree.KindForget:
 					results = h.Forget(v, bag, n.Elem, cs)
 				default:
-					results = []string{cs}
+					results = []int32{cs}
 				}
 				for _, s := range results {
 					prog.AddClause(id(v, s), id(child, cs))
@@ -312,14 +315,14 @@ func (c *ctx) ground(nice *tree.Decomposition, aElem int) (*horn.Program, int, e
 	for _, s := range allStates(rootBag) {
 		if c.accepting(rootBag, s, aElem) {
 			if successVar < 0 {
-				successVar = len(varID)
-				varID["success"] = successVar
+				successVar = nextVar
+				nextVar++
 			}
 			prog.AddClause(successVar, id(nice.Root, s))
 		}
 	}
-	if prog.NumVars < len(varID) {
-		prog.NumVars = len(varID)
+	if prog.NumVars < nextVar {
+		prog.NumVars = nextVar
 	}
 	return prog, successVar, nil
 }

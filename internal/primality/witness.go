@@ -39,9 +39,9 @@ func (in *Instance) KeyWitness(a int) ([]int, bool, error) {
 		return nil, false, err
 	}
 	rootBag := sortedBag(nice.Nodes[nice.Root].Bag)
-	var accepting string
+	var accepting int32
 	found := false
-	for key := range tables[nice.Root] {
+	for _, key := range tables[nice.Root].Order {
 		if c.accepting(rootBag, key, aElem) {
 			accepting = key
 			found = true
@@ -56,13 +56,13 @@ func (in *Instance) KeyWitness(a int) ([]int, bool, error) {
 	// the states along the derivation (an element's role is constant
 	// across its occurrence subtree, so any state containing it decides).
 	inY := bitset.New(c.st.Size())
-	var walk func(v int, key string)
-	walk = func(v int, key string) {
-		st := decode(key)
+	var walk func(v int, key int32)
+	walk = func(v int, key int32) {
+		st := c.pool.get(key)
 		for _, e := range st.y {
 			inY.Add(e)
 		}
-		prov := tables[v][key]
+		prov := tables[v].Prov[key]
 		n := nice.Nodes[v]
 		if prov.First != nil && len(n.Children) >= 1 {
 			walk(n.Children[0], *prov.First)

@@ -102,7 +102,7 @@ func KColorable(g *graph.Graph, k int) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return len(tables[nice.Root]) > 0, nil
+	return tables[nice.Root].Len() > 0, nil
 }
 
 // CountColorings returns the number of proper k-colorings of g, by the

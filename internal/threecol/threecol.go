@@ -181,7 +181,7 @@ func (in *Instance) Decide() (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return len(tables[in.nice.Root]) > 0, nil
+	return tables[in.nice.Root].Len() > 0, nil
 }
 
 // Coloring returns a proper 3-coloring (vertex → 0/1/2) if one exists, by
@@ -193,7 +193,7 @@ func (in *Instance) Coloring() ([]int, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	if len(tables[in.nice.Root]) == 0 {
+	if tables[in.nice.Root].Len() == 0 {
 		return nil, false, nil
 	}
 	colors := make([]int, in.g.N())
@@ -206,7 +206,7 @@ func (in *Instance) Coloring() ([]int, bool, error) {
 		for p, e := range bag {
 			colors[e] = colorOf(s, p)
 		}
-		prov := tables[v][s]
+		prov := tables[v].Prov[s]
 		n := in.nice.Nodes[v]
 		if prov.First != nil && len(n.Children) >= 1 {
 			assign(n.Children[0], *prov.First)
@@ -215,10 +215,7 @@ func (in *Instance) Coloring() ([]int, bool, error) {
 			assign(n.Children[1], *prov.Second)
 		}
 	}
-	for s := range tables[in.nice.Root] {
-		assign(in.nice.Root, s)
-		break
-	}
+	assign(in.nice.Root, tables[in.nice.Root].Order[0])
 	// Isolated vertices may be uncolored only if they appear in no bag;
 	// a valid decomposition covers every vertex, so color any stragglers
 	// defensively.

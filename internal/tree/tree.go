@@ -204,37 +204,35 @@ func (d *Decomposition) checkTree() error {
 	return nil
 }
 
+// bagSets materializes every bag as a bit set once, shared by the
+// validation passes (the seed rebuilt a bit set per tuple/edge probe).
+func (d *Decomposition) bagSets() []*bitset.Set {
+	bags := make([]*bitset.Set, len(d.Nodes))
+	for i := range d.Nodes {
+		bags[i] = bitset.FromSlice(d.Nodes[i].Bag)
+	}
+	return bags
+}
+
 // checkConnectedness verifies condition (3) of the tree decomposition
 // definition: for every element, the nodes whose bags contain it induce a
-// connected subtree.
-func (d *Decomposition) checkConnectedness() error {
-	// For each element, count occurrences and walk the subtree from its
-	// topmost occurrence through bags that contain it.
-	occ := map[int]int{}
-	topmost := map[int]int{}
-	for _, v := range d.PreOrder() {
+// connected subtree. An element's occurrence nodes form a forest whose
+// roots are exactly the occurrences whose parent bag lacks the element;
+// the subtree is connected iff there is exactly one such root, so one
+// linear sweep over all bags suffices.
+func (d *Decomposition) checkConnectedness(bags []*bitset.Set) error {
+	tops := map[int]int{}
+	for v := range d.Nodes {
+		pa := d.Nodes[v].Parent
 		for _, e := range d.Nodes[v].Bag {
-			occ[e]++
-			if _, ok := topmost[e]; !ok {
-				topmost[e] = v
+			if pa < 0 || !bags[pa].Has(e) {
+				tops[e]++
 			}
 		}
 	}
-	for e, top := range topmost {
-		count := 0
-		var rec func(int)
-		rec = func(v int) {
-			if !containsElem(d.Nodes[v].Bag, e) {
-				return
-			}
-			count++
-			for _, c := range d.Nodes[v].Children {
-				rec(c)
-			}
-		}
-		rec(top)
-		if count != occ[e] {
-			return fmt.Errorf("tree: element %d violates connectedness (%d of %d occurrences connected)", e, count, occ[e])
+	for e, t := range tops {
+		if t != 1 {
+			return fmt.Errorf("tree: element %d violates connectedness (%d disjoint occurrence subtrees)", e, t)
 		}
 	}
 	return nil
@@ -268,14 +266,26 @@ func (d *Decomposition) Validate(st *structure.Structure) error {
 	if covered.Len() != st.Size() {
 		return fmt.Errorf("tree: %d of %d elements not covered by any bag", st.Size()-covered.Len(), st.Size())
 	}
+	bags := d.bagSets()
+	// Element → nodes whose bag contains it: a tuple is covered iff some
+	// node holding its first element holds all of it, so each tuple probes
+	// only that element's occurrence list instead of every node.
+	nodesOf := make([][]int32, st.Size())
+	for v := range d.Nodes {
+		for _, e := range d.Nodes[v].Bag {
+			nodesOf[e] = append(nodesOf[e], int32(v))
+		}
+	}
 	for _, p := range st.Sig().Predicates() {
 	tuples:
 		for _, tuple := range st.Tuples(p.Name) {
-			for _, n := range d.Nodes {
-				bag := bitset.FromSlice(n.Bag)
+			if len(tuple) == 0 {
+				continue
+			}
+			for _, v := range nodesOf[tuple[0]] {
 				all := true
-				for _, e := range tuple {
-					if !bag.Has(e) {
+				for _, e := range tuple[1:] {
+					if !bags[v].Has(e) {
 						all = false
 						break
 					}
@@ -287,7 +297,7 @@ func (d *Decomposition) Validate(st *structure.Structure) error {
 			return fmt.Errorf("tree: tuple %s(%v) not covered by any bag", p.Name, st.Names(tuple))
 		}
 	}
-	return d.checkConnectedness()
+	return d.checkConnectedness(bags)
 }
 
 // ValidateGraph checks that d is a tree decomposition of the graph g.
@@ -307,17 +317,34 @@ func (d *Decomposition) ValidateGraph(g *graph.Graph) error {
 	if covered.Len() != g.N() {
 		return fmt.Errorf("tree: %d vertices not covered", g.N()-covered.Len())
 	}
-edges:
-	for _, e := range g.Edges() {
-		for _, n := range d.Nodes {
-			bag := bitset.FromSlice(n.Bag)
-			if bag.Has(e[0]) && bag.Has(e[1]) {
-				continue edges
+	// Mark every vertex pair co-resident in some bag (Σ|bag|² work), then
+	// check each edge with one bit probe instead of scanning all nodes.
+	cov := make([]*bitset.Set, g.N())
+	for i := range d.Nodes {
+		bag := d.Nodes[i].Bag
+		for a, x := range bag {
+			for _, y := range bag[a+1:] {
+				lo, hi := x, y
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if cov[lo] == nil {
+					cov[lo] = &bitset.Set{}
+				}
+				cov[lo].Add(hi)
 			}
 		}
-		return fmt.Errorf("tree: edge {%d,%d} not covered", e[0], e[1])
 	}
-	return d.checkConnectedness()
+	for _, e := range g.Edges() {
+		lo, hi := e[0], e[1]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo != hi && (cov[lo] == nil || !cov[lo].Has(hi)) {
+			return fmt.Errorf("tree: edge {%d,%d} not covered", e[0], e[1])
+		}
+	}
+	return d.checkConnectedness(d.bagSets())
 }
 
 // Clone returns a deep copy of the decomposition.

@@ -25,6 +25,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/decompose"
 	"repro/internal/domset"
+	"repro/internal/dp"
 	"repro/internal/graph"
 	"repro/internal/mso"
 	"repro/internal/normalform"
@@ -141,6 +142,15 @@ func TDFuncDeps(w int) []FuncDep { return datalog.TDFuncDeps(w) }
 
 // DBFromStructure loads a structure as a datalog EDB.
 func DBFromStructure(st *Structure) *DB { return datalog.FromStructure(st, "") }
+
+// SetDatalogMaxWorkers caps the engine's parallel stratum rounds and
+// returns the previous cap (1 = serial; the default is GOMAXPROCS).
+func SetDatalogMaxWorkers(n int) int { return datalog.SetMaxWorkers(n) }
+
+// SetDPMaxWorkers caps the decomposition DP runners' worker pool and
+// returns the previous cap (1 = serial; the default is GOMAXPROCS).
+// Results are identical at every setting.
+func SetDPMaxWorkers(n int) int { return dp.SetMaxWorkers(n) }
 
 // MSO and the generic compiler.
 
