@@ -4,7 +4,10 @@ package monadic
 // testdata/. Each tool is compiled once per test run via `go run`.
 
 import (
+	"encoding/json"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -90,5 +93,63 @@ func TestCLIBenchtable(t *testing.T) {
 	out := runTool(t, "./cmd/benchtable", "-fds", "1", "-reps", "1", "-skipmona")
 	if !strings.Contains(out, "#Att") || !strings.Contains(out, "3    3      1") {
 		t.Fatalf("output: %q", out)
+	}
+}
+
+func TestCLIBenchtableSessionJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := t.TempDir()
+	out := runTool(t, "./cmd/benchtable", "-session", "30", "-json", "-jsondir", dir)
+	if !strings.Contains(out, "session reuse") || !strings.Contains(out, "1 decomposition(s)") {
+		t.Fatalf("output: %q", out)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_session.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Name    string `json:"name"`
+		Results struct {
+			Queries        int     `json:"queries"`
+			Speedup        float64 `json:"speedup"`
+			Decompositions int     `json:"decompositions"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("BENCH_session.json is not valid JSON: %v\n%s", err, raw)
+	}
+	if rep.Name != "session" || rep.Results.Queries != 10 || rep.Results.Decompositions != 1 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if rep.Results.Speedup <= 0 {
+		t.Fatalf("speedup missing: %+v", rep)
+	}
+}
+
+func TestCLITreewidthTraceAndTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	// -trace prints per-stage timings to stderr; stdout stays the same.
+	cmd := exec.Command("go", "run", "./cmd/treewidth",
+		"-graph", "testdata/cycle5.graph", "-trace")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("treewidth -trace: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(string(out), "width: 2") {
+		t.Fatalf("stdout: %q", out)
+	}
+	if !strings.Contains(stderr.String(), "decompose") {
+		t.Fatalf("trace missing from stderr: %q", stderr.String())
+	}
+	// A generous -timeout must not change behavior.
+	out2 := runTool(t, "./cmd/treewidth", "-graph", "testdata/cycle5.graph", "-timeout", "1m")
+	if !strings.Contains(out2, "width: 2") {
+		t.Fatalf("output with -timeout: %q", out2)
 	}
 }

@@ -6,16 +6,23 @@
 //	benchtable [-fds 1,2,3,...] [-seed n] [-budget steps] [-skipmona] [-reps n]
 //	benchtable -tc n
 //	benchtable -pipeline n
+//	benchtable -session n
 //
 // Each MD measurement is the median of -reps runs. The -tc mode instead
 // times transitive closure over an n-vertex path through the generic
 // engine — the quick engine health check behind BenchmarkTCPath1000. The
 // -pipeline mode times the end-to-end FPT pipeline (graph → min-fill →
 // nice form → 3-colorability DP) on an n-vertex workload, the health row
-// behind BenchmarkPipeline.
+// behind BenchmarkPipeline. The -session mode measures the session
+// architecture's artifact reuse: ten MSO queries over one n-element
+// structure, cold (full pipeline each) versus warm (one session).
+//
+// With -json, the active mode also writes a machine-readable
+// BENCH_<mode>.json report into -jsondir. -timeout bounds the whole run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,12 +43,36 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per MD measurement (median reported)")
 	tc := flag.Int("tc", 0, "instead time transitive closure over an n-vertex path")
 	pipeline := flag.Int("pipeline", 0, "instead time the end-to-end FPT pipeline on an n-vertex graph")
+	sessionN := flag.Int("session", 0, "instead measure session artifact reuse on an n-element structure")
+	jsonOut := flag.Bool("json", false, "also write a BENCH_<mode>.json report")
+	jsonDir := flag.String("jsondir", ".", "directory for -json reports")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *sessionN > 0 {
+		res, err := bench.SessionReuse(ctx, *sessionN, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("session reuse (n=%d, %d queries): cold %v, warm %v, speedup %.2fx\n",
+			res.Elems, res.Queries, res.Cold, res.Warm, res.Speedup)
+		fmt.Printf("warm session: %d decomposition(s), %d compile(s), %d cache hit(s)\n",
+			res.Decompositions, res.Compiles, res.CompileCacheHits)
+		writeJSON(*jsonOut, *jsonDir, "session", res)
+		return
+	}
 
 	if *pipeline > 0 {
 		durs := make([]time.Duration, 0, *reps)
+		var res bench.PipelineResult
 		for r := 0; r < *reps; r++ {
-			var res bench.PipelineResult
 			dur, err := bench.Measure(func() error {
 				var err error
 				res, err = bench.Pipeline(*pipeline, *seed)
@@ -55,13 +86,17 @@ func main() {
 		}
 		sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
 		fmt.Printf("median: %v\n", durs[len(durs)/2])
+		writeJSON(*jsonOut, *jsonDir, "pipeline", map[string]any{
+			"n": *pipeline, "width": res.Width, "colorable": res.Colorable,
+			"median_ns": durs[len(durs)/2], "runs_ns": durs,
+		})
 		return
 	}
 
 	if *tc > 0 {
 		durs := make([]time.Duration, 0, *reps)
+		var facts int
 		for r := 0; r < *reps; r++ {
-			var facts int
 			dur, err := bench.Measure(func() error {
 				var err error
 				facts, err = bench.TCPath(*tc)
@@ -75,6 +110,9 @@ func main() {
 		}
 		sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
 		fmt.Printf("median: %v\n", durs[len(durs)/2])
+		writeJSON(*jsonOut, *jsonDir, "tc", map[string]any{
+			"n": *tc, "facts": facts, "median_ns": durs[len(durs)/2], "runs_ns": durs,
+		})
 		return
 	}
 
@@ -95,6 +133,9 @@ func main() {
 	// keep per-row medians (rows are deterministic given the seed).
 	var runs [][]bench.Table1Row
 	for r := 0; r < *reps; r++ {
+		if err := ctx.Err(); err != nil {
+			fail(fmt.Errorf("benchtable: %w", err))
+		}
 		rows, err := bench.Table1(opts)
 		if err != nil {
 			fail(err)
@@ -112,6 +153,18 @@ func main() {
 		final[i].MD = durs[len(durs)/2]
 	}
 	fmt.Print(bench.FormatTable1(final))
+	writeJSON(*jsonOut, *jsonDir, "table1", final)
+}
+
+func writeJSON(enabled bool, dir, mode string, payload any) {
+	if !enabled {
+		return
+	}
+	path, err := bench.WriteJSON(dir, mode, payload)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 func fail(err error) {

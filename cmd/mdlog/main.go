@@ -1,6 +1,6 @@
 // Command mdlog evaluates a datalog program over an extensional database.
 //
-//	mdlog -program prog.dl -edb facts.dl [-mode seminaive|guarded] [-width w] [-query pred]
+//	mdlog -program prog.dl -edb facts.dl [-mode seminaive|guarded] [-width w] [-query pred] [-timeout d]
 //
 // The EDB file contains ground facts in datalog syntax ("edge(a,b)." per
 // line). In guarded mode the program must be quasi-guarded over the τ_td
@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +26,15 @@ func main() {
 	mode := flag.String("mode", "seminaive", "evaluation mode: seminaive or guarded")
 	width := flag.Int("width", 1, "treewidth for the τ_td functional dependencies (guarded mode)")
 	query := flag.String("query", "", "only print facts of this predicate (default: all intensional)")
+	timeout := flag.Duration("timeout", 0, "abort the evaluation after this duration (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *progPath == "" || *edbPath == "" {
 		fmt.Fprintln(os.Stderr, "mdlog: -program and -edb are required")
@@ -44,9 +53,9 @@ func main() {
 	var out *datalog.DB
 	switch *mode {
 	case "seminaive":
-		out, err = datalog.Eval(prog, edb)
+		out, err = datalog.EvalCtx(ctx, prog, edb)
 	case "guarded":
-		out, err = datalog.EvalQuasiGuarded(prog, edb, datalog.TDFuncDeps(*width))
+		out, err = datalog.EvalQuasiGuardedCtx(ctx, prog, edb, datalog.TDFuncDeps(*width))
 	default:
 		err = fmt.Errorf("mdlog: unknown mode %q", *mode)
 	}

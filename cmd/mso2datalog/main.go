@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +31,15 @@ func main() {
 	decision := flag.Bool("decision", false, "compile the 0-ary decision variant (formula must be a sentence)")
 	maxTypes := flag.Int("maxtypes", 2000, "abort after this many types")
 	maxWitness := flag.Int("maxwitness", 12, "witness-domain size limit")
+	timeout := flag.Duration("timeout", 0, "abort the compilation after this duration (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *sigSpec == "" || *formulaSrc == "" {
 		fmt.Fprintln(os.Stderr, "mso2datalog: -sig and -formula are required")
@@ -45,7 +54,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	compiled, err := core.Compile(sig, f, *freeVar, core.Options{
+	compiled, err := core.CompileCtx(ctx, sig, f, *freeVar, core.Options{
 		Width:            *width,
 		Decision:         *decision,
 		MaxTypes:         *maxTypes,

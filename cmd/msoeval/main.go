@@ -1,14 +1,16 @@
 // Command msoeval evaluates an MSO formula over a finite structure with
 // the naive (exponential) model checker — the baseline of Section 6.
 //
-//	msoeval -structure st.txt -formula 'exists x e(x,x)' [-query x] [-budget n]
+//	msoeval -structure st.txt -formula 'exists x e(x,x)' [-query x] [-budget n] [-timeout d]
 //
 // With -query, the formula is treated as a unary query over the named
 // free variable and the satisfying elements are printed; otherwise it
-// must be a sentence.
+// must be a sentence. -timeout aborts the evaluation after the given
+// duration with a stage-tagged deadline error.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,7 +27,15 @@ func main() {
 	formulaSrc := flag.String("formula", "", "MSO formula text (or @file)")
 	query := flag.String("query", "", "treat as unary query over this free variable")
 	budget := flag.Int64("budget", 0, "step budget (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *stPath == "" || *formulaSrc == "" {
 		fmt.Fprintln(os.Stderr, "msoeval: -structure and -formula are required")
@@ -59,11 +69,11 @@ func main() {
 	}
 	start := time.Now()
 	if *query == "" {
-		ok, err := mso.Sentence(st, f, b)
+		ok, err := mso.SentenceCtx(ctx, st, f, b)
 		reportBudget(err)
 		fmt.Printf("holds: %v\n", ok)
 	} else {
-		sel, err := mso.Query(st, f, *query, b)
+		sel, err := mso.QueryCtx(ctx, st, f, *query, b)
 		reportBudget(err)
 		fmt.Print("selected:")
 		sel.ForEach(func(e int) bool {

@@ -8,9 +8,12 @@
 //	primality -schema s.txt -checkbcnf       Boyce–Codd-normal-form check
 //
 // Schema files use "a b -> c" lines. Timing is printed to stderr.
+// -timeout aborts the decomposition or DP after the given duration with
+// a stage-tagged deadline error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +22,7 @@ import (
 	"repro/internal/normalform"
 	"repro/internal/primality"
 	"repro/internal/schema"
+	"repro/internal/session"
 )
 
 func main() {
@@ -29,7 +33,15 @@ func main() {
 	brute := flag.Bool("brute", false, "with -all: use the exponential oracle")
 	check3nf := flag.Bool("check3nf", false, "check third normal form")
 	checkBCNF := flag.Bool("checkbcnf", false, "check Boyce–Codd normal form")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	modes := 0
 	for _, m := range []bool{*attr != "", *all, *check3nf, *checkBCNF} {
@@ -62,7 +74,7 @@ func main() {
 	case *checkBCNF:
 		printReport("BCNF", normalform.CheckBCNF(s))
 	case *attr != "":
-		in, err := primality.NewInstance(s)
+		in, err := primality.NewInstanceCtx(ctx, s)
 		if err != nil {
 			fail(err)
 		}
@@ -86,19 +98,21 @@ func main() {
 		primes := s.PrimesBruteForce()
 		printPrimes(s, primes.Elems())
 	default:
-		in, err := primality.NewInstance(s)
-		if err != nil {
-			fail(err)
-		}
 		var elems []int
 		if *naive {
+			in, err := primality.NewInstanceCtx(ctx, s)
+			if err != nil {
+				fail(err)
+			}
 			set, err := in.EnumerateNaive()
 			if err != nil {
 				fail(err)
 			}
 			elems = set.Elems()
 		} else {
-			set, err := in.Enumerate()
+			// The schema session caches the decomposed instance and
+			// memoizes the enumeration.
+			set, err := session.NewSchemaSession(s).Primes(ctx)
 			if err != nil {
 				fail(err)
 			}

@@ -1,12 +1,14 @@
 // Command threecol decides 3-colorability of a graph (Section 5.1,
 // Figure 5) and optionally prints a witness coloring.
 //
-//	threecol -graph g.txt [-witness] [-brute]
+//	threecol -graph g.txt [-witness] [-brute] [-timeout d]
 //
 // Graph files are fact lists over a binary predicate e ("e(a,b).").
+// -timeout aborts the decomposition or DP after the given duration.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +23,15 @@ func main() {
 	graphPath := flag.String("graph", "", "path to the graph fact file (e/2)")
 	witness := flag.Bool("witness", false, "print a 3-coloring if one exists")
 	brute := flag.Bool("brute", false, "use the exponential baseline instead of the DP")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "threecol: -graph is required")
@@ -45,12 +55,12 @@ func main() {
 	if *brute {
 		fmt.Printf("3-colorable: %v\n", threecol.BruteForce(g))
 	} else {
-		in, err := threecol.NewInstance(g)
+		in, err := threecol.NewInstanceCtx(ctx, g)
 		if err != nil {
 			fail(err)
 		}
 		if *witness {
-			colors, ok, err := in.Coloring()
+			colors, ok, err := in.ColoringCtx(ctx)
 			if err != nil {
 				fail(err)
 			}
@@ -62,7 +72,7 @@ func main() {
 				}
 			}
 		} else {
-			ok, err := in.Decide()
+			ok, err := in.DecideCtx(ctx)
 			if err != nil {
 				fail(err)
 			}

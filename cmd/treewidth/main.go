@@ -6,9 +6,14 @@
 // Graph files are fact lists over a binary predicate e ("e(a,b)."); schema
 // files use the "a b -> c" line format. The decomposition is printed as an
 // indented tree with node kinds after normalization.
+//
+// The default min-fill path runs through the session pipeline: -trace
+// prints per-stage wall time, and -timeout aborts long decompositions
+// with a stage-tagged deadline error.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +21,7 @@ import (
 	"repro/internal/decompose"
 	"repro/internal/graph"
 	"repro/internal/schema"
+	"repro/internal/session"
 	"repro/internal/structure"
 	"repro/internal/tree"
 )
@@ -26,7 +32,16 @@ func main() {
 	heuristic := flag.String("heuristic", "minfill", "elimination heuristic: minfill or mindegree")
 	exact := flag.Bool("exact", false, "use exact search (small inputs only)")
 	form := flag.String("form", "raw", "output form: raw, nice, or tuple")
+	trace := flag.Bool("trace", false, "print per-stage timings to stderr")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	st, err := loadStructure(*graphPath, *schemaPath)
 	if err != nil {
@@ -34,17 +49,40 @@ func main() {
 	}
 
 	var d *tree.Decomposition
-	if *exact {
+	switch {
+	case *exact:
 		g := graph.Primal(st)
 		d, err = decompose.Exact(g)
-	} else {
-		h := decompose.MinFill
-		if *heuristic == "mindegree" {
-			h = decompose.MinDegree
-		} else if *heuristic != "minfill" {
-			fail(fmt.Errorf("treewidth: unknown heuristic %q", *heuristic))
+		if err == nil && *form != "raw" {
+			d, err = normalize(ctx, d, *form)
 		}
-		d, err = decompose.Structure(st, h)
+	case *heuristic == "minfill":
+		// The session pipeline caches and traces the min-fill artifacts.
+		sess := session.New(st)
+		stages, werr := sess.Warm(ctx)
+		if *trace && stages != nil {
+			fmt.Fprint(os.Stderr, stages)
+		}
+		if werr != nil {
+			fail(werr)
+		}
+		switch *form {
+		case "raw":
+			d, err = sess.Decomposition(ctx)
+		case "nice":
+			d, err = sess.NiceForm(ctx)
+		case "tuple":
+			d, _, err = sess.TupleForm(ctx)
+		default:
+			err = fmt.Errorf("treewidth: unknown form %q", *form)
+		}
+	case *heuristic == "mindegree":
+		d, err = decompose.StructureCtx(ctx, st, decompose.MinDegree)
+		if err == nil && *form != "raw" {
+			d, err = normalize(ctx, d, *form)
+		}
+	default:
+		err = fmt.Errorf("treewidth: unknown heuristic %q", *heuristic)
 	}
 	if err != nil {
 		fail(err)
@@ -53,20 +91,19 @@ func main() {
 		fail(fmt.Errorf("treewidth: internal error, invalid decomposition: %w", err))
 	}
 
-	switch *form {
-	case "raw":
-	case "nice":
-		d, err = tree.NormalizeNice(d, tree.NiceOptions{})
-	case "tuple":
-		d, err = tree.NormalizeTuple(d)
-	default:
-		err = fmt.Errorf("treewidth: unknown form %q", *form)
-	}
-	if err != nil {
-		fail(err)
-	}
 	fmt.Printf("width: %d\nnodes: %d\n", d.Width(), d.Len())
 	fmt.Print(d.Format(st.Name))
+}
+
+func normalize(ctx context.Context, d *tree.Decomposition, form string) (*tree.Decomposition, error) {
+	switch form {
+	case "nice":
+		return tree.NormalizeNiceCtx(ctx, d, tree.NiceOptions{})
+	case "tuple":
+		return tree.NormalizeTupleCtx(ctx, d)
+	default:
+		return nil, fmt.Errorf("treewidth: unknown form %q", form)
+	}
 }
 
 func loadStructure(graphPath, schemaPath string) (*structure.Structure, error) {

@@ -20,20 +20,28 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/datalog"
 	"repro/internal/mso"
 	"repro/internal/msotype"
+	"repro/internal/stage"
 	"repro/internal/structure"
 )
 
 // Options configures Compile.
 type Options struct {
 	// Width is the treewidth w the program is compiled for; bags have
-	// w+1 entries.
+	// w+1 entries. Run overwrites it with the decomposition's
+	// normalized width.
 	Width int
+	// RequestedWidth, when non-nil, makes Run fail unless the
+	// decomposition's normalized width equals *RequestedWidth. A nil
+	// pointer means "no assertion" — unlike a zero Width, which is a
+	// legitimate width (trees of atoms). See Options.RequestWidth.
+	RequestedWidth *int
 	// QuantifierDepth is the rank k of the type construction. It must be
 	// at least the quantifier depth of the target formula; if 0, the
 	// formula's own depth is used.
@@ -99,6 +107,7 @@ type typeRec struct {
 }
 
 type compiler struct {
+	ctx   context.Context
 	sig   *structure.Signature
 	phi   *mso.Formula
 	xVar  string
@@ -117,6 +126,16 @@ type compiler struct {
 // (ignored in Decision mode) over the signature sig into an equivalent
 // quasi-guarded monadic datalog program over τ_td for the given width.
 func Compile(sig *structure.Signature, phi *mso.Formula, xVar string, opts Options) (*Compiled, error) {
+	return CompileCtx(context.Background(), sig, phi, xVar, opts)
+}
+
+// CompileCtx is Compile with cancellation support: the saturation
+// worklist, the EDB-subset enumerations and the witness MSO evaluations
+// all poll ctx, so compilation of an over-large (k, w) combination can
+// be abandoned promptly. A context error is returned wrapped in a
+// *stage.Error tagged stage.Compile (or stage.MSOEval when the witness
+// oracle observed it first).
+func CompileCtx(ctx context.Context, sig *structure.Signature, phi *mso.Formula, xVar string, opts Options) (*Compiled, error) {
 	opts = opts.withDefaults(phi)
 	if k := phi.QuantifierDepth(); opts.QuantifierDepth < k {
 		return nil, fmt.Errorf("core: quantifier depth %d below formula depth %d", opts.QuantifierDepth, k)
@@ -135,6 +154,7 @@ func Compile(sig *structure.Signature, phi *mso.Formula, xVar string, opts Optio
 	mc := msotype.NewComputer()
 	mc.MaxDomain = opts.MaxWitnessDomain
 	c := &compiler{
+		ctx:     ctx,
 		sig:     sig,
 		phi:     phi,
 		xVar:    xVar,
@@ -306,6 +326,11 @@ func (c *compiler) baseWitnesses() ([]witness, error) {
 	}
 	var out []witness
 	for mask := 0; mask < 1<<uint(len(atoms)); mask++ {
+		if mask&255 == 0 {
+			if err := c.ctx.Err(); err != nil {
+				return nil, stage.Wrap(stage.Compile, err)
+			}
+		}
 		st := structure.New(c.sig)
 		bag := make([]int, w+1)
 		for i := range bag {
@@ -354,6 +379,11 @@ func (c *compiler) replacementExtensions(wit witness) ([]witness, error) {
 	}
 	var out []witness
 	for mask := 0; mask < 1<<uint(len(newAtoms)); mask++ {
+		if mask&255 == 0 {
+			if err := c.ctx.Err(); err != nil {
+				return nil, stage.Wrap(stage.Compile, err)
+			}
+		}
 		st := wit.st.Clone()
 		fresh := st.AddElem(c.freshElemName())
 		bag := append([]int{fresh}, wit.bag[1:]...)

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/datalog"
 	"repro/internal/decompose"
 	"repro/internal/mso"
+	"repro/internal/stage"
 	"repro/internal/structure"
 	"repro/internal/tree"
 )
@@ -25,6 +28,18 @@ type Result struct {
 	Width int
 	// TDNodes is the size of the normalized decomposition.
 	TDNodes int
+	// Trace records per-stage wall time and output sizes (and, on the
+	// session path, which artifacts were served from cache).
+	Trace *stage.Trace
+}
+
+// RequestWidth returns opts with the width assertion set: Run fails if
+// the decomposition's normalized width differs from w. Zero is a
+// legitimate width (trees of atoms), which is why the assertion lives
+// in RequestedWidth rather than overloading Options.Width.
+func (o Options) RequestWidth(w int) Options {
+	o.RequestedWidth = &w
+	return o
 }
 
 // Run evaluates the MSO query phi (free element variable xVar, or a
@@ -34,42 +49,77 @@ type Result struct {
 // compile φ to a quasi-guarded monadic datalog program (Theorem 4.5), and
 // evaluate it in time O(|P|·|A_td|) (Theorem 4.4).
 func Run(st *structure.Structure, phi *mso.Formula, xVar string, opts Options) (*Result, error) {
-	d, err := decompose.Structure(st, decompose.MinFill)
+	return RunCtx(context.Background(), st, phi, xVar, opts)
+}
+
+// RunCtx is Run with cancellation support: every stage polls ctx and a
+// context error comes back wrapped in a *stage.Error naming the stage
+// that observed it. The Result carries a stage.Trace of the run.
+func RunCtx(ctx context.Context, st *structure.Structure, phi *mso.Formula, xVar string, opts Options) (*Result, error) {
+	trace := &stage.Trace{}
+	start := time.Now()
+	d, err := decompose.StructureCtx(ctx, st, decompose.MinFill)
 	if err != nil {
-		return nil, err
+		return nil, stage.Wrap(stage.Decompose, err)
 	}
-	return RunWithDecomposition(st, d, phi, xVar, opts)
+	trace.Record(stage.Decompose, time.Since(start), d.Len(), false)
+	return runWithDecomposition(ctx, st, d, phi, xVar, opts, trace)
 }
 
 // RunWithDecomposition is Run with a caller-provided (raw, valid) tree
 // decomposition.
 func RunWithDecomposition(st *structure.Structure, d *tree.Decomposition, phi *mso.Formula, xVar string, opts Options) (*Result, error) {
+	return RunWithDecompositionCtx(context.Background(), st, d, phi, xVar, opts)
+}
+
+// RunWithDecompositionCtx is RunWithDecomposition with cancellation
+// support; see RunCtx.
+func RunWithDecompositionCtx(ctx context.Context, st *structure.Structure, d *tree.Decomposition, phi *mso.Formula, xVar string, opts Options) (*Result, error) {
+	return runWithDecomposition(ctx, st, d, phi, xVar, opts, &stage.Trace{})
+}
+
+func runWithDecomposition(ctx context.Context, st *structure.Structure, d *tree.Decomposition, phi *mso.Formula, xVar string, opts Options, trace *stage.Trace) (*Result, error) {
 	if err := d.Validate(st); err != nil {
 		return nil, fmt.Errorf("core: invalid decomposition: %w", err)
 	}
-	norm, err := tree.NormalizeTuple(d)
+	start := time.Now()
+	norm, err := tree.NormalizeTupleCtx(ctx, d)
 	if err != nil {
 		return nil, err
 	}
+	trace.Record(stage.NormalizeTuple, time.Since(start), norm.Len(), false)
 	w := norm.Width()
-	if opts.Width != 0 && opts.Width != w {
-		return nil, fmt.Errorf("core: decomposition width %d does not match requested width %d", w, opts.Width)
+	if opts.RequestedWidth != nil && *opts.RequestedWidth != w {
+		return nil, fmt.Errorf("core: decomposition width %d does not match requested width %d", w, *opts.RequestedWidth)
 	}
 	opts.Width = w
-	td, _, err := tree.BuildTD(st, norm, w)
+	start = time.Now()
+	td, _, err := tree.BuildTDCtx(ctx, st, norm, w)
 	if err != nil {
 		return nil, err
 	}
-	compiled, err := Compile(st.Sig(), phi, xVar, opts)
+	trace.Record(stage.BuildTD, time.Since(start), td.Size(), false)
+	start = time.Now()
+	compiled, err := CompileCtx(ctx, st.Sig(), phi, xVar, opts)
 	if err != nil {
-		return nil, err
+		return nil, stage.Wrap(stage.Compile, err)
 	}
+	trace.Record(stage.Compile, time.Since(start), len(compiled.Program.Rules), false)
+	start = time.Now()
 	edb := datalog.FromStructure(td, "")
-	out, err := datalog.EvalQuasiGuarded(compiled.Program, edb, datalog.TDFuncDeps(w))
+	out, err := datalog.EvalQuasiGuardedCtx(ctx, compiled.Program, edb, datalog.TDFuncDeps(w))
 	if err != nil {
-		return nil, err
+		return nil, stage.Wrap(stage.Eval, err)
 	}
-	res := &Result{Compiled: compiled, Width: w, TDNodes: norm.Len()}
+	trace.Record(stage.Eval, time.Since(start), out.NumFacts(), false)
+	return finishResult(st, compiled, opts, out, norm.Len(), w, trace)
+}
+
+// finishResult reads the goal predicate off the evaluated database and
+// assembles the Result; shared by the cold path above and the session
+// cached path.
+func finishResult(st *structure.Structure, compiled *Compiled, opts Options, out *datalog.DB, tdNodes, w int, trace *stage.Trace) (*Result, error) {
+	res := &Result{Compiled: compiled, Width: w, TDNodes: tdNodes, Trace: trace}
 	if opts.Decision {
 		res.Holds = out.Has(compiled.QueryPred)
 		return res, nil
@@ -81,4 +131,10 @@ func RunWithDecomposition(st *structure.Structure, d *tree.Decomposition, phi *m
 		}
 	}
 	return res, nil
+}
+
+// FinishResult is finishResult for the session package, which drives the
+// stages itself to interpose its artifact caches.
+func FinishResult(st *structure.Structure, compiled *Compiled, opts Options, out *datalog.DB, tdNodes, w int, trace *stage.Trace) (*Result, error) {
+	return finishResult(st, compiled, opts, out, tdNodes, w, trace)
 }

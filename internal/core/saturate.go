@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/datalog"
 	"repro/internal/mso"
+	"repro/internal/stage"
 )
 
 // saturate runs the BASE CASE and INDUCTION STEPs of the Θ↑ (up=true) or
@@ -44,6 +45,9 @@ func (c *compiler) saturate(up bool) error {
 		return c.down
 	}
 	for processed := 0; processed < len(list()); processed++ {
+		if err := c.ctx.Err(); err != nil {
+			return stage.Wrap(stage.Compile, err)
+		}
 		rec := list()[processed]
 		if err := c.extendPermutations(up, rec); err != nil {
 			return err
@@ -238,8 +242,11 @@ func (c *compiler) emitDecision() error {
 		budget = &mso.Budget{MaxSteps: c.opts.EvalBudget}
 	}
 	for _, rec := range c.up {
-		ok, err := mso.Sentence(rec.wit.st, c.phi, budget)
+		ok, err := mso.SentenceCtx(c.ctx, rec.wit.st, c.phi, budget)
 		if err != nil {
+			if se := stage.Of(err); se != "" {
+				return err
+			}
 			return fmt.Errorf("core: evaluating φ on witness: %w", err)
 		}
 		if ok {
@@ -265,6 +272,9 @@ func (c *compiler) emitSelection() error {
 		budget = &mso.Budget{MaxSteps: c.opts.EvalBudget}
 	}
 	for _, u := range c.up {
+		if err := c.ctx.Err(); err != nil {
+			return stage.Wrap(stage.Compile, err)
+		}
 		for _, d := range c.down {
 			if !c.bagCompatible(u.wit, d.wit) {
 				continue
@@ -274,9 +284,12 @@ func (c *compiler) emitSelection() error {
 				return err
 			}
 			for i := 0; i <= w; i++ {
-				ok, err := mso.Eval(merged.st, c.phi,
+				ok, err := mso.EvalCtx(c.ctx, merged.st, c.phi,
 					mso.Interp{Elem: map[string]int{c.xVar: merged.bag[i]}}, budget)
 				if err != nil {
+					if se := stage.Of(err); se != "" {
+						return err
+					}
 					return fmt.Errorf("core: evaluating φ on merged witness: %w", err)
 				}
 				if ok {

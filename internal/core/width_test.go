@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/decompose"
+	"repro/internal/mso"
+	"repro/internal/structure"
+)
+
+// TestRunWithDecompositionWidthZero is the regression test for the old
+// `opts.Width != 0` check, which conflated "no width requested" with a
+// legitimate requested width of 0 (structures whose primal graph is
+// edgeless decompose into single-element bags).
+func TestRunWithDecompositionWidthZero(t *testing.T) {
+	st := structure.New(sigColor)
+	for i := 0; i < 4; i++ {
+		id := st.AddElem("v" + itoa(i))
+		if i%2 == 0 {
+			st.MustAddTuple("c", id)
+		}
+	}
+	d, err := decompose.Structure(st, decompose.MinFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := mso.MustParse("c(x)")
+
+	// Asserting the true width of 0 must succeed.
+	res, err := RunWithDecomposition(st, d, phi, "x", Options{}.RequestWidth(0))
+	if err != nil {
+		t.Fatalf("RequestWidth(0): %v", err)
+	}
+	if res.Width != 0 {
+		t.Fatalf("width = %d, want 0", res.Width)
+	}
+	want, err := mso.Query(st, phi, "x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Selected.Equal(want) {
+		t.Fatalf("selected %v, want %v", res.Selected.Elems(), want.Elems())
+	}
+
+	// No assertion at all must succeed (nil pointer = unset).
+	if _, err := RunWithDecomposition(st, d, phi, "x", Options{}); err != nil {
+		t.Fatalf("no width assertion: %v", err)
+	}
+
+	// A wrong assertion must fail with a width mismatch.
+	_, err = RunWithDecomposition(st, d, phi, "x", Options{}.RequestWidth(2))
+	if err == nil {
+		t.Fatal("RequestWidth(2) on a width-0 decomposition succeeded")
+	}
+	if !strings.Contains(err.Error(), "width") {
+		t.Fatalf("error does not mention width: %v", err)
+	}
+}

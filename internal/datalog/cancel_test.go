@@ -1,0 +1,92 @@
+package datalog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/stage"
+)
+
+// TestEvalCtxCancelledBeforeStart pins the entry check: an already
+// cancelled context fails immediately with a stage-tagged
+// context.Canceled.
+func TestEvalCtxCancelledBeforeStart(t *testing.T) {
+	p := MustParse("path(X, Y) :- edge(X, Y).")
+	db := NewDB()
+	db.AddFact("edge", "a", "b")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EvalCtx(ctx, p, db)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var se *stage.Error
+	if !errors.As(err, &se) || se.Stage != stage.Eval {
+		t.Fatalf("err = %v, want stage %q", err, stage.Eval)
+	}
+}
+
+// TestEvalCtxDeadlineMidStratum pins the in-stratum poll: a transitive
+// closure over a long chain (quadratically many derivations in one
+// stratum) is stopped by a short deadline inside the stratum, not just
+// between strata.
+func TestEvalCtxDeadlineMidStratum(t *testing.T) {
+	p := MustParse(`
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`)
+	db := NewDB()
+	for i := 0; i < 3000; i++ {
+		db.AddFact("edge", fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := EvalCtx(ctx, p, db)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	var se *stage.Error
+	if !errors.As(err, &se) || se.Stage != stage.Eval {
+		t.Fatalf("err = %v, want stage %q", err, stage.Eval)
+	}
+}
+
+// TestEvalQuasiGuardedCtxCancelled pins cancellation of the grounding
+// phase of the quasi-guarded evaluator.
+func TestEvalQuasiGuardedCtxCancelled(t *testing.T) {
+	p := MustParse("path(X, Y) :- edge(X, Y).")
+	db := NewDB()
+	db.AddFact("edge", "a", "b")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EvalQuasiGuardedCtx(ctx, p, db, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var se *stage.Error
+	if !errors.As(err, &se) || se.Stage != stage.Eval {
+		t.Fatalf("err = %v, want stage %q", err, stage.Eval)
+	}
+}
+
+// TestEvalCtxNilSafeWithoutContext pins that the non-ctx entry points
+// still work (they delegate to context.Background and never poll).
+func TestEvalCtxNilSafeWithoutContext(t *testing.T) {
+	p := MustParse(`
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+`)
+	db := NewDB()
+	db.AddFact("edge", "a", "b")
+	db.AddFact("edge", "b", "c")
+	out, err := Eval(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Has("path", "a", "c") {
+		t.Fatal("transitive closure incomplete")
+	}
+}

@@ -1,11 +1,14 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/stage"
 )
 
 // maxWorkers caps the goroutine fan-out of parallel stratum evaluation.
@@ -40,6 +43,15 @@ func SetMaxWorkers(n int) int {
 // even the tuple insertion order) is deterministic and independent of the
 // worker count.
 func Eval(p *Program, edb *DB) (*DB, error) {
+	return EvalCtx(context.Background(), p, edb)
+}
+
+// EvalCtx is Eval with cancellation support: the stratum loop, each
+// semi-naive round and the join recursion itself (every 1024 extension
+// steps) check ctx, so evaluation of a large program stops promptly
+// after cancellation or a deadline. A context error is returned wrapped
+// in a *stage.Error tagged stage.Eval.
+func EvalCtx(ctx context.Context, p *Program, edb *DB) (*DB, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -59,6 +71,9 @@ func Eval(p *Program, edb *DB) (*DB, error) {
 	// writes to shared DB state.
 	internProgramConsts(p, db)
 	for _, stratum := range strata {
+		if err := ctx.Err(); err != nil {
+			return nil, stage.Wrap(stage.Eval, err)
+		}
 		inStratum := map[string]bool{}
 		for _, pred := range stratum {
 			inStratum[pred] = true
@@ -69,7 +84,7 @@ func Eval(p *Program, edb *DB) (*DB, error) {
 				rules = append(rules, r)
 			}
 		}
-		if err := evalStratum(rules, inStratum, db); err != nil {
+		if err := evalStratum(ctx, rules, inStratum, db); err != nil {
 			return nil, err
 		}
 	}
@@ -219,7 +234,7 @@ type stratumTask struct {
 const parallelThreshold = 128
 
 // evalStratum runs semi-naive iteration for one stratum's rules.
-func evalStratum(rules []Rule, inStratum map[string]bool, db *DB) error {
+func evalStratum(ctx context.Context, rules []Rule, inStratum map[string]bool, db *DB) error {
 	// Compiled instances per rule, indexed by occ+1 (slot 0 is the full
 	// first-pass evaluation). Filled lazily; compilation is serial, so the
 	// parallel phase only ever reads the cache.
@@ -232,6 +247,7 @@ func evalStratum(rules []Rule, inStratum map[string]bool, db *DB) error {
 			return c
 		}
 		c := compileRule(rules[ri], db)
+		c.ctx = ctx
 		compiled[ri][occ+1] = c
 		return c
 	}
@@ -241,7 +257,7 @@ func evalStratum(rules []Rule, inStratum map[string]bool, db *DB) error {
 	for i := range rules {
 		tasks[i] = stratumTask{prog: instance(i, -1), occ: -1}
 	}
-	delta, err := runStratumRound(tasks, nil, db, db.NumFacts())
+	delta, err := runStratumRound(ctx, tasks, nil, db, db.NumFacts())
 	if err != nil {
 		return err
 	}
@@ -272,7 +288,7 @@ func evalStratum(rules []Rule, inStratum map[string]bool, db *DB) error {
 		if len(tasks) == 0 {
 			return nil
 		}
-		delta, err = runStratumRound(tasks, delta, db, total)
+		delta, err = runStratumRound(ctx, tasks, delta, db, total)
 		if err != nil {
 			return err
 		}
@@ -291,7 +307,10 @@ func evalStratum(rules []Rule, inStratum map[string]bool, db *DB) error {
 // rule's head predicate; emitted tuples are freshly allocated and the
 // database adopts them without copying, sharing new ones with the
 // (dedup-free) delta relation rather than re-hashing them into it.
-func runStratumRound(tasks []stratumTask, delta map[string]*relation, db *DB, workSize int) (map[string]*relation, error) {
+func runStratumRound(ctx context.Context, tasks []stratumTask, delta map[string]*relation, db *DB, workSize int) (map[string]*relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, stage.Wrap(stage.Eval, err)
+	}
 	newDelta := map[string]*relation{}
 	sink := func(t stratumTask) (*relation, *relation) {
 		pred := t.prog.headPred
@@ -382,6 +401,8 @@ type cAtom struct {
 type cRule struct {
 	src       Rule
 	db        *DB
+	ctx       context.Context // nil: never cancelled
+	tick      uint            // cancellation-check counter for step
 	headPred  string
 	headArity int
 	head      []cArg
@@ -510,8 +531,15 @@ func (c *cRule) groundArgs(a *cAtom) []int {
 	return a.ground
 }
 
-// step extends the current partial assignment by one body atom.
+// step extends the current partial assignment by one body atom. Every
+// 1024 extension steps it polls the context, so even a single huge join
+// stops promptly after cancellation.
 func (c *cRule) step(done int) error {
+	if c.tick++; c.tick&1023 == 0 && c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			return stage.Wrap(stage.Eval, err)
+		}
+	}
 	if done == len(c.body) {
 		c.emitHead()
 		return nil

@@ -1,10 +1,12 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/horn"
+	"repro/internal/stage"
 )
 
 // FuncDep declares that, in every tuple of Pred, the values at the From
@@ -196,6 +198,14 @@ func (g *GroundProgram) Size() int { return g.Horn.Size() }
 // and intensional literals become propositional variables. The result has
 // size O(|P|·|A|).
 func Ground(p *Program, edb *DB, fds []FuncDep) (*GroundProgram, error) {
+	return GroundCtx(context.Background(), p, edb, fds)
+}
+
+// GroundCtx is Ground with cancellation support: the per-rule loop and
+// the instantiation recursion (every 1024 extension steps) poll ctx.
+// A context error is returned wrapped in a *stage.Error tagged
+// stage.Eval.
+func GroundCtx(ctx context.Context, p *Program, edb *DB, fds []FuncDep) (*GroundProgram, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -212,7 +222,10 @@ func Ground(p *Program, edb *DB, fds []FuncDep) (*GroundProgram, error) {
 	}
 	g := &GroundProgram{Horn: &horn.Program{}, index: map[uint64][]int{}, db: edb}
 	for _, r := range p.Rules {
-		if err := groundRule(g, r, edb, intens); err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, stage.Wrap(stage.Eval, err)
+		}
+		if err := groundRule(ctx, g, r, edb, intens); err != nil {
 			return nil, err
 		}
 	}
@@ -221,11 +234,12 @@ func Ground(p *Program, edb *DB, fds []FuncDep) (*GroundProgram, error) {
 
 // groundRule enumerates all EDB-consistent ground instances of the rule
 // and emits Horn clauses over ground intensional atoms.
-func groundRule(g *GroundProgram, r Rule, edb *DB, intens map[string]bool) error {
+func groundRule(ctx context.Context, g *GroundProgram, r Rule, edb *DB, intens map[string]bool) error {
 	binding := map[string]int{}
 	processed := make([]bool, len(r.Body))
 	matchBufs := make([][][]int, len(r.Body))
 	var bodyLits []int
+	var tick uint
 
 	atomBound := func(a Atom) bool {
 		for _, t := range a.Args {
@@ -251,6 +265,11 @@ func groundRule(g *GroundProgram, r Rule, edb *DB, intens map[string]bool) error
 
 	var step func(done int) error
 	step = func(done int) error {
+		if tick++; tick&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return stage.Wrap(stage.Eval, err)
+			}
+		}
 		if done == len(r.Body) {
 			head := g.atomID(r.Head.Pred, groundArgs(r.Head))
 			g.Horn.AddClause(head, bodyLits...)
@@ -393,7 +412,14 @@ func groundRule(g *GroundProgram, r Rule, edb *DB, intens map[string]bool) error
 // the O(|P|·|A|) bound of Theorem 4.4. The result contains the EDB plus
 // all derived intensional facts.
 func EvalQuasiGuarded(p *Program, edb *DB, fds []FuncDep) (*DB, error) {
-	g, err := Ground(p, edb, fds)
+	return EvalQuasiGuardedCtx(context.Background(), p, edb, fds)
+}
+
+// EvalQuasiGuardedCtx is EvalQuasiGuarded with cancellation support
+// (see GroundCtx); unit resolution itself is linear and runs to
+// completion once grounding has succeeded.
+func EvalQuasiGuardedCtx(ctx context.Context, p *Program, edb *DB, fds []FuncDep) (*DB, error) {
+	g, err := GroundCtx(ctx, p, edb, fds)
 	if err != nil {
 		return nil, err
 	}

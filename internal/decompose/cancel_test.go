@@ -1,0 +1,70 @@
+package decompose
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/stage"
+)
+
+// TestOrderCtxCancelledMidElimination pins cancellation inside the
+// min-fill elimination loop: the ordering is abandoned with a
+// stage-tagged context.Canceled.
+func TestOrderCtxCancelledMidElimination(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	g := graph.PartialKTree(400, 4, 0.4, rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := OrderCtx(ctx, g, MinFill)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var se *stage.Error
+	if !errors.As(err, &se) || se.Stage != stage.Decompose {
+		t.Fatalf("err = %v, want stage %q", err, stage.Decompose)
+	}
+}
+
+// TestGraphCtxDeadlineOnLargeGraph pins the end-to-end deadline path: a
+// short deadline on a graph large enough that ordering takes longer
+// than the deadline comes back as DeadlineExceeded, observed at one of
+// the periodic checks.
+func TestGraphCtxDeadlineOnLargeGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := graph.PartialKTree(3000, 5, 0.5, rng)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond)
+	_, err := GraphCtx(ctx, g, MinFill)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	var se *stage.Error
+	if !errors.As(err, &se) || se.Stage != stage.Decompose {
+		t.Fatalf("err = %v, want stage %q", err, stage.Decompose)
+	}
+}
+
+// TestOrderCtxBackgroundMatchesOrder pins that the ctx variant with a
+// live context is the same algorithm as the original entry point.
+func TestOrderCtxBackgroundMatchesOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	g := graph.PartialKTree(60, 3, 0.3, rng)
+	want := Order(g, MinFill)
+	got, err := OrderCtx(context.Background(), g, MinFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("order lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("orders diverge at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}

@@ -16,14 +16,21 @@ package decompose
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/bitset"
 	"repro/internal/graph"
+	"repro/internal/stage"
 	"repro/internal/structure"
 	"repro/internal/tree"
 )
+
+// ctxCheckRounds is how many elimination rounds pass between context
+// polls: frequent enough that a deadline fires within microseconds of
+// work, rare enough to be invisible in profiles.
+const ctxCheckRounds = 64
 
 // Heuristic selects an elimination-order heuristic.
 type Heuristic int
@@ -217,21 +224,40 @@ func (e *eliminator) eliminate(v int) []int {
 
 // Order computes an elimination order of g using the given heuristic.
 func Order(g *graph.Graph, h Heuristic) []int {
+	order, _ := OrderCtx(context.Background(), g, h)
+	return order
+}
+
+// OrderCtx is Order with cancellation support: the elimination loop
+// polls ctx every ctxCheckRounds rounds and returns the context error
+// wrapped in a *stage.Error tagged stage.Decompose.
+func OrderCtx(ctx context.Context, g *graph.Graph, h Heuristic) ([]int, error) {
 	n := g.N()
 	e := newEliminator(g, h, true)
 	order := make([]int, 0, n)
 	for k := 0; k < n; k++ {
+		if k%ctxCheckRounds == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, stage.Wrap(stage.Decompose, err)
+			}
+		}
 		best := e.popBest()
 		order = append(order, best)
 		e.eliminate(best)
 	}
-	return order
+	return order, nil
 }
 
 // FromOrder builds a tree decomposition of g from an elimination order
 // using the standard fill-in construction. The returned decomposition is
 // raw (no normal form) and valid for g.
 func FromOrder(g *graph.Graph, order []int) (*tree.Decomposition, error) {
+	return FromOrderCtx(context.Background(), g, order)
+}
+
+// FromOrderCtx is FromOrder with cancellation support: the elimination
+// simulation polls ctx every ctxCheckRounds rounds (see OrderCtx).
+func FromOrderCtx(ctx context.Context, g *graph.Graph, order []int) (*tree.Decomposition, error) {
 	n := g.N()
 	if n == 0 {
 		d := tree.New()
@@ -264,7 +290,12 @@ func FromOrder(g *graph.Graph, order []int) (*tree.Decomposition, error) {
 	// neighbors in the fill graph.
 	e := newEliminator(g, MinDegree, false)
 	later := make([][]int, n) // later[v] = live neighbors at elimination time
-	for _, v := range order {
+	for k, v := range order {
+		if k%ctxCheckRounds == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, stage.Wrap(stage.Decompose, err)
+			}
+		}
 		later[v] = e.eliminate(v)
 	}
 
@@ -316,14 +347,28 @@ func FromOrder(g *graph.Graph, order []int) (*tree.Decomposition, error) {
 // Graph decomposes g with the given heuristic and returns a valid raw
 // tree decomposition.
 func Graph(g *graph.Graph, h Heuristic) (*tree.Decomposition, error) {
-	return FromOrder(g, Order(g, h))
+	return GraphCtx(context.Background(), g, h)
+}
+
+// GraphCtx is Graph with cancellation support (see OrderCtx).
+func GraphCtx(ctx context.Context, g *graph.Graph, h Heuristic) (*tree.Decomposition, error) {
+	order, err := OrderCtx(ctx, g, h)
+	if err != nil {
+		return nil, err
+	}
+	return FromOrderCtx(ctx, g, order)
 }
 
 // Structure decomposes a τ-structure via its primal graph; the result is
 // a valid tree decomposition of the structure (same bags cover all
 // tuples, since every tuple induces a clique in the primal graph).
 func Structure(st *structure.Structure, h Heuristic) (*tree.Decomposition, error) {
-	return Graph(graph.Primal(st), h)
+	return StructureCtx(context.Background(), st, h)
+}
+
+// StructureCtx is Structure with cancellation support (see OrderCtx).
+func StructureCtx(ctx context.Context, st *structure.Structure, h Heuristic) (*tree.Decomposition, error) {
+	return GraphCtx(ctx, graph.Primal(st), h)
 }
 
 // BestOrder tries min-degree, min-fill and a few randomized restarts and

@@ -1,0 +1,133 @@
+package dp
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/decompose"
+	"repro/internal/graph"
+	"repro/internal/stage"
+	"repro/internal/tree"
+)
+
+// cancelNice builds a nice decomposition large enough to cross the
+// parallel threshold.
+func cancelNice(t testing.TB, seed int64, n int) (*graph.Graph, *tree.Decomposition) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.PartialKTree(n, 3, 0.3, rng)
+	d, err := decompose.Graph(g, decompose.MinFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nice, err := tree.NormalizeNice(d, tree.NiceOptions{BranchGuard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nice.Len() < minParallelNodes {
+		t.Fatalf("decomposition too small (%d nodes) to exercise the pool", nice.Len())
+	}
+	return g, nice
+}
+
+// TestRunUpCtxCancelMidDP cancels the context from inside a handler
+// once the DP is under way, with the full worker pool active. The run
+// must stop with a stage-tagged context.Canceled, discard partial
+// tables, and leave no worker goroutines behind. Run under -race in CI.
+func TestRunUpCtxCancelMidDP(t *testing.T) {
+	g, nice := cancelNice(t, 13, 120)
+	prev := SetMaxWorkers(8)
+	defer SetMaxWorkers(prev)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	h := twoColHandlers(g)
+	inner := h.Introduce
+	h.Introduce = func(node int, bag []int, elem int, child uint32) []uint32 {
+		if calls.Add(1) == 10 { // let the pool spin up, then pull the plug
+			cancel()
+		}
+		return inner(node, bag, elem, child)
+	}
+	tables, err := RunUpCtx(ctx, nice, h)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var se *stage.Error
+	if !errors.As(err, &se) || se.Stage != stage.DP {
+		t.Fatalf("err = %v, want stage %q", err, stage.DP)
+	}
+	if tables != nil {
+		t.Fatal("partial tables not discarded on cancellation")
+	}
+	for i := 0; i < 40 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutine leak: %d before, %d after cancellation", before, after)
+	}
+	// The pool is reusable after a cancelled run.
+	if _, err := RunUpCtx(context.Background(), nice, twoColHandlers(g)); err != nil {
+		t.Fatalf("pool poisoned after cancellation: %v", err)
+	}
+}
+
+// TestRunDownCtxCancelled pins cancellation of the top-down pass.
+func TestRunDownCtxCancelled(t *testing.T) {
+	g, nice := cancelNice(t, 17, 80)
+	h := twoColHandlers(g)
+	up, err := RunUp(nice, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunDownCtx(ctx, nice, h, up); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunUpCountAndMinCtxCancelled pins the counting and optimizing
+// variants.
+func TestRunUpCountAndMinCtxCancelled(t *testing.T) {
+	g, nice := cancelNice(t, 19, 80)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunUpCountCtx(ctx, nice, twoColHandlers(g)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("count err = %v, want context.Canceled", err)
+	}
+	if _, err := RunUpMinCtx(ctx, nice, twoColCostHandlers(g)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("min err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunUpCtxSerialCancelled pins the serial (below-threshold) path.
+func TestRunUpCtxSerialCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := graph.PartialKTree(8, 2, 0.3, rng)
+	d, err := decompose.Graph(g, decompose.MinFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nice, err := tree.NormalizeNice(d, tree.NiceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = RunUpCtx(ctx, nice, twoColHandlers(g))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var se *stage.Error
+	if !errors.As(err, &se) || se.Stage != stage.DP {
+		t.Fatalf("err = %v, want stage %q", err, stage.DP)
+	}
+}

@@ -1,8 +1,10 @@
 package dp
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/stage"
 	"repro/internal/tree"
 )
 
@@ -19,12 +21,18 @@ import (
 // of RunUp; accumulation by sum and product is order-independent, so the
 // tables are identical at every worker count.
 func RunUpCount[S comparable](d *tree.Decomposition, h Handlers[S]) ([]map[S]uint64, error) {
+	return RunUpCountCtx(context.Background(), d, h)
+}
+
+// RunUpCountCtx is RunUpCount with cancellation support; see RunUpCtx
+// for the cancellation contract.
+func RunUpCountCtx[S comparable](ctx context.Context, d *tree.Decomposition, h Handlers[S]) ([]map[S]uint64, error) {
 	p := planFor(d)
 	if p.niceErr != nil {
 		return nil, fmt.Errorf("dp: %w", p.niceErr)
 	}
 	tables := make([]map[S]uint64, d.Len())
-	runChains(p, false, func(v int) {
+	err := runChains(ctx, p, false, func(v int) {
 		n := &d.Nodes[v]
 		bag := p.bags[v]
 		tbl := map[S]uint64{}
@@ -65,5 +73,8 @@ func RunUpCount[S comparable](d *tree.Decomposition, h Handlers[S]) ([]map[S]uin
 		}
 		tables[v] = tbl
 	})
+	if err != nil {
+		return nil, stage.Wrap(stage.DP, err)
+	}
 	return tables, nil
 }

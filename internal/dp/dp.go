@@ -21,8 +21,10 @@
 package dp
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/stage"
 	"repro/internal/tree"
 )
 
@@ -92,12 +94,23 @@ func (t Tables[S]) States(node int) []S {
 
 // RunUp computes the bottom-up DP tables over a nice decomposition.
 func RunUp[S comparable](d *tree.Decomposition, h Handlers[S]) (Tables[S], error) {
+	return RunUpCtx(context.Background(), d, h)
+}
+
+// RunUpCtx is RunUp with cancellation support: the chain scheduler
+// checks ctx before each node (serial path) or chain segment (parallel
+// path), drains the worker pool without leaking goroutines, and returns
+// the context error wrapped in a *stage.Error tagged stage.DP. Partial
+// tables are discarded on cancellation.
+func RunUpCtx[S comparable](ctx context.Context, d *tree.Decomposition, h Handlers[S]) (Tables[S], error) {
 	p := planFor(d)
 	if p.niceErr != nil {
 		return nil, fmt.Errorf("dp: %w", p.niceErr)
 	}
 	tables := make(Tables[S], d.Len())
-	runChains(p, false, func(v int) { upNode(d, p, h, tables, v) })
+	if err := runChains(ctx, p, false, func(v int) { upNode(d, p, h, tables, v) }); err != nil {
+		return nil, stage.Wrap(stage.DP, err)
+	}
 	return tables, nil
 }
 
@@ -159,6 +172,12 @@ func upNode[S comparable](d *tree.Decomposition, p *plan, h Handlers[S], tables 
 // envelope of the root is just its own bag). Order of handler roles is
 // swapped relative to RunUp as described in the package comment.
 func RunDown[S comparable](d *tree.Decomposition, h Handlers[S], up Tables[S]) (Tables[S], error) {
+	return RunDownCtx(context.Background(), d, h, up)
+}
+
+// RunDownCtx is RunDown with cancellation support; see RunUpCtx for the
+// cancellation contract.
+func RunDownCtx[S comparable](ctx context.Context, d *tree.Decomposition, h Handlers[S], up Tables[S]) (Tables[S], error) {
 	p := planFor(d)
 	if p.niceErr != nil {
 		return nil, fmt.Errorf("dp: %w", p.niceErr)
@@ -167,7 +186,9 @@ func RunDown[S comparable](d *tree.Decomposition, h Handlers[S], up Tables[S]) (
 		return nil, fmt.Errorf("dp: bottom-up tables have %d nodes, want %d", len(up), d.Len())
 	}
 	tables := make(Tables[S], d.Len())
-	runChains(p, true, func(v int) { downNode(d, p, h, up, tables, v) })
+	if err := runChains(ctx, p, true, func(v int) { downNode(d, p, h, up, tables, v) }); err != nil {
+		return nil, stage.Wrap(stage.DP, err)
+	}
 	return tables, nil
 }
 

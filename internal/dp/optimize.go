@@ -1,8 +1,10 @@
 package dp
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/stage"
 	"repro/internal/tree"
 )
 
@@ -38,12 +40,18 @@ type Costed[S comparable] struct {
 // RunUp; min-relaxation is order-independent, so the tables are identical
 // at every worker count.
 func RunUpMin[S comparable](d *tree.Decomposition, h CostHandlers[S]) ([]map[S]int, error) {
+	return RunUpMinCtx(context.Background(), d, h)
+}
+
+// RunUpMinCtx is RunUpMin with cancellation support; see RunUpCtx for
+// the cancellation contract.
+func RunUpMinCtx[S comparable](ctx context.Context, d *tree.Decomposition, h CostHandlers[S]) ([]map[S]int, error) {
 	p := planFor(d)
 	if p.niceErr != nil {
 		return nil, fmt.Errorf("dp: %w", p.niceErr)
 	}
 	tables := make([]map[S]int, d.Len())
-	runChains(p, false, func(v int) {
+	err := runChains(ctx, p, false, func(v int) {
 		n := &d.Nodes[v]
 		bag := p.bags[v]
 		tbl := map[S]int{}
@@ -89,5 +97,8 @@ func RunUpMin[S comparable](d *tree.Decomposition, h CostHandlers[S]) ([]map[S]i
 		}
 		tables[v] = tbl
 	})
+	if err != nil {
+		return nil, stage.Wrap(stage.DP, err)
+	}
 	return tables, nil
 }

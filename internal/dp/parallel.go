@@ -1,6 +1,7 @@
 package dp
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -37,7 +38,12 @@ const minParallelNodes = 64
 // below its branch head — so independent subtrees fan out across the
 // worker pool; top-down (down=true) the dependencies reverse and chains
 // run top node first.
-func runChains(p *plan, down bool, compute func(v int)) {
+//
+// Cancellation: ctx is polled before every node. On cancellation the
+// workers stop computing but keep propagating chain completions, so the
+// ready channel still closes, every goroutine exits and the pool drains
+// without leaks; the (unwrapped) context error is returned.
+func runChains(ctx context.Context, p *plan, down bool, compute func(v int)) error {
 	workers := int(maxWorkers.Load())
 	if workers > len(p.chains) {
 		workers = len(p.chains)
@@ -45,14 +51,20 @@ func runChains(p *plan, down bool, compute func(v int)) {
 	if workers <= 1 || p.nodes < minParallelNodes {
 		if down {
 			for i := len(p.post) - 1; i >= 0; i-- {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				compute(p.post[i])
 			}
 		} else {
 			for _, v := range p.post {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				compute(v)
 			}
 		}
-		return
+		return nil
 	}
 	pending := make([]int32, len(p.chains))
 	ready := make(chan int, len(p.chains))
@@ -72,6 +84,13 @@ func runChains(p *plan, down bool, compute func(v int)) {
 			}
 		}
 	}
+	var aborted atomic.Bool
+	var abortErr error
+	var abortOnce sync.Once
+	abort := func(err error) {
+		abortOnce.Do(func() { abortErr = err })
+		aborted.Store(true)
+	}
 	var done atomic.Int32
 	total := int32(len(p.chains))
 	var wg sync.WaitGroup
@@ -81,19 +100,36 @@ func runChains(p *plan, down bool, compute func(v int)) {
 			defer wg.Done()
 			for id := range ready {
 				chain := p.chains[id]
-				if down {
-					for i := len(chain) - 1; i >= 0; i-- {
-						compute(chain[i])
+				// When aborted, skip the compute but keep the scheduling
+				// bookkeeping below: successors must still become ready and
+				// the completion count must still reach total, or close(ready)
+				// would never fire and the pool would leak.
+				if !aborted.Load() {
+					if err := ctx.Err(); err != nil {
+						abort(err)
+					} else if down {
+						for i := len(chain) - 1; i >= 0; i-- {
+							if aborted.Load() {
+								break
+							}
+							compute(chain[i])
+						}
+					} else {
+						for _, v := range chain {
+							if aborted.Load() {
+								break
+							}
+							compute(v)
+						}
 					}
+				}
+				if down {
 					for _, f := range p.feeders[id] {
 						if atomic.AddInt32(&pending[f], -1) == 0 {
 							ready <- f
 						}
 					}
 				} else {
-					for _, v := range chain {
-						compute(v)
-					}
 					if c := p.consumer[id]; c >= 0 && atomic.AddInt32(&pending[c], -1) == 0 {
 						ready <- c
 					}
@@ -107,4 +143,8 @@ func runChains(p *plan, down bool, compute func(v int)) {
 		}()
 	}
 	wg.Wait()
+	if aborted.Load() {
+		return abortErr
+	}
+	return ctx.Err()
 }

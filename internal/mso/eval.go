@@ -1,10 +1,12 @@
 package mso
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/bitset"
+	"repro/internal/stage"
 	"repro/internal/structure"
 )
 
@@ -44,7 +46,14 @@ type Interp struct {
 // not the paper's contribution. Domains beyond 63 elements are rejected
 // for set quantification.
 func Eval(st *structure.Structure, f *Formula, interp Interp, budget *Budget) (bool, error) {
-	e := &evaluator{st: st, budget: budget}
+	return EvalCtx(context.Background(), st, f, interp, budget)
+}
+
+// EvalCtx is Eval with cancellation support: the evaluator polls ctx
+// every 256 recursion steps and returns the context error wrapped in a
+// *stage.Error tagged stage.MSOEval.
+func EvalCtx(ctx context.Context, st *structure.Structure, f *Formula, interp Interp, budget *Budget) (bool, error) {
+	e := &evaluator{st: st, budget: budget, ctx: ctx}
 	env := environment{elem: map[string]int{}, set: map[string]*bitset.Set{}}
 	for k, v := range interp.Elem {
 		env.elem[k] = v
@@ -60,12 +69,22 @@ func Sentence(st *structure.Structure, f *Formula, budget *Budget) (bool, error)
 	return Eval(st, f, Interp{}, budget)
 }
 
+// SentenceCtx is Sentence with cancellation support (see EvalCtx).
+func SentenceCtx(ctx context.Context, st *structure.Structure, f *Formula, budget *Budget) (bool, error) {
+	return EvalCtx(ctx, st, f, Interp{}, budget)
+}
+
 // Query evaluates a unary query φ(x) for every domain element and returns
 // the set of elements satisfying it.
 func Query(st *structure.Structure, f *Formula, x string, budget *Budget) (*bitset.Set, error) {
+	return QueryCtx(context.Background(), st, f, x, budget)
+}
+
+// QueryCtx is Query with cancellation support (see EvalCtx).
+func QueryCtx(ctx context.Context, st *structure.Structure, f *Formula, x string, budget *Budget) (*bitset.Set, error) {
 	out := bitset.New(st.Size())
 	for a := 0; a < st.Size(); a++ {
-		ok, err := Eval(st, f, Interp{Elem: map[string]int{x: a}}, budget)
+		ok, err := EvalCtx(ctx, st, f, Interp{Elem: map[string]int{x: a}}, budget)
 		if err != nil {
 			return nil, err
 		}
@@ -84,9 +103,16 @@ type environment struct {
 type evaluator struct {
 	st     *structure.Structure
 	budget *Budget
+	ctx    context.Context // nil: never cancelled
+	tick   uint
 }
 
 func (e *evaluator) eval(f *Formula, env environment) (bool, error) {
+	if e.tick++; e.tick&255 == 0 && e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return false, stage.Wrap(stage.MSOEval, err)
+		}
+	}
 	if err := e.budget.step(); err != nil {
 		return false, err
 	}

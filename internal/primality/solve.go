@@ -1,6 +1,7 @@
 package primality
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitset"
@@ -41,8 +42,15 @@ type Instance struct {
 // NewInstance builds an instance, computing a tree decomposition of the
 // schema's τ-structure with the min-fill heuristic.
 func NewInstance(s *schema.Schema) (*Instance, error) {
+	return NewInstanceCtx(context.Background(), s)
+}
+
+// NewInstanceCtx is NewInstance with cancellation support: the
+// decomposition stage polls ctx and context errors come back wrapped in
+// a *stage.Error (see decompose.OrderCtx).
+func NewInstanceCtx(ctx context.Context, s *schema.Schema) (*Instance, error) {
 	c := newCtx(s)
-	d, err := decompose.Structure(c.st, decompose.MinFill)
+	d, err := decompose.StructureCtx(ctx, c.st, decompose.MinFill)
 	if err != nil {
 		return nil, err
 	}
@@ -69,6 +77,12 @@ func (in *Instance) Width() int { return in.raw.Width() }
 // bottom-up Figure 6 program on a decomposition re-rooted at a bag
 // containing a.
 func (in *Instance) Decide(a int) (bool, error) {
+	return in.DecideCtx(context.Background(), a)
+}
+
+// DecideCtx is Decide with cancellation support: normalization and the
+// DP run poll ctx (see dp.RunUpCtx for the cancellation contract).
+func (in *Instance) DecideCtx(cx context.Context, a int) (bool, error) {
 	c := in.ctx
 	if a < 0 || a >= c.s.NumAttrs() {
 		return false, fmt.Errorf("primality: attribute %d out of range", a)
@@ -80,14 +94,14 @@ func (in *Instance) Decide(a int) (bool, error) {
 		return false, fmt.Errorf("primality: attribute %s not in any bag", c.s.AttrName(a))
 	}
 	d.ReRoot(node)
-	nice, err := tree.NormalizeNice(d, tree.NiceOptions{})
+	nice, err := tree.NormalizeNiceCtx(cx, d, tree.NiceOptions{})
 	if err != nil {
 		return false, err
 	}
 	if err := c.checkDiscipline(nice); err != nil {
 		return false, err
 	}
-	tables, err := dp.RunUp(nice, c.handlers())
+	tables, err := dp.RunUpCtx(cx, nice, c.handlers())
 	if err != nil {
 		return false, err
 	}
@@ -106,12 +120,18 @@ func (in *Instance) Decide(a int) (bool, error) {
 // attribute occurs in some leaf bag; primality of a is then read off any
 // leaf containing a, since the envelope of a leaf is the entire tree.
 func (in *Instance) Enumerate() (*bitset.Set, error) {
+	return in.EnumerateCtx(context.Background())
+}
+
+// EnumerateCtx is Enumerate with cancellation support: normalization
+// and both DP passes poll ctx (see dp.RunUpCtx).
+func (in *Instance) EnumerateCtx(cx context.Context) (*bitset.Set, error) {
 	c := in.ctx
 	attrElems := bitset.New(c.st.Size())
 	for _, e := range c.attElem {
 		attrElems.Add(e)
 	}
-	nice, err := tree.NormalizeNice(in.raw, tree.NiceOptions{LeafElems: attrElems, BranchGuard: true})
+	nice, err := tree.NormalizeNiceCtx(cx, in.raw, tree.NiceOptions{LeafElems: attrElems, BranchGuard: true})
 	if err != nil {
 		return nil, err
 	}
@@ -122,11 +142,11 @@ func (in *Instance) Enumerate() (*bitset.Set, error) {
 		return nil, err
 	}
 	h := c.handlers()
-	up, err := dp.RunUp(nice, h)
+	up, err := dp.RunUpCtx(cx, nice, h)
 	if err != nil {
 		return nil, err
 	}
-	down, err := dp.RunDown(nice, h, up)
+	down, err := dp.RunDownCtx(cx, nice, h, up)
 	if err != nil {
 		return nil, err
 	}
@@ -337,22 +357,32 @@ func sortInts(xs []int) {
 
 // Primes is a convenience wrapper: build an instance and enumerate.
 func Primes(s *schema.Schema) (*bitset.Set, error) {
-	in, err := NewInstance(s)
+	return PrimesCtx(context.Background(), s)
+}
+
+// PrimesCtx is Primes with cancellation support.
+func PrimesCtx(ctx context.Context, s *schema.Schema) (*bitset.Set, error) {
+	in, err := NewInstanceCtx(ctx, s)
 	if err != nil {
 		return nil, err
 	}
-	return in.Enumerate()
+	return in.EnumerateCtx(ctx)
 }
 
 // IsPrime is a convenience wrapper for a single attribute decision.
 func IsPrime(s *schema.Schema, attr string) (bool, error) {
+	return IsPrimeCtx(context.Background(), s, attr)
+}
+
+// IsPrimeCtx is IsPrime with cancellation support.
+func IsPrimeCtx(ctx context.Context, s *schema.Schema, attr string) (bool, error) {
 	a, ok := s.Attr(attr)
 	if !ok {
 		return false, fmt.Errorf("primality: unknown attribute %s", attr)
 	}
-	in, err := NewInstance(s)
+	in, err := NewInstanceCtx(ctx, s)
 	if err != nil {
 		return false, err
 	}
-	return in.Decide(a)
+	return in.DecideCtx(ctx, a)
 }

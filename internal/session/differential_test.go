@@ -1,0 +1,138 @@
+package session
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mso"
+)
+
+// diffFormulas is the randomized-differential pool: unary queries of
+// rank ≤ 1 over {c/1} (binary signatures blow up the generic rank-1
+// compilation; see core.TestBinarySignatureBlowUp).
+var diffFormulas = []string{
+	"c(x)",
+	"~c(x)",
+	"c(x) & exists y ~c(y)",
+	"c(x) | forall y c(y)",
+	"~c(x) & exists y c(y)",
+	"c(x) -> exists y ~c(y)",
+}
+
+// diffSentences are decision instances for the same differential check.
+var diffSentences = []string{
+	"forall x c(x)",
+	"exists x c(x)",
+	"exists x ~c(x)",
+}
+
+// TestSessionDifferentialAgainstColdRun cross-checks the cached path
+// against the cold pipeline: over randomized structures and formulas, a
+// warm Session.Eval must return exactly the set (and decision) that a
+// fresh core.Run computes.
+func TestSessionDifferentialAgainstColdRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ctx := context.Background()
+	for trial := 0; trial < 6; trial++ {
+		st := randColored(rng, rng.Intn(4)+2)
+		s := NewWithCache(st, NewProgramCache())
+		for _, q := range diffFormulas {
+			phi := mso.MustParse(q)
+			warm, err := s.Eval(ctx, phi, "x", core.Options{})
+			if err != nil {
+				t.Fatalf("trial %d, session eval %q: %v", trial, q, err)
+			}
+			cold, err := core.Run(st, phi, "x", core.Options{})
+			if err != nil {
+				t.Fatalf("trial %d, cold run %q: %v", trial, q, err)
+			}
+			if !warm.Selected.Equal(cold.Selected) {
+				t.Fatalf("trial %d, query %q: session selected %v, cold selected %v\n(structure:\n%s)",
+					trial, q, warm.Selected.Elems(), cold.Selected.Elems(), st)
+			}
+			if warm.Width != cold.Width {
+				t.Fatalf("trial %d, query %q: session width %d, cold width %d", trial, q, warm.Width, cold.Width)
+			}
+			// The repeat is served from the result cache and must be
+			// identical to the cold run too.
+			cached, err := s.Eval(ctx, phi, "x", core.Options{})
+			if err != nil {
+				t.Fatalf("trial %d, cached eval %q: %v", trial, q, err)
+			}
+			if !cached.Selected.Equal(cold.Selected) || cached.Holds != cold.Holds {
+				t.Fatalf("trial %d, query %q: result-cache hit diverged from cold run", trial, q)
+			}
+		}
+		for _, q := range diffSentences {
+			phi := mso.MustParse(q)
+			warm, err := s.Eval(ctx, phi, "", core.Options{Decision: true})
+			if err != nil {
+				t.Fatalf("trial %d, session decision %q: %v", trial, q, err)
+			}
+			cold, err := core.Run(st, phi, "", core.Options{Decision: true})
+			if err != nil {
+				t.Fatalf("trial %d, cold decision %q: %v", trial, q, err)
+			}
+			if warm.Holds != cold.Holds {
+				t.Fatalf("trial %d, sentence %q: session %v, cold %v\n(structure:\n%s)",
+					trial, q, warm.Holds, cold.Holds, st)
+			}
+		}
+		// After the whole pool, the front end still ran exactly once and
+		// every repeat hit the result cache.
+		stats := s.Stats()
+		if stats.Decompositions != 1 || stats.TupleNormalizations != 1 || stats.TDBuilds != 1 {
+			t.Fatalf("trial %d: front end reran: %+v", trial, stats)
+		}
+		if stats.ResultCacheHits != len(diffFormulas) {
+			t.Fatalf("trial %d: ResultCacheHits = %d, want %d", trial, stats.ResultCacheHits, len(diffFormulas))
+		}
+	}
+}
+
+// BenchmarkSessionReuse measures the tentpole speedup: ten queries over
+// one structure through a warm Session versus ten cold core.Run calls
+// that redo decomposition, normalization, τ_td build, compilation and
+// evaluation each time. The warm path is the steady state of a repeated
+// workload — artifacts, compiled programs and memoized results all hit.
+// (`benchtable -session n` reports the first-pass number instead, where
+// every query still evaluates.)
+func BenchmarkSessionReuse(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	st := randColored(rng, 40)
+	phis := make([]*mso.Formula, len(tenQueries))
+	for i, q := range tenQueries {
+		phis[i] = mso.MustParse(q)
+	}
+	ctx := context.Background()
+
+	b.Run("warm-session", func(b *testing.B) {
+		s := NewWithCache(st, NewProgramCache())
+		// Prime artifacts and programs once, outside the timer.
+		for _, phi := range phis {
+			if _, err := s.Eval(ctx, phi, "x", core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, phi := range phis {
+				if _, err := s.Eval(ctx, phi, "x", core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	b.Run("cold-run", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, phi := range phis {
+				if _, err := core.Run(st, phi, "x", core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,70 @@
+package session
+
+import (
+	"repro/internal/schema"
+	"repro/internal/structure"
+)
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	h ^= uint64(len(s)) // length marker: separates adjacent strings
+	h *= fnvPrime64
+	return h
+}
+
+func fnvInt(h uint64, v int) uint64 {
+	h ^= uint64(v)
+	h *= fnvPrime64
+	return h
+}
+
+// Fingerprint hashes a structure's full content — element names,
+// predicates and all tuples — into a 64-bit FNV-1a digest. Sessions use
+// it to detect mutation between evaluations and invalidate cached
+// artifacts; it is a change detector, not an equality proof (collisions
+// are astronomically unlikely but possible).
+func Fingerprint(st *structure.Structure) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvInt(h, st.Size())
+	for i := 0; i < st.Size(); i++ {
+		h = fnvString(h, st.Name(i))
+	}
+	for pi, p := range st.Sig().Predicates() {
+		h = fnvString(h, p.Name)
+		h = fnvInt(h, p.Arity)
+		for _, t := range st.TuplesIdx(pi) {
+			for _, e := range t {
+				h = fnvInt(h, e)
+			}
+			h = fnvInt(h, -1) // tuple separator
+		}
+	}
+	return h
+}
+
+// SchemaFingerprint hashes a relational schema (attributes and
+// functional dependencies) the same way.
+func SchemaFingerprint(s *schema.Schema) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvInt(h, s.NumAttrs())
+	for i := 0; i < s.NumAttrs(); i++ {
+		h = fnvString(h, s.AttrName(i))
+	}
+	for _, fd := range s.FDs() {
+		h = fnvString(h, fd.Name)
+		for _, a := range fd.LHS {
+			h = fnvInt(h, a)
+		}
+		h = fnvInt(h, -1)
+		h = fnvInt(h, fd.RHS)
+	}
+	return h
+}

@@ -1,0 +1,106 @@
+package session
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mso"
+	"repro/internal/structure"
+)
+
+// progKey identifies a compiled program: the formula's canonical
+// rendering plus every Options field that influences compilation. Two
+// structurally identical formulas hash to the same key even when built
+// as distinct ASTs.
+type progKey struct {
+	sig      string
+	formula  string
+	xVar     string
+	width    int
+	depth    int
+	decision bool
+	maxDom   int
+	maxTypes int
+	maxEDB   int
+	budget   int64
+}
+
+func keyFor(sig *structure.Signature, phi *mso.Formula, xVar string, opts core.Options) progKey {
+	sigKey := ""
+	for _, p := range sig.Predicates() {
+		sigKey += p.Name + "/" + strconv.Itoa(p.Arity) + ";"
+	}
+	return progKey{
+		sig:      sigKey,
+		formula:  phi.String(),
+		xVar:     xVar,
+		width:    opts.Width,
+		depth:    opts.QuantifierDepth,
+		decision: opts.Decision,
+		maxDom:   opts.MaxWitnessDomain,
+		maxTypes: opts.MaxTypes,
+		maxEDB:   opts.MaxEDBSubsets,
+		budget:   opts.EvalBudget,
+	}
+}
+
+// ProgramCache memoizes MSO-to-datalog compilations per (formula,
+// width, options). It is safe for concurrent use; compilation happens
+// under the cache lock, so concurrent requests for the same key compile
+// exactly once. A compiled program is immutable and shared by every
+// session that evaluates the same query, regardless of structure.
+type ProgramCache struct {
+	mu     sync.Mutex
+	m      map[progKey]*core.Compiled
+	hits   int
+	misses int
+}
+
+// NewProgramCache returns an empty cache.
+func NewProgramCache() *ProgramCache {
+	return &ProgramCache{m: map[progKey]*core.Compiled{}}
+}
+
+// defaultProgramCache backs every session that is not given its own
+// cache, so compiled programs are shared across structures.
+var defaultProgramCache = NewProgramCache()
+
+// Get returns the compiled program for the key, compiling on a miss.
+// The bool result reports whether it was a cache hit.
+func (pc *ProgramCache) Get(ctx context.Context, sig *structure.Signature, phi *mso.Formula, xVar string, opts core.Options) (*core.Compiled, bool, error) {
+	key := keyFor(sig, phi, xVar, opts)
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if c, ok := pc.m[key]; ok {
+		pc.hits++
+		return c, true, nil
+	}
+	c, err := core.CompileCtx(ctx, sig, phi, xVar, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	pc.misses++
+	pc.m[key] = c
+	return c, false, nil
+}
+
+// Stats reports hit/miss counts.
+func (pc *ProgramCache) Stats() (hits, misses int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses
+}
+
+// Len returns the number of cached programs.
+func (pc *ProgramCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.m)
+}
+
+// timeNow is a seam kept in one place so stage timing in this package
+// is easy to audit.
+func timeNow() time.Time { return time.Now() }

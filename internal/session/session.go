@@ -1,0 +1,373 @@
+// Package session provides the staged solver pipeline of Corollary 4.6
+// as a reusable, cancellable, instrumented service. A Session binds one
+// structure and memoizes the per-structure artifacts — tree
+// decomposition, tuple normal form (Def. 2.3), nice normal form, τ_td
+// structure (Section 4) and its datalog EDB — keyed by a content
+// fingerprint, while compiled MSO programs are cached per (formula,
+// width, options) in a ProgramCache shared across sessions. Evaluating
+// k queries over one structure therefore pays for decomposition,
+// normalization and τ_td construction once, and one query over k
+// structures compiles once. Evaluation is deterministic, so each
+// session additionally memoizes query results per (formula, options):
+// repeating a query on an unchanged structure is a pure cache hit,
+// invalidated by the same fingerprint mechanism as the artifacts.
+//
+// Every stage accepts a context.Context; cancellation and deadline
+// errors come back wrapped in a *stage.Error (aliased here as
+// StageError) naming the stage that observed them, and each evaluation
+// carries a stage.Trace of per-stage wall time, output size and cache
+// hits.
+package session
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/decompose"
+	"repro/internal/mso"
+	"repro/internal/stage"
+	"repro/internal/structure"
+	"repro/internal/tree"
+)
+
+// StageError is the stage-tagged error taxonomy of the pipeline; see
+// stage.Error. Use errors.As to recover it and errors.Is to test for
+// context.Canceled / context.DeadlineExceeded underneath.
+type StageError = stage.Error
+
+// Trace records per-stage wall time, output size and cache hits for
+// one evaluation; see stage.Trace.
+type Trace = stage.Trace
+
+// Stats counts the expensive operations a session has performed. The
+// cache guarantees are expressed in these counters: evaluating any
+// number of queries over an unchanged structure keeps Decompositions,
+// TupleNormalizations and TDBuilds at 1.
+type Stats struct {
+	// Decompositions counts min-fill tree decompositions computed.
+	Decompositions int
+	// TupleNormalizations counts tuple-normal-form constructions.
+	TupleNormalizations int
+	// NiceNormalizations counts nice-normal-form constructions.
+	NiceNormalizations int
+	// TDBuilds counts τ_td structure constructions (incl. EDB load).
+	TDBuilds int
+	// Compiles counts MSO compilations this session triggered;
+	// CompileCacheHits counts the ones served from the program cache.
+	Compiles, CompileCacheHits int
+	// Evals counts datalog evaluations (one per Eval call that reached
+	// the evaluation stage); ResultCacheHits counts Eval calls answered
+	// from the per-session result cache instead.
+	Evals, ResultCacheHits int
+	// Invalidations counts fingerprint mismatches that discarded the
+	// cached artifacts.
+	Invalidations int
+}
+
+// Session binds a structure and caches its pipeline artifacts. All
+// methods are safe for concurrent use; artifact construction is
+// serialized per session, evaluation runs outside the lock.
+type Session struct {
+	st    *structure.Structure
+	progs *ProgramCache
+
+	mu    sync.Mutex
+	fp    uint64
+	valid bool
+	stats Stats
+
+	raw     *tree.Decomposition  // min-fill decomposition of st
+	tuple   *tree.Decomposition  // tuple normal form
+	nice    *tree.Decomposition  // nice normal form (built on demand)
+	width   int                  // normalized width
+	td      *structure.Structure // τ_td structure
+	edb     *datalog.DB          // EDB of td (cloned per evaluation)
+	tdNodes int
+
+	// results memoizes evaluated queries per program key; evaluation is
+	// deterministic, so an unchanged structure makes a repeat of the
+	// same (formula, options) a pure cache hit. Bounded FIFO.
+	results   map[progKey]*resultEntry
+	resultSeq []progKey
+}
+
+// resultCap bounds the per-session result cache.
+const resultCap = 256
+
+type resultEntry struct {
+	res      *core.Result
+	evalSize int // NumFacts of the evaluation output, for trace replay
+}
+
+// New creates a session bound to st, using the shared default program
+// cache.
+func New(st *structure.Structure) *Session {
+	return NewWithCache(st, defaultProgramCache)
+}
+
+// NewWithCache creates a session with a caller-provided program cache
+// (useful to isolate cache statistics in tests).
+func NewWithCache(st *structure.Structure, pc *ProgramCache) *Session {
+	if pc == nil {
+		pc = defaultProgramCache
+	}
+	return &Session{st: st, progs: pc}
+}
+
+// Structure returns the bound structure.
+func (s *Session) Structure() *structure.Structure { return s.st }
+
+// Stats returns a snapshot of the session's operation counters.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ProgramCacheStats reports the hit/miss counters of the session's
+// program cache (shared across sessions unless NewWithCache was used).
+func (s *Session) ProgramCacheStats() (hits, misses int) { return s.progs.Stats() }
+
+// Invalidate drops all cached artifacts; the next evaluation rebuilds
+// them. Called automatically when the structure's fingerprint changes.
+func (s *Session) Invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.invalidateLocked()
+}
+
+func (s *Session) invalidateLocked() {
+	s.valid = false
+	s.raw, s.tuple, s.nice, s.td, s.edb = nil, nil, nil, nil, nil
+	s.tdNodes, s.width = 0, 0
+	s.results, s.resultSeq = nil, nil
+}
+
+// artifacts holds the per-structure products of the pipeline front end.
+type artifacts struct {
+	raw     *tree.Decomposition
+	tuple   *tree.Decomposition
+	width   int
+	td      *structure.Structure
+	edb     *datalog.DB
+	tdNodes int
+}
+
+// ensure builds (or revalidates) the cached decomposition, tuple form,
+// τ_td structure and EDB, recording stage stats into trace. Cached
+// stages are recorded with CacheHit set and zero wall time.
+func (s *Session) ensure(ctx context.Context, trace *stage.Trace) (artifacts, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fp := Fingerprint(s.st)
+	if s.valid && fp != s.fp {
+		s.invalidateLocked()
+		s.stats.Invalidations++
+	}
+	s.fp = fp
+	if s.raw == nil {
+		start := timeNow()
+		d, err := decompose.StructureCtx(ctx, s.st, decompose.MinFill)
+		if err != nil {
+			return artifacts{}, stage.Wrap(stage.Decompose, err)
+		}
+		s.raw = d
+		s.stats.Decompositions++
+		trace.Record(stage.Decompose, timeNow().Sub(start), d.Len(), false)
+	} else {
+		trace.Record(stage.Decompose, 0, s.raw.Len(), true)
+	}
+	if s.tuple == nil {
+		if err := s.raw.Validate(s.st); err != nil {
+			return artifacts{}, fmt.Errorf("session: invalid decomposition: %w", err)
+		}
+		start := timeNow()
+		norm, err := tree.NormalizeTupleCtx(ctx, s.raw)
+		if err != nil {
+			return artifacts{}, err
+		}
+		s.tuple = norm
+		s.width = norm.Width()
+		s.stats.TupleNormalizations++
+		trace.Record(stage.NormalizeTuple, timeNow().Sub(start), norm.Len(), false)
+	} else {
+		trace.Record(stage.NormalizeTuple, 0, s.tuple.Len(), true)
+	}
+	if s.td == nil {
+		start := timeNow()
+		td, _, err := tree.BuildTDCtx(ctx, s.st, s.tuple, s.width)
+		if err != nil {
+			return artifacts{}, err
+		}
+		s.td = td
+		s.edb = datalog.FromStructure(td, "")
+		s.tdNodes = s.tuple.Len()
+		s.stats.TDBuilds++
+		trace.Record(stage.BuildTD, timeNow().Sub(start), td.Size(), false)
+	} else {
+		trace.Record(stage.BuildTD, 0, s.td.Size(), true)
+	}
+	s.valid = true
+	return artifacts{raw: s.raw, tuple: s.tuple, width: s.width, td: s.td, edb: s.edb, tdNodes: s.tdNodes}, nil
+}
+
+// Warm builds (or revalidates) every front-end artifact and returns the
+// stage trace of doing so — cached stages appear with CacheHit set.
+// CLIs use it to surface per-stage timings without running a query.
+func (s *Session) Warm(ctx context.Context) (*Trace, error) {
+	trace := &stage.Trace{}
+	if _, err := s.ensure(ctx, trace); err != nil {
+		return trace, err
+	}
+	return trace, nil
+}
+
+// Decomposition returns the session's cached raw min-fill tree
+// decomposition, computing it on first use.
+func (s *Session) Decomposition(ctx context.Context) (*tree.Decomposition, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fp := Fingerprint(s.st)
+	if s.valid && fp != s.fp {
+		s.invalidateLocked()
+		s.stats.Invalidations++
+	}
+	s.fp = fp
+	if s.raw == nil {
+		d, err := decompose.StructureCtx(ctx, s.st, decompose.MinFill)
+		if err != nil {
+			return nil, stage.Wrap(stage.Decompose, err)
+		}
+		s.raw = d
+		s.stats.Decompositions++
+	}
+	s.valid = true
+	return s.raw, nil
+}
+
+// TupleForm returns the cached tuple normal form (Def. 2.3) and its
+// width, normalizing on first use.
+func (s *Session) TupleForm(ctx context.Context) (*tree.Decomposition, int, error) {
+	trace := &stage.Trace{}
+	art, err := s.ensure(ctx, trace)
+	if err != nil {
+		return nil, 0, err
+	}
+	return art.tuple, art.width, nil
+}
+
+// NiceForm returns the cached nice normal form (Section 5), normalizing
+// the raw decomposition on first use.
+func (s *Session) NiceForm(ctx context.Context) (*tree.Decomposition, error) {
+	if _, err := s.Decomposition(ctx); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nice == nil {
+		nice, err := tree.NormalizeNiceCtx(ctx, s.raw, tree.NiceOptions{})
+		if err != nil {
+			return nil, err
+		}
+		s.nice = nice
+		s.stats.NiceNormalizations++
+	}
+	return s.nice, nil
+}
+
+// TauTD returns the cached τ_td structure of Section 4.
+func (s *Session) TauTD(ctx context.Context) (*structure.Structure, error) {
+	trace := &stage.Trace{}
+	art, err := s.ensure(ctx, trace)
+	if err != nil {
+		return nil, err
+	}
+	return art.td, nil
+}
+
+// Width returns the normalized decomposition width.
+func (s *Session) Width(ctx context.Context) (int, error) {
+	_, w, err := s.TupleForm(ctx)
+	return w, err
+}
+
+// Eval runs the MSO query phi (free element variable xVar, or a
+// sentence when opts.Decision is set) over the session's structure:
+// cached artifacts feed a (possibly cached) compiled program, and only
+// the quasi-guarded evaluation of Theorem 4.4 runs per call. The
+// Result's Trace shows which stages were served from cache.
+func (s *Session) Eval(ctx context.Context, phi *mso.Formula, xVar string, opts core.Options) (*core.Result, error) {
+	trace := &stage.Trace{}
+	art, err := s.ensure(ctx, trace)
+	if err != nil {
+		return nil, err
+	}
+	if opts.RequestedWidth != nil && *opts.RequestedWidth != art.width {
+		return nil, fmt.Errorf("session: decomposition width %d does not match requested width %d", art.width, *opts.RequestedWidth)
+	}
+	opts.Width = art.width
+	start := timeNow()
+	compiled, hit, err := s.progs.Get(ctx, s.st.Sig(), phi, xVar, opts)
+	if err != nil {
+		return nil, stage.Wrap(stage.Compile, err)
+	}
+	trace.Record(stage.Compile, timeNow().Sub(start), len(compiled.Program.Rules), hit)
+	key := keyFor(s.st.Sig(), phi, xVar, opts)
+	s.mu.Lock()
+	s.stats.Compiles++
+	if hit {
+		s.stats.CompileCacheHits++
+	}
+	// Evaluation is deterministic, so a repeat of the same query on the
+	// unchanged structure is answered from the result cache (ensure has
+	// already revalidated the fingerprint under this same lock).
+	if entry, ok := s.results[key]; ok {
+		s.stats.ResultCacheHits++
+		s.mu.Unlock()
+		trace.Record(stage.Eval, 0, entry.evalSize, true)
+		return cachedResult(entry.res, trace), nil
+	}
+	s.mu.Unlock()
+	// Grounding interns program constants into the EDB, so the cached
+	// EDB is cloned per evaluation (DB.Clone is a flat copy).
+	start = timeNow()
+	out, err := datalog.EvalQuasiGuardedCtx(ctx, compiled.Program, art.edb.Clone(), datalog.TDFuncDeps(art.width))
+	if err != nil {
+		return nil, stage.Wrap(stage.Eval, err)
+	}
+	trace.Record(stage.Eval, timeNow().Sub(start), out.NumFacts(), false)
+	res, err := core.FinishResult(s.st, compiled, opts, out, art.tdNodes, art.width, trace)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.stats.Evals++
+	if s.results == nil {
+		s.results = map[progKey]*resultEntry{}
+	}
+	if _, dup := s.results[key]; !dup {
+		if len(s.resultSeq) >= resultCap {
+			delete(s.results, s.resultSeq[0])
+			s.resultSeq = s.resultSeq[1:]
+		}
+		s.results[key] = &resultEntry{res: res, evalSize: out.NumFacts()}
+		s.resultSeq = append(s.resultSeq, key)
+	}
+	s.mu.Unlock()
+	return cachedResult(res, trace), nil
+}
+
+// cachedResult returns a caller-owned view of a cached Result: the
+// shared Selected set is cloned so callers cannot corrupt the cache,
+// and the trace is this call's trace.
+func cachedResult(res *core.Result, trace *stage.Trace) *core.Result {
+	cp := *res
+	if cp.Selected != nil {
+		cp.Selected = cp.Selected.Clone()
+	}
+	cp.Trace = trace
+	return &cp
+}

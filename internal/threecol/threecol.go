@@ -7,6 +7,7 @@
 package threecol
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/decompose"
@@ -152,11 +153,25 @@ type Instance struct {
 // NewInstance decomposes g with the min-fill heuristic and normalizes to
 // the nice form of Section 5.
 func NewInstance(g *graph.Graph) (*Instance, error) {
-	d, err := decompose.Graph(g, decompose.MinFill)
+	return NewInstanceCtx(context.Background(), g)
+}
+
+// NewInstanceCtx is NewInstance with cancellation support: the
+// decomposition and normalization stages poll ctx and context errors
+// come back wrapped in a *stage.Error.
+func NewInstanceCtx(ctx context.Context, g *graph.Graph) (*Instance, error) {
+	d, err := decompose.GraphCtx(ctx, g, decompose.MinFill)
 	if err != nil {
 		return nil, err
 	}
-	return NewInstanceWithDecomposition(g, d)
+	if err := d.ValidateGraph(g); err != nil {
+		return nil, fmt.Errorf("threecol: %w", err)
+	}
+	nice, err := tree.NormalizeNiceCtx(ctx, d, tree.NiceOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{g: g, nice: nice}, nil
 }
 
 // NewInstanceWithDecomposition uses a caller-provided raw decomposition.
@@ -177,7 +192,12 @@ func (in *Instance) Width() int { return in.nice.Width() }
 // Decide reports whether the graph is 3-colorable (the success rule of
 // Figure 5: any state surviving at the root).
 func (in *Instance) Decide() (bool, error) {
-	tables, err := dp.RunUp(in.nice, handlers(in.g))
+	return in.DecideCtx(context.Background())
+}
+
+// DecideCtx is Decide with cancellation support (see dp.RunUpCtx).
+func (in *Instance) DecideCtx(ctx context.Context) (bool, error) {
+	tables, err := dp.RunUpCtx(ctx, in.nice, handlers(in.g))
 	if err != nil {
 		return false, err
 	}
@@ -189,7 +209,12 @@ func (in *Instance) Decide() (bool, error) {
 // extension the paper lists under future extensions of the decision
 // program.
 func (in *Instance) Coloring() ([]int, bool, error) {
-	tables, err := dp.RunUp(in.nice, handlers(in.g))
+	return in.ColoringCtx(context.Background())
+}
+
+// ColoringCtx is Coloring with cancellation support (see dp.RunUpCtx).
+func (in *Instance) ColoringCtx(ctx context.Context) ([]int, bool, error) {
+	tables, err := dp.RunUpCtx(ctx, in.nice, handlers(in.g))
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,0 +1,45 @@
+package tree
+
+import (
+	"context"
+
+	"repro/internal/stage"
+	"repro/internal/structure"
+)
+
+// The Ctx variants below put the tree-normalization stages under the
+// same cancellation and error-tagging contract as the heavy pipeline
+// stages. Normalization is linear in the decomposition size, so a
+// single poll before the work keeps deadlines honest without
+// instrumenting the gadget-construction recursion; errors come back
+// wrapped in a *stage.Error carrying the stage that produced them.
+
+// NormalizeTupleCtx is NormalizeTuple with cancellation support and
+// stage-tagged errors (stage.NormalizeTuple).
+func NormalizeTupleCtx(ctx context.Context, d *Decomposition) (*Decomposition, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, stage.Wrap(stage.NormalizeTuple, err)
+	}
+	out, err := NormalizeTuple(d)
+	return out, stage.Wrap(stage.NormalizeTuple, err)
+}
+
+// NormalizeNiceCtx is NormalizeNice with cancellation support and
+// stage-tagged errors (stage.NormalizeNice).
+func NormalizeNiceCtx(ctx context.Context, d *Decomposition, opts NiceOptions) (*Decomposition, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, stage.Wrap(stage.NormalizeNice, err)
+	}
+	out, err := NormalizeNice(d, opts)
+	return out, stage.Wrap(stage.NormalizeNice, err)
+}
+
+// BuildTDCtx is BuildTD with cancellation support and stage-tagged
+// errors (stage.BuildTD).
+func BuildTDCtx(ctx context.Context, st *structure.Structure, d *Decomposition, w int) (*structure.Structure, []int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, stage.Wrap(stage.BuildTD, err)
+	}
+	td, nodeElem, err := BuildTD(st, d, w)
+	return td, nodeElem, stage.Wrap(stage.BuildTD, err)
+}

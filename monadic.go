@@ -14,9 +14,19 @@
 //	s := monadic.MustParseSchema("a b -> c\nc -> b")
 //	primes, err := monadic.Primes(s)       // linear-time FPT enumeration
 //	ok, err := monadic.IsPrime(s, "a")     // single-attribute decision
+//
+// Repeated queries over one structure should go through a Session,
+// which caches the decomposition, normal forms and τ_td structure and
+// shares compiled programs, so only the linear-time evaluation runs
+// per query:
+//
+//	sess := monadic.NewSession(st)
+//	res, err := sess.Eval(ctx, phi, "x", monadic.CompileOptions{})
+//	fmt.Println(res.Trace) // per-stage wall time and cache hits
 package monadic
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bench"
@@ -31,6 +41,7 @@ import (
 	"repro/internal/normalform"
 	"repro/internal/primality"
 	"repro/internal/schema"
+	"repro/internal/session"
 	"repro/internal/structure"
 	"repro/internal/threecol"
 	"repro/internal/tree"
@@ -68,7 +79,46 @@ type (
 	Compiled = core.Compiled
 	// Set is a bit set of element/attribute/vertex indices.
 	Set = bitset.Set
+	// Session binds a structure and caches its pipeline artifacts across
+	// queries (decomposition, normal forms, τ_td, compiled programs).
+	Session = session.Session
+	// SchemaSession is the analogous cache for PRIMALITY over a schema.
+	SchemaSession = session.SchemaSession
+	// SessionStats counts the expensive operations a session performed.
+	SessionStats = session.Stats
+	// ProgramCache memoizes MSO compilations per (formula, width, options).
+	ProgramCache = session.ProgramCache
+	// StageError tags pipeline errors (incl. context cancellation) with
+	// the stage that observed them; recover it with errors.As.
+	StageError = session.StageError
+	// Trace records per-stage wall time, output size and cache hits.
+	Trace = session.Trace
 )
+
+// Sessions.
+
+// NewSession creates a session bound to st, sharing the package-wide
+// program cache.
+func NewSession(st *Structure) *Session { return session.New(st) }
+
+// NewSessionWithCache creates a session with its own program cache.
+func NewSessionWithCache(st *Structure, pc *ProgramCache) *Session {
+	return session.NewWithCache(st, pc)
+}
+
+// NewProgramCache returns an empty compiled-program cache.
+func NewProgramCache() *ProgramCache { return session.NewProgramCache() }
+
+// SessionFor returns the registry session for st (one per structure,
+// bounded FIFO), so repeated RunMSO calls on the same structure reuse
+// artifacts.
+func SessionFor(st *Structure) *Session { return session.For(st) }
+
+// NewSchemaSession creates a session bound to a schema for PRIMALITY.
+func NewSchemaSession(s *Schema) *SchemaSession { return session.NewSchemaSession(s) }
+
+// SchemaSessionFor returns the registry session for s.
+func SchemaSessionFor(s *Schema) *SchemaSession { return session.ForSchema(s) }
 
 // Parsing.
 
@@ -98,9 +148,19 @@ func Decompose(st *Structure) (*Decomposition, error) {
 	return decompose.Structure(st, decompose.MinFill)
 }
 
+// DecomposeCtx is Decompose with cancellation.
+func DecomposeCtx(ctx context.Context, st *Structure) (*Decomposition, error) {
+	return decompose.StructureCtx(ctx, st, decompose.MinFill)
+}
+
 // DecomposeGraph computes a tree decomposition of a graph.
 func DecomposeGraph(g *Graph) (*Decomposition, error) {
 	return decompose.Graph(g, decompose.MinFill)
+}
+
+// DecomposeGraphCtx is DecomposeGraph with cancellation.
+func DecomposeGraphCtx(ctx context.Context, g *Graph) (*Decomposition, error) {
+	return decompose.GraphCtx(ctx, g, decompose.MinFill)
 }
 
 // Treewidth computes the exact treewidth of a small graph.
@@ -131,10 +191,21 @@ func BuildTD(st *Structure, d *Decomposition, w int) (*Structure, []int, error) 
 // EvalDatalog evaluates a program by stratified semi-naive iteration.
 func EvalDatalog(p *Program, edb *DB) (*DB, error) { return datalog.Eval(p, edb) }
 
+// EvalDatalogCtx is EvalDatalog with cancellation, polled inside each
+// stratum.
+func EvalDatalogCtx(ctx context.Context, p *Program, edb *DB) (*DB, error) {
+	return datalog.EvalCtx(ctx, p, edb)
+}
+
 // EvalQuasiGuarded evaluates a quasi-guarded semipositive program in time
 // O(|P|·|A|) by grounding and unit resolution (Theorem 4.4).
 func EvalQuasiGuarded(p *Program, edb *DB, fds []FuncDep) (*DB, error) {
 	return datalog.EvalQuasiGuarded(p, edb, fds)
+}
+
+// EvalQuasiGuardedCtx is EvalQuasiGuarded with cancellation.
+func EvalQuasiGuardedCtx(ctx context.Context, p *Program, edb *DB, fds []FuncDep) (*DB, error) {
+	return datalog.EvalQuasiGuardedCtx(ctx, p, edb, fds)
 }
 
 // TDFuncDeps returns the functional dependencies of the τ_td predicates.
@@ -173,10 +244,24 @@ func CompileMSO(sig *Signature, f *Formula, freeVar string, opts CompileOptions)
 	return core.Compile(sig, f, freeVar, opts)
 }
 
+// CompileMSOCtx is CompileMSO with cancellation.
+func CompileMSOCtx(ctx context.Context, sig *Signature, f *Formula, freeVar string, opts CompileOptions) (*Compiled, error) {
+	return core.CompileCtx(ctx, sig, f, freeVar, opts)
+}
+
 // RunMSO evaluates an MSO query over a structure end-to-end via the
-// compiled datalog program (Corollary 4.6).
+// compiled datalog program (Corollary 4.6). It goes through the
+// structure's registry session, so repeated queries over the same
+// structure reuse the decomposition, normal forms and τ_td artifacts.
 func RunMSO(st *Structure, f *Formula, freeVar string, opts CompileOptions) (*core.Result, error) {
-	return core.Run(st, f, freeVar, opts)
+	return session.For(st).Eval(context.Background(), f, freeVar, opts)
+}
+
+// RunMSOCtx is RunMSO with cancellation: ctx is checked in every
+// pipeline stage, and cancellation comes back as a *StageError wrapping
+// ctx.Err().
+func RunMSOCtx(ctx context.Context, st *Structure, f *Formula, freeVar string, opts CompileOptions) (*core.Result, error) {
+	return session.For(st).Eval(ctx, f, freeVar, opts)
 }
 
 // PrimalityMSO returns the unary MSO primality query of Example 2.6.
@@ -187,11 +272,28 @@ func ThreeColorabilityMSO() *Formula { return mso.ThreeColorability() }
 
 // Problem solvers.
 
-// IsPrime decides whether the named attribute is prime (Fig. 6 DP).
-func IsPrime(s *Schema, attr string) (bool, error) { return primality.IsPrime(s, attr) }
+// IsPrime decides whether the named attribute is prime (Fig. 6 DP). It
+// goes through the schema's registry session, so repeated decisions on
+// one schema reuse the decomposed instance.
+func IsPrime(s *Schema, attr string) (bool, error) {
+	return session.ForSchema(s).IsPrime(context.Background(), attr)
+}
 
-// Primes enumerates all prime attributes in linear time (Section 5.3).
-func Primes(s *Schema) (*Set, error) { return primality.Primes(s) }
+// IsPrimeCtx is IsPrime with cancellation.
+func IsPrimeCtx(ctx context.Context, s *Schema, attr string) (bool, error) {
+	return session.ForSchema(s).IsPrime(ctx, attr)
+}
+
+// Primes enumerates all prime attributes in linear time (Section 5.3),
+// memoized per schema through the registry session.
+func Primes(s *Schema) (*Set, error) {
+	return session.ForSchema(s).Primes(context.Background())
+}
+
+// PrimesCtx is Primes with cancellation.
+func PrimesCtx(ctx context.Context, s *Schema) (*Set, error) {
+	return session.ForSchema(s).Primes(ctx)
+}
 
 // PrimalityInstance exposes the full PRIMALITY API (decision,
 // enumeration, naive baseline, grounding, relevance, key witnesses).
@@ -216,6 +318,15 @@ func KeyFor(s *Schema, attr string) (key []int, ok bool, err error) {
 
 // ThreeColorable decides 3-colorability of a graph (Fig. 5 DP).
 func ThreeColorable(g *Graph) (bool, error) { return threecol.Decide(g) }
+
+// ThreeColorableCtx is ThreeColorable with cancellation.
+func ThreeColorableCtx(ctx context.Context, g *Graph) (bool, error) {
+	in, err := threecol.NewInstanceCtx(ctx, g)
+	if err != nil {
+		return false, err
+	}
+	return in.DecideCtx(ctx)
+}
 
 // ThreeColoring returns a proper 3-coloring if one exists.
 func ThreeColoring(g *Graph) ([]int, bool, error) {
