@@ -431,6 +431,8 @@ func BenchmarkSchemaBruteForcePrimality(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.IsPrimeBruteForce(0)
+		if _, err := s.IsPrimeBruteForce(0); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -74,6 +75,11 @@ func TestCLIMdlogAndMSO(t *testing.T) {
 	if !strings.Contains(out, "path(a,d).") {
 		t.Fatalf("output: %q", out)
 	}
+	out = runTool(t, "./cmd/mdlog", "-program", "testdata/guarded.dl",
+		"-edb", "testdata/guarded_facts.dl", "-mode", "guarded", "-width", "1", "-query", "accept")
+	if !strings.Contains(out, "accept") {
+		t.Fatalf("guarded output: %q", out)
+	}
 	out = runTool(t, "./cmd/msoeval", "-structure", "testdata/cycle5.graph",
 		"-formula", "forall x exists y e(x, y)")
 	if !strings.Contains(out, "holds: true") {
@@ -126,6 +132,161 @@ func TestCLIBenchtableSessionJSON(t *testing.T) {
 	if rep.Results.Speedup <= 0 {
 		t.Fatalf("speedup missing: %+v", rep)
 	}
+}
+
+// runToolErr runs a tool expecting failure and returns its exit code,
+// stdout and stderr. go run itself always exits 1 on a child failure
+// and reports the child's real code in an "exit status N" stderr line,
+// so the code is recovered from that line (and the line stripped).
+func runToolErr(t *testing.T, env []string, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Env = append(os.Environ(), env...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if _, ok := err.(*exec.ExitError); ok {
+		code = 1
+	} else if err != nil {
+		t.Fatalf("go run %v: %v", args, err)
+	}
+	var kept []string
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "exit status "); ok {
+			if n, err := strconv.Atoi(strings.TrimSpace(rest)); err == nil {
+				code = n
+			}
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return code, stdout.String(), strings.TrimRight(strings.Join(kept, "\n"), "\n")
+}
+
+// assertOneCleanLine checks a tool's error output is a single line with
+// no trace of a panic stack.
+func assertOneCleanLine(t *testing.T, stderr string) {
+	t.Helper()
+	if strings.Count(stderr, "\n") != 0 || stderr == "" {
+		t.Fatalf("stderr is not one line: %q", stderr)
+	}
+	for _, needle := range []string{"goroutine", "runtime.", ".go:"} {
+		if strings.Contains(stderr, needle) {
+			t.Fatalf("stderr leaks a stack trace (%q): %q", needle, stderr)
+		}
+	}
+}
+
+// TestCLIMalformedInput pins the error contract for bad input: exit
+// code 1 and a single stage-free message naming the source position.
+func TestCLIMalformedInput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.graph")
+	if err := os.WriteFile(bad, []byte("e(a,b). e(a,\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runToolErr(t, nil, "./cmd/treewidth", "-graph", bad)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstderr: %s", code, stderr)
+	}
+	assertOneCleanLine(t, stderr)
+	if !strings.HasPrefix(stderr, "treewidth: ") || !strings.Contains(stderr, "line 1") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+
+	code, _, stderr = runToolErr(t, nil, "./cmd/mdlog",
+		"-program", bad, "-edb", bad)
+	if code != 1 {
+		t.Fatalf("mdlog exit code %d, want 1\nstderr: %s", code, stderr)
+	}
+	assertOneCleanLine(t, stderr)
+	if !strings.HasPrefix(stderr, "mdlog: ") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}
+
+// TestCLIBudgetExceeded pins exit code 3 and the stage-tagged one-line
+// message when -budget is too small for the run.
+func TestCLIBudgetExceeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	code, _, stderr := runToolErr(t, nil, "./cmd/mdlog",
+		"-program", "testdata/guarded.dl", "-edb", "testdata/guarded_facts.dl",
+		"-mode", "guarded", "-width", "1", "-budget", "2")
+	if code != 3 {
+		t.Fatalf("exit code %d, want 3\nstderr: %s", code, stderr)
+	}
+	assertOneCleanLine(t, stderr)
+	if !strings.Contains(stderr, "budget") || !strings.Contains(stderr, "[eval]") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}
+
+// TestCLITimeoutExceeded pins exit code 4 for a deadline that cannot be
+// met.
+func TestCLITimeoutExceeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	code, _, stderr := runToolErr(t, nil, "./cmd/treewidth",
+		"-graph", "testdata/cycle5.graph", "-timeout", "1ns")
+	if code != 4 {
+		t.Fatalf("exit code %d, want 4\nstderr: %s", code, stderr)
+	}
+	assertOneCleanLine(t, stderr)
+	if !strings.Contains(stderr, "deadline") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}
+
+// TestCLIFaultInjection pins the FAULTINJECT env plumbing end to end:
+// an injected fault at a stage boundary surfaces as a one-line
+// stage-tagged error with exit code 1, and a fault in the min-fill
+// heuristic degrades to the min-degree rung, visible in -trace output.
+func TestCLIFaultInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	code, _, stderr := runToolErr(t, []string{"FAULTINJECT=session.build-td@1"},
+		"./cmd/treewidth", "-graph", "testdata/cycle5.graph", "-form", "tuple")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstderr: %s", code, stderr)
+	}
+	assertOneCleanLine(t, stderr)
+	if !strings.Contains(stderr, "[build-td]") || !strings.Contains(stderr, "injected fault") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+
+	// Degradation ladder: kill min-fill, watch the trace report the
+	// min-degree rung.
+	cmd := exec.Command("go", "run", "./cmd/treewidth",
+		"-graph", "testdata/cycle5.graph", "-trace")
+	cmd.Env = append(os.Environ(), "FAULTINJECT=decompose.min-fill@1")
+	var traceErr strings.Builder
+	cmd.Stderr = &traceErr
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("treewidth under min-fill fault: %v\n%s", err, traceErr.String())
+	}
+	if !strings.Contains(string(out), "width:") {
+		t.Fatalf("stdout: %q", out)
+	}
+	if !strings.Contains(traceErr.String(), "[min-degree]") {
+		t.Fatalf("trace does not show the fallback rung: %q", traceErr.String())
+	}
+
+	// A malformed FAULTINJECT spec is rejected up front.
+	code, _, stderr = runToolErr(t, []string{"FAULTINJECT=seed=notanumber"},
+		"./cmd/treewidth", "-graph", "testdata/cycle5.graph")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstderr: %s", code, stderr)
+	}
+	assertOneCleanLine(t, stderr)
 }
 
 func TestCLITreewidthTraceAndTimeout(t *testing.T) {

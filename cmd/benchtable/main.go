@@ -22,7 +22,6 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cli"
 	"repro/internal/workload"
 )
 
@@ -49,12 +49,11 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
 	flag.Parse()
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	if err := cli.Init(); err != nil {
+		fail(err)
 	}
+	ctx, cancel := cli.Context(*timeout, 0)
+	defer cancel()
 
 	if *sessionN > 0 {
 		res, err := bench.SessionReuse(ctx, *sessionN, *seed)
@@ -168,6 +167,5 @@ func writeJSON(enabled bool, dir, mode string, payload any) {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	cli.Fail("benchtable", err)
 }

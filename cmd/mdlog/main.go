@@ -1,6 +1,6 @@
 // Command mdlog evaluates a datalog program over an extensional database.
 //
-//	mdlog -program prog.dl -edb facts.dl [-mode seminaive|guarded] [-width w] [-query pred] [-timeout d]
+//	mdlog -program prog.dl -edb facts.dl [-mode seminaive|guarded] [-width w] [-query pred] [-timeout d] [-budget n]
 //
 // The EDB file contains ground facts in datalog syntax ("edge(a,b)." per
 // line). In guarded mode the program must be quasi-guarded over the τ_td
@@ -10,13 +10,12 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
-	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/datalog"
 )
 
@@ -27,14 +26,14 @@ func main() {
 	width := flag.Int("width", 1, "treewidth for the τ_td functional dependencies (guarded mode)")
 	query := flag.String("query", "", "only print facts of this predicate (default: all intensional)")
 	timeout := flag.Duration("timeout", 0, "abort the evaluation after this duration (0 = none)")
+	budget := flag.Int64("budget", 0, "per-dimension resource budget, e.g. ground atoms (0 = unlimited)")
 	flag.Parse()
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	if err := cli.Init(); err != nil {
+		fail(err)
 	}
+	ctx, cancel := cli.Context(*timeout, *budget)
+	defer cancel()
 
 	if *progPath == "" || *edbPath == "" {
 		fmt.Fprintln(os.Stderr, "mdlog: -program and -edb are required")
@@ -119,6 +118,5 @@ func loadEDB(path string) (*datalog.DB, error) {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, strings.TrimSpace(err.Error()))
-	os.Exit(1)
+	cli.Fail("mdlog", err)
 }

@@ -11,13 +11,13 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/mso"
 	"repro/internal/structure"
@@ -32,14 +32,14 @@ func main() {
 	maxTypes := flag.Int("maxtypes", 2000, "abort after this many types")
 	maxWitness := flag.Int("maxwitness", 12, "witness-domain size limit")
 	timeout := flag.Duration("timeout", 0, "abort the compilation after this duration (0 = none)")
+	budget := flag.Int64("budget", 0, "per-dimension resource budget, e.g. automaton states (0 = unlimited)")
 	flag.Parse()
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	if err := cli.Init(); err != nil {
+		fail(err)
 	}
+	ctx, cancel := cli.Context(*timeout, *budget)
+	defer cancel()
 
 	if *sigSpec == "" || *formulaSrc == "" {
 		fmt.Fprintln(os.Stderr, "mso2datalog: -sig and -formula are required")
@@ -86,6 +86,5 @@ func parseSig(spec string) (*structure.Signature, error) {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	cli.Fail("mso2datalog", err)
 }

@@ -10,7 +10,6 @@
 package main
 
 import (
-	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -18,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/mso"
 	"repro/internal/structure"
 )
@@ -30,12 +30,11 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
 	flag.Parse()
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	if err := cli.Init(); err != nil {
+		fail(err)
 	}
+	ctx, cancel := cli.Context(*timeout, 0)
+	defer cancel()
 
 	if *stPath == "" || *formulaSrc == "" {
 		fmt.Fprintln(os.Stderr, "msoeval: -structure and -formula are required")
@@ -88,7 +87,7 @@ func main() {
 func reportBudget(err error) {
 	if errors.Is(err, mso.ErrBudget) {
 		fmt.Fprintln(os.Stderr, "msoeval: budget exhausted (the MONA-style out-of-memory outcome)")
-		os.Exit(3)
+		os.Exit(cli.ExitBudget)
 	}
 	if err != nil {
 		fail(err)
@@ -96,6 +95,5 @@ func reportBudget(err error) {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	cli.Fail("msoeval", err)
 }

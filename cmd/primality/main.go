@@ -13,12 +13,12 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/normalform"
 	"repro/internal/primality"
 	"repro/internal/schema"
@@ -34,14 +34,14 @@ func main() {
 	check3nf := flag.Bool("check3nf", false, "check third normal form")
 	checkBCNF := flag.Bool("checkbcnf", false, "check Boyce–Codd normal form")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
+	budget := flag.Int64("budget", 0, "per-dimension resource budget (0 = unlimited)")
 	flag.Parse()
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	if err := cli.Init(); err != nil {
+		fail(err)
 	}
+	ctx, cancel := cli.Context(*timeout, *budget)
+	defer cancel()
 
 	modes := 0
 	for _, m := range []bool{*attr != "", *all, *check3nf, *checkBCNF} {
@@ -95,7 +95,10 @@ func main() {
 			fmt.Println()
 		}
 	case *brute:
-		primes := s.PrimesBruteForce()
+		primes, err := s.PrimesBruteForce()
+		if err != nil {
+			fail(err)
+		}
 		printPrimes(s, primes.Elems())
 	default:
 		var elems []int
@@ -139,6 +142,5 @@ func printPrimes(s *schema.Schema, elems []int) {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	cli.Fail("primality", err)
 }

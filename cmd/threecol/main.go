@@ -8,12 +8,12 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/graph"
 	"repro/internal/structure"
 	"repro/internal/threecol"
@@ -24,14 +24,14 @@ func main() {
 	witness := flag.Bool("witness", false, "print a 3-coloring if one exists")
 	brute := flag.Bool("brute", false, "use the exponential baseline instead of the DP")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
+	budget := flag.Int64("budget", 0, "per-dimension resource budget (0 = unlimited)")
 	flag.Parse()
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	if err := cli.Init(); err != nil {
+		fail(err)
 	}
+	ctx, cancel := cli.Context(*timeout, *budget)
+	defer cancel()
 
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "threecol: -graph is required")
@@ -84,6 +84,5 @@ func main() {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	cli.Fail("threecol", err)
 }

@@ -8,8 +8,10 @@
 // indented tree with node kinds after normalization.
 //
 // The default min-fill path runs through the session pipeline: -trace
-// prints per-stage wall time, and -timeout aborts long decompositions
-// with a stage-tagged deadline error.
+// prints per-stage wall time (including the decomposition rung used),
+// -timeout aborts long decompositions with a stage-tagged deadline
+// error, and -budget caps ground atoms, automaton states, and DP table
+// entries.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/decompose"
 	"repro/internal/graph"
 	"repro/internal/schema"
@@ -34,14 +37,14 @@ func main() {
 	form := flag.String("form", "raw", "output form: raw, nice, or tuple")
 	trace := flag.Bool("trace", false, "print per-stage timings to stderr")
 	timeout := flag.Duration("timeout", 0, "abort after this duration (0 = none)")
+	budget := flag.Int64("budget", 0, "per-dimension resource budget (0 = unlimited)")
 	flag.Parse()
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	if err := cli.Init(); err != nil {
+		fail(err)
 	}
+	ctx, cancel := cli.Context(*timeout, *budget)
+	defer cancel()
 
 	st, err := loadStructure(*graphPath, *schemaPath)
 	if err != nil {
@@ -132,6 +135,5 @@ func loadStructure(graphPath, schemaPath string) (*structure.Structure, error) {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	cli.Fail("treewidth", err)
 }

@@ -47,8 +47,12 @@ g -> e
 
 	// Keys (the paper: abd and acd) via the exponential oracle, for
 	// illustration.
+	keys, err := s.Keys()
+	if err != nil {
+		panic(err)
+	}
 	fmt.Print("keys:")
-	for _, k := range s.Keys() {
+	for _, k := range keys {
 		fmt.Print(" {")
 		for i, a := range k.Elems() {
 			if i > 0 {

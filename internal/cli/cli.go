@@ -1,0 +1,112 @@
+// Package cli centralizes what every cmd/* tool needs to fail well: a
+// shared exit-code taxonomy, one-line stage-tagged error rendering
+// (never a stack trace), resource-budget and deadline plumbing, and
+// fault-injection arming from the FAULTINJECT environment variable.
+//
+// Exit codes:
+//
+//	0  success
+//	1  generic error (bad input, invalid data, internal error)
+//	2  usage error (flag parsing; emitted by the tools themselves)
+//	3  resource budget exceeded (-budget, mso step budget)
+//	4  deadline or cancellation (-timeout)
+//	5  recovered panic (a bug — the one-line message names the stage)
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/stage"
+)
+
+// Exit codes shared by all cmd/* tools.
+const (
+	ExitOK      = 0
+	ExitError   = 1
+	ExitUsage   = 2
+	ExitBudget  = 3
+	ExitTimeout = 4
+	ExitPanic   = 5
+)
+
+// ExitCode classifies err into the taxonomy above. Stage tags do not
+// affect the class, only the message.
+func ExitCode(err error) int {
+	var pe *stage.PanicError
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.As(err, &pe):
+		return ExitPanic
+	case errors.Is(err, stage.ErrBudgetExceeded):
+		return ExitBudget
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return ExitTimeout
+	default:
+		return ExitError
+	}
+}
+
+// Message renders err as a single line prefixed with the tool name and,
+// when the error carries one, its pipeline stage. Panic stacks are
+// dropped: users get "panic in stage X: v", debuggers can re-run with
+// the fault plan or a debugger attached.
+func Message(tool string, err error) string {
+	s := stage.Of(err)
+	var pe *stage.PanicError
+	if errors.As(err, &pe) {
+		if s != "" {
+			return fmt.Sprintf("%s: [%s] internal error: recovered panic: %v", tool, s, pe.Value)
+		}
+		return fmt.Sprintf("%s: internal error: recovered panic: %v", tool, pe.Value)
+	}
+	msg := err.Error()
+	if s != "" {
+		// stage.Error renders as "stage X: ..."; reshape to "[X] ...".
+		msg = strings.TrimPrefix(msg, fmt.Sprintf("stage %s: ", s))
+		return fmt.Sprintf("%s: [%s] %s", tool, s, firstLine(msg))
+	}
+	return fmt.Sprintf("%s: %s", tool, firstLine(msg))
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// Fail prints the one-line message for err to stderr and exits with
+// its taxonomy code. It must only be called after flag parsing.
+func Fail(tool string, err error) {
+	fmt.Fprintln(os.Stderr, Message(tool, err))
+	os.Exit(ExitCode(err))
+}
+
+// Init arms fault injection from the FAULTINJECT environment variable
+// (see faultinject.InitFromSpec) and returns a usage-style error for a
+// malformed spec. Tools call it once, before doing work.
+func Init() error {
+	return faultinject.InitFromSpec(os.Getenv("FAULTINJECT"))
+}
+
+// Context builds the tool's root context: a deadline from timeout (0 =
+// none) and a uniform resource budget of n for each metered dimension
+// (0 = unlimited), attached via the stage budget plumbing. The cancel
+// func must be deferred.
+func Context(timeout time.Duration, n int64) (context.Context, context.CancelFunc) {
+	b := stage.Uniform(n)
+	if timeout > 0 {
+		if b == nil {
+			b = &stage.Budget{}
+		}
+		b.Deadline = time.Now().Add(timeout)
+	}
+	return stage.ApplyDeadline(context.Background(), b)
+}

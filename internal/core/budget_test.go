@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/mso"
+	"repro/internal/stage"
+)
+
+// TestBudgetGroundAtomsExceeded caps ground atoms below what the
+// evaluation needs: the pipeline must stop with a stage-tagged budget
+// error whose tally sits at the limit — the grounder stops interning the
+// moment the cap is crossed, it does not materialize the blowup first.
+func TestBudgetGroundAtomsExceeded(t *testing.T) {
+	st := randColored(rand.New(rand.NewSource(51)), 12)
+	phi := mso.MustParse("c(x) | ~c(x)")
+
+	b := &stage.Budget{MaxGroundAtoms: 3}
+	ctx := stage.WithBudget(context.Background(), b)
+	_, err := RunCtx(ctx, st, phi, "x", Options{})
+	if !errors.Is(err, stage.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want budget exceeded", err)
+	}
+	if got := stage.Of(err); got != stage.Eval {
+		t.Fatalf("tagged stage %q, want %q", got, stage.Eval)
+	}
+	var be *stage.BudgetError
+	if !errors.As(err, &be) || be.Dimension != "ground-atoms" {
+		t.Fatalf("err = %v, want ground-atoms BudgetError", err)
+	}
+	// Bounded memory: the violation is reported at limit+1, and the tally
+	// never ran past it.
+	if be.Used != be.Limit+1 {
+		t.Fatalf("violation at %d atoms against limit %d; grounder overshot", be.Used, be.Limit)
+	}
+	atoms, _, _ := b.Used()
+	if atoms > be.Limit+1 {
+		t.Fatalf("tally kept growing after violation: %d atoms", atoms)
+	}
+}
+
+// TestBudgetStatesExceeded caps interned k-types below what compilation
+// needs; the violation must surface from the compile stage.
+func TestBudgetStatesExceeded(t *testing.T) {
+	st := randColored(rand.New(rand.NewSource(53)), 8)
+	phi := mso.MustParse("exists y (c(y) & (c(x) | ~c(y)))")
+
+	ctx := stage.WithBudget(context.Background(), &stage.Budget{MaxStates: 2})
+	_, err := RunCtx(ctx, st, phi, "x", Options{})
+	if !errors.Is(err, stage.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want budget exceeded", err)
+	}
+	if got := stage.Of(err); got != stage.Compile {
+		t.Fatalf("tagged stage %q, want %q", got, stage.Compile)
+	}
+	var be *stage.BudgetError
+	if !errors.As(err, &be) || be.Dimension != "states" {
+		t.Fatalf("err = %v, want states BudgetError", err)
+	}
+}
+
+// TestBudgetSufficientIsInvisible pins that a budget large enough for
+// the run changes nothing: same answer, and the tally reflects real
+// consumption.
+func TestBudgetSufficientIsInvisible(t *testing.T) {
+	st := randColored(rand.New(rand.NewSource(59)), 10)
+	phi := mso.MustParse("c(x)")
+
+	plain, err := Run(st, phi, "x", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := stage.Uniform(1 << 20)
+	res, err := RunCtx(stage.WithBudget(context.Background(), b), st, phi, "x", Options{})
+	if err != nil {
+		t.Fatalf("run within budget: %v", err)
+	}
+	if !res.Selected.Equal(plain.Selected) {
+		t.Fatalf("budgeted run diverged: %v vs %v", res.Selected.Elems(), plain.Selected.Elems())
+	}
+	atoms, states, _ := b.Used()
+	if atoms == 0 || states == 0 {
+		t.Fatalf("budget not metered: atoms %d, states %d", atoms, states)
+	}
+}
+
+// TestBudgetDeadline attaches a budget whose deadline has already
+// passed; ApplyDeadline must produce a context that fails the run with a
+// stage-tagged deadline error.
+func TestBudgetDeadline(t *testing.T) {
+	st := randColored(rand.New(rand.NewSource(61)), 8)
+	phi := mso.MustParse("c(x)")
+
+	b := &stage.Budget{Deadline: time.Now().Add(-time.Second)}
+	ctx, cancel := stage.ApplyDeadline(context.Background(), b)
+	defer cancel()
+	_, err := RunCtx(ctx, st, phi, "x", Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if got := stage.Of(err); got == "" {
+		t.Fatalf("deadline error not stage-tagged: %v", err)
+	}
+}

@@ -153,6 +153,7 @@ func CompileCtx(ctx context.Context, sig *structure.Signature, phi *mso.Formula,
 	}
 	mc := msotype.NewComputer()
 	mc.MaxDomain = opts.MaxWitnessDomain
+	mc.Budget = stage.BudgetFrom(ctx)
 	c := &compiler{
 		ctx:     ctx,
 		sig:     sig,

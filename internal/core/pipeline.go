@@ -8,6 +8,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/datalog"
 	"repro/internal/decompose"
+	"repro/internal/faultinject"
 	"repro/internal/mso"
 	"repro/internal/stage"
 	"repro/internal/structure"
@@ -55,14 +56,27 @@ func Run(st *structure.Structure, phi *mso.Formula, xVar string, opts Options) (
 // RunCtx is Run with cancellation support: every stage polls ctx and a
 // context error comes back wrapped in a *stage.Error naming the stage
 // that observed it. The Result carries a stage.Trace of the run.
-func RunCtx(ctx context.Context, st *structure.Structure, phi *mso.Formula, xVar string, opts Options) (*Result, error) {
+//
+// Resource budgets attached to ctx via stage.WithBudget (or
+// stage.ApplyDeadline) are enforced at the pipeline's blowup points; a
+// violation returns a stage-tagged error wrapping
+// stage.ErrBudgetExceeded. Decomposition descends the degradation
+// ladder (see decompose.GraphLadderCtx); the rung that produced the
+// decomposition is recorded as the Decompose stat's Detail. A panic in
+// any stage is recovered into a stage-tagged *stage.PanicError rather
+// than crashing the caller.
+func RunCtx(ctx context.Context, st *structure.Structure, phi *mso.Formula, xVar string, opts Options) (res *Result, err error) {
+	defer stage.RecoverTo(stage.Decompose, &err)
 	trace := &stage.Trace{}
 	start := time.Now()
-	d, err := decompose.StructureCtx(ctx, st, decompose.MinFill)
+	if err := faultinject.Check("core.decompose"); err != nil {
+		return nil, stage.Wrap(stage.Decompose, err)
+	}
+	d, rung, err := decompose.StructureLadderCtx(ctx, st)
 	if err != nil {
 		return nil, stage.Wrap(stage.Decompose, err)
 	}
-	trace.Record(stage.Decompose, time.Since(start), d.Len(), false)
+	trace.RecordDetail(stage.Decompose, time.Since(start), d.Len(), false, rung)
 	return runWithDecomposition(ctx, st, d, phi, xVar, opts, trace)
 }
 
@@ -78,14 +92,22 @@ func RunWithDecompositionCtx(ctx context.Context, st *structure.Structure, d *tr
 	return runWithDecomposition(ctx, st, d, phi, xVar, opts, &stage.Trace{})
 }
 
-func runWithDecomposition(ctx context.Context, st *structure.Structure, d *tree.Decomposition, phi *mso.Formula, xVar string, opts Options, trace *stage.Trace) (*Result, error) {
+func runWithDecomposition(ctx context.Context, st *structure.Structure, d *tree.Decomposition, phi *mso.Formula, xVar string, opts Options, trace *stage.Trace) (res *Result, err error) {
+	// A single deferred recover covers every stage below; cur tracks the
+	// stage in flight so a panic surfaces tagged with the stage it
+	// escaped from.
+	cur := stage.NormalizeTuple
+	defer stage.RecoverAt(&cur, &err)
 	if err := d.Validate(st); err != nil {
 		return nil, fmt.Errorf("core: invalid decomposition: %w", err)
+	}
+	if err := faultinject.Check("core.normalize-tuple"); err != nil {
+		return nil, stage.Wrap(stage.NormalizeTuple, err)
 	}
 	start := time.Now()
 	norm, err := tree.NormalizeTupleCtx(ctx, d)
 	if err != nil {
-		return nil, err
+		return nil, stage.Wrap(stage.NormalizeTuple, err)
 	}
 	trace.Record(stage.NormalizeTuple, time.Since(start), norm.Len(), false)
 	w := norm.Width()
@@ -93,18 +115,30 @@ func runWithDecomposition(ctx context.Context, st *structure.Structure, d *tree.
 		return nil, fmt.Errorf("core: decomposition width %d does not match requested width %d", w, *opts.RequestedWidth)
 	}
 	opts.Width = w
+	cur = stage.BuildTD
+	if err := faultinject.Check("core.build-td"); err != nil {
+		return nil, stage.Wrap(stage.BuildTD, err)
+	}
 	start = time.Now()
 	td, _, err := tree.BuildTDCtx(ctx, st, norm, w)
 	if err != nil {
-		return nil, err
+		return nil, stage.Wrap(stage.BuildTD, err)
 	}
 	trace.Record(stage.BuildTD, time.Since(start), td.Size(), false)
+	cur = stage.Compile
+	if err := faultinject.Check("core.compile"); err != nil {
+		return nil, stage.Wrap(stage.Compile, err)
+	}
 	start = time.Now()
 	compiled, err := CompileCtx(ctx, st.Sig(), phi, xVar, opts)
 	if err != nil {
 		return nil, stage.Wrap(stage.Compile, err)
 	}
 	trace.Record(stage.Compile, time.Since(start), len(compiled.Program.Rules), false)
+	cur = stage.Eval
+	if err := faultinject.Check("core.eval"); err != nil {
+		return nil, stage.Wrap(stage.Eval, err)
+	}
 	start = time.Now()
 	edb := datalog.FromStructure(td, "")
 	out, err := datalog.EvalQuasiGuardedCtx(ctx, compiled.Program, edb, datalog.TDFuncDeps(w))

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/stage"
 )
 
@@ -325,10 +326,25 @@ func runStratumRound(ctx context.Context, tasks []stratumTask, delta map[string]
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	// evalTask wraps one rule evaluation with panic containment and the
+	// worker-loop fault-injection point: a handler or join panic becomes
+	// a stage-tagged *stage.PanicError instead of killing the worker
+	// goroutine (and with it the process).
+	evalTask := func(t stratumTask, emit func([]int)) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = stage.Wrap(stage.Eval, stage.NewPanicError(r))
+			}
+		}()
+		if err := faultinject.Check("datalog.stratum-task"); err != nil {
+			return stage.Wrap(stage.Eval, err)
+		}
+		return t.prog.eval(delta, t.occ, emit)
+	}
 	if workers <= 1 || workSize < parallelThreshold {
 		for _, t := range tasks {
 			rel, nd := sink(t)
-			err := t.prog.eval(delta, t.occ, func(tuple []int) {
+			err := evalTask(t, func(tuple []int) {
 				if rel.insertOwned(tuple) {
 					nd.appendShared(tuple)
 				}
@@ -347,8 +363,8 @@ func runStratumRound(ctx context.Context, tasks []stratumTask, delta map[string]
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(tasks); i += workers {
-				t := tasks[i]
-				errs[i] = t.prog.eval(delta, t.occ, func(tuple []int) {
+				i := i
+				errs[i] = evalTask(tasks[i], func(tuple []int) {
 					bufs[i] = append(bufs[i], tuple)
 				})
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/faultinject"
 	"repro/internal/horn"
 	"repro/internal/stage"
 )
@@ -151,6 +152,11 @@ type GroundProgram struct {
 	atoms []groundAtom
 	index map[uint64][]int // atom hash → candidate IDs (collision bucket)
 	db    *DB
+	// budget, when non-nil, caps len(atoms) at MaxGroundAtoms: the
+	// check fires per newly interned atom, so an over-budget grounding
+	// aborts in memory proportional to the cap, not the blowup.
+	budget    *stage.Budget
+	budgetErr error
 }
 
 type groundAtom struct {
@@ -160,7 +166,9 @@ type groundAtom struct {
 
 // atomID interns a ground atom without building a string key: the
 // (pred, tuple) pair is hashed FNV-style and candidates in the collision
-// bucket are compared structurally.
+// bucket are compared structurally. A budget violation is recorded in
+// g.budgetErr (checked by the grounding loops) rather than returned, so
+// the hot path keeps its int-only signature.
 func (g *GroundProgram) atomID(pred string, tuple []int) int {
 	h := fnvOffset64
 	for i := 0; i < len(pred); i++ {
@@ -177,6 +185,11 @@ func (g *GroundProgram) atomID(pred string, tuple []int) int {
 		a := g.atoms[id]
 		if a.pred == pred && equalTuple(a.tuple, tuple) {
 			return id
+		}
+	}
+	if g.budgetErr == nil {
+		if err := g.budget.AddGroundAtoms(1); err != nil {
+			g.budgetErr = stage.Wrap(stage.Eval, err)
 		}
 	}
 	id := len(g.atoms)
@@ -220,9 +233,12 @@ func GroundCtx(ctx context.Context, p *Program, edb *DB, fds []FuncDep) (*Ground
 	if _, err := QuasiGuards(p, fds); err != nil {
 		return nil, err
 	}
-	g := &GroundProgram{Horn: &horn.Program{}, index: map[uint64][]int{}, db: edb}
+	g := &GroundProgram{Horn: &horn.Program{}, index: map[uint64][]int{}, db: edb, budget: stage.BudgetFrom(ctx)}
 	for _, r := range p.Rules {
 		if err := ctx.Err(); err != nil {
+			return nil, stage.Wrap(stage.Eval, err)
+		}
+		if err := faultinject.Check("datalog.ground-rule"); err != nil {
 			return nil, stage.Wrap(stage.Eval, err)
 		}
 		if err := groundRule(ctx, g, r, edb, intens); err != nil {
@@ -272,6 +288,9 @@ func groundRule(ctx context.Context, g *GroundProgram, r Rule, edb *DB, intens m
 		}
 		if done == len(r.Body) {
 			head := g.atomID(r.Head.Pred, groundArgs(r.Head))
+			if g.budgetErr != nil {
+				return g.budgetErr
+			}
 			g.Horn.AddClause(head, bodyLits...)
 			return nil
 		}
@@ -302,6 +321,9 @@ func groundRule(ctx context.Context, g *GroundProgram, r Rule, edb *DB, intens m
 				keep = func() error { return nil }
 			case intens[a.Pred]:
 				lit := g.atomID(a.Pred, args)
+				if g.budgetErr != nil {
+					return g.budgetErr
+				}
 				bodyLits = append(bodyLits, lit)
 				keep = func() error {
 					bodyLits = bodyLits[:len(bodyLits)-1]

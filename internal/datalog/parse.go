@@ -18,7 +18,15 @@ import (
 // Identifiers starting with an upper-case letter or '_' are variables;
 // everything else is a constant. "not" (or "\+") negates the following
 // atom.
-func Parse(src string) (*Program, error) {
+// Errors name the 1-based source line. A bug in the parser is recovered
+// and returned as an error rather than escaping as a panic, so
+// untrusted input can never crash a caller.
+func Parse(src string) (prog *Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("datalog: internal parser error: %v", r)
+		}
+	}()
 	toks, err := tokenize(src)
 	if err != nil {
 		return nil, err
@@ -144,6 +152,18 @@ func parseRule(toks []token, i int) (Rule, int, error) {
 	return Rule{Head: head, Body: body}, i + 1, nil
 }
 
+// lineAt is the 1-based source line of toks[i], falling back to the
+// last token's line when i is past the end (truncated input).
+func lineAt(toks []token, i int) int {
+	if i < len(toks) {
+		return toks[i].line
+	}
+	if len(toks) > 0 {
+		return toks[len(toks)-1].line
+	}
+	return 1
+}
+
 func parseAtom(toks []token, i int, allowNeg bool) (Atom, int, error) {
 	neg := false
 	if i < len(toks) && toks[i].kind == "not" {
@@ -154,11 +174,7 @@ func parseAtom(toks []token, i int, allowNeg bool) (Atom, int, error) {
 		i++
 	}
 	if i >= len(toks) || toks[i].kind != "ident" {
-		ln := 0
-		if i < len(toks) {
-			ln = toks[i].line
-		}
-		return Atom{}, 0, fmt.Errorf("datalog: line %d: expected predicate name", ln)
+		return Atom{}, 0, fmt.Errorf("datalog: line %d: expected predicate name", lineAt(toks, i))
 	}
 	a := Atom{Pred: toks[i].text, Negated: neg}
 	i++
@@ -166,11 +182,7 @@ func parseAtom(toks []token, i int, allowNeg bool) (Atom, int, error) {
 		i++
 		for {
 			if i >= len(toks) || toks[i].kind != "ident" {
-				ln := 0
-				if i < len(toks) {
-					ln = toks[i].line
-				}
-				return Atom{}, 0, fmt.Errorf("datalog: line %d: expected term", ln)
+				return Atom{}, 0, fmt.Errorf("datalog: line %d: expected term", lineAt(toks, i))
 			}
 			a.Args = append(a.Args, termOf(toks[i].text))
 			i++
@@ -181,11 +193,7 @@ func parseAtom(toks []token, i int, allowNeg bool) (Atom, int, error) {
 			break
 		}
 		if i >= len(toks) || toks[i].kind != ")" {
-			ln := 0
-			if i < len(toks) {
-				ln = toks[i].line
-			}
-			return Atom{}, 0, fmt.Errorf("datalog: line %d: expected ')'", ln)
+			return Atom{}, 0, fmt.Errorf("datalog: line %d: expected ')'", lineAt(toks, i))
 		}
 		i++
 	}

@@ -1,0 +1,156 @@
+package decompose
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/stage"
+	"repro/internal/structure"
+	"repro/internal/tree"
+)
+
+// The degradation ladder: when a decomposition heuristic fails — its
+// sub-deadline fires, it panics, or a fault is injected at its rung —
+// the pipeline falls back to a cheaper heuristic instead of failing the
+// whole run. Width may degrade rung by rung, but every rung still
+// returns a *valid* decomposition (any elimination order does, see
+// FromOrder), so downstream correctness is unaffected; only the
+// parameter k the FPT machinery pays for may grow.
+//
+// Rungs, in order of decreasing quality and cost:
+//
+//	min-fill    best widths, costliest scoring
+//	min-degree  cheaper scoring, usually slightly worse widths
+//	greedy-bfs  linear-time reverse-BFS order, the rung of last resort
+//
+// Each rung is guarded by the fault-injection point "decompose.<rung>".
+
+// Rung names, exported for trace/test assertions.
+const (
+	RungMinFill   = "min-fill"
+	RungMinDegree = "min-degree"
+	RungGreedyBFS = "greedy-bfs"
+)
+
+// LadderRungs lists the ladder's rungs in descent order.
+var LadderRungs = []string{RungMinFill, RungMinDegree, RungGreedyBFS}
+
+// GraphLadderCtx decomposes g by descending the degradation ladder. It
+// returns the decomposition, the name of the rung that produced it, and
+// an error only if every rung failed or the parent context was done.
+// Errors are stage-tagged stage.Decompose.
+//
+// When ctx carries a deadline, each rung gets an equal share of the
+// time remaining at its start (the last rung gets all of it), so a
+// heuristic that stalls cannot starve its fallbacks. A rung failure
+// whose cause is the *parent* context (cancelled or past its own
+// deadline) aborts the ladder immediately — retrying could not succeed.
+func GraphLadderCtx(ctx context.Context, g *graph.Graph) (*tree.Decomposition, string, error) {
+	type rung struct {
+		name  string
+		order func(context.Context) ([]int, error)
+	}
+	rungs := []rung{
+		{RungMinFill, func(c context.Context) ([]int, error) { return OrderCtx(c, g, MinFill) }},
+		{RungMinDegree, func(c context.Context) ([]int, error) { return OrderCtx(c, g, MinDegree) }},
+		{RungGreedyBFS, func(c context.Context) ([]int, error) { return GreedyBFSOrderCtx(c, g) }},
+	}
+	var lastErr error
+	for i, r := range rungs {
+		if err := ctx.Err(); err != nil {
+			return nil, "", stage.Wrap(stage.Decompose, err)
+		}
+		rctx, cancel := rungContext(ctx, len(rungs)-i)
+		d, err := runRung(rctx, g, r.name, r.order)
+		cancel()
+		if err == nil {
+			return d, r.name, nil
+		}
+		lastErr = err
+		if perr := ctx.Err(); perr != nil {
+			// The parent run is over; the rung error is just its echo.
+			return nil, "", stage.Wrap(stage.Decompose, perr)
+		}
+	}
+	return nil, "", stage.Wrap(stage.Decompose,
+		fmt.Errorf("all decomposition rungs failed, last (%s): %w", rungs[len(rungs)-1].name, lastErr))
+}
+
+// rungContext derives the sub-deadline context for a rung with
+// remaining rungs (including itself) left on the ladder.
+func rungContext(ctx context.Context, remaining int) (context.Context, context.CancelFunc) {
+	dl, ok := ctx.Deadline()
+	if !ok || remaining <= 1 {
+		return ctx, func() {}
+	}
+	share := time.Until(dl) / time.Duration(remaining)
+	return context.WithDeadline(ctx, time.Now().Add(share))
+}
+
+// runRung executes one rung with fault injection and panic containment:
+// a panicking heuristic is a failed rung, not a crashed process.
+func runRung(ctx context.Context, g *graph.Graph, name string, order func(context.Context) ([]int, error)) (d *tree.Decomposition, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = stage.NewPanicError(r)
+		}
+	}()
+	if err := faultinject.Check("decompose." + name); err != nil {
+		return nil, err
+	}
+	o, err := order(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return FromOrderCtx(ctx, g, o)
+}
+
+// StructureLadderCtx is GraphLadderCtx over the primal graph of a
+// τ-structure.
+func StructureLadderCtx(ctx context.Context, st *structure.Structure) (*tree.Decomposition, string, error) {
+	return GraphLadderCtx(ctx, graph.Primal(st))
+}
+
+// GreedyBFSOrderCtx computes the ladder's last-resort elimination
+// order: the reverse of a BFS visit order, per connected component from
+// the lowest-numbered unvisited vertex. Eliminating leaves of the BFS
+// tree first keeps bags small on tree-like graphs and costs O(n+m) with
+// no scoring structures at all — it cannot stall, only yield worse
+// widths than the scored heuristics.
+func GreedyBFSOrderCtx(ctx context.Context, g *graph.Graph) ([]int, error) {
+	n := g.N()
+	visited := make([]bool, n)
+	visit := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			if len(visit)%ctxCheckRounds == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, stage.Wrap(stage.Decompose, err)
+				}
+			}
+			v := queue[0]
+			queue = queue[1:]
+			visit = append(visit, v)
+			g.Neighbors(v).ForEach(func(u int) bool {
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+				return true
+			})
+		}
+	}
+	for i, j := 0, len(visit)-1; i < j; i, j = i+1, j-1 {
+		visit[i], visit[j] = visit[j], visit[i]
+	}
+	return visit, nil
+}

@@ -1,0 +1,144 @@
+package decompose
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/stage"
+)
+
+func ladderTestGraph() *graph.Graph {
+	g := graph.New(8)
+	for v := 1; v < 8; v++ {
+		g.AddEdge(v-1, v)
+	}
+	g.AddEdge(0, 7)
+	return g
+}
+
+func TestLadderTopRung(t *testing.T) {
+	g := ladderTestGraph()
+	d, rung, err := GraphLadderCtx(context.Background(), g)
+	if err != nil {
+		t.Fatalf("ladder: %v", err)
+	}
+	if rung != RungMinFill {
+		t.Fatalf("rung = %q, want %q", rung, RungMinFill)
+	}
+	if err := d.ValidateGraph(g); err != nil {
+		t.Fatalf("invalid decomposition: %v", err)
+	}
+}
+
+func TestLadderFallsThroughRungs(t *testing.T) {
+	g := ladderTestGraph()
+
+	faultinject.Reset()
+	defer faultinject.Reset()
+	faultinject.FailAt("decompose."+RungMinFill, 1)
+	d, rung, err := GraphLadderCtx(context.Background(), g)
+	if err != nil {
+		t.Fatalf("ladder after min-fill fault: %v", err)
+	}
+	if rung != RungMinDegree {
+		t.Fatalf("rung = %q, want %q", rung, RungMinDegree)
+	}
+	if err := d.ValidateGraph(g); err != nil {
+		t.Fatalf("invalid decomposition: %v", err)
+	}
+
+	faultinject.Reset()
+	faultinject.FailAt("decompose."+RungMinFill, 1)
+	faultinject.FailAt("decompose."+RungMinDegree, 1)
+	d, rung, err = GraphLadderCtx(context.Background(), g)
+	if err != nil {
+		t.Fatalf("ladder after two faults: %v", err)
+	}
+	if rung != RungGreedyBFS {
+		t.Fatalf("rung = %q, want %q", rung, RungGreedyBFS)
+	}
+	if err := d.ValidateGraph(g); err != nil {
+		t.Fatalf("invalid decomposition: %v", err)
+	}
+}
+
+func TestLadderAllRungsFail(t *testing.T) {
+	g := ladderTestGraph()
+	faultinject.Reset()
+	defer faultinject.Reset()
+	for _, r := range LadderRungs {
+		faultinject.FailAlways("decompose." + r)
+	}
+	_, _, err := GraphLadderCtx(context.Background(), g)
+	if err == nil {
+		t.Fatal("ladder succeeded with every rung armed to fail")
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want wrapped ErrInjected", err)
+	}
+	if stage.Of(err) != stage.Decompose {
+		t.Fatalf("stage = %v, want Decompose", stage.Of(err))
+	}
+}
+
+func TestLadderParentCancelStopsDescent(t *testing.T) {
+	g := ladderTestGraph()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := GraphLadderCtx(ctx, g)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stage.Of(err) != stage.Decompose {
+		t.Fatalf("stage = %v, want Decompose", stage.Of(err))
+	}
+	// No rung must have been attempted: the parent was already dead.
+	if pts := faultinject.PointsSeen(); len(pts) != 0 && faultinject.Armed() {
+		t.Fatalf("rungs attempted under dead parent: %v", pts)
+	}
+}
+
+func TestLadderContainsRungPanic(t *testing.T) {
+	// A nil-order panic inside FromOrderCtx territory is hard to provoke
+	// without breaking invariants; instead verify runRung's containment
+	// directly with an order func that panics.
+	g := ladderTestGraph()
+	_, err := runRung(context.Background(), g, "test", func(context.Context) ([]int, error) {
+		panic("heuristic bug")
+	})
+	var pe *stage.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *stage.PanicError", err)
+	}
+}
+
+func TestGreedyBFSOrderValid(t *testing.T) {
+	// Two components; order must cover both and yield a valid
+	// decomposition.
+	g := graph.New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 6)
+	order, err := GreedyBFSOrderCtx(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 7 {
+		t.Fatalf("order covers %d of 7 vertices", len(order))
+	}
+	d, err := FromOrder(g, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ValidateGraph(g); err != nil {
+		t.Fatalf("invalid decomposition: %v", err)
+	}
+	// On a path forest the reverse-BFS order should keep width 1.
+	if w := d.Width(); w > 1 {
+		t.Fatalf("width %d on a path forest, want 1", w)
+	}
+}

@@ -6,6 +6,7 @@
 package domset
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -187,11 +188,16 @@ func MinDominatingSet(g *graph.Graph) (int, error) {
 	return best, nil
 }
 
-// BruteForce is the exponential oracle for tests.
-func BruteForce(g *graph.Graph) int {
+// ErrTooLarge reports that the exponential oracle was asked about a
+// graph beyond its hard size limit; test with errors.Is.
+var ErrTooLarge = errors.New("domset: graph too large for brute force")
+
+// BruteForce is the exponential oracle for tests; beyond 22 vertices it
+// returns ErrTooLarge.
+func BruteForce(g *graph.Graph) (int, error) {
 	n := g.N()
 	if n > 22 {
-		panic("domset: brute force limited to 22 vertices")
+		return 0, fmt.Errorf("%w: limited to 22 vertices, got %d", ErrTooLarge, n)
 	}
 	best := n
 	for mask := 0; mask < 1<<uint(n); mask++ {
@@ -223,5 +229,5 @@ func BruteForce(g *graph.Graph) int {
 			best = size
 		}
 	}
-	return best
+	return best, nil
 }

@@ -72,7 +72,11 @@ func TestQuickAgainstBruteForce(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return got == BruteForce(g)
+		want, err := BruteForce(g)
+		if err != nil {
+			return false
+		}
+		return got == want
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(163))}); err != nil {
 		t.Fatal(err)

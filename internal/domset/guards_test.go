@@ -1,0 +1,18 @@
+package domset
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestBruteForceGuard(t *testing.T) {
+	if _, err := BruteForce(graph.New(23)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	got, err := BruteForce(graph.New(3))
+	if err != nil || got != 3 {
+		t.Fatalf("edgeless K̄3: got %d, %v; want 3, nil", got, err)
+	}
+}

@@ -31,8 +31,9 @@ func RunUpCountCtx[S comparable](ctx context.Context, d *tree.Decomposition, h H
 	if p.niceErr != nil {
 		return nil, fmt.Errorf("dp: %w", p.niceErr)
 	}
+	b := stage.BudgetFrom(ctx)
 	tables := make([]map[S]uint64, d.Len())
-	err := runChains(ctx, p, false, func(v int) {
+	err := runChains(ctx, p, false, func(v int) error {
 		n := &d.Nodes[v]
 		bag := p.bags[v]
 		tbl := map[S]uint64{}
@@ -71,7 +72,11 @@ func RunUpCountCtx[S comparable](ctx context.Context, d *tree.Decomposition, h H
 		default:
 			panic(fmt.Sprintf("dp: node %d has kind %v", v, n.Kind))
 		}
+		if err := b.AddTableEntries(len(tbl)); err != nil {
+			return err
+		}
 		tables[v] = tbl
+		return nil
 	})
 	if err != nil {
 		return nil, stage.Wrap(stage.DP, err)

@@ -107,14 +107,22 @@ func RunUpCtx[S comparable](ctx context.Context, d *tree.Decomposition, h Handle
 	if p.niceErr != nil {
 		return nil, fmt.Errorf("dp: %w", p.niceErr)
 	}
+	b := stage.BudgetFrom(ctx)
 	tables := make(Tables[S], d.Len())
-	if err := runChains(ctx, p, false, func(v int) { upNode(d, p, h, tables, v) }); err != nil {
+	if err := runChains(ctx, p, false, func(v int) error { return upNode(d, p, h, b, tables, v) }); err != nil {
 		return nil, stage.Wrap(stage.DP, err)
 	}
 	return tables, nil
 }
 
-func upNode[S comparable](d *tree.Decomposition, p *plan, h Handlers[S], tables Tables[S], v int) {
+// chargeEvery is how many table insertions a node accumulates between
+// budget checks inside the branch double loops. It bounds the overshoot
+// past MaxTableEntries to O(chargeEvery) entries per in-flight node, so
+// a budget violation aborts in bounded memory rather than after the
+// whole quadratic product has materialized.
+const chargeEvery = 1024
+
+func upNode[S comparable](d *tree.Decomposition, p *plan, h Handlers[S], b *stage.Budget, tables Tables[S], v int) error {
 	n := &d.Nodes[v]
 	bag := p.bags[v]
 	var t Table[S]
@@ -146,6 +154,11 @@ func upNode[S comparable](d *tree.Decomposition, p *plan, h Handlers[S], tables 
 			for _, s := range results {
 				t.add(s, Prov[S]{First: cs})
 			}
+			if i%chargeEvery == chargeEvery-1 {
+				if err := b.CheckTableEntries(t.Len()); err != nil {
+					return err
+				}
+			}
 		}
 	case tree.KindBranch:
 		c1, c2 := &tables[n.Children[0]], &tables[n.Children[1]]
@@ -158,13 +171,22 @@ func upNode[S comparable](d *tree.Decomposition, p *plan, h Handlers[S], tables 
 					t.add(s, Prov[S]{First: s1, Second: s2})
 				}
 			}
+			if i%chargeEvery == chargeEvery-1 {
+				if err := b.CheckTableEntries(t.Len()); err != nil {
+					return err
+				}
+			}
 		}
 	default:
 		// Unreachable: CheckNice (cached in the plan) admits only the
 		// five nice node kinds.
 		panic(fmt.Sprintf("dp: node %d has kind %v", v, n.Kind))
 	}
+	if err := b.AddTableEntries(t.Len()); err != nil {
+		return err
+	}
 	tables[v] = t
+	return nil
 }
 
 // RunDown computes the top-down tables (solve↓ of Section 5.3) given the
@@ -185,14 +207,15 @@ func RunDownCtx[S comparable](ctx context.Context, d *tree.Decomposition, h Hand
 	if len(up) != d.Len() {
 		return nil, fmt.Errorf("dp: bottom-up tables have %d nodes, want %d", len(up), d.Len())
 	}
+	b := stage.BudgetFrom(ctx)
 	tables := make(Tables[S], d.Len())
-	if err := runChains(ctx, p, true, func(v int) { downNode(d, p, h, up, tables, v) }); err != nil {
+	if err := runChains(ctx, p, true, func(v int) error { return downNode(d, p, h, b, up, tables, v) }); err != nil {
 		return nil, stage.Wrap(stage.DP, err)
 	}
 	return tables, nil
 }
 
-func downNode[S comparable](d *tree.Decomposition, p *plan, h Handlers[S], up, tables Tables[S], v int) {
+func downNode[S comparable](d *tree.Decomposition, p *plan, h Handlers[S], b *stage.Budget, up, tables Tables[S], v int) error {
 	n := &d.Nodes[v]
 	bag := p.bags[v]
 	var t Table[S]
@@ -202,8 +225,11 @@ func downNode[S comparable](d *tree.Decomposition, p *plan, h Handlers[S], up, t
 		for _, s := range states {
 			t.add(s, Prov[S]{})
 		}
+		if err := b.AddTableEntries(t.Len()); err != nil {
+			return err
+		}
 		tables[v] = t
-		return
+		return nil
 	}
 	pn := &d.Nodes[n.Parent]
 	parent := &tables[n.Parent]
@@ -252,11 +278,20 @@ func downNode[S comparable](d *tree.Decomposition, p *plan, h Handlers[S], up, t
 					t.add(s, Prov[S]{First: ps, Second: ss})
 				}
 			}
+			if i%chargeEvery == chargeEvery-1 {
+				if err := b.CheckTableEntries(t.Len()); err != nil {
+					return err
+				}
+			}
 		}
 	default:
 		panic(fmt.Sprintf("dp: parent %d of node %d has kind %v", n.Parent, v, pn.Kind))
 	}
+	if err := b.AddTableEntries(t.Len()); err != nil {
+		return err
+	}
 	tables[v] = t
+	return nil
 }
 
 func min(a, b int) int {

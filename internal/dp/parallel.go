@@ -5,6 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
+	"repro/internal/stage"
 )
 
 // maxWorkers caps the goroutine fan-out of the DP runners, mirroring the
@@ -39,11 +42,28 @@ const minParallelNodes = 64
 // worker pool; top-down (down=true) the dependencies reverse and chains
 // run top node first.
 //
-// Cancellation: ctx is polled before every node. On cancellation the
-// workers stop computing but keep propagating chain completions, so the
-// ready channel still closes, every goroutine exits and the pool drains
-// without leaks; the (unwrapped) context error is returned.
-func runChains(ctx context.Context, p *plan, down bool, compute func(v int)) error {
+// Cancellation: ctx is polled before every node. On cancellation (or a
+// compute error, e.g. a budget violation) the workers stop computing but
+// keep propagating chain completions, so the ready channel still closes,
+// every goroutine exits and the pool drains without leaks; the
+// (unwrapped) first error is returned.
+//
+// Panic containment: a panic in compute — a problem handler is arbitrary
+// user code — is recovered into a *stage.PanicError instead of killing
+// the worker goroutine (which would crash the process: an unrecovered
+// panic in a goroutine cannot be caught anywhere else).
+func runChains(ctx context.Context, p *plan, down bool, compute func(v int) error) error {
+	safe := func(v int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = stage.NewPanicError(r)
+			}
+		}()
+		if err := faultinject.Check("dp.node"); err != nil {
+			return err
+		}
+		return compute(v)
+	}
 	workers := int(maxWorkers.Load())
 	if workers > len(p.chains) {
 		workers = len(p.chains)
@@ -54,14 +74,18 @@ func runChains(ctx context.Context, p *plan, down bool, compute func(v int)) err
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				compute(p.post[i])
+				if err := safe(p.post[i]); err != nil {
+					return err
+				}
 			}
 		} else {
 			for _, v := range p.post {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				compute(v)
+				if err := safe(v); err != nil {
+					return err
+				}
 			}
 		}
 		return nil
@@ -107,19 +131,29 @@ func runChains(ctx context.Context, p *plan, down bool, compute func(v int)) err
 				if !aborted.Load() {
 					if err := ctx.Err(); err != nil {
 						abort(err)
+					} else if err := faultinject.Check("dp.chain"); err != nil {
+						// Per-chain injection point: exercises the abort
+						// protocol of the parallel scheduler itself.
+						abort(err)
 					} else if down {
 						for i := len(chain) - 1; i >= 0; i-- {
 							if aborted.Load() {
 								break
 							}
-							compute(chain[i])
+							if err := safe(chain[i]); err != nil {
+								abort(err)
+								break
+							}
 						}
 					} else {
 						for _, v := range chain {
 							if aborted.Load() {
 								break
 							}
-							compute(v)
+							if err := safe(v); err != nil {
+								abort(err)
+								break
+							}
 						}
 					}
 				}

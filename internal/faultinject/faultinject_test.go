@@ -1,0 +1,142 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedIsFree(t *testing.T) {
+	Reset()
+	for i := 0; i < 1000; i++ {
+		if err := Check("p"); err != nil {
+			t.Fatalf("disarmed Check returned %v", err)
+		}
+	}
+	if got := PointsSeen(); len(got) != 0 {
+		t.Fatalf("disarmed Check counted calls: %v", got)
+	}
+}
+
+func TestFailAtExactCall(t *testing.T) {
+	Reset()
+	defer Reset()
+	FailAt("p", 3)
+	for i := 1; i <= 5; i++ {
+		err := Check("p")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("call %d: err=%v", i, err)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+			}
+			var fe *Error
+			if !errors.As(err, &fe) || fe.Point != "p" || fe.Call != 3 {
+				t.Fatalf("unexpected fault detail: %+v", fe)
+			}
+		}
+	}
+	if err := Check("other"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	hits := Hits()
+	if len(hits) != 1 || hits[0].Point != "p" || hits[0].Call != 3 {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestFailAlways(t *testing.T) {
+	Reset()
+	defer Reset()
+	FailAlways("q")
+	for i := 0; i < 3; i++ {
+		if err := Check("q"); err == nil {
+			t.Fatalf("call %d did not fire", i)
+		}
+	}
+}
+
+func TestSeededDeterministic(t *testing.T) {
+	run := func() []Error {
+		Reset()
+		Seed(42, 0.5)
+		for i := 0; i < 100; i++ {
+			Check("a")
+			Check("b")
+		}
+		h := Hits()
+		Reset()
+		return h
+	}
+	h1, h2 := run(), run()
+	if len(h1) == 0 || len(h1) == 200 {
+		t.Fatalf("rate 0.5 fired %d/200 times", len(h1))
+	}
+	if len(h1) != len(h2) {
+		t.Fatalf("seeded plan not deterministic: %d vs %d hits", len(h1), len(h2))
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("hit %d differs: %+v vs %+v", i, h1[i], h2[i])
+		}
+	}
+}
+
+func TestInitFromSpec(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := InitFromSpec("p@2; q"); err != nil {
+		t.Fatal(err)
+	}
+	if Check("p") != nil {
+		t.Fatal("p fired on call 1")
+	}
+	if Check("p") == nil {
+		t.Fatal("p did not fire on call 2")
+	}
+	if Check("q") == nil {
+		t.Fatal("q did not fire")
+	}
+	Reset()
+	if err := InitFromSpec("seed=7:rate=1"); err != nil {
+		t.Fatal(err)
+	}
+	if Check("anything") == nil {
+		t.Fatal("rate=1 did not fire")
+	}
+	Reset()
+	for _, bad := range []string{"p@zero", "p@0", "seed=x", "seed=1:rate=2", "seed=1:bogus=3"} {
+		Reset()
+		if err := InitFromSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestConcurrentChecks(t *testing.T) {
+	Reset()
+	defer Reset()
+	FailAt("c", 50)
+	var wg sync.WaitGroup
+	fired := make([]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if Check("c") != nil {
+					fired[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range fired {
+		total += n
+	}
+	if total != 1 {
+		t.Fatalf("expected exactly one fault across workers, got %d", total)
+	}
+}

@@ -2,7 +2,6 @@ package mso
 
 import (
 	"context"
-	"errors"
 	"fmt"
 
 	"repro/internal/bitset"
@@ -13,7 +12,7 @@ import (
 // ErrBudget is returned when evaluation exceeds its step budget — the
 // stand-in for the out-of-memory failures of the MSO-to-FTA baseline in
 // Section 6 (Table 1's "–" entries).
-var ErrBudget = errors.New("mso: evaluation budget exhausted")
+var ErrBudget = fmt.Errorf("mso: evaluation step budget exhausted: %w", stage.ErrBudgetExceeded)
 
 // Budget caps the work of a naive evaluation. A nil Budget or a
 // MaxSteps ≤ 0 means unlimited.

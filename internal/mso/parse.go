@@ -3,6 +3,7 @@ package mso
 import (
 	"fmt"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Parse reads an MSO formula. Syntax (ASCII):
@@ -18,15 +19,24 @@ import (
 // possible. "X sub Y" and "X psub Y" desugar to quantified formulas, so
 // they contribute to the quantifier depth exactly as in the paper's
 // definitions.
-func Parse(src string) (*Formula, error) {
+// Errors carry 1-based line:column positions. A bug in the parser (or
+// in the Formula constructors it calls) is recovered and returned as an
+// error rather than escaping as a panic, so untrusted input can never
+// crash a caller.
+func Parse(src string) (f *Formula, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("mso: internal parser error: %v", r)
+		}
+	}()
 	p := &parser{src: src}
 	p.next()
-	f, err := p.parseIff()
+	f, err = p.parseIff()
 	if err != nil {
 		return nil, err
 	}
 	if p.tok.kind != tokEOF {
-		return nil, fmt.Errorf("mso: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+		return nil, fmt.Errorf("mso: unexpected %q at %s", p.tok.text, p.at(p.tok.pos))
 	}
 	return f, nil
 }
@@ -137,18 +147,39 @@ func (p *parser) next() {
 			p.pos++
 		}
 	default:
-		if !isIdent(rune(c)) {
+		// Decode proper runes: an invalid UTF-8 byte must not be mistaken
+		// for a letter (bytewise rune(c) would map e.g. 0xC4 to 'Ä').
+		r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+		if (r == utf8.RuneError && size <= 1) || !isIdent(r) {
 			p.tok = tok{tokEOF, string(c), start}
 			p.pos++
 			return
 		}
 		j := p.pos
-		for j < len(p.src) && isIdent(rune(p.src[j])) {
-			j++
+		for j < len(p.src) {
+			r, size := utf8.DecodeRuneInString(p.src[j:])
+			if (r == utf8.RuneError && size <= 1) || !isIdent(r) {
+				break
+			}
+			j += size
 		}
 		p.tok = tok{tokIdent, p.src[p.pos:j], start}
 		p.pos = j
 	}
+}
+
+// at renders a byte offset as a 1-based "line L, col C" position.
+func (p *parser) at(off int) string {
+	line, col := 1, 1
+	for i := 0; i < off && i < len(p.src); i++ {
+		if p.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Sprintf("line %d, col %d", line, col)
 }
 
 func isIdent(r rune) bool {
@@ -156,7 +187,8 @@ func isIdent(r rune) bool {
 }
 
 func isSetVar(name string) bool {
-	return name != "" && unicode.IsUpper(rune(name[0]))
+	r, _ := utf8.DecodeRuneInString(name)
+	return name != "" && unicode.IsUpper(r)
 }
 
 func (p *parser) parseIff() (*Formula, error) {
@@ -241,7 +273,7 @@ func (p *parser) parseUnary() (*Formula, error) {
 			return nil, err
 		}
 		if p.tok.kind != tokRParen {
-			return nil, fmt.Errorf("mso: expected ')' at offset %d", p.tok.pos)
+			return nil, fmt.Errorf("mso: expected ')' at %s", p.at(p.tok.pos))
 		}
 		p.next()
 		return f, nil
@@ -257,7 +289,7 @@ func (p *parser) parseUnary() (*Formula, error) {
 			kw := p.tok.text
 			p.next()
 			if p.tok.kind != tokIdent {
-				return nil, fmt.Errorf("mso: expected variable after %s at offset %d", kw, p.tok.pos)
+				return nil, fmt.Errorf("mso: expected variable after %s at %s", kw, p.at(p.tok.pos))
 			}
 			v := p.tok.text
 			p.next()
@@ -279,7 +311,7 @@ func (p *parser) parseUnary() (*Formula, error) {
 		}
 		return p.parseAtomOrRelation()
 	default:
-		return nil, fmt.Errorf("mso: unexpected %q at offset %d", p.tok.text, p.tok.pos)
+		return nil, fmt.Errorf("mso: unexpected %q at %s", p.tok.text, p.at(p.tok.pos))
 	}
 }
 
@@ -293,7 +325,7 @@ func (p *parser) parseAtomOrRelation() (*Formula, error) {
 		var args []string
 		for {
 			if p.tok.kind != tokIdent {
-				return nil, fmt.Errorf("mso: expected argument at offset %d", p.tok.pos)
+				return nil, fmt.Errorf("mso: expected argument at %s", p.at(p.tok.pos))
 			}
 			args = append(args, p.tok.text)
 			p.next()
@@ -304,14 +336,14 @@ func (p *parser) parseAtomOrRelation() (*Formula, error) {
 			break
 		}
 		if p.tok.kind != tokRParen {
-			return nil, fmt.Errorf("mso: expected ')' at offset %d", p.tok.pos)
+			return nil, fmt.Errorf("mso: expected ')' at %s", p.at(p.tok.pos))
 		}
 		p.next()
 		return Atom(name, args...), nil
 	case tokEq:
 		p.next()
 		if p.tok.kind != tokIdent {
-			return nil, fmt.Errorf("mso: expected identifier after '=' at offset %d", p.tok.pos)
+			return nil, fmt.Errorf("mso: expected identifier after '=' at %s", p.at(p.tok.pos))
 		}
 		y := p.tok.text
 		p.next()
@@ -319,7 +351,7 @@ func (p *parser) parseAtomOrRelation() (*Formula, error) {
 	case tokNeq:
 		p.next()
 		if p.tok.kind != tokIdent {
-			return nil, fmt.Errorf("mso: expected identifier after '!=' at offset %d", p.tok.pos)
+			return nil, fmt.Errorf("mso: expected identifier after '!=' at %s", p.at(p.tok.pos))
 		}
 		y := p.tok.text
 		p.next()
@@ -329,7 +361,7 @@ func (p *parser) parseAtomOrRelation() (*Formula, error) {
 		case "in":
 			p.next()
 			if p.tok.kind != tokIdent || !isSetVar(p.tok.text) {
-				return nil, fmt.Errorf("mso: expected set variable after 'in' at offset %d", p.tok.pos)
+				return nil, fmt.Errorf("mso: expected set variable after 'in' at %s", p.at(p.tok.pos))
 			}
 			set := p.tok.text
 			p.next()
@@ -337,28 +369,34 @@ func (p *parser) parseAtomOrRelation() (*Formula, error) {
 		case "notin":
 			p.next()
 			if p.tok.kind != tokIdent || !isSetVar(p.tok.text) {
-				return nil, fmt.Errorf("mso: expected set variable after 'notin' at offset %d", p.tok.pos)
+				return nil, fmt.Errorf("mso: expected set variable after 'notin' at %s", p.at(p.tok.pos))
 			}
 			set := p.tok.text
 			p.next()
 			return Not(In(name, set)), nil
 		case "sub":
+			if !isSetVar(name) {
+				return nil, fmt.Errorf("mso: expected set variable before 'sub', got %q at %s", name, p.at(p.tok.pos))
+			}
 			p.next()
 			if p.tok.kind != tokIdent || !isSetVar(p.tok.text) {
-				return nil, fmt.Errorf("mso: expected set variable after 'sub' at offset %d", p.tok.pos)
+				return nil, fmt.Errorf("mso: expected set variable after 'sub' at %s", p.at(p.tok.pos))
 			}
 			y := p.tok.text
 			p.next()
 			return Subset(name, y), nil
 		case "psub":
+			if !isSetVar(name) {
+				return nil, fmt.Errorf("mso: expected set variable before 'psub', got %q at %s", name, p.at(p.tok.pos))
+			}
 			p.next()
 			if p.tok.kind != tokIdent || !isSetVar(p.tok.text) {
-				return nil, fmt.Errorf("mso: expected set variable after 'psub' at offset %d", p.tok.pos)
+				return nil, fmt.Errorf("mso: expected set variable after 'psub' at %s", p.at(p.tok.pos))
 			}
 			y := p.tok.text
 			p.next()
 			return ProperSubset(name, y), nil
 		}
 	}
-	return nil, fmt.Errorf("mso: dangling identifier %q at offset %d", name, p.tok.pos)
+	return nil, fmt.Errorf("mso: dangling identifier %q at %s", name, p.at(p.tok.pos))
 }

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/bitset"
+	"repro/internal/stage"
 	"repro/internal/structure"
 )
 
@@ -40,6 +41,14 @@ type Computer struct {
 	// MaxDomain bounds the domain size of structures whose types may be
 	// computed; the set-move enumeration is 2^|dom| per quantifier level.
 	MaxDomain int
+	// Budget, when non-nil, charges every newly interned type against
+	// its MaxStates cap. Once the cap is exceeded the computer goes
+	// sticky-failed: the enumeration recursion short-circuits and every
+	// subsequent Type call returns the budget error, so a non-elementary
+	// type blowup (Theorem 4.5) is cut off in bounded memory.
+	Budget *stage.Budget
+
+	err error // sticky budget violation
 }
 
 // DefaultMaxDomain is the default bound on witness-structure domains.
@@ -54,10 +63,17 @@ func (c *Computer) intern(key string) TypeID {
 	if id, ok := c.ids[key]; ok {
 		return id
 	}
+	if cerr := c.Budget.AddStates(1); cerr != nil {
+		c.err = cerr
+		return 0
+	}
 	id := TypeID(len(c.ids))
 	c.ids[key] = id
 	return id
 }
+
+// Err returns the sticky budget violation, if any.
+func (c *Computer) Err() error { return c.err }
 
 // NumTypes returns the number of distinct interned types (across all
 // ranks and structures seen so far).
@@ -71,8 +87,15 @@ func (c *Computer) Type(st *structure.Structure, tuple []int, k int) (TypeID, er
 	if st.Size() > 63 {
 		return 0, fmt.Errorf("msotype: domain size %d exceeds subset-mask limit", st.Size())
 	}
+	if c.err != nil {
+		return 0, c.err
+	}
 	e := &env{st: st, tuple: append([]int(nil), tuple...)}
-	return c.typeOf(e, k), nil
+	id := c.typeOf(e, k)
+	if c.err != nil {
+		return 0, c.err
+	}
+	return id, nil
 }
 
 // Equivalent reports whether (stA, tupleA) ≡^MSO_k (stB, tupleB).
@@ -97,20 +120,23 @@ type env struct {
 }
 
 func (c *Computer) typeOf(e *env, k int) TypeID {
+	if c.err != nil {
+		return 0
+	}
 	if k == 0 {
 		return c.intern("0|" + c.atomicKey(e))
 	}
 	n := e.st.Size()
 	// Point moves.
 	pointTypes := map[TypeID]bool{}
-	for elem := 0; elem < n; elem++ {
+	for elem := 0; elem < n && c.err == nil; elem++ {
 		e.tuple = append(e.tuple, elem)
 		pointTypes[c.typeOf(e, k-1)] = true
 		e.tuple = e.tuple[:len(e.tuple)-1]
 	}
 	// Set moves.
 	setTypes := map[TypeID]bool{}
-	for mask := uint64(0); mask < 1<<uint(n); mask++ {
+	for mask := uint64(0); mask < 1<<uint(n) && c.err == nil; mask++ {
 		s := bitset.New(n)
 		for i := 0; i < n; i++ {
 			if mask&(1<<uint(i)) != 0 {
@@ -120,6 +146,9 @@ func (c *Computer) typeOf(e *env, k int) TypeID {
 		e.sets = append(e.sets, s)
 		setTypes[c.typeOf(e, k-1)] = true
 		e.sets = e.sets[:len(e.sets)-1]
+	}
+	if c.err != nil {
+		return 0
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d|%s|p", k, c.atomicKey(e))

@@ -47,9 +47,14 @@ func Check3NF(s *schema.Schema) (*Report, error) {
 }
 
 // Check3NFBruteForce is Check3NF with the exponential primality oracle
-// (small schemas only; used to cross-validate).
-func Check3NFBruteForce(s *schema.Schema) *Report {
-	return check3NFWith(s, s.PrimesBruteForce())
+// (small schemas only; used to cross-validate). Schemas beyond the
+// oracle's size limit return schema.ErrTooLarge.
+func Check3NFBruteForce(s *schema.Schema) (*Report, error) {
+	primes, err := s.PrimesBruteForce()
+	if err != nil {
+		return nil, err
+	}
+	return check3NFWith(s, primes), nil
 }
 
 func check3NFWith(s *schema.Schema, primes *bitset.Set) *Report {

@@ -104,7 +104,10 @@ func TestQuickAgreement(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		brute := Check3NFBruteForce(s)
+		brute, err := Check3NFBruteForce(s)
+		if err != nil {
+			return false
+		}
 		if fpt.OK != brute.OK || len(fpt.Violations) != len(brute.Violations) {
 			return false
 		}

@@ -1,0 +1,31 @@
+package primality
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/schema"
+)
+
+func TestRelevantBruteForceGuard(t *testing.T) {
+	src := "attrs"
+	for i := 0; i < 25; i++ {
+		src += fmt.Sprintf(" a%d", i)
+	}
+	s, err := schema.Parse(src + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyp := bitset.New(25)
+	hyp.Add(0)
+	man := bitset.New(25)
+	if _, err := RelevantBruteForce(s, hyp, man, 0); !errors.Is(err, schema.ErrTooLarge) {
+		t.Fatalf("err = %v, want schema.ErrTooLarge", err)
+	}
+	// a not in hyp short-circuits before the size guard.
+	if got, err := RelevantBruteForce(s, bitset.New(25), man, 0); err != nil || got {
+		t.Fatalf("a ∉ H: got %v, %v; want false, nil", got, err)
+	}
+}

@@ -46,8 +46,12 @@ func TestEnumerateRunningExample(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !primes.Equal(s.PrimesBruteForce()) {
-		t.Fatalf("Enumerate = %v, brute force = %v", primes.Elems(), s.PrimesBruteForce().Elems())
+	brute, err := s.PrimesBruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !primes.Equal(brute) {
+		t.Fatalf("Enumerate = %v, brute force = %v", primes.Elems(), brute.Elems())
 	}
 }
 
@@ -62,8 +66,12 @@ func TestGroundDecideRunningExample(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != s.IsPrimeBruteForce(a) {
-			t.Errorf("GroundDecide(%s) = %v, want %v", s.AttrName(a), got, !got)
+		want, err := s.IsPrimeBruteForce(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("GroundDecide(%s) = %v, want %v", s.AttrName(a), got, want)
 		}
 	}
 }
@@ -184,7 +192,11 @@ func TestQuickDecideAgainstBruteForce(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return got == s.IsPrimeBruteForce(a)
+		want, err := s.IsPrimeBruteForce(a)
+		if err != nil {
+			return false
+		}
+		return got == want
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(67))}); err != nil {
 		t.Fatal(err)
@@ -209,7 +221,11 @@ func TestQuickEnumerationAgreement(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return fast.Equal(naive) && fast.Equal(s.PrimesBruteForce())
+		brute, err := s.PrimesBruteForce()
+		if err != nil {
+			return false
+		}
+		return fast.Equal(naive) && fast.Equal(brute)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(71))}); err != nil {
 		t.Fatal(err)

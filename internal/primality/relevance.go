@@ -694,14 +694,14 @@ func attrsToElems(c *ctx, attrs *bitset.Set) *bitset.Set {
 
 // RelevantBruteForce is the exponential reference oracle: a belongs to a
 // minimal explanation iff some Y₀ ⊆ H\{a} has M ⊆ clos(Y₀∪{a}) and
-// M ⊄ clos(Y₀).
-func RelevantBruteForce(s *schema.Schema, hyp, man *bitset.Set, a int) bool {
+// M ⊄ clos(Y₀). Beyond 24 attributes it returns schema.ErrTooLarge.
+func RelevantBruteForce(s *schema.Schema, hyp, man *bitset.Set, a int) (bool, error) {
 	if !hyp.Has(a) {
-		return false
+		return false, nil
 	}
 	n := s.NumAttrs()
 	if n > 24 {
-		panic("primality: brute-force relevance limited to 24 attributes")
+		return false, fmt.Errorf("%w: brute-force relevance limited to 24 attributes, got %d", schema.ErrTooLarge, n)
 	}
 	candidates := hyp.Clone()
 	candidates.Remove(a)
@@ -719,8 +719,8 @@ func RelevantBruteForce(s *schema.Schema, hyp, man *bitset.Set, a int) bool {
 		withA := y0.Clone()
 		withA.Add(a)
 		if man.SubsetOf(s.Closure(withA)) {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }

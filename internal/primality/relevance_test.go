@@ -187,7 +187,11 @@ func TestQuickRelevanceAgainstBruteForce(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return got == RelevantBruteForce(s, hyp, man, a)
+		want, err := RelevantBruteForce(s, hyp, man, a)
+		if err != nil {
+			return false
+		}
+		return got == want
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(127))}); err != nil {
 		t.Fatal(err)

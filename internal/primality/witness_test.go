@@ -61,7 +61,11 @@ func TestQuickKeyWitness(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if ok != s.IsPrimeBruteForce(a) {
+		prime, err := s.IsPrimeBruteForce(a)
+		if err != nil {
+			return false
+		}
+		if ok != prime {
 			return false
 		}
 		if !ok {

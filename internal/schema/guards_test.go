@@ -1,0 +1,42 @@
+package schema
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// wideSchema builds a schema with n attributes and no FDs.
+func wideSchema(t *testing.T, n int) *Schema {
+	t.Helper()
+	src := "attrs"
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf(" a%d", i)
+	}
+	s, err := Parse(src + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBruteForceGuards(t *testing.T) {
+	// At the limit the oracles run; one attribute past it they refuse
+	// with ErrTooLarge instead of panicking or allocating 2^n work.
+	atKeyLimit := wideSchema(t, 20)
+	if _, err := atKeyLimit.Keys(); err != nil {
+		t.Fatalf("Keys at limit: %v", err)
+	}
+	overKey := wideSchema(t, 21)
+	if _, err := overKey.Keys(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Keys over limit: err = %v, want ErrTooLarge", err)
+	}
+
+	overPrime := wideSchema(t, 25)
+	if _, err := overPrime.IsPrimeBruteForce(0); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("IsPrimeBruteForce over limit: err = %v, want ErrTooLarge", err)
+	}
+	if _, err := overPrime.PrimesBruteForce(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("PrimesBruteForce over limit: err = %v, want ErrTooLarge", err)
+	}
+}

@@ -9,6 +9,7 @@
 package schema
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -16,6 +17,10 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/structure"
 )
+
+// ErrTooLarge reports that an exponential reference oracle was asked
+// about a schema beyond its hard size limit; test with errors.Is.
+var ErrTooLarge = errors.New("schema: instance too large for brute force")
 
 // FD is a functional dependency LHS → RHS with a single right-hand-side
 // attribute (w.l.o.g., as in the paper). Attributes are indices into the
@@ -114,7 +119,12 @@ func (s *Schema) AddFDByNames(name string, lhs []string, rhs string) error {
 //
 // Each FD line lists left-hand-side attributes, "->", and a single
 // right-hand-side attribute. FDs are named f1, f2, … in order.
-func Parse(src string) (*Schema, error) {
+func Parse(src string) (sch *Schema, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("schema: internal parser error: %v", r)
+		}
+	}()
 	s := New()
 	for lineNo, raw := range strings.Split(src, "\n") {
 		line := strings.TrimSpace(raw)
@@ -253,11 +263,12 @@ func (s *Schema) IsClosed(x *bitset.Set) bool {
 
 // IsPrimeBruteForce decides primality of attribute a by the exponential
 // characterization of Example 2.6: a is prime iff some closed Y ⊆ R with
-// a ∉ Y has (Y ∪ {a})⁺ = R. Only for small schemas (reference oracle).
-func (s *Schema) IsPrimeBruteForce(a int) bool {
+// a ∉ Y has (Y ∪ {a})⁺ = R. Only for small schemas (reference oracle);
+// beyond 24 attributes it returns ErrTooLarge.
+func (s *Schema) IsPrimeBruteForce(a int) (bool, error) {
 	n := len(s.attrs)
 	if n > 24 {
-		panic("schema: brute-force primality limited to 24 attributes")
+		return false, fmt.Errorf("%w: brute-force primality limited to 24 attributes, got %d", ErrTooLarge, n)
 	}
 	for mask := uint64(0); mask < 1<<uint(n); mask++ {
 		if mask&(1<<uint(a)) != 0 {
@@ -274,29 +285,34 @@ func (s *Schema) IsPrimeBruteForce(a int) bool {
 		}
 		y.Add(a)
 		if s.IsSuperkey(y) {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 // PrimesBruteForce returns all prime attributes via IsPrimeBruteForce.
-func (s *Schema) PrimesBruteForce() *bitset.Set {
+func (s *Schema) PrimesBruteForce() (*bitset.Set, error) {
 	out := bitset.New(len(s.attrs))
 	for a := range s.attrs {
-		if s.IsPrimeBruteForce(a) {
+		prime, err := s.IsPrimeBruteForce(a)
+		if err != nil {
+			return nil, err
+		}
+		if prime {
 			out.Add(a)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Keys enumerates all keys (minimal superkeys) by checking every subset;
-// exponential, for small schemas only.
-func (s *Schema) Keys() []*bitset.Set {
+// exponential, for small schemas only — beyond 20 attributes it returns
+// ErrTooLarge.
+func (s *Schema) Keys() ([]*bitset.Set, error) {
 	n := len(s.attrs)
 	if n > 20 {
-		panic("schema: key enumeration limited to 20 attributes")
+		return nil, fmt.Errorf("%w: key enumeration limited to 20 attributes, got %d", ErrTooLarge, n)
 	}
 	var out []*bitset.Set
 	for mask := uint64(0); mask < 1<<uint(n); mask++ {
@@ -310,7 +326,7 @@ func (s *Schema) Keys() []*bitset.Set {
 			out = append(out, x)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Sig is the schema signature τ = {fd, att, lh, rh} of Section 2.2.

@@ -97,7 +97,10 @@ func TestEmptyLHS(t *testing.T) {
 func TestKeysOfRunningExample(t *testing.T) {
 	// The paper: "there are two keys for the schema: abd and acd".
 	s := runningExample()
-	keys := s.Keys()
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(keys) != 2 {
 		t.Fatalf("found %d keys, want 2", len(keys))
 	}
@@ -121,7 +124,10 @@ func TestPrimesOfRunningExample(t *testing.T) {
 	// The paper: "the attributes a, b, c and d are prime, while e and g
 	// are not prime."
 	s := runningExample()
-	primes := s.PrimesBruteForce()
+	primes, err := s.PrimesBruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := map[string]bool{"a": true, "b": true, "c": true, "d": true, "e": false, "g": false}
 	for name, isPrime := range want {
 		i, _ := s.Attr(name)
@@ -227,10 +233,18 @@ func TestQuickClosureLaws(t *testing.T) {
 		// Primality via key enumeration agrees with the closed-set
 		// characterization used by IsPrimeBruteForce.
 		inSomeKey := bitset.New(n)
-		for _, k := range s.Keys() {
+		keys, err := s.Keys()
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
 			inSomeKey.UnionWith(k)
 		}
-		return inSomeKey.Equal(s.PrimesBruteForce())
+		primes, err := s.PrimesBruteForce()
+		if err != nil {
+			return false
+		}
+		return inSomeKey.Equal(primes)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(61))}); err != nil {
 		t.Fatal(err)

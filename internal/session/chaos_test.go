@@ -1,0 +1,241 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/mso"
+	"repro/internal/stage"
+)
+
+// sessionPoints maps each session-path injection point to the stage tag
+// an injected fault must surface with.
+var sessionPoints = []struct {
+	point string
+	stage stage.Stage
+}{
+	{"session.decompose", stage.Decompose},
+	{"session.normalize-tuple", stage.NormalizeTuple},
+	{"session.build-td", stage.BuildTD},
+	{"session.compile", stage.Compile},
+	{"session.eval", stage.Eval},
+}
+
+// corePoints is the same inventory for the cold core.RunCtx path.
+var corePoints = []struct {
+	point string
+	stage stage.Stage
+}{
+	{"core.decompose", stage.Decompose},
+	{"core.normalize-tuple", stage.NormalizeTuple},
+	{"core.build-td", stage.BuildTD},
+	{"core.compile", stage.Compile},
+	{"core.eval", stage.Eval},
+}
+
+// TestChaosSessionEveryPointFires injects one fault at each session
+// stage boundary in turn and checks it surfaces as an ordinary error
+// wrapping faultinject.ErrInjected, tagged with the stage it fired in.
+func TestChaosSessionEveryPointFires(t *testing.T) {
+	defer faultinject.Reset()
+	phi := mso.MustParse("c(x)")
+	for _, tc := range sessionPoints {
+		faultinject.Reset()
+		faultinject.FailAt(tc.point, 1)
+		st := randColored(rand.New(rand.NewSource(31)), 6)
+		s := NewWithCache(st, NewProgramCache())
+		_, err := s.Eval(context.Background(), phi, "x", core.Options{})
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("%s: err = %v, want injected fault", tc.point, err)
+		}
+		if got := stage.Of(err); got != tc.stage {
+			t.Fatalf("%s: tagged stage %q, want %q", tc.point, got, tc.stage)
+		}
+	}
+}
+
+// TestChaosCoreEveryPointFires is the same sweep over the cold
+// core.RunCtx pipeline.
+func TestChaosCoreEveryPointFires(t *testing.T) {
+	defer faultinject.Reset()
+	phi := mso.MustParse("c(x)")
+	for _, tc := range corePoints {
+		faultinject.Reset()
+		faultinject.FailAt(tc.point, 1)
+		st := randColored(rand.New(rand.NewSource(31)), 6)
+		_, err := core.RunCtx(context.Background(), st, phi, "x", core.Options{})
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("%s: err = %v, want injected fault", tc.point, err)
+		}
+		if got := stage.Of(err); got != tc.stage {
+			t.Fatalf("%s: tagged stage %q, want %q", tc.point, got, tc.stage)
+		}
+	}
+}
+
+// TestChaosRetryMatchesColdRun pins the acceptance property of the
+// chaos suite: after a fault at any stage boundary, a retry on the SAME
+// session must return exactly what a cold core.Run over the same
+// structure returns — the failed run may leave completed artifacts
+// behind, but never a corrupted one.
+func TestChaosRetryMatchesColdRun(t *testing.T) {
+	defer faultinject.Reset()
+	phi := mso.MustParse("c(x) | ~c(x)")
+	for _, tc := range sessionPoints {
+		faultinject.Reset()
+		st := randColored(rand.New(rand.NewSource(37)), 8)
+		cold, err := core.Run(st, phi, "x", core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		faultinject.FailAt(tc.point, 1)
+		s := NewWithCache(st, NewProgramCache())
+		if _, err := s.Eval(context.Background(), phi, "x", core.Options{}); !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("%s: first eval err = %v, want injected fault", tc.point, err)
+		}
+		// The plan is exhausted (nth=1 already fired); the retry runs clean.
+		res, err := s.Eval(context.Background(), phi, "x", core.Options{})
+		if err != nil {
+			t.Fatalf("%s: retry failed: %v", tc.point, err)
+		}
+		if !res.Selected.Equal(cold.Selected) {
+			t.Fatalf("%s: retry selected %v, cold run %v", tc.point, res.Selected.Elems(), cold.Selected.Elems())
+		}
+		if res.Width != cold.Width || res.TDNodes != cold.TDNodes {
+			t.Fatalf("%s: retry width/nodes %d/%d, cold %d/%d",
+				tc.point, res.Width, res.TDNodes, cold.Width, cold.TDNodes)
+		}
+		// And the retry's cached result is equally clean: a third call is a
+		// pure result-cache hit with the same answer.
+		again, err := s.Eval(context.Background(), phi, "x", core.Options{})
+		if err != nil {
+			t.Fatalf("%s: cached retry failed: %v", tc.point, err)
+		}
+		if !again.Selected.Equal(cold.Selected) {
+			t.Fatalf("%s: cache poisoned: %v vs cold %v", tc.point, again.Selected.Elems(), cold.Selected.Elems())
+		}
+		if hits := s.Stats().ResultCacheHits; hits != 1 {
+			t.Fatalf("%s: ResultCacheHits = %d, want 1", tc.point, hits)
+		}
+	}
+}
+
+// TestChaosMutationBetweenFaultAndRetry pins the cache-poisoning guard:
+// a failed run leaves partial artifacts, the structure then changes, and
+// the retry must answer for the NEW structure, not the cached artifacts
+// of the old one.
+func TestChaosMutationBetweenFaultAndRetry(t *testing.T) {
+	defer faultinject.Reset()
+	phi := mso.MustParse("c(x)")
+	st := randColored(rand.New(rand.NewSource(41)), 6)
+	s := NewWithCache(st, NewProgramCache())
+
+	// Fail late: decompose and normalize succeed and are cached.
+	faultinject.FailAt("session.build-td", 1)
+	if _, err := s.Eval(context.Background(), phi, "x", core.Options{}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	faultinject.Reset()
+
+	// Mutate the bound structure, then retry on the same session.
+	id := st.AddElem("fresh")
+	st.MustAddTuple("c", id)
+	res, err := s.Eval(context.Background(), phi, "x", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := core.Run(st, phi, "x", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Selected.Equal(cold.Selected) {
+		t.Fatalf("stale artifacts leaked into retry: %v, want %v", res.Selected.Elems(), cold.Selected.Elems())
+	}
+	if s.Stats().Invalidations == 0 {
+		t.Fatal("fingerprint change after failed run did not invalidate")
+	}
+}
+
+// TestChaosSeededSweep runs a seeded random fault plan over repeated
+// session evaluations and checks the two chaos invariants: no goroutine
+// leaks, and a clean evaluation after disarming matches the cold run.
+func TestChaosSeededSweep(t *testing.T) {
+	defer faultinject.Reset()
+	phi := mso.MustParse("c(x) & (c(x) | ~c(x))")
+	st := randColored(rand.New(rand.NewSource(43)), 10)
+	cold, err := core.Run(st, phi, "x", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	for seed := int64(1); seed <= 5; seed++ {
+		faultinject.Reset()
+		faultinject.Seed(seed, 0.05)
+		s := NewWithCache(st, NewProgramCache())
+		var failed, succeeded int
+		for i := 0; i < 6; i++ {
+			res, err := s.Eval(context.Background(), phi, "x", core.Options{})
+			switch {
+			case err == nil:
+				succeeded++
+				if !res.Selected.Equal(cold.Selected) {
+					t.Fatalf("seed %d eval %d: wrong answer under chaos: %v, want %v",
+						seed, i, res.Selected.Elems(), cold.Selected.Elems())
+				}
+			case errors.Is(err, faultinject.ErrInjected):
+				failed++
+			default:
+				t.Fatalf("seed %d eval %d: non-injected error %v", seed, i, err)
+			}
+		}
+		t.Logf("seed %d: %d failed, %d succeeded, hits %d", seed, failed, succeeded, len(faultinject.Hits()))
+	}
+	faultinject.Reset()
+
+	// Clean run after the sweep: correct, and no workers left behind.
+	s := NewWithCache(st, NewProgramCache())
+	res, err := s.Eval(context.Background(), phi, "x", core.Options{})
+	if err != nil {
+		t.Fatalf("clean run after sweep: %v", err)
+	}
+	if !res.Selected.Equal(cold.Selected) {
+		t.Fatalf("clean run after sweep: %v, want %v", res.Selected.Elems(), cold.Selected.Elems())
+	}
+	for i := 0; i < 40 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutine leak: %d before sweep, %d after", before, after)
+	}
+}
+
+// TestChaosDecompositionLadderVisible checks that a fault in the
+// min-fill rung degrades to min-degree and the session records the rung
+// in its trace detail.
+func TestChaosDecompositionLadderVisible(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.FailAt("decompose.min-fill", 1)
+	st := randColored(rand.New(rand.NewSource(47)), 6)
+	s := NewWithCache(st, NewProgramCache())
+	trace, err := s.Warm(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stat := range trace.Stats {
+		if stat.Stage == stage.Decompose {
+			if stat.Detail != "min-degree" {
+				t.Fatalf("decompose rung = %q, want min-degree after min-fill fault", stat.Detail)
+			}
+			return
+		}
+	}
+	t.Fatal("no decompose stat in trace")
+}

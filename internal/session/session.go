@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datalog"
 	"repro/internal/decompose"
+	"repro/internal/faultinject"
 	"repro/internal/mso"
 	"repro/internal/stage"
 	"repro/internal/structure"
@@ -79,7 +80,8 @@ type Session struct {
 	valid bool
 	stats Stats
 
-	raw     *tree.Decomposition  // min-fill decomposition of st
+	raw     *tree.Decomposition  // ladder decomposition of st
+	rung    string               // degradation-ladder rung that produced raw
 	tuple   *tree.Decomposition  // tuple normal form
 	nice    *tree.Decomposition  // nice normal form (built on demand)
 	width   int                  // normalized width
@@ -142,8 +144,24 @@ func (s *Session) Invalidate() {
 func (s *Session) invalidateLocked() {
 	s.valid = false
 	s.raw, s.tuple, s.nice, s.td, s.edb = nil, nil, nil, nil, nil
+	s.rung = ""
 	s.tdNodes, s.width = 0, 0
 	s.results, s.resultSeq = nil, nil
+}
+
+// revalidateLocked discards the cached artifacts if the structure's
+// fingerprint changed since they were built. It deliberately does NOT
+// gate on s.valid: after a failed run (valid never set) the session may
+// still hold artifacts from the stages that succeeded, and a structure
+// mutation in between must not let them leak into the next run.
+func (s *Session) revalidateLocked() {
+	fp := Fingerprint(s.st)
+	hasArtifacts := s.raw != nil || s.tuple != nil || s.nice != nil || s.td != nil || s.results != nil
+	if fp != s.fp && hasArtifacts {
+		s.invalidateLocked()
+		s.stats.Invalidations++
+	}
+	s.fp = fp
 }
 
 // artifacts holds the per-structure products of the pipeline front end.
@@ -158,36 +176,46 @@ type artifacts struct {
 
 // ensure builds (or revalidates) the cached decomposition, tuple form,
 // τ_td structure and EDB, recording stage stats into trace. Cached
-// stages are recorded with CacheHit set and zero wall time.
-func (s *Session) ensure(ctx context.Context, trace *stage.Trace) (artifacts, error) {
+// stages are recorded with CacheHit set and zero wall time. Each stage
+// stores its artifact only on success, so a failed ensure leaves the
+// caches holding exactly the artifacts of the stages that completed —
+// a retry resumes after them, and revalidateLocked discards them if
+// the structure changed in between. A stage panic is recovered into a
+// stage-tagged error; no partial artifact is stored.
+func (s *Session) ensure(ctx context.Context, trace *stage.Trace) (art artifacts, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	fp := Fingerprint(s.st)
-	if s.valid && fp != s.fp {
-		s.invalidateLocked()
-		s.stats.Invalidations++
-	}
-	s.fp = fp
+	cur := stage.Decompose
+	defer stage.RecoverAt(&cur, &err)
+	s.revalidateLocked()
 	if s.raw == nil {
+		if err := faultinject.Check("session.decompose"); err != nil {
+			return artifacts{}, stage.Wrap(stage.Decompose, err)
+		}
 		start := timeNow()
-		d, err := decompose.StructureCtx(ctx, s.st, decompose.MinFill)
+		d, rung, err := decompose.StructureLadderCtx(ctx, s.st)
 		if err != nil {
 			return artifacts{}, stage.Wrap(stage.Decompose, err)
 		}
 		s.raw = d
+		s.rung = rung
 		s.stats.Decompositions++
-		trace.Record(stage.Decompose, timeNow().Sub(start), d.Len(), false)
+		trace.RecordDetail(stage.Decompose, timeNow().Sub(start), d.Len(), false, rung)
 	} else {
-		trace.Record(stage.Decompose, 0, s.raw.Len(), true)
+		trace.RecordDetail(stage.Decompose, 0, s.raw.Len(), true, s.rung)
 	}
+	cur = stage.NormalizeTuple
 	if s.tuple == nil {
+		if err := faultinject.Check("session.normalize-tuple"); err != nil {
+			return artifacts{}, stage.Wrap(stage.NormalizeTuple, err)
+		}
 		if err := s.raw.Validate(s.st); err != nil {
 			return artifacts{}, fmt.Errorf("session: invalid decomposition: %w", err)
 		}
 		start := timeNow()
 		norm, err := tree.NormalizeTupleCtx(ctx, s.raw)
 		if err != nil {
-			return artifacts{}, err
+			return artifacts{}, stage.Wrap(stage.NormalizeTuple, err)
 		}
 		s.tuple = norm
 		s.width = norm.Width()
@@ -196,11 +224,15 @@ func (s *Session) ensure(ctx context.Context, trace *stage.Trace) (artifacts, er
 	} else {
 		trace.Record(stage.NormalizeTuple, 0, s.tuple.Len(), true)
 	}
+	cur = stage.BuildTD
 	if s.td == nil {
+		if err := faultinject.Check("session.build-td"); err != nil {
+			return artifacts{}, stage.Wrap(stage.BuildTD, err)
+		}
 		start := timeNow()
 		td, _, err := tree.BuildTDCtx(ctx, s.st, s.tuple, s.width)
 		if err != nil {
-			return artifacts{}, err
+			return artifacts{}, stage.Wrap(stage.BuildTD, err)
 		}
 		s.td = td
 		s.edb = datalog.FromStructure(td, "")
@@ -225,23 +257,24 @@ func (s *Session) Warm(ctx context.Context) (*Trace, error) {
 	return trace, nil
 }
 
-// Decomposition returns the session's cached raw min-fill tree
-// decomposition, computing it on first use.
-func (s *Session) Decomposition(ctx context.Context) (*tree.Decomposition, error) {
+// Decomposition returns the session's cached raw tree decomposition
+// (computed on first use by the degradation ladder; see
+// decompose.GraphLadderCtx).
+func (s *Session) Decomposition(ctx context.Context) (d *tree.Decomposition, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	fp := Fingerprint(s.st)
-	if s.valid && fp != s.fp {
-		s.invalidateLocked()
-		s.stats.Invalidations++
-	}
-	s.fp = fp
+	defer stage.RecoverTo(stage.Decompose, &err)
+	s.revalidateLocked()
 	if s.raw == nil {
-		d, err := decompose.StructureCtx(ctx, s.st, decompose.MinFill)
+		if err := faultinject.Check("session.decompose"); err != nil {
+			return nil, stage.Wrap(stage.Decompose, err)
+		}
+		d, rung, err := decompose.StructureLadderCtx(ctx, s.st)
 		if err != nil {
 			return nil, stage.Wrap(stage.Decompose, err)
 		}
 		s.raw = d
+		s.rung = rung
 		s.stats.Decompositions++
 	}
 	s.valid = true
@@ -299,7 +332,9 @@ func (s *Session) Width(ctx context.Context) (int, error) {
 // cached artifacts feed a (possibly cached) compiled program, and only
 // the quasi-guarded evaluation of Theorem 4.4 runs per call. The
 // Result's Trace shows which stages were served from cache.
-func (s *Session) Eval(ctx context.Context, phi *mso.Formula, xVar string, opts core.Options) (*core.Result, error) {
+func (s *Session) Eval(ctx context.Context, phi *mso.Formula, xVar string, opts core.Options) (res *core.Result, err error) {
+	cur := stage.Compile
+	defer stage.RecoverAt(&cur, &err)
 	trace := &stage.Trace{}
 	art, err := s.ensure(ctx, trace)
 	if err != nil {
@@ -309,6 +344,9 @@ func (s *Session) Eval(ctx context.Context, phi *mso.Formula, xVar string, opts 
 		return nil, fmt.Errorf("session: decomposition width %d does not match requested width %d", art.width, *opts.RequestedWidth)
 	}
 	opts.Width = art.width
+	if err := faultinject.Check("session.compile"); err != nil {
+		return nil, stage.Wrap(stage.Compile, err)
+	}
 	start := timeNow()
 	compiled, hit, err := s.progs.Get(ctx, s.st.Sig(), phi, xVar, opts)
 	if err != nil {
@@ -331,6 +369,10 @@ func (s *Session) Eval(ctx context.Context, phi *mso.Formula, xVar string, opts 
 		return cachedResult(entry.res, trace), nil
 	}
 	s.mu.Unlock()
+	cur = stage.Eval
+	if err := faultinject.Check("session.eval"); err != nil {
+		return nil, stage.Wrap(stage.Eval, err)
+	}
 	// Grounding interns program constants into the EDB, so the cached
 	// EDB is cloned per evaluation (DB.Clone is a flat copy).
 	start = timeNow()
@@ -339,7 +381,7 @@ func (s *Session) Eval(ctx context.Context, phi *mso.Formula, xVar string, opts 
 		return nil, stage.Wrap(stage.Eval, err)
 	}
 	trace.Record(stage.Eval, timeNow().Sub(start), out.NumFacts(), false)
-	res, err := core.FinishResult(s.st, compiled, opts, out, art.tdNodes, art.width, trace)
+	res, err = core.FinishResult(s.st, compiled, opts, out, art.tdNodes, art.width, trace)
 	if err != nil {
 		return nil, err
 	}

@@ -242,7 +242,10 @@ func TestSchemaSessionMemoizes(t *testing.T) {
 	if stats.Decompositions != 1 || stats.Evals != 1 {
 		t.Errorf("Decompositions = %d, Evals = %d, want 1 and 1", stats.Decompositions, stats.Evals)
 	}
-	want := s.PrimesBruteForce()
+	want, err := s.PrimesBruteForce()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !first.Equal(want) {
 		t.Fatalf("primes %v, want %v", first.Elems(), want.Elems())
 	}

@@ -91,6 +91,9 @@ type Stat struct {
 	Wall     time.Duration
 	Size     int
 	CacheHit bool
+	// Detail annotates the stat with a stage-specific note — e.g. which
+	// rung of the decomposition degradation ladder produced the result.
+	Detail string
 }
 
 // Trace accumulates the stats of one pipeline run in execution order.
@@ -100,10 +103,16 @@ type Trace struct {
 
 // Record appends a stat for a completed stage.
 func (t *Trace) Record(s Stage, wall time.Duration, size int, cacheHit bool) {
+	t.RecordDetail(s, wall, size, cacheHit, "")
+}
+
+// RecordDetail is Record with a stage-specific annotation (e.g. the
+// degradation-ladder rung that produced a decomposition).
+func (t *Trace) RecordDetail(s Stage, wall time.Duration, size int, cacheHit bool, detail string) {
 	if t == nil {
 		return
 	}
-	t.Stats = append(t.Stats, Stat{Stage: s, Wall: wall, Size: size, CacheHit: cacheHit})
+	t.Stats = append(t.Stats, Stat{Stage: s, Wall: wall, Size: size, CacheHit: cacheHit, Detail: detail})
 }
 
 // Time runs f, records its wall time under stage s and returns f's
@@ -142,6 +151,9 @@ func (t *Trace) String() string {
 	var b strings.Builder
 	for _, s := range t.Stats {
 		fmt.Fprintf(&b, "%-16s %10s  size=%d", s.Stage, s.Wall.Round(time.Microsecond), s.Size)
+		if s.Detail != "" {
+			fmt.Fprintf(&b, "  [%s]", s.Detail)
+		}
 		if s.CacheHit {
 			b.WriteString("  (cached)")
 		}

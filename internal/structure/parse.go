@@ -17,7 +17,15 @@ import (
 // of its first occurrence, and later occurrences must agree. If sig is
 // non-nil, all facts must use predicates of the signature with correct
 // arity.
-func Parse(src string, sig *Signature) (*Structure, error) {
+// Errors name the 1-based source line. A bug in the parser is recovered
+// and returned as an error rather than escaping as a panic, so
+// untrusted input can never crash a caller.
+func Parse(src string, sig *Signature) (st *Structure, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("structure: internal parser error: %v", r)
+		}
+	}()
 	type fact struct {
 		pred string
 		args []string
@@ -38,7 +46,12 @@ func Parse(src string, sig *Signature) (*Structure, error) {
 				continue
 			}
 			if rest, ok := strings.CutPrefix(stmt, "dom "); ok {
-				domNames = append(domNames, strings.Fields(rest)...)
+				for _, n := range strings.Fields(rest) {
+					if !validName(n) {
+						return nil, fmt.Errorf("structure: line %d: malformed element name %q", lineNo+1, n)
+					}
+					domNames = append(domNames, n)
+				}
 				continue
 			}
 			if stmt == "dom" {
@@ -75,7 +88,7 @@ func Parse(src string, sig *Signature) (*Structure, error) {
 		}
 	}
 
-	st := New(sig)
+	st = New(sig)
 	for _, n := range domNames {
 		st.AddElem(n)
 	}

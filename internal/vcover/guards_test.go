@@ -1,0 +1,20 @@
+package vcover
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestBruteForceGuard(t *testing.T) {
+	if _, err := BruteForceVC(graph.New(23)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	got, err := BruteForceVC(g)
+	if err != nil || got != 1 {
+		t.Fatalf("K2: got %d, %v; want 1, nil", got, err)
+	}
+}

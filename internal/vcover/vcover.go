@@ -8,6 +8,7 @@
 package vcover
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -154,11 +155,16 @@ func MaxIndependentSet(g *graph.Graph) (int, error) {
 	return g.N() - vc, nil
 }
 
-// BruteForceVC is the exponential oracle for tests.
-func BruteForceVC(g *graph.Graph) int {
+// ErrTooLarge reports that the exponential oracle was asked about a
+// graph beyond its hard size limit; test with errors.Is.
+var ErrTooLarge = errors.New("vcover: graph too large for brute force")
+
+// BruteForceVC is the exponential oracle for tests; beyond 22 vertices
+// it returns ErrTooLarge.
+func BruteForceVC(g *graph.Graph) (int, error) {
 	n := g.N()
 	if n > 22 {
-		panic("vcover: brute force limited to 22 vertices")
+		return 0, fmt.Errorf("%w: limited to 22 vertices, got %d", ErrTooLarge, n)
 	}
 	edges := g.Edges()
 	best := n
@@ -181,5 +187,5 @@ func BruteForceVC(g *graph.Graph) int {
 			best = size
 		}
 	}
-	return best
+	return best, nil
 }

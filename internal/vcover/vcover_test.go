@@ -78,7 +78,11 @@ func TestQuickAgainstBruteForce(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return got == BruteForceVC(g)
+		want, err := BruteForceVC(g)
+		if err != nil {
+			return false
+		}
+		return got == want
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(157))}); err != nil {
 		t.Fatal(err)

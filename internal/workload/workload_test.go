@@ -70,7 +70,11 @@ func TestQuickWorkloadPrimality(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return primes.Equal(s.PrimesBruteForce())
+		brute, err := s.PrimesBruteForce()
+		if err != nil {
+			return false
+		}
+		return primes.Equal(brute)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(97))}); err != nil {
 		t.Fatal(err)
