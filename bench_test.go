@@ -24,6 +24,8 @@ import (
 	"repro/internal/primality"
 	"repro/internal/structure"
 	"repro/internal/threecol"
+	"repro/internal/vcover"
+	"repro/internal/wis"
 	"repro/internal/workload"
 )
 
@@ -435,4 +437,45 @@ func BenchmarkSchemaBruteForcePrimality(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSolver is the semiring-engine smoke benchmark: one fixed
+// bounded-treewidth graph evaluated in each of the three modes of the
+// generic solver (decision, counting, optimization) through the
+// problem packages built on it.
+func BenchmarkSolver(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	g := graph.PartialKTree(60, 3, 0.3, rng)
+	b.Run("decide", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := threecol.Decide(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("count", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := threecol.CountColoringsBig(g, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("optimize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := vcover.MinVertexCover(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("optimize-wis", func(b *testing.B) {
+		w := make([]int, g.N())
+		for v := range w {
+			w[v] = 1 + v%7
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := wis.MaxWeight(g, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -2,17 +2,20 @@
 // graphs: a third FPT problem on the paper's dynamic-programming
 // framework, with the characteristic three-valued state (in the set /
 // dominated / awaiting domination) that distinguishes it from the
-// partition DP of Figure 5 and the cost DP of vertex cover.
+// partition DP of Figure 5 and the bitmask DP of vertex cover. The
+// transitions are one solver.Problem instance evaluated by the generic
+// semiring engine.
 package domset
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math"
 
 	"repro/internal/decompose"
 	"repro/internal/dp"
 	"repro/internal/graph"
+	"repro/internal/solver"
 	"repro/internal/tree"
 )
 
@@ -23,132 +26,111 @@ const (
 	undominated = 2 // not selected, no selected neighbor seen yet
 )
 
-type state uint64
+// width packs one status per sorted-bag position.
+const width = solver.Width(2)
 
-func statusOf(s state, p int) int { return int(s>>(2*uint(p))) & 3 }
-
-func withStatus(s state, p, st int) state {
-	low := s & ((1 << (2 * uint(p))) - 1)
-	high := s >> (2 * uint(p))
-	return low | state(st)<<(2*uint(p)) | high<<(2*uint(p)+2)
+// domProblem is the dominating-set algebra: selection costs are paid on
+// introduction (or in a leaf); domination statuses propagate through
+// bag adjacency and merge by OR at joins; a vertex may only be
+// forgotten once settled.
+type domProblem struct {
+	g *graph.Graph
 }
 
-func setStatus(s state, p, st int) state {
-	return s&^(3<<(2*uint(p))) | state(st)<<(2*uint(p))
-}
-
-func dropStatus(s state, p int) state {
-	low := s & ((1 << (2 * uint(p))) - 1)
-	high := s >> (2*uint(p) + 2)
-	return low | high<<(2*uint(p))
-}
-
-func position(bag []int, e int) int {
-	for i, b := range bag {
-		if b == e {
-			return i
-		}
-	}
-	return -1
-}
+func (dpb domProblem) Name() string { return "dominating-set" }
 
 // propagate marks bag vertices dominated by in-set bag neighbors.
-func propagate(g *graph.Graph, bag []int, s state) state {
+func (dpb domProblem) propagate(bag []int, s uint64) uint64 {
 	for i := range bag {
-		if statusOf(s, i) != inSet {
+		if width.At(s, i) != inSet {
 			continue
 		}
 		for j := range bag {
-			if j != i && g.HasEdge(bag[i], bag[j]) && statusOf(s, j) == undominated {
-				s = setStatus(s, j, dominated)
+			if j != i && dpb.g.HasEdge(bag[i], bag[j]) && width.At(s, j) == undominated {
+				s = width.Set(s, j, dominated)
 			}
 		}
 	}
 	return s
 }
 
-func handlers(g *graph.Graph) dp.CostHandlers[state] {
-	return dp.CostHandlers[state]{
-		Leaf: func(_ int, bag []int) []dp.Costed[state] {
-			var out []dp.Costed[state]
-			n := len(bag)
-			total := 1
-			for i := 0; i < n; i++ {
-				total *= 2 // per vertex: in set or not (domination derived)
+func (dpb domProblem) Leaf(_ int, bag []int) []solver.Out[uint64] {
+	var out []solver.Out[uint64]
+	n := len(bag)
+	for combo := 0; combo < 1<<uint(n); combo++ {
+		var s uint64
+		cost := 0
+		for p := 0; p < n; p++ {
+			if combo>>uint(p)&1 == 1 {
+				s = width.Set(s, p, inSet)
+				cost++
+			} else {
+				s = width.Set(s, p, undominated)
 			}
-			for combo := 0; combo < total; combo++ {
-				var s state
-				cost := 0
-				for p := 0; p < n; p++ {
-					if combo>>uint(p)&1 == 1 {
-						s = setStatus(s, p, inSet)
-						cost++
-					} else {
-						s = setStatus(s, p, undominated)
-					}
-				}
-				out = append(out, dp.Costed[state]{State: propagate(g, bag, s), Cost: cost})
-			}
-			return out
-		},
-		Introduce: func(_ int, bag []int, elem int, child state) []dp.Costed[state] {
-			p := position(bag, elem)
-			var out []dp.Costed[state]
-			// Selected: dominates its bag neighbors.
-			sIn := propagate(g, bag, withStatus(child, p, inSet))
-			out = append(out, dp.Costed[state]{State: sIn, Cost: 1})
-			// Not selected: dominated iff some bag neighbor is in the set.
-			sOut := propagate(g, bag, withStatus(child, p, undominated))
-			out = append(out, dp.Costed[state]{State: sOut})
-			return out
-		},
-		Forget: func(_ int, bag []int, elem int, child state) []dp.Costed[state] {
-			childBag := insertSorted(bag, elem)
-			p := position(childBag, elem)
-			// A vertex may only leave once it is settled.
-			if statusOf(child, p) == undominated {
-				return nil
-			}
-			return []dp.Costed[state]{{State: dropStatus(child, p)}}
-		},
-		Branch: func(_ int, bag []int, s1, s2 state) []dp.Costed[state] {
-			// Selection must agree; domination merges by OR.
-			var merged state
-			dup := 0
-			for p := range bag {
-				a, b := statusOf(s1, p), statusOf(s2, p)
-				if (a == inSet) != (b == inSet) {
-					return nil
-				}
-				switch {
-				case a == inSet:
-					merged = setStatus(merged, p, inSet)
-					dup++ // counted in both children
-				case a == dominated || b == dominated:
-					merged = setStatus(merged, p, dominated)
-				default:
-					merged = setStatus(merged, p, undominated)
-				}
-			}
-			return []dp.Costed[state]{{State: merged, Cost: -dup}}
-		},
+		}
+		out = append(out, solver.Out[uint64]{State: dpb.propagate(bag, s), Cost: cost})
+	}
+	return out
+}
+
+func (dpb domProblem) Introduce(_ int, bag []int, elem int, child uint64) []solver.Out[uint64] {
+	p := solver.Position(bag, elem)
+	// Selected: dominates its bag neighbors. Not selected: dominated iff
+	// some bag neighbor is in the set.
+	return []solver.Out[uint64]{
+		{State: dpb.propagate(bag, width.Insert(child, p, inSet)), Cost: 1},
+		{State: dpb.propagate(bag, width.Insert(child, p, undominated))},
 	}
 }
 
-func insertSorted(bag []int, e int) []int {
-	out := make([]int, 0, len(bag)+1)
-	placed := false
-	for _, b := range bag {
-		if !placed && e < b {
-			out = append(out, e)
-			placed = true
+func (dpb domProblem) Forget(_ int, bag []int, elem int, child uint64) []solver.Out[uint64] {
+	childBag := solver.InsertSorted(bag, elem)
+	p := solver.Position(childBag, elem)
+	// A vertex may only leave once it is settled.
+	if width.At(child, p) == undominated {
+		return nil
+	}
+	return []solver.Out[uint64]{{State: width.Drop(child, p)}}
+}
+
+func (dpb domProblem) Join(_ int, bag []int, s1, s2 uint64) []solver.Out[uint64] {
+	// Selection must agree; domination merges by OR.
+	var merged uint64
+	dup := 0
+	for p := range bag {
+		a, b := width.At(s1, p), width.At(s2, p)
+		if (a == inSet) != (b == inSet) {
+			return nil
 		}
-		out = append(out, b)
+		switch {
+		case a == inSet:
+			merged = width.Set(merged, p, inSet)
+			dup++ // counted in both children
+		case a == dominated || b == dominated:
+			merged = width.Set(merged, p, dominated)
+		default:
+			merged = width.Set(merged, p, undominated)
+		}
 	}
-	if !placed {
-		out = append(out, e)
+	return []solver.Out[uint64]{{State: merged, Cost: -dup}}
+}
+
+// Accept admits root states with no vertex still awaiting domination.
+func (dpb domProblem) Accept(_ int, bag []int, s uint64) bool {
+	for p := range bag {
+		if width.At(s, p) == undominated {
+			return false
+		}
 	}
-	return out
+	return true
+}
+
+func niceFor(g *graph.Graph) (*tree.Decomposition, error) {
+	d, err := decompose.Graph(g, decompose.MinFill)
+	if err != nil {
+		return nil, err
+	}
+	return tree.NormalizeNice(d, tree.NiceOptions{})
 }
 
 // MinDominatingSet returns the size of a minimum dominating set of g.
@@ -156,36 +138,60 @@ func MinDominatingSet(g *graph.Graph) (int, error) {
 	if g.N() == 0 {
 		return 0, nil
 	}
-	d, err := decompose.Graph(g, decompose.MinFill)
+	nice, err := niceFor(g)
 	if err != nil {
 		return 0, err
 	}
-	nice, err := tree.NormalizeNice(d, tree.NiceOptions{})
+	der, err := solver.Optimize(context.Background(), nice, domProblem{g})
 	if err != nil {
 		return 0, err
 	}
-	tables, err := dp.RunUpMin(nice, handlers(g))
-	if err != nil {
-		return 0, err
-	}
-	best := math.MaxInt
-	rootBag := nice.Nodes[nice.Root].Bag
-	for s, c := range tables[nice.Root] {
-		ok := true
-		for p := range rootBag {
-			if statusOf(s, p) == undominated {
-				ok = false
-				break
-			}
-		}
-		if ok && c < best {
-			best = c
-		}
-	}
-	if best == math.MaxInt {
+	if der == nil {
 		return 0, fmt.Errorf("domset: no feasible state at the root")
 	}
-	return best, nil
+	return der.Value, nil
+}
+
+// DominatingSet returns a minimum dominating set itself, by walking the
+// argmin derivation of the tropical-semiring tables.
+func DominatingSet(g *graph.Graph) ([]int, error) {
+	if g.N() == 0 {
+		return nil, nil
+	}
+	nice, err := niceFor(g)
+	if err != nil {
+		return nil, err
+	}
+	der, err := solver.Optimize(context.Background(), nice, domProblem{g})
+	if err != nil {
+		return nil, err
+	}
+	if der == nil {
+		return nil, fmt.Errorf("domset: no feasible state at the root")
+	}
+	bags, err := dp.Bags(nice)
+	if err != nil {
+		return nil, fmt.Errorf("domset: %w", err)
+	}
+	in := make([]bool, g.N())
+	err = der.Walk(func(v int, s uint64) error {
+		for p, e := range bags[v] {
+			if width.At(s, p) == inSet {
+				in[e] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var set []int
+	for v, ok := range in {
+		if ok {
+			set = append(set, v)
+		}
+	}
+	return set, nil
 }
 
 // ErrTooLarge reports that the exponential oracle was asked about a

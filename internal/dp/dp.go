@@ -293,10 +293,3 @@ func downNode[S comparable](d *tree.Decomposition, p *plan, h Handlers[S], b *st
 	tables[v] = t
 	return nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

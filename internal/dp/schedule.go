@@ -1,0 +1,44 @@
+package dp
+
+import (
+	"context"
+
+	"repro/internal/tree"
+)
+
+// Bags returns one sorted copy of every bag of a nice decomposition,
+// indexed by node ID, served from the cached per-decomposition plan. It
+// fails with the CheckNice verdict if d is not in the modified normal
+// form. Callers must treat the returned slices as immutable: they are
+// shared with every other runner using the same plan.
+func Bags(d *tree.Decomposition) ([][]int, error) {
+	p := planFor(d)
+	if p.niceErr != nil {
+		return nil, p.niceErr
+	}
+	return p.bags, nil
+}
+
+// Schedule executes compute(v) exactly once for every node of a nice
+// decomposition, in dependency order, over the shared chain-parallel
+// worker pool (SetMaxWorkers). Bottom-up (down=false) every node runs
+// after its children; top-down (down=true) after its parent. This is the
+// execution engine behind RunUp/RunDown, exported so other evaluators —
+// notably the semiring engine of internal/solver — inherit the cached
+// plan, the deterministic chain schedule, panic containment, and the
+// dp.node/dp.chain fault-injection points without reimplementing them.
+//
+// Cancellation and error semantics match RunUpCtx: ctx is polled before
+// every node, the pool drains without leaking goroutines, and the first
+// error (unwrapped — callers add their own stage tag) is returned.
+// compute is invoked from multiple goroutines when the worker cap is
+// above 1 and must be safe for concurrent use; writes to disjoint
+// per-node slots are safe because the scheduler orders a node strictly
+// after its dependencies.
+func Schedule(ctx context.Context, d *tree.Decomposition, down bool, compute func(v int) error) error {
+	p := planFor(d)
+	if p.niceErr != nil {
+		return p.niceErr
+	}
+	return runChains(ctx, p, down, compute)
+}

@@ -1,0 +1,200 @@
+// Differential tests pinning the generic semiring engine against this
+// package's legacy special-purpose runners (RunUp decision tables,
+// RunUpCount, RunUpMin): one problem expressed both ways must produce
+// identical tables node by node. An external test package so it can
+// import the solver, which is built on top of dp.
+package dp_test
+
+import (
+	"context"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/decompose"
+	"repro/internal/dp"
+	"repro/internal/graph"
+	"repro/internal/solver"
+	"repro/internal/tree"
+)
+
+// The problem: proper 2-coloring with cost = number of color-1
+// vertices, expressed as legacy handlers and as a solver.Problem.
+
+func proper(g *graph.Graph, bag []int, m uint64) bool {
+	for i := 0; i < len(bag); i++ {
+		for j := i + 1; j < len(bag); j++ {
+			if g.HasEdge(bag[i], bag[j]) && m>>uint(i)&1 == m>>uint(j)&1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func ones(bag []int, m uint64) int {
+	c := 0
+	for p := range bag {
+		c += int(m >> uint(p) & 1)
+	}
+	return c
+}
+
+type tcProblem struct{ g *graph.Graph }
+
+func (p tcProblem) Name() string { return "two-coloring" }
+
+func (p tcProblem) Leaf(_ int, bag []int) []solver.Out[uint64] {
+	var out []solver.Out[uint64]
+	for m := uint64(0); m < 1<<uint(len(bag)); m++ {
+		if proper(p.g, bag, m) {
+			out = append(out, solver.Out[uint64]{State: m, Cost: ones(bag, m)})
+		}
+	}
+	return out
+}
+
+func (p tcProblem) Introduce(_ int, bag []int, elem int, child uint64) []solver.Out[uint64] {
+	q := solver.Position(bag, elem)
+	var out []solver.Out[uint64]
+	for bit := uint64(0); bit <= 1; bit++ {
+		if m := solver.Width(1).Insert(child, q, bit); proper(p.g, bag, m) {
+			out = append(out, solver.Out[uint64]{State: m, Cost: int(bit)})
+		}
+	}
+	return out
+}
+
+func (p tcProblem) Forget(_ int, bag []int, elem int, child uint64) []solver.Out[uint64] {
+	childBag := solver.InsertSorted(bag, elem)
+	return []solver.Out[uint64]{{State: solver.Width(1).Drop(child, solver.Position(childBag, elem))}}
+}
+
+func (p tcProblem) Join(_ int, bag []int, s1, s2 uint64) []solver.Out[uint64] {
+	if s1 != s2 {
+		return nil
+	}
+	return []solver.Out[uint64]{{State: s1, Cost: -ones(bag, s1)}}
+}
+
+func (p tcProblem) Accept(int, []int, uint64) bool { return true }
+
+func legacyHandlers(g *graph.Graph) dp.Handlers[uint64] {
+	p := tcProblem{g}
+	strip := func(outs []solver.Out[uint64]) []uint64 {
+		ss := make([]uint64, len(outs))
+		for i, o := range outs {
+			ss[i] = o.State
+		}
+		return ss
+	}
+	return dp.Handlers[uint64]{
+		Leaf:      func(n int, bag []int) []uint64 { return strip(p.Leaf(n, bag)) },
+		Introduce: func(n int, bag []int, e int, c uint64) []uint64 { return strip(p.Introduce(n, bag, e, c)) },
+		Forget:    func(n int, bag []int, e int, c uint64) []uint64 { return strip(p.Forget(n, bag, e, c)) },
+		Branch:    func(n int, bag []int, s1, s2 uint64) []uint64 { return strip(p.Join(n, bag, s1, s2)) },
+	}
+}
+
+func legacyCostHandlers(g *graph.Graph) dp.CostHandlers[uint64] {
+	p := tcProblem{g}
+	conv := func(outs []solver.Out[uint64]) []dp.Costed[uint64] {
+		cs := make([]dp.Costed[uint64], len(outs))
+		for i, o := range outs {
+			cs[i] = dp.Costed[uint64]{State: o.State, Cost: o.Cost}
+		}
+		return cs
+	}
+	return dp.CostHandlers[uint64]{
+		Leaf:      func(n int, bag []int) []dp.Costed[uint64] { return conv(p.Leaf(n, bag)) },
+		Introduce: func(n int, bag []int, e int, c uint64) []dp.Costed[uint64] { return conv(p.Introduce(n, bag, e, c)) },
+		Forget:    func(n int, bag []int, e int, c uint64) []dp.Costed[uint64] { return conv(p.Forget(n, bag, e, c)) },
+		Branch:    func(n int, bag []int, s1, s2 uint64) []dp.Costed[uint64] { return conv(p.Join(n, bag, s1, s2)) },
+	}
+}
+
+// TestSolverMatchesLegacyRunners compares, node by node on random
+// partial k-trees, the semiring engine's three modes against RunUp /
+// RunUpCount / RunUpMin.
+func TestSolverMatchesLegacyRunners(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ctx := context.Background()
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(20)
+		k := 1 + rng.Intn(3)
+		g := graph.PartialKTree(n, k, 0.3, rng)
+		d, err := decompose.Graph(g, decompose.MinFill)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nice, err := tree.NormalizeNice(d, tree.NiceOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := tcProblem{g}
+
+		// Decision: same states in the same first-derivation order.
+		legacy, err := dp.RunUp(nice, legacyHandlers(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := solver.Up[uint64, bool](ctx, nice, p, solver.Decision{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range legacy {
+			if len(legacy[v].Order) != len(dec[v].Order) {
+				t.Fatalf("trial %d node %d: decision table has %d states, legacy %d",
+					trial, v, dec[v].Len(), legacy[v].Len())
+			}
+			for i := range legacy[v].Order {
+				if legacy[v].Order[i] != dec[v].Order[i] {
+					t.Fatalf("trial %d node %d: Order[%d] = %d, legacy %d",
+						trial, v, i, dec[v].Order[i], legacy[v].Order[i])
+				}
+			}
+		}
+
+		// Counting: the uint64 legacy counter vs the big-int semiring.
+		counts, err := dp.RunUpCount(nice, legacyHandlers(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cnt, err := solver.Up[uint64, *big.Int](ctx, nice, p, solver.Counting{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range counts {
+			if len(counts[v]) != cnt[v].Len() {
+				t.Fatalf("trial %d node %d: count table sizes differ", trial, v)
+			}
+			for s, c := range counts[v] {
+				got, ok := cnt[v].Value(s)
+				if !ok || got.Cmp(new(big.Int).SetUint64(c)) != 0 {
+					t.Fatalf("trial %d node %d state %d: count %v, legacy %d", trial, v, s, got, c)
+				}
+			}
+		}
+
+		// Optimization: min cost per state.
+		mins, err := dp.RunUpMin(nice, legacyCostHandlers(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := solver.Up[uint64, int](ctx, nice, p, solver.MinCost{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range mins {
+			if len(mins[v]) != opt[v].Len() {
+				t.Fatalf("trial %d node %d: min table sizes differ", trial, v)
+			}
+			for s, c := range mins[v] {
+				got, ok := opt[v].Value(s)
+				if !ok || got != c {
+					t.Fatalf("trial %d node %d state %d: min %d, legacy %d", trial, v, s, got, c)
+				}
+			}
+		}
+	}
+}

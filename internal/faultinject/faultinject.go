@@ -15,9 +15,10 @@
 //
 //	core.decompose core.normalize-tuple core.build-td core.compile core.eval
 //	session.decompose session.normalize-tuple session.build-td
-//	session.compile session.eval
+//	session.compile session.eval session.solver
 //	decompose.min-fill decompose.min-degree decompose.greedy-bfs
 //	dp.node dp.chain datalog.ground-rule datalog.stratum-task
+//	solver.introduce solver.forget solver.join solver.witness
 //
 // Determinism: FailAt plans are exact — the nth Check of a point fails,
 // independent of scheduling. Seeded plans hash (seed, point, per-point

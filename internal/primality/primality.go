@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/schema"
+	"repro/internal/solver"
 	"repro/internal/structure"
 	"repro/internal/tree"
 )
@@ -238,9 +239,9 @@ func (c *ctx) splitBag(bag []int) (attrs, fds []int) {
 // for the top-down pass): every partition of the bag attributes into
 // Y/ordered Co, every consistent choice of used FDs FC, with FY and ΔC
 // determined (the leaf rule of Figure 6).
-func (c *ctx) leafStates(bag []int) []int32 {
+func (c *ctx) leafStates(bag []int) []solver.Out[int32] {
 	attrs, fds := c.splitBag(bag)
-	var out []int32
+	var out []solver.Out[int32]
 	subsets(attrs, func(y, rest []int) {
 		permute(rest, func(co []int) {
 			// FY is determined by Y and the bag: all FDs with rhs outside
@@ -274,7 +275,7 @@ func (c *ctx) leafStates(bag []int) []int32 {
 					dc: dc,
 					fc: append([]int(nil), fc...),
 				}
-				out = append(out, c.pool.intern(st))
+				out = append(out, solver.Out[int32]{State: c.pool.intern(st)})
 			})
 		})
 	})
@@ -326,14 +327,14 @@ func permute(xs []int, f func([]int)) {
 }
 
 // introduce implements the attribute/FD introduction rules of Figure 6.
-func (c *ctx) introduce(bag []int, elem int, childID int32) []int32 {
+func (c *ctx) introduce(bag []int, elem int, childID int32) []solver.Out[int32] {
 	child := c.pool.get(childID)
 	if c.isAttr[elem] {
-		var out []int32
+		var out []solver.Out[int32]
 		// Case Y: all other arguments unchanged.
 		sy := child
 		sy.y = insertSorted(child.y, elem)
-		out = append(out, c.pool.intern(sy))
+		out = append(out, solver.Out[int32]{State: c.pool.intern(sy)})
 		// Case Co: insert at every position; re-check order consistency
 		// and discharge newly witnessed FDs.
 		_, fds := c.splitBag(bag)
@@ -353,7 +354,7 @@ func (c *ctx) introduce(bag []int, elem int, childID int32) []int32 {
 				}
 			}
 			sc := state{y: child.y, co: co, fy: fy, dc: child.dc, fc: child.fc}
-			out = append(out, c.pool.intern(sc))
+			out = append(out, solver.Out[int32]{State: c.pool.intern(sc)})
 		}
 		return out
 	}
@@ -365,7 +366,7 @@ func (c *ctx) introduce(bag []int, elem int, childID int32) []int32 {
 	rhs := c.rhs[fi]
 	if contains(child.y, rhs) {
 		// Rule 1: rhs ∈ Y — unchanged.
-		return []int32{childID}
+		return []solver.Out[int32]{{State: childID}}
 	}
 	if !contains(child.co, rhs) {
 		// The bag discipline (rhs present whenever the FD is) is violated;
@@ -378,10 +379,10 @@ func (c *ctx) introduce(bag []int, elem int, childID int32) []int32 {
 		}
 		return child.fy
 	}
-	var out []int32
+	var out []solver.Out[int32]
 	// Rule 3: f not used in the derivation.
 	s3 := state{y: child.y, co: child.co, fy: discharge(), dc: child.dc, fc: child.fc}
-	out = append(out, c.pool.intern(s3))
+	out = append(out, solver.Out[int32]{State: c.pool.intern(s3)})
 	// Rule 2: f used — rhs newly derived (disjoint union with ΔC) and the
 	// ordering must be consistent.
 	if !contains(child.dc, rhs) && c.consistent([]int{elem}, child.co) {
@@ -392,25 +393,25 @@ func (c *ctx) introduce(bag []int, elem int, childID int32) []int32 {
 			dc: insertSorted(child.dc, rhs),
 			fc: insertSorted(child.fc, elem),
 		}
-		out = append(out, c.pool.intern(s2))
+		out = append(out, solver.Out[int32]{State: c.pool.intern(s2)})
 	}
 	return out
 }
 
 // forget implements the attribute/FD removal rules of Figure 6.
-func (c *ctx) forget(elem int, childID int32) []int32 {
+func (c *ctx) forget(elem int, childID int32) []solver.Out[int32] {
 	child := c.pool.get(childID)
 	if c.isAttr[elem] {
 		if contains(child.y, elem) {
 			s := state{y: removeVal(child.y, elem), co: child.co, fy: child.fy, dc: child.dc, fc: child.fc}
-			return []int32{c.pool.intern(s)}
+			return []solver.Out[int32]{{State: c.pool.intern(s)}}
 		}
 		// elem ∈ Co: its derivation must have been established.
 		if !contains(child.dc, elem) {
 			return nil
 		}
 		s := state{y: child.y, co: removeVal(child.co, elem), fy: child.fy, dc: removeVal(child.dc, elem), fc: child.fc}
-		return []int32{c.pool.intern(s)}
+		return []solver.Out[int32]{{State: c.pool.intern(s)}}
 	}
 	fi, ok := c.fdOf[elem]
 	if !ok {
@@ -418,14 +419,14 @@ func (c *ctx) forget(elem int, childID int32) []int32 {
 	}
 	if contains(child.y, c.rhs[fi]) {
 		// Rule 1: rhs ∈ Y — f was never a threat.
-		return []int32{childID}
+		return []solver.Out[int32]{{State: childID}}
 	}
 	// Rules 2/3: f must have been verified (f ∈ FY) before leaving.
 	if !contains(child.fy, elem) {
 		return nil
 	}
 	s := state{y: child.y, co: child.co, fy: removeVal(child.fy, elem), dc: child.dc, fc: removeVal(child.fc, elem)}
-	return []int32{c.pool.intern(s)}
+	return []solver.Out[int32]{{State: c.pool.intern(s)}}
 }
 
 // branch implements the branch rule of Figure 6: identical Y, Co and FC,
@@ -433,7 +434,7 @@ func (c *ctx) forget(elem int, childID int32) []int32 {
 // derived in both subtrees only via a shared bag FD). The signature check
 // replaces the three slice comparisons of the equality precondition with
 // one integer comparison.
-func (c *ctx) branch(k1, k2 int32) []int32 {
+func (c *ctx) branch(k1, k2 int32) []solver.Out[int32] {
 	if c.pool.sig(k1) != c.pool.sig(k2) {
 		return nil
 	}
@@ -466,7 +467,7 @@ func (c *ctx) branch(k1, k2 int32) []int32 {
 		dc = insertDedupSorted(dc, e)
 	}
 	s := state{y: s1.y, co: s1.co, fy: fy, dc: dc, fc: s1.fc}
-	return []int32{c.pool.intern(s)}
+	return []solver.Out[int32]{{State: c.pool.intern(s)}}
 }
 
 func equalInts(a, b []int) bool {

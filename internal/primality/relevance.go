@@ -35,14 +35,15 @@ package primality
 // which is exactly M ⊄ clos(Y₀).
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/bitset"
-	"repro/internal/dp"
 	"repro/internal/schema"
+	"repro/internal/solver"
 	"repro/internal/tree"
 )
 
@@ -573,23 +574,6 @@ func (c *rctx) rAccepting(bag []int, key string, aElem int) bool {
 	return s.mOut
 }
 
-func (c *rctx) handlersR() dp.Handlers[string] {
-	return dp.Handlers[string]{
-		Leaf: func(_ int, bag []int) []string {
-			return c.rLeafStates(bag)
-		},
-		Introduce: func(_ int, bag []int, elem int, child string) []string {
-			return c.rIntroduce(bag, elem, child)
-		},
-		Forget: func(_ int, _ []int, elem int, child string) []string {
-			return c.rForget(elem, child)
-		},
-		Branch: func(_ int, _ []int, s1, s2 string) []string {
-			return c.rBranch(s1, s2)
-		},
-	}
-}
-
 // DecideRelevant reports whether hypothesis a (a schema attribute index)
 // belongs to some minimal explanation of the manifestations man from the
 // hypotheses hyp (attribute-index bit sets).
@@ -615,17 +599,7 @@ func (in *Instance) DecideRelevant(hyp, man *bitset.Set, a int) (bool, error) {
 	if err := c.checkDiscipline(nice); err != nil {
 		return false, err
 	}
-	tables, err := dp.RunUp(nice, c.handlersR())
-	if err != nil {
-		return false, err
-	}
-	rootBag := sortedBag(nice.Nodes[nice.Root].Bag)
-	for _, key := range tables[nice.Root].Order {
-		if c.rAccepting(rootBag, key, aElem) {
-			return true, nil
-		}
-	}
-	return false, nil
+	return solver.Decide(context.Background(), nice, relevance{c: c, aElem: aElem})
 }
 
 // EnumerateRelevant returns all relevant hypotheses via the Section 5.3
@@ -644,12 +618,12 @@ func (in *Instance) EnumerateRelevant(hyp, man *bitset.Set) (*bitset.Set, error)
 	if err := c.checkDiscipline(nice); err != nil {
 		return nil, err
 	}
-	h := c.handlersR()
-	up, err := dp.RunUp(nice, h)
+	prob := relevance{c: c, aElem: -1}
+	up, err := solver.Up(context.Background(), nice, prob, solver.Decision{})
 	if err != nil {
 		return nil, err
 	}
-	down, err := dp.RunDown(nice, h, up)
+	down, err := solver.Down(context.Background(), nice, prob, solver.Decision{}, up)
 	if err != nil {
 		return nil, err
 	}

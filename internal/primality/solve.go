@@ -6,30 +6,11 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/decompose"
-	"repro/internal/dp"
 	"repro/internal/horn"
 	"repro/internal/schema"
+	"repro/internal/solver"
 	"repro/internal/tree"
 )
-
-// handlers adapts the Figure 6 transitions to the dp framework. States
-// are interned int32 IDs (see interner), so the DP tables hash integers.
-func (c *ctx) handlers() dp.Handlers[int32] {
-	return dp.Handlers[int32]{
-		Leaf: func(_ int, bag []int) []int32 {
-			return c.leafStates(bag)
-		},
-		Introduce: func(_ int, bag []int, elem int, child int32) []int32 {
-			return c.introduce(bag, elem, child)
-		},
-		Forget: func(_ int, _ []int, elem int, child int32) []int32 {
-			return c.forget(elem, child)
-		},
-		Branch: func(_ int, _ []int, s1, s2 int32) []int32 {
-			return c.branch(s1, s2)
-		},
-	}
-}
 
 // Instance bundles a schema with its τ-structure and a tree decomposition
 // ready for the PRIMALITY dynamic programs.
@@ -101,17 +82,7 @@ func (in *Instance) DecideCtx(cx context.Context, a int) (bool, error) {
 	if err := c.checkDiscipline(nice); err != nil {
 		return false, err
 	}
-	tables, err := dp.RunUpCtx(cx, nice, c.handlers())
-	if err != nil {
-		return false, err
-	}
-	rootBag := sortedBag(nice.Nodes[nice.Root].Bag)
-	for _, key := range tables[nice.Root].Order {
-		if c.accepting(rootBag, key, aElem) {
-			return true, nil
-		}
-	}
-	return false, nil
+	return solver.Decide(cx, nice, figure6{c: c, aElem: aElem})
 }
 
 // Enumerate computes the set of prime attributes by the linear-time
@@ -141,12 +112,12 @@ func (in *Instance) EnumerateCtx(cx context.Context) (*bitset.Set, error) {
 	if err := c.checkDiscipline(nice); err != nil {
 		return nil, err
 	}
-	h := c.handlers()
-	up, err := dp.RunUpCtx(cx, nice, h)
+	prob := figure6{c: c, aElem: -1}
+	up, err := solver.Up(cx, nice, prob, solver.Decision{})
 	if err != nil {
 		return nil, err
 	}
-	down, err := dp.RunDownCtx(cx, nice, h, up)
+	down, err := solver.Down(cx, nice, prob, solver.Decision{}, up)
 	if err != nil {
 		return nil, err
 	}
@@ -292,38 +263,37 @@ func (c *ctx) ground(nice *tree.Decomposition, aElem int) (*horn.Program, int, e
 		})
 		return out
 	}
-	h := c.handlers()
 	successVar := -1
 	for _, v := range nice.PostOrder() {
 		n := nice.Nodes[v]
 		bag := sortedBag(n.Bag)
 		switch n.Kind {
 		case tree.KindLeaf:
-			for _, s := range h.Leaf(v, bag) {
-				prog.AddClause(id(v, s))
+			for _, o := range c.leafStates(bag) {
+				prog.AddClause(id(v, o.State))
 			}
 		case tree.KindIntroduce, tree.KindForget, tree.KindCopy:
 			child := n.Children[0]
 			for _, cs := range allStates(sortedBag(nice.Nodes[child].Bag)) {
-				var results []int32
+				var results []solver.Out[int32]
 				switch n.Kind {
 				case tree.KindIntroduce:
-					results = h.Introduce(v, bag, n.Elem, cs)
+					results = c.introduce(bag, n.Elem, cs)
 				case tree.KindForget:
-					results = h.Forget(v, bag, n.Elem, cs)
+					results = c.forget(n.Elem, cs)
 				default:
-					results = []int32{cs}
+					results = []solver.Out[int32]{{State: cs}}
 				}
-				for _, s := range results {
-					prog.AddClause(id(v, s), id(child, cs))
+				for _, o := range results {
+					prog.AddClause(id(v, o.State), id(child, cs))
 				}
 			}
 		case tree.KindBranch:
 			states := allStates(bag)
 			for _, s1 := range states {
 				for _, s2 := range states {
-					for _, s := range h.Branch(v, bag, s1, s2) {
-						prog.AddClause(id(v, s), id(n.Children[0], s1), id(n.Children[1], s2))
+					for _, o := range c.branch(s1, s2) {
+						prog.AddClause(id(v, o.State), id(n.Children[0], s1), id(n.Children[1], s2))
 					}
 				}
 			}

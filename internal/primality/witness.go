@@ -1,11 +1,12 @@
 package primality
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/bitset"
-	"repro/internal/dp"
+	"repro/internal/solver"
 	"repro/internal/tree"
 )
 
@@ -34,21 +35,11 @@ func (in *Instance) KeyWitness(a int) ([]int, bool, error) {
 	if err := c.checkDiscipline(nice); err != nil {
 		return nil, false, err
 	}
-	tables, err := dp.RunUp(nice, c.handlers())
+	der, err := solver.Witness(context.Background(), nice, figure6{c: c, aElem: aElem})
 	if err != nil {
 		return nil, false, err
 	}
-	rootBag := sortedBag(nice.Nodes[nice.Root].Bag)
-	var accepting int32
-	found := false
-	for _, key := range tables[nice.Root].Order {
-		if c.accepting(rootBag, key, aElem) {
-			accepting = key
-			found = true
-			break
-		}
-	}
-	if !found {
+	if der == nil {
 		return nil, false, nil
 	}
 
@@ -56,22 +47,16 @@ func (in *Instance) KeyWitness(a int) ([]int, bool, error) {
 	// the states along the derivation (an element's role is constant
 	// across its occurrence subtree, so any state containing it decides).
 	inY := bitset.New(c.st.Size())
-	var walk func(v int, key int32)
-	walk = func(v int, key int32) {
+	err = der.Walk(func(_ int, key int32) error {
 		st := c.pool.get(key)
 		for _, e := range st.y {
 			inY.Add(e)
 		}
-		prov := tables[v].Prov[key]
-		n := nice.Nodes[v]
-		if prov.First != nil && len(n.Children) >= 1 {
-			walk(n.Children[0], *prov.First)
-		}
-		if prov.Second != nil && len(n.Children) == 2 {
-			walk(n.Children[1], *prov.Second)
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
 	}
-	walk(nice.Root, accepting)
 
 	// Y ∪ {a} is a superkey with a outside the closed set Y; minimize it
 	// to a key. a itself can never be dropped (Y alone is not a superkey).

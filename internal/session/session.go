@@ -63,6 +63,10 @@ type Stats struct {
 	// the evaluation stage); ResultCacheHits counts Eval calls answered
 	// from the per-session result cache instead.
 	Evals, ResultCacheHits int
+	// SolverSolves counts semiring-solver runs performed by the Solve*
+	// helpers; SolverCacheHits counts the Solve* calls answered from the
+	// per-session solver cache instead.
+	SolverSolves, SolverCacheHits int
 	// Invalidations counts fingerprint mismatches that discarded the
 	// cached artifacts.
 	Invalidations int
@@ -94,6 +98,12 @@ type Session struct {
 	// same (formula, options) a pure cache hit. Bounded FIFO.
 	results   map[progKey]*resultEntry
 	resultSeq []progKey
+
+	// solverResults memoizes semiring-solver outcomes per (problem name,
+	// mode); see SolveDecide / SolveCount / SolveOptimize. Invalidated
+	// with the other artifacts on fingerprint change. Bounded FIFO.
+	solverResults map[solverKey]any
+	solverSeq     []solverKey
 }
 
 // resultCap bounds the per-session result cache.
@@ -147,6 +157,7 @@ func (s *Session) invalidateLocked() {
 	s.rung = ""
 	s.tdNodes, s.width = 0, 0
 	s.results, s.resultSeq = nil, nil
+	s.solverResults, s.solverSeq = nil, nil
 }
 
 // revalidateLocked discards the cached artifacts if the structure's
@@ -156,7 +167,7 @@ func (s *Session) invalidateLocked() {
 // mutation in between must not let them leak into the next run.
 func (s *Session) revalidateLocked() {
 	fp := Fingerprint(s.st)
-	hasArtifacts := s.raw != nil || s.tuple != nil || s.nice != nil || s.td != nil || s.results != nil
+	hasArtifacts := s.raw != nil || s.tuple != nil || s.nice != nil || s.td != nil || s.results != nil || s.solverResults != nil
 	if fp != s.fp && hasArtifacts {
 		s.invalidateLocked()
 		s.stats.Invalidations++

@@ -1,0 +1,144 @@
+package session
+
+// Session memoization for the generic semiring solver: SolveDecide,
+// SolveCount and SolveOptimize evaluate a solver.Problem over the
+// session's nice decomposition and cache the outcome per (structure
+// fingerprint, problem name, mode). Evaluation is deterministic, so a
+// repeat of the same problem and mode on an unchanged structure is a
+// pure cache hit; the cache is invalidated by the same fingerprint
+// mechanism as the pipeline artifacts. These are package functions
+// rather than methods because Go methods cannot introduce type
+// parameters.
+
+import (
+	"context"
+	"math/big"
+
+	"repro/internal/faultinject"
+	"repro/internal/solver"
+	"repro/internal/stage"
+)
+
+// solverKey identifies a memoized solver outcome. The structure
+// fingerprint is not part of the key: a fingerprint change empties the
+// whole cache (invalidateLocked), so surviving entries are always for
+// the current structure.
+type solverKey struct {
+	problem string
+	mode    solver.Mode
+}
+
+// solverCap bounds the per-session solver cache.
+const solverCap = 64
+
+// solverLookup revalidates the fingerprint and returns the cached
+// outcome for k, counting a hit.
+func (s *Session) solverLookup(k solverKey) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.revalidateLocked()
+	v, ok := s.solverResults[k]
+	if ok {
+		s.stats.SolverCacheHits++
+	}
+	return v, ok
+}
+
+// solverStore records a successful solve. The outcome is stored only
+// if the structure's fingerprint is unchanged since the lookup that
+// missed — a mutation mid-solve must not poison the cache with tables
+// for a structure that no longer exists.
+func (s *Session) solverStore(k solverKey, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.SolverSolves++
+	if Fingerprint(s.st) != s.fp {
+		return
+	}
+	if s.solverResults == nil {
+		s.solverResults = map[solverKey]any{}
+	}
+	if _, dup := s.solverResults[k]; !dup {
+		if len(s.solverSeq) >= solverCap {
+			delete(s.solverResults, s.solverSeq[0])
+			s.solverSeq = s.solverSeq[1:]
+		}
+		s.solverSeq = append(s.solverSeq, k)
+	}
+	s.solverResults[k] = v
+}
+
+// SolveDecide reports whether p has a solution over the session's nice
+// decomposition, memoized per (structure fingerprint, problem, mode).
+func SolveDecide[S comparable](ctx context.Context, s *Session, p solver.Problem[S]) (bool, error) {
+	k := solverKey{problem: p.Name(), mode: solver.ModeDecide}
+	if v, ok := s.solverLookup(k); ok {
+		if b, ok := v.(bool); ok {
+			return b, nil
+		}
+	}
+	if err := faultinject.Check("session.solver"); err != nil {
+		return false, stage.Wrap(stage.Solver, err)
+	}
+	nice, err := s.NiceForm(ctx)
+	if err != nil {
+		return false, err
+	}
+	ok, err := solver.Decide(ctx, nice, p)
+	if err != nil {
+		return false, err
+	}
+	s.solverStore(k, ok)
+	return ok, nil
+}
+
+// SolveCount returns p's exact solution count over the session's nice
+// decomposition, memoized per (structure fingerprint, problem, mode).
+// The returned big.Int is caller-owned.
+func SolveCount[S comparable](ctx context.Context, s *Session, p solver.Problem[S]) (*big.Int, error) {
+	k := solverKey{problem: p.Name(), mode: solver.ModeCount}
+	if v, ok := s.solverLookup(k); ok {
+		if n, ok := v.(*big.Int); ok {
+			return new(big.Int).Set(n), nil
+		}
+	}
+	if err := faultinject.Check("session.solver"); err != nil {
+		return nil, stage.Wrap(stage.Solver, err)
+	}
+	nice, err := s.NiceForm(ctx)
+	if err != nil {
+		return nil, err
+	}
+	n, err := solver.Count(ctx, nice, p)
+	if err != nil {
+		return nil, err
+	}
+	s.solverStore(k, n)
+	return new(big.Int).Set(n), nil
+}
+
+// SolveOptimize returns p's minimum-cost derivation over the session's
+// nice decomposition (nil if infeasible), memoized per (structure
+// fingerprint, problem, mode). The cached derivation is immutable
+// (Walk only reads), so hits share it.
+func SolveOptimize[S comparable](ctx context.Context, s *Session, p solver.Problem[S]) (*solver.Derivation[S, int], error) {
+	k := solverKey{problem: p.Name(), mode: solver.ModeOptimize}
+	if v, ok := s.solverLookup(k); ok {
+		if der, ok := v.(*solver.Derivation[S, int]); ok {
+			return der, nil
+		}
+	}
+	if err := faultinject.Check("session.solver"); err != nil {
+		return nil, stage.Wrap(stage.Solver, err)
+	}
+	nice, err := s.NiceForm(ctx)
+	if err != nil {
+		return nil, err
+	}
+	der, err := solver.Optimize(ctx, nice, p)
+	if err != nil {
+		return nil, err
+	}
+	s.solverStore(k, der)
+	return der, nil
+}

@@ -1,0 +1,146 @@
+package solver
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPosition(t *testing.T) {
+	tests := []struct {
+		bag  []int
+		elem int
+		want int
+	}{
+		{nil, 0, -1},
+		{[]int{}, 3, -1},
+		{[]int{5}, 5, 0},
+		{[]int{5}, 4, -1},
+		{[]int{5}, 6, -1},
+		{[]int{1, 3, 7}, 1, 0},
+		{[]int{1, 3, 7}, 3, 1},
+		{[]int{1, 3, 7}, 7, 2},
+		{[]int{1, 3, 7}, 0, -1},
+		{[]int{1, 3, 7}, 2, -1},
+		{[]int{1, 3, 7}, 9, -1},
+	}
+	for _, tc := range tests {
+		if got := Position(tc.bag, tc.elem); got != tc.want {
+			t.Errorf("Position(%v, %d) = %d, want %d", tc.bag, tc.elem, got, tc.want)
+		}
+		if got := Contains(tc.bag, tc.elem); got != (tc.want >= 0) {
+			t.Errorf("Contains(%v, %d) = %v, want %v", tc.bag, tc.elem, got, tc.want >= 0)
+		}
+	}
+}
+
+func TestInsertRemoveSorted(t *testing.T) {
+	tests := []struct {
+		xs         []int
+		v          int
+		insert     []int
+		insertUniq []int
+		remove     []int
+	}{
+		{nil, 4, []int{4}, []int{4}, []int{}},
+		{[]int{2}, 1, []int{1, 2}, []int{1, 2}, []int{2}},
+		{[]int{2}, 3, []int{2, 3}, []int{2, 3}, []int{2}},
+		{[]int{2}, 2, []int{2, 2}, []int{2}, []int{}},
+		{[]int{1, 3, 5}, 4, []int{1, 3, 4, 5}, []int{1, 3, 4, 5}, []int{1, 3, 5}},
+		{[]int{1, 3, 5}, 3, []int{1, 3, 3, 5}, []int{1, 3, 5}, []int{1, 5}},
+		{[]int{1, 3, 5}, 0, []int{0, 1, 3, 5}, []int{0, 1, 3, 5}, []int{1, 3, 5}},
+		{[]int{1, 3, 5}, 6, []int{1, 3, 5, 6}, []int{1, 3, 5, 6}, []int{1, 3, 5}},
+	}
+	for _, tc := range tests {
+		orig := append([]int(nil), tc.xs...)
+		if got := InsertSorted(tc.xs, tc.v); !reflect.DeepEqual(got, tc.insert) {
+			t.Errorf("InsertSorted(%v, %d) = %v, want %v", tc.xs, tc.v, got, tc.insert)
+		}
+		if got := InsertSortedUnique(tc.xs, tc.v); !reflect.DeepEqual(got, tc.insertUniq) {
+			t.Errorf("InsertSortedUnique(%v, %d) = %v, want %v", tc.xs, tc.v, got, tc.insertUniq)
+		}
+		if got := RemoveSorted(tc.xs, tc.v); !reflect.DeepEqual(got, tc.remove) {
+			t.Errorf("RemoveSorted(%v, %d) = %v, want %v", tc.xs, tc.v, got, tc.remove)
+		}
+		if !reflect.DeepEqual(tc.xs, orig) {
+			t.Errorf("input %v mutated to %v", orig, tc.xs)
+		}
+	}
+}
+
+func TestWidthPacking(t *testing.T) {
+	tests := []struct{ w Width }{{1}, {2}, {4}, {8}}
+	for _, tc := range tests {
+		w := tc.w
+		if got, want := w.Max(), 64/int(w); got != want {
+			t.Errorf("Width(%d).Max() = %d, want %d", w, got, want)
+		}
+		// Fill every position with a distinct value and read them back.
+		var s uint64
+		for p := 0; p < w.Max(); p++ {
+			s = w.Set(s, p, uint64(p)%(1<<w))
+		}
+		for p := 0; p < w.Max(); p++ {
+			if got := w.At(s, p); got != uint64(p)%(1<<w) {
+				t.Fatalf("Width(%d): At(%d) = %d after Set, want %d", w, p, got, uint64(p)%(1<<w))
+			}
+		}
+		// Set overwrites without disturbing neighbors.
+		s2 := w.Set(s, 1, 0)
+		for p := 0; p < w.Max(); p++ {
+			want := uint64(p) % (1 << w)
+			if p == 1 {
+				want = 0
+			}
+			if got := w.At(s2, p); got != want {
+				t.Fatalf("Width(%d): At(%d) = %d after overwrite, want %d", w, p, got, want)
+			}
+		}
+	}
+}
+
+// TestWidthInsertDropMirrorsSortedBags pins the defining property:
+// Insert/Drop keep packed statuses aligned with their bag elements
+// under the corresponding InsertSorted/RemoveSorted bag edit.
+func TestWidthInsertDropMirrorsSortedBags(t *testing.T) {
+	const w = Width(2)
+	bag := []int{2, 5, 9}
+	status := map[int]uint64{2: 1, 5: 3, 9: 2}
+	var s uint64
+	for p, e := range bag {
+		s = w.Set(s, p, status[e])
+	}
+	for _, elem := range []int{0, 4, 7, 11} { // before, between, between, after
+		grown := InsertSorted(bag, elem)
+		p := Position(grown, elem)
+		s2 := w.Insert(s, p, 0)
+		for q, e := range grown {
+			want := status[e] // 0 for the new elem
+			if got := w.At(s2, q); got != want {
+				t.Fatalf("insert %d: position %d (elem %d) = %d, want %d", elem, q, e, got, want)
+			}
+		}
+		// Dropping it again restores the original packed state.
+		if back := w.Drop(s2, p); back != s {
+			t.Fatalf("insert %d then drop: %b, want %b", elem, back, s)
+		}
+	}
+}
+
+func TestWidthInsertAtBoundary(t *testing.T) {
+	const w = Width(2)
+	// Inserting at the last representable position must not clobber the
+	// low positions (the shifted-out high bits are beyond capacity).
+	var s uint64
+	for p := 0; p < w.Max(); p++ {
+		s = w.Set(s, p, 3)
+	}
+	s2 := w.Insert(s, 0, 1)
+	if got := w.At(s2, 0); got != 1 {
+		t.Fatalf("At(0) = %d after boundary insert, want 1", got)
+	}
+	for p := 1; p < w.Max(); p++ {
+		if got := w.At(s2, p); got != 3 {
+			t.Fatalf("At(%d) = %d after boundary insert, want 3", p, got)
+		}
+	}
+}

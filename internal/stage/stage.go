@@ -36,6 +36,10 @@ const (
 	// DP covers the generic dynamic-programming runners
 	// (dp.RunUp / dp.RunDown) used by the Section 5/6 solvers.
 	DP Stage = "dp"
+	// Solver covers the semiring problem algebra of internal/solver:
+	// the generic evaluator that runs one Problem in decision, counting
+	// and optimization modes, including witness reconstruction.
+	Solver Stage = "solver"
 	// MSOEval covers the naive MSO model-checking evaluator used by
 	// the compiler's witness oracle and cmd/msoeval.
 	MSOEval Stage = "mso-eval"

@@ -4,90 +4,21 @@ package threecol
 // flexibility ("many relevant properties can be expressed by really short
 // programs"); the Figure 5 program generalizes to any fixed number of
 // color classes by widening the solve predicate, and to counting by
-// evaluating the same transitions over weights.
+// evaluating the same transitions in the counting semiring. Both run the
+// one colorProblem of problem.go — the seed's separate kHandlers copy
+// (which had drifted from the Figure 5 handlers in leaf enumeration
+// order and bit packing) is gone.
 
 import (
+	"context"
 	"fmt"
+	"math/big"
 
 	"repro/internal/dp"
 	"repro/internal/graph"
+	"repro/internal/solver"
 	"repro/internal/tree"
 )
-
-// maxColors bounds k: states pack 4 bits per bag position.
-const maxColors = 16
-
-// kcoloring assigns one of k colors (4 bits) per sorted-bag position.
-type kcoloring uint64
-
-func kColorOf(s kcoloring, p int) int { return int(s>>(4*uint(p))) & 15 }
-
-func kWithColor(s kcoloring, p, c int) kcoloring {
-	low := s & ((1 << (4 * uint(p))) - 1)
-	high := s >> (4 * uint(p))
-	return low | kcoloring(c)<<(4*uint(p)) | high<<(4*uint(p)+4)
-}
-
-func kDropColor(s kcoloring, p int) kcoloring {
-	low := s & ((1 << (4 * uint(p))) - 1)
-	high := s >> (4*uint(p) + 4)
-	return low | high<<(4*uint(p))
-}
-
-func kAllowed(g *graph.Graph, bag []int, s kcoloring) bool {
-	for i := 0; i < len(bag); i++ {
-		for j := i + 1; j < len(bag); j++ {
-			if g.HasEdge(bag[i], bag[j]) && kColorOf(s, i) == kColorOf(s, j) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// kHandlers builds the k-coloring transitions for graph g.
-func kHandlers(g *graph.Graph, k int) dp.Handlers[kcoloring] {
-	return dp.Handlers[kcoloring]{
-		Leaf: func(_ int, bag []int) []kcoloring {
-			var out []kcoloring
-			var rec func(p int, s kcoloring)
-			rec = func(p int, s kcoloring) {
-				if p == len(bag) {
-					if kAllowed(g, bag, s) {
-						out = append(out, s)
-					}
-					return
-				}
-				for c := 0; c < k; c++ {
-					rec(p+1, s|kcoloring(c)<<(4*uint(p)))
-				}
-			}
-			rec(0, 0)
-			return out
-		},
-		Introduce: func(_ int, bag []int, elem int, child kcoloring) []kcoloring {
-			p := position(bag, elem)
-			var out []kcoloring
-			for c := 0; c < k; c++ {
-				s := kWithColor(child, p, c)
-				if kAllowed(g, bag, s) {
-					out = append(out, s)
-				}
-			}
-			return out
-		},
-		Forget: func(_ int, bag []int, elem int, child kcoloring) []kcoloring {
-			childBag := insertSorted(bag, elem)
-			return []kcoloring{kDropColor(child, position(childBag, elem))}
-		},
-		Branch: func(_ int, _ []int, s1, s2 kcoloring) []kcoloring {
-			if s1 == s2 {
-				return []kcoloring{s1}
-			}
-			return nil
-		},
-	}
-}
 
 // KColorable decides whether g has a proper coloring with k colors.
 func KColorable(g *graph.Graph, k int) (bool, error) {
@@ -98,43 +29,85 @@ func KColorable(g *graph.Graph, k int) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	tables, err := dp.RunUp(nice, kHandlers(g, k))
-	if err != nil {
-		return false, err
-	}
-	return tables[nice.Root].Len() > 0, nil
+	return solver.Decide(context.Background(), nice, newColorProblem(g, k))
 }
 
-// CountColorings returns the number of proper k-colorings of g, by the
-// weighted bottom-up pass over the same Figure 5 transitions.
-func CountColorings(g *graph.Graph, k int) (uint64, error) {
+// KColoring returns a proper k-coloring (vertex → 0..k-1) if one
+// exists, from the same witness walk that backs Coloring.
+func KColoring(g *graph.Graph, k int) ([]int, bool, error) {
 	if k < 1 || k > maxColors {
-		return 0, fmt.Errorf("threecol: k must be in 1..%d, got %d", maxColors, k)
+		return nil, false, fmt.Errorf("threecol: k must be in 1..%d, got %d", maxColors, k)
+	}
+	in, err := NewInstance(g)
+	if err != nil {
+		return nil, false, err
+	}
+	return in.kColoring(context.Background(), k)
+}
+
+func (in *Instance) kColoring(ctx context.Context, k int) ([]int, bool, error) {
+	cp := newColorProblem(in.g, k)
+	der, err := solver.Witness(ctx, in.nice, cp)
+	if err != nil || der == nil {
+		return nil, false, err
+	}
+	bags, err := dp.Bags(in.nice)
+	if err != nil {
+		return nil, false, fmt.Errorf("threecol: %w", err)
+	}
+	colors := make([]int, in.g.N())
+	err = der.Walk(func(v int, s uint64) error {
+		for p, e := range bags[v] {
+			colors[e] = int(cp.w.At(s, p))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return colors, true, nil
+}
+
+// CountColoringsBig returns the exact number of proper k-colorings of
+// g, by the counting-semiring pass over the same Figure 5 transitions.
+func CountColoringsBig(g *graph.Graph, k int) (*big.Int, error) {
+	if k < 1 || k > maxColors {
+		return nil, fmt.Errorf("threecol: k must be in 1..%d, got %d", maxColors, k)
+	}
+	nice, err := niceFor(g)
+	if err != nil {
+		return nil, err
+	}
+	return solver.Count(context.Background(), nice, newColorProblem(g, k))
+}
+
+// CountColorings returns the number of proper k-colorings of g,
+// truncated to uint64 (counts beyond 2^64 wrap, as with the seed's
+// uint64 accumulation; use CountColoringsBig for exact large counts).
+func CountColorings(g *graph.Graph, k int) (uint64, error) {
+	n, err := CountColoringsBig(g, k)
+	if err != nil {
+		return 0, err
+	}
+	var mask big.Int
+	mask.SetUint64(^uint64(0))
+	return new(big.Int).And(n, &mask).Uint64(), nil
+}
+
+// ChromaticNumber returns the least k with a proper k-coloring (≤
+// maxColors; errors beyond — bounded-treewidth graphs satisfy
+// χ ≤ tw+1, so this only fails for very dense inputs). The graph is
+// decomposed once and the nice form reused for every k probe.
+func ChromaticNumber(g *graph.Graph) (int, error) {
+	if g.N() == 0 {
+		return 0, nil
 	}
 	nice, err := niceFor(g)
 	if err != nil {
 		return 0, err
 	}
-	counts, err := dp.RunUpCount(nice, kHandlers(g, k))
-	if err != nil {
-		return 0, err
-	}
-	var total uint64
-	for _, c := range counts[nice.Root] {
-		total += c
-	}
-	return total, nil
-}
-
-// ChromaticNumber returns the least k with a proper k-coloring (≤
-// maxColors; errors beyond — bounded-treewidth graphs satisfy
-// χ ≤ tw+1, so this only fails for very dense inputs).
-func ChromaticNumber(g *graph.Graph) (int, error) {
-	if g.N() == 0 {
-		return 0, nil
-	}
 	for k := 1; k <= maxColors; k++ {
-		ok, err := KColorable(g, k)
+		ok, err := solver.Decide(context.Background(), nice, newColorProblem(g, k))
 		if err != nil {
 			return 0, err
 		}

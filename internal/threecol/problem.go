@@ -1,0 +1,141 @@
+package threecol
+
+// The single problem-algebra instance behind this package: proper
+// k-coloring as a solver.Problem. threecol.Decide runs it with k=3 in
+// the decision semiring (Figure 5 verbatim), KColorable with arbitrary
+// k, CountColorings in the counting semiring, and Coloring extracts a
+// witness from the same tables — one set of transitions for every mode,
+// where the seed had three hand-written near-copies (threecol handlers,
+// kcolor handlers, and the counting pass) that had already drifted in
+// leaf enumeration order and state packing.
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/solver"
+)
+
+// maxColors bounds k: wide states pack 4 bits per bag position.
+const maxColors = 16
+
+// colorProblem is proper k-coloring over the sorted-bag position
+// states of Figure 5: a state assigns each bag position a color,
+// packed w bits per position (2 bits while k ≤ 4 — the Figure 5
+// layout, which keeps 3-coloring states byte-compatible with the seed
+// and supports bags of up to 32 positions — 4 bits beyond).
+type colorProblem struct {
+	g *graph.Graph
+	k int
+	w solver.Width
+}
+
+func newColorProblem(g *graph.Graph, k int) colorProblem {
+	w := solver.Width(4)
+	if k <= 4 {
+		w = 2
+	}
+	return colorProblem{g: g, k: k, w: w}
+}
+
+func (cp colorProblem) Name() string { return fmt.Sprintf("coloring(k=%d)", cp.k) }
+
+// allowed reports whether no edge inside the bag is monochromatic — the
+// allowed predicate of Figure 5 applied to all color classes at once.
+func (cp colorProblem) allowed(bag []int, s uint64) bool {
+	for i := 0; i < len(bag); i++ {
+		for j := i + 1; j < len(bag); j++ {
+			if cp.g.HasEdge(bag[i], bag[j]) && cp.w.At(s, i) == cp.w.At(s, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// allStates enumerates every position-coloring of the bag, allowed or
+// not, in the canonical order: combos count up in base k with position
+// 0 varying fastest. GroundDecide needs the unfiltered enumeration.
+func (cp colorProblem) allStates(bag []int) []uint64 {
+	n := len(bag)
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= cp.k
+	}
+	out := make([]uint64, 0, total)
+	for combo := 0; combo < total; combo++ {
+		var s uint64
+		x := combo
+		for p := 0; p < n; p++ {
+			s |= uint64(x%cp.k) << (uint(p) * uint(cp.w))
+			x /= cp.k
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// The Problem hooks delegate to the solver.Appender fast path below, so
+// the evaluator reuses one transition buffer per node instead of
+// allocating a fresh slice per child state.
+
+// Leaf enumerates the proper position-colorings of a leaf bag.
+func (cp colorProblem) Leaf(node int, bag []int) []solver.Out[uint64] {
+	return cp.AppendLeaf(nil, node, bag)
+}
+
+// Introduce tries every color for the new element, keeping proper
+// states.
+func (cp colorProblem) Introduce(node int, bag []int, elem int, child uint64) []solver.Out[uint64] {
+	return cp.AppendIntroduce(nil, node, bag, elem, child)
+}
+
+// Forget projects the forgotten element's position out of the state.
+func (cp colorProblem) Forget(node int, bag []int, elem int, child uint64) []solver.Out[uint64] {
+	return cp.AppendForget(nil, node, bag, elem, child)
+}
+
+// Join requires the two subtrees to agree on the bag coloring.
+func (cp colorProblem) Join(node int, bag []int, s1, s2 uint64) []solver.Out[uint64] {
+	return cp.AppendJoin(nil, node, bag, s1, s2)
+}
+
+// AppendLeaf appends the proper position-colorings of a leaf bag.
+func (cp colorProblem) AppendLeaf(dst []solver.Out[uint64], _ int, bag []int) []solver.Out[uint64] {
+	for _, s := range cp.allStates(bag) {
+		if cp.allowed(bag, s) {
+			dst = append(dst, solver.Out[uint64]{State: s})
+		}
+	}
+	return dst
+}
+
+// AppendIntroduce appends the proper extensions of a child state.
+func (cp colorProblem) AppendIntroduce(dst []solver.Out[uint64], _ int, bag []int, elem int, child uint64) []solver.Out[uint64] {
+	p := solver.Position(bag, elem)
+	for c := 0; c < cp.k; c++ {
+		s := cp.w.Insert(child, p, uint64(c))
+		if cp.allowed(bag, s) {
+			dst = append(dst, solver.Out[uint64]{State: s})
+		}
+	}
+	return dst
+}
+
+// AppendForget appends the projection of the forgotten element.
+func (cp colorProblem) AppendForget(dst []solver.Out[uint64], _ int, bag []int, elem int, child uint64) []solver.Out[uint64] {
+	childBag := solver.InsertSorted(bag, elem)
+	return append(dst, solver.Out[uint64]{State: cp.w.Drop(child, solver.Position(childBag, elem))})
+}
+
+// AppendJoin appends the agreement state, if the subtrees agree.
+func (cp colorProblem) AppendJoin(dst []solver.Out[uint64], _ int, _ []int, s1, s2 uint64) []solver.Out[uint64] {
+	if s1 == s2 {
+		dst = append(dst, solver.Out[uint64]{State: s1})
+	}
+	return dst
+}
+
+// Accept: every root state is a full solution (the success rule of
+// Figure 5 fires on any surviving state).
+func (cp colorProblem) Accept(int, []int, uint64) bool { return true }

@@ -3,7 +3,9 @@
 // program over a nice tree decomposition whose states are the partitions
 // (R, G, B) of the current bag — the solve(s, R, G, B) predicate of the
 // figure — plus a brute-force baseline, witness extraction, and a full
-// grounding to a propositional Horn program.
+// grounding to a propositional Horn program. The transitions are a
+// solver.Problem instance (problem.go) evaluated by the generic semiring
+// engine, which also powers k-coloring and exact counting (kcolor.go).
 package threecol
 
 import (
@@ -14,6 +16,7 @@ import (
 	"repro/internal/dp"
 	"repro/internal/graph"
 	"repro/internal/horn"
+	"repro/internal/solver"
 	"repro/internal/tree"
 )
 
@@ -42,107 +45,6 @@ solve(S, R, G, B) :- bag(S, X), child1(S1, S), child2(S2, S), bag(S1, X), bag(S2
 % result (at the root node).
 success :- root(S), solve(S, R, G, B).
 `
-
-// coloring is a DP state: the color (0, 1, 2) of each sorted-bag position,
-// packed two bits per position.
-type coloring uint64
-
-func colorOf(s coloring, p int) int { return int(s>>(2*uint(p))) & 3 }
-func withColor(s coloring, p, c int) coloring {
-	low := s & ((1 << (2 * uint(p))) - 1)
-	high := s >> (2 * uint(p))
-	return low | coloring(c)<<(2*uint(p)) | high<<(2*uint(p)+2)
-}
-func dropColor(s coloring, p int) coloring {
-	low := s & ((1 << (2 * uint(p))) - 1)
-	high := s >> (2*uint(p) + 2)
-	return low | high<<(2*uint(p))
-}
-
-func position(bag []int, e int) int {
-	for i, b := range bag {
-		if b == e {
-			return i
-		}
-	}
-	return -1
-}
-
-// allowed reports whether no edge inside the bag is monochromatic — the
-// allowed predicate of Figure 5 applied to all three classes at once.
-func allowed(g *graph.Graph, bag []int, s coloring) bool {
-	for i := 0; i < len(bag); i++ {
-		for j := i + 1; j < len(bag); j++ {
-			if g.HasEdge(bag[i], bag[j]) && colorOf(s, i) == colorOf(s, j) {
-				return false
-			}
-		}
-	}
-	return true
-}
-
-// handlers builds the Figure 5 transitions for graph g.
-func handlers(g *graph.Graph) dp.Handlers[coloring] {
-	return dp.Handlers[coloring]{
-		Leaf: func(_ int, bag []int) []coloring {
-			var out []coloring
-			n := len(bag)
-			total := 1
-			for i := 0; i < n; i++ {
-				total *= 3
-			}
-			for combo := 0; combo < total; combo++ {
-				var s coloring
-				x := combo
-				for p := 0; p < n; p++ {
-					s |= coloring(x%3) << (2 * uint(p))
-					x /= 3
-				}
-				if allowed(g, bag, s) {
-					out = append(out, s)
-				}
-			}
-			return out
-		},
-		Introduce: func(_ int, bag []int, elem int, child coloring) []coloring {
-			p := position(bag, elem)
-			var out []coloring
-			for c := 0; c < 3; c++ {
-				s := withColor(child, p, c)
-				if allowed(g, bag, s) {
-					out = append(out, s)
-				}
-			}
-			return out
-		},
-		Forget: func(_ int, bag []int, elem int, child coloring) []coloring {
-			childBag := insertSorted(bag, elem)
-			return []coloring{dropColor(child, position(childBag, elem))}
-		},
-		Branch: func(_ int, _ []int, s1, s2 coloring) []coloring {
-			if s1 == s2 {
-				return []coloring{s1}
-			}
-			return nil
-		},
-	}
-}
-
-func insertSorted(bag []int, e int) []int {
-	out := make([]int, 0, len(bag)+1)
-	placed := false
-	for _, b := range bag {
-		if !placed && e < b {
-			out = append(out, e)
-			placed = true
-		}
-		out = append(out, b)
-	}
-	if !placed {
-		out = append(out, e)
-	}
-	return out
-}
 
 // Instance bundles a graph with a nice tree decomposition.
 type Instance struct {
@@ -195,13 +97,9 @@ func (in *Instance) Decide() (bool, error) {
 	return in.DecideCtx(context.Background())
 }
 
-// DecideCtx is Decide with cancellation support (see dp.RunUpCtx).
+// DecideCtx is Decide with cancellation support (see solver.Up).
 func (in *Instance) DecideCtx(ctx context.Context) (bool, error) {
-	tables, err := dp.RunUpCtx(ctx, in.nice, handlers(in.g))
-	if err != nil {
-		return false, err
-	}
-	return tables[in.nice.Root].Len() > 0, nil
+	return solver.Decide(ctx, in.nice, newColorProblem(in.g, 3))
 }
 
 // Coloring returns a proper 3-coloring (vertex → 0/1/2) if one exists, by
@@ -212,35 +110,30 @@ func (in *Instance) Coloring() ([]int, bool, error) {
 	return in.ColoringCtx(context.Background())
 }
 
-// ColoringCtx is Coloring with cancellation support (see dp.RunUpCtx).
+// ColoringCtx is Coloring with cancellation support (see solver.Up).
 func (in *Instance) ColoringCtx(ctx context.Context) ([]int, bool, error) {
-	tables, err := dp.RunUpCtx(ctx, in.nice, handlers(in.g))
-	if err != nil {
+	cp := newColorProblem(in.g, 3)
+	der, err := solver.Witness(ctx, in.nice, cp)
+	if err != nil || der == nil {
 		return nil, false, err
 	}
-	if tables[in.nice.Root].Len() == 0 {
-		return nil, false, nil
+	bags, err := dp.Bags(in.nice)
+	if err != nil {
+		return nil, false, fmt.Errorf("threecol: %w", err)
 	}
 	colors := make([]int, in.g.N())
 	for i := range colors {
 		colors[i] = -1
 	}
-	var assign func(v int, s coloring)
-	assign = func(v int, s coloring) {
-		bag := sortedBag(in.nice.Nodes[v].Bag)
-		for p, e := range bag {
-			colors[e] = colorOf(s, p)
+	err = der.Walk(func(v int, s uint64) error {
+		for p, e := range bags[v] {
+			colors[e] = int(cp.w.At(s, p))
 		}
-		prov := tables[v].Prov[s]
-		n := in.nice.Nodes[v]
-		if prov.First != nil && len(n.Children) >= 1 {
-			assign(n.Children[0], *prov.First)
-		}
-		if prov.Second != nil && len(n.Children) == 2 {
-			assign(n.Children[1], *prov.Second)
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
 	}
-	assign(in.nice.Root, tables[in.nice.Root].Order[0])
 	// Isolated vertices may be uncolored only if they appear in no bag;
 	// a valid decomposition covers every vertex, so color any stragglers
 	// defensively.
@@ -259,7 +152,7 @@ func (in *Instance) ColoringCtx(ctx context.Context) ([]int, bool, error) {
 func (in *Instance) GroundDecide() (bool, error) {
 	prog := &horn.Program{}
 	varID := map[string]int{}
-	id := func(node int, s coloring) int {
+	id := func(node int, s uint64) int {
 		k := fmt.Sprintf("%d/%d", node, s)
 		if v, ok := varID[k]; ok {
 			return v
@@ -268,51 +161,33 @@ func (in *Instance) GroundDecide() (bool, error) {
 		varID[k] = v
 		return v
 	}
-	h := handlers(in.g)
-	allColorings := func(bag []int) []coloring {
-		var out []coloring
-		n := len(bag)
-		total := 1
-		for i := 0; i < n; i++ {
-			total *= 3
-		}
-		for combo := 0; combo < total; combo++ {
-			var s coloring
-			x := combo
-			for p := 0; p < n; p++ {
-				s |= coloring(x%3) << (2 * uint(p))
-				x /= 3
-			}
-			out = append(out, s)
-		}
-		return out
-	}
+	cp := newColorProblem(in.g, 3)
 	for _, v := range in.nice.PostOrder() {
 		n := in.nice.Nodes[v]
 		bag := sortedBag(n.Bag)
 		switch n.Kind {
 		case tree.KindLeaf:
-			for _, s := range h.Leaf(v, bag) {
-				prog.AddClause(id(v, s))
+			for _, o := range cp.Leaf(v, bag) {
+				prog.AddClause(id(v, o.State))
 			}
 		case tree.KindIntroduce, tree.KindForget, tree.KindCopy:
 			child := n.Children[0]
-			for _, cs := range allColorings(sortedBag(in.nice.Nodes[child].Bag)) {
-				var results []coloring
+			for _, cs := range cp.allStates(sortedBag(in.nice.Nodes[child].Bag)) {
+				var results []solver.Out[uint64]
 				switch n.Kind {
 				case tree.KindIntroduce:
-					results = h.Introduce(v, bag, n.Elem, cs)
+					results = cp.Introduce(v, bag, n.Elem, cs)
 				case tree.KindForget:
-					results = h.Forget(v, bag, n.Elem, cs)
+					results = cp.Forget(v, bag, n.Elem, cs)
 				default:
-					results = []coloring{cs}
+					results = []solver.Out[uint64]{{State: cs}}
 				}
-				for _, s := range results {
-					prog.AddClause(id(v, s), id(child, cs))
+				for _, o := range results {
+					prog.AddClause(id(v, o.State), id(child, cs))
 				}
 			}
 		case tree.KindBranch:
-			for _, s := range allColorings(bag) {
+			for _, s := range cp.allStates(bag) {
 				prog.AddClause(id(v, s), id(n.Children[0], s), id(n.Children[1], s))
 			}
 		default:
@@ -321,7 +196,7 @@ func (in *Instance) GroundDecide() (bool, error) {
 	}
 	success := len(varID)
 	varID["success"] = success
-	for _, s := range allColorings(sortedBag(in.nice.Nodes[in.nice.Root].Bag)) {
+	for _, s := range cp.allStates(sortedBag(in.nice.Nodes[in.nice.Root].Bag)) {
 		prog.AddClause(success, id(in.nice.Root, s))
 	}
 	truth := prog.Solve()

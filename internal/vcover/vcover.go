@@ -2,52 +2,44 @@
 // maximum independent set) on bounded-treewidth graphs — a further FPT
 // problem on the paper's framework (Section 7: "We are therefore planning
 // to tackle many more problems, whose FPT was established via Courcelle's
-// Theorem, with this new approach"). The solver is a cost-optimizing
-// dynamic program over the nice tree decompositions of internal/dp,
-// following the same solve-predicate style as Figures 5 and 6.
+// Theorem, with this new approach"). The transitions are one
+// solver.Problem instance evaluated by the generic semiring engine: the
+// tropical semiring yields the minimum cover (with a witness set), the
+// counting semiring the number of covers, the boolean semiring the
+// trivial decision.
 package vcover
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math"
 
 	"repro/internal/decompose"
 	"repro/internal/dp"
 	"repro/internal/graph"
+	"repro/internal/solver"
 	"repro/internal/tree"
 )
 
-// state is the in-cover bitmask over the sorted bag positions.
-type state uint32
+// width packs one bit per sorted-bag position: the in-cover bitmask.
+const width = solver.Width(1)
 
-func position(bag []int, e int) int {
-	for i, b := range bag {
-		if b == e {
-			return i
-		}
-	}
-	return -1
+// coverProblem is the vertex-cover algebra: states are in-cover
+// bitmasks over the sorted bag, costs count selected vertices exactly
+// once (on introduction or in a leaf; joins subtract the bag overlap
+// both children counted).
+type coverProblem struct {
+	g *graph.Graph
 }
 
-func insertBit(m state, p int, bit state) state {
-	low := m & ((1 << uint(p)) - 1)
-	high := m >> uint(p)
-	return low | bit<<uint(p) | high<<uint(p+1)
-}
+func (cp coverProblem) Name() string { return "vertex-cover" }
 
-func removeBit(m state, p int) state {
-	low := m & ((1 << uint(p)) - 1)
-	high := m >> uint(p+1)
-	return low | high<<uint(p)
-}
-
-// covered reports whether every bag-internal edge has an endpoint in the
-// cover mask.
-func covered(g *graph.Graph, bag []int, m state) bool {
+// covered reports whether every bag-internal edge has an endpoint in
+// the cover mask.
+func (cp coverProblem) covered(bag []int, m uint64) bool {
 	for i := 0; i < len(bag); i++ {
 		for j := i + 1; j < len(bag); j++ {
-			if g.HasEdge(bag[i], bag[j]) && m>>uint(i)&1 == 0 && m>>uint(j)&1 == 0 {
+			if cp.g.HasEdge(bag[i], bag[j]) && m>>uint(i)&1 == 0 && m>>uint(j)&1 == 0 {
 				return false
 			}
 		}
@@ -55,94 +47,115 @@ func covered(g *graph.Graph, bag []int, m state) bool {
 	return true
 }
 
-func handlers(g *graph.Graph) dp.CostHandlers[state] {
-	popcount := func(m state, n int) int {
-		c := 0
-		for p := 0; p < n; p++ {
-			c += int(m >> uint(p) & 1)
-		}
-		return c
-	}
-	return dp.CostHandlers[state]{
-		Leaf: func(_ int, bag []int) []dp.Costed[state] {
-			var out []dp.Costed[state]
-			for m := state(0); m < 1<<uint(len(bag)); m++ {
-				if covered(g, bag, m) {
-					out = append(out, dp.Costed[state]{State: m, Cost: popcount(m, len(bag))})
-				}
-			}
-			return out
-		},
-		Introduce: func(_ int, bag []int, elem int, child state) []dp.Costed[state] {
-			p := position(bag, elem)
-			var out []dp.Costed[state]
-			for bit := state(0); bit <= 1; bit++ {
-				m := insertBit(child, p, bit)
-				if covered(g, bag, m) {
-					out = append(out, dp.Costed[state]{State: m, Cost: int(bit)})
-				}
-			}
-			return out
-		},
-		Forget: func(_ int, bag []int, elem int, child state) []dp.Costed[state] {
-			childBag := insertSorted(bag, elem)
-			return []dp.Costed[state]{{State: removeBit(child, position(childBag, elem))}}
-		},
-		Branch: func(_ int, bag []int, s1, s2 state) []dp.Costed[state] {
-			if s1 != s2 {
-				return nil
-			}
-			// The bag's cover members are counted in both children;
-			// subtract one copy.
-			dup := 0
+func (cp coverProblem) Leaf(_ int, bag []int) []solver.Out[uint64] {
+	var out []solver.Out[uint64]
+	for m := uint64(0); m < 1<<uint(len(bag)); m++ {
+		if cp.covered(bag, m) {
+			cost := 0
 			for p := range bag {
-				dup += int(s1 >> uint(p) & 1)
+				cost += int(m >> uint(p) & 1)
 			}
-			return []dp.Costed[state]{{State: s1, Cost: -dup}}
-		},
-	}
-}
-
-func insertSorted(bag []int, e int) []int {
-	out := make([]int, 0, len(bag)+1)
-	placed := false
-	for _, b := range bag {
-		if !placed && e < b {
-			out = append(out, e)
-			placed = true
+			out = append(out, solver.Out[uint64]{State: m, Cost: cost})
 		}
-		out = append(out, b)
-	}
-	if !placed {
-		out = append(out, e)
 	}
 	return out
 }
 
-// MinVertexCover returns the size of a minimum vertex cover of g.
-func MinVertexCover(g *graph.Graph) (int, error) {
-	d, err := decompose.Graph(g, decompose.MinFill)
-	if err != nil {
-		return 0, err
-	}
-	nice, err := tree.NormalizeNice(d, tree.NiceOptions{})
-	if err != nil {
-		return 0, err
-	}
-	tables, err := dp.RunUpMin(nice, handlers(g))
-	if err != nil {
-		return 0, err
-	}
-	best := math.MaxInt
-	for _, c := range tables[nice.Root] {
-		if c < best {
-			best = c
+func (cp coverProblem) Introduce(_ int, bag []int, elem int, child uint64) []solver.Out[uint64] {
+	p := solver.Position(bag, elem)
+	var out []solver.Out[uint64]
+	for bit := uint64(0); bit <= 1; bit++ {
+		m := width.Insert(child, p, bit)
+		if cp.covered(bag, m) {
+			out = append(out, solver.Out[uint64]{State: m, Cost: int(bit)})
 		}
 	}
-	if best == math.MaxInt {
+	return out
+}
+
+func (cp coverProblem) Forget(_ int, bag []int, elem int, child uint64) []solver.Out[uint64] {
+	childBag := solver.InsertSorted(bag, elem)
+	return []solver.Out[uint64]{{State: width.Drop(child, solver.Position(childBag, elem))}}
+}
+
+func (cp coverProblem) Join(_ int, bag []int, s1, s2 uint64) []solver.Out[uint64] {
+	if s1 != s2 {
+		return nil
+	}
+	// The bag's cover members are counted in both children; subtract one
+	// copy.
+	dup := 0
+	for p := range bag {
+		dup += int(s1 >> uint(p) & 1)
+	}
+	return []solver.Out[uint64]{{State: s1, Cost: -dup}}
+}
+
+// Accept: cover constraints are enforced edge-locally throughout, so
+// every surviving root state is a full cover.
+func (cp coverProblem) Accept(int, []int, uint64) bool { return true }
+
+func niceFor(g *graph.Graph) (*tree.Decomposition, error) {
+	d, err := decompose.Graph(g, decompose.MinFill)
+	if err != nil {
+		return nil, err
+	}
+	return tree.NormalizeNice(d, tree.NiceOptions{})
+}
+
+// MinVertexCover returns the size of a minimum vertex cover of g.
+func MinVertexCover(g *graph.Graph) (int, error) {
+	nice, err := niceFor(g)
+	if err != nil {
+		return 0, err
+	}
+	der, err := solver.Optimize(context.Background(), nice, coverProblem{g})
+	if err != nil {
+		return 0, err
+	}
+	if der == nil {
 		return 0, fmt.Errorf("vcover: no feasible state at the root")
 	}
-	return best, nil
+	return der.Value, nil
+}
+
+// CoverSet returns a minimum vertex cover itself, by walking the argmin
+// derivation of the tropical-semiring tables.
+func CoverSet(g *graph.Graph) ([]int, error) {
+	nice, err := niceFor(g)
+	if err != nil {
+		return nil, err
+	}
+	der, err := solver.Optimize(context.Background(), nice, coverProblem{g})
+	if err != nil {
+		return nil, err
+	}
+	if der == nil {
+		return nil, fmt.Errorf("vcover: no feasible state at the root")
+	}
+	bags, err := dp.Bags(nice)
+	if err != nil {
+		return nil, fmt.Errorf("vcover: %w", err)
+	}
+	in := make([]bool, g.N())
+	err = der.Walk(func(v int, s uint64) error {
+		for p, e := range bags[v] {
+			if s>>uint(p)&1 == 1 {
+				in[e] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cover []int
+	for v, ok := range in {
+		if ok {
+			cover = append(cover, v)
+		}
+	}
+	return cover, nil
 }
 
 // MaxIndependentSet returns the size of a maximum independent set

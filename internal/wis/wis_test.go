@@ -1,0 +1,132 @@
+package wis
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/vcover"
+)
+
+func randWeights(n int, rng *rand.Rand) []int {
+	w := make([]int, n)
+	for i := range w {
+		w[i] = rng.Intn(20) - 3 // mostly positive, some negative
+	}
+	return w
+}
+
+// TestDifferential pins MaxWeight, MaxWeightSet and CountSets against
+// the exponential oracle on random partial k-trees.
+func TestDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(12)
+		k := 1 + rng.Intn(3)
+		g := graph.PartialKTree(n, k, 0.3, rng)
+		weights := randWeights(n, rng)
+
+		wantBest, wantCount, err := BruteForce(g, weights)
+		if err != nil {
+			t.Fatalf("trial %d: brute force: %v", trial, err)
+		}
+
+		got, err := MaxWeight(g, weights)
+		if err != nil {
+			t.Fatalf("trial %d: MaxWeight: %v", trial, err)
+		}
+		if got != wantBest {
+			t.Fatalf("trial %d (n=%d k=%d): MaxWeight=%d, brute force=%d", trial, n, k, got, wantBest)
+		}
+
+		set, err := MaxWeightSet(g, weights)
+		if err != nil {
+			t.Fatalf("trial %d: MaxWeightSet: %v", trial, err)
+		}
+		total := 0
+		for _, v := range set {
+			total += weights[v]
+		}
+		if total != wantBest {
+			t.Fatalf("trial %d: witness weight %d, want %d", trial, total, wantBest)
+		}
+		for i, u := range set {
+			for _, v := range set[i+1:] {
+				if g.HasEdge(u, v) {
+					t.Fatalf("trial %d: witness not independent: edge %d-%d", trial, u, v)
+				}
+			}
+		}
+
+		count, err := CountSets(g)
+		if err != nil {
+			t.Fatalf("trial %d: CountSets: %v", trial, err)
+		}
+		if count.Cmp(new(big.Int).SetUint64(wantCount)) != 0 {
+			t.Fatalf("trial %d: CountSets=%v, brute force=%d", trial, count, wantCount)
+		}
+	}
+}
+
+// TestUnitWeightsComplementVertexCover cross-checks the two packages:
+// with unit weights, max independent set size = n − min vertex cover.
+func TestUnitWeightsComplementVertexCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(10)
+		g := graph.PartialKTree(n, 2, 0.25, rng)
+		mis, err := MaxWeight(g, nil)
+		if err != nil {
+			t.Fatalf("trial %d: MaxWeight: %v", trial, err)
+		}
+		vc, err := vcover.MinVertexCover(g)
+		if err != nil {
+			t.Fatalf("trial %d: MinVertexCover: %v", trial, err)
+		}
+		if mis != n-vc {
+			t.Fatalf("trial %d: MIS=%d but n−VC=%d", trial, mis, n-vc)
+		}
+	}
+}
+
+// TestAllNegativeWeights: the empty set (weight 0) must win when every
+// vertex hurts.
+func TestAllNegativeWeights(t *testing.T) {
+	g := graph.Cycle(6)
+	w := []int{-1, -2, -3, -1, -2, -3}
+	got, err := MaxWeight(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("MaxWeight=%d, want 0 (empty set)", got)
+	}
+	set, err := MaxWeightSet(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 0 {
+		t.Fatalf("witness %v, want empty", set)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	empty := graph.New(0)
+	if got, err := MaxWeight(empty, nil); err != nil || got != 0 {
+		t.Fatalf("empty graph: got %d, %v", got, err)
+	}
+	if c, err := CountSets(empty); err != nil || c.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("empty graph count: got %v, %v", c, err)
+	}
+	single := graph.New(1)
+	if got, err := MaxWeight(single, []int{42}); err != nil || got != 42 {
+		t.Fatalf("single vertex: got %d, %v", got, err)
+	}
+	if _, err := MaxWeight(graph.Path(3), []int{1, 2}); err == nil {
+		t.Fatal("mismatched weight length: want error")
+	}
+	if _, _, err := BruteForce(graph.New(30), nil); err == nil {
+		t.Fatal("oversized brute force: want ErrTooLarge")
+	}
+}
