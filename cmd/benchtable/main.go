@@ -7,6 +7,7 @@
 //	benchtable -tc n
 //	benchtable -pipeline n
 //	benchtable -session n
+//	benchtable -serve n [-serveReqs m]
 //
 // Each MD measurement is the median of -reps runs. The -tc mode instead
 // times transitive closure over an n-vertex path through the generic
@@ -15,7 +16,11 @@
 // nice form → 3-colorability DP) on an n-vertex workload, the health row
 // behind BenchmarkPipeline. The -session mode measures the session
 // architecture's artifact reuse: ten MSO queries over one n-element
-// structure, cold (full pipeline each) versus warm (one session).
+// structure, cold (full pipeline each) versus warm (one session). The
+// -serve mode starts an in-process monadicd server and drives n
+// concurrent clients with -serveReqs requests each against one warm
+// structure, reporting throughput and latency percentiles; any request
+// error or unclean shutdown fails the run.
 //
 // With -json, the active mode also writes a machine-readable
 // BENCH_<mode>.json report into -jsondir. -timeout bounds the whole run.
@@ -44,6 +49,8 @@ func main() {
 	tc := flag.Int("tc", 0, "instead time transitive closure over an n-vertex path")
 	pipeline := flag.Int("pipeline", 0, "instead time the end-to-end FPT pipeline on an n-vertex graph")
 	sessionN := flag.Int("session", 0, "instead measure session artifact reuse on an n-element structure")
+	serveN := flag.Int("serve", 0, "instead load-test an in-process monadicd server with n concurrent clients")
+	serveReqs := flag.Int("serveReqs", 5, "requests per client in -serve mode")
 	jsonOut := flag.Bool("json", false, "also write a BENCH_<mode>.json report")
 	jsonDir := flag.String("jsondir", ".", "directory for -json reports")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
@@ -54,6 +61,20 @@ func main() {
 	}
 	ctx, cancel := cli.Context(*timeout, 0)
 	defer cancel()
+
+	if *serveN > 0 {
+		res, err := bench.ServeLoad(ctx, *serveN, *serveReqs)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("serve load (%d clients × %d reqs): %d requests, %d errors, %.0f req/s\n",
+			res.Clients, res.PerClient, res.Requests, res.Errors, res.ThroughputRPS)
+		fmt.Printf("cold %v; warm p50 %v, p90 %v, p99 %v, max %v; decompositions %d; drained %v\n",
+			time.Duration(res.ColdNS), time.Duration(res.P50NS), time.Duration(res.P90NS),
+			time.Duration(res.P99NS), time.Duration(res.MaxNS), res.Decompositions, res.Drained)
+		writeJSON(*jsonOut, *jsonDir, "serve", res)
+		return
+	}
 
 	if *sessionN > 0 {
 		res, err := bench.SessionReuse(ctx, *sessionN, *seed)

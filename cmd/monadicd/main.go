@@ -1,0 +1,65 @@
+// monadicd is the networked decision service: an HTTP server exposing
+// MSO evaluation and the semiring solver problems over the session
+// layer. See internal/server for the endpoints and the README "Serving"
+// section for the wire format.
+//
+// Usage:
+//
+//	monadicd [-addr :8377] [-budget n] [-timeout d] [-max-sessions n] [-grace d]
+//
+// -budget and -timeout set the per-request defaults (each request gets
+// a freshly minted budget; X-Budget / X-Timeout headers override). On
+// SIGINT/SIGTERM the server drains in-flight requests for up to -grace
+// before aborting them through context cancellation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8377", "listen address")
+	budget := flag.Int64("budget", 0, "default per-request resource budget per metered dimension (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = none)")
+	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "resident session cap (FIFO eviction beyond it)")
+	grace := flag.Duration("grace", 5*time.Second, "shutdown drain grace period")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "monadicd: unexpected arguments")
+		flag.Usage()
+		os.Exit(cli.ExitUsage)
+	}
+	if err := cli.Init(); err != nil {
+		fmt.Fprintln(os.Stderr, cli.Message("monadicd", err))
+		os.Exit(cli.ExitUsage)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cli.Fail("monadicd", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(server.Config{
+		Budget:      *budget,
+		Timeout:     *timeout,
+		MaxSessions: *maxSessions,
+	})
+	log.Printf("monadicd: listening on http://%s", l.Addr())
+	if err := server.Run(ctx, l, srv, *grace); err != nil {
+		cli.Fail("monadicd", err)
+	}
+	log.Printf("monadicd: drained, bye")
+}

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// ServeLoadResult reports the monadicd load experiment: an in-process
+// server, one cold request to warm the session, then clients×perClient
+// concurrent requests against the warm structure. The serving claim is
+// expressed in the invariants: Errors is 0, Decompositions is 1 (every
+// request shared one session's artifacts), Drained is true (shutdown
+// completed cleanly under load).
+type ServeLoadResult struct {
+	Clients   int `json:"clients"`
+	PerClient int `json:"per_client"`
+	Requests  int `json:"requests"`
+	Errors    int `json:"errors"`
+	// ColdNS is the first request: decomposition + compile + eval.
+	ColdNS int64 `json:"cold_ns"`
+	// Warm latency percentiles across all load requests.
+	P50NS int64 `json:"p50_ns"`
+	P90NS int64 `json:"p90_ns"`
+	P99NS int64 `json:"p99_ns"`
+	MaxNS int64 `json:"max_ns"`
+	// TotalNS and ThroughputRPS cover the load phase wall clock.
+	TotalNS       int64   `json:"total_ns"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Decompositions is the server-wide session total after the run.
+	Decompositions int  `json:"decompositions"`
+	Drained        bool `json:"drained"`
+}
+
+// serveWorkload is the load-generator structure: a colored path
+// (treewidth 1) long enough to make a cold evaluation measurable.
+func serveWorkload(n int) string {
+	var b bytes.Buffer
+	b.WriteString("dom")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, " v%d", i)
+	}
+	b.WriteString(".\n")
+	for i := 0; i+1 < n; i++ {
+		fmt.Fprintf(&b, "edge(v%d, v%d).\n", i, i+1)
+	}
+	for i := 0; i < n; i += 2 {
+		fmt.Fprintf(&b, "c(v%d).\n", i)
+	}
+	return b.String()
+}
+
+// ServeLoad starts an in-process monadicd server, drives clients
+// concurrent clients with perClient sequential /eval requests each
+// against one warm structure, and shuts the server down gracefully. Any
+// non-200 answer or transport error fails the run.
+func ServeLoad(ctx context.Context, clients, perClient int) (ServeLoadResult, error) {
+	res := ServeLoadResult{Clients: clients, PerClient: perClient}
+	if clients <= 0 || perClient <= 0 {
+		return res, fmt.Errorf("bench: serve load needs positive clients and requests, got %d×%d", clients, perClient)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	srv := server.New(server.Config{MaxSessions: 16})
+	runCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	runDone := make(chan error, 1)
+	go func() { runDone <- server.Run(runCtx, l, srv, 30*time.Second) }()
+
+	body, err := json.Marshal(server.EvalRequest{
+		Structure: serveWorkload(40),
+		Formula:   "c(x)",
+		Var:       "x",
+	})
+	if err != nil {
+		return res, err
+	}
+	base := "http://" + l.Addr().String()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        clients,
+		MaxIdleConnsPerHost: clients,
+	}}
+	post := func() (int64, error) {
+		t0 := time.Now()
+		resp, err := client.Post(base+"/eval", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return time.Since(t0).Nanoseconds(), nil
+	}
+
+	cold, err := post()
+	if err != nil {
+		return res, fmt.Errorf("bench: cold request: %w", err)
+	}
+	res.ColdNS = cold
+
+	lat := make([]int64, clients*perClient)
+	var errCount atomic.Int64
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				ns, err := post()
+				if err != nil {
+					errCount.Add(1)
+					firstErr.CompareAndSwap(nil, &err)
+					continue
+				}
+				lat[c*perClient+i] = ns
+			}
+		}(c)
+	}
+	wg.Wait()
+	total := time.Since(start)
+
+	stop()
+	drainErr := <-runDone
+	res.Drained = drainErr == nil
+
+	res.Requests = clients * perClient
+	res.Errors = int(errCount.Load())
+	res.TotalNS = total.Nanoseconds()
+	if total > 0 {
+		res.ThroughputRPS = float64(res.Requests-res.Errors) / total.Seconds()
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	pct := func(p float64) int64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	res.P50NS, res.P90NS, res.P99NS, res.MaxNS = pct(0.50), pct(0.90), pct(0.99), lat[len(lat)-1]
+	res.Decompositions = srv.SessionTotals().Decompositions
+
+	if res.Errors > 0 {
+		err := *firstErr.Load()
+		return res, fmt.Errorf("bench: %d/%d requests failed, first: %w", res.Errors, res.Requests, err)
+	}
+	if drainErr != nil {
+		return res, fmt.Errorf("bench: shutdown: %w", drainErr)
+	}
+	return res, nil
+}

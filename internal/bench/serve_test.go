@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestServeLoadSmall runs a CI-sized load burst through the in-process
+// server: every request must answer 200, all requests must share one
+// decomposition, and shutdown must drain cleanly.
+func TestServeLoadSmall(t *testing.T) {
+	res, err := ServeLoad(context.Background(), 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.Requests != 16 {
+		t.Errorf("requests %d, errors %d, want 16 and 0", res.Requests, res.Errors)
+	}
+	if res.Decompositions != 1 {
+		t.Errorf("decompositions = %d, want 1 (one warm structure)", res.Decompositions)
+	}
+	if !res.Drained {
+		t.Error("server did not drain cleanly")
+	}
+	if res.ThroughputRPS <= 0 {
+		t.Errorf("throughput = %f, want > 0", res.ThroughputRPS)
+	}
+	if res.ColdNS <= 0 || res.P50NS <= 0 || res.MaxNS < res.P99NS {
+		t.Errorf("latency stats inconsistent: cold %d, p50 %d, p99 %d, max %d",
+			res.ColdNS, res.P50NS, res.P99NS, res.MaxNS)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -35,6 +36,13 @@ const (
 	ExitPanic   = 5
 )
 
+// ErrUsage marks malformed input from the caller — bad flags, an
+// unparseable request body, an invalid formula or structure. Wrap bad
+// input with it (fmt.Errorf("%w: ...", cli.ErrUsage)) so ExitCode
+// classifies it as ExitUsage and HTTPStatus as 400 rather than a
+// generic internal error.
+var ErrUsage = errors.New("usage error")
+
 // ExitCode classifies err into the taxonomy above. Stage tags do not
 // affect the class, only the message.
 func ExitCode(err error) int {
@@ -44,12 +52,38 @@ func ExitCode(err error) int {
 		return ExitOK
 	case errors.As(err, &pe):
 		return ExitPanic
+	case errors.Is(err, ErrUsage):
+		return ExitUsage
 	case errors.Is(err, stage.ErrBudgetExceeded):
 		return ExitBudget
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return ExitTimeout
 	default:
 		return ExitError
+	}
+}
+
+// HTTPStatus maps err's taxonomy class onto the HTTP status code the
+// decision service (cmd/monadicd) answers with:
+//
+//	ok      → 200
+//	usage   → 400 (bad request body, formula or structure)
+//	budget  → 429 (per-request resource budget exceeded)
+//	timeout → 504 (per-request deadline or client cancellation)
+//	panic   → 500 (a bug; the one-line message names the stage)
+//	error   → 500 (any other pipeline failure)
+func HTTPStatus(err error) int {
+	switch ExitCode(err) {
+	case ExitOK:
+		return http.StatusOK
+	case ExitUsage:
+		return http.StatusBadRequest
+	case ExitBudget:
+		return http.StatusTooManyRequests
+	case ExitTimeout:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
 	}
 }
 

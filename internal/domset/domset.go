@@ -29,6 +29,15 @@ const (
 // width packs one status per sorted-bag position.
 const width = solver.Width(2)
 
+// Problem returns the dominating-set algebra over g as a generic
+// solver.Problem, for callers (like the decision service) that run
+// named problems through the session Solve* helpers on an existing
+// decomposition. Vertex IDs of g must match the decomposition's bag
+// elements.
+func Problem(g *graph.Graph) solver.Problem[uint64] {
+	return domProblem{g}
+}
+
 // domProblem is the dominating-set algebra: selection costs are paid on
 // introduction (or in a leaf); domination statuses propagate through
 // bag adjacency and merge by OR at joins; a vertex may only be

@@ -1,0 +1,662 @@
+// Package server implements monadicd, the networked decision service:
+// a stdlib net/http front end over the session layer. Requests carry a
+// structure (fact-list text) plus a query; the server shards work into
+// per-structure sessions keyed by content fingerprint, so every request
+// against the same structure shares one decomposition, one τ_td build,
+// one compiled program per formula, and the per-session result and
+// solver caches — including requests that arrive while the artifacts
+// are still being built (the session layer's single-flight).
+//
+// Admission control mints a fresh stage.Budget and deadline for every
+// request (Budgets are single-run tallies; see stage.Budget), from the
+// server-wide defaults or the X-Budget / X-Timeout request headers.
+// Failures map the cli exit taxonomy onto HTTP status codes via
+// cli.HTTPStatus: usage → 400, budget → 429, timeout → 504, panic and
+// everything else → 500.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/domset"
+	"repro/internal/graph"
+	"repro/internal/mso"
+	"repro/internal/session"
+	"repro/internal/solver"
+	"repro/internal/stage"
+	"repro/internal/structure"
+	"repro/internal/threecol"
+	"repro/internal/vcover"
+	"repro/internal/wis"
+)
+
+// Config carries the server-wide defaults. The zero value is a usable
+// server: no budget, no deadline, default session cap, a fresh shared
+// program cache.
+type Config struct {
+	// Budget is the default per-request uniform resource budget for
+	// each metered dimension (0 = unlimited). Overridable per request
+	// via the X-Budget header.
+	Budget int64
+	// Timeout is the default per-request deadline (0 = none).
+	// Overridable per request via the X-Timeout header (a Go duration,
+	// e.g. "500ms").
+	Timeout time.Duration
+	// MaxSessions caps the resident session registry; beyond it the
+	// oldest session is evicted FIFO (its program-cache entries survive
+	// in the shared cache). 0 means DefaultMaxSessions.
+	MaxSessions int
+	// MaxBody caps request body size in bytes. 0 means DefaultMaxBody.
+	MaxBody int64
+	// Progs is the shared warm program cache; nil means a fresh one.
+	Progs *session.ProgramCache
+}
+
+// Defaults for Config zero fields.
+const (
+	DefaultMaxSessions = 256
+	DefaultMaxBody     = 8 << 20
+)
+
+// Server is the decision service: a session registry sharded by
+// structure fingerprint plus the HTTP handlers over it. All methods
+// are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	progs *session.ProgramCache
+	start time.Time
+
+	mu        sync.Mutex
+	sessions  map[uint64]*session.Session
+	order     []uint64 // insertion order, for FIFO eviction
+	evictions int64
+	requests  int64
+	statuses  map[int]int64 // HTTP status → responses sent
+
+	// testGate, when set, is called by handlers after admission and
+	// before evaluating, with the request context — a seam for the
+	// drain tests to hold a request in flight deterministically.
+	testGate func(ctx context.Context, op string)
+}
+
+// New builds a Server from cfg, resolving zero fields to defaults.
+func New(cfg Config) *Server {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = DefaultMaxBody
+	}
+	progs := cfg.Progs
+	if progs == nil {
+		progs = session.NewProgramCache()
+	}
+	return &Server{
+		cfg:      cfg,
+		progs:    progs,
+		start:    time.Now(),
+		sessions: make(map[uint64]*session.Session),
+		statuses: make(map[int]int64),
+	}
+}
+
+// Handler returns the service mux:
+//
+//	POST /eval    evaluate one MSO query over one structure
+//	POST /solve   run a named solver problem (decide/count/optimize)
+//	POST /batch   evaluate many queries grouped per structure
+//	GET  /healthz liveness
+//	GET  /statsz  session / cache / status counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/eval", s.post(s.handleEval))
+	mux.HandleFunc("/solve", s.post(s.handleSolve))
+	mux.HandleFunc("/batch", s.post(s.handleBatch))
+	mux.HandleFunc("/healthz", s.get(s.handleHealthz))
+	mux.HandleFunc("/statsz", s.get(s.handleStatsz))
+	return mux
+}
+
+func (s *Server) post(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			s.reply(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only", Status: http.StatusMethodNotAllowed})
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) get(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			s.reply(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "GET only", Status: http.StatusMethodNotAllowed})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// ErrorResponse is the JSON body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Stage names the pipeline stage the error carries, when it does.
+	Stage string `json:"stage,omitempty"`
+	// Status echoes the HTTP status; Code is the cli exit-taxonomy
+	// class the status was derived from.
+	Status int `json:"status"`
+	Code   int `json:"code,omitempty"`
+}
+
+func (s *Server) reply(w http.ResponseWriter, status int, payload any) {
+	s.mu.Lock()
+	s.requests++
+	s.statuses[status]++
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(payload) //nolint:errcheck // client gone is not our error
+}
+
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	status := cli.HTTPStatus(err)
+	s.reply(w, status, ErrorResponse{
+		Error:  err.Error(),
+		Stage:  string(stage.Of(err)),
+		Status: status,
+		Code:   cli.ExitCode(err),
+	})
+}
+
+// admit builds the request context: a fresh single-run stage.Budget and
+// deadline from the server defaults, overridden by the X-Budget and
+// X-Timeout headers. Minting per request is load-bearing — a Budget is
+// a cumulative tally, so sharing one across requests would turn steady
+// load into spurious 429s (see stage.Budget's contract).
+func (s *Server) admit(r *http.Request) (context.Context, context.CancelFunc, error) {
+	n := s.cfg.Budget
+	if h := r.Header.Get("X-Budget"); h != "" {
+		v, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || v < 0 {
+			return nil, nil, fmt.Errorf("%w: X-Budget %q", cli.ErrUsage, h)
+		}
+		n = v
+	}
+	d := s.cfg.Timeout
+	if h := r.Header.Get("X-Timeout"); h != "" {
+		v, err := time.ParseDuration(h)
+		if err != nil || v < 0 {
+			return nil, nil, fmt.Errorf("%w: X-Timeout %q", cli.ErrUsage, h)
+		}
+		d = v
+	}
+	b := stage.Uniform(n)
+	if d > 0 {
+		if b == nil {
+			b = &stage.Budget{}
+		}
+		b.Deadline = time.Now().Add(d)
+	}
+	ctx, cancel := stage.ApplyDeadline(r.Context(), b)
+	return ctx, cancel, nil
+}
+
+// sessionFor returns the resident session for st's content fingerprint,
+// creating (and FIFO-evicting) under the registry cap. Sessions share
+// the server's program cache, so an evicted-and-recreated session still
+// skips recompilation.
+func (s *Server) sessionFor(st *structure.Structure) *session.Session {
+	fp := session.Fingerprint(st)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[fp]; ok {
+		return sess
+	}
+	if len(s.order) >= s.cfg.MaxSessions {
+		delete(s.sessions, s.order[0])
+		s.order = s.order[1:]
+		s.evictions++
+	}
+	sess := session.NewWithCache(st, s.progs)
+	s.sessions[fp] = sess
+	s.order = append(s.order, fp)
+	return sess
+}
+
+func (s *Server) decode(r *http.Request, into any) error {
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("%w: request body: %v", cli.ErrUsage, err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return fmt.Errorf("%w: request body: trailing data", cli.ErrUsage)
+	}
+	return nil
+}
+
+func parseStructure(src string) (*structure.Structure, error) {
+	st, err := structure.Parse(src, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", cli.ErrUsage, err)
+	}
+	return st, nil
+}
+
+// EvalRequest asks for one MSO query over one structure (fact-list
+// text, see structure.Parse). An empty Var means decision mode: the
+// formula must be a sentence and the answer is its truth value.
+type EvalRequest struct {
+	Structure string `json:"structure"`
+	Formula   string `json:"formula"`
+	Var       string `json:"var,omitempty"`
+}
+
+// EvalResponse carries the answer plus the decomposition's shape.
+type EvalResponse struct {
+	// Holds is the sentence's truth value (decision mode only).
+	Holds *bool `json:"holds,omitempty"`
+	// Selected lists the element names satisfying the unary query
+	// (unary mode only; empty slice when none do).
+	Selected []string `json:"selected,omitempty"`
+	Width    int      `json:"width"`
+	TDNodes  int      `json:"td_nodes"`
+}
+
+func evalOne(ctx context.Context, sess *session.Session, formula, xVar string) (EvalResponse, error) {
+	phi, err := mso.Parse(formula)
+	if err != nil {
+		return EvalResponse{}, fmt.Errorf("%w: formula: %v", cli.ErrUsage, err)
+	}
+	opts := core.Options{Decision: xVar == ""}
+	res, err := sess.Eval(ctx, phi, xVar, opts)
+	if err != nil {
+		return EvalResponse{}, err
+	}
+	resp := EvalResponse{Width: res.Width, TDNodes: res.TDNodes}
+	if xVar == "" {
+		h := res.Holds
+		resp.Holds = &h
+	} else {
+		resp.Selected = []string{}
+		if res.Selected != nil {
+			st := sess.Structure()
+			for _, id := range res.Selected.Elems() {
+				resp.Selected = append(resp.Selected, st.Name(id))
+			}
+		}
+	}
+	return resp, nil
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	var req EvalRequest
+	if err := s.decode(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel, err := s.admit(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer cancel()
+	st, err := parseStructure(req.Structure)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	sess := s.sessionFor(st)
+	if s.testGate != nil {
+		s.testGate(ctx, "eval")
+	}
+	resp, err := evalOne(ctx, sess, req.Formula, req.Var)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.reply(w, http.StatusOK, resp)
+}
+
+// SolveRequest runs a named FPT problem over the primal graph of the
+// structure, on the session's cached decomposition. Problems:
+// "threecol", "kcolor" (requires K), "vcover", "domset", "wis"
+// (optional Weights, one per element in structure order). Modes:
+// "decide", "count", "optimize".
+type SolveRequest struct {
+	Structure string `json:"structure"`
+	Problem   string `json:"problem"`
+	Mode      string `json:"mode"`
+	K         int    `json:"k,omitempty"`
+	Weights   []int  `json:"weights,omitempty"`
+}
+
+// SolveResponse carries the mode-specific answer: OK for decide, Count
+// (decimal) for count, Feasible+Value for optimize. For "wis" the
+// optimize Value is the maximum total weight (the tropical solver's
+// negated minimum).
+type SolveResponse struct {
+	Problem  string `json:"problem"`
+	Mode     string `json:"mode"`
+	OK       *bool  `json:"ok,omitempty"`
+	Count    string `json:"count,omitempty"`
+	Feasible *bool  `json:"feasible,omitempty"`
+	Value    *int   `json:"value,omitempty"`
+}
+
+func problemFor(req SolveRequest, g *graph.Graph) (solver.Problem[uint64], error) {
+	switch req.Problem {
+	case "threecol":
+		return threecol.Problem(g, 3), nil
+	case "kcolor":
+		if req.K <= 0 {
+			return nil, fmt.Errorf("%w: kcolor requires k ≥ 1, got %d", cli.ErrUsage, req.K)
+		}
+		return threecol.Problem(g, req.K), nil
+	case "vcover":
+		return vcover.Problem(g), nil
+	case "domset":
+		return domset.Problem(g), nil
+	case "wis":
+		p, err := wis.Problem(g, req.Weights)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", cli.ErrUsage, err)
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown problem %q", cli.ErrUsage, req.Problem)
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := s.decode(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel, err := s.admit(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer cancel()
+	st, err := parseStructure(req.Structure)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	sess := s.sessionFor(st)
+	if s.testGate != nil {
+		s.testGate(ctx, "solve")
+	}
+	// Primal vertex IDs are structure element IDs, matching the bags of
+	// the session's decomposition.
+	p, err := problemFor(req, graph.Primal(sess.Structure()))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	resp := SolveResponse{Problem: req.Problem, Mode: req.Mode}
+	switch req.Mode {
+	case "decide":
+		ok, err := session.SolveDecide(ctx, sess, p)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		resp.OK = &ok
+	case "count":
+		n, err := session.SolveCount(ctx, sess, p)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		resp.Count = n.String()
+	case "optimize":
+		der, err := session.SolveOptimize(ctx, sess, p)
+		if err != nil {
+			s.fail(w, err)
+			return
+		}
+		feasible := der != nil
+		resp.Feasible = &feasible
+		if feasible {
+			v := der.Value
+			if req.Problem == "wis" {
+				v = -v
+			}
+			resp.Value = &v
+		}
+	default:
+		s.fail(w, fmt.Errorf("%w: unknown mode %q", cli.ErrUsage, req.Mode))
+		return
+	}
+	s.reply(w, http.StatusOK, resp)
+}
+
+// BatchRequest evaluates many queries over a small set of structures in
+// one round trip. Queries name their structure by index; all queries
+// against one structure share the same session, so k queries cost one
+// decomposition.
+type BatchRequest struct {
+	Structures []string     `json:"structures"`
+	Queries    []BatchQuery `json:"queries"`
+}
+
+// BatchQuery is one query of a batch; Structure indexes
+// BatchRequest.Structures.
+type BatchQuery struct {
+	Structure int    `json:"structure"`
+	Formula   string `json:"formula"`
+	Var       string `json:"var,omitempty"`
+}
+
+// BatchResult is one query's outcome: Status is the per-query HTTP
+// taxonomy code (the batch itself answers 200 once admitted).
+type BatchResult struct {
+	Status int    `json:"status"`
+	Error  string `json:"error,omitempty"`
+	EvalResponse
+}
+
+// BatchStructureStat reports the session counters consumed while this
+// batch ran against one structure — the cache-sharing receipt (k
+// queries, Decompositions 1).
+type BatchStructureStat struct {
+	Decompositions   int `json:"decompositions"`
+	Compiles         int `json:"compiles"`
+	CompileCacheHits int `json:"compile_cache_hits"`
+	Evals            int `json:"evals"`
+	ResultCacheHits  int `json:"result_cache_hits"`
+}
+
+// BatchResponse mirrors the request: Results[i] answers Queries[i],
+// Structures[j] accounts for Structures[j] of the request.
+type BatchResponse struct {
+	Results    []BatchResult        `json:"results"`
+	Structures []BatchStructureStat `json:"structures"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := s.decode(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel, err := s.admit(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer cancel()
+	sessions := make([]*session.Session, len(req.Structures))
+	before := make([]session.Stats, len(req.Structures))
+	for i, src := range req.Structures {
+		st, err := parseStructure(src)
+		if err != nil {
+			s.fail(w, fmt.Errorf("structure %d: %w", i, err))
+			return
+		}
+		sessions[i] = s.sessionFor(st)
+		before[i] = sessions[i].Stats()
+	}
+	if s.testGate != nil {
+		s.testGate(ctx, "batch")
+	}
+	resp := BatchResponse{Results: make([]BatchResult, len(req.Queries))}
+	for i, q := range req.Queries {
+		if q.Structure < 0 || q.Structure >= len(sessions) {
+			err := fmt.Errorf("%w: query %d: structure index %d out of range", cli.ErrUsage, i, q.Structure)
+			resp.Results[i] = BatchResult{Status: cli.HTTPStatus(err), Error: err.Error()}
+			continue
+		}
+		one, err := evalOne(ctx, sessions[q.Structure], q.Formula, q.Var)
+		if err != nil {
+			resp.Results[i] = BatchResult{Status: cli.HTTPStatus(err), Error: err.Error()}
+			continue
+		}
+		resp.Results[i] = BatchResult{Status: http.StatusOK, EvalResponse: one}
+	}
+	for i, sess := range sessions {
+		after := sess.Stats()
+		resp.Structures = append(resp.Structures, BatchStructureStat{
+			Decompositions:   after.Decompositions - before[i].Decompositions,
+			Compiles:         after.Compiles - before[i].Compiles,
+			CompileCacheHits: after.CompileCacheHits - before[i].CompileCacheHits,
+			Evals:            after.Evals - before[i].Evals,
+			ResultCacheHits:  after.ResultCacheHits - before[i].ResultCacheHits,
+		})
+	}
+	s.reply(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.reply(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ProgCacheStats is the /statsz view of the shared program cache.
+type ProgCacheStats struct {
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	Len    int `json:"len"`
+	Cap    int `json:"cap"`
+}
+
+// StatszResponse is the /statsz body: request/status counters, session
+// registry occupancy, the shared program cache, and the session-layer
+// counters summed over resident sessions.
+type StatszResponse struct {
+	UptimeSeconds    float64          `json:"uptime_seconds"`
+	Requests         int64            `json:"requests"`
+	StatusCounts     map[string]int64 `json:"status_counts"`
+	Sessions         int              `json:"sessions"`
+	SessionCap       int              `json:"session_cap"`
+	SessionEvictions int64            `json:"session_evictions"`
+	ProgramCache     ProgCacheStats   `json:"program_cache"`
+	SessionTotals    session.Stats    `json:"session_totals"`
+}
+
+// SessionTotals returns the session-layer counters summed over the
+// resident sessions (evicted sessions' counters are gone with them).
+func (s *Server) SessionTotals() session.Stats {
+	s.mu.Lock()
+	resident := make([]*session.Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		resident = append(resident, sess)
+	}
+	s.mu.Unlock()
+	var t session.Stats
+	for _, sess := range resident {
+		st := sess.Stats()
+		t.Decompositions += st.Decompositions
+		t.TupleNormalizations += st.TupleNormalizations
+		t.NiceNormalizations += st.NiceNormalizations
+		t.TDBuilds += st.TDBuilds
+		t.Compiles += st.Compiles
+		t.CompileCacheHits += st.CompileCacheHits
+		t.Evals += st.Evals
+		t.ResultCacheHits += st.ResultCacheHits
+		t.SolverSolves += st.SolverSolves
+		t.SolverCacheHits += st.SolverCacheHits
+		t.Invalidations += st.Invalidations
+	}
+	return t
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	resp := StatszResponse{
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Requests:         s.requests,
+		StatusCounts:     make(map[string]int64, len(s.statuses)),
+		Sessions:         len(s.sessions),
+		SessionCap:       s.cfg.MaxSessions,
+		SessionEvictions: s.evictions,
+	}
+	for code, n := range s.statuses {
+		resp.StatusCounts[strconv.Itoa(code)] = n
+	}
+	s.mu.Unlock()
+	resp.SessionTotals = s.SessionTotals()
+	hits, misses := s.progs.Stats()
+	resp.ProgramCache = ProgCacheStats{Hits: hits, Misses: misses, Len: s.progs.Len(), Cap: s.progs.Cap()}
+	s.reply(w, http.StatusOK, resp)
+}
+
+// Run serves s on l until ctx is canceled, then drains: it stops
+// accepting, waits up to grace for in-flight requests to finish, and
+// only then cancels the base context — which aborts any evaluation that
+// outlived the grace through the existing context plumbing (budget
+// deadlines and evaluator polling), so handlers return promptly instead
+// of being abandoned mid-computation. Returns nil after a clean drain.
+func Run(ctx context.Context, l net.Listener, s *Server, grace time.Duration) error {
+	base, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	hs := &http.Server{
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return base },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := hs.Shutdown(sctx)
+	if err != nil {
+		// The grace expired with requests still in flight. Abort their
+		// evaluations through the context plumbing and give the
+		// handlers one more grace to answer (they fail fast once their
+		// context is canceled); only then force connections closed.
+		cancelBase()
+		sctx2, cancel2 := context.WithTimeout(context.Background(), grace)
+		defer cancel2()
+		if hs.Shutdown(sctx2) != nil {
+			hs.Close()
+		}
+	}
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return nil
+}

@@ -12,6 +12,17 @@
 // repeating a query on an unchanged structure is a pure cache hit,
 // invalidated by the same fingerprint mechanism as the artifacts.
 //
+// Concurrency: all methods are safe for concurrent use, and the session
+// mutex is held only for cache lookups and inserts — never across
+// artifact construction, compilation or evaluation. Expensive work runs
+// under per-key single-flight: concurrent requests for the same missing
+// artifact, compiled program or evaluation result share one in-flight
+// computation, while requests answerable from cache complete
+// immediately even when a cold computation is running on the same
+// session. If an in-flight leader fails, waiting requests with live
+// contexts retry (resuming after any stages the failed run completed)
+// rather than inheriting the leader's error.
+//
 // Every stage accepts a context.Context; cancellation and deadline
 // errors come back wrapped in a *stage.Error (aliased here as
 // StageError) naming the stage that observed them, and each evaluation
@@ -61,7 +72,8 @@ type Stats struct {
 	Compiles, CompileCacheHits int
 	// Evals counts datalog evaluations (one per Eval call that reached
 	// the evaluation stage); ResultCacheHits counts Eval calls answered
-	// from the per-session result cache instead.
+	// from the per-session result cache — or from another request's
+	// in-flight evaluation of the same key — instead.
 	Evals, ResultCacheHits int
 	// SolverSolves counts semiring-solver runs performed by the Solve*
 	// helpers; SolverCacheHits counts the Solve* calls answered from the
@@ -73,8 +85,9 @@ type Stats struct {
 }
 
 // Session binds a structure and caches its pipeline artifacts. All
-// methods are safe for concurrent use; artifact construction is
-// serialized per session, evaluation runs outside the lock.
+// methods are safe for concurrent use; the mutex guards only cache
+// state, and construction/evaluation run outside it under per-key
+// single-flight (see the package comment).
 type Session struct {
 	st    *structure.Structure
 	progs *ProgramCache
@@ -92,6 +105,16 @@ type Session struct {
 	td      *structure.Structure // τ_td structure
 	edb     *datalog.DB          // EDB of td (cloned per evaluation)
 	tdNodes int
+
+	// building is the in-flight front-end build, if any; niceFlight the
+	// in-flight nice normalization; evalFlights the in-flight
+	// evaluations per program key; solverFlights the in-flight solver
+	// runs per (problem, mode). Concurrent requests for the same
+	// missing entry wait on the flight instead of recomputing.
+	building      *artifactFlight
+	niceFlight    *opFlight
+	evalFlights   map[progKey]*evalFlight
+	solverFlights map[solverKey]*opFlight
 
 	// results memoizes evaluated queries per program key; evaluation is
 	// deterministic, so an unchanged structure makes a repeat of the
@@ -113,6 +136,42 @@ type resultEntry struct {
 	res      *core.Result
 	evalSize int // NumFacts of the evaluation output, for trace replay
 }
+
+// artifactFlight is one in-flight front-end build, shared by every
+// request that arrives while it runs. full distinguishes a
+// decomposition-only build from the full decompose → normalize-tuple →
+// build-td chain; a waiter that needs more than the flight is building
+// loops and leads its own (resumed) build when the flight completes.
+type artifactFlight struct {
+	full bool
+	done chan struct{}
+	art  artifacts // stages built, valid once done is closed
+	rung string
+	err  error
+}
+
+// opFlight is one in-flight single-value computation (nice form,
+// solver run).
+type opFlight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// evalFlight is one in-flight evaluation of a program key.
+type evalFlight struct {
+	done     chan struct{}
+	res      *core.Result
+	evalSize int
+	err      error
+}
+
+// testHookEvalStart, when non-nil, runs at the start of every uncached
+// evaluation (after this request became the key's single-flight leader,
+// outside the session mutex). The concurrency regression tests use it
+// to hold a cold evaluation open while asserting that warm cache hits
+// on the same session still complete.
+var testHookEvalStart func()
 
 // New creates a session bound to st, using the shared default program
 // cache.
@@ -187,74 +246,179 @@ type artifacts struct {
 
 // ensure builds (or revalidates) the cached decomposition, tuple form,
 // τ_td structure and EDB, recording stage stats into trace. Cached
-// stages are recorded with CacheHit set and zero wall time. Each stage
-// stores its artifact only on success, so a failed ensure leaves the
-// caches holding exactly the artifacts of the stages that completed —
-// a retry resumes after them, and revalidateLocked discards them if
-// the structure changed in between. A stage panic is recovered into a
-// stage-tagged error; no partial artifact is stored.
-func (s *Session) ensure(ctx context.Context, trace *stage.Trace) (art artifacts, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// stages are recorded with CacheHit set and zero wall time.
+func (s *Session) ensure(ctx context.Context, trace *stage.Trace) (artifacts, error) {
+	return s.frontEnd(ctx, trace, true)
+}
+
+// frontEnd returns the front-end artifacts, building missing stages
+// under single-flight. With full unset only the raw decomposition is
+// guaranteed. The mutex is held for lookups and inserts only; at most
+// one build runs at a time, every stage stores its artifact on success
+// (so a failed build leaves exactly the completed stages behind and a
+// retry resumes after them), and concurrent callers share the in-flight
+// build instead of queueing behind the lock.
+func (s *Session) frontEnd(ctx context.Context, trace *stage.Trace, full bool) (artifacts, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return artifacts{}, stage.Wrap(stage.Decompose, err)
+		}
+		s.mu.Lock()
+		s.revalidateLocked()
+		if s.raw != nil && (!full || (s.tuple != nil && s.td != nil)) {
+			art := artifacts{raw: s.raw, tuple: s.tuple, width: s.width, td: s.td, edb: s.edb, tdNodes: s.tdNodes}
+			rung := s.rung
+			s.mu.Unlock()
+			recordFrontEndHits(trace, art, rung, full)
+			return art, nil
+		}
+		if f := s.building; f != nil {
+			covers := f.full || !full
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return artifacts{}, stage.Wrap(stage.Decompose, ctx.Err())
+			}
+			if covers && f.err == nil {
+				recordFrontEndHits(trace, f.art, f.rung, full)
+				return f.art, nil
+			}
+			// The flight was narrower than we need, or its leader
+			// failed: loop and either hit the now-populated cache, join
+			// a newer flight, or lead a (resumed) build ourselves.
+			continue
+		}
+		f := &artifactFlight{full: full, done: make(chan struct{})}
+		s.building = f
+		fp := s.fp
+		have := artifacts{raw: s.raw, tuple: s.tuple, width: s.width, td: s.td, edb: s.edb, tdNodes: s.tdNodes}
+		rung := s.rung
+		s.mu.Unlock()
+
+		art, rung, built, err := s.buildFrontEnd(ctx, trace, have, rung, full)
+
+		s.mu.Lock()
+		s.building = nil
+		if built.decompose {
+			s.stats.Decompositions++
+		}
+		if built.tuple {
+			s.stats.TupleNormalizations++
+		}
+		if built.td {
+			s.stats.TDBuilds++
+		}
+		// Store only if the structure still matches the fingerprint the
+		// build started from: a mutation mid-build must not poison the
+		// cache with artifacts for a structure that no longer exists.
+		if Fingerprint(s.st) == fp {
+			if art.raw != nil {
+				s.raw, s.rung = art.raw, rung
+			}
+			if art.tuple != nil {
+				s.tuple, s.width = art.tuple, art.width
+			}
+			if art.td != nil {
+				s.td, s.edb, s.tdNodes = art.td, art.edb, art.tdNodes
+			}
+			if err == nil && full {
+				s.valid = true
+			}
+		}
+		f.art, f.rung, f.err = art, rung, err
+		s.mu.Unlock()
+		close(f.done)
+		if err != nil {
+			return artifacts{}, err
+		}
+		return art, nil
+	}
+}
+
+// recordFrontEndHits records cache-hit trace entries for artifacts this
+// request did not build itself (served from cache or from another
+// request's in-flight build).
+func recordFrontEndHits(trace *stage.Trace, art artifacts, rung string, full bool) {
+	trace.RecordDetail(stage.Decompose, 0, art.raw.Len(), true, rung)
+	if !full {
+		return
+	}
+	trace.Record(stage.NormalizeTuple, 0, art.tuple.Len(), true)
+	trace.Record(stage.BuildTD, 0, art.td.Size(), true)
+}
+
+// builtStages reports which stages a build actually performed, for
+// stats accounting.
+type builtStages struct {
+	decompose, tuple, td bool
+}
+
+// buildFrontEnd runs the missing front-end stages starting from the
+// artifacts in have. It runs outside the session mutex; a stage panic
+// is recovered into a stage-tagged error here so the caller's flight
+// bookkeeping always runs.
+func (s *Session) buildFrontEnd(ctx context.Context, trace *stage.Trace, have artifacts, rung string, full bool) (art artifacts, outRung string, built builtStages, err error) {
 	cur := stage.Decompose
 	defer stage.RecoverAt(&cur, &err)
-	s.revalidateLocked()
-	if s.raw == nil {
+	art, outRung = have, rung
+	if art.raw == nil {
 		if err := faultinject.Check("session.decompose"); err != nil {
-			return artifacts{}, stage.Wrap(stage.Decompose, err)
+			return art, outRung, built, stage.Wrap(stage.Decompose, err)
 		}
 		start := timeNow()
-		d, rung, err := decompose.StructureLadderCtx(ctx, s.st)
+		d, r, err := decompose.StructureLadderCtx(ctx, s.st)
 		if err != nil {
-			return artifacts{}, stage.Wrap(stage.Decompose, err)
+			return art, outRung, built, stage.Wrap(stage.Decompose, err)
 		}
-		s.raw = d
-		s.rung = rung
-		s.stats.Decompositions++
-		trace.RecordDetail(stage.Decompose, timeNow().Sub(start), d.Len(), false, rung)
+		art.raw, outRung = d, r
+		built.decompose = true
+		trace.RecordDetail(stage.Decompose, timeNow().Sub(start), d.Len(), false, r)
 	} else {
-		trace.RecordDetail(stage.Decompose, 0, s.raw.Len(), true, s.rung)
+		trace.RecordDetail(stage.Decompose, 0, art.raw.Len(), true, outRung)
+	}
+	if !full {
+		return art, outRung, built, nil
 	}
 	cur = stage.NormalizeTuple
-	if s.tuple == nil {
+	if art.tuple == nil {
 		if err := faultinject.Check("session.normalize-tuple"); err != nil {
-			return artifacts{}, stage.Wrap(stage.NormalizeTuple, err)
+			return art, outRung, built, stage.Wrap(stage.NormalizeTuple, err)
 		}
-		if err := s.raw.Validate(s.st); err != nil {
-			return artifacts{}, fmt.Errorf("session: invalid decomposition: %w", err)
+		if err := art.raw.Validate(s.st); err != nil {
+			return art, outRung, built, fmt.Errorf("session: invalid decomposition: %w", err)
 		}
 		start := timeNow()
-		norm, err := tree.NormalizeTupleCtx(ctx, s.raw)
+		norm, err := tree.NormalizeTupleCtx(ctx, art.raw)
 		if err != nil {
-			return artifacts{}, stage.Wrap(stage.NormalizeTuple, err)
+			return art, outRung, built, stage.Wrap(stage.NormalizeTuple, err)
 		}
-		s.tuple = norm
-		s.width = norm.Width()
-		s.stats.TupleNormalizations++
+		art.tuple = norm
+		art.width = norm.Width()
+		built.tuple = true
 		trace.Record(stage.NormalizeTuple, timeNow().Sub(start), norm.Len(), false)
 	} else {
-		trace.Record(stage.NormalizeTuple, 0, s.tuple.Len(), true)
+		trace.Record(stage.NormalizeTuple, 0, art.tuple.Len(), true)
 	}
 	cur = stage.BuildTD
-	if s.td == nil {
+	if art.td == nil {
 		if err := faultinject.Check("session.build-td"); err != nil {
-			return artifacts{}, stage.Wrap(stage.BuildTD, err)
+			return art, outRung, built, stage.Wrap(stage.BuildTD, err)
 		}
 		start := timeNow()
-		td, _, err := tree.BuildTDCtx(ctx, s.st, s.tuple, s.width)
+		td, _, err := tree.BuildTDCtx(ctx, s.st, art.tuple, art.width)
 		if err != nil {
-			return artifacts{}, stage.Wrap(stage.BuildTD, err)
+			return art, outRung, built, stage.Wrap(stage.BuildTD, err)
 		}
-		s.td = td
-		s.edb = datalog.FromStructure(td, "")
-		s.tdNodes = s.tuple.Len()
-		s.stats.TDBuilds++
+		art.td = td
+		art.edb = datalog.FromStructure(td, "")
+		art.tdNodes = art.tuple.Len()
+		built.td = true
 		trace.Record(stage.BuildTD, timeNow().Sub(start), td.Size(), false)
 	} else {
-		trace.Record(stage.BuildTD, 0, s.td.Size(), true)
+		trace.Record(stage.BuildTD, 0, art.td.Size(), true)
 	}
-	s.valid = true
-	return artifacts{raw: s.raw, tuple: s.tuple, width: s.width, td: s.td, edb: s.edb, tdNodes: s.tdNodes}, nil
+	return art, outRung, built, nil
 }
 
 // Warm builds (or revalidates) every front-end artifact and returns the
@@ -271,25 +435,13 @@ func (s *Session) Warm(ctx context.Context) (*Trace, error) {
 // Decomposition returns the session's cached raw tree decomposition
 // (computed on first use by the degradation ladder; see
 // decompose.GraphLadderCtx).
-func (s *Session) Decomposition(ctx context.Context) (d *tree.Decomposition, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	defer stage.RecoverTo(stage.Decompose, &err)
-	s.revalidateLocked()
-	if s.raw == nil {
-		if err := faultinject.Check("session.decompose"); err != nil {
-			return nil, stage.Wrap(stage.Decompose, err)
-		}
-		d, rung, err := decompose.StructureLadderCtx(ctx, s.st)
-		if err != nil {
-			return nil, stage.Wrap(stage.Decompose, err)
-		}
-		s.raw = d
-		s.rung = rung
-		s.stats.Decompositions++
+func (s *Session) Decomposition(ctx context.Context) (*tree.Decomposition, error) {
+	trace := &stage.Trace{}
+	art, err := s.frontEnd(ctx, trace, false)
+	if err != nil {
+		return nil, err
 	}
-	s.valid = true
-	return s.raw, nil
+	return art.raw, nil
 }
 
 // TupleForm returns the cached tuple normal form (Def. 2.3) and its
@@ -304,22 +456,61 @@ func (s *Session) TupleForm(ctx context.Context) (*tree.Decomposition, int, erro
 }
 
 // NiceForm returns the cached nice normal form (Section 5), normalizing
-// the raw decomposition on first use.
+// the raw decomposition on first use. Concurrent callers share one
+// in-flight normalization.
 func (s *Session) NiceForm(ctx context.Context) (*tree.Decomposition, error) {
-	if _, err := s.Decomposition(ctx); err != nil {
+	trace := &stage.Trace{}
+	art, err := s.frontEnd(ctx, trace, false)
+	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.nice == nil {
-		nice, err := tree.NormalizeNiceCtx(ctx, s.raw, tree.NiceOptions{})
-		if err != nil {
-			return nil, err
+	for {
+		s.mu.Lock()
+		if s.nice != nil {
+			nice := s.nice
+			s.mu.Unlock()
+			return nice, nil
 		}
-		s.nice = nice
-		s.stats.NiceNormalizations++
+		if f := s.niceFlight; f != nil {
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, stage.Wrap(stage.NormalizeNice, ctx.Err())
+			}
+			if f.err == nil {
+				return f.val.(*tree.Decomposition), nil
+			}
+			if ctx.Err() != nil {
+				return nil, stage.Wrap(stage.NormalizeNice, ctx.Err())
+			}
+			continue
+		}
+		f := &opFlight{done: make(chan struct{})}
+		s.niceFlight = f
+		fp := s.fp
+		s.mu.Unlock()
+
+		nice, err := s.normalizeNice(ctx, art.raw)
+
+		s.mu.Lock()
+		s.niceFlight = nil
+		if err == nil {
+			s.stats.NiceNormalizations++
+			if Fingerprint(s.st) == fp {
+				s.nice = nice
+			}
+		}
+		s.mu.Unlock()
+		f.val, f.err = nice, err
+		close(f.done)
+		return nice, err
 	}
-	return s.nice, nil
+}
+
+func (s *Session) normalizeNice(ctx context.Context, raw *tree.Decomposition) (nice *tree.Decomposition, err error) {
+	defer stage.RecoverTo(stage.NormalizeNice, &err)
+	return tree.NormalizeNiceCtx(ctx, raw, tree.NiceOptions{})
 }
 
 // TauTD returns the cached τ_td structure of Section 4.
@@ -342,10 +533,12 @@ func (s *Session) Width(ctx context.Context) (int, error) {
 // sentence when opts.Decision is set) over the session's structure:
 // cached artifacts feed a (possibly cached) compiled program, and only
 // the quasi-guarded evaluation of Theorem 4.4 runs per call. The
-// Result's Trace shows which stages were served from cache.
+// Result's Trace shows which stages were served from cache. Concurrent
+// Eval calls for the same (formula, options) share one evaluation;
+// calls answerable from the result cache complete without waiting on
+// any in-flight work.
 func (s *Session) Eval(ctx context.Context, phi *mso.Formula, xVar string, opts core.Options) (res *core.Result, err error) {
-	cur := stage.Compile
-	defer stage.RecoverAt(&cur, &err)
+	defer stage.RecoverTo(stage.Compile, &err)
 	trace := &stage.Trace{}
 	art, err := s.ensure(ctx, trace)
 	if err != nil {
@@ -370,47 +563,108 @@ func (s *Session) Eval(ctx context.Context, phi *mso.Formula, xVar string, opts 
 	if hit {
 		s.stats.CompileCacheHits++
 	}
-	// Evaluation is deterministic, so a repeat of the same query on the
-	// unchanged structure is answered from the result cache (ensure has
-	// already revalidated the fingerprint under this same lock).
-	if entry, ok := s.results[key]; ok {
-		s.stats.ResultCacheHits++
-		s.mu.Unlock()
-		trace.Record(stage.Eval, 0, entry.evalSize, true)
-		return cachedResult(entry.res, trace), nil
-	}
 	s.mu.Unlock()
-	cur = stage.Eval
+
+	for {
+		s.mu.Lock()
+		// Evaluation is deterministic, so a repeat of the same query on
+		// the unchanged structure is answered from the result cache
+		// (ensure has already revalidated the fingerprint).
+		if entry, ok := s.results[key]; ok {
+			s.stats.ResultCacheHits++
+			s.mu.Unlock()
+			trace.Record(stage.Eval, 0, entry.evalSize, true)
+			return cachedResult(entry.res, trace), nil
+		}
+		if f := s.evalFlights[key]; f != nil {
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, stage.Wrap(stage.Eval, ctx.Err())
+			}
+			if f.err == nil {
+				s.mu.Lock()
+				s.stats.ResultCacheHits++
+				s.mu.Unlock()
+				trace.Record(stage.Eval, 0, f.evalSize, true)
+				return cachedResult(f.res, trace), nil
+			}
+			if ctx.Err() != nil {
+				return nil, stage.Wrap(stage.Eval, ctx.Err())
+			}
+			continue
+		}
+		if s.evalFlights == nil {
+			s.evalFlights = map[progKey]*evalFlight{}
+		}
+		f := &evalFlight{done: make(chan struct{})}
+		s.evalFlights[key] = f
+		fp := s.fp
+		s.mu.Unlock()
+
+		res, evalSize, err := s.runEval(ctx, compiled, art, opts, trace)
+
+		s.mu.Lock()
+		delete(s.evalFlights, key)
+		if err == nil {
+			s.stats.Evals++
+			if Fingerprint(s.st) == fp {
+				s.storeResultLocked(key, &resultEntry{res: res, evalSize: evalSize})
+			}
+		}
+		s.mu.Unlock()
+		f.res, f.evalSize, f.err = res, evalSize, err
+		close(f.done)
+		if err != nil {
+			return nil, err
+		}
+		return cachedResult(res, trace), nil
+	}
+}
+
+// storeResultLocked inserts a result entry under s.mu, evicting FIFO
+// beyond resultCap. A duplicate key keeps the existing entry
+// (evaluation is deterministic, so the values agree).
+func (s *Session) storeResultLocked(key progKey, entry *resultEntry) {
+	if s.results == nil {
+		s.results = map[progKey]*resultEntry{}
+	}
+	if _, dup := s.results[key]; dup {
+		return
+	}
+	if len(s.resultSeq) >= resultCap {
+		delete(s.results, s.resultSeq[0])
+		s.resultSeq = s.resultSeq[1:]
+	}
+	s.results[key] = entry
+	s.resultSeq = append(s.resultSeq, key)
+}
+
+// runEval performs the uncached evaluation stage outside the session
+// mutex. A panic is recovered into a stage-tagged error here so the
+// caller's flight bookkeeping always runs.
+func (s *Session) runEval(ctx context.Context, compiled *core.Compiled, art artifacts, opts core.Options, trace *stage.Trace) (res *core.Result, evalSize int, err error) {
+	defer stage.RecoverTo(stage.Eval, &err)
+	if testHookEvalStart != nil {
+		testHookEvalStart()
+	}
 	if err := faultinject.Check("session.eval"); err != nil {
-		return nil, stage.Wrap(stage.Eval, err)
+		return nil, 0, stage.Wrap(stage.Eval, err)
 	}
 	// Grounding interns program constants into the EDB, so the cached
 	// EDB is cloned per evaluation (DB.Clone is a flat copy).
-	start = timeNow()
+	start := timeNow()
 	out, err := datalog.EvalQuasiGuardedCtx(ctx, compiled.Program, art.edb.Clone(), datalog.TDFuncDeps(art.width))
 	if err != nil {
-		return nil, stage.Wrap(stage.Eval, err)
+		return nil, 0, stage.Wrap(stage.Eval, err)
 	}
 	trace.Record(stage.Eval, timeNow().Sub(start), out.NumFacts(), false)
 	res, err = core.FinishResult(s.st, compiled, opts, out, art.tdNodes, art.width, trace)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	s.mu.Lock()
-	s.stats.Evals++
-	if s.results == nil {
-		s.results = map[progKey]*resultEntry{}
-	}
-	if _, dup := s.results[key]; !dup {
-		if len(s.resultSeq) >= resultCap {
-			delete(s.results, s.resultSeq[0])
-			s.resultSeq = s.resultSeq[1:]
-		}
-		s.results[key] = &resultEntry{res: res, evalSize: out.NumFacts()}
-		s.resultSeq = append(s.resultSeq, key)
-	}
-	s.mu.Unlock()
-	return cachedResult(res, trace), nil
+	return res, out.NumFacts(), nil
 }
 
 // cachedResult returns a caller-owned view of a cached Result: the

@@ -6,9 +6,11 @@ package session
 // fingerprint, problem name, mode). Evaluation is deterministic, so a
 // repeat of the same problem and mode on an unchanged structure is a
 // pure cache hit; the cache is invalidated by the same fingerprint
-// mechanism as the pipeline artifacts. These are package functions
-// rather than methods because Go methods cannot introduce type
-// parameters.
+// mechanism as the pipeline artifacts. Concurrent Solve* calls for the
+// same (problem, mode) share one in-flight solve, and calls answerable
+// from the cache complete without waiting on in-flight work. These are
+// package functions rather than methods because Go methods cannot
+// introduce type parameters.
 
 import (
 	"context"
@@ -31,65 +33,106 @@ type solverKey struct {
 // solverCap bounds the per-session solver cache.
 const solverCap = 64
 
-// solverLookup revalidates the fingerprint and returns the cached
-// outcome for k, counting a hit.
-func (s *Session) solverLookup(k solverKey) (any, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.revalidateLocked()
-	v, ok := s.solverResults[k]
-	if ok {
-		s.stats.SolverCacheHits++
+// solveShared answers k from the solver cache, or runs compute under
+// per-key single-flight: the mutex is held only for lookup and insert,
+// concurrent calls for the same key share one computation, and a
+// successful outcome is stored unless the structure mutated mid-solve
+// (which must not poison the cache with tables for a structure that no
+// longer exists). If an in-flight leader fails, waiters with live
+// contexts retry instead of inheriting the error.
+func (s *Session) solveShared(ctx context.Context, k solverKey, compute func() (any, error)) (any, error) {
+	for {
+		s.mu.Lock()
+		s.revalidateLocked()
+		if v, ok := s.solverResults[k]; ok {
+			s.stats.SolverCacheHits++
+			s.mu.Unlock()
+			return v, nil
+		}
+		if f := s.solverFlights[k]; f != nil {
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, stage.Wrap(stage.Solver, ctx.Err())
+			}
+			if f.err == nil {
+				s.mu.Lock()
+				s.stats.SolverCacheHits++
+				s.mu.Unlock()
+				return f.val, nil
+			}
+			if ctx.Err() != nil {
+				return nil, stage.Wrap(stage.Solver, ctx.Err())
+			}
+			continue
+		}
+		if s.solverFlights == nil {
+			s.solverFlights = map[solverKey]*opFlight{}
+		}
+		f := &opFlight{done: make(chan struct{})}
+		s.solverFlights[k] = f
+		fp := s.fp
+		s.mu.Unlock()
+
+		v, err := runSolve(compute)
+
+		s.mu.Lock()
+		delete(s.solverFlights, k)
+		if err == nil {
+			s.stats.SolverSolves++
+			if Fingerprint(s.st) == fp {
+				if s.solverResults == nil {
+					s.solverResults = map[solverKey]any{}
+				}
+				if _, dup := s.solverResults[k]; !dup {
+					if len(s.solverSeq) >= solverCap {
+						delete(s.solverResults, s.solverSeq[0])
+						s.solverSeq = s.solverSeq[1:]
+					}
+					s.solverSeq = append(s.solverSeq, k)
+				}
+				s.solverResults[k] = v
+			}
+		}
+		s.mu.Unlock()
+		f.val, f.err = v, err
+		close(f.done)
+		return v, err
 	}
-	return v, ok
 }
 
-// solverStore records a successful solve. The outcome is stored only
-// if the structure's fingerprint is unchanged since the lookup that
-// missed — a mutation mid-solve must not poison the cache with tables
-// for a structure that no longer exists.
-func (s *Session) solverStore(k solverKey, v any) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.SolverSolves++
-	if Fingerprint(s.st) != s.fp {
-		return
-	}
-	if s.solverResults == nil {
-		s.solverResults = map[solverKey]any{}
-	}
-	if _, dup := s.solverResults[k]; !dup {
-		if len(s.solverSeq) >= solverCap {
-			delete(s.solverResults, s.solverSeq[0])
-			s.solverSeq = s.solverSeq[1:]
-		}
-		s.solverSeq = append(s.solverSeq, k)
-	}
-	s.solverResults[k] = v
+// runSolve runs compute outside the session mutex, recovering a panic
+// into a stage-tagged error so the caller's flight bookkeeping always
+// runs.
+func runSolve(compute func() (any, error)) (v any, err error) {
+	defer stage.RecoverTo(stage.Solver, &err)
+	return compute()
 }
 
 // SolveDecide reports whether p has a solution over the session's nice
 // decomposition, memoized per (structure fingerprint, problem, mode).
 func SolveDecide[S comparable](ctx context.Context, s *Session, p solver.Problem[S]) (bool, error) {
 	k := solverKey{problem: p.Name(), mode: solver.ModeDecide}
-	if v, ok := s.solverLookup(k); ok {
-		if b, ok := v.(bool); ok {
-			return b, nil
+	v, err := s.solveShared(ctx, k, func() (any, error) {
+		if err := faultinject.Check("session.solver"); err != nil {
+			return nil, stage.Wrap(stage.Solver, err)
 		}
-	}
-	if err := faultinject.Check("session.solver"); err != nil {
-		return false, stage.Wrap(stage.Solver, err)
-	}
-	nice, err := s.NiceForm(ctx)
+		nice, err := s.NiceForm(ctx)
+		if err != nil {
+			return nil, err
+		}
+		ok, err := solver.Decide(ctx, nice, p)
+		if err != nil {
+			return nil, err
+		}
+		return ok, nil
+	})
 	if err != nil {
 		return false, err
 	}
-	ok, err := solver.Decide(ctx, nice, p)
-	if err != nil {
-		return false, err
-	}
-	s.solverStore(k, ok)
-	return ok, nil
+	b, _ := v.(bool)
+	return b, nil
 }
 
 // SolveCount returns p's exact solution count over the session's nice
@@ -97,23 +140,27 @@ func SolveDecide[S comparable](ctx context.Context, s *Session, p solver.Problem
 // The returned big.Int is caller-owned.
 func SolveCount[S comparable](ctx context.Context, s *Session, p solver.Problem[S]) (*big.Int, error) {
 	k := solverKey{problem: p.Name(), mode: solver.ModeCount}
-	if v, ok := s.solverLookup(k); ok {
-		if n, ok := v.(*big.Int); ok {
-			return new(big.Int).Set(n), nil
+	v, err := s.solveShared(ctx, k, func() (any, error) {
+		if err := faultinject.Check("session.solver"); err != nil {
+			return nil, stage.Wrap(stage.Solver, err)
 		}
-	}
-	if err := faultinject.Check("session.solver"); err != nil {
-		return nil, stage.Wrap(stage.Solver, err)
-	}
-	nice, err := s.NiceForm(ctx)
+		nice, err := s.NiceForm(ctx)
+		if err != nil {
+			return nil, err
+		}
+		n, err := solver.Count(ctx, nice, p)
+		if err != nil {
+			return nil, err
+		}
+		return n, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	n, err := solver.Count(ctx, nice, p)
-	if err != nil {
-		return nil, err
+	n, ok := v.(*big.Int)
+	if !ok {
+		return new(big.Int), nil
 	}
-	s.solverStore(k, n)
 	return new(big.Int).Set(n), nil
 }
 
@@ -123,22 +170,23 @@ func SolveCount[S comparable](ctx context.Context, s *Session, p solver.Problem[
 // (Walk only reads), so hits share it.
 func SolveOptimize[S comparable](ctx context.Context, s *Session, p solver.Problem[S]) (*solver.Derivation[S, int], error) {
 	k := solverKey{problem: p.Name(), mode: solver.ModeOptimize}
-	if v, ok := s.solverLookup(k); ok {
-		if der, ok := v.(*solver.Derivation[S, int]); ok {
-			return der, nil
+	v, err := s.solveShared(ctx, k, func() (any, error) {
+		if err := faultinject.Check("session.solver"); err != nil {
+			return nil, stage.Wrap(stage.Solver, err)
 		}
-	}
-	if err := faultinject.Check("session.solver"); err != nil {
-		return nil, stage.Wrap(stage.Solver, err)
-	}
-	nice, err := s.NiceForm(ctx)
+		nice, err := s.NiceForm(ctx)
+		if err != nil {
+			return nil, err
+		}
+		der, err := solver.Optimize(ctx, nice, p)
+		if err != nil {
+			return nil, err
+		}
+		return der, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	der, err := solver.Optimize(ctx, nice, p)
-	if err != nil {
-		return nil, err
-	}
-	s.solverStore(k, der)
+	der, _ := v.(*solver.Derivation[S, int])
 	return der, nil
 }

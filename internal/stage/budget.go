@@ -24,8 +24,15 @@ var ErrBudgetExceeded = errors.New("resource budget exceeded")
 // A zero cap means "unlimited" for that dimension, and a nil *Budget is
 // fully unlimited; every method is nil-safe. Consumption is tracked
 // with atomic counters, so one Budget may be shared by the parallel
-// workers of a single run. A Budget is a single-run tally: reuse across
-// runs accumulates, so hand each run a fresh value (see Budget.Reset).
+// workers of a single run.
+//
+// Contract: a Budget is a SINGLE-RUN tally. The counters only ever go
+// up, so attaching one Budget to a second run charges that run for the
+// first run's consumption and silently tightens the effective caps
+// until every run fails with a spurious *BudgetError (an HTTP server
+// would turn these into spurious 429s). Hand each run a freshly minted
+// Budget — servers mint one per request (see cmd/monadicd) — or call
+// Reset between runs when deliberately reusing one value.
 type Budget struct {
 	// MaxGroundAtoms caps distinct ground intensional atoms interned
 	// while grounding a quasi-guarded program.

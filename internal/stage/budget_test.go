@@ -1,0 +1,87 @@
+package stage
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestBudgetReuseWithoutResetAccumulates pins the single-run contract:
+// a Budget that admitted a full run once rejects an identical second
+// run unless Reset is called in between. This is the failure mode a
+// server hits if it attaches one Budget to multiple requests.
+func TestBudgetReuseWithoutResetAccumulates(t *testing.T) {
+	b := &Budget{MaxGroundAtoms: 10, MaxStates: 10, MaxTableEntries: 10}
+
+	run := func() error {
+		if err := b.AddGroundAtoms(8); err != nil {
+			return err
+		}
+		if err := b.AddStates(8); err != nil {
+			return err
+		}
+		return b.AddTableEntries(8)
+	}
+
+	if err := run(); err != nil {
+		t.Fatalf("first run within caps failed: %v", err)
+	}
+	err := run()
+	if err == nil {
+		t.Fatal("second run on a reused Budget succeeded; the tally must accumulate")
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("second run error %v does not wrap ErrBudgetExceeded", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("second run error %v is not a *BudgetError", err)
+	}
+
+	b.Reset()
+	if err := run(); err != nil {
+		t.Fatalf("run after Reset failed: %v (Reset must clear the tally)", err)
+	}
+
+	ga, st, te := b.Used()
+	if ga != 8 || st != 8 || te != 8 {
+		t.Fatalf("Used() = %d/%d/%d after one post-Reset run, want 8/8/8", ga, st, te)
+	}
+}
+
+// TestBudgetCheckTableEntriesDoesNotCommit pins that the mid-node poll
+// never charges the tally.
+func TestBudgetCheckTableEntriesDoesNotCommit(t *testing.T) {
+	b := &Budget{MaxTableEntries: 10}
+	if err := b.CheckTableEntries(9); err != nil {
+		t.Fatalf("check within cap failed: %v", err)
+	}
+	if err := b.CheckTableEntries(11); err == nil {
+		t.Fatal("check beyond cap succeeded")
+	}
+	if _, _, te := b.Used(); te != 0 {
+		t.Fatalf("CheckTableEntries committed %d entries", te)
+	}
+}
+
+// TestUniformAndDeadline pins the CLI/server admission shape: Uniform(0)
+// is nil (unlimited) and ApplyDeadline derives a context deadline.
+func TestUniformAndDeadline(t *testing.T) {
+	if Uniform(0) != nil {
+		t.Fatal("Uniform(0) is not nil")
+	}
+	b := Uniform(5)
+	if b.MaxGroundAtoms != 5 || b.MaxStates != 5 || b.MaxTableEntries != 5 {
+		t.Fatalf("Uniform(5) caps = %+v", b)
+	}
+	b.Deadline = time.Now().Add(time.Hour)
+	ctx, cancel := ApplyDeadline(context.Background(), b)
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("ApplyDeadline did not set a context deadline")
+	}
+	if BudgetFrom(ctx) != b {
+		t.Fatal("ApplyDeadline did not attach the budget")
+	}
+}

@@ -30,6 +30,15 @@ type colorProblem struct {
 	w solver.Width
 }
 
+// Problem returns the k-coloring algebra over g as a generic
+// solver.Problem, for callers (like the decision service) that run
+// named problems through the session Solve* helpers on an existing
+// decomposition. Vertex IDs of g must match the decomposition's bag
+// elements.
+func Problem(g *graph.Graph, k int) solver.Problem[uint64] {
+	return newColorProblem(g, k)
+}
+
 func newColorProblem(g *graph.Graph, k int) colorProblem {
 	w := solver.Width(4)
 	if k <= 4 {

@@ -24,6 +24,15 @@ import (
 // width packs one bit per sorted-bag position: the in-cover bitmask.
 const width = solver.Width(1)
 
+// Problem returns the vertex-cover algebra over g as a generic
+// solver.Problem, for callers (like the decision service) that run
+// named problems through the session Solve* helpers on an existing
+// decomposition. Vertex IDs of g must match the decomposition's bag
+// elements.
+func Problem(g *graph.Graph) solver.Problem[uint64] {
+	return coverProblem{g}
+}
+
 // coverProblem is the vertex-cover algebra: states are in-cover
 // bitmasks over the sorted bag, costs count selected vertices exactly
 // once (on introduction or in a leaf; joins subtract the bag overlap

@@ -102,6 +102,15 @@ func (ip wisProblem) Join(_ int, bag []int, s1, s2 uint64) []solver.Out[uint64] 
 // surviving root state extends to an independent set.
 func (ip wisProblem) Accept(int, []int, uint64) bool { return true }
 
+// Problem returns the weighted-independent-set algebra over g as a
+// generic solver.Problem, for callers (like the decision service) that
+// run named problems through the session Solve* helpers on an existing
+// decomposition. weights[v] is the weight of vertex v; nil means unit
+// weights. Vertex IDs of g must match the decomposition's bag elements.
+func Problem(g *graph.Graph, weights []int) (solver.Problem[uint64], error) {
+	return problemFor(g, weights)
+}
+
 func problemFor(g *graph.Graph, weights []int) (wisProblem, error) {
 	w := weights
 	if w == nil {
