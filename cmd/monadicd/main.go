@@ -6,9 +6,14 @@
 // Usage:
 //
 //	monadicd [-addr :8377] [-budget n] [-timeout d] [-max-sessions n] [-grace d]
+//	         [-engine streaming|materialized] [-eval grounded|direct]
 //
 // -budget and -timeout set the per-request defaults (each request gets
-// a freshly minted budget; X-Budget / X-Timeout headers override). On
+// a freshly minted budget; X-Budget / X-Timeout headers override).
+// -engine selects the datalog rule-evaluation backend; -eval selects
+// the session evaluation path — "grounded" is the paper-faithful
+// Theorem 4.4 grounding, "direct" streams the compiled program through
+// the engine without materializing the ground program. On
 // SIGINT/SIGTERM the server drains in-flight requests for up to -grace
 // before aborting them through context cancellation.
 package main
@@ -25,7 +30,9 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/datalog"
 	"repro/internal/server"
+	"repro/internal/session"
 )
 
 func main() {
@@ -34,10 +41,30 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-request deadline (0 = none)")
 	maxSessions := flag.Int("max-sessions", server.DefaultMaxSessions, "resident session cap (FIFO eviction beyond it)")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown drain grace period")
+	engine := flag.String("engine", "streaming", "datalog rule-evaluation backend: streaming or materialized")
+	evalPath := flag.String("eval", "grounded", "session evaluation path: grounded (Theorem 4.4) or direct (stream the program, skip grounding)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "monadicd: unexpected arguments")
 		flag.Usage()
+		os.Exit(cli.ExitUsage)
+	}
+	switch *engine {
+	case "streaming":
+		datalog.SetEngine(datalog.EngineStreaming)
+	case "materialized":
+		datalog.SetEngine(datalog.EngineMaterialized)
+	default:
+		fmt.Fprintf(os.Stderr, "monadicd: unknown -engine %q (want streaming or materialized)\n", *engine)
+		os.Exit(cli.ExitUsage)
+	}
+	switch *evalPath {
+	case "grounded":
+		session.SetEvalPath(session.EvalGrounded)
+	case "direct":
+		session.SetEvalPath(session.EvalDirect)
+	default:
+		fmt.Fprintf(os.Stderr, "monadicd: unknown -eval %q (want grounded or direct)\n", *evalPath)
 		os.Exit(cli.ExitUsage)
 	}
 	if err := cli.Init(); err != nil {

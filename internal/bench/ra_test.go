@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"repro/internal/datalog"
+)
+
+// TestRACompareSmoke runs the full -ra comparison at a small size: all
+// three legs must produce the accepted fixpoint, the grounding must die
+// under the ground-atom cap while the direct path completes, and the
+// engine counters must be live.
+func TestRACompareSmoke(t *testing.T) {
+	res, err := RACompare(context.Background(), 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GroundLits == 0 || res.Facts == 0 {
+		t.Fatalf("empty workload: %+v", res)
+	}
+	if !res.DirectUnderCap {
+		t.Fatal("direct path did not complete under the ground-atom cap")
+	}
+	if res.GroundedBudget == "" {
+		t.Fatal("grounded path survived the ground-atom cap")
+	}
+	if res.TuplesStreamed == 0 || res.JoinsPushedDown == 0 {
+		t.Fatalf("engine counters dead: %+v", res)
+	}
+}
+
+// TestRAAllocGate is the CI allocation-regression gate (set
+// BENCH_ALLOC_GATE=1 to run; it is skipped otherwise so ordinary test
+// runs — and -race runs, whose instrumentation skews allocation volume
+// — stay unaffected). It pins the streaming backend's B/op on the two
+// acceptance workloads: transitive closure (BenchmarkTCPath1000's
+// shape) and the τ_td grounding comparison (BenchmarkTDGrounding's
+// shape).
+func TestRAAllocGate(t *testing.T) {
+	if os.Getenv("BENCH_ALLOC_GATE") == "" {
+		t.Skip("set BENCH_ALLOC_GATE=1 to run the allocation gate")
+	}
+	measure := func(eng datalog.Engine, f func() error) int64 {
+		defer datalog.SetEngine(datalog.SetEngine(eng))
+		// Warm once (index builds, arena growth), then measure.
+		if err := f(); err != nil {
+			t.Fatal(err)
+		}
+		_, bytes, err := measureAlloc(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bytes
+	}
+
+	// Gate 1: streaming must not regress allocation volume on TC
+	// against the materialized backend (10% headroom for allocator
+	// noise; both sides allocate the Θ(n²) derived facts).
+	tcEDB := TCPathEDB(1000)
+	tc := func() error { _, err := datalog.Eval(TCProgram, tcEDB); return err }
+	tcStream := measure(datalog.EngineStreaming, tc)
+	tcMat := measure(datalog.EngineMaterialized, tc)
+	if float64(tcStream) > 1.10*float64(tcMat) {
+		t.Errorf("TC alloc regression: streaming %d B vs materialized %d B", tcStream, tcMat)
+	}
+
+	// Gate 2: on the τ_td grounding workload the direct streaming path
+	// must allocate at most half of what the Theorem 4.4 grounding
+	// does, and no more than the materialized backend (+10%).
+	prog, edb := TDChainProgram(RATypes), TDChain(2000)
+	direct := func() error { _, err := datalog.Eval(prog, edb); return err }
+	tdStream := measure(datalog.EngineStreaming, direct)
+	tdMat := measure(datalog.EngineMaterialized, direct)
+	grounded := measure(datalog.EngineStreaming, func() error {
+		_, err := datalog.EvalQuasiGuarded(prog, edb.Clone(), datalog.TDFuncDeps(1))
+		return err
+	})
+	if float64(tdStream) > 0.5*float64(grounded) {
+		t.Errorf("grounding gate: streaming %d B not ≤ half of grounded %d B", tdStream, grounded)
+	}
+	if float64(tdStream) > 1.10*float64(tdMat) {
+		t.Errorf("τ_td alloc regression: streaming %d B vs materialized %d B", tdStream, tdMat)
+	}
+}

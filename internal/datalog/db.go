@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/datalog/ra"
 	"repro/internal/structure"
 )
 
@@ -141,7 +142,19 @@ func (r *relation) insertOwned(tuple []int) bool {
 	return r.add(tuple, false)
 }
 
+// insertRow is insert for a row the caller keeps reusing (a streaming
+// operator's output buffer): only a genuinely new tuple is copied, and
+// the stored copy is returned so the delta relation can share it.
+func (r *relation) insertRow(row []int) ([]int, bool) {
+	return r.addRow(row, true)
+}
+
 func (r *relation) add(tuple []int, copyTuple bool) bool {
+	_, added := r.addRow(tuple, copyTuple)
+	return added
+}
+
+func (r *relation) addRow(tuple []int, copyTuple bool) ([]int, bool) {
 	if 4*(len(r.tuples)+1) > 3*len(r.slots) {
 		r.grow()
 	}
@@ -152,8 +165,8 @@ func (r *relation) add(tuple []int, copyTuple bool) bool {
 		if s == 0 {
 			break
 		}
-		if equalTuple(r.tuples[s-1], tuple) {
-			return false
+		if t := r.tuples[s-1]; equalTuple(t, tuple) {
+			return t, false
 		}
 		i = (i + 1) & mask
 	}
@@ -169,7 +182,7 @@ func (r *relation) add(tuple []int, copyTuple bool) bool {
 		ph := hashProj(t, idx.positions)
 		idx.buckets[ph] = append(idx.buckets[ph], ti)
 	}
-	return true
+	return t, true
 }
 
 // appendShared appends a tuple known to be absent (delta relations only);
@@ -282,6 +295,46 @@ func (r *relation) match(pattern []int, buf [][]int) [][]int {
 		}
 	}
 	return out
+}
+
+// probe answers a streaming-layer Probe: the same index machinery as
+// match, but zero-copy — the candidates reference the relation's own
+// storage (an index bucket, a lookup hit, or the full tuple array)
+// instead of being copied into a buffer, with residual filtering left
+// to the ra operator. The concurrency contract matches match.
+func (r *relation) probe(pattern []int, c *ra.Candidates) {
+	var boundArr [16]int
+	bound := boundArr[:0]
+	var mask uint64
+	for i, v := range pattern {
+		if v >= 0 {
+			bound = append(bound, i)
+			if i < 64 {
+				mask |= 1 << uint(i)
+			}
+		}
+	}
+	if len(bound) == 0 || len(pattern) >= 64 {
+		// Unconstrained, or positions beyond the mask width (then the
+		// operator's residual filter does the work, as in match).
+		c.SetRows(r.tuples)
+		return
+	}
+	if len(bound) == len(pattern) && r.dedup {
+		if t, ok := r.lookup(pattern); ok {
+			c.SetOne(t)
+		} else {
+			c.SetEmpty()
+		}
+		return
+	}
+	r.mu.RLock()
+	idx := r.indexes[mask]
+	r.mu.RUnlock()
+	if idx == nil {
+		idx = r.obtainIndex(mask, bound)
+	}
+	c.SetBucket(idx.buckets[hashProj(pattern, idx.positions)], r.tuples)
 }
 
 // obtainIndex returns an index able to serve the bound-position mask,

@@ -66,6 +66,11 @@ func EvalCtx(ctx context.Context, p *Program, edb *DB) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg := evalConfig{
+		streaming: CurrentEngine() == EngineStreaming,
+		budget:    stage.BudgetFrom(ctx),
+		collector: statsCollectorFrom(ctx),
+	}
 	db := edb.Clone()
 	// Intern every constant of the program up front: rule compilation then
 	// only reads the interning table, which keeps parallel tasks free of
@@ -85,11 +90,20 @@ func EvalCtx(ctx context.Context, p *Program, edb *DB) (*DB, error) {
 				rules = append(rules, r)
 			}
 		}
-		if err := evalStratum(ctx, rules, inStratum, db); err != nil {
+		if err := evalStratum(ctx, rules, inStratum, db, cfg); err != nil {
 			return nil, err
 		}
 	}
 	return db, nil
+}
+
+// evalConfig is the per-run evaluation setup, captured once at EvalCtx
+// entry: the engine choice (a concurrent SetEngine never splits a run),
+// the stream-tuples budget, and the stats collector.
+type evalConfig struct {
+	streaming bool
+	budget    *stage.Budget
+	collector *StatsCollector
 }
 
 func internProgramConsts(p *Program, db *DB) {
@@ -235,28 +249,43 @@ type stratumTask struct {
 const parallelThreshold = 128
 
 // evalStratum runs semi-naive iteration for one stratum's rules.
-func evalStratum(ctx context.Context, rules []Rule, inStratum map[string]bool, db *DB) error {
+func evalStratum(ctx context.Context, rules []Rule, inStratum map[string]bool, db *DB, cfg evalConfig) error {
 	// Compiled instances per rule, indexed by occ+1 (slot 0 is the full
-	// first-pass evaluation). Filled lazily; compilation is serial, so the
-	// parallel phase only ever reads the cache.
+	// first-pass evaluation). Filled lazily; compilation — including the
+	// one-time streaming plan build — is serial, so the parallel phase
+	// only ever reads the cache.
 	compiled := make([][]*cRule, len(rules))
-	instance := func(ri, occ int) *cRule {
+	instance := func(ri, occ int) (*cRule, error) {
 		if compiled[ri] == nil {
 			compiled[ri] = make([]*cRule, len(rules[ri].Body)+1)
 		}
 		if c := compiled[ri][occ+1]; c != nil {
-			return c
+			return c, nil
 		}
 		c := compileRule(rules[ri], db)
 		c.ctx = ctx
+		c.budget = cfg.budget
+		c.collector = cfg.collector
+		if cfg.streaming {
+			c.streaming = true
+			plan, err := buildPlan(c, occ)
+			if err != nil {
+				return nil, err
+			}
+			c.plan = plan
+		}
 		compiled[ri][occ+1] = c
-		return c
+		return c, nil
 	}
 
 	// First pass: evaluate every rule in full.
 	tasks := make([]stratumTask, len(rules))
 	for i := range rules {
-		tasks[i] = stratumTask{prog: instance(i, -1), occ: -1}
+		c, err := instance(i, -1)
+		if err != nil {
+			return err
+		}
+		tasks[i] = stratumTask{prog: c, occ: -1}
 	}
 	delta, err := runStratumRound(ctx, tasks, nil, db, db.NumFacts())
 	if err != nil {
@@ -283,7 +312,11 @@ func evalStratum(ctx context.Context, rules []Rule, inStratum map[string]bool, d
 				if d := delta[a.Pred]; d == nil || len(d.tuples) == 0 {
 					continue
 				}
-				tasks = append(tasks, stratumTask{prog: instance(ri, occ), occ: occ})
+				c, err := instance(ri, occ)
+				if err != nil {
+					return err
+				}
+				tasks = append(tasks, stratumTask{prog: c, occ: occ})
 			}
 		}
 		if len(tasks) == 0 {
@@ -344,18 +377,40 @@ func runStratumRound(ctx context.Context, tasks []stratumTask, delta map[string]
 	if workers <= 1 || workSize < parallelThreshold {
 		for _, t := range tasks {
 			rel, nd := sink(t)
-			err := evalTask(t, func(tuple []int) {
-				if rel.insertOwned(tuple) {
-					nd.appendShared(tuple)
-				}
-			})
+			var err error
+			if t.prog.streaming {
+				// Streamed rows are reused operator buffers: the relation
+				// copies only genuinely new tuples, so the serial path
+				// holds O(1) rows in flight per rule.
+				err = evalTask(t, func(row []int) {
+					if stored, added := rel.insertRow(row); added {
+						nd.appendShared(stored)
+					}
+				})
+			} else {
+				err = evalTask(t, func(tuple []int) {
+					if rel.insertOwned(tuple) {
+						nd.appendShared(tuple)
+					}
+				})
+			}
 			if err != nil {
 				return nil, err
 			}
 		}
 		return newDelta, nil
 	}
+	// Parallel round: each task buffers its derivations privately and the
+	// buffers merge in task order. Streaming tasks pre-filter against the
+	// (frozen, read-only) head relation so already-known facts are never
+	// buffered, and the buffers themselves are reused across rounds —
+	// together this replaces the old grow-only per-round join buffers.
+	headRels := make([]*relation, len(tasks))
 	bufs := make([][][]int, len(tasks))
+	for i, t := range tasks {
+		headRels[i] = db.rel(t.prog.headPred, t.prog.headArity)
+		bufs[i] = t.prog.outBuf[:0]
+	}
 	errs := make([]error, len(tasks))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -364,9 +419,19 @@ func runStratumRound(ctx context.Context, tasks []stratumTask, delta map[string]
 			defer wg.Done()
 			for i := w; i < len(tasks); i += workers {
 				i := i
-				errs[i] = evalTask(tasks[i], func(tuple []int) {
-					bufs[i] = append(bufs[i], tuple)
-				})
+				t := tasks[i]
+				if t.prog.streaming {
+					rel := headRels[i]
+					errs[i] = evalTask(t, func(row []int) {
+						if !rel.has(row) {
+							bufs[i] = append(bufs[i], t.prog.arenaCopy(row))
+						}
+					})
+				} else {
+					errs[i] = evalTask(t, func(tuple []int) {
+						bufs[i] = append(bufs[i], tuple)
+					})
+				}
 			}
 		}(w)
 	}
@@ -376,6 +441,13 @@ func runStratumRound(ctx context.Context, tasks []stratumTask, delta map[string]
 			return nil, err
 		}
 	}
+	if len(tasks) > 0 && tasks[0].prog.streaming {
+		pending := int64(0)
+		for _, buf := range bufs {
+			pending += int64(len(buf))
+		}
+		notePeakBuffered(tasks[0].prog.collector, pending)
+	}
 	for i, buf := range bufs {
 		rel, nd := sink(tasks[i])
 		for _, tuple := range buf {
@@ -383,6 +455,7 @@ func runStratumRound(ctx context.Context, tasks []stratumTask, delta map[string]
 				nd.appendShared(tuple)
 			}
 		}
+		tasks[i].prog.outBuf = buf[:0]
 	}
 	return newDelta, nil
 }
@@ -431,6 +504,14 @@ type cRule struct {
 	// (and ultimately adopted by the database), so allocating them one
 	// slice at a time would dominate GC work on derivation-heavy programs.
 	arena []int
+	// Streaming-engine state: the pushdown-analyzed plan (built once per
+	// instance, reused every round), budget/stats plumbing, and the
+	// parallel-round output buffer reused across rounds.
+	streaming bool
+	plan      *rulePlan
+	budget    *stage.Budget
+	collector *StatsCollector
+	outBuf    [][]int
 }
 
 // compileRule maps the rule's variables to integer slots and its atom
@@ -507,7 +588,23 @@ func (c *cRule) eval(delta map[string]*relation, deltaOcc int, emit func([]int))
 			a.rel = c.db.rels[a.pred]
 		}
 	}
+	if c.streaming {
+		return c.evalStream(emit)
+	}
 	return c.step(0)
+}
+
+// arenaCopy copies a borrowed row into an arena-carved tuple the caller
+// may retain (parallel tasks buffering new derivations).
+func (c *cRule) arenaCopy(row []int) []int {
+	n := len(row)
+	if len(c.arena) < n {
+		c.arena = make([]int, 4096+n)
+	}
+	tuple := c.arena[:n:n]
+	c.arena = c.arena[n:]
+	copy(tuple, row)
+	return tuple
 }
 
 func (c *cRule) emitHead() {

@@ -1,0 +1,407 @@
+package ra
+
+import "repro/internal/faultinject"
+
+// Scan streams the rows of a stored relation, projected to the TOut
+// terms. Constant constraints are pushed into the relation's index via
+// Probe; TSame constraints (repeated positions) are checked residually.
+// The output row buffer is reused across Next calls.
+type Scan struct {
+	Rel   Relation
+	Terms []Term
+	Ctl   *Ctl
+
+	started bool
+	cand    Candidates
+	pos     int
+	pat     []int
+	out     []int
+}
+
+// NewScan returns a scan of rel constrained and projected by terms.
+func NewScan(rel Relation, terms []Term, ctl *Ctl) *Scan {
+	return &Scan{Rel: rel, Terms: terms, Ctl: ctl, out: make([]int, 0, outCount(terms))}
+}
+
+// Reset rewinds the scan; the relation is re-snapshotted on the next
+// Next call.
+func (s *Scan) Reset() {
+	s.started = false
+	s.pos = 0
+	s.cand.SetEmpty()
+}
+
+// Next returns the next matching row projected to the scan's output
+// columns.
+func (s *Scan) Next() (Row, bool, error) {
+	if !s.started {
+		s.started = true
+		if s.pat == nil {
+			s.pat = make([]int, len(s.Terms))
+		}
+		fillPattern(s.pat, s.Terms, nil)
+		s.Rel.Probe(s.pat, &s.cand)
+		s.pos = 0
+	}
+	for s.pos < s.cand.Len() {
+		if err := s.Ctl.step(); err != nil {
+			return nil, false, err
+		}
+		t := s.cand.At(s.pos)
+		s.pos++
+		if !matches(s.Terms, t, nil) {
+			continue
+		}
+		s.out = s.out[:0]
+		for i, tm := range s.Terms {
+			if tm.Kind == TOut {
+				s.out = append(s.out, t[i])
+			}
+		}
+		s.Ctl.emit()
+		return s.out, true, nil
+	}
+	return nil, false, nil
+}
+
+// LookupJoin is an index nested-loop join: for every input row it
+// probes the stored relation with the pattern formed from the row's
+// TCol columns and the TConst constants — the predicate-pushdown path —
+// and appends each match's TOut columns to the input row. With no TOut
+// terms it degenerates to a semijoin filter. Memory is O(1): one input
+// row and one candidate bucket reference are live at a time.
+type LookupJoin struct {
+	Input Iterator
+	Rel   Relation
+	Terms []Term
+	// Width is the input row width; output rows have Width+#TOut
+	// columns (input columns first).
+	Width int
+	Ctl   *Ctl
+
+	cur  Row
+	cand Candidates
+	pos  int
+	pat  []int
+	out  []int
+}
+
+// NewLookupJoin returns a lookup join of in against rel.
+func NewLookupJoin(in Iterator, rel Relation, terms []Term, width int, ctl *Ctl) *LookupJoin {
+	return &LookupJoin{
+		Input: in, Rel: rel, Terms: terms, Width: width, Ctl: ctl,
+		out: make([]int, 0, width+outCount(terms)),
+	}
+}
+
+// Pushdown reports how many probe constraints (constants and join
+// columns) the join pushes into the relation's index.
+func (j *LookupJoin) Pushdown() int {
+	n := 0
+	for _, t := range j.Terms {
+		if t.Kind == TConst || t.Kind == TCol {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset rewinds the join and its input.
+func (j *LookupJoin) Reset() {
+	j.Input.Reset()
+	j.cur = nil
+	j.cand.SetEmpty()
+	j.pos = 0
+}
+
+// Next returns the next joined row.
+func (j *LookupJoin) Next() (Row, bool, error) {
+	if j.pat == nil {
+		j.pat = make([]int, len(j.Terms))
+	}
+	for {
+		if j.cur == nil {
+			row, ok, err := j.Input.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			if err := faultinject.Check("ra.join"); err != nil {
+				return nil, false, err
+			}
+			j.cur = row
+			fillPattern(j.pat, j.Terms, row)
+			j.Rel.Probe(j.pat, &j.cand)
+			j.pos = 0
+		}
+		for j.pos < j.cand.Len() {
+			if err := j.Ctl.step(); err != nil {
+				return nil, false, err
+			}
+			t := j.cand.At(j.pos)
+			j.pos++
+			if !matches(j.Terms, t, j.cur) {
+				continue
+			}
+			j.out = append(j.out[:0], j.cur...)
+			for i, tm := range j.Terms {
+				if tm.Kind == TOut {
+					j.out = append(j.out, t[i])
+				}
+			}
+			j.Ctl.emit()
+			return j.out, true, nil
+		}
+		j.cur = nil
+	}
+}
+
+// HashJoin joins two input streams on pairwise-equal key columns by
+// symmetric hashing: rows are pulled from both sides alternately, each
+// arrival is inserted into its side's table and probed against the
+// other side's, so matches stream out before either input is exhausted
+// and cancellation stays responsive. Both sides are buffered (tracked
+// through Ctl.Buffered) — use it only where a LookupJoin into a stored
+// index is impossible: joining two derived streams, or the cross
+// product of disconnected rule components (empty key).
+//
+// Output rows are the left columns followed by the right columns minus
+// the right key columns (equal to the left key columns by definition).
+// Emission order is deterministic for deterministic inputs: strict
+// alternation, matches in buffer insertion order.
+type HashJoin struct {
+	Left, Right Iterator
+	// LeftKey/RightKey are equal-length column lists; empty for a cross
+	// join.
+	LeftKey, RightKey []int
+	// LeftWidth/RightWidth are the input row widths.
+	LeftWidth, RightWidth int
+	Ctl                   *Ctl
+
+	lrows, rrows [][]int
+	ltab, rtab   map[uint64][]int32
+	rkeep        []int
+	ldone, rdone bool
+	pullLeft     bool
+	// pending match state: the arrived row, the matching bucket of the
+	// other side, and whether the arrival was from the left.
+	pending     Row
+	bucket      []int32
+	bpos        int
+	arrivedLeft bool
+	out         []int
+}
+
+// NewHashJoin returns a symmetric hash join of l and r on the given key
+// columns.
+func NewHashJoin(l, r Iterator, lkey, rkey []int, lw, rw int, ctl *Ctl) *HashJoin {
+	j := &HashJoin{
+		Left: l, Right: r, LeftKey: lkey, RightKey: rkey,
+		LeftWidth: lw, RightWidth: rw, Ctl: ctl,
+	}
+	keyed := make(map[int]bool, len(rkey))
+	for _, c := range rkey {
+		keyed[c] = true
+	}
+	for c := 0; c < rw; c++ {
+		if !keyed[c] {
+			j.rkeep = append(j.rkeep, c)
+		}
+	}
+	j.out = make([]int, 0, lw+len(j.rkeep))
+	j.init()
+	return j
+}
+
+func (j *HashJoin) init() {
+	j.ltab = map[uint64][]int32{}
+	j.rtab = map[uint64][]int32{}
+	j.lrows, j.rrows = nil, nil
+	j.ldone, j.rdone = false, false
+	j.pullLeft = true
+	j.pending, j.bucket, j.bpos = nil, nil, 0
+}
+
+// Reset rewinds the join and both inputs, dropping the buffered rows.
+func (j *HashJoin) Reset() {
+	j.Left.Reset()
+	j.Right.Reset()
+	j.Ctl.buffer(-(len(j.lrows) + len(j.rrows)))
+	j.init()
+}
+
+func hashKey(row Row, key []int) uint64 {
+	const (
+		offset64 uint64 = 14695981039346656037
+		prime64  uint64 = 1099511628211
+	)
+	h := offset64
+	for _, c := range key {
+		h ^= uint64(row[c])
+		h *= prime64
+	}
+	return h
+}
+
+func keysEqual(l Row, lkey []int, r Row, rkey []int) bool {
+	for i, lc := range lkey {
+		if l[lc] != r[rkey[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+func (j *HashJoin) emitPair(l, r Row) Row {
+	j.out = append(j.out[:0], l...)
+	for _, c := range j.rkeep {
+		j.out = append(j.out, r[c])
+	}
+	j.Ctl.emit()
+	return j.out
+}
+
+// Next returns the next joined row.
+func (j *HashJoin) Next() (Row, bool, error) {
+	for {
+		// Drain pending matches of the last arrival first.
+		for j.bpos < len(j.bucket) {
+			if err := j.Ctl.step(); err != nil {
+				return nil, false, err
+			}
+			var l, r Row
+			if j.arrivedLeft {
+				l, r = j.pending, j.rrows[j.bucket[j.bpos]]
+			} else {
+				l, r = j.lrows[j.bucket[j.bpos]], j.pending
+			}
+			j.bpos++
+			if !keysEqual(l, j.LeftKey, r, j.RightKey) {
+				continue
+			}
+			return j.emitPair(l, r), true, nil
+		}
+		if j.ldone && j.rdone {
+			return nil, false, nil
+		}
+		// Pull the next arrival, alternating sides while both live.
+		fromLeft := j.pullLeft && !j.ldone || j.rdone
+		j.pullLeft = !j.pullLeft
+		var (
+			row Row
+			ok  bool
+			err error
+		)
+		if fromLeft {
+			row, ok, err = j.Left.Next()
+		} else {
+			row, ok, err = j.Right.Next()
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if fromLeft {
+				j.ldone = true
+			} else {
+				j.rdone = true
+			}
+			continue
+		}
+		if err := faultinject.Check("ra.join"); err != nil {
+			return nil, false, err
+		}
+		if err := j.Ctl.step(); err != nil {
+			return nil, false, err
+		}
+		// Buffer a copy (input rows are only valid until the next pull)
+		// and set up the probe of the other side.
+		cp := append(make([]int, 0, len(row)), row...)
+		if fromLeft {
+			h := hashKey(cp, j.LeftKey)
+			j.ltab[h] = append(j.ltab[h], int32(len(j.lrows)))
+			j.lrows = append(j.lrows, cp)
+			j.bucket = j.rtab[h]
+		} else {
+			h := hashKey(cp, j.RightKey)
+			j.rtab[h] = append(j.rtab[h], int32(len(j.rrows)))
+			j.rrows = append(j.rrows, cp)
+			j.bucket = j.ltab[h]
+		}
+		j.Ctl.buffer(1)
+		j.pending, j.bpos, j.arrivedLeft = cp, 0, fromLeft
+	}
+}
+
+// Select filters rows by a predicate — σ over anything the planner
+// cannot push into a scan or probe, such as negated-atom and builtin
+// checks.
+type Select struct {
+	Input Iterator
+	Pred  func(Row) (bool, error)
+	Ctl   *Ctl
+}
+
+// NewSelect returns a filter of in by pred.
+func NewSelect(in Iterator, pred func(Row) (bool, error), ctl *Ctl) *Select {
+	return &Select{Input: in, Pred: pred, Ctl: ctl}
+}
+
+// Reset rewinds the filter's input.
+func (s *Select) Reset() { s.Input.Reset() }
+
+// Next returns the next row satisfying the predicate.
+func (s *Select) Next() (Row, bool, error) {
+	for {
+		row, ok, err := s.Input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if err := s.Ctl.step(); err != nil {
+			return nil, false, err
+		}
+		keep, err := s.Pred(row)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			s.Ctl.emit()
+			return row, true, nil
+		}
+	}
+}
+
+// Project maps each input row to an output row of input columns (TCol)
+// and constants (TConst) through one reused buffer — constant space
+// regardless of stream length. Sinks that retain rows must copy them.
+type Project struct {
+	Input Iterator
+	Cols  []Term
+	Ctl   *Ctl
+
+	out []int
+}
+
+// NewProject returns a projection of in to cols.
+func NewProject(in Iterator, cols []Term, ctl *Ctl) *Project {
+	return &Project{Input: in, Cols: cols, Ctl: ctl, out: make([]int, len(cols))}
+}
+
+// Reset rewinds the projection's input.
+func (p *Project) Reset() { p.Input.Reset() }
+
+// Next returns the next projected row.
+func (p *Project) Next() (Row, bool, error) {
+	row, ok, err := p.Input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	for i, c := range p.Cols {
+		if c.Kind == TConst {
+			p.out[i] = c.Idx
+		} else {
+			p.out[i] = row[c.Idx]
+		}
+	}
+	p.Ctl.emit()
+	return p.out, true, nil
+}

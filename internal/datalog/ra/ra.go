@@ -1,0 +1,217 @@
+// Package ra implements pull-based streaming relational-algebra
+// operators — selection, projection and joins over rows of interned
+// constants — for the datalog engine's rule evaluator.
+//
+// The operators compose into left-deep trees that stream one row at a
+// time: no operator materializes its input, with the single documented
+// exception of HashJoin, which buffers both sides by construction (it
+// exists for joins where no stored index can serve one side). Storage
+// access goes through the Relation interface, and every constraint that
+// can be decided from the row pattern alone — constants, join columns,
+// repeated positions — is pushed into the Probe call, so an indexed
+// store answers with a narrow candidate bucket instead of a scan. The
+// memory contract is the point: a pipeline of Scan/LookupJoin/Select/
+// Project holds O(1) rows regardless of stream length.
+//
+// Rows returned by Next are valid only until the next call to Next on
+// the same iterator; operators (and sinks) that retain rows must copy
+// them. All iterators are single-goroutine values.
+package ra
+
+// Row is a tuple of interned constants.
+type Row = []int
+
+// Iterator is a pull-based row stream. Next returns the next row with
+// ok=true, or ok=false once the stream is exhausted or after an error.
+// Reset rewinds the iterator (and its inputs) for a fresh pass; sources
+// re-snapshot their relation on the first Next after a Reset.
+type Iterator interface {
+	Reset()
+	Next() (Row, bool, error)
+}
+
+// TermKind classifies how one column of a scanned or probed relation is
+// constrained and used. The kinds double as projection specs: Project
+// columns are TConst or TCol.
+type TermKind uint8
+
+const (
+	// TDrop leaves the column unconstrained and discards its value —
+	// projection pushed all the way into the scan.
+	TDrop TermKind = iota
+	// TOut leaves the column unconstrained and appends its value as a
+	// new output column (in positional order of the TOut terms).
+	TOut
+	// TConst constrains the column to equal the interned constant Idx.
+	TConst
+	// TCol constrains the column to equal input-row column Idx.
+	TCol
+	// TSame constrains the column to equal position Idx of the same
+	// stored row (a repeated variable within one atom).
+	TSame
+)
+
+// Term is one column constraint/use; see TermKind.
+type Term struct {
+	Kind TermKind
+	Idx  int
+}
+
+// Relation is the minimal storage interface scans and lookup joins pull
+// from. Implementations are read-only during iteration.
+type Relation interface {
+	// Rows returns a snapshot of all stored rows.
+	Rows() [][]int
+	// Probe fills c with candidate rows for the pattern, where
+	// pattern[i] < 0 means "unbound" — served from an index on the
+	// bound positions when the store has one. Candidates may be a
+	// superset of the true matches; callers re-check the pattern.
+	Probe(pattern []int, c *Candidates)
+}
+
+// Candidates is the zero-allocation answer to a Relation.Probe: either
+// a direct row list or an index bucket (row numbers into a base array).
+// A Probe implementation calls exactly one Set method; the zero value
+// is empty.
+type Candidates struct {
+	rows [][]int
+	idx  []int32
+	base [][]int
+	one  [1][]int
+}
+
+// SetRows answers with a direct row list.
+func (c *Candidates) SetRows(rows [][]int) { c.rows, c.idx, c.base = rows, nil, nil }
+
+// SetOne answers with a single row (an exact-match lookup hit).
+func (c *Candidates) SetOne(row []int) {
+	c.one[0] = row
+	c.rows, c.idx, c.base = c.one[:1], nil, nil
+}
+
+// SetBucket answers with an index bucket of row numbers into base.
+func (c *Candidates) SetBucket(idx []int32, base [][]int) { c.rows, c.idx, c.base = nil, idx, base }
+
+// SetEmpty answers with no candidates.
+func (c *Candidates) SetEmpty() { c.rows, c.idx, c.base = nil, nil, nil }
+
+// Len reports the number of candidate rows.
+func (c *Candidates) Len() int {
+	if c.idx != nil {
+		return len(c.idx)
+	}
+	return len(c.rows)
+}
+
+// At returns candidate i.
+func (c *Candidates) At(i int) []int {
+	if c.idx != nil {
+		return c.base[c.idx[i]]
+	}
+	return c.rows[i]
+}
+
+// pollEvery is the number of operator steps between cooperative Check
+// polls (a power of two; the counter is masked).
+const pollEvery = 1024
+
+// Ctl is the shared control block of one operator tree: cooperative
+// cancellation/fault/budget polling plus streaming statistics. All
+// fields are plain (an operator tree is single-goroutine); the owner
+// snapshots them after the pull loop finishes. A nil *Ctl disables both
+// polling and accounting.
+type Ctl struct {
+	// Check, when non-nil, is polled roughly every pollEvery operator
+	// steps (candidate rows considered); a non-nil error aborts the
+	// stream. The datalog executor wires context cancellation, the
+	// stream-tuples budget flush and fault injection through it.
+	Check func() error
+	// Streamed counts rows emitted by all operators of the tree — the
+	// total volume moved through the pipeline.
+	Streamed int64
+	// Buffered and PeakBuffered track rows currently / maximally held
+	// by buffering operators (hash joins). Streaming-only trees keep
+	// both at zero.
+	Buffered, PeakBuffered int64
+	tick                   uint
+}
+
+// step records one unit of operator work and polls Check on schedule.
+func (c *Ctl) step() error {
+	if c == nil {
+		return nil
+	}
+	if c.tick++; c.tick&(pollEvery-1) == 0 && c.Check != nil {
+		return c.Check()
+	}
+	return nil
+}
+
+// emit records one row leaving an operator.
+func (c *Ctl) emit() {
+	if c != nil {
+		c.Streamed++
+	}
+}
+
+// buffer records n rows (possibly negative) entering a buffering
+// operator.
+func (c *Ctl) buffer(n int) {
+	if c == nil {
+		return
+	}
+	c.Buffered += int64(n)
+	if c.Buffered > c.PeakBuffered {
+		c.PeakBuffered = c.Buffered
+	}
+}
+
+// matches reports whether row satisfies the constraint terms against
+// the given input row (nil for leaf scans).
+func matches(terms []Term, row, input Row) bool {
+	for i, t := range terms {
+		switch t.Kind {
+		case TConst:
+			if row[i] != t.Idx {
+				return false
+			}
+		case TCol:
+			if row[i] != input[t.Idx] {
+				return false
+			}
+		case TSame:
+			if row[i] != row[t.Idx] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// fillPattern writes the probe pattern implied by terms: constants and
+// input-column values are bound, everything else is -1. Repeated
+// positions (TSame) stay unbound — Probe indexes cannot express them —
+// and are enforced by the residual matches check.
+func fillPattern(pat []int, terms []Term, input Row) {
+	for i, t := range terms {
+		switch t.Kind {
+		case TConst:
+			pat[i] = t.Idx
+		case TCol:
+			pat[i] = input[t.Idx]
+		default:
+			pat[i] = -1
+		}
+	}
+}
+
+// outCount returns the number of TOut terms.
+func outCount(terms []Term) int {
+	n := 0
+	for _, t := range terms {
+		if t.Kind == TOut {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,216 @@
+package ra
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// sliceRel is an unindexed Relation: Probe answers with every row, so
+// operators exercise their residual filters.
+type sliceRel [][]int
+
+func (r sliceRel) Rows() [][]int { return r }
+
+func (r sliceRel) Probe(_ []int, c *Candidates) { c.SetRows(r) }
+
+// hashRel indexes rows on the first bound pattern position, answering
+// probes with buckets — exercising the SetBucket/SetOne paths.
+type hashRel struct {
+	rows    [][]int
+	buckets map[int][]int32 // value at indexed position → row numbers
+	pos     int
+}
+
+func newHashRel(rows [][]int, pos int) *hashRel {
+	r := &hashRel{rows: rows, buckets: map[int][]int32{}, pos: pos}
+	for i, t := range rows {
+		r.buckets[t[pos]] = append(r.buckets[t[pos]], int32(i))
+	}
+	return r
+}
+
+func (r *hashRel) Rows() [][]int { return r.rows }
+
+func (r *hashRel) Probe(pattern []int, c *Candidates) {
+	if pattern[r.pos] < 0 {
+		c.SetRows(r.rows)
+		return
+	}
+	c.SetBucket(r.buckets[pattern[r.pos]], r.rows)
+}
+
+func drain(t *testing.T, it Iterator) [][]int {
+	t.Helper()
+	var out [][]int
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, append([]int(nil), row...))
+	}
+}
+
+func sorted(rows [][]int) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprint(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameRows(t *testing.T, got, want [][]int) {
+	t.Helper()
+	g, w := sorted(got), sorted(want)
+	if len(g) != len(w) {
+		t.Fatalf("got %v, want %v", g, w)
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("got %v, want %v", g, w)
+		}
+	}
+}
+
+func TestScanPushdownAndResidual(t *testing.T) {
+	rel := sliceRel{{1, 2, 2}, {1, 3, 4}, {2, 5, 5}, {1, 6, 6}}
+	// σ(col0 = 1 ∧ col1 = col2), π(col1): the TSame constraint is
+	// residual, the constant is pushed into the probe pattern.
+	s := NewScan(rel, []Term{{TConst, 1}, {TOut, 0}, {TSame, 1}}, nil)
+	sameRows(t, drain(t, s), [][]int{{2}, {6}})
+	// Reset replays the stream.
+	s.Reset()
+	sameRows(t, drain(t, s), [][]int{{2}, {6}})
+}
+
+func TestScanDropColumns(t *testing.T) {
+	rel := sliceRel{{1, 9}, {2, 9}}
+	s := NewScan(rel, []Term{{TOut, 0}, {TDrop, 0}}, nil)
+	sameRows(t, drain(t, s), [][]int{{1}, {2}})
+}
+
+func TestLookupJoin(t *testing.T) {
+	left := sliceRel{{1, 10}, {2, 20}, {3, 30}}
+	right := newHashRel([][]int{{10, 100}, {20, 200}, {20, 201}, {99, 900}}, 0)
+	ctl := &Ctl{}
+	scan := NewScan(left, []Term{{TOut, 0}, {TOut, 0}}, ctl)
+	join := NewLookupJoin(scan, right, []Term{{TCol, 1}, {TOut, 0}}, 2, ctl)
+	if join.Pushdown() != 1 {
+		t.Fatalf("pushdown = %d, want 1", join.Pushdown())
+	}
+	sameRows(t, drain(t, join), [][]int{{1, 10, 100}, {2, 20, 200}, {2, 20, 201}})
+	if ctl.Streamed == 0 {
+		t.Fatal("no rows counted as streamed")
+	}
+	if ctl.Buffered != 0 || ctl.PeakBuffered != 0 {
+		t.Fatalf("lookup join buffered rows: %d peak %d", ctl.Buffered, ctl.PeakBuffered)
+	}
+}
+
+func TestLookupJoinSemijoin(t *testing.T) {
+	left := sliceRel{{1}, {2}, {3}}
+	right := newHashRel([][]int{{1}, {3}}, 0)
+	scan := NewScan(left, []Term{{TOut, 0}}, nil)
+	join := NewLookupJoin(scan, right, []Term{{TCol, 0}}, 1, nil)
+	sameRows(t, drain(t, join), [][]int{{1}, {3}})
+}
+
+func TestHashJoinSymmetric(t *testing.T) {
+	l := NewScan(sliceRel{{1, 7}, {2, 8}, {3, 7}}, []Term{{TOut, 0}, {TOut, 0}}, nil)
+	r := NewScan(sliceRel{{7, 70}, {8, 80}, {7, 71}}, []Term{{TOut, 0}, {TOut, 0}}, nil)
+	ctl := &Ctl{}
+	j := NewHashJoin(l, r, []int{1}, []int{0}, 2, 2, ctl)
+	want := [][]int{{1, 7, 70}, {1, 7, 71}, {3, 7, 70}, {3, 7, 71}, {2, 8, 80}}
+	sameRows(t, drain(t, j), want)
+	if ctl.PeakBuffered != 6 {
+		t.Fatalf("peak buffered = %d, want 6", ctl.PeakBuffered)
+	}
+	// Reset drops the buffers and replays identically.
+	j.Reset()
+	if ctl.Buffered != 0 {
+		t.Fatalf("buffered after reset = %d", ctl.Buffered)
+	}
+	sameRows(t, drain(t, j), want)
+}
+
+func TestHashJoinCross(t *testing.T) {
+	l := NewScan(sliceRel{{1}, {2}}, []Term{{TOut, 0}}, nil)
+	r := NewScan(sliceRel{{7}, {8}}, []Term{{TOut, 0}}, nil)
+	j := NewHashJoin(l, r, nil, nil, 1, 1, nil)
+	sameRows(t, drain(t, j), [][]int{{1, 7}, {1, 8}, {2, 7}, {2, 8}})
+}
+
+func TestHashJoinDeterministicOrder(t *testing.T) {
+	mk := func() *HashJoin {
+		l := NewScan(sliceRel{{1}, {2}, {3}}, []Term{{TOut, 0}}, nil)
+		r := NewScan(sliceRel{{2}, {3}, {4}}, []Term{{TOut, 0}}, nil)
+		return NewHashJoin(l, r, []int{0}, []int{0}, 1, 1, nil)
+	}
+	a := fmt.Sprint(drain(t, mk()))
+	for i := 0; i < 5; i++ {
+		if b := fmt.Sprint(drain(t, mk())); b != a {
+			t.Fatalf("order varies: %s vs %s", a, b)
+		}
+	}
+}
+
+func TestSelectAndProject(t *testing.T) {
+	scan := NewScan(sliceRel{{1, 10}, {2, 20}, {3, 30}}, []Term{{TOut, 0}, {TOut, 0}}, nil)
+	sel := NewSelect(scan, func(r Row) (bool, error) { return r[0] != 2, nil }, nil)
+	proj := NewProject(sel, []Term{{TCol, 1}, {TConst, 42}}, nil)
+	sameRows(t, drain(t, proj), [][]int{{10, 42}, {30, 42}})
+}
+
+func TestSelectError(t *testing.T) {
+	boom := errors.New("boom")
+	scan := NewScan(sliceRel{{1}}, []Term{{TOut, 0}}, nil)
+	sel := NewSelect(scan, func(Row) (bool, error) { return false, boom }, nil)
+	if _, _, err := sel.Next(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCtlCheckAborts(t *testing.T) {
+	rows := make([][]int, 4*pollEvery)
+	for i := range rows {
+		rows[i] = []int{i}
+	}
+	stop := errors.New("stop")
+	calls := 0
+	ctl := &Ctl{Check: func() error { calls++; return stop }}
+	s := NewScan(sliceRel(rows), []Term{{TOut, 0}}, ctl)
+	for {
+		_, ok, err := s.Next()
+		if err != nil {
+			if !errors.Is(err, stop) {
+				t.Fatalf("err = %v", err)
+			}
+			break
+		}
+		if !ok {
+			t.Fatal("stream finished without polling Check")
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("check calls = %d, want 1", calls)
+	}
+}
+
+func TestJoinFaultInject(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.FailAt("ra.join", 1)
+	left := sliceRel{{1}}
+	right := newHashRel([][]int{{1}}, 0)
+	join := NewLookupJoin(NewScan(left, []Term{{TOut, 0}}, nil), right, []Term{{TCol, 0}}, 1, nil)
+	if _, _, err := join.Next(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+}

@@ -168,10 +168,13 @@ func joinRules(rules []string) string {
 }
 
 // TestDifferentialRandomPrograms is the satellite differential test: the
-// semi-naive engine (with incremental indexes and, on large rounds,
-// parallel tasks) must agree with the naive reference evaluator on every
-// randomized stratified program, so the storage and parallelism changes
-// cannot silently change semantics.
+// semi-naive engine — under BOTH backends, the streaming relational-
+// algebra pipeline and the materialized backtracking join — must agree
+// with the naive reference evaluator on every randomized stratified
+// program, so neither the storage/parallelism changes nor the streaming
+// rebuild can silently change semantics. The reference itself always
+// runs the materialized step() path (evalRule compiles without a plan),
+// so the three-way comparison is never circular.
 func TestDifferentialRandomPrograms(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	edb := func() *DB {
@@ -185,6 +188,7 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 		}
 		return db
 	}
+	defer SetEngine(SetEngine(EngineStreaming))
 	tried, run := 0, 0
 	for run < 250 && tried < 2500 {
 		tried++
@@ -194,15 +198,18 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 		}
 		run++
 		db := edb()
-		got, err1 := Eval(p, db)
-		want, err2 := naiveEval(p, db)
-		if (err1 == nil) != (err2 == nil) {
-			t.Fatalf("program %v: engines disagree on error: %v vs %v", p, err1, err2)
+		want, refErr := naiveEval(p, db)
+		for _, eng := range []Engine{EngineStreaming, EngineMaterialized} {
+			SetEngine(eng)
+			got, err := Eval(p, db)
+			if (err == nil) != (refErr == nil) {
+				t.Fatalf("program %v: %s engine disagrees with reference on error: %v vs %v", p, eng, err, refErr)
+			}
+			if err != nil {
+				continue
+			}
+			sameFacts(t, got, want, fmt.Sprintf("program #%d engine=%s %v", run, eng, p))
 		}
-		if err1 != nil {
-			continue
-		}
-		sameFacts(t, got, want, fmt.Sprintf("program #%d %v", run, p))
 	}
 	if run < 100 {
 		t.Fatalf("generator too weak: only %d/%d candidates were valid programs", run, tried)
@@ -217,7 +224,13 @@ func TestDifferentialKnownPrograms(t *testing.T) {
 		"sg(X, X) :- n(X).\nsg(X, Y) :- e(X, XP), sg(XP, YP), e(Y, YP).",
 		"t(X, Y) :- e(X, Y).\nt(X, Z) :- t(X, Y), t(Y, Z).",
 		"odd(Y) :- n(X), e(X, Y), not n(Y).\nbad(X) :- n(X), not odd(X).",
+		// Disconnected body components: forces the streaming planner's
+		// symmetric hash join (cross product), with a filter on top.
+		"pair(X, Y) :- n(X), n(Y), not e(X, Y).\ntri(X, Y) :- pair(X, Y), e(Y, X).",
+		// Constant pushdown into probes, repeated variables in one atom.
+		"loop(X) :- e(X, X).\nanchored(Y) :- e(v0, Y), not loop(Y).",
 	}
+	defer SetEngine(SetEngine(EngineStreaming))
 	for _, src := range cases {
 		p := MustParse(src)
 		db := NewDB()
@@ -230,21 +243,26 @@ func TestDifferentialKnownPrograms(t *testing.T) {
 			db.AddFact("n", names[i])
 		}
 		db.AddFact("e", names[len(names)-1], names[0]) // close the cycle
-		got, err := Eval(p, db)
-		if err != nil {
-			t.Fatalf("%q: %v", src, err)
-		}
 		want, err := naiveEval(p, db)
 		if err != nil {
 			t.Fatalf("%q (reference): %v", src, err)
 		}
-		sameFacts(t, got, want, src)
+		for _, eng := range []Engine{EngineStreaming, EngineMaterialized} {
+			SetEngine(eng)
+			got, err := Eval(p, db)
+			if err != nil {
+				t.Fatalf("%q (%s): %v", src, eng, err)
+			}
+			sameFacts(t, got, want, fmt.Sprintf("%s: %s", eng, src))
+		}
 	}
 }
 
-// TestParallelDeterminism checks the tentpole's determinism claim: the
-// derived fact set is identical across worker counts, including runs big
-// enough to actually take the parallel path.
+// TestParallelDeterminism checks the determinism claim for both
+// backends: the derived fact set is identical across worker counts,
+// including runs big enough to actually take the parallel path (where
+// the streaming backend pre-filters against the frozen head relation
+// and merges reused per-task buffers in task order).
 func TestParallelDeterminism(t *testing.T) {
 	p := MustParse("path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), e(Y, Z).")
 	db := NewDB()
@@ -253,16 +271,21 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 	prev := SetMaxWorkers(1)
 	defer SetMaxWorkers(prev)
-	serial, err := Eval(p, db)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, workers := range []int{2, 4, 13} {
-		SetMaxWorkers(workers)
-		out, err := Eval(p, db)
+	defer SetEngine(SetEngine(EngineStreaming))
+	for _, eng := range []Engine{EngineStreaming, EngineMaterialized} {
+		SetEngine(eng)
+		SetMaxWorkers(1)
+		serial, err := Eval(p, db)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sameFacts(t, out, serial, fmt.Sprintf("workers=%d", workers))
+		for _, workers := range []int{2, 4, 13} {
+			SetMaxWorkers(workers)
+			out, err := Eval(p, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameFacts(t, out, serial, fmt.Sprintf("engine=%s workers=%d", eng, workers))
+		}
 	}
 }

@@ -11,7 +11,6 @@ import (
 
 	"repro/internal/decompose"
 	"repro/internal/graph"
-	"repro/internal/stage"
 	"repro/internal/tree"
 )
 
@@ -35,12 +34,13 @@ func cancelNice(t testing.TB, seed int64, n int) (*graph.Graph, *tree.Decomposit
 	return g, nice
 }
 
-// TestRunUpCtxCancelMidDP cancels the context from inside a handler
-// once the DP is under way, with the full worker pool active. The run
-// must stop with a stage-tagged context.Canceled, discard partial
-// tables, and leave no worker goroutines behind. Run under -race in CI.
-func TestRunUpCtxCancelMidDP(t *testing.T) {
-	g, nice := cancelNice(t, 13, 120)
+// TestScheduleCancelMidRun cancels the context from inside a compute
+// callback once the run is under way, with the full worker pool active.
+// Schedule must stop with context.Canceled (unwrapped — evaluators add
+// their own stage tag) and leave no worker goroutines behind. Run under
+// -race in CI.
+func TestScheduleCancelMidRun(t *testing.T) {
+	_, nice := cancelNice(t, 13, 120)
 	prev := SetMaxWorkers(8)
 	defer SetMaxWorkers(prev)
 
@@ -48,24 +48,14 @@ func TestRunUpCtxCancelMidDP(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var calls atomic.Int64
-	h := twoColHandlers(g)
-	inner := h.Introduce
-	h.Introduce = func(node int, bag []int, elem int, child uint32) []uint32 {
+	err := Schedule(ctx, nice, false, func(v int) error {
 		if calls.Add(1) == 10 { // let the pool spin up, then pull the plug
 			cancel()
 		}
-		return inner(node, bag, elem, child)
-	}
-	tables, err := RunUpCtx(ctx, nice, h)
+		return nil
+	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
-	}
-	var se *stage.Error
-	if !errors.As(err, &se) || se.Stage != stage.DP {
-		t.Fatalf("err = %v, want stage %q", err, stage.DP)
-	}
-	if tables != nil {
-		t.Fatal("partial tables not discarded on cancellation")
 	}
 	for i := 0; i < 40 && runtime.NumGoroutine() > before; i++ {
 		time.Sleep(5 * time.Millisecond)
@@ -74,42 +64,24 @@ func TestRunUpCtxCancelMidDP(t *testing.T) {
 		t.Fatalf("goroutine leak: %d before, %d after cancellation", before, after)
 	}
 	// The pool is reusable after a cancelled run.
-	if _, err := RunUpCtx(context.Background(), nice, twoColHandlers(g)); err != nil {
+	if err := Schedule(context.Background(), nice, false, func(int) error { return nil }); err != nil {
 		t.Fatalf("pool poisoned after cancellation: %v", err)
 	}
 }
 
-// TestRunDownCtxCancelled pins cancellation of the top-down pass.
-func TestRunDownCtxCancelled(t *testing.T) {
-	g, nice := cancelNice(t, 17, 80)
-	h := twoColHandlers(g)
-	up, err := RunUp(nice, h)
-	if err != nil {
-		t.Fatal(err)
-	}
+// TestScheduleDownCancelled pins cancellation of the top-down pass.
+func TestScheduleDownCancelled(t *testing.T) {
+	_, nice := cancelNice(t, 17, 80)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := RunDownCtx(ctx, nice, h, up); !errors.Is(err, context.Canceled) {
+	err := Schedule(ctx, nice, true, func(int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 
-// TestRunUpCountAndMinCtxCancelled pins the counting and optimizing
-// variants.
-func TestRunUpCountAndMinCtxCancelled(t *testing.T) {
-	g, nice := cancelNice(t, 19, 80)
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	if _, err := RunUpCountCtx(ctx, nice, twoColHandlers(g)); !errors.Is(err, context.Canceled) {
-		t.Fatalf("count err = %v, want context.Canceled", err)
-	}
-	if _, err := RunUpMinCtx(ctx, nice, twoColCostHandlers(g)); !errors.Is(err, context.Canceled) {
-		t.Fatalf("min err = %v, want context.Canceled", err)
-	}
-}
-
-// TestRunUpCtxSerialCancelled pins the serial (below-threshold) path.
-func TestRunUpCtxSerialCancelled(t *testing.T) {
+// TestScheduleSerialCancelled pins the serial (below-threshold) path.
+func TestScheduleSerialCancelled(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	g := graph.PartialKTree(8, 2, 0.3, rng)
 	d, err := decompose.Graph(g, decompose.MinFill)
@@ -122,12 +94,12 @@ func TestRunUpCtxSerialCancelled(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err = RunUpCtx(ctx, nice, twoColHandlers(g))
+	visited := 0
+	err = Schedule(ctx, nice, false, func(int) error { visited++; return nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	var se *stage.Error
-	if !errors.As(err, &se) || se.Stage != stage.DP {
-		t.Fatalf("err = %v, want stage %q", err, stage.DP)
+	if visited != 0 {
+		t.Fatalf("pre-cancelled run still computed %d nodes", visited)
 	}
 }

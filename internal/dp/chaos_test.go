@@ -3,7 +3,6 @@ package dp
 import (
 	"context"
 	"errors"
-	"reflect"
 	"runtime"
 	"testing"
 	"time"
@@ -24,150 +23,76 @@ func waitGoroutines(t *testing.T, base int) {
 	}
 }
 
-// TestChaosDPNodeFault injects a fault inside the per-node worker loop
-// of the parallel DP: the run must abort with a stage-tagged injected
-// error, discard partial tables, drain the pool, and leave the runner
-// reusable.
-func TestChaosDPNodeFault(t *testing.T) {
+// TestChaosScheduleNodeFault injects a fault at the per-node point of
+// the parallel scheduler: the run must abort with the injected error,
+// drain the pool, and leave the scheduler reusable.
+func TestChaosScheduleNodeFault(t *testing.T) {
 	defer faultinject.Reset()
-	g, nice := cancelNice(t, 29, 120)
+	_, nice := cancelNice(t, 29, 120)
 	prev := SetMaxWorkers(8)
 	defer SetMaxWorkers(prev)
 
 	before := runtime.NumGoroutine()
 	faultinject.FailAt("dp.node", 5)
-	tables, err := RunUpCtx(context.Background(), nice, twoColHandlers(g))
+	err := Schedule(context.Background(), nice, false, func(int) error { return nil })
 	if !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("err = %v, want injected fault", err)
-	}
-	if got := stage.Of(err); got != stage.DP {
-		t.Fatalf("tagged stage %q, want %q", got, stage.DP)
-	}
-	if tables != nil {
-		t.Fatal("partial tables not discarded after injected fault")
 	}
 	waitGoroutines(t, before)
 
 	faultinject.Reset()
-	if _, err := RunUpCtx(context.Background(), nice, twoColHandlers(g)); err != nil {
-		t.Fatalf("runner poisoned after injected fault: %v", err)
+	if err := Schedule(context.Background(), nice, false, func(int) error { return nil }); err != nil {
+		t.Fatalf("scheduler poisoned after injected fault: %v", err)
 	}
 }
 
-// TestChaosDPChainFault injects at the per-chain scheduling point,
-// exercising the abort protocol of the parallel scheduler itself.
-func TestChaosDPChainFault(t *testing.T) {
+// TestChaosScheduleChainFault injects at the per-chain scheduling
+// point, exercising the abort protocol of the parallel scheduler
+// itself.
+func TestChaosScheduleChainFault(t *testing.T) {
 	defer faultinject.Reset()
-	g, nice := cancelNice(t, 31, 120)
+	_, nice := cancelNice(t, 31, 120)
 	prev := SetMaxWorkers(8)
 	defer SetMaxWorkers(prev)
 
 	before := runtime.NumGoroutine()
 	faultinject.FailAt("dp.chain", 2)
-	_, err := RunUpCtx(context.Background(), nice, twoColHandlers(g))
+	err := Schedule(context.Background(), nice, false, func(int) error { return nil })
 	if !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("err = %v, want injected fault", err)
 	}
 	waitGoroutines(t, before)
 }
 
-// TestChaosDPHandlerPanicContained checks that a panic in a problem
-// handler — arbitrary user code running on a pool goroutine — comes back
-// as a stage-tagged *stage.PanicError instead of crashing the process,
-// with no goroutines left behind.
-func TestChaosDPHandlerPanicContained(t *testing.T) {
-	g, nice := cancelNice(t, 37, 120)
-	prev := SetMaxWorkers(8)
+// TestChaosSchedulePanicContained checks that a panic in a compute
+// callback — evaluator and problem code is arbitrary user code running
+// on a pool goroutine — comes back as a *stage.PanicError instead of
+// crashing the process, with no goroutines left behind.
+func TestChaosSchedulePanicContained(t *testing.T) {
+	_, nice := cancelNice(t, 37, 120)
+	// Serialize so exactly one deterministic call panics under -race.
+	prev := SetMaxWorkers(1)
 	defer SetMaxWorkers(prev)
 
 	before := runtime.NumGoroutine()
-	h := twoColHandlers(g)
-	inner := h.Introduce
 	calls := 0
-	h.Introduce = func(node int, bag []int, elem int, child uint32) []uint32 {
+	err := Schedule(context.Background(), nice, false, func(int) error {
 		if calls++; calls == 7 {
-			panic("handler bug")
+			panic("evaluator bug")
 		}
-		return inner(node, bag, elem, child)
-	}
-	// The counter above is racy under 8 workers only in *which* call
-	// panics, not whether one does; serialize to keep -race clean.
-	SetMaxWorkers(1)
-	_, err := RunUpCtx(context.Background(), nice, h)
+		return nil
+	})
 	var pe *stage.PanicError
 	if !errors.As(err, &pe) {
 		t.Fatalf("err = %v, want *stage.PanicError", err)
 	}
-	if got := stage.Of(err); got != stage.DP {
-		t.Fatalf("tagged stage %q, want %q", got, stage.DP)
-	}
-	if pe.Value != "handler bug" || len(pe.Stack) == 0 {
+	if pe.Value != "evaluator bug" || len(pe.Stack) == 0 {
 		t.Fatalf("panic value %v, stack %d bytes", pe.Value, len(pe.Stack))
 	}
 	waitGoroutines(t, before)
 
 	// The panic poisoned nothing: the same decomposition runs clean.
-	if _, err := RunUpCtx(context.Background(), nice, twoColHandlers(g)); err != nil {
-		t.Fatalf("runner poisoned after panic: %v", err)
-	}
-}
-
-// TestBudgetTableEntries caps the DP table budget below what the run
-// needs: the run must stop with a stage-tagged budget error, with
-// consumption bounded near the limit (the bounded-memory property — the
-// periodic in-node check fires long before the tables blow past the cap).
-func TestBudgetTableEntries(t *testing.T) {
-	g, nice := cancelNice(t, 41, 120)
-	prev := SetMaxWorkers(8)
-	defer SetMaxWorkers(prev)
-
-	// Establish the unconstrained total so the cap is genuinely binding.
-	full, err := RunUpCtx(context.Background(), nice, twoColHandlers(g))
-	if err != nil {
-		t.Fatal(err)
-	}
-	total := 0
-	for _, tbl := range full {
-		total += tbl.Len()
-	}
-	if total < 20 {
-		t.Fatalf("workload too small to test the budget (total %d states)", total)
-	}
-
-	before := runtime.NumGoroutine()
-	b := &stage.Budget{MaxTableEntries: int64(total / 4)}
-	ctx := stage.WithBudget(context.Background(), b)
-	tables, err := RunUpCtx(ctx, nice, twoColHandlers(g))
-	if !errors.Is(err, stage.ErrBudgetExceeded) {
-		t.Fatalf("err = %v, want budget exceeded", err)
-	}
-	if got := stage.Of(err); got != stage.DP {
-		t.Fatalf("tagged stage %q, want %q", got, stage.DP)
-	}
-	if tables != nil {
-		t.Fatal("partial tables not discarded after budget violation")
-	}
-	var be *stage.BudgetError
-	if !errors.As(err, &be) || be.Dimension != "table-entries" {
-		t.Fatalf("err = %v, want table-entries BudgetError", err)
-	}
-	waitGoroutines(t, before)
-
-	// A sufficient budget changes nothing about the result.
-	b2 := &stage.Budget{MaxTableEntries: int64(total)}
-	got, err := RunUpCtx(stage.WithBudget(context.Background(), b2), nice, twoColHandlers(g))
-	if err != nil {
-		t.Fatalf("run within budget: %v", err)
-	}
-	if len(got) != len(full) {
-		t.Fatalf("budgeted run has %d tables, unbudgeted %d", len(got), len(full))
-	}
-	for v := range full {
-		if !reflect.DeepEqual(got[v].Order, full[v].Order) {
-			t.Fatalf("node %d: budgeted run diverged", v)
-		}
-	}
-	if _, _, used := b2.Used(); used != int64(total) {
-		t.Fatalf("budget accounting: used %d, want %d", used, total)
+	if err := Schedule(context.Background(), nice, false, func(int) error { return nil }); err != nil {
+		t.Fatalf("scheduler poisoned after panic: %v", err)
 	}
 }

@@ -10,21 +10,21 @@ import (
 	"repro/internal/stage"
 )
 
-// maxWorkers caps the goroutine fan-out of the DP runners, mirroring the
+// maxWorkers caps the goroutine fan-out of the scheduler, mirroring the
 // datalog engine's knob. Results are byte-identical at every setting:
-// each node's table is computed exactly once, by exactly one goroutine,
-// from inputs that are complete before it starts, and all cross-table
-// iteration follows the deterministic Table.Order.
+// each node is computed exactly once, by exactly one goroutine, from
+// dependencies that are complete before it starts, and evaluators built
+// on Schedule iterate their inputs in a deterministic order.
 var maxWorkers atomic.Int32
 
 func init() { maxWorkers.Store(int32(runtime.GOMAXPROCS(0))) }
 
-// SetMaxWorkers sets the worker cap for the parallel DP runners and
+// SetMaxWorkers sets the worker cap for the parallel scheduler and
 // returns the previous value. Values below 1 are treated as 1 (serial).
-// With more than one worker, handlers may be invoked concurrently from
-// multiple goroutines and must be safe for concurrent use (all handlers
-// in this repository are: they only read shared problem data or guard
-// shared state with locks).
+// With more than one worker, compute callbacks may be invoked
+// concurrently from multiple goroutines and must be safe for concurrent
+// use (all evaluators in this repository are: they only read shared
+// problem data or write disjoint per-node slots).
 func SetMaxWorkers(n int) int {
 	if n < 1 {
 		n = 1

@@ -1,10 +1,13 @@
 package dp
 
 import (
-	"math/bits"
+	"context"
+	"hash/fnv"
 	"math/rand"
 	"reflect"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/decompose"
@@ -12,160 +15,193 @@ import (
 	"repro/internal/tree"
 )
 
-// twoColCostHandlers wraps the 2-coloring DP as an optimizing DP whose
-// cost is the number of vertices assigned color 1 (so RunUpMin computes,
-// per root state, the minimum size of color class 1).
-func twoColCostHandlers(g *graph.Graph) CostHandlers[uint32] {
-	h := twoColHandlers(g)
-	lift := func(states []uint32, cost func(uint32) int) []Costed[uint32] {
-		out := make([]Costed[uint32], len(states))
-		for i, s := range states {
-			out[i] = Costed[uint32]{State: s, Cost: cost(s)}
-		}
-		return out
+// niceFor builds a nice decomposition of g for scheduler tests.
+func niceFor(t testing.TB, g *graph.Graph, opts tree.NiceOptions) *tree.Decomposition {
+	t.Helper()
+	d, err := decompose.Graph(g, decompose.MinFill)
+	if err != nil {
+		t.Fatal(err)
 	}
-	ones := func(s uint32) int { return bits.OnesCount32(s) }
-	return CostHandlers[uint32]{
-		Leaf: func(node int, bag []int) []Costed[uint32] {
-			return lift(h.Leaf(node, bag), ones)
-		},
-		Introduce: func(node int, bag []int, elem int, child uint32) []Costed[uint32] {
-			return lift(h.Introduce(node, bag, elem, child), func(s uint32) int {
-				return ones(s) - ones(child)
-			})
-		},
-		Forget: func(node int, bag []int, elem int, child uint32) []Costed[uint32] {
-			return lift(h.Forget(node, bag, elem, child), func(uint32) int { return 0 })
-		},
-		Branch: func(node int, bag []int, s1, s2 uint32) []Costed[uint32] {
-			// The bag contribution is counted in both children once.
-			return lift(h.Branch(node, bag, s1, s2), func(uint32) int { return -ones(s1) })
-		},
+	nice, err := tree.NormalizeNice(d, opts)
+	if err != nil {
+		t.Fatal(err)
 	}
+	return nice
 }
 
-// TestParallelMatchesSequential pins the determinism contract: every
-// runner produces identical tables — including the derivation Order and
-// provenance — at worker counts 1, 2 and 8, on randomized partial-k-tree
-// decompositions large enough to cross the parallel threshold.
+// hashDP is a miniature DP at the scheduler level: every node's value is
+// a hash of its bag and its dependency values (children bottom-up,
+// parent top-down). It is order-sensitive in exactly the way a real
+// evaluator is — any node computed before its dependencies, or twice,
+// changes the result — so equal outputs across worker counts pin both
+// the dependency order and the exactly-once contract.
+func hashDP(t *testing.T, d *tree.Decomposition, bags [][]int, down bool) []uint64 {
+	t.Helper()
+	vals := make([]uint64, d.Len())
+	err := Schedule(context.Background(), d, down, func(v int) error {
+		h := fnv.New64a()
+		buf := []byte{byte(v), byte(v >> 8)}
+		h.Write(buf)
+		for _, e := range bags[v] {
+			h.Write([]byte{byte(e), byte(e >> 8)})
+		}
+		mix := func(x uint64) {
+			h.Write([]byte{byte(x), byte(x >> 8), byte(x >> 16), byte(x >> 24),
+				byte(x >> 32), byte(x >> 40), byte(x >> 48), byte(x >> 56)})
+		}
+		if down {
+			if p := d.Nodes[v].Parent; p >= 0 {
+				mix(vals[p])
+			}
+		} else {
+			for _, c := range d.Nodes[v].Children {
+				mix(vals[c])
+			}
+		}
+		if vals[v] != 0 {
+			t.Errorf("node %d computed twice", v)
+		}
+		vals[v] = h.Sum64()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+// TestParallelMatchesSequential pins the determinism contract of the
+// scheduler: both passes produce identical per-node values at worker
+// counts 1, 2 and 8, on randomized partial-k-tree decompositions large
+// enough to cross the parallel threshold. Run under -race in CI.
 func TestParallelMatchesSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	t.Cleanup(func() { SetMaxWorkers(SetMaxWorkers(1)) })
 	for trial := 0; trial < 4; trial++ {
 		g := graph.PartialKTree(40+trial*20, 3, 0.3, rng)
-		d, err := decompose.Graph(g, decompose.MinFill)
-		if err != nil {
-			t.Fatal(err)
-		}
-		nice, err := tree.NormalizeNice(d, tree.NiceOptions{BranchGuard: trial%2 == 0})
-		if err != nil {
-			t.Fatal(err)
-		}
+		nice := niceFor(t, g, tree.NiceOptions{BranchGuard: trial%2 == 0})
 		if nice.Len() < minParallelNodes {
 			t.Fatalf("trial %d: decomposition too small (%d nodes) to exercise the pool", trial, nice.Len())
 		}
-		h := twoColHandlers(g)
-		ch := twoColCostHandlers(g)
-
+		bags, err := Bags(nice)
+		if err != nil {
+			t.Fatal(err)
+		}
 		prev := SetMaxWorkers(1)
-		upSeq, err := RunUp(nice, h)
-		if err != nil {
-			t.Fatal(err)
-		}
-		downSeq, err := RunDown(nice, h, upSeq)
-		if err != nil {
-			t.Fatal(err)
-		}
-		countSeq, err := RunUpCount(nice, h)
-		if err != nil {
-			t.Fatal(err)
-		}
-		minSeq, err := RunUpMin(nice, ch)
-		if err != nil {
-			t.Fatal(err)
-		}
+		upSeq := hashDP(t, nice, bags, false)
+		downSeq := hashDP(t, nice, bags, true)
 		for _, w := range []int{2, 8} {
 			SetMaxWorkers(w)
-			up, err := RunUp(nice, h)
-			if err != nil {
-				t.Fatal(err)
+			if up := hashDP(t, nice, bags, false); !reflect.DeepEqual(up, upSeq) {
+				t.Fatalf("trial %d: bottom-up values differ at %d workers", trial, w)
 			}
-			if !reflect.DeepEqual(up, upSeq) {
-				t.Fatalf("trial %d: RunUp tables differ at %d workers", trial, w)
-			}
-			down, err := RunDown(nice, h, up)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(down, downSeq) {
-				t.Fatalf("trial %d: RunDown tables differ at %d workers", trial, w)
-			}
-			count, err := RunUpCount(nice, h)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(count, countSeq) {
-				t.Fatalf("trial %d: RunUpCount tables differ at %d workers", trial, w)
-			}
-			mn, err := RunUpMin(nice, ch)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(mn, minSeq) {
-				t.Fatalf("trial %d: RunUpMin tables differ at %d workers", trial, w)
+			if down := hashDP(t, nice, bags, true); !reflect.DeepEqual(down, downSeq) {
+				t.Fatalf("trial %d: top-down values differ at %d workers", trial, w)
 			}
 		}
 		SetMaxWorkers(prev)
 	}
 }
 
-// TestConcurrentRunUpSharedDecomposition drives several concurrent RunUp
-// calls over one shared decomposition and plan — the scenario the plan
-// cache and worker pool must survive; run under -race in CI.
-func TestConcurrentRunUpSharedDecomposition(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
-	g := graph.PartialKTree(80, 3, 0.3, rng)
-	d, err := decompose.Graph(g, decompose.MinFill)
-	if err != nil {
-		t.Fatal(err)
-	}
-	nice, err := tree.NormalizeNice(d, tree.NiceOptions{BranchGuard: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	h := twoColHandlers(g)
-	prev := SetMaxWorkers(4)
+// TestScheduleDependencyOrder asserts the ordering contract directly:
+// bottom-up, every node runs strictly after all of its children;
+// top-down, strictly after its parent — at full parallelism.
+func TestScheduleDependencyOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.PartialKTree(90, 3, 0.3, rng)
+	nice := niceFor(t, g, tree.NiceOptions{BranchGuard: true})
+	prev := SetMaxWorkers(8)
 	defer SetMaxWorkers(prev)
-	want, err := RunUp(nice, h)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, 8)
-	for i := 0; i < 8; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			got, err := RunUp(nice, h)
-			if err != nil {
-				errs[i] = err
-				return
+	for _, down := range []bool{false, true} {
+		done := make([]atomic.Bool, nice.Len())
+		err := Schedule(context.Background(), nice, down, func(v int) error {
+			if down {
+				if p := nice.Nodes[v].Parent; p >= 0 && !done[p].Load() {
+					t.Errorf("down: node %d ran before parent %d", v, p)
+				}
+			} else {
+				for _, c := range nice.Nodes[v].Children {
+					if !done[c].Load() {
+						t.Errorf("up: node %d ran before child %d", v, c)
+					}
+				}
 			}
-			if !reflect.DeepEqual(got, want) {
-				errs[i] = errMismatch
+			if done[v].Swap(true) {
+				t.Errorf("node %d scheduled twice (down=%v)", v, down)
 			}
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
+			return nil
+		})
 		if err != nil {
-			t.Fatalf("goroutine %d: %v", i, err)
+			t.Fatal(err)
+		}
+		for v := range done {
+			if !done[v].Load() {
+				t.Fatalf("node %d never scheduled (down=%v)", v, down)
+			}
 		}
 	}
 }
 
-var errMismatch = errString("concurrent RunUp produced different tables")
+// TestBagsSortedAndChecked pins the Bags contract: sorted copies for a
+// nice decomposition, the CheckNice verdict for a raw one.
+func TestBagsSortedAndChecked(t *testing.T) {
+	g := graph.Cycle(6)
+	nice := niceFor(t, g, tree.NiceOptions{})
+	bags, err := Bags(nice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bags) != nice.Len() {
+		t.Fatalf("got %d bags for %d nodes", len(bags), nice.Len())
+	}
+	for v, bag := range bags {
+		if !sort.IntsAreSorted(bag) {
+			t.Fatalf("bag of node %d not sorted: %v", v, bag)
+		}
+		if len(bag) != len(nice.Nodes[v].Bag) {
+			t.Fatalf("bag of node %d has %d elems, node has %d", v, len(bag), len(nice.Nodes[v].Bag))
+		}
+	}
+	raw, err := decompose.Graph(g, decompose.MinFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Bags(raw); err == nil {
+		t.Fatal("raw decomposition accepted")
+	}
+	if err := Schedule(context.Background(), raw, false, func(int) error { return nil }); err == nil {
+		t.Fatal("Schedule accepted a raw decomposition")
+	}
+}
 
-type errString string
-
-func (e errString) Error() string { return string(e) }
+// TestConcurrentScheduleSharedPlan drives several concurrent Schedule
+// calls over one shared decomposition and cached plan — the scenario
+// the plan cache and worker pool must survive; run under -race in CI.
+func TestConcurrentScheduleSharedPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.PartialKTree(80, 3, 0.3, rng)
+	nice := niceFor(t, g, tree.NiceOptions{BranchGuard: true})
+	bags, err := Bags(nice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+	want := hashDP(t, nice, bags, false)
+	var wg sync.WaitGroup
+	mismatch := make([]bool, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got := hashDP(t, nice, bags, false)
+			mismatch[i] = !reflect.DeepEqual(got, want)
+		}(i)
+	}
+	wg.Wait()
+	for i, bad := range mismatch {
+		if bad {
+			t.Fatalf("goroutine %d: concurrent Schedule produced different values", i)
+		}
+	}
+}

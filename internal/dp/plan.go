@@ -7,15 +7,15 @@ import (
 	"repro/internal/tree"
 )
 
-// plan caches the per-decomposition precomputation shared by RunUp,
-// RunDown, RunUpCount and RunUpMin: the CheckNice verdict, one sorted
-// copy of every bag, the post-order, and the chain schedule driving the
-// worker pool. The seed re-derived all of this — including an insertion
-// sort of every bag — on every single run.
+// plan caches the per-decomposition precomputation shared by every
+// Schedule and Bags call: the CheckNice verdict, one sorted copy of
+// every bag, the post-order, and the chain schedule driving the worker
+// pool. The seed re-derived all of this — including an insertion sort
+// of every bag — on every single run.
 //
 // Plans are cached per *tree.Decomposition identity. A decomposition must
-// not be structurally mutated between DP runs; every in-repo call site
-// treats nice decompositions as immutable once normalized.
+// not be structurally mutated between scheduled runs; every in-repo call
+// site treats nice decompositions as immutable once normalized.
 type plan struct {
 	nodes   int
 	root    int

@@ -1,3 +1,17 @@
+// Package dp is the execution substrate for dynamic programming over
+// nice tree decompositions (Section 5's modified normal form): a cached
+// per-decomposition plan (sorted bags, nice check, chain schedule) and a
+// deterministic chain-parallel scheduler with a shared worker pool
+// (SetMaxWorkers), panic containment, and fault-injection points.
+//
+// The problem semantics — how DP states propagate through leaf,
+// introduce, forget and branch nodes — live in the semiring engine of
+// internal/solver, which runs every Problem in decision, counting and
+// optimization modes on top of Schedule. This package deliberately knows
+// nothing about states or tables: each node is computed exactly once,
+// by exactly one goroutine, from dependencies that are complete before
+// it starts, so any evaluator that iterates its inputs deterministically
+// gets byte-identical results at every worker count.
 package dp
 
 import (
@@ -22,15 +36,15 @@ func Bags(d *tree.Decomposition) ([][]int, error) {
 // Schedule executes compute(v) exactly once for every node of a nice
 // decomposition, in dependency order, over the shared chain-parallel
 // worker pool (SetMaxWorkers). Bottom-up (down=false) every node runs
-// after its children; top-down (down=true) after its parent. This is the
-// execution engine behind RunUp/RunDown, exported so other evaluators —
-// notably the semiring engine of internal/solver — inherit the cached
-// plan, the deterministic chain schedule, panic containment, and the
-// dp.node/dp.chain fault-injection points without reimplementing them.
+// after its children; top-down (down=true) after its parent. Evaluators
+// built on it — notably the semiring engine of internal/solver — inherit
+// the cached plan, the deterministic chain schedule, panic containment,
+// and the dp.node/dp.chain fault-injection points without
+// reimplementing them.
 //
-// Cancellation and error semantics match RunUpCtx: ctx is polled before
-// every node, the pool drains without leaking goroutines, and the first
-// error (unwrapped — callers add their own stage tag) is returned.
+// Cancellation: ctx is polled before every node, the pool drains
+// without leaking goroutines, and the first error (unwrapped — callers
+// add their own stage tag) is returned.
 // compute is invoked from multiple goroutines when the worker cap is
 // above 1 and must be safe for concurrent use; writes to disjoint
 // per-node slots are safe because the scheduler orders a node strictly

@@ -1,25 +1,29 @@
-// Differential tests pinning the generic semiring engine against this
-// package's legacy special-purpose runners (RunUp decision tables,
-// RunUpCount, RunUpMin): one problem expressed both ways must produce
-// identical tables node by node. An external test package so it can
-// import the solver, which is built on top of dp.
+// Differential tests pinning the generic semiring engine — the sole DP
+// evaluator riding this package's scheduler — against brute-force
+// oracles: 2-coloring expressed as a solver.Problem must decide, count
+// and optimize exactly like exhaustive enumeration, with witnesses that
+// check out. An external test package so it can import the solver,
+// which is built on top of dp.Schedule.
 package dp_test
 
 import (
 	"context"
+	"errors"
 	"math/big"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/decompose"
 	"repro/internal/dp"
 	"repro/internal/graph"
 	"repro/internal/solver"
+	"repro/internal/stage"
 	"repro/internal/tree"
 )
 
 // The problem: proper 2-coloring with cost = number of color-1
-// vertices, expressed as legacy handlers and as a solver.Problem.
+// vertices, expressed as a solver.Problem.
 
 func proper(g *graph.Graph, bag []int, m uint64) bool {
 	for i := 0; i < len(bag); i++ {
@@ -79,122 +83,219 @@ func (p tcProblem) Join(_ int, bag []int, s1, s2 uint64) []solver.Out[uint64] {
 
 func (p tcProblem) Accept(int, []int, uint64) bool { return true }
 
-func legacyHandlers(g *graph.Graph) dp.Handlers[uint64] {
-	p := tcProblem{g}
-	strip := func(outs []solver.Out[uint64]) []uint64 {
-		ss := make([]uint64, len(outs))
-		for i, o := range outs {
-			ss[i] = o.State
+// brute2Colorings enumerates all 2^n assignments and reports the number
+// of proper ones and the minimum count of color-1 vertices over them
+// (-1 if none is proper).
+func brute2Colorings(g *graph.Graph) (count uint64, minOnes int) {
+	n := g.N()
+	minOnes = -1
+	for m := uint64(0); m < 1<<uint(n); m++ {
+		ok := true
+		for _, e := range g.Edges() {
+			if m>>uint(e[0])&1 == m>>uint(e[1])&1 {
+				ok = false
+				break
+			}
 		}
-		return ss
+		if !ok {
+			continue
+		}
+		count++
+		o := 0
+		for v := 0; v < n; v++ {
+			o += int(m >> uint(v) & 1)
+		}
+		if minOnes < 0 || o < minOnes {
+			minOnes = o
+		}
 	}
-	return dp.Handlers[uint64]{
-		Leaf:      func(n int, bag []int) []uint64 { return strip(p.Leaf(n, bag)) },
-		Introduce: func(n int, bag []int, e int, c uint64) []uint64 { return strip(p.Introduce(n, bag, e, c)) },
-		Forget:    func(n int, bag []int, e int, c uint64) []uint64 { return strip(p.Forget(n, bag, e, c)) },
-		Branch:    func(n int, bag []int, s1, s2 uint64) []uint64 { return strip(p.Join(n, bag, s1, s2)) },
-	}
+	return count, minOnes
 }
 
-func legacyCostHandlers(g *graph.Graph) dp.CostHandlers[uint64] {
-	p := tcProblem{g}
-	conv := func(outs []solver.Out[uint64]) []dp.Costed[uint64] {
-		cs := make([]dp.Costed[uint64], len(outs))
-		for i, o := range outs {
-			cs[i] = dp.Costed[uint64]{State: o.State, Cost: o.Cost}
-		}
-		return cs
+func niceTC(t *testing.T, g *graph.Graph, guard bool) *tree.Decomposition {
+	t.Helper()
+	d, err := decompose.Graph(g, decompose.MinFill)
+	if err != nil {
+		t.Fatal(err)
 	}
-	return dp.CostHandlers[uint64]{
-		Leaf:      func(n int, bag []int) []dp.Costed[uint64] { return conv(p.Leaf(n, bag)) },
-		Introduce: func(n int, bag []int, e int, c uint64) []dp.Costed[uint64] { return conv(p.Introduce(n, bag, e, c)) },
-		Forget:    func(n int, bag []int, e int, c uint64) []dp.Costed[uint64] { return conv(p.Forget(n, bag, e, c)) },
-		Branch:    func(n int, bag []int, s1, s2 uint64) []dp.Costed[uint64] { return conv(p.Join(n, bag, s1, s2)) },
+	nice, err := tree.NormalizeNice(d, tree.NiceOptions{BranchGuard: guard})
+	if err != nil {
+		t.Fatal(err)
 	}
+	return nice
 }
 
-// TestSolverMatchesLegacyRunners compares, node by node on random
-// partial k-trees, the semiring engine's three modes against RunUp /
-// RunUpCount / RunUpMin.
-func TestSolverMatchesLegacyRunners(t *testing.T) {
+// TestSolverDifferentialBruteForce compares all three evaluation modes
+// of the semiring engine against exhaustive enumeration on random
+// partial k-trees, and walks the optimization witness back to a
+// concrete coloring that must be proper and match the reported cost.
+// Alternating BranchGuard covers the copy-node path.
+func TestSolverDifferentialBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	ctx := context.Background()
+	p2 := func(trial int) bool { return trial%2 == 0 }
 	for trial := 0; trial < 25; trial++ {
-		n := 5 + rng.Intn(20)
+		n := 4 + rng.Intn(10)
 		k := 1 + rng.Intn(3)
 		g := graph.PartialKTree(n, k, 0.3, rng)
-		d, err := decompose.Graph(g, decompose.MinFill)
-		if err != nil {
-			t.Fatal(err)
-		}
-		nice, err := tree.NormalizeNice(d, tree.NiceOptions{})
-		if err != nil {
-			t.Fatal(err)
-		}
+		nice := niceTC(t, g, p2(trial))
 		p := tcProblem{g}
+		wantCount, wantMin := brute2Colorings(g)
 
-		// Decision: same states in the same first-derivation order.
-		legacy, err := dp.RunUp(nice, legacyHandlers(g))
+		got, err := solver.Decide(ctx, nice, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		dec, err := solver.Up[uint64, bool](ctx, nice, p, solver.Decision{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for v := range legacy {
-			if len(legacy[v].Order) != len(dec[v].Order) {
-				t.Fatalf("trial %d node %d: decision table has %d states, legacy %d",
-					trial, v, dec[v].Len(), legacy[v].Len())
-			}
-			for i := range legacy[v].Order {
-				if legacy[v].Order[i] != dec[v].Order[i] {
-					t.Fatalf("trial %d node %d: Order[%d] = %d, legacy %d",
-						trial, v, i, dec[v].Order[i], legacy[v].Order[i])
-				}
-			}
+		if got != (wantCount > 0) {
+			t.Fatalf("trial %d: Decide = %v, brute force has %d solutions", trial, got, wantCount)
 		}
 
-		// Counting: the uint64 legacy counter vs the big-int semiring.
-		counts, err := dp.RunUpCount(nice, legacyHandlers(g))
+		cnt, err := solver.Count(ctx, nice, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cnt, err := solver.Up[uint64, *big.Int](ctx, nice, p, solver.Counting{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for v := range counts {
-			if len(counts[v]) != cnt[v].Len() {
-				t.Fatalf("trial %d node %d: count table sizes differ", trial, v)
-			}
-			for s, c := range counts[v] {
-				got, ok := cnt[v].Value(s)
-				if !ok || got.Cmp(new(big.Int).SetUint64(c)) != 0 {
-					t.Fatalf("trial %d node %d state %d: count %v, legacy %d", trial, v, s, got, c)
-				}
-			}
+		if cnt.Cmp(new(big.Int).SetUint64(wantCount)) != 0 {
+			t.Fatalf("trial %d: Count = %v, brute force %d", trial, cnt, wantCount)
 		}
 
-		// Optimization: min cost per state.
-		mins, err := dp.RunUpMin(nice, legacyCostHandlers(g))
+		opt, err := solver.Optimize(ctx, nice, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		opt, err := solver.Up[uint64, int](ctx, nice, p, solver.MinCost{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for v := range mins {
-			if len(mins[v]) != opt[v].Len() {
-				t.Fatalf("trial %d node %d: min table sizes differ", trial, v)
+		if wantCount == 0 {
+			if opt != nil {
+				t.Fatalf("trial %d: Optimize found value %d on an infeasible graph", trial, opt.Value)
 			}
-			for s, c := range mins[v] {
-				got, ok := opt[v].Value(s)
-				if !ok || got != c {
-					t.Fatalf("trial %d node %d state %d: min %d, legacy %d", trial, v, s, got, c)
+			continue
+		}
+		if opt == nil || opt.Value != wantMin {
+			t.Fatalf("trial %d: Optimize = %+v, brute-force min %d", trial, opt, wantMin)
+		}
+
+		// Walk the argmin witness back to vertex colors: every visited
+		// (node, state) pair assigns the state's bits to the sorted bag.
+		bags, err := dp.Bags(nice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors := make(map[int]int)
+		err = opt.Walk(func(node int, s uint64) error {
+			for i, e := range bags[node] {
+				c := int(s >> uint(i) & 1)
+				if prev, seen := colors[e]; seen && prev != c {
+					t.Fatalf("trial %d: witness assigns vertex %d both colors", trial, e)
 				}
+				colors[e] = c
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		onesTotal := 0
+		for v := 0; v < g.N(); v++ {
+			c, seen := colors[v]
+			if !seen {
+				t.Fatalf("trial %d: witness leaves vertex %d uncolored", trial, v)
+			}
+			onesTotal += c
+		}
+		for _, e := range g.Edges() {
+			if colors[e[0]] == colors[e[1]] {
+				t.Fatalf("trial %d: witness coloring not proper at edge %v", trial, e)
 			}
 		}
+		if onesTotal != opt.Value {
+			t.Fatalf("trial %d: witness has %d color-1 vertices, Optimize reported %d", trial, onesTotal, opt.Value)
+		}
+	}
+}
+
+// TestSolverDownLeafEnvelope pins the top-down pass (solve↓ of Section
+// 5.3) through the scheduler: the envelope of a leaf is the entire
+// tree, so a leaf's top-down table is non-empty iff the whole graph is
+// 2-colorable.
+func TestSolverDownLeafEnvelope(t *testing.T) {
+	ctx := context.Background()
+	for _, g := range []*graph.Graph{graph.Cycle(5), graph.Cycle(6), graph.Grid(2, 4)} {
+		nice := niceTC(t, g, true)
+		p := tcProblem{g}
+		up, err := solver.Up[uint64, bool](ctx, nice, p, solver.Decision{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		down, err := solver.Down[uint64, bool](ctx, nice, p, solver.Decision{}, up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, _ := brute2Colorings(g)
+		want := count > 0
+		for _, leaf := range nice.Leaves() {
+			if got := down[leaf].Len() > 0; got != want {
+				t.Fatalf("down table at leaf %d non-empty = %v, want %v", leaf, got, want)
+			}
+		}
+	}
+}
+
+// TestBudgetTableEntries caps the DP table budget below what the run
+// needs: the engine must stop with a stage-tagged budget error, with
+// consumption bounded near the limit (the bounded-memory property — the
+// periodic in-node check fires long before the tables blow past the
+// cap), and a sufficient budget must change nothing about the result.
+func TestBudgetTableEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := graph.PartialKTree(120, 3, 0.3, rng)
+	nice := niceTC(t, g, true)
+	p := tcProblem{g}
+	prev := dp.SetMaxWorkers(8)
+	defer dp.SetMaxWorkers(prev)
+	ctx := context.Background()
+
+	// Establish the unconstrained total so the cap is genuinely binding.
+	full, err := solver.Up[uint64, bool](ctx, nice, p, solver.Decision{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, tbl := range full {
+		total += tbl.Len()
+	}
+	if total < 20 {
+		t.Fatalf("workload too small to test the budget (total %d states)", total)
+	}
+
+	b := &stage.Budget{MaxTableEntries: int64(total / 4)}
+	tables, err := solver.Up[uint64, bool](stage.WithBudget(ctx, b), nice, p, solver.Decision{})
+	if !errors.Is(err, stage.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want budget exceeded", err)
+	}
+	if got := stage.Of(err); got != stage.Solver {
+		t.Fatalf("tagged stage %q, want %q", got, stage.Solver)
+	}
+	var be *stage.BudgetError
+	if !errors.As(err, &be) || be.Dimension != "table-entries" {
+		t.Fatalf("err = %v, want table-entries BudgetError", err)
+	}
+	if tables != nil {
+		t.Fatal("partial tables not discarded after budget violation")
+	}
+
+	// A sufficient budget changes nothing about the result.
+	b2 := &stage.Budget{MaxTableEntries: int64(total)}
+	got, err := solver.Up[uint64, bool](stage.WithBudget(ctx, b2), nice, p, solver.Decision{})
+	if err != nil {
+		t.Fatalf("run within budget: %v", err)
+	}
+	if len(got) != len(full) {
+		t.Fatalf("budgeted run has %d tables, unbudgeted %d", len(got), len(full))
+	}
+	for v := range full {
+		if !reflect.DeepEqual(got[v].Order, full[v].Order) {
+			t.Fatalf("node %d: budgeted run diverged", v)
+		}
+	}
+	if _, _, used := b2.Used(); used != int64(total) {
+		t.Fatalf("budget accounting: used %d, want %d", used, total)
 	}
 }

@@ -3,7 +3,7 @@ package primality
 // Problem-algebra adapters: the Figure 6 transitions (interned int32
 // states) and the Section 7 relevance transitions (encoded string
 // states) as solver.Problem instances, evaluated by the generic
-// semiring engine in place of the seed's direct dp.Handlers wiring.
+// semiring engine in place of the seed's direct DP-handler wiring.
 
 import "repro/internal/solver"
 

@@ -62,7 +62,7 @@ func (in *Instance) Decide(a int) (bool, error) {
 }
 
 // DecideCtx is Decide with cancellation support: normalization and the
-// DP run poll ctx (see dp.RunUpCtx for the cancellation contract).
+// DP run poll ctx (see dp.Schedule for the cancellation contract).
 func (in *Instance) DecideCtx(cx context.Context, a int) (bool, error) {
 	c := in.ctx
 	if a < 0 || a >= c.s.NumAttrs() {
@@ -95,7 +95,7 @@ func (in *Instance) Enumerate() (*bitset.Set, error) {
 }
 
 // EnumerateCtx is Enumerate with cancellation support: normalization
-// and both DP passes poll ctx (see dp.RunUpCtx).
+// and both DP passes poll ctx (see dp.Schedule).
 func (in *Instance) EnumerateCtx(cx context.Context) (*bitset.Set, error) {
 	c := in.ctx
 	attrElems := bitset.New(c.st.Size())

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/datalog"
 	"repro/internal/domset"
 	"repro/internal/graph"
 	"repro/internal/mso"
@@ -557,17 +558,20 @@ type ProgCacheStats struct {
 }
 
 // StatszResponse is the /statsz body: request/status counters, session
-// registry occupancy, the shared program cache, and the session-layer
-// counters summed over resident sessions.
+// registry occupancy, the shared program cache, the session-layer
+// counters summed over resident sessions, and the datalog streaming
+// engine's process-wide counters (which, unlike SessionTotals, also
+// cover evicted sessions and non-session evaluations).
 type StatszResponse struct {
-	UptimeSeconds    float64          `json:"uptime_seconds"`
-	Requests         int64            `json:"requests"`
-	StatusCounts     map[string]int64 `json:"status_counts"`
-	Sessions         int              `json:"sessions"`
-	SessionCap       int              `json:"session_cap"`
-	SessionEvictions int64            `json:"session_evictions"`
-	ProgramCache     ProgCacheStats   `json:"program_cache"`
-	SessionTotals    session.Stats    `json:"session_totals"`
+	UptimeSeconds    float64             `json:"uptime_seconds"`
+	Requests         int64               `json:"requests"`
+	StatusCounts     map[string]int64    `json:"status_counts"`
+	Sessions         int                 `json:"sessions"`
+	SessionCap       int                 `json:"session_cap"`
+	SessionEvictions int64               `json:"session_evictions"`
+	ProgramCache     ProgCacheStats      `json:"program_cache"`
+	SessionTotals    session.Stats       `json:"session_totals"`
+	Engine           datalog.EngineStats `json:"engine"`
 }
 
 // SessionTotals returns the session-layer counters summed over the
@@ -593,6 +597,11 @@ func (s *Server) SessionTotals() session.Stats {
 		t.SolverSolves += st.SolverSolves
 		t.SolverCacheHits += st.SolverCacheHits
 		t.Invalidations += st.Invalidations
+		t.TuplesStreamed += st.TuplesStreamed
+		t.JoinsPushedDown += st.JoinsPushedDown
+		if st.PeakBufferedTuples > t.PeakBufferedTuples {
+			t.PeakBufferedTuples = st.PeakBufferedTuples
+		}
 	}
 	return t
 }
@@ -612,6 +621,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.mu.Unlock()
 	resp.SessionTotals = s.SessionTotals()
+	resp.Engine = datalog.ReadEngineStats()
 	hits, misses := s.progs.Stats()
 	resp.ProgramCache = ProgCacheStats{Hits: hits, Misses: misses, Len: s.progs.Len(), Cap: s.progs.Cap()}
 	s.reply(w, http.StatusOK, resp)

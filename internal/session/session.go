@@ -34,6 +34,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/datalog"
@@ -82,7 +83,40 @@ type Stats struct {
 	// Invalidations counts fingerprint mismatches that discarded the
 	// cached artifacts.
 	Invalidations int
+	// TuplesStreamed, JoinsPushedDown and PeakBufferedTuples mirror the
+	// datalog streaming engine's counters for this session's evaluations
+	// (see datalog.EngineStats). The grounded evaluation path (Theorem
+	// 4.4) bypasses the rule engine, so these advance only under the
+	// direct path (SetEvalPath / monadicd -eval direct).
+	TuplesStreamed, JoinsPushedDown, PeakBufferedTuples int64
 }
+
+// EvalPath selects how Session.Eval computes the datalog fixpoint.
+type EvalPath int32
+
+const (
+	// EvalGrounded (the default) is the paper-faithful Theorem 4.4
+	// pipeline: materialize the quasi-guarded ground program (|P|·|A|
+	// atoms, metered by Budget.MaxGroundAtoms) and solve it as a Horn
+	// theory.
+	EvalGrounded EvalPath = iota
+	// EvalDirect runs the compiled program straight through the datalog
+	// engine's semi-naive fixpoint — with the streaming backend, rule
+	// bodies evaluate in O(1) rows in flight instead of materializing
+	// the ground program, so structures whose grounding exceeds
+	// MaxGroundAtoms can still complete (metered by MaxStreamTuples).
+	EvalDirect
+)
+
+var evalPath atomic.Int32 // EvalPath, zero value = EvalGrounded
+
+// SetEvalPath selects the evaluation path for subsequent Session.Eval
+// calls and returns the previous setting. Both paths compute the same
+// least model, so cached results remain valid across a switch.
+func SetEvalPath(p EvalPath) EvalPath { return EvalPath(evalPath.Swap(int32(p))) }
+
+// CurrentEvalPath reports the selected evaluation path.
+func CurrentEvalPath() EvalPath { return EvalPath(evalPath.Load()) }
 
 // Session binds a structure and caches its pipeline artifacts. All
 // methods are safe for concurrent use; the mutex guards only cache
@@ -96,6 +130,11 @@ type Session struct {
 	fp    uint64
 	valid bool
 	stats Stats
+
+	// engine accumulates the datalog streaming engine's counters for
+	// this session's evaluations (attached to the evaluation context in
+	// runEval); it has its own atomics and is read outside s.mu.
+	engine datalog.StatsCollector
 
 	raw     *tree.Decomposition  // ladder decomposition of st
 	rung    string               // degradation-ladder rung that produced raw
@@ -191,12 +230,22 @@ func NewWithCache(st *structure.Structure, pc *ProgramCache) *Session {
 // Structure returns the bound structure.
 func (s *Session) Structure() *structure.Structure { return s.st }
 
-// Stats returns a snapshot of the session's operation counters.
+// Stats returns a snapshot of the session's operation counters,
+// including the engine counters of its evaluations.
 func (s *Session) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	es := s.engine.Snapshot()
+	st.TuplesStreamed = es.TuplesStreamed
+	st.JoinsPushedDown = es.JoinsPushedDown
+	st.PeakBufferedTuples = es.PeakBufferedTuples
+	return st
 }
+
+// EngineStats returns the datalog streaming-engine counters accumulated
+// by this session's evaluations.
+func (s *Session) EngineStats() datalog.EngineStats { return s.engine.Snapshot() }
 
 // ProgramCacheStats reports the hit/miss counters of the session's
 // program cache (shared across sessions unless NewWithCache was used).
@@ -652,10 +701,18 @@ func (s *Session) runEval(ctx context.Context, compiled *core.Compiled, art arti
 	if err := faultinject.Check("session.eval"); err != nil {
 		return nil, 0, stage.Wrap(stage.Eval, err)
 	}
-	// Grounding interns program constants into the EDB, so the cached
-	// EDB is cloned per evaluation (DB.Clone is a flat copy).
+	// Both paths intern program constants into the EDB, so the cached
+	// EDB is cloned per evaluation (DB.Clone is a flat copy). The
+	// session's engine collector rides the context so the streaming
+	// engine's traffic lands in this session's stats.
+	ctx = datalog.WithStatsCollector(ctx, &s.engine)
 	start := timeNow()
-	out, err := datalog.EvalQuasiGuardedCtx(ctx, compiled.Program, art.edb.Clone(), datalog.TDFuncDeps(art.width))
+	var out *datalog.DB
+	if CurrentEvalPath() == EvalDirect {
+		out, err = datalog.EvalCtx(ctx, compiled.Program, art.edb.Clone())
+	} else {
+		out, err = datalog.EvalQuasiGuardedCtx(ctx, compiled.Program, art.edb.Clone(), datalog.TDFuncDeps(art.width))
+	}
 	if err != nil {
 		return nil, 0, stage.Wrap(stage.Eval, err)
 	}

@@ -102,7 +102,7 @@ type Tables[S comparable, V any] []Table[S, V]
 // chargeEvery is how many outer-loop iterations a node accumulates
 // between budget checks inside the join double loop, bounding the
 // overshoot past MaxTableEntries to O(chargeEvery) entries per
-// in-flight node (the same discipline as dp's runners).
+// in-flight node, so a budget violation aborts in bounded memory.
 const chargeEvery = 1024
 
 // Up evaluates the problem bottom-up over a nice decomposition in the
@@ -112,7 +112,7 @@ const chargeEvery = 1024
 // deterministic Order — so tables (values, Order and provenance) are
 // byte-identical at every worker count. Errors are stage-tagged
 // stage.Solver; cancellation, budget and panic containment follow the
-// dp.RunUpCtx contract.
+// dp.Schedule contract.
 func Up[S comparable, V any](ctx context.Context, d *tree.Decomposition, p Problem[S], r Semiring[V]) (Tables[S, V], error) {
 	return upWith(ctx, d, p, r, true)
 }

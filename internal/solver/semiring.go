@@ -42,8 +42,8 @@ type Semiring[V any] interface {
 }
 
 // Decision is the boolean semiring (∨, ∧): a state's value is simply
-// "derivable", and the first derivation's provenance is kept — matching
-// dp.Table's first-derivation witness order exactly.
+// "derivable", and the first derivation's provenance is kept, so the
+// witness follows the table's deterministic first-derivation order.
 type Decision struct{}
 
 // Weight lifts any cost to true (derivable).

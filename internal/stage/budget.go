@@ -42,6 +42,13 @@ type Budget struct {
 	// MaxTableEntries caps the total states across all DP tables of one
 	// RunUp/RunDown pass.
 	MaxTableEntries int64
+	// MaxStreamTuples caps the rows streamed through the datalog
+	// engine's relational-algebra operator pipelines during one
+	// evaluation — the streaming engine's work meter, replacing the
+	// buffered-tuple counts it no longer accumulates. Charged in
+	// batches, so a violation may be detected up to one poll interval
+	// (~1024 rows) past the cap.
+	MaxStreamTuples int64
 	// Deadline, when nonzero, bounds wall-clock time: the pipeline
 	// derives a context deadline from it at the run boundary.
 	Deadline time.Time
@@ -49,12 +56,14 @@ type Budget struct {
 	groundAtoms  atomic.Int64
 	states       atomic.Int64
 	tableEntries atomic.Int64
+	streamTuples atomic.Int64
 }
 
 // BudgetError reports which dimension of a Budget was exhausted. It
 // unwraps to ErrBudgetExceeded.
 type BudgetError struct {
-	// Dimension is "ground-atoms", "states" or "table-entries".
+	// Dimension is "ground-atoms", "states", "table-entries" or
+	// "stream-tuples".
 	Dimension string
 	// Used and Limit are the consumption at the moment of violation.
 	Used, Limit int64
@@ -102,6 +111,29 @@ func (b *Budget) AddTableEntries(n int) error {
 	return charge(&b.tableEntries, b.MaxTableEntries, n, "table-entries")
 }
 
+// AddStreamTuples charges n streamed rows against the budget.
+func (b *Budget) AddStreamTuples(n int64) error {
+	if b == nil {
+		return nil
+	}
+	if b.MaxStreamTuples <= 0 {
+		return nil
+	}
+	used := b.streamTuples.Add(n)
+	if used > b.MaxStreamTuples {
+		return &BudgetError{Dimension: "stream-tuples", Used: used, Limit: b.MaxStreamTuples}
+	}
+	return nil
+}
+
+// StreamTuplesUsed reports the streamed rows tallied so far.
+func (b *Budget) StreamTuplesUsed() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.streamTuples.Load()
+}
+
 // CheckTableEntries reports whether extra further table entries on top
 // of those already committed would exceed the cap, without committing
 // them. The DP runners use it to poll mid-node, so a blowup inside one
@@ -133,10 +165,14 @@ func (b *Budget) Reset() {
 	b.groundAtoms.Store(0)
 	b.states.Store(0)
 	b.tableEntries.Store(0)
+	b.streamTuples.Store(0)
 }
 
-// Uniform returns a Budget capping every dimension at n (0 = nil, i.e.
-// unlimited) — the shape behind the CLI tools' -budget flag.
+// Uniform returns a Budget capping the three materialization dimensions
+// (ground atoms, states, table entries) at n (0 = nil, i.e. unlimited)
+// — the shape behind the CLI tools' -budget flag. Stream tuples are a
+// work meter, not a materialization, and stay unlimited here; set
+// MaxStreamTuples explicitly to cap them.
 func Uniform(n int64) *Budget {
 	if n <= 0 {
 		return nil
