@@ -9,6 +9,7 @@
 //	benchtable -pipeline n
 //	benchtable -session n
 //	benchtable -serve n [-serveReqs m]
+//	benchtable -mutate n [-mutateElems m]
 //
 // Each MD measurement is the median of -reps runs. The -tc mode instead
 // times transitive closure over an n-vertex path through the generic
@@ -27,7 +28,11 @@
 // -serve mode starts an in-process monadicd server and drives n
 // concurrent clients with -serveReqs requests each against one warm
 // structure, reporting throughput and latency percentiles; any request
-// error or unclean shutdown fails the run.
+// error or unclean shutdown fails the run. The -mutate mode measures
+// incremental evaluation under mutation: n single-tuple edits, each
+// followed by a re-query, on a warm session via Session.Mutate versus
+// the same edits invalidating and recomputing wholesale; every edit's
+// answers are cross-checked and any divergence fails the run.
 //
 // With -json, the active mode also writes a machine-readable
 // BENCH_<mode>.json report into -jsondir. -timeout bounds the whole run.
@@ -59,6 +64,8 @@ func main() {
 	sessionN := flag.Int("session", 0, "instead measure session artifact reuse on an n-element structure")
 	serveN := flag.Int("serve", 0, "instead load-test an in-process monadicd server with n concurrent clients")
 	serveReqs := flag.Int("serveReqs", 5, "requests per client in -serve mode")
+	mutateN := flag.Int("mutate", 0, "instead measure incremental evaluation across n single-tuple edits")
+	mutateElems := flag.Int("mutateElems", 40, "structure size for -mutate mode")
 	jsonOut := flag.Bool("json", false, "also write a BENCH_<mode>.json report")
 	jsonDir := flag.String("jsondir", ".", "directory for -json reports")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
@@ -81,6 +88,19 @@ func main() {
 			time.Duration(res.ColdNS), time.Duration(res.P50NS), time.Duration(res.P90NS),
 			time.Duration(res.P99NS), time.Duration(res.MaxNS), res.Decompositions, res.Drained)
 		writeJSON(*jsonOut, *jsonDir, "serve", res)
+		return
+	}
+
+	if *mutateN > 0 {
+		res, err := bench.Mutate(ctx, *mutateElems, *mutateN)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("mutate (n=%d, %d edits): warm %v/edit, cold %v/edit, speedup %.2fx\n",
+			res.Elems, res.Edits, time.Duration(res.WarmPerEditNS), time.Duration(res.ColdPerEditNS), res.Speedup)
+		fmt.Printf("warm session: %d delta(s) applied, %d repair fallback(s), %d invalidation(s); answers matched %v\n",
+			res.DeltasApplied, res.RepairFallbacks, res.Invalidations, res.Matched)
+		writeJSON(*jsonOut, *jsonDir, "mutate", res)
 		return
 	}
 

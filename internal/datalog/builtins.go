@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // BuiltinFunc evaluates a builtin predicate on ground arguments (constant
@@ -16,12 +17,24 @@ import (
 // is the corresponding extension point.
 type BuiltinFunc func(args []string) (bool, error)
 
-// builtinsMu guards the builtins registry: evaluation is concurrent
-// (parallel stratum tasks call IsBuiltin/callBuiltin), and RegisterBuiltin
-// may legally race with a running Eval.
-var builtinsMu sync.RWMutex
+// The builtins registry is copy-on-write: IsBuiltin and callBuiltin run
+// in the innermost evaluation loops (millions of calls per fixpoint), so
+// reads go through a single atomic pointer load with no locking, while
+// RegisterBuiltin — rare, and legal to race with a running Eval —
+// publishes a fresh copy of the map under builtinsMu.
+var builtinsMu sync.Mutex
 
-var builtins = map[string]BuiltinFunc{
+// builtins is a pointer-typed package var (not an init-stored value):
+// package-level variables elsewhere parse programs during their own
+// initialization, and Go orders variable initializers by dependency —
+// which an init function would run after.
+var builtins = func() *atomic.Pointer[map[string]BuiltinFunc] {
+	p := new(atomic.Pointer[map[string]BuiltinFunc])
+	p.Store(&defaultBuiltins)
+	return p
+}()
+
+var defaultBuiltins = map[string]BuiltinFunc{
 	"eq":  func(a []string) (bool, error) { return binary(a, func(x, y string) bool { return x == y }) },
 	"neq": func(a []string) (bool, error) { return binary(a, func(x, y string) bool { return x != y }) },
 	"lt":  func(a []string) (bool, error) { return binary(a, less) },
@@ -50,9 +63,7 @@ func less(x, y string) bool {
 // Builtin names shadow extensional predicates; programs must not reuse
 // them.
 func IsBuiltin(name string) bool {
-	builtinsMu.RLock()
-	_, ok := builtins[name]
-	builtinsMu.RUnlock()
+	_, ok := (*builtins.Load())[name]
 	return ok
 }
 
@@ -60,14 +71,18 @@ func IsBuiltin(name string) bool {
 // to call concurrently with evaluation.
 func RegisterBuiltin(name string, f BuiltinFunc) {
 	builtinsMu.Lock()
-	builtins[name] = f
-	builtinsMu.Unlock()
+	defer builtinsMu.Unlock()
+	old := *builtins.Load()
+	next := make(map[string]BuiltinFunc, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = f
+	builtins.Store(&next)
 }
 
 func callBuiltin(name string, args []string) (bool, error) {
-	builtinsMu.RLock()
-	f, ok := builtins[name]
-	builtinsMu.RUnlock()
+	f, ok := (*builtins.Load())[name]
 	if !ok {
 		return false, fmt.Errorf("datalog: unknown builtin %s", name)
 	}

@@ -16,6 +16,12 @@ type DB struct {
 	names  []string
 	byName map[string]int
 	rels   map[string]*relation
+
+	// deltaIx caches ApplyDelta's scheduling index (stratification,
+	// consumer indexes, compiled rules) across calls against this
+	// database; it is keyed by program identity and engine inside
+	// ApplyDeltaCtx and never survives Clone.
+	deltaIx *deltaIndex
 }
 
 // NewDB returns an empty database.
@@ -219,6 +225,77 @@ func (r *relation) lookup(tuple []int) ([]int, bool) {
 		}
 		i = (i + 1) & mask
 	}
+}
+
+// lookupIdx returns the storage index of the tuple, or -1.
+func (r *relation) lookupIdx(tuple []int) int {
+	if len(r.slots) == 0 {
+		return -1
+	}
+	mask := uint64(len(r.slots) - 1)
+	i := hashTuple(tuple) & mask
+	for {
+		s := r.slots[i]
+		if s == 0 {
+			return -1
+		}
+		if equalTuple(r.tuples[s-1], tuple) {
+			return int(s - 1)
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// removeBatch deletes every listed tuple that is present, compacting
+// storage (surviving tuples keep their relative order) and rebuilding
+// the dedup table in one pass. Match indexes are discarded and rebuilt
+// lazily — deletion is the one mutation that invalidates them, so the
+// "inserts never rebuild" guarantee is unaffected. Only dedup relations
+// support removal. Returns the number of tuples removed.
+//
+// Like insert, removeBatch must not run concurrently with readers.
+func (r *relation) removeBatch(tuples [][]int) int {
+	if !r.dedup {
+		panic("datalog: removeBatch on a delta relation")
+	}
+	var dead map[int]struct{}
+	for _, t := range tuples {
+		if ti := r.lookupIdx(t); ti >= 0 {
+			if dead == nil {
+				dead = make(map[int]struct{}, len(tuples))
+			}
+			dead[ti] = struct{}{}
+		}
+	}
+	if len(dead) == 0 {
+		return 0
+	}
+	out := r.tuples[:0]
+	for i, t := range r.tuples {
+		if _, d := dead[i]; !d {
+			out = append(out, t)
+		}
+	}
+	for i := len(out); i < len(r.tuples); i++ {
+		r.tuples[i] = nil
+	}
+	r.tuples = out
+	for i := range r.slots {
+		r.slots[i] = 0
+	}
+	mask := uint64(len(r.slots) - 1)
+	for ti, t := range r.tuples {
+		i := hashTuple(t) & mask
+		for r.slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		r.slots[i] = int32(ti + 1)
+	}
+	r.mu.Lock()
+	r.indexes = map[uint64]*index{}
+	r.live = nil
+	r.mu.Unlock()
+	return len(dead)
 }
 
 // match returns the tuples agreeing with pattern, where pattern[i] < 0

@@ -76,6 +76,7 @@ func EvalCtx(ctx context.Context, p *Program, edb *DB) (*DB, error) {
 	// only reads the interning table, which keeps parallel tasks free of
 	// writes to shared DB state.
 	internProgramConsts(p, db)
+	byHead := headIndex(p)
 	for _, stratum := range strata {
 		if err := ctx.Err(); err != nil {
 			return nil, stage.Wrap(stage.Eval, err)
@@ -84,13 +85,7 @@ func EvalCtx(ctx context.Context, p *Program, edb *DB) (*DB, error) {
 		for _, pred := range stratum {
 			inStratum[pred] = true
 		}
-		var rules []Rule
-		for _, r := range p.Rules {
-			if inStratum[r.Head.Pred] {
-				rules = append(rules, r)
-			}
-		}
-		if err := evalStratum(ctx, rules, inStratum, db, cfg); err != nil {
+		if err := evalStratum(ctx, stratumRules(p, byHead, stratum), inStratum, db, cfg); err != nil {
 			return nil, err
 		}
 	}
@@ -121,6 +116,35 @@ func internProgramConsts(p *Program, db *DB) {
 			}
 		}
 	}
+}
+
+// headIndex maps every head predicate to the ordered indices of its
+// rules. Compiled MSO programs have thousands of predicates and (mostly)
+// one stratum per predicate, so the stratum loops must gather their
+// rules through this index — rescanning p.Rules per stratum is
+// quadratic in the program and used to dominate evaluation wholesale.
+func headIndex(p *Program) map[string][]int {
+	byHead := make(map[string][]int)
+	for i, r := range p.Rules {
+		byHead[r.Head.Pred] = append(byHead[r.Head.Pred], i)
+	}
+	return byHead
+}
+
+// stratumRules returns the stratum's rules in program order — the same
+// slice the old full scan produced, so task order (and with it the
+// deterministic tuple insertion order) is unchanged.
+func stratumRules(p *Program, byHead map[string][]int, stratum []string) []Rule {
+	var idx []int
+	for _, pred := range stratum {
+		idx = append(idx, byHead[pred]...)
+	}
+	sort.Ints(idx)
+	rules := make([]Rule, len(idx))
+	for i, ri := range idx {
+		rules[i] = p.Rules[ri]
+	}
+	return rules
 }
 
 // stratify orders the intensional predicates into strata such that every
@@ -500,6 +524,7 @@ type cRule struct {
 	processed []bool // body atoms consumed on the current recursion path
 	deltaOcc  int
 	emit      func([]int)
+	stopped   bool // set by an emit callback to abandon the enumeration
 	// Head tuples are carved from arena chunks: they are handed to emit
 	// (and ultimately adopted by the database), so allocating them one
 	// slice at a time would dominate GC work on derivation-heavy programs.
@@ -648,6 +673,9 @@ func (c *cRule) groundArgs(a *cAtom) []int {
 // 1024 extension steps it polls the context, so even a single huge join
 // stops promptly after cancellation.
 func (c *cRule) step(done int) error {
+	if c.stopped {
+		return nil
+	}
 	if c.tick++; c.tick&1023 == 0 && c.ctx != nil {
 		if err := c.ctx.Err(); err != nil {
 			return stage.Wrap(stage.Eval, err)
@@ -689,68 +717,86 @@ func (c *cRule) step(done int) error {
 		c.processed[i] = false
 		return err
 	}
-	// Otherwise take the first unprocessed positive relational atom.
-	for i := range c.body {
-		a := &c.body[i]
-		if c.processed[i] || a.negated || a.builtin {
-			continue
-		}
-		rel := a.rel
-		if rel == nil {
-			return nil // empty relation: no matches
-		}
-		anyBound := false
-		for j, ar := range a.args {
-			if ar.slot >= 0 {
-				v := c.binding[ar.slot]
-				a.pat[j] = v // -1 when unbound
-				anyBound = anyBound || v >= 0
-			} else {
-				a.pat[j] = ar.c
-				anyBound = true
-			}
-		}
-		// All-unbound patterns iterate the relation's storage directly via
-		// a local snapshot (stable under concurrent-phase appends) instead
-		// of copying tuple headers through match.
-		tuples := rel.tuples
-		if anyBound {
-			a.matchBuf = rel.match(a.pat, a.matchBuf)
-			tuples = a.matchBuf
-		}
-		c.processed[i] = true
-		var boundBuf [16]int
-		for _, tuple := range tuples {
-			// Unify, handling repeated fresh variables.
-			bound := boundBuf[:0]
-			ok := true
-			for j, ar := range a.args {
-				if ar.slot < 0 {
-					continue
-				}
-				if v := c.binding[ar.slot]; v >= 0 {
-					if tuple[j] != v {
-						ok = false
-						break
-					}
-				} else {
-					c.binding[ar.slot] = tuple[j]
-					bound = append(bound, ar.slot)
-				}
-			}
-			if ok {
-				if err := c.step(done + 1); err != nil {
-					return err
-				}
-			}
-			for _, s := range bound {
-				c.binding[s] = -1
-			}
-		}
-		c.processed[i] = false
-		return nil
+	// Otherwise take the delta occurrence while it is still pending — its
+	// relation is the round's wavefront (typically a handful of tuples
+	// whose constants bind most of the rule), so starting there turns the
+	// remaining enumeration into indexed lookups; the streaming planner
+	// applies the same heuristic in buildPlan. Then the first unprocessed
+	// positive relational atom in body order.
+	pick := -1
+	if d := c.deltaOcc; d >= 0 && !c.processed[d] && !c.body[d].negated && !c.body[d].builtin {
+		pick = d
 	}
-	return fmt.Errorf("datalog: internal error: unbound atom remains in rule %s", c.src)
+	if pick < 0 {
+		for i := range c.body {
+			a := &c.body[i]
+			if !c.processed[i] && !a.negated && !a.builtin {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return fmt.Errorf("datalog: internal error: unbound atom remains in rule %s", c.src)
+	}
+	a := &c.body[pick]
+	rel := a.rel
+	if rel == nil {
+		return nil // empty relation: no matches
+	}
+	anyBound := false
+	for j, ar := range a.args {
+		if ar.slot >= 0 {
+			v := c.binding[ar.slot]
+			a.pat[j] = v // -1 when unbound
+			anyBound = anyBound || v >= 0
+		} else {
+			a.pat[j] = ar.c
+			anyBound = true
+		}
+	}
+	// All-unbound patterns iterate the relation's storage directly via
+	// a local snapshot (stable under concurrent-phase appends) instead
+	// of copying tuple headers through match.
+	tuples := rel.tuples
+	if anyBound {
+		a.matchBuf = rel.match(a.pat, a.matchBuf)
+		tuples = a.matchBuf
+	}
+	c.processed[pick] = true
+	var boundBuf [16]int
+	for _, tuple := range tuples {
+		// Unify, handling repeated fresh variables.
+		bound := boundBuf[:0]
+		ok := true
+		for j, ar := range a.args {
+			if ar.slot < 0 {
+				continue
+			}
+			if v := c.binding[ar.slot]; v >= 0 {
+				if tuple[j] != v {
+					ok = false
+					break
+				}
+			} else {
+				c.binding[ar.slot] = tuple[j]
+				bound = append(bound, ar.slot)
+			}
+		}
+		if ok {
+			if err := c.step(done + 1); err != nil {
+				return err
+			}
+		}
+		for _, s := range bound {
+			c.binding[s] = -1
+		}
+		if c.stopped {
+			break
+		}
+	}
+	c.processed[pick] = false
+	return nil
 }
 
 // evalRule compiles the rule and evaluates it once; the incremental path

@@ -1,0 +1,205 @@
+// Decomposition repair: local maintenance of a raw tree decomposition
+// under structure edits, the decompose-layer piece of the incremental
+// pipeline (see DESIGN.md "Incremental evaluation"). A tuple retraction
+// never invalidates a decomposition; an element addition becomes a fresh
+// singleton leaf; a tuple insertion already covered by some bag is free;
+// an uncovered binary insertion is repaired by widening the bags along
+// the tree path between the two endpoints' occurrence subtrees. The
+// repair falls back (returns an error) instead of degrading quality:
+// when a widened bag would push the width beyond the original, or for
+// an uncovered insertion over more than two distinct elements, callers
+// re-run full elimination and record the fallback in the stage trace.
+package decompose
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/faultinject"
+	"repro/internal/stage"
+	"repro/internal/structure"
+	"repro/internal/tree"
+)
+
+// ErrRepairFallback marks edits a local repair cannot absorb; callers
+// fall back to full re-elimination.
+var ErrRepairFallback = fmt.Errorf("decompose: local repair not applicable")
+
+// Repair returns a repaired copy of the raw decomposition d reflecting
+// the given change-log suffix of st (st must already include the
+// changes), together with the IDs — in the returned decomposition — of
+// every node whose bag was modified or created. The input decomposition
+// is never mutated. On fallback the error wraps ErrRepairFallback and
+// the caller should re-run elimination from scratch; the width of the
+// repaired decomposition never exceeds the original's.
+func Repair(d *tree.Decomposition, st *structure.Structure, changes []structure.Change) (*tree.Decomposition, []int, error) {
+	if err := faultinject.Check("decompose.repair"); err != nil {
+		return nil, nil, stage.Wrap(stage.Decompose, err)
+	}
+	if len(d.Nodes) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty decomposition", ErrRepairFallback)
+	}
+	origWidth := d.Width()
+	r := d.Clone()
+	dirty := map[int]bool{}
+	for _, c := range changes {
+		switch c.Op {
+		case structure.ElemAdded:
+			// A singleton leaf anywhere preserves all three decomposition
+			// conditions and never widens the tree.
+			id := r.AddNode([]int{c.Tuple[0]})
+			r.Nodes[id].Parent = r.Root
+			r.Nodes[r.Root].Children = append(r.Nodes[r.Root].Children, id)
+			dirty[id] = true
+		case structure.TupleRemoved:
+			// The decomposition stays valid (bags cover a superset of the
+			// remaining tuples), but the fact vanished from the induced
+			// subinstances: every bag holding the whole tuple is dirty.
+			for _, v := range coveringNodes(r, c.Tuple) {
+				dirty[v] = true
+			}
+		case structure.TupleAdded:
+			elems := distinctElems(c.Tuple)
+			if v := firstCovering(r, elems); v >= 0 {
+				dirty[v] = true
+				continue
+			}
+			if len(elems) != 2 {
+				return nil, nil, fmt.Errorf("%w: uncovered insertion over %d distinct elements", ErrRepairFallback, len(elems))
+			}
+			widened, err := widenPath(r, elems[0], elems[1], origWidth)
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, v := range widened {
+				dirty[v] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(dirty))
+	for v := range dirty {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return r, out, nil
+}
+
+func distinctElems(tuple []int) []int {
+	out := tuple[:0:0]
+	for _, e := range tuple {
+		dup := false
+		for _, o := range out {
+			if o == e {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// firstCovering returns some node whose bag contains all elems, or -1.
+func firstCovering(d *tree.Decomposition, elems []int) int {
+	for v := range d.Nodes {
+		if bagHasAll(d.Nodes[v].Bag, elems) {
+			return v
+		}
+	}
+	return -1
+}
+
+// coveringNodes returns every node whose bag contains all of tuple.
+func coveringNodes(d *tree.Decomposition, tuple []int) []int {
+	elems := distinctElems(tuple)
+	var out []int
+	for v := range d.Nodes {
+		if bagHasAll(d.Nodes[v].Bag, elems) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func bagHasAll(bag, elems []int) bool {
+	for _, e := range elems {
+		found := false
+		for _, b := range bag {
+			if b == e {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// widenPath makes some bag contain both u and v by adding u to every bag
+// on the shortest tree path from u's occurrence subtree to v's, keeping
+// u's occurrences connected and creating one bag covering {u,v}. Bags
+// are kept sorted (the raw-form invariant). Fails without mutating d
+// beyond already-applied changes if any widened bag would exceed the
+// original width.
+func widenPath(d *tree.Decomposition, u, v, origWidth int) ([]int, error) {
+	// Multi-source BFS from every node containing u to the nearest node
+	// containing v, over the undirected tree adjacency.
+	prev := make([]int, len(d.Nodes))
+	inQueue := make([]bool, len(d.Nodes))
+	var queue []int
+	for i := range d.Nodes {
+		prev[i] = -2
+		if bagHasAll(d.Nodes[i].Bag, []int{u}) {
+			prev[i] = -1
+			inQueue[i] = true
+			queue = append(queue, i)
+		}
+	}
+	if len(queue) == 0 {
+		return nil, fmt.Errorf("%w: element %d occurs in no bag", ErrRepairFallback, u)
+	}
+	goal := -1
+	for head := 0; head < len(queue) && goal < 0; head++ {
+		x := queue[head]
+		if bagHasAll(d.Nodes[x].Bag, []int{v}) {
+			goal = x
+			break
+		}
+		neigh := append([]int(nil), d.Nodes[x].Children...)
+		if p := d.Nodes[x].Parent; p >= 0 {
+			neigh = append(neigh, p)
+		}
+		for _, y := range neigh {
+			if !inQueue[y] {
+				inQueue[y] = true
+				prev[y] = x
+				queue = append(queue, y)
+			}
+		}
+	}
+	if goal < 0 {
+		return nil, fmt.Errorf("%w: element %d occurs in no bag", ErrRepairFallback, v)
+	}
+	// Walk back from the goal collecting the path, check the width bound
+	// for every bag to widen, then apply — so a fallback never leaves a
+	// half-widened path behind.
+	var widened []int
+	for x := goal; x >= 0; x = prev[x] {
+		if bagHasAll(d.Nodes[x].Bag, []int{u}) {
+			continue
+		}
+		if len(d.Nodes[x].Bag)+1 > origWidth+1 {
+			return nil, fmt.Errorf("%w: widening bag %d would exceed width %d", ErrRepairFallback, x, origWidth)
+		}
+		widened = append(widened, x)
+	}
+	for _, x := range widened {
+		d.Nodes[x].Bag = append(d.Nodes[x].Bag, u)
+		sort.Ints(d.Nodes[x].Bag)
+	}
+	return widened, nil
+}

@@ -1,0 +1,146 @@
+package decompose
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/structure"
+)
+
+// TestRepairRandomEdits drives Repair over random edit sequences on
+// random partial k-trees: after every absorbed edit the repaired
+// decomposition must validate against the edited structure without
+// exceeding the original width, and fallbacks must leave the input
+// decomposition untouched.
+func TestRepairRandomEdits(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	repaired, fallbacks := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		g := graph.PartialKTree(20+rng.Intn(20), 2+rng.Intn(2), 0.3, rng)
+		st := g.ToStructure()
+		d, err := Structure(st, MinFill)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Validate(st); err != nil {
+			t.Fatal(err)
+		}
+		for edit := 0; edit < 10; edit++ {
+			rev := st.Rev()
+			switch rng.Intn(4) {
+			case 0: // retract a random present edge
+				tuples := st.Tuples("e")
+				if len(tuples) == 0 {
+					continue
+				}
+				e := tuples[rng.Intn(len(tuples))]
+				u, v := e[0], e[1]
+				st.RemoveTuple("e", u, v)
+				st.RemoveTuple("e", v, u)
+			case 1: // fresh element plus an edge to an existing one
+				u := st.AddElem("w" + string(rune('a'+rng.Intn(26))) + string(rune('a'+rng.Intn(26))))
+				v := rng.Intn(st.Size())
+				st.MustAddTuple("e", u, v)
+				st.MustAddTuple("e", v, u)
+			default: // random edge insert (possibly a duplicate)
+				u, v := rng.Intn(st.Size()), rng.Intn(st.Size())
+				if u == v {
+					continue
+				}
+				st.MustAddTuple("e", u, v)
+				st.MustAddTuple("e", v, u)
+			}
+			changes, ok := st.ChangesSince(rev)
+			if !ok {
+				t.Fatal("change log lost a fresh window")
+			}
+			if len(changes) == 0 {
+				continue
+			}
+			before := d.Width()
+			rd, dirty, err := Repair(d, st, changes)
+			if err != nil {
+				if !errors.Is(err, ErrRepairFallback) {
+					t.Fatalf("trial %d edit %d: %v", trial, edit, err)
+				}
+				fallbacks++
+				// Fallback: full re-elimination, as the session would do.
+				d, err = Structure(st, MinFill)
+				if err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			repaired++
+			if err := rd.Validate(st); err != nil {
+				t.Fatalf("trial %d edit %d: repaired decomposition invalid: %v", trial, edit, err)
+			}
+			if rd.Width() > before {
+				t.Fatalf("trial %d edit %d: repair widened %d → %d", trial, edit, before, rd.Width())
+			}
+			for _, v := range dirty {
+				if v < 0 || v >= rd.Len() {
+					t.Fatalf("dirty node %d out of range", v)
+				}
+			}
+			d = rd
+		}
+	}
+	if repaired == 0 || fallbacks == 0 {
+		t.Fatalf("suite exercised repaired=%d fallbacks=%d; want both paths", repaired, fallbacks)
+	}
+	t.Logf("repaired %d edits locally, %d fallbacks", repaired, fallbacks)
+}
+
+// TestRepairCoveredInsertIsLocal pins the fast path: inserting a tuple
+// already covered by a bag changes no bags and dirties one node.
+func TestRepairCoveredInsertIsLocal(t *testing.T) {
+	sig := structure.MustSignature(structure.Predicate{Name: "e", Arity: 2})
+	st := structure.New(sig)
+	a, b, c := st.AddElem("a"), st.AddElem("b"), st.AddElem("c")
+	st.MustAddTuple("e", a, b)
+	st.MustAddTuple("e", b, c)
+	d, err := Structure(st, MinFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := st.Rev()
+	st.MustAddTuple("e", b, a) // reverse edge: covered by the {a,b} bag
+	changes, _ := st.ChangesSince(rev)
+	rd, dirty, err := Repair(d, st, changes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != 1 {
+		t.Fatalf("dirty = %v, want exactly one node", dirty)
+	}
+	for i := range rd.Nodes {
+		if len(rd.Nodes[i].Bag) != len(d.Nodes[i].Bag) {
+			t.Fatalf("covered insert modified bag of node %d", i)
+		}
+	}
+	if err := rd.Validate(st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepairWidthFallback pins the fallback condition: forcing an edge
+// between the two ends of a long path must either widen within the
+// original bound or report ErrRepairFallback.
+func TestRepairWidthFallback(t *testing.T) {
+	g := graph.Path(12)
+	st := g.ToStructure()
+	d, err := Structure(st, MinFill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := st.Rev()
+	st.MustAddTuple("e", 0, 11)
+	st.MustAddTuple("e", 11, 0)
+	changes, _ := st.ChangesSince(rev)
+	if _, _, err := Repair(d, st, changes); !errors.Is(err, ErrRepairFallback) {
+		t.Fatalf("got %v, want ErrRepairFallback (width-1 path cannot absorb a chord)", err)
+	}
+}

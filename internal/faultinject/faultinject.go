@@ -17,8 +17,11 @@
 //	session.decompose session.normalize-tuple session.build-td
 //	session.compile session.eval session.solver
 //	decompose.min-fill decompose.min-degree decompose.greedy-bfs
+//	decompose.repair
 //	dp.node dp.chain datalog.ground-rule datalog.stratum-task
+//	datalog.delta
 //	solver.introduce solver.forget solver.join solver.witness
+//	solver.repair
 //
 // Determinism: FailAt plans are exact — the nth Check of a point fails,
 // independent of scheduling. Seeded plans hash (seed, point, per-point

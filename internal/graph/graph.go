@@ -53,6 +53,20 @@ func (g *Graph) AddEdge(u, v int) {
 	g.edges++
 }
 
+// RemoveEdge deletes the undirected edge {u,v}; removing an absent edge
+// is a no-op.
+func (g *Graph) RemoveEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= len(g.adj) || v >= len(g.adj) {
+		return
+	}
+	if !g.adj[u].Has(v) {
+		return
+	}
+	g.adj[u].Remove(v)
+	g.adj[v].Remove(u)
+	g.edges--
+}
+
 // HasEdge reports whether {u,v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
 	return u >= 0 && u < len(g.adj) && g.adj[u].Has(v)

@@ -1,0 +1,177 @@
+// POST /mutate: edit a resident structure in place. The request names
+// the structure by its current fact-list text; the server routes it to
+// the same session /eval and /solve would use, applies the edit batch
+// through Session.Mutate (retaining warm artifacts whenever the
+// incremental machinery absorbs the edit), and re-keys the session
+// registry so follow-up requests carrying the response's post-edit
+// text keep hitting the warm session.
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/cli"
+	"repro/internal/session"
+	"repro/internal/structure"
+)
+
+// MutateFact names one fact of a mutation batch by predicate and
+// element names.
+type MutateFact struct {
+	Pred string   `json:"pred"`
+	Args []string `json:"args"`
+}
+
+// MutateRequest edits the structure given by its current fact-list
+// text: elements in AddElems are added first, then Remove retracts
+// facts, then Insert asserts facts (creating any missing elements).
+// Removing an absent fact is a no-op.
+type MutateRequest struct {
+	Structure string       `json:"structure"`
+	AddElems  []string     `json:"add_elems,omitempty"`
+	Remove    []MutateFact `json:"remove,omitempty"`
+	Insert    []MutateFact `json:"insert,omitempty"`
+}
+
+// MutateResponse returns the post-edit structure (canonical fact-list
+// text — the key for follow-up requests against the warm session) and
+// the session.MutationStats receipt saying how the edit was absorbed.
+type MutateResponse struct {
+	Structure         string `json:"structure"`
+	Fingerprint       string `json:"fingerprint"`
+	Changes           int    `json:"changes"`
+	DeltaApplied      bool   `json:"delta_applied"`
+	RepairFallback    bool   `json:"repair_fallback"`
+	Invalidated       bool   `json:"invalidated"`
+	ResultsMaintained int    `json:"results_maintained"`
+	ResultsDropped    int    `json:"results_dropped"`
+}
+
+// checkFacts validates a fact list against the structure's signature up
+// front, so a malformed request fails with 400 before Mutate runs (an
+// edit function error would needlessly invalidate the session).
+func checkFacts(st *structure.Structure, kind string, facts []MutateFact) error {
+	for i, f := range facts {
+		_, p, ok := st.Sig().Lookup(f.Pred)
+		if !ok {
+			return fmt.Errorf("%w: %s %d: unknown predicate %q", cli.ErrUsage, kind, i, f.Pred)
+		}
+		if len(f.Args) != p.Arity {
+			return fmt.Errorf("%w: %s %d: %s expects %d args, got %d", cli.ErrUsage, kind, i, f.Pred, p.Arity, len(f.Args))
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req MutateRequest
+	if err := s.decode(r, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	ctx, cancel, err := s.admit(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer cancel()
+	st, err := parseStructure(req.Structure)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	if err := checkFacts(st, "remove", req.Remove); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if err := checkFacts(st, "insert", req.Insert); err != nil {
+		s.fail(w, err)
+		return
+	}
+	oldFP := session.Fingerprint(st)
+	sess := s.sessionFor(st)
+	if s.testGate != nil {
+		s.testGate(ctx, "mutate")
+	}
+	ms, err := sess.Mutate(func(st *structure.Structure) error {
+		for _, n := range req.AddElems {
+			st.AddElem(n)
+		}
+		for _, f := range req.Remove {
+			st.RemoveFact(f.Pred, f.Args...)
+		}
+		for _, f := range req.Insert {
+			if err := st.AddFact(f.Pred, f.Args...); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		s.fail(w, fmt.Errorf("%w: %v", cli.ErrUsage, err))
+		return
+	}
+	// Re-key the registry under both the session's in-memory fingerprint
+	// and the fingerprint of the canonical text we return: String()
+	// orders tuples canonically while retraction reorders them in
+	// memory, so a client re-sending the response text must still reach
+	// this session rather than decompose a fresh one.
+	var text string
+	var memFP uint64
+	sess.View(func(st *structure.Structure) {
+		text = st.String()
+		memFP = session.Fingerprint(st)
+	})
+	canonFP := memFP
+	if canon, err := structure.Parse(text, nil); err == nil {
+		canonFP = session.Fingerprint(canon)
+	}
+	s.rekeySession(sess, oldFP, memFP, canonFP)
+	s.reply(w, http.StatusOK, MutateResponse{
+		Structure:         text,
+		Fingerprint:       fmt.Sprintf("%016x", canonFP),
+		Changes:           ms.Changes,
+		DeltaApplied:      ms.DeltaApplied,
+		RepairFallback:    ms.RepairFallback,
+		Invalidated:       ms.Invalidated,
+		ResultsMaintained: ms.ResultsMaintained,
+		ResultsDropped:    ms.ResultsDropped,
+	})
+}
+
+// rekeySession moves sess from oldFP to the given fingerprints
+// (deduplicated; aliases count against the registry cap like any other
+// entry). A fingerprint already mapping to a different session is left
+// alone — first structure wins, exactly as sessionFor resolves it.
+func (s *Server) rekeySession(sess *session.Session, oldFP uint64, fps ...uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keep := false
+	for _, fp := range fps {
+		if fp == oldFP {
+			keep = true
+		}
+	}
+	if !keep && s.sessions[oldFP] == sess {
+		delete(s.sessions, oldFP)
+		for i, fp := range s.order {
+			if fp == oldFP {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	for _, fp := range fps {
+		if _, ok := s.sessions[fp]; ok {
+			continue
+		}
+		if len(s.order) >= s.cfg.MaxSessions {
+			delete(s.sessions, s.order[0])
+			s.order = s.order[1:]
+			s.evictions++
+		}
+		s.sessions[fp] = sess
+		s.order = append(s.order, fp)
+	}
+}

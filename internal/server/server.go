@@ -117,6 +117,7 @@ func New(cfg Config) *Server {
 //	POST /eval    evaluate one MSO query over one structure
 //	POST /solve   run a named solver problem (decide/count/optimize)
 //	POST /batch   evaluate many queries grouped per structure
+//	POST /mutate  edit a resident structure, keeping its session warm
 //	GET  /healthz liveness
 //	GET  /statsz  session / cache / status counters
 func (s *Server) Handler() http.Handler {
@@ -124,6 +125,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/eval", s.post(s.handleEval))
 	mux.HandleFunc("/solve", s.post(s.handleSolve))
 	mux.HandleFunc("/batch", s.post(s.handleBatch))
+	mux.HandleFunc("/mutate", s.post(s.handleMutate))
 	mux.HandleFunc("/healthz", s.get(s.handleHealthz))
 	mux.HandleFunc("/statsz", s.get(s.handleStatsz))
 	return mux
@@ -295,10 +297,12 @@ func evalOne(ctx context.Context, sess *session.Session, formula, xVar string) (
 	} else {
 		resp.Selected = []string{}
 		if res.Selected != nil {
-			st := sess.Structure()
-			for _, id := range res.Selected.Elems() {
-				resp.Selected = append(resp.Selected, st.Name(id))
-			}
+			// View serializes the name lookups against /mutate edits.
+			sess.View(func(st *structure.Structure) {
+				for _, id := range res.Selected.Elems() {
+					resp.Selected = append(resp.Selected, st.Name(id))
+				}
+			})
 		}
 	}
 	return resp, nil
@@ -405,8 +409,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.testGate(ctx, "solve")
 	}
 	// Primal vertex IDs are structure element IDs, matching the bags of
-	// the session's decomposition.
-	p, err := problemFor(req, graph.Primal(sess.Structure()))
+	// the session's decomposition. The snapshot is taken under View to
+	// serialize against /mutate edits.
+	var g *graph.Graph
+	sess.View(func(st *structure.Structure) { g = graph.Primal(st) })
+	p, err := problemFor(req, g)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -576,11 +583,17 @@ type StatszResponse struct {
 
 // SessionTotals returns the session-layer counters summed over the
 // resident sessions (evicted sessions' counters are gone with them).
+// A session registered under several fingerprints — /mutate aliases the
+// pre- and post-edit keys to one session — counts once.
 func (s *Server) SessionTotals() session.Stats {
 	s.mu.Lock()
 	resident := make([]*session.Session, 0, len(s.sessions))
+	seen := make(map[*session.Session]bool, len(s.sessions))
 	for _, sess := range s.sessions {
-		resident = append(resident, sess)
+		if !seen[sess] {
+			seen[sess] = true
+			resident = append(resident, sess)
+		}
 	}
 	s.mu.Unlock()
 	var t session.Stats
@@ -597,6 +610,8 @@ func (s *Server) SessionTotals() session.Stats {
 		t.SolverSolves += st.SolverSolves
 		t.SolverCacheHits += st.SolverCacheHits
 		t.Invalidations += st.Invalidations
+		t.DeltasApplied += st.DeltasApplied
+		t.RepairFallbacks += st.RepairFallbacks
 		t.TuplesStreamed += st.TuplesStreamed
 		t.JoinsPushedDown += st.JoinsPushedDown
 		if st.PeakBufferedTuples > t.PeakBufferedTuples {

@@ -1,0 +1,244 @@
+// Incremental evaluation under mutation (see DESIGN.md "Incremental
+// evaluation"): Session.Mutate applies an edit batch to the bound
+// structure and patches the cached artifacts in place instead of
+// discarding them. The structure's change-log (structure.ChangesSince)
+// keys the maintenance: a shape-preserving edit keeps the raw, tuple
+// and nice decompositions, rebuilds only the τ_td structure, and
+// maintains retained query results through datalog.ApplyDelta; an edit
+// absorbed by decompose.Repair keeps the (repaired) raw decomposition
+// and rebuilds downstream lazily; everything else — repair fallback,
+// lost change-log window, failed edit function — degrades to the
+// wholesale invalidation a fingerprint mismatch would have caused.
+package session
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/decompose"
+	"repro/internal/stage"
+	"repro/internal/structure"
+	"repro/internal/tree"
+)
+
+// MutationStats reports how one Mutate call was absorbed.
+type MutationStats struct {
+	// Changes is the number of change-log entries the edit produced.
+	Changes int
+	// DeltaApplied reports that the cached artifacts were retained (and
+	// patched) rather than discarded.
+	DeltaApplied bool
+	// RepairFallback reports that the local decomposition repair
+	// declined the edit and the session invalidated wholesale.
+	RepairFallback bool
+	// Invalidated reports a wholesale artifact discard.
+	Invalidated bool
+	// ResultsMaintained and ResultsDropped count the cached query
+	// results carried through the edit incrementally versus evicted.
+	ResultsMaintained int
+	ResultsDropped    int
+}
+
+// Mutate runs fn against the bound structure under the session's write
+// lock — serialized against every in-flight build and evaluation, which
+// is the supported way to edit a session-bound structure (see the
+// Structure mutation contract) — then re-synchronizes the cached
+// artifacts with the edit. fn must confine itself to structure edits
+// (AddElem / AddTuple / AddFact / RemoveTuple / RemoveFact) and must
+// not call back into the session. fn's error is returned verbatim; the
+// structure keeps whatever edits fn made before failing, and the
+// session stays coherent (a partial edit invalidates wholesale).
+func (s *Session) Mutate(fn func(*structure.Structure) error) (MutationStats, error) {
+	s.stMu.Lock()
+	defer s.stMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Absorb any earlier direct (non-Mutate) edit first, exactly as the
+	// next evaluation's revalidation would have.
+	s.revalidateLocked()
+	rev := s.st.Rev()
+	ferr := fn(s.st)
+	changes, ok := s.st.ChangesSince(rev)
+	ms := MutationStats{Changes: len(changes)}
+	defer func() { s.fp = Fingerprint(s.st) }()
+	if ok && len(changes) == 0 {
+		return ms, ferr // no-op edit: every cache stays valid
+	}
+	if ferr != nil || !ok {
+		// A partially-applied edit function, or an edit burst larger
+		// than the change-log window: no delta to trust.
+		s.discardLocked(&ms)
+		return ms, ferr
+	}
+	if s.raw == nil {
+		// Cold session — nothing cached to maintain. (Artifacts and
+		// result caches are populated together and discarded together,
+		// so no raw decomposition means no downstream state either.)
+		return ms, nil
+	}
+	rd, dirty, rerr := decompose.Repair(s.raw, s.st, changes)
+	if rerr != nil {
+		// Fallback (width excess, wide tuple) and injected faults alike:
+		// the repair did not happen, so invalidate wholesale. The edit
+		// itself succeeded — callers see the degradation in the stats,
+		// not as an error.
+		s.stats.RepairFallbacks++
+		ms.RepairFallback = true
+		s.discardLocked(&ms)
+		return ms, nil
+	}
+	// Shape-preserving edits (covered tuple inserts, any retraction)
+	// change no bag and add no node: the tuple and nice normal forms —
+	// functions of the raw tree alone — stay valid, and the τ_td
+	// structure keeps its node set, so results can be maintained by
+	// fact-level delta. Repairs that widened bags or added nodes keep
+	// the repaired raw tree but rebuild downstream lazily.
+	same := rd.Len() == s.raw.Len()
+	if same {
+		for _, v := range dirty {
+			if len(rd.Nodes[v].Bag) != len(s.raw.Nodes[v].Bag) {
+				same = false
+				break
+			}
+		}
+	}
+	// Solver outcomes read the structure through their problem closures;
+	// conservatively re-solve after any mutation (solver.Repair keeps
+	// per-table maintenance available to direct solver users).
+	s.solverResults, s.solverSeq = nil, nil
+	if !same {
+		s.raw = rd
+		s.tuple, s.nice, s.td, s.edb = nil, nil, nil, nil
+		s.width, s.tdNodes = 0, 0
+		s.valid = false
+		ms.ResultsDropped += len(s.results)
+		s.results, s.resultSeq, s.dbSeq = nil, nil, nil
+		s.stats.DeltasApplied++
+		ms.DeltaApplied = true
+		return ms, nil
+	}
+	if s.td != nil {
+		td, _, err := tree.BuildTDCtx(context.Background(), s.st, s.tuple, s.width)
+		if err != nil {
+			s.discardLocked(&ms)
+			return ms, nil
+		}
+		edb := datalog.FromStructure(td, "")
+		ins, del := diffFacts(s.edb, edb)
+		s.td, s.edb = td, edb
+		s.maintainResultsLocked(ins, del, &ms)
+	}
+	s.stats.DeltasApplied++
+	ms.DeltaApplied = true
+	return ms, nil
+}
+
+// discardLocked is the wholesale path: drop everything, count it.
+func (s *Session) discardLocked(ms *MutationStats) {
+	ms.ResultsDropped += len(s.results)
+	s.invalidateLocked()
+	s.stats.Invalidations++
+	ms.Invalidated = true
+}
+
+// maintainResultsLocked carries the cached query results through a τ_td
+// EDB delta: entries that retained their fixpoint are re-derived by
+// datalog.ApplyDelta and re-finished; entries without one (or whose
+// delta fails — unsupported fragment, injected fault) are dropped and
+// recompute cold on their next request, so a failed delta can never
+// poison the cache.
+func (s *Session) maintainResultsLocked(ins, del []datalog.Fact, ms *MutationStats) {
+	if len(s.results) == 0 {
+		s.results, s.resultSeq, s.dbSeq = nil, nil, nil
+		return
+	}
+	if len(ins) == 0 && len(del) == 0 {
+		return // identical EDB: the fixpoints are already correct
+	}
+	keep := make([]progKey, 0, len(s.resultSeq))
+	var dbs []progKey
+	for _, key := range s.resultSeq {
+		e := s.results[key]
+		if e == nil {
+			continue
+		}
+		if e.out == nil || e.compiled == nil {
+			delete(s.results, key)
+			ms.ResultsDropped++
+			continue
+		}
+		if _, err := datalog.ApplyDelta(e.compiled.Program, e.out, ins, del); err != nil {
+			delete(s.results, key)
+			ms.ResultsDropped++
+			continue
+		}
+		res, err := core.FinishResult(s.st, e.compiled, e.opts, e.out, s.tdNodes, s.width, &stage.Trace{})
+		if err != nil {
+			delete(s.results, key)
+			ms.ResultsDropped++
+			continue
+		}
+		e.res, e.evalSize = res, e.out.NumFacts()
+		keep = append(keep, key)
+		dbs = append(dbs, key)
+		ms.ResultsMaintained++
+	}
+	s.resultSeq, s.dbSeq = keep, dbs
+}
+
+// diffFacts computes the fact-level edit turning old into new, per
+// predicate. The τ_td rebuild after a shape-preserving edit differs
+// only in the per-node atom encoding of the touched bags, so the delta
+// is proportional to the edit, not the structure.
+func diffFacts(old, new *datalog.DB) (ins, del []datalog.Fact) {
+	preds := map[string]bool{}
+	for _, p := range old.Preds() {
+		preds[p] = true
+	}
+	for _, p := range new.Preds() {
+		preds[p] = true
+	}
+	for p := range preds {
+		stale := map[string][]string{}
+		for _, t := range old.Tuples(p) {
+			stale[factArgsKey(t)] = t
+		}
+		for _, t := range new.Tuples(p) {
+			k := factArgsKey(t)
+			if _, present := stale[k]; present {
+				delete(stale, k)
+			} else {
+				ins = append(ins, datalog.Fact{Pred: p, Args: t})
+			}
+		}
+		for _, t := range stale {
+			del = append(del, datalog.Fact{Pred: p, Args: t})
+		}
+	}
+	return ins, del
+}
+
+func factArgsKey(args []string) string {
+	n := 0
+	for _, a := range args {
+		n += len(a) + 1
+	}
+	b := make([]byte, 0, n)
+	for _, a := range args {
+		b = append(b, a...)
+		b = append(b, 0)
+	}
+	return string(b)
+}
+
+// View runs fn with read access to the bound structure, serialized
+// against Mutate. Callers deriving data from a session-bound structure
+// outside an evaluation (building a solver problem over its primal
+// graph, rendering it) use View to avoid racing concurrent mutations.
+// fn must not call back into session methods.
+func (s *Session) View(fn func(*structure.Structure)) {
+	s.stMu.RLock()
+	defer s.stMu.RUnlock()
+	fn(s.st)
+}

@@ -1,0 +1,353 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/mso"
+	"repro/internal/structure"
+)
+
+var sigMutate = structure.MustSignature(
+	structure.Predicate{Name: "e", Arity: 2},
+	structure.Predicate{Name: "c", Arity: 1},
+)
+
+// randMutable builds a random {e/2, c/1} path structure with random
+// colors. The e-graph must stay a forest throughout the tests: over a
+// binary signature the compiler is only feasible at width 1 (see
+// core.TestBinarySignatureBlowUp), so edits may never raise the
+// treewidth.
+func randMutable(rng *rand.Rand, n int) *structure.Structure {
+	st := structure.New(sigMutate)
+	for i := 0; i < n; i++ {
+		st.AddElem(fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i+1 < n; i++ {
+		st.MustAddTuple("e", i, i+1)
+	}
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			st.MustAddTuple("c", i)
+		}
+	}
+	return st
+}
+
+// Quantifier-free unary queries: rank-1 quantification over a binary
+// signature exceeds the compiler's type space by design.
+var mutateQueries = []string{
+	"c(x)",
+	"~c(x)",
+	"c(x) | ~c(x)",
+}
+
+// connected reports whether u and v are joined in the undirected view
+// of st's e-relation — the test-side forest guard for edge inserts.
+func connected(st *structure.Structure, u, v int) bool {
+	parent := make([]int, st.Size())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, t := range st.Tuples("e") {
+		if ra, rb := find(t[0]), find(t[1]); ra != rb {
+			parent[ra] = rb
+		}
+	}
+	return find(u) == find(v)
+}
+
+// checkMutateAnswers evaluates every query on the warm session and on
+// the naive reference, failing on any disagreement.
+func checkMutateAnswers(t *testing.T, s *Session, st *structure.Structure, label string) {
+	t.Helper()
+	ctx := context.Background()
+	for _, q := range mutateQueries {
+		phi := mso.MustParse(q)
+		res, err := s.Eval(ctx, phi, "x", core.Options{})
+		if err != nil {
+			t.Fatalf("%s: eval %q: %v", label, q, err)
+		}
+		want, err := mso.Query(st, phi, "x", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Selected.Equal(want) {
+			t.Fatalf("%s: query %q: selected %v, want %v", label, q, res.Selected.Elems(), want.Elems())
+		}
+	}
+}
+
+// TestMutateDifferentialSequence is the session half of the mutation
+// differential suite: a 50-edit random insert/retract/add-element
+// sequence through Session.Mutate, with every query re-checked against
+// the naive MSO reference after every single edit. Both the incremental
+// fast path and the fallback paths must be exercised.
+func TestMutateDifferentialSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	st := randMutable(rng, 12)
+	s := NewWithCache(st, NewProgramCache())
+	checkMutateAnswers(t, s, st, "initial")
+
+	for step := 0; step < 50; step++ {
+		ms, err := s.Mutate(func(st *structure.Structure) error {
+			switch rng.Intn(5) {
+			case 0: // toggle a color — always covered by some bag
+				v := rng.Intn(st.Size())
+				if st.Has("c", v) {
+					st.RemoveTuple("c", v)
+				} else {
+					st.MustAddTuple("c", v)
+				}
+			case 1: // retract a random edge
+				tuples := st.Tuples("e")
+				if len(tuples) > 0 {
+					e := tuples[rng.Intn(len(tuples))]
+					st.RemoveTuple("e", e[0], e[1])
+				}
+			case 2: // fresh element wired to an existing one
+				v := st.AddElem(fmt.Sprintf("w%d", step))
+				st.MustAddTuple("e", rng.Intn(v), v)
+			case 3: // reverse of an existing edge: covered, no primal change
+				tuples := st.Tuples("e")
+				if len(tuples) > 0 {
+					e := tuples[rng.Intn(len(tuples))]
+					if !st.Has("e", e[1], e[0]) {
+						st.MustAddTuple("e", e[1], e[0])
+					}
+				}
+			default: // bridge two components: uncovered insert, still a forest
+				u, v := rng.Intn(st.Size()), rng.Intn(st.Size())
+				if u != v && !connected(st, u, v) {
+					st.MustAddTuple("e", u, v)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		_ = ms
+		checkMutateAnswers(t, s, st, fmt.Sprintf("step %d", step))
+	}
+	stats := s.Stats()
+	if stats.DeltasApplied == 0 {
+		t.Error("50 edits applied no deltas — the incremental path never ran")
+	}
+	t.Logf("deltas applied %d, repair fallbacks %d, invalidations %d, decompositions %d",
+		stats.DeltasApplied, stats.RepairFallbacks, stats.Invalidations, stats.Decompositions)
+}
+
+// TestMutateFastPathStats pins the shape-preserving fast path: a
+// covered single-tuple edit keeps every artifact (no new decomposition,
+// no invalidation), maintains the cached result incrementally, and the
+// requery is a pure cache hit with the updated answer.
+func TestMutateFastPathStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	st := randMutable(rng, 10)
+	s := NewWithCache(st, NewProgramCache())
+	ctx := context.Background()
+	phi := mso.MustParse("c(x)")
+	if _, err := s.Eval(ctx, phi, "x", core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Make v0 flip its answer.
+	wasColored := st.Has("c", 0)
+	ms, err := s.Mutate(func(st *structure.Structure) error {
+		if wasColored {
+			st.RemoveTuple("c", 0)
+		} else {
+			st.MustAddTuple("c", 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ms.DeltaApplied || ms.Invalidated || ms.RepairFallback {
+		t.Fatalf("covered edit: %+v, want a pure delta", ms)
+	}
+	if ms.ResultsMaintained != 1 || ms.ResultsDropped != 0 {
+		t.Fatalf("ResultsMaintained=%d ResultsDropped=%d, want 1 and 0", ms.ResultsMaintained, ms.ResultsDropped)
+	}
+
+	res, err := s.Eval(ctx, phi, "x", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selected.Has(0) == wasColored {
+		t.Fatal("maintained result did not absorb the edit")
+	}
+	stats := s.Stats()
+	if stats.Decompositions != 1 || stats.TupleNormalizations != 1 || stats.TDBuilds != 1 {
+		t.Errorf("front end rebuilt: decompositions=%d normalizations=%d tdbuilds=%d, want 1 each",
+			stats.Decompositions, stats.TupleNormalizations, stats.TDBuilds)
+	}
+	if stats.Invalidations != 0 || stats.DeltasApplied != 1 || stats.RepairFallbacks != 0 {
+		t.Errorf("Invalidations=%d DeltasApplied=%d RepairFallbacks=%d, want 0/1/0",
+			stats.Invalidations, stats.DeltasApplied, stats.RepairFallbacks)
+	}
+	if stats.Evals != 1 || stats.ResultCacheHits != 1 {
+		t.Errorf("Evals=%d ResultCacheHits=%d, want 1 and 1 (requery must hit the maintained cache)",
+			stats.Evals, stats.ResultCacheHits)
+	}
+}
+
+// TestMutateRepairFallbackStats pins the degradation path: an edit the
+// local repair cannot absorb invalidates wholesale, counts as a repair
+// fallback, and the next query rebuilds and still answers correctly.
+// The fallback edit bridges two path components — uncovered (its
+// endpoints share no bag, and connecting them within width 1 is
+// impossible) yet the structure stays a forest, so the post-fallback
+// rebuild is still feasible.
+func TestMutateRepairFallbackStats(t *testing.T) {
+	st := structure.New(sigMutate)
+	for i := 0; i < 12; i++ {
+		st.AddElem(fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i+1 < 12; i++ {
+		st.MustAddTuple("e", i, i+1)
+	}
+	st.MustAddTuple("c", 0)
+	s := NewWithCache(st, NewProgramCache())
+	checkMutateAnswers(t, s, st, "initial")
+
+	// Split the path in the middle — a retraction is always absorbed.
+	ms, err := s.Mutate(func(st *structure.Structure) error {
+		st.RemoveTuple("e", 5, 6)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ms.DeltaApplied || ms.Invalidated {
+		t.Fatalf("retraction: %+v, want a pure delta", ms)
+	}
+
+	// Bridging the far ends cannot be absorbed within width 1.
+	ms, err = s.Mutate(func(st *structure.Structure) error {
+		st.MustAddTuple("e", 0, 11)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ms.RepairFallback || !ms.Invalidated || ms.DeltaApplied {
+		t.Fatalf("bridge edit: %+v, want repair fallback + invalidation", ms)
+	}
+	checkMutateAnswers(t, s, st, "post-fallback")
+	stats := s.Stats()
+	if stats.RepairFallbacks != 1 || stats.Invalidations != 1 {
+		t.Errorf("RepairFallbacks=%d Invalidations=%d, want 1 and 1", stats.RepairFallbacks, stats.Invalidations)
+	}
+	if stats.Decompositions != 2 {
+		t.Errorf("Decompositions=%d, want 2 (fallback forces a rebuild)", stats.Decompositions)
+	}
+}
+
+// TestMutateChaosNoPoisoning proves the no-cache-poisoning property for
+// the two incremental injection points the session consumes: a faulted
+// decomposition repair degrades to wholesale invalidation, and a
+// faulted result delta drops the entry — in both cases the next queries
+// recompute cold and match the naive reference.
+func TestMutateChaosNoPoisoning(t *testing.T) {
+	defer faultinject.Reset()
+	rng := rand.New(rand.NewSource(29))
+	st := randMutable(rng, 10)
+	s := NewWithCache(st, NewProgramCache())
+	checkMutateAnswers(t, s, st, "initial")
+
+	faultinject.FailAt("decompose.repair", 1)
+	ms, err := s.Mutate(func(st *structure.Structure) error {
+		st.MustAddTuple("c", 0)
+		return nil
+	})
+	faultinject.Reset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ms.RepairFallback || !ms.Invalidated {
+		t.Fatalf("faulted repair: %+v, want fallback + invalidation", ms)
+	}
+	checkMutateAnswers(t, s, st, "post repair fault")
+
+	faultinject.FailAt("datalog.delta", 1)
+	ms, err = s.Mutate(func(st *structure.Structure) error {
+		st.RemoveTuple("c", 0)
+		return nil
+	})
+	faultinject.Reset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ms.DeltaApplied || ms.ResultsDropped == 0 {
+		t.Fatalf("faulted result delta: %+v, want delta applied with dropped results", ms)
+	}
+	checkMutateAnswers(t, s, st, "post delta fault")
+}
+
+// TestConcurrentMutateEval is the -race regression for the structure
+// mutation contract: Mutate edits racing concurrent evaluations and
+// views must serialize, and the session must answer correctly after the
+// dust settles.
+func TestConcurrentMutateEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	st := randMutable(rng, 10)
+	s := NewWithCache(st, NewProgramCache())
+	ctx := context.Background()
+	phi := mso.MustParse("c(x)")
+	if _, err := s.Eval(ctx, phi, "x", core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			v := i % 10
+			if _, err := s.Mutate(func(st *structure.Structure) error {
+				if st.Has("c", v) {
+					st.RemoveTuple("c", v)
+				} else {
+					st.MustAddTuple("c", v)
+				}
+				return nil
+			}); err != nil {
+				t.Errorf("mutate %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			if _, err := s.Eval(ctx, phi, "x", core.Options{}); err != nil {
+				t.Errorf("eval %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			s.View(func(st *structure.Structure) { _ = st.NumTuples() })
+		}
+	}()
+	wg.Wait()
+	checkMutateAnswers(t, s, st, "post-race")
+}

@@ -28,6 +28,16 @@
 // StageError) naming the stage that observed them, and each evaluation
 // carries a stage.Trace of per-stage wall time, output size and cache
 // hits.
+//
+// Mutation: Session.Mutate edits the bound structure under the
+// session's write lock (serialized against every in-flight build and
+// evaluation) and re-synchronizes the caches incrementally — local
+// decomposition repair, τ_td rebuild and DRed-style result maintenance
+// — falling back to wholesale invalidation only when the edit cannot be
+// absorbed (see mutate.go). Editing a session-bound structure directly
+// still works but is detected by fingerprint and always pays the
+// wholesale invalidation, and racing such edits against concurrent
+// evaluations is the caller's responsibility.
 package session
 
 import (
@@ -80,9 +90,17 @@ type Stats struct {
 	// helpers; SolverCacheHits counts the Solve* calls answered from the
 	// per-session solver cache instead.
 	SolverSolves, SolverCacheHits int
-	// Invalidations counts fingerprint mismatches that discarded the
-	// cached artifacts.
+	// Invalidations counts wholesale artifact discards: fingerprint
+	// mismatches from direct (non-Mutate) structure edits, and Mutate
+	// calls that could not be absorbed incrementally.
 	Invalidations int
+	// DeltasApplied counts Mutate calls absorbed incrementally — cached
+	// artifacts retained and patched instead of discarded.
+	DeltasApplied int
+	// RepairFallbacks counts Mutate calls whose local decomposition
+	// repair declined (width excess, wide uncovered tuple, injected
+	// fault) and degraded to a wholesale invalidation.
+	RepairFallbacks int
 	// TuplesStreamed, JoinsPushedDown and PeakBufferedTuples mirror the
 	// datalog streaming engine's counters for this session's evaluations
 	// (see datalog.EngineStats). The grounded evaluation path (Theorem
@@ -126,6 +144,12 @@ type Session struct {
 	st    *structure.Structure
 	progs *ProgramCache
 
+	// stMu serializes structure access: builds and evaluations read the
+	// bound structure under RLock, and Mutate edits it (and re-syncs the
+	// caches) under Lock. Lock order is stMu before mu; nothing acquires
+	// stMu while holding mu.
+	stMu sync.RWMutex
+
 	mu    sync.Mutex
 	fp    uint64
 	valid bool
@@ -157,9 +181,12 @@ type Session struct {
 
 	// results memoizes evaluated queries per program key; evaluation is
 	// deterministic, so an unchanged structure makes a repeat of the
-	// same (formula, options) a pure cache hit. Bounded FIFO.
+	// same (formula, options) a pure cache hit. Bounded FIFO. dbSeq
+	// tracks the entries still holding their evaluated fixpoint (at most
+	// deltaCap, FIFO), the ones Mutate can maintain incrementally.
 	results   map[progKey]*resultEntry
 	resultSeq []progKey
+	dbSeq     []progKey
 
 	// solverResults memoizes semiring-solver outcomes per (problem name,
 	// mode); see SolveDecide / SolveCount / SolveOptimize. Invalidated
@@ -168,12 +195,25 @@ type Session struct {
 	solverSeq     []solverKey
 }
 
-// resultCap bounds the per-session result cache.
-const resultCap = 256
+// resultCap bounds the per-session result cache; deltaCap bounds how
+// many entries keep their evaluated fixpoint database for incremental
+// maintenance under Mutate (the fixpoint dominates an entry's memory, so
+// only the most recent few retain it).
+const (
+	resultCap = 256
+	deltaCap  = 8
+)
 
 type resultEntry struct {
 	res      *core.Result
 	evalSize int // NumFacts of the evaluation output, for trace replay
+	// compiled, opts and out let Mutate maintain this entry through a
+	// structure edit (datalog.ApplyDelta on the retained fixpoint, then
+	// core.FinishResult); out is retained for the deltaCap most recent
+	// entries only — older entries are dropped on mutation instead.
+	compiled *core.Compiled
+	opts     core.Options
+	out      *datalog.DB
 }
 
 // artifactFlight is one in-flight front-end build, shared by every
@@ -264,7 +304,7 @@ func (s *Session) invalidateLocked() {
 	s.raw, s.tuple, s.nice, s.td, s.edb = nil, nil, nil, nil, nil
 	s.rung = ""
 	s.tdNodes, s.width = 0, 0
-	s.results, s.resultSeq = nil, nil
+	s.results, s.resultSeq, s.dbSeq = nil, nil, nil
 	s.solverResults, s.solverSeq = nil, nil
 }
 
@@ -345,7 +385,9 @@ func (s *Session) frontEnd(ctx context.Context, trace *stage.Trace, full bool) (
 		rung := s.rung
 		s.mu.Unlock()
 
+		s.stMu.RLock()
 		art, rung, built, err := s.buildFrontEnd(ctx, trace, have, rung, full)
+		s.stMu.RUnlock()
 
 		s.mu.Lock()
 		s.building = nil
@@ -652,14 +694,20 @@ func (s *Session) Eval(ctx context.Context, phi *mso.Formula, xVar string, opts 
 		fp := s.fp
 		s.mu.Unlock()
 
-		res, evalSize, err := s.runEval(ctx, compiled, art, opts, trace)
+		s.stMu.RLock()
+		res, out, err := s.runEval(ctx, compiled, art, opts, trace)
+		s.stMu.RUnlock()
+		var evalSize int
+		if out != nil {
+			evalSize = out.NumFacts()
+		}
 
 		s.mu.Lock()
 		delete(s.evalFlights, key)
 		if err == nil {
 			s.stats.Evals++
 			if Fingerprint(s.st) == fp {
-				s.storeResultLocked(key, &resultEntry{res: res, evalSize: evalSize})
+				s.storeResultLocked(key, &resultEntry{res: res, evalSize: evalSize, compiled: compiled, opts: opts, out: out})
 			}
 		}
 		s.mu.Unlock()
@@ -688,18 +736,31 @@ func (s *Session) storeResultLocked(key progKey, entry *resultEntry) {
 	}
 	s.results[key] = entry
 	s.resultSeq = append(s.resultSeq, key)
+	if entry.out == nil {
+		return
+	}
+	// Only the deltaCap most recent entries keep their fixpoint; evicted
+	// keys may linger in dbSeq after a results eviction, hence the
+	// existence check.
+	for len(s.dbSeq) >= deltaCap {
+		if old, ok := s.results[s.dbSeq[0]]; ok {
+			old.out = nil
+		}
+		s.dbSeq = s.dbSeq[1:]
+	}
+	s.dbSeq = append(s.dbSeq, key)
 }
 
 // runEval performs the uncached evaluation stage outside the session
 // mutex. A panic is recovered into a stage-tagged error here so the
 // caller's flight bookkeeping always runs.
-func (s *Session) runEval(ctx context.Context, compiled *core.Compiled, art artifacts, opts core.Options, trace *stage.Trace) (res *core.Result, evalSize int, err error) {
+func (s *Session) runEval(ctx context.Context, compiled *core.Compiled, art artifacts, opts core.Options, trace *stage.Trace) (res *core.Result, out *datalog.DB, err error) {
 	defer stage.RecoverTo(stage.Eval, &err)
 	if testHookEvalStart != nil {
 		testHookEvalStart()
 	}
 	if err := faultinject.Check("session.eval"); err != nil {
-		return nil, 0, stage.Wrap(stage.Eval, err)
+		return nil, nil, stage.Wrap(stage.Eval, err)
 	}
 	// Both paths intern program constants into the EDB, so the cached
 	// EDB is cloned per evaluation (DB.Clone is a flat copy). The
@@ -707,21 +768,20 @@ func (s *Session) runEval(ctx context.Context, compiled *core.Compiled, art arti
 	// engine's traffic lands in this session's stats.
 	ctx = datalog.WithStatsCollector(ctx, &s.engine)
 	start := timeNow()
-	var out *datalog.DB
 	if CurrentEvalPath() == EvalDirect {
 		out, err = datalog.EvalCtx(ctx, compiled.Program, art.edb.Clone())
 	} else {
 		out, err = datalog.EvalQuasiGuardedCtx(ctx, compiled.Program, art.edb.Clone(), datalog.TDFuncDeps(art.width))
 	}
 	if err != nil {
-		return nil, 0, stage.Wrap(stage.Eval, err)
+		return nil, nil, stage.Wrap(stage.Eval, err)
 	}
 	trace.Record(stage.Eval, timeNow().Sub(start), out.NumFacts(), false)
 	res, err = core.FinishResult(s.st, compiled, opts, out, art.tdNodes, art.width, trace)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
-	return res, out.NumFacts(), nil
+	return res, out, nil
 }
 
 // cachedResult returns a caller-owned view of a cached Result: the

@@ -1,0 +1,106 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/dp"
+	"repro/internal/faultinject"
+	"repro/internal/stage"
+	"repro/internal/tree"
+)
+
+// Repair re-evaluates bottom-up tables after a local change to the
+// problem's inputs that left the decomposition's shape intact: every
+// dirty node and each of its ancestors up to the root is recomputed from
+// its (reused or already-recomputed) child tables, and every other table
+// is carried over from prev untouched — O(dirty · depth) node
+// evaluations instead of O(n). The problem p must reflect the new state;
+// prev must come from an Up (or previous Repair) of the same
+// decomposition with the same provenance setting.
+//
+// Because a node's table is a deterministic function of its children's
+// tables and the problem, the result is byte-identical (values, Order,
+// provenance) to a cold Up over the new state at any worker count —
+// provided dirty includes every node whose transition outputs changed.
+// For within-bag edits (a fact over elements already co-resident in a
+// bag, the only edits that leave a decomposition intact) DirtyBags
+// computes such a set. The returned tables share unchanged entries with
+// prev; prev itself is not modified.
+func Repair[S comparable, V any](ctx context.Context, d *tree.Decomposition, p Problem[S], r Semiring[V], prev Tables[S, V], dirty []int) (Tables[S, V], error) {
+	if err := faultinject.Check("solver.repair"); err != nil {
+		return nil, stage.Wrap(stage.Solver, err)
+	}
+	if len(prev) != d.Len() {
+		return nil, stage.Wrap(stage.Solver, fmt.Errorf("solver: previous tables have %d nodes, decomposition %d", len(prev), d.Len()))
+	}
+	bags, err := dp.Bags(d)
+	if err != nil {
+		return nil, stage.Wrap(stage.Solver, fmt.Errorf("solver: %w", err))
+	}
+	redo := make([]bool, d.Len())
+	for _, v := range dirty {
+		if v < 0 || v >= d.Len() {
+			return nil, stage.Wrap(stage.Solver, fmt.Errorf("solver: dirty node %d out of range", v))
+		}
+		for x := v; x >= 0 && !redo[x]; x = d.Nodes[x].Parent {
+			redo[x] = true
+		}
+	}
+	trackProv := false
+	for i := range prev {
+		if prev[i].Provs != nil {
+			trackProv = true
+			break
+		}
+	}
+	tables := make(Tables[S, V], d.Len())
+	copy(tables, prev)
+	b := stage.BudgetFrom(ctx)
+	// Root paths are chains: recompute serially in post-order (children
+	// before parents). Determinism is inherited from upNode, so the
+	// worker-count independence of a cold Up carries over trivially.
+	for _, v := range d.PostOrder() {
+		if !redo[v] {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, stage.Wrap(stage.Solver, err)
+		}
+		if err := upNode(d, bags, p, r, b, tables, trackProv, v); err != nil {
+			return nil, stage.Wrap(stage.Solver, err)
+		}
+	}
+	return tables, nil
+}
+
+// DirtyBags returns the nodes whose bag contains all of elems — for a
+// fact edit over those elements, the nodes whose transition outputs may
+// differ, i.e. the dirty set to pass to Repair. Problems evaluate
+// constraints among co-resident elements only, so a bag missing one of
+// the fact's elements cannot observe the edit.
+func DirtyBags(d *tree.Decomposition, elems []int) []int {
+	var out []int
+	for v := range d.Nodes {
+		all := true
+		for _, e := range elems {
+			found := false
+			for _, b := range d.Nodes[v].Bag {
+				if b == e {
+					found = true
+					break
+				}
+			}
+			if !found {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,138 @@
+package solver_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dp"
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/solver"
+	"repro/internal/tree"
+)
+
+// sameTables asserts byte-identity of two table sets: Order, Vals and
+// Provs all equal, node by node.
+func sameTables(t *testing.T, got, want solver.Tables[uint64, int], context string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d tables, want %d", context, len(got), len(want))
+	}
+	for v := range got {
+		if !reflect.DeepEqual(got[v].Order, want[v].Order) {
+			t.Fatalf("%s: node %d Order differs:\n  got  %v\n  want %v", context, v, got[v].Order, want[v].Order)
+		}
+		if !reflect.DeepEqual(got[v].Vals, want[v].Vals) {
+			t.Fatalf("%s: node %d Vals differ", context, v)
+		}
+		if !reflect.DeepEqual(got[v].Provs, want[v].Provs) {
+			t.Fatalf("%s: node %d Provs differ", context, v)
+		}
+	}
+}
+
+// withinBagEdges lists vertex pairs co-resident in some bag — the edge
+// flips a decomposition can absorb without a shape change.
+func withinBagEdges(d *tree.Decomposition) [][2]int {
+	seen := map[[2]int]bool{}
+	var out [][2]int
+	for _, n := range d.Nodes {
+		for i := 0; i < len(n.Bag); i++ {
+			for j := i + 1; j < len(n.Bag); j++ {
+				u, v := n.Bag[i], n.Bag[j]
+				if u > v {
+					u, v = v, u
+				}
+				if !seen[[2]int{u, v}] {
+					seen[[2]int{u, v}] = true
+					out = append(out, [2]int{u, v})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestRepairByteIdentical is the solver-layer differential: over random
+// partial k-trees and random within-bag edge flips, Repair over the
+// dirty bags must produce tables byte-identical to a cold Up of the
+// edited problem — for every semiring mode, at several worker counts,
+// through a 50-edit sequence.
+func TestRepairByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ctx := context.Background()
+	for trial := 0; trial < 6; trial++ {
+		g := graph.PartialKTree(18+rng.Intn(12), 2, 0.3, rng)
+		nice := niceFor(t, g)
+		edges := withinBagEdges(nice)
+		cur, err := solver.Up[uint64, int](ctx, nice, twoCol{g}, solver.MinCost{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 50; step++ {
+			e := edges[rng.Intn(len(edges))]
+			if g.HasEdge(e[0], e[1]) {
+				g.RemoveEdge(e[0], e[1])
+			} else {
+				g.AddEdge(e[0], e[1])
+			}
+			dirty := solver.DirtyBags(nice, []int{e[0], e[1]})
+			if len(dirty) == 0 {
+				t.Fatalf("within-bag edge %v has no dirty bags", e)
+			}
+			cur, err = solver.Repair(ctx, nice, twoCol{g}, solver.MinCost{}, cur, dirty)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 8} {
+				prev := dp.SetMaxWorkers(workers)
+				cold, err := solver.Up[uint64, int](ctx, nice, twoCol{g}, solver.MinCost{})
+				dp.SetMaxWorkers(prev)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameTables(t, cur, cold, "trial/step/workers")
+			}
+		}
+	}
+}
+
+// TestRepairFaultFallsBackClean proves the chaos property for the new
+// injection point: a faulted Repair surfaces a stage-tagged error, and a
+// retry (the caller's cold recompute) over the same inputs still matches
+// a cold Up — the previous tables are not poisoned.
+func TestRepairFaultFallsBackClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.PartialKTree(20, 2, 0.3, rng)
+	nice := niceFor(t, g)
+	ctx := context.Background()
+	up, err := solver.Up[uint64, int](ctx, nice, twoCol{g}, solver.MinCost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := withinBagEdges(nice)[0]
+	g.AddEdge(e[0], e[1])
+	dirty := solver.DirtyBags(nice, []int{e[0], e[1]})
+
+	faultinject.FailAt("solver.repair", 1)
+	defer faultinject.Reset()
+	if _, err := solver.Repair(ctx, nice, twoCol{g}, solver.MinCost{}, up, dirty); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("armed repair: got %v, want injected fault", err)
+	}
+	faultinject.Reset()
+
+	// The fallback path: prev tables are intact, so a retry succeeds and
+	// matches cold.
+	repaired, err := solver.Repair(ctx, nice, twoCol{g}, solver.MinCost{}, up, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := solver.Up[uint64, int](ctx, nice, twoCol{g}, solver.MinCost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTables(t, repaired, cold, "post-fault retry")
+}

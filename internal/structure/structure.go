@@ -86,14 +86,65 @@ func (s *Signature) Extend(preds ...Predicate) (*Signature, error) {
 	return NewSignature(all...)
 }
 
+// ChangeOp classifies one entry of a structure's change-log.
+type ChangeOp int
+
+const (
+	// ElemAdded records a new domain element; Tuple holds its ID.
+	ElemAdded ChangeOp = iota
+	// TupleAdded records an inserted fact.
+	TupleAdded
+	// TupleRemoved records a retracted fact.
+	TupleRemoved
+)
+
+func (op ChangeOp) String() string {
+	switch op {
+	case ElemAdded:
+		return "elem+"
+	case TupleAdded:
+		return "tuple+"
+	case TupleRemoved:
+		return "tuple-"
+	}
+	return fmt.Sprintf("ChangeOp(%d)", int(op))
+}
+
+// Change is one entry of the change-log: an element addition or a fact
+// insert/retract. Tuple must not be modified by consumers.
+type Change struct {
+	Op    ChangeOp
+	Pred  string // empty for ElemAdded
+	Tuple []int  // element IDs; for ElemAdded, Tuple[0] is the new ID
+}
+
+// maxLog bounds the in-memory change-log; when exceeded the oldest half
+// is trimmed and ChangesSince for pre-trim revisions reports !ok,
+// forcing consumers to fall back to wholesale re-derivation.
+const maxLog = 1 << 16
+
 // Structure is a finite τ-structure: a domain of named elements plus one
 // relation per predicate of the signature.
+//
+// Mutation contract: a Structure is NOT safe for concurrent mutation, or
+// for mutation concurrent with reads. Layers that cache artifacts keyed
+// on structure content (session.Session in particular) require all edits
+// after binding to go through their serialized entry point
+// (Session.Mutate); direct AddElem/AddTuple/RemoveTuple calls on a bound
+// structure race with in-flight builds. Every successful mutation
+// advances Rev() and appends to the change-log so downstream layers can
+// maintain artifacts by delta instead of rebuilding from the new
+// fingerprint.
 type Structure struct {
 	sig    *Signature
 	names  []string
 	byName map[string]int
-	rels   [][][]int             // rels[p] = list of tuples (element IDs)
-	relSet []map[string]struct{} // relSet[p] = membership index keyed by tupleKey
+	rels   [][][]int        // rels[p] = list of tuples (element IDs)
+	relSet []map[string]int // relSet[p] = tupleKey → index into rels[p]
+
+	rev     uint64   // count of successful mutations since creation
+	log     []Change // suffix of the change history; log[i] produced rev logBase+i+1
+	logBase uint64   // revision preceding log[0]
 }
 
 // New returns an empty structure over the given signature.
@@ -102,12 +153,41 @@ func New(sig *Signature) *Structure {
 		sig:    sig,
 		byName: make(map[string]int),
 		rels:   make([][][]int, len(sig.preds)),
-		relSet: make([]map[string]struct{}, len(sig.preds)),
+		relSet: make([]map[string]int, len(sig.preds)),
 	}
 	for i := range st.relSet {
-		st.relSet[i] = make(map[string]struct{})
+		st.relSet[i] = make(map[string]int)
 	}
 	return st
+}
+
+// Rev returns the structure's revision: the number of successful
+// mutations (element additions, tuple inserts, tuple retractions) since
+// creation. Deduplicated re-inserts and failed mutations do not advance
+// the revision.
+func (st *Structure) Rev() uint64 { return st.rev }
+
+// ChangesSince returns the changes that advanced the structure from
+// revision rev to the current revision, oldest first. ok is false when
+// rev is in the future or predates the retained log window (the log is
+// bounded; see maxLog) — consumers must then treat the structure as
+// wholly changed. The returned slice and its tuples must not be
+// modified.
+func (st *Structure) ChangesSince(rev uint64) (changes []Change, ok bool) {
+	if rev > st.rev || rev < st.logBase {
+		return nil, false
+	}
+	return st.log[rev-st.logBase:], true
+}
+
+func (st *Structure) record(c Change) {
+	st.rev++
+	if len(st.log) >= maxLog {
+		half := len(st.log) / 2
+		st.logBase += uint64(half)
+		st.log = append(st.log[:0], st.log[half:]...)
+	}
+	st.log = append(st.log, c)
 }
 
 // Sig returns the structure's signature.
@@ -125,6 +205,7 @@ func (st *Structure) AddElem(name string) int {
 	id := len(st.names)
 	st.names = append(st.names, name)
 	st.byName[name] = id
+	st.record(Change{Op: ElemAdded, Tuple: []int{id}})
 	return id
 }
 
@@ -199,11 +280,56 @@ func (st *Structure) AddTuple(pred string, tuple ...int) error {
 	if _, dup := st.relSet[pi][key]; dup {
 		return nil
 	}
-	st.relSet[pi][key] = struct{}{}
 	cp := make([]int, len(tuple))
 	copy(cp, tuple)
+	st.relSet[pi][key] = len(st.rels[pi])
 	st.rels[pi] = append(st.rels[pi], cp)
+	st.record(Change{Op: TupleAdded, Pred: pred, Tuple: cp})
 	return nil
+}
+
+// RemoveTuple retracts a tuple from the relation of the named predicate,
+// reporting whether it was present. Removing an absent tuple (or one
+// over an unknown predicate) is a no-op and does not advance Rev. The
+// relation's stored tuple order is not preserved (swap-remove), so the
+// content fingerprint after remove+re-add generally differs from the
+// original even though the structures are equal as sets of facts.
+func (st *Structure) RemoveTuple(pred string, tuple ...int) bool {
+	pi, _, ok := st.sig.Lookup(pred)
+	if !ok {
+		return false
+	}
+	key := tupleKey(tuple)
+	idx, present := st.relSet[pi][key]
+	if !present {
+		return false
+	}
+	removed := st.rels[pi][idx]
+	last := len(st.rels[pi]) - 1
+	if idx != last {
+		moved := st.rels[pi][last]
+		st.rels[pi][idx] = moved
+		st.relSet[pi][tupleKey(moved)] = idx
+	}
+	st.rels[pi][last] = nil
+	st.rels[pi] = st.rels[pi][:last]
+	delete(st.relSet[pi], key)
+	st.record(Change{Op: TupleRemoved, Pred: pred, Tuple: removed})
+	return true
+}
+
+// RemoveFact is RemoveTuple given element names; unknown names report
+// false (such a tuple cannot be present).
+func (st *Structure) RemoveFact(pred string, names ...string) bool {
+	tuple := make([]int, len(names))
+	for i, n := range names {
+		id, ok := st.byName[n]
+		if !ok {
+			return false
+		}
+		tuple[i] = id
+	}
+	return st.RemoveTuple(pred, tuple...)
 }
 
 // MustAddTuple is AddTuple that panics on error.
@@ -299,7 +425,8 @@ func (st *Structure) Induced(elems *bitset.Set) (*Structure, map[int]int) {
 	return sub, oldToNew
 }
 
-// Clone returns a deep copy of the structure.
+// Clone returns a deep copy of the structure, including its revision
+// counter and retained change-log window.
 func (st *Structure) Clone() *Structure {
 	c := New(st.sig)
 	c.names = append([]string(nil), st.names...)
@@ -307,13 +434,16 @@ func (st *Structure) Clone() *Structure {
 		c.byName[n] = id
 	}
 	for pi, tuples := range st.rels {
-		for _, t := range tuples {
+		for i, t := range tuples {
 			cp := make([]int, len(t))
 			copy(cp, t)
 			c.rels[pi] = append(c.rels[pi], cp)
-			c.relSet[pi][tupleKey(t)] = struct{}{}
+			c.relSet[pi][tupleKey(t)] = i
 		}
 	}
+	c.rev = st.rev
+	c.logBase = st.logBase
+	c.log = append([]Change(nil), st.log...)
 	return c
 }
 
