@@ -10,6 +10,7 @@
 //	benchtable -session n
 //	benchtable -serve n [-serveReqs m]
 //	benchtable -mutate n [-mutateElems m]
+//	benchtable -soak n [-soakDur d]
 //
 // Each MD measurement is the median of -reps runs. The -tc mode instead
 // times transitive closure over an n-vertex path through the generic
@@ -32,7 +33,16 @@
 // incremental evaluation under mutation: n single-tuple edits, each
 // followed by a re-query, on a warm session via Session.Mutate versus
 // the same edits invalidating and recomputing wholesale; every edit's
-// answers are cross-checked and any divergence fails the run.
+// answers are cross-checked and any divergence fails the run. The -soak
+// mode is the overload-control chaos experiment: n clients of mixed
+// traffic for -soakDur against an in-process server sized for ~half
+// that concurrency, with fault injection armed (FAULTINJECT, or a
+// default seeded plan) and a poison driver forcing circuit-breaker
+// cycles; it asserts that every overload rejection carried Retry-After,
+// no 5xx other than injected ones appeared, at least one full breaker
+// open→half-open→close cycle happened, the admitted-request p50 stayed
+// within 2× the unloaded p50, heap stayed bounded, and the goroutine
+// count returned to baseline after drain — any violation fails the run.
 //
 // With -json, the active mode also writes a machine-readable
 // BENCH_<mode>.json report into -jsondir. -timeout bounds the whole run.
@@ -66,6 +76,8 @@ func main() {
 	serveReqs := flag.Int("serveReqs", 5, "requests per client in -serve mode")
 	mutateN := flag.Int("mutate", 0, "instead measure incremental evaluation across n single-tuple edits")
 	mutateElems := flag.Int("mutateElems", 40, "structure size for -mutate mode")
+	soakN := flag.Int("soak", 0, "instead soak-test overload control with n clients (try 2x capacity: 16)")
+	soakDur := flag.Duration("soakDur", 8*time.Second, "load-phase duration for -soak mode")
 	jsonOut := flag.Bool("json", false, "also write a BENCH_<mode>.json report")
 	jsonDir := flag.String("jsondir", ".", "directory for -json reports")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none)")
@@ -88,6 +100,33 @@ func main() {
 			time.Duration(res.ColdNS), time.Duration(res.P50NS), time.Duration(res.P90NS),
 			time.Duration(res.P99NS), time.Duration(res.MaxNS), res.Decompositions, res.Drained)
 		writeJSON(*jsonOut, *jsonDir, "serve", res)
+		return
+	}
+
+	if *soakN > 0 {
+		res, err := bench.Soak(ctx, *soakN, *soakDur)
+		// The JSON artifact is written even on a failed run: the CI
+		// soak-smoke job and any human debugging a failure both want the
+		// counts behind the verdict.
+		writeJSON(*jsonOut, *jsonDir, "soak", res)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("soak (%d clients, %v, capacity %d): %d ops (%d ok, %d injected, %d retries exhausted), %d attempts\n",
+			res.Clients, time.Duration(res.DurationNS), res.TargetConcurrency,
+			res.Ops, res.OpsOK, res.OpsInjected, res.OpsExhausted, res.Attempts)
+		fmt.Printf("overload: %d shed 429, %d breaker 503, %d budget 429, %d injected 5xx; breaker cycles %d; faults injected %d\n",
+			res.Shed429, res.Breaker503, res.Budget429, res.Injected5xx, res.BreakerCycles, res.FaultsInjected)
+		fmt.Printf("admitted p50 %v (unloaded %v, bound %v); heap max %d MiB; goroutines %d -> %d; drained %v\n",
+			time.Duration(res.LoadedP50NS), time.Duration(res.UnloadedP50NS), time.Duration(res.LatencyBoundNS),
+			res.HeapMaxBytes>>20, res.GoroutinesBefore, res.GoroutinesAfter, res.Drained)
+		if !res.Passed {
+			for _, v := range res.Violations {
+				fmt.Fprintf(os.Stderr, "soak violation: %s\n", v)
+			}
+			fail(fmt.Errorf("benchtable: soak failed %d invariant(s)", len(res.Violations)))
+		}
+		fmt.Println("soak: all invariants held")
 		return
 	}
 

@@ -3,9 +3,7 @@ package bench
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"sort"
@@ -13,6 +11,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/client"
+	"repro/internal/overload"
 	"repro/internal/server"
 )
 
@@ -73,35 +73,38 @@ func ServeLoad(ctx context.Context, clients, perClient int) (ServeLoadResult, er
 	if err != nil {
 		return res, err
 	}
-	srv := server.New(server.Config{MaxSessions: 16})
+	// A generous admission config for a throughput benchmark: the wait
+	// queue absorbs the full client herd (this bench measures warm-path
+	// latency, not shedding — the soak harness covers that), and the
+	// retrying client mops up any shed that still happens.
+	srv := server.New(server.Config{
+		MaxSessions: 16,
+		Limiter: overload.LimiterConfig{
+			Initial:  64,
+			Max:      1024,
+			QueueCap: 4 * clients * perClient,
+		},
+	})
 	runCtx, stop := context.WithCancel(ctx)
 	defer stop()
 	runDone := make(chan error, 1)
 	go func() { runDone <- server.Run(runCtx, l, srv, 30*time.Second) }()
 
-	body, err := json.Marshal(server.EvalRequest{
+	req := server.EvalRequest{
 		Structure: serveWorkload(40),
 		Formula:   "c(x)",
 		Var:       "x",
-	})
-	if err != nil {
-		return res, err
 	}
-	base := "http://" + l.Addr().String()
-	client := &http.Client{Transport: &http.Transport{
+	c := client.New("http://" + l.Addr().String())
+	c.HTTP = &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        clients,
 		MaxIdleConnsPerHost: clients,
 	}}
+	c.MaxAttempts = 8
 	post := func() (int64, error) {
 		t0 := time.Now()
-		resp, err := client.Post(base+"/eval", "application/json", bytes.NewReader(body))
-		if err != nil {
+		if _, err := c.Eval(ctx, req); err != nil {
 			return 0, err
-		}
-		_, _ = io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return 0, fmt.Errorf("status %d", resp.StatusCode)
 		}
 		return time.Since(t0).Nanoseconds(), nil
 	}

@@ -11,6 +11,7 @@
 //	3  resource budget exceeded (-budget, mso step budget)
 //	4  deadline or cancellation (-timeout)
 //	5  recovered panic (a bug — the one-line message names the stage)
+//	6  overloaded (admission shed or circuit breaker open; retryable)
 package cli
 
 import (
@@ -23,17 +24,19 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/overload"
 	"repro/internal/stage"
 )
 
 // Exit codes shared by all cmd/* tools.
 const (
-	ExitOK      = 0
-	ExitError   = 1
-	ExitUsage   = 2
-	ExitBudget  = 3
-	ExitTimeout = 4
-	ExitPanic   = 5
+	ExitOK       = 0
+	ExitError    = 1
+	ExitUsage    = 2
+	ExitBudget   = 3
+	ExitTimeout  = 4
+	ExitPanic    = 5
+	ExitOverload = 6
 )
 
 // ErrUsage marks malformed input from the caller — bad flags, an
@@ -54,6 +57,8 @@ func ExitCode(err error) int {
 		return ExitPanic
 	case errors.Is(err, ErrUsage):
 		return ExitUsage
+	case errors.Is(err, overload.ErrShed), errors.Is(err, overload.ErrBreakerOpen):
+		return ExitOverload
 	case errors.Is(err, stage.ErrBudgetExceeded):
 		return ExitBudget
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -66,12 +71,14 @@ func ExitCode(err error) int {
 // HTTPStatus maps err's taxonomy class onto the HTTP status code the
 // decision service (cmd/monadicd) answers with:
 //
-//	ok      → 200
-//	usage   → 400 (bad request body, formula or structure)
-//	budget  → 429 (per-request resource budget exceeded)
-//	timeout → 504 (per-request deadline or client cancellation)
-//	panic   → 500 (a bug; the one-line message names the stage)
-//	error   → 500 (any other pipeline failure)
+//	ok       → 200
+//	usage    → 400 (bad request body, formula or structure)
+//	budget   → 429 (per-request resource budget exceeded)
+//	overload → 429 (admission shed) or 503 (circuit breaker open);
+//	           both carry Retry-After, see RetryAfter
+//	timeout  → 504 (per-request deadline or client cancellation)
+//	panic    → 500 (a bug; the one-line message names the stage)
+//	error    → 500 (any other pipeline failure)
 func HTTPStatus(err error) int {
 	switch ExitCode(err) {
 	case ExitOK:
@@ -80,11 +87,30 @@ func HTTPStatus(err error) int {
 		return http.StatusBadRequest
 	case ExitBudget:
 		return http.StatusTooManyRequests
+	case ExitOverload:
+		if errors.Is(err, overload.ErrBreakerOpen) {
+			return http.StatusServiceUnavailable
+		}
+		return http.StatusTooManyRequests
 	case ExitTimeout:
 		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// RetryAfter extracts the Retry-After hint an overload error carries
+// (admission shed, breaker fast-fail): the duration the server
+// estimates until capacity frees up, or 0 when err carries none. The
+// server turns a nonzero hint into a Retry-After header on the 429/503
+// answer; the internal/client retry loop honors it over its own
+// backoff.
+func RetryAfter(err error) time.Duration {
+	var hinted interface{ RetryAfterHint() time.Duration }
+	if errors.As(err, &hinted) {
+		return hinted.RetryAfterHint()
+	}
+	return 0
 }
 
 // Message renders err as a single line prefixed with the tool name and,

@@ -1,0 +1,290 @@
+// Package client is the typed Go client for monadicd (internal/server):
+// one method per endpoint, JSON encoding handled, errors mapped back
+// into the cli exit taxonomy, and a retry loop tuned to the server's
+// overload control — capped exponential backoff with full jitter,
+// honoring the Retry-After hint on 429/503 so a fleet of clients backs
+// off exactly as hard as the server asks instead of stampeding the
+// moment a slot frees up.
+//
+// Retries are per call: each method makes at most MaxAttempts tries and
+// respects ctx throughout (including mid-backoff). Only overload
+// answers (429 admission shed, 503 breaker open) and transport errors
+// are retried — a 400 is wrong no matter how often it is sent, a 504
+// already consumed its deadline, and a 500 is a bug to surface, not to
+// hammer.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Defaults for zero Client fields.
+const (
+	DefaultMaxAttempts = 5
+	DefaultBaseBackoff = 100 * time.Millisecond
+	DefaultMaxBackoff  = 5 * time.Second
+)
+
+// ErrRetriesExhausted wraps the final error once a call's retry budget
+// is spent; test with errors.Is.
+var ErrRetriesExhausted = errors.New("client: retries exhausted")
+
+// APIError is a non-2xx answer from the server, decoded from its
+// ErrorResponse body.
+type APIError struct {
+	// Status is the HTTP status; Code the cli exit-taxonomy class the
+	// server derived it from; Stage the pipeline stage when the error
+	// carries one.
+	Status  int
+	Code    int
+	Stage   string
+	Message string
+	// RetryAfter is the parsed Retry-After header on 429/503 (zero when
+	// absent).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Stage != "" {
+		return fmt.Sprintf("server: %d [%s] %s", e.Status, e.Stage, e.Message)
+	}
+	return fmt.Sprintf("server: %d %s", e.Status, e.Message)
+}
+
+// Retryable reports whether the answer is worth retrying: the server's
+// overload rejections, which both promise capacity later.
+func (e *APIError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests && e.Code == 6 ||
+		e.Status == http.StatusServiceUnavailable
+}
+
+// Client calls one monadicd server. The zero value is not usable: use
+// New. Fields may be adjusted before the first call; the Client is safe
+// for concurrent use afterwards.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8377".
+	BaseURL string
+	// HTTP is the underlying transport client (default: a fresh
+	// http.Client with no timeout — per-call deadlines come from ctx).
+	HTTP *http.Client
+	// MaxAttempts is the per-call retry budget, counting the first try.
+	MaxAttempts int
+	// BaseBackoff and MaxBackoff bound the exponential backoff: attempt
+	// n sleeps a uniform random duration in [0, min(MaxBackoff,
+	// BaseBackoff·2ⁿ)] (full jitter), raised to the server's Retry-After
+	// hint when one is present.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Budget and Timeout, when nonzero, are sent as X-Budget and
+	// X-Timeout headers on every request.
+	Budget  int64
+	Timeout time.Duration
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+	// sleep is a seam for tests; default sleeps or returns early with
+	// ctx's error.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// New returns a Client for the server at baseURL with default retry
+// policy.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL:     baseURL,
+		HTTP:        &http.Client{},
+		MaxAttempts: DefaultMaxAttempts,
+		BaseBackoff: DefaultBaseBackoff,
+		MaxBackoff:  DefaultMaxBackoff,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+		sleep:       sleepCtx,
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// backoff computes the attempt'th sleep (attempt counts from 0): full
+// jitter over the capped exponential, floored at the server's hint.
+func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = DefaultBaseBackoff
+	}
+	maxB := c.MaxBackoff
+	if maxB <= 0 {
+		maxB = DefaultMaxBackoff
+	}
+	ceil := base << uint(attempt)
+	if ceil > maxB || ceil <= 0 {
+		ceil = maxB
+	}
+	c.rngMu.Lock()
+	d := time.Duration(c.rng.Int63n(int64(ceil) + 1))
+	c.rngMu.Unlock()
+	if d < hint {
+		d = hint
+	}
+	return d
+}
+
+// do runs one retrying call: POST (or GET when body is nil and path is
+// a read endpoint) to path, decoding a T on 200.
+func do[T any](ctx context.Context, c *Client, method, path string, body any) (*T, error) {
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultMaxAttempts
+	}
+	sleep := c.sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	var raw []byte
+	if body != nil {
+		var err error
+		raw, err = json.Marshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			hint := time.Duration(0)
+			var apiErr *APIError
+			if errors.As(lastErr, &apiErr) {
+				hint = apiErr.RetryAfter
+			}
+			if err := sleep(ctx, c.backoff(attempt-1, hint)); err != nil {
+				return nil, err
+			}
+		}
+		body, err := onceRaw(ctx, c, method, path, raw)
+		if err == nil {
+			var out T
+			if err := json.Unmarshal(body, &out); err != nil {
+				return nil, fmt.Errorf("client: decode response: %w", err)
+			}
+			return &out, nil
+		}
+		lastErr = err
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			if !apiErr.Retryable() {
+				return nil, err
+			}
+			continue
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		// Transport error with a live context: the server may be
+		// restarting or drain-refusing connections; retry.
+	}
+	return nil, fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, attempts, lastErr)
+}
+
+// onceRaw makes a single HTTP exchange, returning the 200 body or an
+// *APIError / transport error.
+func onceRaw(ctx context.Context, c *Client, method, path string, raw []byte) ([]byte, error) {
+	var rd io.Reader
+	if raw != nil {
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: build request: %w", err)
+	}
+	if raw != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Budget > 0 {
+		req.Header.Set("X-Budget", strconv.FormatInt(c.Budget, 10))
+	}
+	if c.Timeout > 0 {
+		req.Header.Set("X-Timeout", c.Timeout.String())
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{Status: resp.StatusCode, Message: string(body)}
+		var er server.ErrorResponse
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			apiErr.Message = er.Error
+			apiErr.Code = er.Code
+			apiErr.Stage = er.Stage
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, apiErr
+	}
+	return body, nil
+}
+
+// Eval evaluates one MSO query over one structure.
+func (c *Client) Eval(ctx context.Context, req server.EvalRequest) (*server.EvalResponse, error) {
+	return do[server.EvalResponse](ctx, c, http.MethodPost, "/eval", req)
+}
+
+// Solve runs a named solver problem (decide/count/optimize).
+func (c *Client) Solve(ctx context.Context, req server.SolveRequest) (*server.SolveResponse, error) {
+	return do[server.SolveResponse](ctx, c, http.MethodPost, "/solve", req)
+}
+
+// Batch evaluates many queries grouped per structure.
+func (c *Client) Batch(ctx context.Context, req server.BatchRequest) (*server.BatchResponse, error) {
+	return do[server.BatchResponse](ctx, c, http.MethodPost, "/batch", req)
+}
+
+// Mutate edits a resident structure, keeping its session warm.
+func (c *Client) Mutate(ctx context.Context, req server.MutateRequest) (*server.MutateResponse, error) {
+	return do[server.MutateResponse](ctx, c, http.MethodPost, "/mutate", req)
+}
+
+// Healthz checks liveness (no retries beyond the standard loop).
+func (c *Client) Healthz(ctx context.Context) error {
+	_, err := do[map[string]string](ctx, c, http.MethodGet, "/healthz", nil)
+	return err
+}
+
+// Statsz fetches the server's counters.
+func (c *Client) Statsz(ctx context.Context) (*server.StatszResponse, error) {
+	return do[server.StatszResponse](ctx, c, http.MethodGet, "/statsz", nil)
+}

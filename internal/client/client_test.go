@@ -1,0 +1,257 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// newFakeServer serves scripted responses: each call pops the next
+// (status, retryAfter) pair, falling through to 200 with a fixed eval
+// body once the script is spent.
+func newFakeServer(t *testing.T, script []struct {
+	status     int
+	retryAfter string
+}) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(calls.Add(1)) - 1
+		if n < len(script) {
+			step := script[n]
+			if step.retryAfter != "" {
+				w.Header().Set("Retry-After", step.retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(step.status)
+			json.NewEncoder(w).Encode(server.ErrorResponse{ //nolint:errcheck
+				Error:  "scripted failure",
+				Status: step.status,
+				Code:   6,
+			})
+			return
+		}
+		holds := true
+		json.NewEncoder(w).Encode(server.EvalResponse{Holds: &holds, Width: 1}) //nolint:errcheck
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// instant replaces the backoff sleep, recording requested durations.
+func instant(c *Client) *[]time.Duration {
+	var slept []time.Duration
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return ctx.Err()
+	}
+	return &slept
+}
+
+func TestRetryConvergesAfterOverload(t *testing.T) {
+	ts, calls := newFakeServer(t, []struct {
+		status     int
+		retryAfter string
+	}{
+		{http.StatusTooManyRequests, "1"},
+		{http.StatusServiceUnavailable, "2"},
+	})
+	c := New(ts.URL)
+	slept := instant(c)
+	resp, err := c.Eval(context.Background(), server.EvalRequest{Structure: "dom a.", Formula: "c(x)", Var: "x"})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if resp.Holds == nil || !*resp.Holds {
+		t.Errorf("holds = %v, want true", resp.Holds)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (two rejections, one success)", got)
+	}
+	// Retry-After floors the jittered backoff: the first sleep honors
+	// the 1s hint, the second the 2s hint.
+	if len(*slept) != 2 || (*slept)[0] < time.Second || (*slept)[1] < 2*time.Second {
+		t.Errorf("sleeps = %v, want [>=1s >=2s] honoring Retry-After", *slept)
+	}
+}
+
+func TestNonRetryableFailsFast(t *testing.T) {
+	ts, calls := newFakeServer(t, []struct {
+		status     int
+		retryAfter string
+	}{
+		{http.StatusBadRequest, ""},
+	})
+	c := New(ts.URL)
+	instant(c)
+	_, err := c.Eval(context.Background(), server.EvalRequest{Structure: "dom a.", Formula: "c(x"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want a 400 APIError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (400 is not retryable)", got)
+	}
+}
+
+func TestRetryBudgetExhausts(t *testing.T) {
+	script := make([]struct {
+		status     int
+		retryAfter string
+	}, 10)
+	for i := range script {
+		script[i] = struct {
+			status     int
+			retryAfter string
+		}{http.StatusTooManyRequests, "1"}
+	}
+	ts, calls := newFakeServer(t, script)
+	c := New(ts.URL)
+	c.MaxAttempts = 3
+	instant(c)
+	_, err := c.Eval(context.Background(), server.EvalRequest{Structure: "dom a.", Formula: "c(x)", Var: "x"})
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want it to wrap the final 429", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want exactly MaxAttempts=3", got)
+	}
+}
+
+func TestContextCancelStopsBackoff(t *testing.T) {
+	ts, _ := newFakeServer(t, []struct {
+		status     int
+		retryAfter string
+	}{
+		{http.StatusTooManyRequests, "1"},
+		{http.StatusTooManyRequests, "1"},
+	})
+	c := New(ts.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		cancel() // canceled mid-backoff
+		return ctx.Err()
+	}
+	_, err := c.Eval(ctx, server.EvalRequest{Structure: "dom a.", Formula: "c(x)", Var: "x"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTransportErrorRetries(t *testing.T) {
+	// A server that drops the first connection, then answers.
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijacker")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close()
+			return
+		}
+		holds := true
+		json.NewEncoder(w).Encode(server.EvalResponse{Holds: &holds}) //nolint:errcheck
+	}))
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+	instant(c)
+	resp, err := c.Eval(context.Background(), server.EvalRequest{Structure: "dom a.", Formula: "c(x)", Var: "x"})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if resp.Holds == nil || !*resp.Holds {
+		t.Errorf("holds = %v, want true after a transport retry", resp.Holds)
+	}
+}
+
+func TestHeadersSent(t *testing.T) {
+	var gotBudget, gotTimeout string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotBudget = r.Header.Get("X-Budget")
+		gotTimeout = r.Header.Get("X-Timeout")
+		holds := true
+		json.NewEncoder(w).Encode(server.EvalResponse{Holds: &holds}) //nolint:errcheck
+	}))
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+	c.Budget = 5000
+	c.Timeout = 2 * time.Second
+	if _, err := c.Eval(context.Background(), server.EvalRequest{Structure: "dom a.", Formula: "c(x)", Var: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if gotBudget != "5000" || gotTimeout != "2s" {
+		t.Errorf("headers = (%q, %q), want (5000, 2s)", gotBudget, gotTimeout)
+	}
+}
+
+// TestEndToEndAgainstRealServer drives the real server through the
+// client: typed round trips for all five endpoints.
+func TestEndToEndAgainstRealServer(t *testing.T) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+	ctx := context.Background()
+
+	const path = "dom v0 v1 v2 v3.\nedge(v0, v1). edge(v1, v2). edge(v2, v3).\nc(v0). c(v2).\n"
+	ev, err := c.Eval(ctx, server.EvalRequest{Structure: path, Formula: "c(x)", Var: "x"})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if len(ev.Selected) != 2 {
+		t.Errorf("selected = %v, want 2 elements", ev.Selected)
+	}
+	sv, err := c.Solve(ctx, server.SolveRequest{Structure: path, Problem: "vcover", Mode: "optimize"})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if sv.Feasible == nil || !*sv.Feasible {
+		t.Errorf("solve feasible = %v, want true", sv.Feasible)
+	}
+	bt, err := c.Batch(ctx, server.BatchRequest{
+		Structures: []string{path},
+		Queries:    []server.BatchQuery{{Structure: 0, Formula: "c(x)", Var: "x"}},
+	})
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(bt.Results) != 1 || bt.Results[0].Status != http.StatusOK {
+		t.Errorf("batch results = %+v, want one 200", bt.Results)
+	}
+	mu, err := c.Mutate(ctx, server.MutateRequest{
+		Structure: path,
+		Insert:    []server.MutateFact{{Pred: "c", Args: []string{"v3"}}},
+	})
+	if err != nil {
+		t.Fatalf("mutate: %v", err)
+	}
+	if mu.Changes != 1 {
+		t.Errorf("mutate changes = %d, want 1", mu.Changes)
+	}
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	stats, err := c.Statsz(ctx)
+	if err != nil {
+		t.Fatalf("statsz: %v", err)
+	}
+	if stats.Requests < 4 {
+		t.Errorf("statsz requests = %d, want >= 4", stats.Requests)
+	}
+}

@@ -4,13 +4,12 @@ import (
 	"context"
 	"errors"
 	"math/rand"
-	"runtime"
 	"sync/atomic"
 	"testing"
-	"time"
 
 	"repro/internal/decompose"
 	"repro/internal/graph"
+	"repro/internal/testutil/leak"
 	"repro/internal/tree"
 )
 
@@ -44,7 +43,7 @@ func TestScheduleCancelMidRun(t *testing.T) {
 	prev := SetMaxWorkers(8)
 	defer SetMaxWorkers(prev)
 
-	before := runtime.NumGoroutine()
+	snap := leak.Before()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var calls atomic.Int64
@@ -57,12 +56,7 @@ func TestScheduleCancelMidRun(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
-	for i := 0; i < 40 && runtime.NumGoroutine() > before; i++ {
-		time.Sleep(5 * time.Millisecond)
-	}
-	if after := runtime.NumGoroutine(); after > before {
-		t.Fatalf("goroutine leak: %d before, %d after cancellation", before, after)
-	}
+	snap.Check(t)
 	// The pool is reusable after a cancelled run.
 	if err := Schedule(context.Background(), nice, false, func(int) error { return nil }); err != nil {
 		t.Fatalf("pool poisoned after cancellation: %v", err)

@@ -3,25 +3,12 @@ package dp
 import (
 	"context"
 	"errors"
-	"runtime"
 	"testing"
-	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/stage"
+	"repro/internal/testutil/leak"
 )
-
-// waitGoroutines polls until the goroutine count drops back to base (or
-// a bounded wait expires) and fails the test on a leak.
-func waitGoroutines(t *testing.T, base int) {
-	t.Helper()
-	for i := 0; i < 40 && runtime.NumGoroutine() > base; i++ {
-		time.Sleep(5 * time.Millisecond)
-	}
-	if after := runtime.NumGoroutine(); after > base {
-		t.Fatalf("goroutine leak: %d before, %d after", base, after)
-	}
-}
 
 // TestChaosScheduleNodeFault injects a fault at the per-node point of
 // the parallel scheduler: the run must abort with the injected error,
@@ -32,13 +19,13 @@ func TestChaosScheduleNodeFault(t *testing.T) {
 	prev := SetMaxWorkers(8)
 	defer SetMaxWorkers(prev)
 
-	before := runtime.NumGoroutine()
+	snap := leak.Before()
 	faultinject.FailAt("dp.node", 5)
 	err := Schedule(context.Background(), nice, false, func(int) error { return nil })
 	if !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("err = %v, want injected fault", err)
 	}
-	waitGoroutines(t, before)
+	snap.Check(t)
 
 	faultinject.Reset()
 	if err := Schedule(context.Background(), nice, false, func(int) error { return nil }); err != nil {
@@ -55,13 +42,13 @@ func TestChaosScheduleChainFault(t *testing.T) {
 	prev := SetMaxWorkers(8)
 	defer SetMaxWorkers(prev)
 
-	before := runtime.NumGoroutine()
+	snap := leak.Before()
 	faultinject.FailAt("dp.chain", 2)
 	err := Schedule(context.Background(), nice, false, func(int) error { return nil })
 	if !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("err = %v, want injected fault", err)
 	}
-	waitGoroutines(t, before)
+	snap.Check(t)
 }
 
 // TestChaosSchedulePanicContained checks that a panic in a compute
@@ -74,7 +61,7 @@ func TestChaosSchedulePanicContained(t *testing.T) {
 	prev := SetMaxWorkers(1)
 	defer SetMaxWorkers(prev)
 
-	before := runtime.NumGoroutine()
+	snap := leak.Before()
 	calls := 0
 	err := Schedule(context.Background(), nice, false, func(int) error {
 		if calls++; calls == 7 {
@@ -89,7 +76,7 @@ func TestChaosSchedulePanicContained(t *testing.T) {
 	if pe.Value != "evaluator bug" || len(pe.Stack) == 0 {
 		t.Fatalf("panic value %v, stack %d bytes", pe.Value, len(pe.Stack))
 	}
-	waitGoroutines(t, before)
+	snap.Check(t)
 
 	// The panic poisoned nothing: the same decomposition runs clean.
 	if err := Schedule(context.Background(), nice, false, func(int) error { return nil }); err != nil {

@@ -1,0 +1,237 @@
+package overload
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is the sentinel under every breaker fast-fail: test
+// with errors.Is. The concrete error is a *BreakerOpenError carrying a
+// Retry-After hint.
+var ErrBreakerOpen = errors.New("overload: circuit breaker open")
+
+// BreakerOpenError reports a fast-failed request. It unwraps to
+// ErrBreakerOpen.
+type BreakerOpenError struct {
+	// RetryAfter is the remaining cooldown before the breaker half-opens
+	// (floored at 1s for the header's whole-second granularity).
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("overload: circuit breaker open, retry after %v", e.RetryAfter)
+}
+
+func (e *BreakerOpenError) Unwrap() error { return ErrBreakerOpen }
+
+// RetryAfterHint exposes the Retry-After duration behind the
+// cli.RetryAfter extraction without an import cycle.
+func (e *BreakerOpenError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
+// BreakerState is the classic three-state machine.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// BreakerConfig parameterizes a Breaker. The zero value resolves to the
+// defaults below.
+type BreakerConfig struct {
+	// Threshold is how many consecutive failures open the breaker.
+	Threshold int
+	// Cooldown is how long an open breaker fast-fails before half-open
+	// probes are allowed.
+	Cooldown time.Duration
+	// ProbeSuccesses is how many consecutive half-open successes close
+	// the breaker again.
+	ProbeSuccesses int
+	// now is injectable for tests.
+	now func() time.Time
+}
+
+// Breaker defaults.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 5 * time.Second
+	DefaultProbeSuccesses   = 2
+)
+
+// BreakerCounters tallies one breaker's lifetime transitions and
+// fast-fails; the server sums them across all per-fingerprint breakers
+// for /statsz.
+type BreakerCounters struct {
+	Opened    int64 `json:"opened"`
+	HalfOpens int64 `json:"half_opens"`
+	Closed    int64 `json:"closed"`
+	FastFails int64 `json:"fast_fails"`
+}
+
+// Breaker is one circuit breaker: closed (counting consecutive
+// failures) → open (fast-failing for Cooldown) → half-open (one probe
+// at a time; ProbeSuccesses consecutive successes close it, any failure
+// re-opens it). The server keys one Breaker per structure fingerprint,
+// so a pathological structure fast-fails instead of poisoning shared
+// worker capacity. All methods are safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int // consecutive failures while closed
+	successes int // consecutive probe successes while half-open
+	openedAt  time.Time
+	probing   bool // a half-open probe is in flight
+	counters  BreakerCounters
+}
+
+// NewBreaker builds a Breaker, resolving zero config fields to
+// defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = DefaultBreakerThreshold
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultBreakerCooldown
+	}
+	if cfg.ProbeSuccesses <= 0 {
+		cfg.ProbeSuccesses = DefaultProbeSuccesses
+	}
+	now := cfg.now
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{cfg: cfg, now: now}
+}
+
+// Allow reports whether a request may proceed. While open it returns a
+// *BreakerOpenError until the cooldown elapses, then transitions to
+// half-open and admits one probe at a time (concurrent requests during
+// a probe keep fast-failing — one bad structure must not re-flood the
+// workers the moment the cooldown ends). Every admitted request must be
+// answered by exactly one Record call.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		remaining := b.cfg.Cooldown - b.now().Sub(b.openedAt)
+		if remaining > 0 {
+			b.counters.FastFails++
+			return &BreakerOpenError{RetryAfter: floorSecond(remaining)}
+		}
+		b.state = BreakerHalfOpen
+		b.successes = 0
+		b.counters.HalfOpens++
+		b.probing = true
+		return nil
+	case BreakerHalfOpen:
+		if b.probing {
+			b.counters.FastFails++
+			return &BreakerOpenError{RetryAfter: floorSecond(b.cfg.Cooldown)}
+		}
+		b.probing = true
+		return nil
+	}
+	return nil
+}
+
+// Record reports the outcome of an admitted request. failure=true means
+// a capacity-poisoning failure (panic, budget blowup, injected fault —
+// the server classifies); ordinary usage errors and timeouts count as
+// successes for the breaker's purposes.
+func (b *Breaker) Record(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if failure {
+			b.failures++
+			if b.failures >= b.cfg.Threshold {
+				b.openLocked()
+			}
+		} else {
+			b.failures = 0
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if failure {
+			b.openLocked()
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.ProbeSuccesses {
+			b.state = BreakerClosed
+			b.failures = 0
+			b.counters.Closed++
+		}
+	case BreakerOpen:
+		// A request admitted before the trip finishing now: ignore.
+	}
+}
+
+// Cancel un-admits a request that passed Allow but never ran — the
+// admission limiter shed it downstream. A half-open probe slot is
+// released without counting success or failure; closed and open states
+// have nothing to undo.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+}
+
+func (b *Breaker) openLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.successes = 0
+	b.probing = false
+	b.counters.Opened++
+}
+
+// State reports the current state, observing cooldown expiry (an open
+// breaker past its cooldown reports open until the next Allow actually
+// transitions it — State is a pure read).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Counters snapshots the lifetime transition counters.
+func (b *Breaker) Counters() BreakerCounters {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.counters
+}
+
+// floorSecond floors d at one second, matching the Retry-After header's
+// whole-second granularity.
+func floorSecond(d time.Duration) time.Duration {
+	if d < time.Second {
+		return time.Second
+	}
+	return d
+}

@@ -1,0 +1,130 @@
+package overload
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Minute, ProbeSuccesses: 2, now: clock.now})
+
+	// Closed: failures below the threshold keep admitting; a success
+	// resets the consecutive count.
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed Allow %d: %v", i, err)
+		}
+		b.Record(true)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(false) // success resets
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("Allow after reset: %v", err)
+		}
+		b.Record(true)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after 2 consecutive failures (threshold 3), want closed", b.State())
+	}
+
+	// Third consecutive failure opens it.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+
+	// Open: fast-fail with a Retry-After no longer than the cooldown.
+	err := b.Allow()
+	var open *BreakerOpenError
+	if !errors.As(err, &open) || !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open Allow: err = %v, want *BreakerOpenError", err)
+	}
+	if open.RetryAfter <= 0 || open.RetryAfter > time.Minute {
+		t.Errorf("RetryAfter = %v, want in (0, cooldown]", open.RetryAfter)
+	}
+
+	// Cooldown elapses: half-open admits exactly one probe at a time.
+	clock.advance(61 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe refused: %v", err)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent probe: err = %v, want fast-fail", err)
+	}
+	b.Record(false) // probe 1 succeeds
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v after 1/2 probe successes, want half-open", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe 2 refused: %v", err)
+	}
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v after 2/2 probe successes, want closed", b.State())
+	}
+
+	c := b.Counters()
+	if c.Opened != 1 || c.HalfOpens != 1 || c.Closed != 1 {
+		t.Errorf("counters = %+v, want 1 open, 1 half-open, 1 close", c)
+	}
+	if c.FastFails < 2 {
+		t.Errorf("FastFails = %d, want ≥ 2", c.FastFails)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, ProbeSuccesses: 1, now: clock.now})
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	clock.advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	b.Record(true) // probe fails
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v after failed probe, want open again", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("reopened breaker admitted: %v", err)
+	}
+	if c := b.Counters(); c.Opened != 2 {
+		t.Errorf("Opened = %d, want 2", c.Opened)
+	}
+}
+
+func TestBreakerConcurrent(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Hour})
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				if b.Allow() == nil {
+					b.Record(j%2 == 0)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	// No assertion beyond -race cleanliness and not deadlocking; the
+	// state machine's invariants are pinned deterministically above.
+}

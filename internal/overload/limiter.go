@@ -1,0 +1,381 @@
+// Package overload provides the self-healing overload-control
+// primitives behind the decision service (internal/server): an adaptive
+// concurrency limiter with a bounded deadline-aware wait queue, a
+// per-key circuit breaker, and a tiered memory watchdog.
+//
+// The paper's linearity guarantee (monadic datalog over bounded
+// treewidth evaluates in time linear in the structure) is what makes
+// principled admission possible here: per-request cost is predictable
+// from structure size and mode, so the limiter can project queue waits
+// and shed expensive work first instead of queueing blindly. The known
+// blowup points (k-type state space, DP tables) are handled one layer
+// down by stage.Budget; this package is about protecting the *shared*
+// capacity from sustained overload, not one request from itself.
+//
+// The package depends only on the standard library so the cli layer and
+// the HTTP client can both classify its errors without import cycles.
+package overload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrShed is the sentinel under every admission rejection: test with
+// errors.Is. The concrete error is a *ShedError carrying the reason and
+// a Retry-After hint.
+var ErrShed = errors.New("overload: request shed")
+
+// ShedError reports one shed request. It unwraps to ErrShed.
+type ShedError struct {
+	// Reason is "queue-full", "deadline" (projected queue wait exceeds
+	// the request's deadline) or "cost" (expensive request shed under
+	// queue pressure).
+	Reason string
+	// RetryAfter is the server's estimate of when capacity frees up —
+	// the Retry-After header value, never zero.
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("overload: request shed (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+func (e *ShedError) Unwrap() error { return ErrShed }
+
+// RetryAfterHint exposes the Retry-After duration behind the
+// cli.RetryAfter extraction without an import cycle.
+func (e *ShedError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
+// LimiterConfig parameterizes a Limiter. The zero value resolves to the
+// defaults below.
+type LimiterConfig struct {
+	// Initial, Min and Max bound the adaptive concurrency limit.
+	Initial, Min, Max int
+	// QueueCap bounds the wait queue; a request arriving with the queue
+	// full is shed immediately. Negative disables queueing entirely.
+	QueueCap int
+	// LatencyTarget is the AIMD setpoint: observed (EWMA) latency above
+	// it shrinks the limit multiplicatively, below it grows the limit
+	// additively. Zero disables adaptation (fixed limit).
+	LatencyTarget time.Duration
+	// AdjustEvery is how many completed requests between AIMD
+	// adjustments (default 16).
+	AdjustEvery int
+	// now is injectable for tests.
+	now func() time.Time
+}
+
+// Limiter defaults.
+const (
+	DefaultInitialLimit = 8
+	DefaultMinLimit     = 1
+	DefaultMaxLimit     = 256
+	DefaultQueueCap     = 64
+	DefaultAdjustEvery  = 16
+)
+
+// ewmaAlpha weights the latency/cost moving averages: ~86% of the mass
+// over the last 12 samples.
+const ewmaAlpha = 0.15
+
+// decreaseFactor is the multiplicative-decrease applied when observed
+// latency exceeds the target; additive increase is +1.
+const decreaseFactor = 0.75
+
+// waiter is one queued request.
+type waiter struct {
+	ready chan struct{} // closed by the releaser handing over a slot
+	cost  int64
+}
+
+// LimiterStats is a snapshot of the limiter's counters for /statsz.
+type LimiterStats struct {
+	Limit       int   `json:"limit"`
+	Inflight    int   `json:"inflight"`
+	QueueDepth  int   `json:"queue_depth"`
+	QueueCap    int   `json:"queue_cap"`
+	Admitted    int64 `json:"admitted"`
+	Shed        int64 `json:"shed"`
+	ShedQueue   int64 `json:"shed_queue_full"`
+	ShedWait    int64 `json:"shed_deadline"`
+	ShedCost    int64 `json:"shed_cost"`
+	EWMANanos   int64 `json:"ewma_latency_ns"`
+	LimitRaises int64 `json:"limit_raises"`
+	LimitDrops  int64 `json:"limit_drops"`
+}
+
+// Limiter is an adaptive concurrency limiter: at most `limit` requests
+// run at once, the next QueueCap wait FIFO, everything else is shed
+// with a *ShedError. The limit adapts AIMD-style to the observed
+// latency versus LatencyTarget (in the spirit of gradient/Vegas
+// limiters: latency is the congestion signal). All methods are safe for
+// concurrent use.
+type Limiter struct {
+	cfg LimiterConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	limit    int
+	inflight int
+	queue    []*waiter
+
+	// ewmaNS is the moving average of observed request latency; costEWMA
+	// the moving average of admitted request cost — the calibration that
+	// turns "queue of k requests" into a projected wait and "expensive"
+	// into a comparable threshold.
+	ewmaNS   float64
+	costEWMA float64
+	samples  int // completions since the last AIMD adjustment
+
+	admitted, shed          int64
+	shedQueue, shedWait     int64
+	shedCost                int64
+	limitRaises, limitDrops int64
+}
+
+// NewLimiter builds a Limiter, resolving zero config fields to
+// defaults.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	if cfg.Initial <= 0 {
+		cfg.Initial = DefaultInitialLimit
+	}
+	if cfg.Min <= 0 {
+		cfg.Min = DefaultMinLimit
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = DefaultMaxLimit
+	}
+	if cfg.Max < cfg.Min {
+		cfg.Max = cfg.Min
+	}
+	if cfg.Initial < cfg.Min {
+		cfg.Initial = cfg.Min
+	}
+	if cfg.Initial > cfg.Max {
+		cfg.Initial = cfg.Max
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.QueueCap < 0 {
+		cfg.QueueCap = 0
+	}
+	if cfg.AdjustEvery <= 0 {
+		cfg.AdjustEvery = DefaultAdjustEvery
+	}
+	now := cfg.now
+	if now == nil {
+		now = time.Now
+	}
+	return &Limiter{cfg: cfg, now: now, limit: cfg.Initial}
+}
+
+// projectedWaitLocked estimates how long the (position+1)-th queued
+// request waits for a slot: each of the `limit` lanes completes a
+// request every ewma on average.
+func (l *Limiter) projectedWaitLocked(position int) time.Duration {
+	if l.ewmaNS <= 0 {
+		return 0
+	}
+	lanes := l.limit
+	if lanes < 1 {
+		lanes = 1
+	}
+	// position queued ahead of us, plus our own spot.
+	return time.Duration(l.ewmaNS * float64(position+1) / float64(lanes))
+}
+
+// retryAfterLocked is the Retry-After hint for a shed: the projected
+// time for the whole backlog to drain, floored at 1s (the header has
+// whole-second granularity and 0 invites an immediate stampede).
+func (l *Limiter) retryAfterLocked() time.Duration {
+	d := l.projectedWaitLocked(len(l.queue))
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// Acquire admits the request or sheds it. On admission it returns a
+// release func that MUST be called exactly once when the request
+// completes; release records the observed latency for AIMD adaptation
+// and hands the slot to the next queued waiter. cost is the caller's
+// cheap work estimate (see server: structure size × mode weight); it
+// only matters under queue pressure, where requests costing more than
+// 4× the admitted average are shed first. A nil error from Acquire
+// means admitted.
+func (l *Limiter) Acquire(ctx context.Context, cost int64) (release func(), err error) {
+	l.mu.Lock()
+	if l.inflight < l.limit && len(l.queue) == 0 {
+		l.inflight++
+		l.admitted++
+		start := l.now()
+		l.mu.Unlock()
+		return l.releaseFunc(start, cost), nil
+	}
+	// Slot unavailable: queue, or shed.
+	if len(l.queue) >= l.cfg.QueueCap {
+		l.shed++
+		l.shedQueue++
+		err := &ShedError{Reason: "queue-full", RetryAfter: l.retryAfterLocked()}
+		l.mu.Unlock()
+		return nil, err
+	}
+	// Shed expensive work first once the queue is half full: a request
+	// costing over 4× the admitted average would hold a lane for that
+	// multiple of the typical service time.
+	if len(l.queue)*2 >= l.cfg.QueueCap && l.costEWMA > 0 && float64(cost) > 4*l.costEWMA {
+		l.shed++
+		l.shedCost++
+		err := &ShedError{Reason: "cost", RetryAfter: l.retryAfterLocked()}
+		l.mu.Unlock()
+		return nil, err
+	}
+	// Deadline-aware: if the projected queue wait already exceeds the
+	// request's remaining deadline, fail now instead of timing out in
+	// line and wasting a slot on a doomed request.
+	if deadline, ok := ctx.Deadline(); ok {
+		if wait := l.projectedWaitLocked(len(l.queue)); wait > 0 && l.now().Add(wait).After(deadline) {
+			l.shed++
+			l.shedWait++
+			err := &ShedError{Reason: "deadline", RetryAfter: l.retryAfterLocked()}
+			l.mu.Unlock()
+			return nil, err
+		}
+	}
+	w := &waiter{ready: make(chan struct{}), cost: cost}
+	l.queue = append(l.queue, w)
+	l.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		// The releaser already counted us in-flight.
+		l.mu.Lock()
+		l.admitted++
+		start := l.now()
+		l.mu.Unlock()
+		return l.releaseFunc(start, cost), nil
+	case <-ctx.Done():
+		l.mu.Lock()
+		for i, q := range l.queue {
+			if q == w {
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				l.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		l.mu.Unlock()
+		// Lost the race: a slot was already handed to us. Take it and
+		// give it straight back so the chain keeps moving.
+		<-w.ready
+		l.mu.Lock()
+		start := l.now()
+		l.mu.Unlock()
+		l.releaseFunc(start, cost)()
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc returns the once-only completion callback for an admitted
+// request.
+func (l *Limiter) releaseFunc(start time.Time, cost int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			elapsed := l.now().Sub(start)
+			l.mu.Lock()
+			l.observeLocked(elapsed, cost)
+			// Hand the slot over (queue non-empty), or free it.
+			if len(l.queue) > 0 && l.inflight <= l.limit {
+				w := l.queue[0]
+				l.queue = l.queue[1:]
+				close(w.ready) // inflight count transfers to the waiter
+			} else {
+				l.inflight--
+			}
+			l.mu.Unlock()
+		})
+	}
+}
+
+// observeLocked folds one completed request into the moving averages
+// and runs the AIMD adjustment every AdjustEvery completions.
+func (l *Limiter) observeLocked(elapsed time.Duration, cost int64) {
+	ns := float64(elapsed.Nanoseconds())
+	if l.ewmaNS == 0 {
+		l.ewmaNS = ns
+	} else {
+		l.ewmaNS += ewmaAlpha * (ns - l.ewmaNS)
+	}
+	if cost > 0 {
+		if l.costEWMA == 0 {
+			l.costEWMA = float64(cost)
+		} else {
+			l.costEWMA += ewmaAlpha * (float64(cost) - l.costEWMA)
+		}
+	}
+	if l.cfg.LatencyTarget <= 0 {
+		return
+	}
+	l.samples++
+	if l.samples < l.cfg.AdjustEvery {
+		return
+	}
+	l.samples = 0
+	target := float64(l.cfg.LatencyTarget.Nanoseconds())
+	switch {
+	case l.ewmaNS > target:
+		// Multiplicative decrease: latency over target means the
+		// concurrency is past the throughput knee.
+		next := int(float64(l.limit) * decreaseFactor)
+		if next < l.cfg.Min {
+			next = l.cfg.Min
+		}
+		if next < l.limit {
+			l.limit = next
+			l.limitDrops++
+		}
+	case l.limit < l.cfg.Max:
+		// Additive increase: probe for headroom one lane at a time.
+		l.limit++
+		l.limitRaises++
+		// Wake a waiter into the new lane immediately.
+		if len(l.queue) > 0 && l.inflight < l.limit {
+			w := l.queue[0]
+			l.queue = l.queue[1:]
+			l.inflight++
+			close(w.ready)
+		}
+	}
+}
+
+// Stats snapshots the limiter's counters.
+func (l *Limiter) Stats() LimiterStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LimiterStats{
+		Limit:       l.limit,
+		Inflight:    l.inflight,
+		QueueDepth:  len(l.queue),
+		QueueCap:    l.cfg.QueueCap,
+		Admitted:    l.admitted,
+		Shed:        l.shed,
+		ShedQueue:   l.shedQueue,
+		ShedWait:    l.shedWait,
+		ShedCost:    l.shedCost,
+		EWMANanos:   int64(l.ewmaNS),
+		LimitRaises: l.limitRaises,
+		LimitDrops:  l.limitDrops,
+	}
+}
+
+// Limit reports the current adaptive concurrency limit.
+func (l *Limiter) Limit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limit
+}

@@ -1,0 +1,314 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic latency
+// observations.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// The clock starts at real now so tests can still derive context
+// deadlines (which the runtime checks against real time) from it.
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Now()} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestLimiterAdmitsUpToLimit(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 2, Min: 2, Max: 2, QueueCap: -1})
+	r1, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Third concurrent request with no queue: shed, with a Retry-After.
+	_, err = l.Acquire(context.Background(), 1)
+	var shed *ShedError
+	if !errors.As(err, &shed) || !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want *ShedError", err)
+	}
+	if shed.Reason != "queue-full" {
+		t.Errorf("reason = %q, want queue-full", shed.Reason)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v, want > 0", shed.RetryAfter)
+	}
+	r1()
+	r2()
+	// Capacity restored.
+	r3, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	r3()
+	st := l.Stats()
+	if st.Admitted != 3 || st.Shed != 1 || st.ShedQueue != 1 {
+		t.Errorf("stats = %+v, want 3 admitted, 1 shed (queue-full)", st)
+	}
+}
+
+func TestLimiterQueueHandsOverFIFO(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 1, Min: 1, Max: 1, QueueCap: 4})
+	r1, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	started := make(chan struct{}, 3)
+	for i := 1; i <= 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			// Stagger entry so the FIFO order is deterministic.
+			time.Sleep(time.Duration(i) * 20 * time.Millisecond)
+			r, err := l.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r()
+		}(i)
+	}
+	for i := 0; i < 3; i++ {
+		<-started
+	}
+	time.Sleep(120 * time.Millisecond) // all three queued
+	r1()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("dequeue order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestLimiterQueuedCancelReleasesSlot(t *testing.T) {
+	l := NewLimiter(LimiterConfig{Initial: 1, Min: 1, Max: 1, QueueCap: 4})
+	r1, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(ctx, 1)
+		errc <- err
+	}()
+	for l.Stats().QueueDepth == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued cancel: err = %v, want context.Canceled", err)
+	}
+	r1()
+	// The abandoned waiter must not have consumed the slot.
+	r2, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("slot leaked to canceled waiter: %v", err)
+	}
+	r2()
+	if st := l.Stats(); st.Inflight != 0 || st.QueueDepth != 0 {
+		t.Errorf("stats = %+v, want drained", st)
+	}
+}
+
+// TestLimiterDeadlineAwareShed: once the limiter has a latency estimate,
+// a queued request whose remaining deadline is shorter than the
+// projected queue wait is shed immediately.
+func TestLimiterDeadlineAwareShed(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{Initial: 1, Min: 1, Max: 1, QueueCap: 8, now: clock.now})
+	// Teach the EWMA: one request taking 100ms.
+	r, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(100 * time.Millisecond)
+	r()
+
+	// Occupy the only slot.
+	r1, err := l.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	// A 10ms deadline cannot survive a ~100ms projected wait.
+	ctx, cancel := context.WithDeadline(context.Background(), clock.now().Add(10*time.Millisecond))
+	defer cancel()
+	_, err = l.Acquire(ctx, 1)
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("err = %v, want *ShedError", err)
+	}
+	if shed.Reason != "deadline" {
+		t.Errorf("reason = %q, want deadline", shed.Reason)
+	}
+	if st := l.Stats(); st.ShedWait != 1 {
+		t.Errorf("ShedWait = %d, want 1", st.ShedWait)
+	}
+	// A deadline with room queues instead.
+	ctx2, cancel2 := context.WithDeadline(context.Background(), clock.now().Add(time.Hour))
+	defer cancel2()
+	done := make(chan error, 1)
+	go func() {
+		r2, err := l.Acquire(ctx2, 1)
+		if err == nil {
+			r2()
+		}
+		done <- err
+	}()
+	for l.Stats().QueueDepth == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	r1()
+	if err := <-done; err != nil {
+		t.Fatalf("roomy deadline was shed: %v", err)
+	}
+}
+
+// TestLimiterCostShedUnderPressure: with the queue at least half full,
+// requests costing over 4× the admitted average are shed first.
+func TestLimiterCostShedUnderPressure(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{Initial: 1, Min: 1, Max: 1, QueueCap: 2, now: clock.now})
+	// Calibrate the cost EWMA at ~10.
+	r, err := l.Acquire(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(time.Millisecond)
+	r()
+
+	r1, err := l.Acquire(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	// Fill half the queue (1 of 2).
+	queued := make(chan error, 1)
+	go func() {
+		r2, err := l.Acquire(context.Background(), 10)
+		if err == nil {
+			defer r2()
+		}
+		queued <- err
+	}()
+	for l.Stats().QueueDepth == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// An expensive request (100 > 4×10) is shed; a cheap one queues.
+	_, err = l.Acquire(context.Background(), 100)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "cost" {
+		t.Fatalf("expensive under pressure: err = %v, want cost shed", err)
+	}
+	if st := l.Stats(); st.ShedCost != 1 {
+		t.Errorf("ShedCost = %d, want 1", st.ShedCost)
+	}
+	r1()
+	if err := <-queued; err != nil {
+		t.Fatalf("cheap queued request failed: %v", err)
+	}
+}
+
+// TestLimiterAIMD pins the adaptation: sustained latency above target
+// shrinks the limit multiplicatively; below target it grows by one per
+// adjustment window.
+func TestLimiterAIMD(t *testing.T) {
+	clock := newFakeClock()
+	l := NewLimiter(LimiterConfig{
+		Initial: 8, Min: 1, Max: 16, QueueCap: 4,
+		LatencyTarget: 10 * time.Millisecond, AdjustEvery: 4, now: clock.now,
+	})
+	slow := func(d time.Duration, n int) {
+		for i := 0; i < n; i++ {
+			r, err := l.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clock.advance(d)
+			r()
+		}
+	}
+	slow(50*time.Millisecond, 8) // two windows over target
+	if got := l.Limit(); got >= 8 {
+		t.Errorf("limit = %d after sustained over-target latency, want < 8", got)
+	}
+	dropped := l.Limit()
+	// Fast traffic grows it back one lane per window. The EWMA needs a
+	// few samples to come back under target first.
+	slow(time.Millisecond, 64)
+	if got := l.Limit(); got <= dropped {
+		t.Errorf("limit = %d after sustained under-target latency, want > %d", got, dropped)
+	}
+	st := l.Stats()
+	if st.LimitDrops == 0 || st.LimitRaises == 0 {
+		t.Errorf("stats = %+v, want both drops and raises recorded", st)
+	}
+}
+
+// TestLimiterConcurrentStress hammers the limiter from many goroutines
+// under -race, asserting the limit is never exceeded and nothing
+// deadlocks or leaks.
+func TestLimiterConcurrentStress(t *testing.T) {
+	const limit = 4
+	l := NewLimiter(LimiterConfig{Initial: limit, Min: limit, Max: limit, QueueCap: 64})
+	var inflight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				r, err := l.Acquire(context.Background(), 1)
+				if err != nil {
+					continue // shed under queue pressure is fine
+				}
+				cur := inflight.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				inflight.Add(-1)
+				r()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > limit {
+		t.Errorf("peak concurrency %d exceeded limit %d", p, limit)
+	}
+	if st := l.Stats(); st.Inflight != 0 || st.QueueDepth != 0 {
+		t.Errorf("stats after drain = %+v, want empty", st)
+	}
+}

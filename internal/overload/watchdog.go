@@ -1,0 +1,157 @@
+package overload
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Tier is one cache-shedding rung of the watchdog: Shed drops some
+// reclaimable state and reports how many entries it released. The
+// server registers its tiers cheapest-first (per-session result caches
+// → shared program cache → FIFO session eviction).
+type Tier struct {
+	Name string
+	Shed func() int
+}
+
+// WatchdogConfig parameterizes a Watchdog. The zero value resolves to
+// the defaults below (except Watermark, which must be set: a zero
+// watermark disables the watchdog).
+type WatchdogConfig struct {
+	// Watermark is the heap-alloc high-water mark in bytes; a reading
+	// above it trips the shedding ladder. 0 disables.
+	Watermark uint64
+	// Interval is how often the loop samples runtime.MemStats.
+	Interval time.Duration
+	// readMem is injectable for tests; defaults to runtime.ReadMemStats
+	// HeapAlloc.
+	readMem func() uint64
+}
+
+// DefaultWatchdogInterval is the sampling period of Watchdog.Run.
+const DefaultWatchdogInterval = time.Second
+
+// TierStats is one tier's trip accounting for /statsz.
+type TierStats struct {
+	Name  string `json:"name"`
+	Trips int64  `json:"trips"`
+	Shed  int64  `json:"shed_entries"`
+}
+
+// WatchdogStats is the watchdog's /statsz view.
+type WatchdogStats struct {
+	Watermark uint64      `json:"watermark_bytes"`
+	LastHeap  uint64      `json:"last_heap_bytes"`
+	Trips     int64       `json:"trips"`
+	Tiers     []TierStats `json:"tiers"`
+}
+
+// Watchdog samples the heap against a watermark and sheds caches in
+// tiers until the reading drops below it: tier 1 first, re-measure
+// (after a forced GC so freed memory is visible), then tier 2, and so
+// on. Every trip is counted per tier. All methods are safe for
+// concurrent use.
+type Watchdog struct {
+	cfg     WatchdogConfig
+	readMem func() uint64
+	tiers   []Tier
+
+	mu       sync.Mutex
+	lastHeap uint64
+	trips    int64
+	perTier  []TierStats
+}
+
+// NewWatchdog builds a Watchdog over the given shedding tiers, applied
+// in order.
+func NewWatchdog(cfg WatchdogConfig, tiers []Tier) *Watchdog {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultWatchdogInterval
+	}
+	readMem := cfg.readMem
+	if readMem == nil {
+		readMem = func() uint64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return ms.HeapAlloc
+		}
+	}
+	per := make([]TierStats, len(tiers))
+	for i, t := range tiers {
+		per[i].Name = t.Name
+	}
+	return &Watchdog{cfg: cfg, readMem: readMem, tiers: tiers, perTier: per}
+}
+
+// Run samples every Interval until ctx is canceled. A zero watermark
+// returns immediately.
+func (w *Watchdog) Run(ctx context.Context) {
+	if w.cfg.Watermark == 0 {
+		return
+	}
+	t := time.NewTicker(w.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			w.CheckOnce()
+		}
+	}
+}
+
+// CheckOnce takes one reading and, if it exceeds the watermark, walks
+// the shedding ladder: shed a tier, force a GC so the release is
+// visible, re-measure, stop as soon as the heap is back under the
+// watermark. It returns how many tiers were shed (0 = no trip). Exposed
+// for tests and for the soak harness's deterministic trips.
+func (w *Watchdog) CheckOnce() int {
+	if w.cfg.Watermark == 0 {
+		return 0
+	}
+	heap := w.readMem()
+	w.mu.Lock()
+	w.lastHeap = heap
+	w.mu.Unlock()
+	if heap <= w.cfg.Watermark {
+		return 0
+	}
+	w.mu.Lock()
+	w.trips++
+	w.mu.Unlock()
+	shedTiers := 0
+	for i, tier := range w.tiers {
+		n := tier.Shed()
+		shedTiers++
+		w.mu.Lock()
+		w.perTier[i].Trips++
+		w.perTier[i].Shed += int64(n)
+		w.mu.Unlock()
+		runtime.GC()
+		heap = w.readMem()
+		w.mu.Lock()
+		w.lastHeap = heap
+		w.mu.Unlock()
+		if heap <= w.cfg.Watermark {
+			break
+		}
+	}
+	return shedTiers
+}
+
+// Stats snapshots the watchdog's accounting.
+func (w *Watchdog) Stats() WatchdogStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tiers := make([]TierStats, len(w.perTier))
+	copy(tiers, w.perTier)
+	return WatchdogStats{
+		Watermark: w.cfg.Watermark,
+		LastHeap:  w.lastHeap,
+		Trips:     w.trips,
+		Tiers:     tiers,
+	}
+}

@@ -1,0 +1,116 @@
+package overload
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWatchdogTiers pins the shedding ladder: tiers trip in order, and
+// the walk stops at the first tier that brings the heap back under the
+// watermark.
+func TestWatchdogTiers(t *testing.T) {
+	var heap atomic.Uint64
+	heap.Store(100)
+	var shed1, shed2, shed3 int
+	tiers := []Tier{
+		{Name: "results", Shed: func() int { shed1++; heap.Store(90); return 7 }},
+		{Name: "programs", Shed: func() int { shed2++; heap.Store(40); return 3 }},
+		{Name: "sessions", Shed: func() int { shed3++; heap.Store(10); return 1 }},
+	}
+	w := NewWatchdog(WatchdogConfig{Watermark: 50, readMem: func() uint64 { return heap.Load() }}, tiers)
+
+	if n := w.CheckOnce(); n != 2 {
+		t.Fatalf("CheckOnce = %d tiers, want 2 (results did not release enough, programs did)", n)
+	}
+	if shed1 != 1 || shed2 != 1 || shed3 != 0 {
+		t.Errorf("tier calls = %d/%d/%d, want 1/1/0", shed1, shed2, shed3)
+	}
+	st := w.Stats()
+	if st.Trips != 1 {
+		t.Errorf("Trips = %d, want 1", st.Trips)
+	}
+	if len(st.Tiers) != 3 || st.Tiers[0].Trips != 1 || st.Tiers[0].Shed != 7 ||
+		st.Tiers[1].Trips != 1 || st.Tiers[1].Shed != 3 || st.Tiers[2].Trips != 0 {
+		t.Errorf("tier stats = %+v, want [1×7, 1×3, 0]", st.Tiers)
+	}
+	if st.LastHeap != 40 {
+		t.Errorf("LastHeap = %d, want 40", st.LastHeap)
+	}
+
+	// Under the watermark: no trip.
+	if n := w.CheckOnce(); n != 0 {
+		t.Fatalf("CheckOnce under watermark = %d, want 0", n)
+	}
+	if st := w.Stats(); st.Trips != 1 {
+		t.Errorf("Trips = %d after quiet check, want still 1", st.Trips)
+	}
+}
+
+// TestWatchdogAllTiersExhausted: when no tier releases enough, the walk
+// sheds everything once and stops.
+func TestWatchdogAllTiersExhausted(t *testing.T) {
+	calls := 0
+	tiers := []Tier{
+		{Name: "a", Shed: func() int { calls++; return 0 }},
+		{Name: "b", Shed: func() int { calls++; return 0 }},
+	}
+	w := NewWatchdog(WatchdogConfig{Watermark: 1, readMem: func() uint64 { return 100 }}, tiers)
+	if n := w.CheckOnce(); n != 2 {
+		t.Fatalf("CheckOnce = %d, want 2 (both tiers shed)", n)
+	}
+	if calls != 2 {
+		t.Errorf("shed calls = %d, want 2", calls)
+	}
+}
+
+func TestWatchdogDisabled(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{}, []Tier{{Name: "a", Shed: func() int { t.Fatal("shed called"); return 0 }}})
+	if n := w.CheckOnce(); n != 0 {
+		t.Fatalf("disabled CheckOnce = %d, want 0", n)
+	}
+	// Run returns immediately on a zero watermark.
+	done := make(chan struct{})
+	go func() {
+		w.Run(context.Background())
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Run did not return with a zero watermark")
+	}
+}
+
+// TestWatchdogRunLoop drives the ticker loop briefly with a tripping
+// reader and checks it both sheds and stops on cancel.
+func TestWatchdogRunLoop(t *testing.T) {
+	var heap atomic.Uint64
+	heap.Store(100)
+	tiers := []Tier{{Name: "a", Shed: func() int { heap.Store(10); return 1 }}}
+	w := NewWatchdog(WatchdogConfig{
+		Watermark: 50,
+		Interval:  5 * time.Millisecond,
+		readMem:   func() uint64 { return heap.Load() },
+	}, tiers)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		w.Run(ctx)
+		close(done)
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for w.Stats().Trips == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+	if w.Stats().Trips == 0 {
+		t.Error("watchdog loop never tripped")
+	}
+}

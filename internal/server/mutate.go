@@ -90,6 +90,11 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	oldFP := session.Fingerprint(st)
+	finish, err := s.admitOverload(ctx, []uint64{oldFP}, estimateCost(len(req.Structure), costMutate))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
 	sess := s.sessionFor(st)
 	if s.testGate != nil {
 		s.testGate(ctx, "mutate")
@@ -108,6 +113,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	})
+	finish(sameOutcome(err))
 	if err != nil {
 		s.fail(w, fmt.Errorf("%w: %v", cli.ErrUsage, err))
 		return

@@ -33,6 +33,7 @@ import (
 	"repro/internal/domset"
 	"repro/internal/graph"
 	"repro/internal/mso"
+	"repro/internal/overload"
 	"repro/internal/session"
 	"repro/internal/solver"
 	"repro/internal/stage"
@@ -44,7 +45,7 @@ import (
 
 // Config carries the server-wide defaults. The zero value is a usable
 // server: no budget, no deadline, default session cap, a fresh shared
-// program cache.
+// program cache, default admission limits, breakers, no watchdog.
 type Config struct {
 	// Budget is the default per-request uniform resource budget for
 	// each metered dimension (0 = unlimited). Overridable per request
@@ -54,6 +55,14 @@ type Config struct {
 	// Overridable per request via the X-Timeout header (a Go duration,
 	// e.g. "500ms").
 	Timeout time.Duration
+	// MaxBudget caps the X-Budget header (0 = no ceiling): a request
+	// demanding more is rejected with 400 rather than allowed to squat
+	// on capacity. The server-wide default Budget is not checked against
+	// it — the ceiling guards against clients, not configuration.
+	MaxBudget int64
+	// MaxTimeout caps the X-Timeout header the same way (0 = no
+	// ceiling).
+	MaxTimeout time.Duration
 	// MaxSessions caps the resident session registry; beyond it the
 	// oldest session is evicted FIFO (its program-cache entries survive
 	// in the shared cache). 0 means DefaultMaxSessions.
@@ -62,28 +71,75 @@ type Config struct {
 	MaxBody int64
 	// Progs is the shared warm program cache; nil means a fresh one.
 	Progs *session.ProgramCache
+
+	// Limiter configures adaptive admission in front of /eval, /solve,
+	// /batch and /mutate (see overload.Limiter). Zero fields resolve to
+	// the overload package defaults, except LatencyTarget, which
+	// defaults to DefaultLatencyTarget here (negative disables
+	// adaptation, freezing the limit at Initial).
+	Limiter overload.LimiterConfig
+	// Breaker configures the per-structure-fingerprint circuit breakers
+	// (see overload.Breaker). Zero fields resolve to the overload
+	// package defaults.
+	Breaker overload.BreakerConfig
+	// MemWatermark, when nonzero, enables the memory watchdog: a heap
+	// reading above this many bytes sheds caches in tiers (per-session
+	// result caches → shared program cache → FIFO session eviction).
+	MemWatermark uint64
+	// WatchdogInterval is the watchdog sampling period (0 = the
+	// overload package default).
+	WatchdogInterval time.Duration
+
+	// ReadHeaderTimeout, ReadTimeout and IdleTimeout harden the HTTP
+	// listener against trickling clients (slowloris): 0 resolves to the
+	// defaults below, negative disables the timeout. MaxHeaderBytes
+	// caps request header size (0 = DefaultMaxHeaderBytes).
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	IdleTimeout       time.Duration
+	MaxHeaderBytes    int
 }
 
 // Defaults for Config zero fields.
 const (
-	DefaultMaxSessions = 256
-	DefaultMaxBody     = 8 << 20
+	DefaultMaxSessions       = 256
+	DefaultMaxBody           = 8 << 20
+	DefaultLatencyTarget     = 250 * time.Millisecond
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultReadTimeout       = 30 * time.Second
+	DefaultIdleTimeout       = 2 * time.Minute
+	DefaultMaxHeaderBytes    = 1 << 20
+	// maxBreakers caps the per-fingerprint breaker registry (FIFO
+	// eviction beyond it, like the session registry).
+	maxBreakers = 1024
+)
+
+// Overload defaults re-exported for cmd/monadicd's flag definitions.
+const (
+	DefaultMaxConcurrency   = overload.DefaultMaxLimit
+	DefaultQueueCap         = overload.DefaultQueueCap
+	DefaultBreakerThreshold = overload.DefaultBreakerThreshold
+	DefaultBreakerCooldown  = overload.DefaultBreakerCooldown
 )
 
 // Server is the decision service: a session registry sharded by
 // structure fingerprint plus the HTTP handlers over it. All methods
 // are safe for concurrent use.
 type Server struct {
-	cfg   Config
-	progs *session.ProgramCache
-	start time.Time
+	cfg      Config
+	progs    *session.ProgramCache
+	start    time.Time
+	limiter  *overload.Limiter
+	watchdog *overload.Watchdog // nil when MemWatermark is 0
 
-	mu        sync.Mutex
-	sessions  map[uint64]*session.Session
-	order     []uint64 // insertion order, for FIFO eviction
-	evictions int64
-	requests  int64
-	statuses  map[int]int64 // HTTP status → responses sent
+	mu           sync.Mutex
+	sessions     map[uint64]*session.Session
+	order        []uint64 // insertion order, for FIFO eviction
+	evictions    int64
+	requests     int64
+	statuses     map[int]int64 // HTTP status → responses sent
+	breakers     map[uint64]*overload.Breaker
+	breakerOrder []uint64 // insertion order, for FIFO eviction
 
 	// testGate, when set, is called by handlers after admission and
 	// before evaluating, with the request context — a seam for the
@@ -103,13 +159,28 @@ func New(cfg Config) *Server {
 	if progs == nil {
 		progs = session.NewProgramCache()
 	}
-	return &Server{
+	switch {
+	case cfg.Limiter.LatencyTarget == 0:
+		cfg.Limiter.LatencyTarget = DefaultLatencyTarget
+	case cfg.Limiter.LatencyTarget < 0:
+		cfg.Limiter.LatencyTarget = 0 // adaptation off, fixed limit
+	}
+	s := &Server{
 		cfg:      cfg,
 		progs:    progs,
 		start:    time.Now(),
+		limiter:  overload.NewLimiter(cfg.Limiter),
 		sessions: make(map[uint64]*session.Session),
 		statuses: make(map[int]int64),
+		breakers: make(map[uint64]*overload.Breaker),
 	}
+	if cfg.MemWatermark > 0 {
+		s.watchdog = overload.NewWatchdog(overload.WatchdogConfig{
+			Watermark: cfg.MemWatermark,
+			Interval:  cfg.WatchdogInterval,
+		}, s.watchdogTiers())
+	}
+	return s
 }
 
 // Handler returns the service mux:
@@ -176,6 +247,11 @@ func (s *Server) reply(w http.ResponseWriter, status int, payload any) {
 
 func (s *Server) fail(w http.ResponseWriter, err error) {
 	status := cli.HTTPStatus(err)
+	// Overload rejections (admission shed → 429, breaker open → 503)
+	// carry the server's capacity estimate; surface it the standard way.
+	if ra := cli.RetryAfter(err); ra > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(int64((ra+time.Second-1)/time.Second), 10))
+	}
 	s.reply(w, status, ErrorResponse{
 		Error:  err.Error(),
 		Stage:  string(stage.Of(err)),
@@ -188,13 +264,20 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 // deadline from the server defaults, overridden by the X-Budget and
 // X-Timeout headers. Minting per request is load-bearing — a Budget is
 // a cumulative tally, so sharing one across requests would turn steady
-// load into spurious 429s (see stage.Budget's contract).
+// load into spurious 429s (see stage.Budget's contract). Header values
+// above the configured MaxBudget / MaxTimeout ceilings are a 400, not a
+// clamp: silently shrinking what a client asked for would turn its
+// requests into surprise 429s/504s. A header of 0 means "unlimited" and
+// is likewise rejected when a ceiling is set.
 func (s *Server) admit(r *http.Request) (context.Context, context.CancelFunc, error) {
 	n := s.cfg.Budget
 	if h := r.Header.Get("X-Budget"); h != "" {
 		v, err := strconv.ParseInt(h, 10, 64)
 		if err != nil || v < 0 {
 			return nil, nil, fmt.Errorf("%w: X-Budget %q", cli.ErrUsage, h)
+		}
+		if s.cfg.MaxBudget > 0 && (v == 0 || v > s.cfg.MaxBudget) {
+			return nil, nil, fmt.Errorf("%w: X-Budget %d exceeds the server ceiling %d", cli.ErrUsage, v, s.cfg.MaxBudget)
 		}
 		n = v
 	}
@@ -203,6 +286,9 @@ func (s *Server) admit(r *http.Request) (context.Context, context.CancelFunc, er
 		v, err := time.ParseDuration(h)
 		if err != nil || v < 0 {
 			return nil, nil, fmt.Errorf("%w: X-Timeout %q", cli.ErrUsage, h)
+		}
+		if s.cfg.MaxTimeout > 0 && (v == 0 || v > s.cfg.MaxTimeout) {
+			return nil, nil, fmt.Errorf("%w: X-Timeout %v exceeds the server ceiling %v", cli.ErrUsage, v, s.cfg.MaxTimeout)
 		}
 		d = v
 	}
@@ -325,11 +411,21 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	weight := int64(costEval)
+	if req.Var == "" {
+		weight = costDecision
+	}
+	finish, err := s.admitOverload(ctx, []uint64{session.Fingerprint(st)}, estimateCost(len(req.Structure), weight))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
 	sess := s.sessionFor(st)
 	if s.testGate != nil {
 		s.testGate(ctx, "eval")
 	}
 	resp, err := evalOne(ctx, sess, req.Formula, req.Var)
+	finish(sameOutcome(err))
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -404,6 +500,23 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	finish, err := s.admitOverload(ctx, []uint64{session.Fingerprint(st)}, estimateCost(len(req.Structure), costSolve))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	resp, err := s.solveAdmitted(ctx, req, st)
+	finish(sameOutcome(err))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.reply(w, http.StatusOK, resp)
+}
+
+// solveAdmitted is handleSolve past admission, factored out so the
+// finish callback sees every outcome on one path.
+func (s *Server) solveAdmitted(ctx context.Context, req SolveRequest, st *structure.Structure) (SolveResponse, error) {
 	sess := s.sessionFor(st)
 	if s.testGate != nil {
 		s.testGate(ctx, "solve")
@@ -415,30 +528,26 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	sess.View(func(st *structure.Structure) { g = graph.Primal(st) })
 	p, err := problemFor(req, g)
 	if err != nil {
-		s.fail(w, err)
-		return
+		return SolveResponse{}, err
 	}
 	resp := SolveResponse{Problem: req.Problem, Mode: req.Mode}
 	switch req.Mode {
 	case "decide":
 		ok, err := session.SolveDecide(ctx, sess, p)
 		if err != nil {
-			s.fail(w, err)
-			return
+			return SolveResponse{}, err
 		}
 		resp.OK = &ok
 	case "count":
 		n, err := session.SolveCount(ctx, sess, p)
 		if err != nil {
-			s.fail(w, err)
-			return
+			return SolveResponse{}, err
 		}
 		resp.Count = n.String()
 	case "optimize":
 		der, err := session.SolveOptimize(ctx, sess, p)
 		if err != nil {
-			s.fail(w, err)
-			return
+			return SolveResponse{}, err
 		}
 		feasible := der != nil
 		resp.Feasible = &feasible
@@ -450,10 +559,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			resp.Value = &v
 		}
 	default:
-		s.fail(w, fmt.Errorf("%w: unknown mode %q", cli.ErrUsage, req.Mode))
-		return
+		return SolveResponse{}, fmt.Errorf("%w: unknown mode %q", cli.ErrUsage, req.Mode)
 	}
-	s.reply(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // BatchRequest evaluates many queries over a small set of structures in
@@ -511,14 +619,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	sessions := make([]*session.Session, len(req.Structures))
-	before := make([]session.Stats, len(req.Structures))
+	structures := make([]*structure.Structure, len(req.Structures))
+	fps := make([]uint64, len(req.Structures))
+	cost := int64(0)
 	for i, src := range req.Structures {
 		st, err := parseStructure(src)
 		if err != nil {
 			s.fail(w, fmt.Errorf("structure %d: %w", i, err))
 			return
 		}
+		structures[i] = st
+		fps[i] = session.Fingerprint(st)
+		cost += estimateCost(len(src), costDecision)
+	}
+	// One admission covers the whole batch (it holds one concurrency
+	// slot), but every structure's breaker must agree to it and each
+	// records its own verdict afterwards.
+	finish, err := s.admitOverload(ctx, fps, cost)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	sessions := make([]*session.Session, len(req.Structures))
+	before := make([]session.Stats, len(req.Structures))
+	for i, st := range structures {
 		sessions[i] = s.sessionFor(st)
 		before[i] = sessions[i].Stats()
 	}
@@ -526,6 +650,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.testGate(ctx, "batch")
 	}
 	resp := BatchResponse{Results: make([]BatchResult, len(req.Queries))}
+	worst := make(map[uint64]error, len(fps))
 	for i, q := range req.Queries {
 		if q.Structure < 0 || q.Structure >= len(sessions) {
 			err := fmt.Errorf("%w: query %d: structure index %d out of range", cli.ErrUsage, i, q.Structure)
@@ -534,11 +659,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		one, err := evalOne(ctx, sessions[q.Structure], q.Formula, q.Var)
 		if err != nil {
+			if breakerFailure(err) && worst[fps[q.Structure]] == nil {
+				worst[fps[q.Structure]] = err
+			}
 			resp.Results[i] = BatchResult{Status: cli.HTTPStatus(err), Error: err.Error()}
 			continue
 		}
 		resp.Results[i] = BatchResult{Status: http.StatusOK, EvalResponse: one}
 	}
+	finish(func(fp uint64) error { return worst[fp] })
 	for i, sess := range sessions {
 		after := sess.Stats()
 		resp.Structures = append(resp.Structures, BatchStructureStat{
@@ -566,19 +695,23 @@ type ProgCacheStats struct {
 
 // StatszResponse is the /statsz body: request/status counters, session
 // registry occupancy, the shared program cache, the session-layer
-// counters summed over resident sessions, and the datalog streaming
+// counters summed over resident sessions, the datalog streaming
 // engine's process-wide counters (which, unlike SessionTotals, also
-// cover evicted sessions and non-session evaluations).
+// cover evicted sessions and non-session evaluations), and the overload
+// layer: admission limiter, breaker registry, memory watchdog.
 type StatszResponse struct {
-	UptimeSeconds    float64             `json:"uptime_seconds"`
-	Requests         int64               `json:"requests"`
-	StatusCounts     map[string]int64    `json:"status_counts"`
-	Sessions         int                 `json:"sessions"`
-	SessionCap       int                 `json:"session_cap"`
-	SessionEvictions int64               `json:"session_evictions"`
-	ProgramCache     ProgCacheStats      `json:"program_cache"`
-	SessionTotals    session.Stats       `json:"session_totals"`
-	Engine           datalog.EngineStats `json:"engine"`
+	UptimeSeconds    float64                 `json:"uptime_seconds"`
+	Requests         int64                   `json:"requests"`
+	StatusCounts     map[string]int64        `json:"status_counts"`
+	Sessions         int                     `json:"sessions"`
+	SessionCap       int                     `json:"session_cap"`
+	SessionEvictions int64                   `json:"session_evictions"`
+	ProgramCache     ProgCacheStats          `json:"program_cache"`
+	SessionTotals    session.Stats           `json:"session_totals"`
+	Engine           datalog.EngineStats     `json:"engine"`
+	Admission        overload.LimiterStats   `json:"admission"`
+	Breakers         BreakerTotals           `json:"breakers"`
+	Watchdog         *overload.WatchdogStats `json:"watchdog,omitempty"`
 }
 
 // SessionTotals returns the session-layer counters summed over the
@@ -639,7 +772,45 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	resp.Engine = datalog.ReadEngineStats()
 	hits, misses := s.progs.Stats()
 	resp.ProgramCache = ProgCacheStats{Hits: hits, Misses: misses, Len: s.progs.Len(), Cap: s.progs.Cap()}
+	resp.Admission = s.limiter.Stats()
+	resp.Breakers = s.breakerTotals()
+	if s.watchdog != nil {
+		ws := s.watchdog.Stats()
+		resp.Watchdog = &ws
+	}
 	s.reply(w, http.StatusOK, resp)
+}
+
+// newHTTPServer builds the hardened http.Server: read-header, read and
+// idle timeouts (slowloris defense — a client trickling bytes must not
+// hold a connection open indefinitely) and a header-size cap, resolved
+// from the Config with 0 meaning the package default and negative
+// meaning disabled. There is deliberately no WriteTimeout: response
+// time is governed per request by the budget/deadline plumbing, and a
+// blanket write timeout would kill legitimately long evaluations that
+// the operator chose not to bound.
+func (s *Server) newHTTPServer(base context.Context) *http.Server {
+	resolve := func(v, def time.Duration) time.Duration {
+		if v == 0 {
+			return def
+		}
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	maxHeader := s.cfg.MaxHeaderBytes
+	if maxHeader <= 0 {
+		maxHeader = DefaultMaxHeaderBytes
+	}
+	return &http.Server{
+		Handler:           s.Handler(),
+		BaseContext:       func(net.Listener) context.Context { return base },
+		ReadHeaderTimeout: resolve(s.cfg.ReadHeaderTimeout, DefaultReadHeaderTimeout),
+		ReadTimeout:       resolve(s.cfg.ReadTimeout, DefaultReadTimeout),
+		IdleTimeout:       resolve(s.cfg.IdleTimeout, DefaultIdleTimeout),
+		MaxHeaderBytes:    maxHeader,
+	}
 }
 
 // Run serves s on l until ctx is canceled, then drains: it stops
@@ -651,9 +822,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 func Run(ctx context.Context, l net.Listener, s *Server, grace time.Duration) error {
 	base, cancelBase := context.WithCancel(context.Background())
 	defer cancelBase()
-	hs := &http.Server{
-		Handler:     s.Handler(),
-		BaseContext: func(net.Listener) context.Context { return base },
+	hs := s.newHTTPServer(base)
+	if s.watchdog != nil {
+		go s.watchdog.Run(base)
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(l) }()

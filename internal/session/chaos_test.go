@@ -4,14 +4,13 @@ import (
 	"context"
 	"errors"
 	"math/rand"
-	"runtime"
 	"testing"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/mso"
 	"repro/internal/stage"
+	"repro/internal/testutil/leak"
 )
 
 // sessionPoints maps each session-path injection point to the stage tag
@@ -175,7 +174,7 @@ func TestChaosSeededSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	before := runtime.NumGoroutine()
+	snap := leak.Before()
 	for seed := int64(1); seed <= 5; seed++ {
 		faultinject.Reset()
 		faultinject.Seed(seed, 0.05)
@@ -209,12 +208,7 @@ func TestChaosSeededSweep(t *testing.T) {
 	if !res.Selected.Equal(cold.Selected) {
 		t.Fatalf("clean run after sweep: %v, want %v", res.Selected.Elems(), cold.Selected.Elems())
 	}
-	for i := 0; i < 40 && runtime.NumGoroutine() > before; i++ {
-		time.Sleep(5 * time.Millisecond)
-	}
-	if after := runtime.NumGoroutine(); after > before {
-		t.Fatalf("goroutine leak: %d before sweep, %d after", before, after)
-	}
+	snap.Check(t)
 }
 
 // TestChaosDecompositionLadderVisible checks that a fault in the

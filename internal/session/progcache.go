@@ -170,6 +170,20 @@ func (pc *ProgramCache) put(key progKey, c *core.Compiled) {
 	pc.m[key] = c
 }
 
+// Shed drops every cached program and returns how many were released,
+// keeping hit/miss counters and in-flight compilations intact. The
+// server's memory watchdog calls it as the second shedding tier;
+// subsequent Gets recompile (or re-enter the cache from a flight
+// completing after the shed).
+func (pc *ProgramCache) Shed() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	n := len(pc.m)
+	pc.m = map[progKey]*core.Compiled{}
+	pc.order = nil
+	return n
+}
+
 // Stats reports hit/miss counts.
 func (pc *ProgramCache) Stats() (hits, misses int) {
 	pc.mu.Lock()

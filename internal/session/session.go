@@ -308,6 +308,24 @@ func (s *Session) invalidateLocked() {
 	s.solverResults, s.solverSeq = nil, nil
 }
 
+// ShedResults drops the per-session result and solver caches —
+// the memory-dominant state: retained evaluation fixpoints, full
+// core.Results, solver outcomes — while keeping the structural
+// artifacts (decomposition, τ_td, EDB), which are cheap to hold and
+// expensive to rebuild. It returns how many cached entries were
+// released. The server's memory watchdog calls it as the first
+// shedding tier; subsequent evaluations recompute and re-populate.
+// In-flight evaluations are unaffected (their results re-enter the
+// cache when they complete).
+func (s *Session) ShedResults() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.results) + len(s.solverResults)
+	s.results, s.resultSeq, s.dbSeq = nil, nil, nil
+	s.solverResults, s.solverSeq = nil, nil
+	return n
+}
+
 // revalidateLocked discards the cached artifacts if the structure's
 // fingerprint changed since they were built. It deliberately does NOT
 // gate on s.valid: after a failed run (valid never set) the session may

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"testing"
 	"time"
 
@@ -14,6 +13,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/stage"
 	"repro/internal/structure"
+	"repro/internal/testutil/leak"
 )
 
 var sigColor = structure.MustSignature(structure.Predicate{Name: "c", Arity: 1})
@@ -189,7 +189,7 @@ func TestSessionRequestedWidth(t *testing.T) {
 func TestSessionDeadlineStageTagged(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	st := randColored(rng, 300)
-	before := runtime.NumGoroutine()
+	snap := leak.Before()
 	s := NewWithCache(st, NewProgramCache())
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()
@@ -208,13 +208,7 @@ func TestSessionDeadlineStageTagged(t *testing.T) {
 	if se.Stage == "" {
 		t.Fatal("stage tag is empty")
 	}
-	// Drain any transient worker goroutines before counting.
-	for i := 0; i < 20 && runtime.NumGoroutine() > before; i++ {
-		time.Sleep(5 * time.Millisecond)
-	}
-	if after := runtime.NumGoroutine(); after > before {
-		t.Fatalf("goroutine leak: %d before, %d after", before, after)
-	}
+	snap.Check(t)
 	// A live context on the same session still succeeds (no poisoning).
 	if _, err := s.Eval(context.Background(), mso.MustParse("c(x)"), "x", core.Options{}); err != nil {
 		t.Fatalf("session poisoned after cancellation: %v", err)

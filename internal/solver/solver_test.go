@@ -6,9 +6,7 @@ import (
 	"math/big"
 	"math/rand"
 	"reflect"
-	"runtime"
 	"testing"
-	"time"
 
 	"repro/internal/decompose"
 	"repro/internal/dp"
@@ -16,6 +14,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/solver"
 	"repro/internal/stage"
+	"repro/internal/testutil/leak"
 	"repro/internal/tree"
 )
 
@@ -276,7 +275,7 @@ func TestChaosSolverPoints(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	before := runtime.NumGoroutine()
+	snap := leak.Before()
 	// dp.chain is exercised by dp's own chaos tests: it only fires on the
 	// parallel path, which this decomposition is too small to engage.
 	for _, point := range []string{"solver.introduce", "solver.forget", "solver.join", "solver.witness", "dp.node"} {
@@ -308,12 +307,7 @@ func TestChaosSolverPoints(t *testing.T) {
 		}
 	}
 	faultinject.Reset()
-	for i := 0; i < 40 && runtime.NumGoroutine() > before; i++ {
-		time.Sleep(5 * time.Millisecond)
-	}
-	if after := runtime.NumGoroutine(); after > before {
-		t.Fatalf("goroutine leak: %d before chaos, %d after", before, after)
-	}
+	snap.Check(t)
 }
 
 // TestCancellation: a cancelled context surfaces context.Canceled

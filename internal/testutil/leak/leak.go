@@ -1,0 +1,63 @@
+// Package leak is the goroutine-leak check shared by the chaos,
+// cancellation, drain and soak tests: snapshot the count before the
+// work, assert it settles back to the baseline after. The assert
+// retries until a deadline because finished goroutines unwind
+// asynchronously — a single instantaneous read races the runtime and
+// flakes.
+package leak
+
+import (
+	"runtime"
+	"time"
+)
+
+// DefaultSettle is how long Check waits for the count to return to the
+// baseline before declaring a leak.
+const DefaultSettle = 2 * time.Second
+
+// T is the subset of testing.TB the checker needs; kept minimal so the
+// soak harness can satisfy it outside a test binary.
+type T interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// Snapshot is a goroutine-count baseline taken by Before.
+type Snapshot int
+
+// Before records the current goroutine count; call it before starting
+// the work under test.
+func Before() Snapshot { return Snapshot(runtime.NumGoroutine()) }
+
+// Check fails t if the goroutine count has not returned to (or below)
+// the baseline within DefaultSettle.
+func (s Snapshot) Check(t T) {
+	t.Helper()
+	s.CheckWithin(t, DefaultSettle)
+}
+
+// CheckWithin is Check with an explicit settle deadline.
+func (s Snapshot) CheckWithin(t T, settle time.Duration) {
+	t.Helper()
+	if ok, after := s.Settled(settle); !ok {
+		t.Fatalf("goroutine leak: %d before, %d after", int(s), after)
+	}
+}
+
+// Settled polls until the goroutine count returns to the baseline or
+// the deadline expires, reporting whether it settled and the final
+// count. The soak harness uses it directly: it records the verdict in
+// its JSON artifact instead of failing a test.
+func (s Snapshot) Settled(settle time.Duration) (bool, int) {
+	deadline := time.Now().Add(settle)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= int(s) {
+			return true, n
+		}
+		if time.Now().After(deadline) {
+			return false, n
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
