@@ -11,6 +11,7 @@
 //	benchtable -serve n [-serveReqs m]
 //	benchtable -mutate n [-mutateElems m]
 //	benchtable -soak n [-soakDur d]
+//	benchtable -game n
 //
 // Each MD measurement is the median of -reps runs. The -tc mode instead
 // times transitive closure over an n-vertex path through the generic
@@ -43,6 +44,11 @@
 // open→half-open→close cycle happened, the admitted-request p50 stayed
 // within 2× the unloaded p50, heap stayed bounded, and the goroutine
 // count returned to baseline after drain — any violation fails the run.
+// The -game mode runs the automaton/game backend head-to-head on
+// n-element workloads — agreement on every feasible point, then the
+// MaxStates-escape point where the automaton dies on its states budget
+// and the game backend completes correctly; any disagreement or a
+// missing escape fails the run.
 //
 // With -json, the active mode also writes a machine-readable
 // BENCH_<mode>.json report into -jsondir. -timeout bounds the whole run.
@@ -77,6 +83,7 @@ func main() {
 	mutateN := flag.Int("mutate", 0, "instead measure incremental evaluation across n single-tuple edits")
 	mutateElems := flag.Int("mutateElems", 40, "structure size for -mutate mode")
 	soakN := flag.Int("soak", 0, "instead soak-test overload control with n clients (try 2x capacity: 16)")
+	gameN := flag.Int("game", 0, "instead run the automaton/game backend head-to-head on n-element workloads")
 	soakDur := flag.Duration("soakDur", 8*time.Second, "load-phase duration for -soak mode")
 	jsonOut := flag.Bool("json", false, "also write a BENCH_<mode>.json report")
 	jsonDir := flag.String("jsondir", ".", "directory for -json reports")
@@ -127,6 +134,24 @@ func main() {
 			fail(fmt.Errorf("benchtable: soak failed %d invariant(s)", len(res.Violations)))
 		}
 		fmt.Println("soak: all invariants held")
+		return
+	}
+
+	if *gameN > 0 {
+		res, err := bench.GameCompare(ctx, *gameN)
+		// Write the artifact even on a failed run: the CI smoke job and
+		// any human debugging want the per-point receipts either way.
+		writeJSON(*jsonOut, *jsonDir, "game", res)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("game head-to-head (n=%d): %d/%d points agreed\n", res.Elems, res.Agreements, res.Comparisons)
+		for _, pt := range res.Points {
+			fmt.Printf("  %-12s %-28q automaton %v, game %v\n",
+				pt.Structure, pt.Formula, time.Duration(pt.AutomatonNS), time.Duration(pt.GameNS))
+		}
+		fmt.Printf("escape %q: automaton dies at MaxStates=%d (states budget), game completes in %v using %d positions, answer matches naive: %v\n",
+			res.EscapeFormula, res.EscapeMaxStates, time.Duration(res.GameNS), res.GamePositions, res.GameCorrect)
 		return
 	}
 

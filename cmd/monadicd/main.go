@@ -7,6 +7,7 @@
 //
 //	monadicd [-addr :8377] [-budget n] [-timeout d] [-max-sessions n] [-grace d]
 //	         [-engine streaming|materialized] [-eval grounded|direct]
+//	         [-backend automaton|game]
 //	         [-max-budget n] [-max-timeout d]
 //	         [-max-concurrency n] [-queue n] [-latency-target d]
 //	         [-breaker-threshold n] [-breaker-cooldown d]
@@ -19,7 +20,11 @@
 // is a 400). -engine selects the datalog rule-evaluation backend; -eval
 // selects the session evaluation path — "grounded" is the paper-faithful
 // Theorem 4.4 grounding, "direct" streams the compiled program through
-// the engine without materializing the ground program.
+// the engine without materializing the ground program. -backend sets
+// the default MSO evaluation backend for /eval and /batch — "automaton"
+// (the Theorem 4.4/4.5 compile-and-evaluate pipeline) or "game" (the
+// lazy game-theoretic evaluator); the X-Backend header overrides it per
+// request.
 //
 // Overload control: adaptive admission (AIMD on observed latency versus
 // -latency-target, concurrency capped at -max-concurrency, a bounded
@@ -60,6 +65,7 @@ func main() {
 	grace := flag.Duration("grace", 5*time.Second, "shutdown drain grace period")
 	engine := flag.String("engine", "streaming", "datalog rule-evaluation backend: streaming or materialized")
 	evalPath := flag.String("eval", "grounded", "session evaluation path: grounded (Theorem 4.4) or direct (stream the program, skip grounding)")
+	backendName := flag.String("backend", "", "default MSO evaluation backend: automaton or game (X-Backend overrides per request)")
 	maxBudget := flag.Int64("max-budget", 0, "ceiling on the X-Budget header (0 = none; a header above it is a 400)")
 	maxTimeout := flag.Duration("max-timeout", 0, "ceiling on the X-Timeout header (0 = none; a header above it is a 400)")
 	maxConcurrency := flag.Int("max-concurrency", server.DefaultMaxConcurrency, "upper bound of the adaptive concurrency limit")
@@ -99,6 +105,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "monadicd: unknown -eval %q (want grounded or direct)\n", *evalPath)
 		os.Exit(cli.ExitUsage)
 	}
+	if _, err := cli.Backend(*backendName); err != nil {
+		fmt.Fprintln(os.Stderr, cli.Message("monadicd", err))
+		os.Exit(cli.ExitUsage)
+	}
 	if err := cli.Init(); err != nil {
 		fmt.Fprintln(os.Stderr, cli.Message("monadicd", err))
 		os.Exit(cli.ExitUsage)
@@ -116,6 +126,7 @@ func main() {
 		Timeout:     *timeout,
 		MaxBudget:   *maxBudget,
 		MaxTimeout:  *maxTimeout,
+		Backend:     *backendName,
 		MaxSessions: *maxSessions,
 		Limiter: overload.LimiterConfig{
 			Max:           *maxConcurrency,

@@ -1,0 +1,24 @@
+// Package automaton names the paper's Theorem 4.4/4.5 pipeline — MSO
+// k-type enumeration compiled to quasi-guarded monadic datalog — as a
+// core.Backend. The implementation lives inside internal/core (the
+// pipeline predates the seam, and core's dispatchers must reach it
+// without an import cycle); this package is its addressable home in the
+// backend tree, mirroring backend/game.
+package automaton
+
+import "repro/internal/core"
+
+// Name is the backend's registry identifier; it doubles as
+// core.DefaultBackend.
+const Name = core.DefaultBackend
+
+// Backend returns the registered automaton backend.
+func Backend() core.Backend {
+	b, err := core.BackendByName(Name)
+	if err != nil {
+		// The automaton backend self-registers from core's init; failing
+		// to resolve it is a wiring bug, not a runtime condition.
+		panic(err)
+	}
+	return b
+}

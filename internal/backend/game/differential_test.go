@@ -1,0 +1,126 @@
+package game
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/decompose"
+	"repro/internal/graph"
+	"repro/internal/mso"
+	"repro/internal/structure"
+	"repro/internal/tree"
+)
+
+// randColored builds an n-element structure over {c/1} alone. The
+// differential suite pairs it with explicit partial-k-tree
+// decompositions: the primal graph of a unary signature is empty, so
+// the decomposition — not the relations — sets the width both backends
+// must process, which is what lets the suite reach widths 3 and 4
+// (where a binary EDB would blow the automaton's MaxEDBSubsets).
+func randColored(rng *rand.Rand, n int) *structure.Structure {
+	sig := structure.MustSignature(structure.Predicate{Name: "c", Arity: 1})
+	st := structure.New(sig)
+	for i := 0; i < n; i++ {
+		st.AddElem(fmt.Sprintf("v%d", i))
+		if rng.Intn(2) == 0 {
+			st.MustAddTuple("c", i)
+		}
+	}
+	return st
+}
+
+// ktreeDecomposition decomposes a random partial k-tree on st's
+// elements, giving a valid width-≤k decomposition of st.
+func ktreeDecomposition(t *testing.T, ctx context.Context, rng *rand.Rand, st *structure.Structure, k int) *decomposeResult {
+	t.Helper()
+	g := graph.PartialKTree(st.Size(), k, 0.2, rng)
+	d, rung, err := decompose.GraphLadderCtx(ctx, g)
+	if err != nil {
+		t.Fatalf("decompose partial %d-tree: %v", k, err)
+	}
+	if err := d.Validate(st); err != nil {
+		t.Fatalf("decomposition invalid for structure: %v", err)
+	}
+	return &decomposeResult{d: d, rung: rung}
+}
+
+type decomposeResult struct {
+	d    *tree.Decomposition
+	rung string
+}
+
+// The formula tiers are calibrated to the automaton backend's cost
+// growth in width: quantifier rank 1 costs ~50ms at width 2 but several
+// seconds at width 4, so higher widths run the rank-0 tier only.
+var (
+	diffRank0Queries = []string{"c(x)", "~c(x)"}
+	diffRank1Query   = "c(x) & exists y ~c(y)"
+	diffRank1Sent    = "exists x c(x)"
+)
+
+// TestBackendDifferentialPartialKTrees is the cold differential suite:
+// 50 random partial k-trees at widths 2–4, every point evaluated by the
+// automaton backend and the game backend through the same explicit
+// decomposition, answers compared exactly.
+func TestBackendDifferentialPartialKTrees(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(23))
+	tiers := []struct {
+		k          int
+		structures int
+		rank1Every int // run the rank-1 tier on every m-th structure (0 = never)
+	}{
+		{k: 2, structures: 20, rank1Every: 1},
+		{k: 3, structures: 15, rank1Every: 5},
+		{k: 4, structures: 15, rank1Every: 0},
+	}
+	total := 0
+	for _, tier := range tiers {
+		for s := 0; s < tier.structures; s++ {
+			total++
+			n := 6 + rng.Intn(9)
+			st := randColored(rng, n)
+			dr := ktreeDecomposition(t, ctx, rng, st, tier.k)
+			queries := append([]string(nil), diffRank0Queries...)
+			var sentences []string
+			if tier.rank1Every > 0 && s%tier.rank1Every == 0 {
+				queries = append(queries, diffRank1Query)
+				sentences = append(sentences, diffRank1Sent)
+			}
+			for _, q := range queries {
+				phi := mso.MustParse(q)
+				ares, err := core.RunWithDecompositionCtx(ctx, st, dr.d, phi, "x", core.Options{})
+				if err != nil {
+					t.Fatalf("k=%d s=%d (%s) automaton %q: %v", tier.k, s, dr.rung, q, err)
+				}
+				gres, err := core.RunWithDecompositionCtx(ctx, st, dr.d, phi, "x", core.Options{Backend: Name})
+				if err != nil {
+					t.Fatalf("k=%d s=%d (%s) game %q: %v", tier.k, s, dr.rung, q, err)
+				}
+				if !ares.Selected.Equal(gres.Selected) {
+					t.Fatalf("k=%d s=%d %q: automaton %v, game %v", tier.k, s, q, ares.Selected, gres.Selected)
+				}
+			}
+			for _, snt := range sentences {
+				phi := mso.MustParse(snt)
+				ares, err := core.RunWithDecompositionCtx(ctx, st, dr.d, phi, "", core.Options{Decision: true})
+				if err != nil {
+					t.Fatalf("k=%d s=%d automaton sentence %q: %v", tier.k, s, snt, err)
+				}
+				gres, err := core.RunWithDecompositionCtx(ctx, st, dr.d, phi, "", core.Options{Decision: true, Backend: Name})
+				if err != nil {
+					t.Fatalf("k=%d s=%d game sentence %q: %v", tier.k, s, snt, err)
+				}
+				if ares.Holds != gres.Holds {
+					t.Fatalf("k=%d s=%d sentence %q: automaton %v, game %v", tier.k, s, snt, ares.Holds, gres.Holds)
+				}
+			}
+		}
+	}
+	if total < 50 {
+		t.Fatalf("differential suite covered %d structures, want ≥ 50", total)
+	}
+}

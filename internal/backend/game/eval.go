@@ -1,0 +1,389 @@
+package game
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/mso"
+	"repro/internal/stage"
+	"repro/internal/structure"
+	"repro/internal/tree"
+)
+
+// evaluator holds the shared state of one game evaluation: the interned
+// behavior table plus every memo layer. All tables are shared across
+// the per-element pins of a unary query, which is what keeps the query
+// loop from re-exploring unaffected subtrees.
+type evaluator struct {
+	ctx    context.Context
+	st     *structure.Structure
+	nice   *tree.Decomposition
+	q      int // rank: max(formula depth, opts.QuantifierDepth)
+	budget *stage.Budget
+	sig    *structure.Signature
+	preds  []structure.Predicate
+
+	nodes []*behavior    // interned behaviors by id
+	ids   map[string]int // canonical serialization → id
+
+	directMemo  map[string]int
+	composeMemo map[string]int
+	truncMemo   map[int]int
+	projMemo    map[[2]int]int
+
+	walkMemo map[walkKey]walkRes
+	evalMemo map[evalKey]bool
+	fidx     map[*mso.Formula]int
+
+	subtree []*bitset.Set // per decomposition node: elements in its subtree's bags
+
+	steps   int
+	scratch []byte
+}
+
+type walkKey struct{ v, pin int }
+
+type walkRes struct {
+	id    int
+	elems []int // tuple elements in position order
+}
+
+type evalKey struct {
+	id  int
+	f   int
+	env string
+}
+
+func newEvaluator(ctx context.Context, st *structure.Structure, nice *tree.Decomposition, q int) *evaluator {
+	e := &evaluator{
+		ctx:         ctx,
+		st:          st,
+		nice:        nice,
+		q:           q,
+		budget:      stage.BudgetFrom(ctx),
+		sig:         st.Sig(),
+		preds:       st.Sig().Predicates(),
+		ids:         map[string]int{},
+		directMemo:  map[string]int{},
+		composeMemo: map[string]int{},
+		truncMemo:   map[int]int{},
+		projMemo:    map[[2]int]int{},
+		walkMemo:    map[walkKey]walkRes{},
+		evalMemo:    map[evalKey]bool{},
+		fidx:        map[*mso.Formula]int{},
+		scratch:     make([]byte, 0, 256),
+	}
+	// Subtree element sets, bottom-up: they decide whether a pin can
+	// affect a subtree's walk, so pin-independent subtrees share one
+	// memo entry across all pins.
+	e.subtree = make([]*bitset.Set, nice.Len())
+	for _, v := range nice.PostOrder() {
+		s := bitset.New(st.Size())
+		for _, el := range nice.Nodes[v].Bag {
+			s.Add(el)
+		}
+		for _, c := range nice.Nodes[v].Children {
+			s.UnionWith(e.subtree[c])
+		}
+		e.subtree[v] = s
+	}
+	return e
+}
+
+func (e *evaluator) indexFormula(f *mso.Formula) {
+	if _, ok := e.fidx[f]; ok {
+		return
+	}
+	e.fidx[f] = len(e.fidx)
+	for _, s := range f.Sub {
+		e.indexFormula(s)
+	}
+}
+
+// walk computes the behavior of the structure induced by node v's
+// subtree, with the subtree's bag-and-pin elements as the distinguished
+// tuple. pin names one element that must survive forget nodes (so a
+// unary query can be read off at the root), or -1. The returned slice
+// lists the tuple's elements in position order and must not be
+// modified.
+func (e *evaluator) walk(v, pin int) (int, []int, error) {
+	if pin >= 0 && !e.subtree[v].Has(pin) {
+		// The pin cannot occur below v, so the walk is pin-independent;
+		// normalizing the key shares the result across all such pins.
+		pin = -1
+	}
+	key := walkKey{v, pin}
+	if r, ok := e.walkMemo[key]; ok {
+		return r.id, r.elems, nil
+	}
+	n := &e.nice.Nodes[v]
+	var id int
+	var elems []int
+	switch n.Kind {
+	case tree.KindLeaf:
+		tuple := append([]int(nil), n.Bag...)
+		sort.Ints(tuple)
+		var err error
+		id, err = e.direct(tuple, nil, e.q)
+		if err != nil {
+			return 0, nil, err
+		}
+		elems = tuple
+
+	case tree.KindCopy:
+		var err error
+		id, elems, err = e.walk(n.Children[0], pin)
+		if err != nil {
+			return 0, nil, err
+		}
+
+	case tree.KindIntroduce:
+		cid, celems, err := e.walk(n.Children[0], pin)
+		if err != nil {
+			return 0, nil, err
+		}
+		local := append([]int(nil), n.Bag...)
+		sort.Ints(local)
+		lid, err := e.direct(local, nil, e.q)
+		if err != nil {
+			return 0, nil, err
+		}
+		// Shared elements are exactly the child's bag: the introduced
+		// element cannot occur below (connectedness), and the child's
+		// pinned extras cannot occur in this bag.
+		pm := make([]posPair, 0, len(celems)+1)
+		for i, el := range celems {
+			pm = append(pm, posPair{i, indexOf(local, el)})
+		}
+		pm = append(pm, posPair{-1, indexOf(local, n.Elem)})
+		id, err = e.compose(cid, lid, pm)
+		if err != nil {
+			return 0, nil, err
+		}
+		elems = append(append([]int(nil), celems...), n.Elem)
+
+	case tree.KindForget:
+		cid, celems, err := e.walk(n.Children[0], pin)
+		if err != nil {
+			return 0, nil, err
+		}
+		if n.Elem == pin {
+			id, elems = cid, celems
+			break
+		}
+		p := indexOf(celems, n.Elem)
+		if p < 0 {
+			return 0, nil, fmt.Errorf("game: internal: forget of element %d absent from tuple", n.Elem)
+		}
+		id, err = e.project(cid, p)
+		if err != nil {
+			return 0, nil, err
+		}
+		elems = append(append([]int(nil), celems[:p]...), celems[p+1:]...)
+
+	case tree.KindBranch:
+		lid, lel, err := e.walk(n.Children[0], pin)
+		if err != nil {
+			return 0, nil, err
+		}
+		rid, rel, err := e.walk(n.Children[1], pin)
+		if err != nil {
+			return 0, nil, err
+		}
+		// Shared elements are exactly this bag (both children's bags
+		// equal it); a pinned element in one subtree is private to that
+		// side unless it sits in the bag itself.
+		pm := make([]posPair, 0, len(lel)+len(rel))
+		elems = append([]int(nil), lel...)
+		for i, el := range lel {
+			pm = append(pm, posPair{i, indexOf(rel, el)})
+		}
+		for j, el := range rel {
+			if indexOf(lel, el) < 0 {
+				pm = append(pm, posPair{-1, j})
+				elems = append(elems, el)
+			}
+		}
+		id, err = e.compose(lid, rid, pm)
+		if err != nil {
+			return 0, nil, err
+		}
+
+	default:
+		return 0, nil, fmt.Errorf("game: node %d has kind %v: decomposition is not in nice form", v, n.Kind)
+	}
+	e.walkMemo[key] = walkRes{id: id, elems: elems}
+	return id, elems, nil
+}
+
+// eval decides formula f on behavior id under env, which binds element
+// variables to tuple positions and set variables to set indices. This
+// is the ISSUE's game-position memo table: results are memoized on
+// (behavior, subformula, interpretation).
+func (e *evaluator) eval(id int, f *mso.Formula, env map[string]int) (bool, error) {
+	if err := e.poll(); err != nil {
+		return false, err
+	}
+	key := evalKey{id: id, f: e.fidx[f], env: envKey(env)}
+	if v, ok := e.evalMemo[key]; ok {
+		return v, nil
+	}
+	b := e.nodes[id]
+	var out bool
+	switch f.Kind {
+	case mso.KTrue:
+		out = true
+	case mso.KFalse:
+		out = false
+	case mso.KAtom:
+		pi, p, ok := e.sig.Lookup(f.Pred)
+		if !ok {
+			return false, fmt.Errorf("game: unknown predicate %q", f.Pred)
+		}
+		if len(f.Args) != p.Arity {
+			return false, fmt.Errorf("game: predicate %q wants %d arguments, got %d", f.Pred, p.Arity, len(f.Args))
+		}
+		flat := 0
+		for _, a := range f.Args {
+			pos, bound := env[a]
+			if !bound {
+				return false, fmt.Errorf("game: unbound element variable %q", a)
+			}
+			flat = flat*b.m + pos
+		}
+		out = b.rels[pi][flat]
+	case mso.KEq:
+		xi, okx := env[f.X]
+		yi, oky := env[f.Y]
+		if !okx || !oky {
+			return false, fmt.Errorf("game: unbound element variable in %s = %s", f.X, f.Y)
+		}
+		out = b.eq[xi*b.m+yi]
+	case mso.KIn:
+		xi, okx := env[f.X]
+		si, oks := env[f.Y]
+		if !okx || !oks {
+			return false, fmt.Errorf("game: unbound variable in %s in %s", f.X, f.Y)
+		}
+		out = b.mems[si]&(1<<uint(xi)) != 0
+	case mso.KNot:
+		v, err := e.eval(id, f.Sub[0], env)
+		if err != nil {
+			return false, err
+		}
+		out = !v
+	case mso.KAnd, mso.KOr:
+		stop := f.Kind == mso.KOr // short-circuit value
+		out = !stop
+		for _, s := range f.Sub {
+			v, err := e.eval(id, s, env)
+			if err != nil {
+				return false, err
+			}
+			if v == stop {
+				out = stop
+				break
+			}
+		}
+	case mso.KImpl:
+		a, err := e.eval(id, f.Sub[0], env)
+		if err != nil {
+			return false, err
+		}
+		if !a {
+			out = true
+			break
+		}
+		out, err = e.eval(id, f.Sub[1], env)
+		if err != nil {
+			return false, err
+		}
+	case mso.KIff:
+		a, err := e.eval(id, f.Sub[0], env)
+		if err != nil {
+			return false, err
+		}
+		c, err := e.eval(id, f.Sub[1], env)
+		if err != nil {
+			return false, err
+		}
+		out = a == c
+	case mso.KExistsE, mso.KForallE:
+		if b.rank == 0 {
+			return false, fmt.Errorf("game: internal: quantifier at rank 0")
+		}
+		forall := f.Kind == mso.KForallE
+		out = forall
+		// The bound variable lands on the child's appended position,
+		// index b.m; existing bindings keep their indices.
+		candidates := b.pointAt
+		for _, lst := range [][]int{candidates, b.pointNew} {
+			for _, c := range lst {
+				env2 := cloneEnv(env)
+				env2[f.Var] = b.m
+				v, err := e.eval(c, f.Sub[0], env2)
+				if err != nil {
+					return false, err
+				}
+				if v != forall {
+					out = v
+					goto done
+				}
+			}
+		}
+	case mso.KExistsS, mso.KForallS:
+		if b.rank == 0 {
+			return false, fmt.Errorf("game: internal: quantifier at rank 0")
+		}
+		forall := f.Kind == mso.KForallS
+		out = forall
+		for _, c := range b.sets {
+			env2 := cloneEnv(env)
+			env2[f.Var] = b.nsets
+			v, err := e.eval(c, f.Sub[0], env2)
+			if err != nil {
+				return false, err
+			}
+			if v != forall {
+				out = v
+				break
+			}
+		}
+	default:
+		return false, fmt.Errorf("game: unsupported formula kind %d", f.Kind)
+	}
+done:
+	e.evalMemo[key] = out
+	return out, nil
+}
+
+func cloneEnv(env map[string]int) map[string]int {
+	out := make(map[string]int, len(env)+1)
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+func envKey(env map[string]int) string {
+	if len(env) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(env))
+	for k := range env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Itoa(env[k]))
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}

@@ -1,0 +1,161 @@
+// Package game implements the game-theoretic MSO backend after
+// Kneis–Langer–Rossmanith ("Courcelle's Theorem — A Game-Theoretic
+// Approach"): instead of enumerating all MSO k-types up front and
+// compiling them to datalog (the automaton backend, Theorems 4.4/4.5),
+// it explores the model-checking game lazily over the nice tree
+// decomposition.
+//
+// The central object is the behavior: a hash-consed game position
+// recording, for a structure with a distinguished tuple and chosen
+// sets, the atomic facts over the tuple plus — up to the remaining
+// quantifier rank — the behaviors reachable by one point move (to a
+// tuple element, or to some element outside the tuple) or one set move.
+// Behaviors of subtrees are computed bottom-up along the decomposition:
+// leaves and introduce nodes by brute force over the bag (at most w+1
+// elements), branch and introduce nodes by synchronized composition,
+// forget nodes by projecting the position out of the tuple. Because
+// behaviors are interned, isomorphic subgames collapse; the memo table
+// is keyed by (decomposition node, subformula, interpretation) at the
+// evaluation layer and by the behavior's canonical serialization at the
+// exploration layer.
+//
+// The backend never materializes the type space, so it is metered by
+// Budget.MaxGamePositions (positions interned) rather than MaxStates —
+// on formulas whose type count blows past MaxStates, the game backend
+// routinely completes within a modest position budget. Fault injection
+// points: "game.expand" (each behavior expansion) and "game.memo" (each
+// new interned position). All errors are stage-tagged stage.Game except
+// decomposition failures, which keep stage.Decompose.
+package game
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/decompose"
+	"repro/internal/mso"
+	"repro/internal/stage"
+	"repro/internal/structure"
+	"repro/internal/tree"
+)
+
+// Name is the backend's registry identifier.
+const Name = "game"
+
+type backend struct{}
+
+func init() { core.RegisterBackend(backend{}) }
+
+// Backend returns the registered game backend.
+func Backend() core.Backend { return backend{} }
+
+func (backend) Name() string { return Name }
+
+// CompileCtx fails: the game backend evaluates lazily and materializes
+// no datalog program. Compile with the automaton backend instead.
+func (backend) CompileCtx(ctx context.Context, sig *structure.Signature, phi *mso.Formula, xVar string, opts core.Options) (*core.Compiled, error) {
+	return nil, fmt.Errorf("game: backend evaluates lazily and has no compiled datalog form (compile with the automaton backend)")
+}
+
+// RunCtx evaluates phi over st: decompose via the degradation ladder,
+// normalize to nice form, then explore the model-checking game.
+func (backend) RunCtx(ctx context.Context, st *structure.Structure, phi *mso.Formula, xVar string, opts core.Options) (res *core.Result, err error) {
+	defer stage.RecoverTo(stage.Game, &err)
+	trace := &stage.Trace{}
+	start := time.Now()
+	d, rung, err := decompose.StructureLadderCtx(ctx, st)
+	if err != nil {
+		return nil, stage.Wrap(stage.Decompose, err)
+	}
+	trace.RecordDetail(stage.Decompose, time.Since(start), d.Len(), false, rung)
+	return run(ctx, st, d, phi, xVar, opts, trace)
+}
+
+// RunWithDecompositionCtx is RunCtx with a caller-provided (raw, valid)
+// tree decomposition.
+func (backend) RunWithDecompositionCtx(ctx context.Context, st *structure.Structure, d *tree.Decomposition, phi *mso.Formula, xVar string, opts core.Options) (res *core.Result, err error) {
+	defer stage.RecoverTo(stage.Game, &err)
+	return run(ctx, st, d, phi, xVar, opts, &stage.Trace{})
+}
+
+// EvalNiceCtx implements core.NiceBackend: evaluate directly on an
+// already-normalized nice decomposition (the session layer's cached
+// artifact), recording the game stat on the caller's trace.
+func (backend) EvalNiceCtx(ctx context.Context, st *structure.Structure, nice *tree.Decomposition, phi *mso.Formula, xVar string, opts core.Options, trace *stage.Trace) (res *core.Result, err error) {
+	defer stage.RecoverTo(stage.Game, &err)
+	return evalNice(ctx, st, nice, phi, xVar, opts, trace)
+}
+
+func run(ctx context.Context, st *structure.Structure, d *tree.Decomposition, phi *mso.Formula, xVar string, opts core.Options, trace *stage.Trace) (*core.Result, error) {
+	if err := d.Validate(st); err != nil {
+		return nil, fmt.Errorf("game: invalid decomposition: %w", err)
+	}
+	start := time.Now()
+	nice, err := tree.NormalizeNiceCtx(ctx, d, tree.NiceOptions{})
+	if err != nil {
+		return nil, stage.Wrap(stage.NormalizeNice, err)
+	}
+	trace.Record(stage.NormalizeNice, time.Since(start), nice.Len(), false)
+	if opts.RequestedWidth != nil && *opts.RequestedWidth != nice.Width() {
+		return nil, fmt.Errorf("game: decomposition width %d does not match requested width %d", nice.Width(), *opts.RequestedWidth)
+	}
+	return evalNice(ctx, st, nice, phi, xVar, opts, trace)
+}
+
+func evalNice(ctx context.Context, st *structure.Structure, nice *tree.Decomposition, phi *mso.Formula, xVar string, opts core.Options, trace *stage.Trace) (*core.Result, error) {
+	elems, sets := phi.FreeVars()
+	if len(sets) > 0 {
+		return nil, fmt.Errorf("game: free set variables %v not supported", sets)
+	}
+	if opts.Decision {
+		if len(elems) != 0 {
+			return nil, fmt.Errorf("game: decision variant requires a sentence, got free variables %v", elems)
+		}
+	} else if len(elems) != 1 || elems[0] != xVar {
+		return nil, fmt.Errorf("game: expected exactly the free variable %q, got %v", xVar, elems)
+	}
+	q := phi.QuantifierDepth()
+	if opts.QuantifierDepth > q {
+		q = opts.QuantifierDepth
+	}
+	e := newEvaluator(ctx, st, nice, q)
+	e.indexFormula(phi)
+	start := time.Now()
+	res := &core.Result{Width: nice.Width(), TDNodes: nice.Len(), Trace: trace}
+	if opts.Decision {
+		id, _, err := e.walk(nice.Root, -1)
+		if err != nil {
+			return nil, stage.Wrap(stage.Game, err)
+		}
+		holds, err := e.eval(id, phi, map[string]int{})
+		if err != nil {
+			return nil, stage.Wrap(stage.Game, err)
+		}
+		res.Holds = holds
+	} else {
+		res.Selected = bitset.New(st.Size())
+		for a := 0; a < st.Size(); a++ {
+			id, tuple, err := e.walk(nice.Root, a)
+			if err != nil {
+				return nil, stage.Wrap(stage.Game, err)
+			}
+			idx := indexOf(tuple, a)
+			if idx < 0 {
+				return nil, stage.Wrap(stage.Game, fmt.Errorf("game: internal: pinned element %d missing from root tuple", a))
+			}
+			sel, err := e.eval(id, phi, map[string]int{xVar: idx})
+			if err != nil {
+				return nil, stage.Wrap(stage.Game, err)
+			}
+			if sel {
+				res.Selected.Add(a)
+			}
+		}
+	}
+	trace.RecordDetail(stage.Game, time.Since(start), len(e.nodes), false,
+		fmt.Sprintf("positions=%d", len(e.nodes)))
+	return res, nil
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/overload"
 	"repro/internal/stage"
@@ -154,6 +155,20 @@ func Fail(tool string, err error) {
 // malformed spec. Tools call it once, before doing work.
 func Init() error {
 	return faultinject.InitFromSpec(os.Getenv("FAULTINJECT"))
+}
+
+// Backend resolves an evaluation backend name against the core registry
+// ("" = the default automaton pipeline), wrapping unknown names in
+// ErrUsage so ExitCode classifies them as ExitUsage. Backends register
+// from package init — a tool selecting a non-default backend must link
+// its package (cmd tools get internal/backend/game via internal/session,
+// or blank-import it directly).
+func Backend(name string) (core.Backend, error) {
+	b, err := core.BackendByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUsage, err)
+	}
+	return b, nil
 }
 
 // Context builds the tool's root context: a deadline from timeout (0 =

@@ -91,6 +91,10 @@ type Client struct {
 	// X-Timeout headers on every request.
 	Budget  int64
 	Timeout time.Duration
+	// Backend, when nonempty, is sent as the X-Backend header on every
+	// request, selecting the server-side evaluation backend for /eval
+	// and /batch (e.g. "automaton", "game"). Unknown names answer 400.
+	Backend string
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -226,6 +230,9 @@ func onceRaw(ctx context.Context, c *Client, method, path string, raw []byte) ([
 	}
 	if c.Timeout > 0 {
 		req.Header.Set("X-Timeout", c.Timeout.String())
+	}
+	if c.Backend != "" {
+		req.Header.Set("X-Backend", c.Backend)
 	}
 	hc := c.HTTP
 	if hc == nil {

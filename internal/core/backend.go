@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/mso"
+	"repro/internal/stage"
+	"repro/internal/structure"
+	"repro/internal/tree"
+)
+
+// DefaultBackend is the backend used when Options.Backend is empty: the
+// paper's Theorem 4.4/4.5 automaton pipeline.
+const DefaultBackend = "automaton"
+
+// Backend is the evaluation seam: one strategy for answering an MSO
+// query over a bounded-treewidth structure. Two implementations exist —
+// "automaton" (this package: k-type enumeration compiled to monadic
+// datalog, Theorems 4.4/4.5) and "game" (backend/game: lazy
+// model-checking-game exploration after Kneis–Langer–Rossmanith, which
+// never materializes the type space and so escapes the MaxStates wall).
+//
+// All methods honor context cancellation, meter work against the
+// stage.Budget attached to ctx, and report stage-tagged errors; RunCtx
+// and RunWithDecompositionCtx populate a stage.Trace on the Result.
+type Backend interface {
+	// Name is the stable identifier used in cache keys, the -backend
+	// flags and the X-Backend header.
+	Name() string
+	// CompileCtx materializes the backend's reusable artifact for
+	// (sig, phi, xVar, opts). Backends that evaluate lazily and have no
+	// standalone compiled form (the game backend) return an error.
+	CompileCtx(ctx context.Context, sig *structure.Signature, phi *mso.Formula, xVar string, opts Options) (*Compiled, error)
+	// RunCtx evaluates phi over st end to end, computing a tree
+	// decomposition internally.
+	RunCtx(ctx context.Context, st *structure.Structure, phi *mso.Formula, xVar string, opts Options) (*Result, error)
+	// RunWithDecompositionCtx is RunCtx with a caller-provided (raw,
+	// valid) tree decomposition.
+	RunWithDecompositionCtx(ctx context.Context, st *structure.Structure, d *tree.Decomposition, phi *mso.Formula, xVar string, opts Options) (*Result, error)
+}
+
+// NiceBackend is implemented by backends that can evaluate directly on
+// an already-normalized nice decomposition (tree.NormalizeNice). The
+// session layer uses it to feed its cached nice form to the backend,
+// skipping re-decomposition on the warm path.
+type NiceBackend interface {
+	Backend
+	EvalNiceCtx(ctx context.Context, st *structure.Structure, nice *tree.Decomposition, phi *mso.Formula, xVar string, opts Options, trace *stage.Trace) (*Result, error)
+}
+
+var (
+	backendMu sync.RWMutex
+	backends  = map[string]Backend{}
+)
+
+// RegisterBackend makes b selectable by name. Backends self-register
+// from init (the automaton backend here, the game backend from
+// backend/game); a duplicate name panics, as that is a wiring bug.
+func RegisterBackend(b Backend) {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backends[b.Name()]; dup {
+		panic(fmt.Sprintf("core: duplicate backend %q", b.Name()))
+	}
+	backends[b.Name()] = b
+}
+
+// BackendByName resolves name ("" means DefaultBackend). An unknown
+// name is an error listing the registered backends, so flag and header
+// validation can surface the menu.
+func BackendByName(name string) (Backend, error) {
+	if name == "" {
+		name = DefaultBackend
+	}
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	if b, ok := backends[name]; ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("core: unknown backend %q (have %s)", name, strings.Join(backendNamesLocked(), ", "))
+}
+
+// Backends lists the registered backend names, sorted.
+func Backends() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	return backendNamesLocked()
+}
+
+func backendNamesLocked() []string {
+	names := make([]string, 0, len(backends))
+	for n := range backends {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BackendName is Options.Backend normalized: "" reads as
+// DefaultBackend. Cache keys and stats maps use it so the default and
+// its explicit spelling share entries.
+func (o Options) BackendName() string {
+	if o.Backend == "" {
+		return DefaultBackend
+	}
+	return o.Backend
+}
+
+// ---- the automaton backend (this package's pipeline) ----
+
+// automatonBackend adapts the package-level pipeline to the Backend
+// seam. Its methods call the unexported run/compile entry points
+// directly — not the exported dispatchers — so dispatch cannot recurse.
+type automatonBackend struct{}
+
+func init() { RegisterBackend(automatonBackend{}) }
+
+func (automatonBackend) Name() string { return DefaultBackend }
+
+func (automatonBackend) CompileCtx(ctx context.Context, sig *structure.Signature, phi *mso.Formula, xVar string, opts Options) (*Compiled, error) {
+	return compileAutomatonCtx(ctx, sig, phi, xVar, opts)
+}
+
+func (automatonBackend) RunCtx(ctx context.Context, st *structure.Structure, phi *mso.Formula, xVar string, opts Options) (*Result, error) {
+	return runAutomatonCtx(ctx, st, phi, xVar, opts)
+}
+
+func (automatonBackend) RunWithDecompositionCtx(ctx context.Context, st *structure.Structure, d *tree.Decomposition, phi *mso.Formula, xVar string, opts Options) (*Result, error) {
+	return runWithDecomposition(ctx, st, d, phi, xVar, opts, &stage.Trace{})
+}
+
+// ---- dispatching wrappers (the public entry points) ----
+
+// backendFor resolves opts.Backend for the dispatchers below.
+func backendFor(opts Options) (Backend, error) {
+	return BackendByName(opts.Backend)
+}

@@ -48,7 +48,10 @@ func (o Options) RequestWidth(w int) Options {
 // pipeline of the paper: compute a tree decomposition, normalize it to
 // tuple normal form (Def. 2.3), build the τ_td structure (Section 4),
 // compile φ to a quasi-guarded monadic datalog program (Theorem 4.5), and
-// evaluate it in time O(|P|·|A_td|) (Theorem 4.4).
+// evaluate it in time O(|P|·|A_td|) (Theorem 4.4). It dispatches on
+// opts.Backend — "game" replaces the compile/evaluate stages with lazy
+// model-checking-game exploration — so call sites select a strategy
+// without changing shape.
 func Run(st *structure.Structure, phi *mso.Formula, xVar string, opts Options) (*Result, error) {
 	return RunCtx(context.Background(), st, phi, xVar, opts)
 }
@@ -65,7 +68,17 @@ func Run(st *structure.Structure, phi *mso.Formula, xVar string, opts Options) (
 // decomposition is recorded as the Decompose stat's Detail. A panic in
 // any stage is recovered into a stage-tagged *stage.PanicError rather
 // than crashing the caller.
-func RunCtx(ctx context.Context, st *structure.Structure, phi *mso.Formula, xVar string, opts Options) (res *Result, err error) {
+func RunCtx(ctx context.Context, st *structure.Structure, phi *mso.Formula, xVar string, opts Options) (*Result, error) {
+	b, err := backendFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	return b.RunCtx(ctx, st, phi, xVar, opts)
+}
+
+// runAutomatonCtx is the automaton backend's RunCtx: decompose via the
+// degradation ladder, then run the compiled-datalog pipeline.
+func runAutomatonCtx(ctx context.Context, st *structure.Structure, phi *mso.Formula, xVar string, opts Options) (res *Result, err error) {
 	defer stage.RecoverTo(stage.Decompose, &err)
 	trace := &stage.Trace{}
 	start := time.Now()
@@ -87,9 +100,13 @@ func RunWithDecomposition(st *structure.Structure, d *tree.Decomposition, phi *m
 }
 
 // RunWithDecompositionCtx is RunWithDecomposition with cancellation
-// support; see RunCtx.
+// support; see RunCtx. Like RunCtx it dispatches on opts.Backend.
 func RunWithDecompositionCtx(ctx context.Context, st *structure.Structure, d *tree.Decomposition, phi *mso.Formula, xVar string, opts Options) (*Result, error) {
-	return runWithDecomposition(ctx, st, d, phi, xVar, opts, &stage.Trace{})
+	b, err := backendFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	return b.RunWithDecompositionCtx(ctx, st, d, phi, xVar, opts)
 }
 
 func runWithDecomposition(ctx context.Context, st *structure.Structure, d *tree.Decomposition, phi *mso.Formula, xVar string, opts Options, trace *stage.Trace) (res *Result, err error) {
@@ -130,7 +147,7 @@ func runWithDecomposition(ctx context.Context, st *structure.Structure, d *tree.
 		return nil, stage.Wrap(stage.Compile, err)
 	}
 	start = time.Now()
-	compiled, err := CompileCtx(ctx, st.Sig(), phi, xVar, opts)
+	compiled, err := compileAutomatonCtx(ctx, st.Sig(), phi, xVar, opts)
 	if err != nil {
 		return nil, stage.Wrap(stage.Compile, err)
 	}

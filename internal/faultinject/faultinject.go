@@ -22,6 +22,7 @@
 //	datalog.delta
 //	solver.introduce solver.forget solver.join solver.witness
 //	solver.repair
+//	game.expand game.memo
 //
 // Determinism: FailAt plans are exact — the nth Check of a point fails,
 // independent of scheduling. Seeded plans hash (seed, point, per-point

@@ -63,6 +63,10 @@ type Config struct {
 	// MaxTimeout caps the X-Timeout header the same way (0 = no
 	// ceiling).
 	MaxTimeout time.Duration
+	// Backend is the default evaluation backend for /eval and /batch
+	// ("" = core.DefaultBackend, the automaton pipeline). Overridable
+	// per request via the X-Backend header; unknown names are a 400.
+	Backend string
 	// MaxSessions caps the resident session registry; beyond it the
 	// oldest session is evicted FIFO (its program-cache entries survive
 	// in the shared cache). 0 means DefaultMaxSessions.
@@ -137,7 +141,8 @@ type Server struct {
 	order        []uint64 // insertion order, for FIFO eviction
 	evictions    int64
 	requests     int64
-	statuses     map[int]int64 // HTTP status → responses sent
+	statuses     map[int]int64    // HTTP status → responses sent
+	backendReqs  map[string]int64 // backend name → admitted eval/batch requests
 	breakers     map[uint64]*overload.Breaker
 	breakerOrder []uint64 // insertion order, for FIFO eviction
 
@@ -166,13 +171,14 @@ func New(cfg Config) *Server {
 		cfg.Limiter.LatencyTarget = 0 // adaptation off, fixed limit
 	}
 	s := &Server{
-		cfg:      cfg,
-		progs:    progs,
-		start:    time.Now(),
-		limiter:  overload.NewLimiter(cfg.Limiter),
-		sessions: make(map[uint64]*session.Session),
-		statuses: make(map[int]int64),
-		breakers: make(map[uint64]*overload.Breaker),
+		cfg:         cfg,
+		progs:       progs,
+		start:       time.Now(),
+		limiter:     overload.NewLimiter(cfg.Limiter),
+		sessions:    make(map[uint64]*session.Session),
+		statuses:    make(map[int]int64),
+		backendReqs: make(map[string]int64),
+		breakers:    make(map[uint64]*overload.Breaker),
 	}
 	if cfg.MemWatermark > 0 {
 		s.watchdog = overload.NewWatchdog(overload.WatchdogConfig{
@@ -303,6 +309,29 @@ func (s *Server) admit(r *http.Request) (context.Context, context.CancelFunc, er
 	return ctx, cancel, nil
 }
 
+// backendName resolves the request's evaluation backend: the X-Backend
+// header, falling back to the server default. The name is validated
+// against the backend registry — an unknown name is a usage error (400),
+// mirroring the X-Budget ceiling check — and returned normalized.
+func (s *Server) backendName(r *http.Request) (string, error) {
+	name := r.Header.Get("X-Backend")
+	if name == "" {
+		name = s.cfg.Backend
+	}
+	b, err := core.BackendByName(name)
+	if err != nil {
+		return "", fmt.Errorf("%w: X-Backend: %v", cli.ErrUsage, err)
+	}
+	return b.Name(), nil
+}
+
+// countBackend tallies one admitted eval/batch request per backend.
+func (s *Server) countBackend(name string) {
+	s.mu.Lock()
+	s.backendReqs[name]++
+	s.mu.Unlock()
+}
+
 // sessionFor returns the resident session for st's content fingerprint,
 // creating (and FIFO-evicting) under the registry cap. Sessions share
 // the server's program cache, so an evicted-and-recreated session still
@@ -366,12 +395,12 @@ type EvalResponse struct {
 	TDNodes  int      `json:"td_nodes"`
 }
 
-func evalOne(ctx context.Context, sess *session.Session, formula, xVar string) (EvalResponse, error) {
+func evalOne(ctx context.Context, sess *session.Session, formula, xVar, backend string) (EvalResponse, error) {
 	phi, err := mso.Parse(formula)
 	if err != nil {
 		return EvalResponse{}, fmt.Errorf("%w: formula: %v", cli.ErrUsage, err)
 	}
-	opts := core.Options{Decision: xVar == ""}
+	opts := core.Options{Decision: xVar == "", Backend: backend}
 	res, err := sess.Eval(ctx, phi, xVar, opts)
 	if err != nil {
 		return EvalResponse{}, err
@@ -406,6 +435,11 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	backend, err := s.backendName(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
 	st, err := parseStructure(req.Structure)
 	if err != nil {
 		s.fail(w, err)
@@ -420,11 +454,12 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	s.countBackend(backend)
 	sess := s.sessionFor(st)
 	if s.testGate != nil {
 		s.testGate(ctx, "eval")
 	}
-	resp, err := evalOne(ctx, sess, req.Formula, req.Var)
+	resp, err := evalOne(ctx, sess, req.Formula, req.Var, backend)
 	finish(sameOutcome(err))
 	if err != nil {
 		s.fail(w, err)
@@ -619,6 +654,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	backend, err := s.backendName(r)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
 	structures := make([]*structure.Structure, len(req.Structures))
 	fps := make([]uint64, len(req.Structures))
 	cost := int64(0)
@@ -640,6 +680,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
+	s.countBackend(backend)
 	sessions := make([]*session.Session, len(req.Structures))
 	before := make([]session.Stats, len(req.Structures))
 	for i, st := range structures {
@@ -657,7 +698,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Results[i] = BatchResult{Status: cli.HTTPStatus(err), Error: err.Error()}
 			continue
 		}
-		one, err := evalOne(ctx, sessions[q.Structure], q.Formula, q.Var)
+		one, err := evalOne(ctx, sessions[q.Structure], q.Formula, q.Var, backend)
 		if err != nil {
 			if breakerFailure(err) && worst[fps[q.Structure]] == nil {
 				worst[fps[q.Structure]] = err
@@ -700,18 +741,23 @@ type ProgCacheStats struct {
 // cover evicted sessions and non-session evaluations), and the overload
 // layer: admission limiter, breaker registry, memory watchdog.
 type StatszResponse struct {
-	UptimeSeconds    float64                 `json:"uptime_seconds"`
-	Requests         int64                   `json:"requests"`
-	StatusCounts     map[string]int64        `json:"status_counts"`
-	Sessions         int                     `json:"sessions"`
-	SessionCap       int                     `json:"session_cap"`
-	SessionEvictions int64                   `json:"session_evictions"`
-	ProgramCache     ProgCacheStats          `json:"program_cache"`
-	SessionTotals    session.Stats           `json:"session_totals"`
-	Engine           datalog.EngineStats     `json:"engine"`
-	Admission        overload.LimiterStats   `json:"admission"`
-	Breakers         BreakerTotals           `json:"breakers"`
-	Watchdog         *overload.WatchdogStats `json:"watchdog,omitempty"`
+	UptimeSeconds    float64          `json:"uptime_seconds"`
+	Requests         int64            `json:"requests"`
+	StatusCounts     map[string]int64 `json:"status_counts"`
+	Sessions         int              `json:"sessions"`
+	SessionCap       int              `json:"session_cap"`
+	SessionEvictions int64            `json:"session_evictions"`
+	// Backends counts admitted /eval and /batch requests per evaluation
+	// backend (resolved from X-Backend or the server default). The
+	// per-backend evaluation counts — after result-cache hits — are in
+	// SessionTotals.EvalsByBackend.
+	Backends      map[string]int64        `json:"backends"`
+	ProgramCache  ProgCacheStats          `json:"program_cache"`
+	SessionTotals session.Stats           `json:"session_totals"`
+	Engine        datalog.EngineStats     `json:"engine"`
+	Admission     overload.LimiterStats   `json:"admission"`
+	Breakers      BreakerTotals           `json:"breakers"`
+	Watchdog      *overload.WatchdogStats `json:"watchdog,omitempty"`
 }
 
 // SessionTotals returns the session-layer counters summed over the
@@ -739,6 +785,12 @@ func (s *Server) SessionTotals() session.Stats {
 		t.Compiles += st.Compiles
 		t.CompileCacheHits += st.CompileCacheHits
 		t.Evals += st.Evals
+		for k, v := range st.EvalsByBackend {
+			if t.EvalsByBackend == nil {
+				t.EvalsByBackend = map[string]int{}
+			}
+			t.EvalsByBackend[k] += v
+		}
 		t.ResultCacheHits += st.ResultCacheHits
 		t.SolverSolves += st.SolverSolves
 		t.SolverCacheHits += st.SolverCacheHits
@@ -763,9 +815,13 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		Sessions:         len(s.sessions),
 		SessionCap:       s.cfg.MaxSessions,
 		SessionEvictions: s.evictions,
+		Backends:         make(map[string]int64, len(s.backendReqs)),
 	}
 	for code, n := range s.statuses {
 		resp.StatusCounts[strconv.Itoa(code)] = n
+	}
+	for name, n := range s.backendReqs {
+		resp.Backends[name] = n
 	}
 	s.mu.Unlock()
 	resp.SessionTotals = s.SessionTotals()

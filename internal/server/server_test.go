@@ -528,3 +528,79 @@ func TestDrainGraceAborts(t *testing.T) {
 		t.Errorf("aborted request status = %d, want 504", status)
 	}
 }
+
+// TestBackendSelection pins the backend plumbing at the HTTP layer:
+// X-Backend steers /eval and /batch, Config.Backend sets the default,
+// unknown names are usage errors, and /statsz reports both the
+// per-backend request counts and the sessions' per-backend evals.
+func TestBackendSelection(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	okReq := EvalRequest{Structure: pathStructure, Formula: "c(x)", Var: "x"}
+
+	status, raw := postJSON(t, ts.URL+"/eval", okReq, nil)
+	if status != http.StatusOK {
+		t.Fatalf("automaton eval: status %d, body %s", status, raw)
+	}
+	want := decodeInto[EvalResponse](t, raw)
+
+	status, raw = postJSON(t, ts.URL+"/eval", okReq, map[string]string{"X-Backend": "game"})
+	if status != http.StatusOK {
+		t.Fatalf("game eval: status %d, body %s", status, raw)
+	}
+	got := decodeInto[EvalResponse](t, raw)
+	if fmt.Sprint(got.Selected) != fmt.Sprint(want.Selected) {
+		t.Errorf("game selected %v, automaton selected %v", got.Selected, want.Selected)
+	}
+
+	status, raw = postJSON(t, ts.URL+"/eval", okReq, map[string]string{"X-Backend": "quantum"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown backend: status %d, body %s", status, raw)
+	}
+
+	breq := BatchRequest{
+		Structures: []string{pathStructure},
+		Queries:    []BatchQuery{{Structure: 0, Formula: "~c(x)", Var: "x"}},
+	}
+	status, raw = postJSON(t, ts.URL+"/batch", breq, map[string]string{"X-Backend": "game"})
+	if status != http.StatusOK {
+		t.Fatalf("game batch: status %d, body %s", status, raw)
+	}
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	stats := decodeInto[StatszResponse](t, raw)
+	if stats.Backends["automaton"] != 1 || stats.Backends["game"] != 2 {
+		t.Errorf("backend request counts = %v, want automaton:1 game:2 (the 400 is not admitted)", stats.Backends)
+	}
+	by := stats.SessionTotals.EvalsByBackend
+	if by["automaton"] != 1 || by["game"] != 2 {
+		t.Errorf("EvalsByBackend = %v, want automaton:1 game:2", by)
+	}
+}
+
+// TestBackendConfigDefault pins that Config.Backend changes the default
+// for requests without an X-Backend header, is validated at request
+// time, and is still overridable per request.
+func TestBackendConfigDefault(t *testing.T) {
+	s, ts := newTestServer(t, Config{Backend: "game"})
+	okReq := EvalRequest{Structure: pathStructure, Formula: "c(x)", Var: "x"}
+
+	status, raw := postJSON(t, ts.URL+"/eval", okReq, nil)
+	if status != http.StatusOK {
+		t.Fatalf("default-game eval: status %d, body %s", status, raw)
+	}
+	status, raw = postJSON(t, ts.URL+"/eval", okReq, map[string]string{"X-Backend": "automaton"})
+	if status != http.StatusOK {
+		t.Fatalf("override to automaton: status %d, body %s", status, raw)
+	}
+	s.mu.Lock()
+	gameReqs, autoReqs := s.backendReqs["game"], s.backendReqs["automaton"]
+	s.mu.Unlock()
+	if gameReqs != 1 || autoReqs != 1 {
+		t.Errorf("backendReqs = game:%d automaton:%d, want 1 and 1", gameReqs, autoReqs)
+	}
+}

@@ -20,6 +20,7 @@ type progKey struct {
 	sig      string
 	formula  string
 	xVar     string
+	backend  string
 	width    int
 	depth    int
 	decision bool
@@ -38,6 +39,7 @@ func keyFor(sig *structure.Signature, phi *mso.Formula, xVar string, opts core.O
 		sig:      sigKey,
 		formula:  phi.String(),
 		xVar:     xVar,
+		backend:  opts.BackendName(),
 		width:    opts.Width,
 		depth:    opts.QuantifierDepth,
 		decision: opts.Decision,

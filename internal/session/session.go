@@ -46,6 +46,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	// Register the game backend so any session user (server, CLIs,
+	// tests) can select it by name without its own import.
+	_ "repro/internal/backend/game"
 	"repro/internal/core"
 	"repro/internal/datalog"
 	"repro/internal/decompose"
@@ -81,11 +84,15 @@ type Stats struct {
 	// Compiles counts MSO compilations this session triggered;
 	// CompileCacheHits counts the ones served from the program cache.
 	Compiles, CompileCacheHits int
-	// Evals counts datalog evaluations (one per Eval call that reached
-	// the evaluation stage); ResultCacheHits counts Eval calls answered
-	// from the per-session result cache — or from another request's
-	// in-flight evaluation of the same key — instead.
+	// Evals counts evaluations (one per Eval call that reached the
+	// evaluation stage, regardless of backend); ResultCacheHits counts
+	// Eval calls answered from the per-session result cache — or from
+	// another request's in-flight evaluation of the same key — instead.
 	Evals, ResultCacheHits int
+	// EvalsByBackend splits Evals by the backend that performed them
+	// (core.Options.Backend; "automaton" for the default pipeline). Nil
+	// until the first evaluation completes.
+	EvalsByBackend map[string]int
 	// SolverSolves counts semiring-solver runs performed by the Solve*
 	// helpers; SolverCacheHits counts the Solve* calls answered from the
 	// per-session solver cache instead.
@@ -275,6 +282,12 @@ func (s *Session) Structure() *structure.Structure { return s.st }
 func (s *Session) Stats() Stats {
 	s.mu.Lock()
 	st := s.stats
+	if s.stats.EvalsByBackend != nil {
+		st.EvalsByBackend = make(map[string]int, len(s.stats.EvalsByBackend))
+		for k, v := range s.stats.EvalsByBackend {
+			st.EvalsByBackend[k] = v
+		}
+	}
 	s.mu.Unlock()
 	es := s.engine.Snapshot()
 	st.TuplesStreamed = es.TuplesStreamed
@@ -657,6 +670,11 @@ func (s *Session) Eval(ctx context.Context, phi *mso.Formula, xVar string, opts 
 		return nil, fmt.Errorf("session: decomposition width %d does not match requested width %d", art.width, *opts.RequestedWidth)
 	}
 	opts.Width = art.width
+	if opts.BackendName() != core.DefaultBackend {
+		// Alternate backends evaluate lazily on the cached nice
+		// decomposition: no datalog compilation, no program cache.
+		return s.evalBackend(ctx, phi, xVar, opts, trace)
+	}
 	if err := faultinject.Check("session.compile"); err != nil {
 		return nil, stage.Wrap(stage.Compile, err)
 	}
@@ -724,6 +742,7 @@ func (s *Session) Eval(ctx context.Context, phi *mso.Formula, xVar string, opts 
 		delete(s.evalFlights, key)
 		if err == nil {
 			s.stats.Evals++
+			s.bumpBackendLocked(core.DefaultBackend)
 			if Fingerprint(s.st) == fp {
 				s.storeResultLocked(key, &resultEntry{res: res, evalSize: evalSize, compiled: compiled, opts: opts, out: out})
 			}
@@ -736,6 +755,112 @@ func (s *Session) Eval(ctx context.Context, phi *mso.Formula, xVar string, opts 
 		}
 		return cachedResult(res, trace), nil
 	}
+}
+
+// bumpBackendLocked increments the per-backend eval counter under s.mu.
+func (s *Session) bumpBackendLocked(name string) {
+	if s.stats.EvalsByBackend == nil {
+		s.stats.EvalsByBackend = map[string]int{}
+	}
+	s.stats.EvalsByBackend[name]++
+}
+
+// evalBackend is Eval's path for non-default backends: it resolves the
+// named backend, feeds it the session's cached nice decomposition, and
+// mirrors the default path's result cache and single-flight discipline.
+// Result-cache keys include the backend name (see keyFor), so the same
+// formula evaluated under different backends occupies distinct entries
+// and a backend switch can never serve another backend's result.
+func (s *Session) evalBackend(ctx context.Context, phi *mso.Formula, xVar string, opts core.Options, trace *stage.Trace) (*core.Result, error) {
+	b, err := core.BackendByName(opts.BackendName())
+	if err != nil {
+		return nil, stage.Wrap(stage.Compile, err)
+	}
+	nb, ok := b.(core.NiceBackend)
+	if !ok {
+		return nil, stage.Wrap(stage.Compile, fmt.Errorf("session: backend %q cannot evaluate on cached session artifacts", b.Name()))
+	}
+	nice, err := s.NiceForm(ctx)
+	if err != nil {
+		return nil, err
+	}
+	key := keyFor(s.st.Sig(), phi, xVar, opts)
+	for {
+		s.mu.Lock()
+		if entry, ok := s.results[key]; ok {
+			s.stats.ResultCacheHits++
+			s.mu.Unlock()
+			trace.Record(stage.Eval, 0, entry.evalSize, true)
+			return cachedResult(entry.res, trace), nil
+		}
+		if f := s.evalFlights[key]; f != nil {
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, stage.Wrap(stage.Eval, ctx.Err())
+			}
+			if f.err == nil {
+				s.mu.Lock()
+				s.stats.ResultCacheHits++
+				s.mu.Unlock()
+				trace.Record(stage.Eval, 0, f.evalSize, true)
+				return cachedResult(f.res, trace), nil
+			}
+			if ctx.Err() != nil {
+				return nil, stage.Wrap(stage.Eval, ctx.Err())
+			}
+			continue
+		}
+		if s.evalFlights == nil {
+			s.evalFlights = map[progKey]*evalFlight{}
+		}
+		f := &evalFlight{done: make(chan struct{})}
+		s.evalFlights[key] = f
+		fp := s.fp
+		s.mu.Unlock()
+
+		s.stMu.RLock()
+		res, err := s.runEvalBackend(ctx, nb, nice, phi, xVar, opts, trace)
+		s.stMu.RUnlock()
+		evalSize := 0
+		if res != nil && res.Selected != nil {
+			evalSize = res.Selected.Len()
+		}
+
+		s.mu.Lock()
+		delete(s.evalFlights, key)
+		if err == nil {
+			s.stats.Evals++
+			s.bumpBackendLocked(nb.Name())
+			if Fingerprint(s.st) == fp {
+				// compiled and out stay nil: there is no datalog program
+				// or fixpoint to maintain, so Mutate drops the entry
+				// instead of patching it.
+				s.storeResultLocked(key, &resultEntry{res: res, evalSize: evalSize, opts: opts})
+			}
+		}
+		s.mu.Unlock()
+		f.res, f.evalSize, f.err = res, evalSize, err
+		close(f.done)
+		if err != nil {
+			return nil, err
+		}
+		return cachedResult(res, trace), nil
+	}
+}
+
+// runEvalBackend performs one uncached alternate-backend evaluation
+// outside the session mutex, under the structure read lock.
+func (s *Session) runEvalBackend(ctx context.Context, nb core.NiceBackend, nice *tree.Decomposition, phi *mso.Formula, xVar string, opts core.Options, trace *stage.Trace) (res *core.Result, err error) {
+	defer stage.RecoverTo(stage.Eval, &err)
+	if testHookEvalStart != nil {
+		testHookEvalStart()
+	}
+	if err := faultinject.Check("session.eval"); err != nil {
+		return nil, stage.Wrap(stage.Eval, err)
+	}
+	return nb.EvalNiceCtx(ctx, s.st, nice, phi, xVar, opts, trace)
 }
 
 // storeResultLocked inserts a result entry under s.mu, evicting FIFO

@@ -49,21 +49,29 @@ type Budget struct {
 	// batches, so a violation may be detected up to one poll interval
 	// (~1024 rows) past the cap.
 	MaxStreamTuples int64
+	// MaxGamePositions caps interned game positions (behavior-tree
+	// nodes) explored by the game-theoretic backend — that backend's
+	// blowup point, playing the role MaxStates plays for the automaton
+	// backend. Same contract as the other caps: the first charge past
+	// the limit stops the run with a *BudgetError reporting
+	// Used = Limit+1.
+	MaxGamePositions int64
 	// Deadline, when nonzero, bounds wall-clock time: the pipeline
 	// derives a context deadline from it at the run boundary.
 	Deadline time.Time
 
-	groundAtoms  atomic.Int64
-	states       atomic.Int64
-	tableEntries atomic.Int64
-	streamTuples atomic.Int64
+	groundAtoms   atomic.Int64
+	states        atomic.Int64
+	tableEntries  atomic.Int64
+	streamTuples  atomic.Int64
+	gamePositions atomic.Int64
 }
 
 // BudgetError reports which dimension of a Budget was exhausted. It
 // unwraps to ErrBudgetExceeded.
 type BudgetError struct {
-	// Dimension is "ground-atoms", "states", "table-entries" or
-	// "stream-tuples".
+	// Dimension is "ground-atoms", "states", "table-entries",
+	// "stream-tuples" or "game-positions".
 	Dimension string
 	// Used and Limit are the consumption at the moment of violation.
 	Used, Limit int64
@@ -126,6 +134,25 @@ func (b *Budget) AddStreamTuples(n int64) error {
 	return nil
 }
 
+// AddGamePositions charges n interned game positions against the
+// budget.
+func (b *Budget) AddGamePositions(n int) error {
+	if b == nil {
+		return nil
+	}
+	return charge(&b.gamePositions, b.MaxGamePositions, n, "game-positions")
+}
+
+// GamePositionsUsed reports the game positions tallied so far. It is a
+// separate accessor rather than a fourth Used() return so existing
+// callers keep compiling.
+func (b *Budget) GamePositionsUsed() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.gamePositions.Load()
+}
+
 // StreamTuplesUsed reports the streamed rows tallied so far.
 func (b *Budget) StreamTuplesUsed() int64 {
 	if b == nil {
@@ -166,18 +193,19 @@ func (b *Budget) Reset() {
 	b.states.Store(0)
 	b.tableEntries.Store(0)
 	b.streamTuples.Store(0)
+	b.gamePositions.Store(0)
 }
 
-// Uniform returns a Budget capping the three materialization dimensions
-// (ground atoms, states, table entries) at n (0 = nil, i.e. unlimited)
-// — the shape behind the CLI tools' -budget flag. Stream tuples are a
-// work meter, not a materialization, and stay unlimited here; set
-// MaxStreamTuples explicitly to cap them.
+// Uniform returns a Budget capping the materialization dimensions
+// (ground atoms, states, table entries, game positions) at n (0 = nil,
+// i.e. unlimited) — the shape behind the CLI tools' -budget flag.
+// Stream tuples are a work meter, not a materialization, and stay
+// unlimited here; set MaxStreamTuples explicitly to cap them.
 func Uniform(n int64) *Budget {
 	if n <= 0 {
 		return nil
 	}
-	return &Budget{MaxGroundAtoms: n, MaxStates: n, MaxTableEntries: n}
+	return &Budget{MaxGroundAtoms: n, MaxStates: n, MaxTableEntries: n, MaxGamePositions: n}
 }
 
 // budgetKey carries a *Budget through a context.

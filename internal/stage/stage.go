@@ -43,6 +43,9 @@ const (
 	// MSOEval covers the naive MSO model-checking evaluator used by
 	// the compiler's witness oracle and cmd/msoeval.
 	MSOEval Stage = "mso-eval"
+	// Game covers the game-theoretic MSO backend (backend/game): lazy
+	// model-checking-game exploration over the nice decomposition.
+	Game Stage = "game"
 )
 
 // Error tags an underlying error with the pipeline stage it escaped
